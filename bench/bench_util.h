@@ -1,0 +1,91 @@
+// Shared scaffolding for the per-table/figure experiment benches.
+//
+// Every bench regenerates one table or figure of the paper on the synthetic
+// dataset profiles (DESIGN.md §3). Environment knobs:
+//   MISS_SCALE  dataset size multiplier (default 0.5; 1.0 = the full
+//               laptop-scale profiles described in DESIGN.md)
+//   MISS_EPOCHS training epochs per run (default 12)
+//   MISS_SEEDS  repetitions per configuration (default 1; the paper uses 5)
+
+#ifndef MISS_BENCH_BENCH_UTIL_H_
+#define MISS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "data/synthetic.h"
+#include "train/experiment.h"
+
+namespace miss::bench {
+
+struct BenchContext {
+  std::vector<std::string> dataset_names;
+  std::vector<data::DatasetBundle> bundles;
+  train::ExperimentSpec base_spec;  // shared hyper-parameters
+};
+
+// Loads the requested profiles ("amazon-cds", "amazon-books", "alipay").
+inline BenchContext MakeBenchContext(
+    std::vector<std::string> datasets = {"amazon-cds", "amazon-books",
+                                         "alipay"}) {
+  common::SetMinLogLevel(common::LogLevel::kWarning);
+  const double scale = common::GetEnvDouble("MISS_SCALE", 0.5);
+
+  BenchContext ctx;
+  ctx.dataset_names = datasets;
+  for (const std::string& name : datasets) {
+    data::SyntheticConfig config;
+    if (name == "amazon-cds") {
+      config = data::SyntheticConfig::AmazonCds(scale);
+    } else if (name == "amazon-books") {
+      config = data::SyntheticConfig::AmazonBooks(scale);
+    } else if (name == "alipay") {
+      config = data::SyntheticConfig::Alipay(scale);
+    } else {
+      MISS_LOG(FATAL) << "unknown dataset profile " << name;
+    }
+    ctx.bundles.push_back(data::GenerateSynthetic(config));
+  }
+
+  train::ExperimentSpec spec;
+  spec.train_config.epochs = common::GetEnvInt("MISS_EPOCHS", 12);
+  spec.train_config.learning_rate = 2e-3f;
+  spec.train_config.weight_decay = 1e-5f;
+  // SSL loss weights selected on validation data (the paper tunes alpha in
+  // {0.05..5}; on the synthetic profiles the optimum sits near 2).
+  spec.train_config.alpha1 = 2.0f;
+  spec.train_config.alpha2 = 2.0f;
+  spec.model_config.dropout = 0.1f;
+  spec.model_config.embedding_init_stddev = 0.1f;
+  spec.num_seeds = common::GetEnvInt("MISS_SEEDS", 1);
+  ctx.base_spec = spec;
+  return ctx;
+}
+
+// Prints the standard two-metric table header used by Tables IV-IX.
+inline void PrintTableHeader(const char* title,
+                             const std::vector<std::string>& datasets) {
+  std::printf("\n%s\n", title);
+  std::printf("%-18s", "Model");
+  for (const std::string& d : datasets) {
+    std::printf(" | %12s AUC  Logloss", d.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < 18 + datasets.size() * 30; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline void PrintRowLabel(const std::string& label) {
+  std::printf("%-18s", label.c_str());
+}
+
+inline void PrintMetrics(double auc, double logloss) {
+  std::printf(" | %12s%.4f  %.4f", "", auc, logloss);
+}
+
+}  // namespace miss::bench
+
+#endif  // MISS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,41 @@
+// Reproduces Figure 7: CTR performance as a function of the InfoNCE
+// softmax temperature tau, DIN-MISS on all three datasets.
+//
+// Expected shape: performance peaks at a small temperature (0.1 in the
+// paper) and degrades as tau grows and the contrastive signal flattens.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace miss;
+  bench::BenchContext ctx = bench::MakeBenchContext();
+
+  const std::vector<float> temperatures = {0.05f, 0.1f, 0.5f, 1.0f, 5.0f};
+
+  std::printf("\nFigure 7: DIN-MISS performance vs softmax temperature tau\n");
+  std::printf("%-8s", "tau");
+  for (const std::string& d : ctx.dataset_names) {
+    std::printf(" | %-12s AUC   Logloss", d.c_str());
+  }
+  std::printf("\n--------------------------------------------------------------------------------------\n");
+
+  for (float tau : temperatures) {
+    std::printf("%-8g", tau);
+    for (size_t d = 0; d < ctx.bundles.size(); ++d) {
+      train::ExperimentSpec spec = ctx.base_spec;
+      spec.model = "din";
+      spec.ssl = "miss";
+      spec.miss.tau = tau;
+      train::ExperimentResult res = train::RunExperiment(ctx.bundles[d], spec);
+      std::printf(" | %-12s %.4f  %.4f", "", res.auc, res.logloss);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: best tau is small (~0.1); tau = 5 flattens the\n"
+              "contrastive signal and loses most of the MISS gain.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the hot ops in
+// training — matmul, embedding lookup, the MISS convolutions, InfoNCE, and
+// a full DIN / DIN-MISS training step. These are the ablation benches for
+// the engine design choices called out in DESIGN.md §4.1.
+
+#include <benchmark/benchmark.h>
+
+#include "core/info_nce.h"
+#include "core/miss_module.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace miss;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(1);
+  nn::Tensor a = nn::Tensor::RandomNormal({n, n}, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::RandomNormal({n, n}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(2);
+  nn::Tensor a = nn::Tensor::RandomNormal({n, n}, 1.0f, rng, true);
+  nn::Tensor b = nn::Tensor::RandomNormal({n, n}, 1.0f, rng, true);
+  for (auto _ : state) {
+    nn::Optimizer::ZeroGrad({a, b});
+    nn::Backward(nn::MeanAll(nn::MatMul(a, b)));
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(64);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  common::Rng rng(3);
+  nn::Tensor table = nn::Tensor::RandomNormal({10000, 10}, 1.0f, rng);
+  std::vector<int64_t> ids(128 * 30);
+  for (auto& id : ids) id = rng.UniformInt(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::EmbeddingLookup(table, ids, {128, 30}));
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+void BM_HorizontalConv(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  common::Rng rng(4);
+  nn::Tensor c = nn::Tensor::RandomNormal({128, 2, 30, 10}, 1.0f, rng);
+  nn::Tensor w = nn::Tensor::RandomNormal({m}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::HorizontalConv(c, w));
+  }
+}
+BENCHMARK(BM_HorizontalConv)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_VerticalConv(benchmark::State& state) {
+  common::Rng rng(5);
+  nn::Tensor g = nn::Tensor::RandomNormal({128, 2, 30, 10}, 1.0f, rng);
+  nn::Tensor w = nn::Tensor::RandomNormal({2}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::VerticalConv(g, w));
+  }
+}
+BENCHMARK(BM_VerticalConv);
+
+void BM_InfoNce(benchmark::State& state) {
+  common::Rng rng(6);
+  nn::Tensor z1 = nn::Tensor::RandomNormal({128, 20}, 1.0f, rng);
+  nn::Tensor z2 = nn::Tensor::RandomNormal({128, 20}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::InfoNce(z1, z2, 0.1f));
+  }
+}
+BENCHMARK(BM_InfoNce);
+
+// One optimizer step of a full model, with and without the MISS plug-in —
+// the end-to-end cost the plug-in adds (Section V-E's practicality claim).
+void TrainStepBenchmark(benchmark::State& state, bool with_miss) {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 300;
+  data::DatasetBundle bundle = data::GenerateSynthetic(config);
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 1);
+  core::MissModule miss_module(bundle.train.schema, mc.embedding_dim,
+                               core::MissConfig::Full());
+  nn::Adam adam(1e-3f);
+  std::vector<nn::Tensor> params = model->Parameters();
+  if (with_miss) {
+    auto extra = miss_module.TrainableParameters();
+    params.insert(params.end(), extra.begin(), extra.end());
+  }
+  std::vector<int64_t> indices(128);
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  data::Batch batch = data::MakeBatch(bundle.train, indices);
+
+  for (auto _ : state) {
+    nn::Tensor loss =
+        nn::BceWithLogitsLoss(model->Forward(batch, true), batch.labels);
+    if (with_miss) {
+      core::SslLossResult ssl = miss_module.ComputeLoss(*model, batch);
+      loss = nn::Add(loss, ssl.interest_loss);
+      if (ssl.feature_loss.defined()) loss = nn::Add(loss, ssl.feature_loss);
+    }
+    nn::Optimizer::ZeroGrad(params);
+    nn::Backward(loss);
+    adam.Step(params);
+  }
+}
+
+void BM_DinTrainStep(benchmark::State& state) {
+  TrainStepBenchmark(state, /*with_miss=*/false);
+}
+BENCHMARK(BM_DinTrainStep);
+
+void BM_DinMissTrainStep(benchmark::State& state) {
+  TrainStepBenchmark(state, /*with_miss=*/true);
+}
+BENCHMARK(BM_DinMissTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

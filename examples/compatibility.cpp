@@ -1,0 +1,44 @@
+// Compatibility demo: MISS is model-agnostic. The same MissModule is
+// plugged into three structurally different CTR models — DIN (interest
+// modeling), IPNN (feature interaction), FiGNN (graph attention) — without
+// touching their architectures, mirroring Table V of the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "train/experiment.h"
+
+int main() {
+  using namespace miss;
+
+  data::DatasetBundle bundle =
+      data::GenerateSynthetic(data::SyntheticConfig::AmazonCds(0.4));
+  std::printf("dataset: %s (%lld train instances)\n\n",
+              bundle.train.schema.name.c_str(),
+              (long long)bundle.train.size());
+
+  std::printf("%-12s %-10s %-10s %-8s\n", "Backbone", "plain AUC",
+              "MISS AUC", "lift");
+  for (const char* backbone_name : {"din", "ipnn", "fignn"}) {
+    const std::string backbone(backbone_name);
+    train::ExperimentSpec plain;
+    plain.model = backbone;
+    plain.train_config.epochs = 12;
+    plain.train_config.learning_rate = 2e-3f;
+    plain.train_config.alpha1 = 2.0f;
+    plain.train_config.alpha2 = 2.0f;
+    plain.model_config.embedding_init_stddev = 0.1f;
+    train::ExperimentResult base = train::RunExperiment(bundle, plain);
+
+    train::ExperimentSpec enhanced = plain;
+    enhanced.ssl = "miss";
+    train::ExperimentResult boosted = train::RunExperiment(bundle, enhanced);
+
+    std::printf("%-12s %-10.4f %-10.4f %+6.2f%%\n", backbone.c_str(),
+                base.auc, boosted.auc,
+                100.0 * (boosted.auc - base.auc) / base.auc);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Robustness demo (Section VI-E): inject label noise into the training set
+// and compare how DIN and DIN-MISS degrade. MISS's self-supervision signals
+// come from the (unlabeled) behavior structure, so its AUC should degrade
+// more slowly — the relative improvement grows with the noise rate.
+
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "train/experiment.h"
+
+int main() {
+  using namespace miss;
+
+  data::DatasetBundle bundle =
+      data::GenerateSynthetic(data::SyntheticConfig::AmazonCds(0.4));
+
+  std::printf("%-8s %-10s %-10s %-8s\n", "noise", "DIN", "DIN-MISS", "RI");
+  for (double rate : {0.0, 0.1, 0.2}) {
+    common::Rng rng(42);
+    data::Dataset noisy = data::InjectLabelNoise(bundle.train, rate, rng);
+
+    train::ExperimentSpec base;
+    base.model = "din";
+    base.train_config.epochs = 12;
+    base.train_config.learning_rate = 2e-3f;
+    base.train_config.alpha1 = 2.0f;
+    base.train_config.alpha2 = 2.0f;
+    base.model_config.embedding_init_stddev = 0.1f;
+    train::ExperimentResult din = train::RunExperiment(bundle, base, &noisy);
+
+    train::ExperimentSpec enhanced = base;
+    enhanced.ssl = "miss";
+    train::ExperimentResult miss =
+        train::RunExperiment(bundle, enhanced, &noisy);
+
+    std::printf("%5.0f%%  %-10.4f %-10.4f %+6.2f%%\n", rate * 100, din.auc,
+                miss.auc, 100.0 * (miss.auc - din.auc) / din.auc);
+  }
+  return 0;
+}

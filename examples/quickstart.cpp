@@ -1,0 +1,49 @@
+// Quickstart: train DIN with and without the MISS plug-in on a small
+// synthetic multi-interest dataset and compare test AUC / Logloss.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/miss_module.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "train/experiment.h"
+
+int main() {
+  using namespace miss;
+
+  // 1. Generate a dataset. Profiles mirror the paper's three benchmarks;
+  //    a scaled-down Amazon-Cds keeps this demo under a minute.
+  data::SyntheticConfig config = data::SyntheticConfig::AmazonCds(0.3);
+  data::DatasetBundle bundle = data::GenerateSynthetic(config);
+  std::printf("dataset: %s | users=%lld items=%lld train-instances=%lld\n",
+              config.name.c_str(), (long long)bundle.num_users,
+              (long long)bundle.num_items, (long long)bundle.num_instances);
+
+  // 2. Plain DIN baseline.
+  train::ExperimentSpec baseline;
+  baseline.model = "din";
+  baseline.train_config.epochs = 12;
+  baseline.train_config.learning_rate = 2e-3f;
+  baseline.train_config.weight_decay = 1e-5f;
+  baseline.train_config.alpha1 = 2.0f;
+  baseline.train_config.alpha2 = 2.0f;
+  baseline.model_config.embedding_init_stddev = 0.1f;
+  train::ExperimentResult din = train::RunExperiment(bundle, baseline);
+  std::printf("DIN        AUC=%.4f  Logloss=%.4f\n", din.auc, din.logloss);
+
+  // 3. DIN + MISS: same model, plus interest-level self-supervision.
+  train::ExperimentSpec enhanced = baseline;
+  enhanced.ssl = "miss";
+  enhanced.miss = core::MissConfig::Full();
+  train::ExperimentResult din_miss = train::RunExperiment(bundle, enhanced);
+  std::printf("DIN-MISS   AUC=%.4f  Logloss=%.4f\n", din_miss.auc,
+              din_miss.logloss);
+
+  std::printf("MISS lift: %+.2f%% AUC\n",
+              100.0 * (din_miss.auc - din.auc) / din.auc);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Assertion macros for invariant and precondition checking.
+//
+// Following the Google C++ style used across this project, the library does
+// not use exceptions: violated invariants are programming errors and abort
+// the process with a diagnostic message. The CHECK macros are active in all
+// build modes (Release included) because silent corruption in a numerical
+// library is far more expensive than the branch.
+
+#ifndef MISS_COMMON_CHECK_H_
+#define MISS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace miss::internal {
+
+// Accumulates a failure message and aborts on destruction. Used as the
+// right-hand side of the CHECK macros so that user code can stream extra
+// context: MISS_CHECK(ok) << "details " << value;
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace miss::internal
+
+#define MISS_CHECK(condition)                                     \
+  if (condition) {                                                \
+  } else                                                          \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+// The binary forms print both operands on failure.
+#define MISS_CHECK_EQ(a, b)                                             \
+  if ((a) == (b)) {                                                     \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " == " #b)    \
+        << "(" << (a) << " vs " << (b) << ") "
+#define MISS_CHECK_NE(a, b)                                             \
+  if ((a) != (b)) {                                                     \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " != " #b)    \
+        << "(" << (a) << " vs " << (b) << ") "
+#define MISS_CHECK_LT(a, b)                                             \
+  if ((a) < (b)) {                                                      \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " < " #b)     \
+        << "(" << (a) << " vs " << (b) << ") "
+#define MISS_CHECK_LE(a, b)                                             \
+  if ((a) <= (b)) {                                                     \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " <= " #b)    \
+        << "(" << (a) << " vs " << (b) << ") "
+#define MISS_CHECK_GT(a, b)                                             \
+  if ((a) > (b)) {                                                      \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " > " #b)     \
+        << "(" << (a) << " vs " << (b) << ") "
+#define MISS_CHECK_GE(a, b)                                             \
+  if ((a) >= (b)) {                                                     \
+  } else                                                                \
+    ::miss::internal::CheckFailure(__FILE__, __LINE__, #a " >= " #b)    \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // MISS_COMMON_CHECK_H_

@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace miss::common {
+
+double GetEnvDouble(const std::string& name, double default_value) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return default_value;
+  return parsed;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t default_value) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value) {
+  const char* value = std::getenv(name.c_str());
+  return value == nullptr ? default_value : std::string(value);
+}
+
+}  // namespace miss::common

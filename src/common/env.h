@@ -1,0 +1,23 @@
+// Helpers for reading experiment knobs from environment variables.
+//
+// Benches use MISS_SCALE / MISS_EPOCHS / MISS_SEEDS so the whole suite can be
+// scaled up or down without recompiling (see DESIGN.md section 2).
+
+#ifndef MISS_COMMON_ENV_H_
+#define MISS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace miss::common {
+
+// Returns the value of `name` parsed as the requested type, or
+// `default_value` when unset or unparseable.
+double GetEnvDouble(const std::string& name, double default_value);
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value);
+
+}  // namespace miss::common
+
+#endif  // MISS_COMMON_ENV_H_

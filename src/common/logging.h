@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: MISS_LOG(INFO) << "epoch " << epoch << " auc=" << auc;
+// Severity FATAL aborts after printing. The verbosity threshold can be
+// raised via SetMinLogLevel (benches use this to keep table output clean).
+
+#ifndef MISS_COMMON_LOGGING_H_
+#define MISS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace miss::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
+
+// Returns the current minimum level; messages below it are dropped.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace miss::common
+
+#define MISS_LOG_DEBUG                                      \
+  ::miss::common::internal::LogMessage(                     \
+      ::miss::common::LogLevel::kDebug, __FILE__, __LINE__)
+#define MISS_LOG_INFO                                       \
+  ::miss::common::internal::LogMessage(                     \
+      ::miss::common::LogLevel::kInfo, __FILE__, __LINE__)
+#define MISS_LOG_WARNING                                    \
+  ::miss::common::internal::LogMessage(                     \
+      ::miss::common::LogLevel::kWarning, __FILE__, __LINE__)
+#define MISS_LOG_FATAL                                      \
+  ::miss::common::internal::LogMessage(                     \
+      ::miss::common::LogLevel::kFatal, __FILE__, __LINE__)
+
+#define MISS_LOG(severity) MISS_LOG_##severity
+
+#endif  // MISS_COMMON_LOGGING_H_

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace miss::common {
+
+namespace {
+
+// SplitMix64: used only to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  MISS_CHECK_GT(n, 0);
+  // Rejection-free for our purposes: modulo bias is negligible for n << 2^64.
+  return static_cast<int64_t>(Next() % static_cast<uint64_t>(n));
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MISS_CHECK_LE(lo, hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  MISS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MISS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  MISS_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+}  // namespace miss::common

@@ -1,0 +1,33 @@
+#include "core/info_nce.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace miss::core {
+
+InfoNceResult InfoNce(const nn::Tensor& z1, const nn::Tensor& z2, float tau) {
+  MISS_CHECK_EQ(z1.ndim(), 2);
+  MISS_CHECK_EQ(z2.ndim(), 2);
+  MISS_CHECK_EQ(z1.dim(0), z2.dim(0));
+  MISS_CHECK_EQ(z1.dim(1), z2.dim(1));
+  MISS_CHECK_GT(tau, 0.0f);
+
+  nn::Tensor n1 = nn::RowL2Normalize(z1);
+  nn::Tensor n2 = nn::RowL2Normalize(z2);
+  // Cosine-similarity matrix [B, B], scaled by 1/tau.
+  nn::Tensor logits =
+      nn::MulScalar(nn::MatMul(n1, nn::TransposeLast2(n2)), 1.0f / tau);
+
+  InfoNceResult result;
+  result.loss = nn::DiagonalNllFromLogits(logits);
+
+  const int64_t b_dim = z1.dim(0);
+  double sim = 0.0;
+  for (int64_t b = 0; b < b_dim; ++b) {
+    sim += logits.at(b * b_dim + b) * tau;
+  }
+  result.mean_positive_similarity = sim / static_cast<double>(b_dim);
+  return result;
+}
+
+}  // namespace miss::core

@@ -1,0 +1,25 @@
+// InfoNCE contrastive loss (van den Oord et al., 2018), as instantiated in
+// the paper's Eq. (15)/(16): cosine-similarity logits with temperature tau,
+// positives on the diagonal, in-batch negatives.
+
+#ifndef MISS_CORE_INFO_NCE_H_
+#define MISS_CORE_INFO_NCE_H_
+
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace miss::core {
+
+struct InfoNceResult {
+  nn::Tensor loss;  // scalar
+  // Mean cosine similarity of the positive (diagonal) pairs.
+  double mean_positive_similarity = 0.0;
+};
+
+// z1, z2: [B, d] encoded views; positives are (z1[b], z2[b]).
+InfoNceResult InfoNce(const nn::Tensor& z1, const nn::Tensor& z2, float tau);
+
+}  // namespace miss::core
+
+#endif  // MISS_CORE_INFO_NCE_H_

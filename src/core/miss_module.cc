@@ -1,0 +1,384 @@
+#include "core/miss_module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/info_nce.h"
+#include "nn/ops.h"
+
+namespace miss::core {
+
+MissConfig MissConfig::WithoutF() {
+  MissConfig c;
+  c.fine_grained = false;
+  return c;
+}
+
+MissConfig MissConfig::WithoutFU() {
+  MissConfig c = WithoutF();
+  c.union_wise = false;
+  return c;
+}
+
+MissConfig MissConfig::WithoutFL() {
+  MissConfig c = WithoutF();
+  c.long_range = false;
+  return c;
+}
+
+MissConfig MissConfig::WithoutFUL() {
+  MissConfig c = WithoutFU();
+  c.long_range = false;
+  return c;
+}
+
+MissConfig MissConfig::WithoutMFUL() {
+  MissConfig c = WithoutFUL();
+  c.multi_interest = false;
+  return c;
+}
+
+MissModule::MissModule(const data::DatasetSchema& schema,
+                       int64_t embedding_dim, const MissConfig& config)
+    : config_(config),
+      j_dim_(schema.num_sequential()),
+      k_dim_(embedding_dim),
+      rng_(config.seed) {
+  const int64_t m_eff = config_.union_wise ? config_.M : 1;
+  for (int64_t m = 1; m <= m_eff; ++m) {
+    // Initialized near an averaging filter so early interest representations
+    // are meaningful behavior aggregates.
+    nn::Tensor kernel = nn::Tensor::RandomNormal({m}, 0.1f, rng_,
+                                                 /*requires_grad=*/true);
+    for (int64_t i = 0; i < m; ++i) {
+      kernel.set(i, kernel.at(i) + 1.0f / static_cast<float>(m));
+    }
+    horizontal_kernels_.push_back(AddParameter(kernel));
+  }
+  const int64_t n_eff = std::min<int64_t>(config_.N, j_dim_);
+  for (int64_t n = 1; n <= n_eff; ++n) {
+    nn::Tensor kernel = nn::Tensor::RandomNormal({n}, 0.1f, rng_,
+                                                 /*requires_grad=*/true);
+    for (int64_t i = 0; i < n; ++i) {
+      kernel.set(i, kernel.at(i) + 1.0f / static_cast<float>(n));
+    }
+    vertical_kernels_.push_back(AddParameter(kernel));
+  }
+
+  // Enc^i: input is a flattened interest representation t in R^{JK}.
+  if (config_.interest_encoder == MissConfig::EncoderKind::kTransformer) {
+    // Future-work variant: self-attention over the J field views followed
+    // by a projection to the encoder output width.
+    enc_i_attention_ = std::make_unique<nn::MultiHeadSelfAttention>(
+        k_dim_, /*num_heads=*/1, /*residual=*/true, rng_);
+    RegisterChild(enc_i_attention_.get());
+    enc_i_projection_ = std::make_unique<nn::Linear>(
+        k_dim_, config_.enc_i_hidden.back(), rng_);
+    RegisterChild(enc_i_projection_.get());
+  } else {
+    std::vector<int64_t> enc_i_dims = {j_dim_ * k_dim_};
+    enc_i_dims.insert(enc_i_dims.end(), config_.enc_i_hidden.begin(),
+                      config_.enc_i_hidden.end());
+    enc_i_ = std::make_unique<nn::Mlp>(enc_i_dims, nn::Activation::kRelu,
+                                       nn::Activation::kNone, rng_);
+    RegisterChild(enc_i_.get());
+  }
+
+  // Enc^if: input is a single feature-level representation r in R^K.
+  std::vector<int64_t> enc_if_dims = {k_dim_};
+  enc_if_dims.insert(enc_if_dims.end(), config_.enc_if_hidden.begin(),
+                     config_.enc_if_hidden.end());
+  enc_if_ = std::make_unique<nn::Mlp>(enc_if_dims, nn::Activation::kRelu,
+                                      nn::Activation::kNone, rng_);
+  RegisterChild(enc_if_.get());
+
+  if (config_.extractor == MissConfig::Extractor::kSelfAttention) {
+    sa_extractor_ = std::make_unique<nn::MultiHeadSelfAttention>(
+        j_dim_ * k_dim_, /*num_heads=*/2, /*residual=*/false, rng_);
+    RegisterChild(sa_extractor_.get());
+  } else if (config_.extractor == MissConfig::Extractor::kLstm) {
+    lstm_extractor_ = std::make_unique<nn::LstmRunner>(
+        j_dim_ * k_dim_, j_dim_ * k_dim_, rng_);
+    RegisterChild(lstm_extractor_.get());
+  }
+}
+
+std::string MissModule::name() const {
+  switch (config_.extractor) {
+    case MissConfig::Extractor::kSelfAttention:
+      return "MISS-SA";
+    case MissConfig::Extractor::kLstm:
+      return "MISS-LSTM";
+    case MissConfig::Extractor::kCnn:
+      break;
+  }
+  std::string suffix;
+  if (!config_.multi_interest) suffix += "/M";
+  if (!config_.fine_grained) suffix += "/F";
+  if (!config_.union_wise) suffix += "/U";
+  if (!config_.long_range) suffix += "/L";
+  return "MISS" + suffix;
+}
+
+int64_t MissModule::InterestCount(int64_t len) const {
+  int64_t total = 0;
+  for (const nn::Tensor& kernel : horizontal_kernels_) {
+    const int64_t m = kernel.dim(0);
+    if (len >= m) total += len - m + 1;
+  }
+  return total;
+}
+
+int64_t MissModule::FeatureRepresentationCount() const {
+  int64_t total = 0;
+  for (const nn::Tensor& kernel : vertical_kernels_) {
+    total += j_dim_ - kernel.dim(0) + 1;
+  }
+  return total;
+}
+
+int64_t MissModule::SampleDistanceUnits(int64_t max_units) {
+  if (max_units <= 1) return 1;
+  if (config_.distance_distribution ==
+      MissConfig::DistanceDistribution::kGaussian) {
+    const double stddev = static_cast<double>(config_.H) / 2.0;
+    const int64_t h = static_cast<int64_t>(
+        std::llround(std::abs(rng_.Normal(0.0, stddev))));
+    return std::clamp<int64_t>(h, 1, max_units);
+  }
+  return rng_.UniformInt(1, max_units);
+}
+
+nn::Tensor MissModule::EncodeInterestView(const nn::Tensor& view) const {
+  if (config_.interest_encoder == MissConfig::EncoderKind::kTransformer) {
+    const int64_t b_dim = view.dim(0);
+    nn::Tensor tokens = nn::Reshape(view, {b_dim, j_dim_, k_dim_});
+    nn::Tensor attended = enc_i_attention_->Forward(tokens, /*mask=*/{});
+    return enc_i_projection_->Forward(nn::MeanAxis(attended, /*axis=*/1));
+  }
+  return enc_i_->Forward(view);
+}
+
+std::vector<nn::Tensor> MissModule::ExtractInterests(const nn::Tensor& c) {
+  std::vector<nn::Tensor> interests;
+  interests.reserve(horizontal_kernels_.size());
+  for (const nn::Tensor& kernel : horizontal_kernels_) {
+    interests.push_back(nn::Relu(nn::HorizontalConv(c, kernel)));
+  }
+  return interests;
+}
+
+MissModule::ViewPair MissModule::SampleInterestPair(
+    const std::vector<nn::Tensor>& interests, const data::Batch& batch) {
+  // RS^i (Eq. 21): one branch per draw; per sample, positions (l, l+h) with
+  // h uniform in [1, H] (clamped by the sample's valid window).
+  const int64_t branch =
+      rng_.UniformInt(static_cast<int64_t>(interests.size()));
+  const nn::Tensor& g = interests[branch];
+  const int64_t m = horizontal_kernels_[branch].dim(0);
+  const int64_t l_out = g.dim(2);
+
+  const int64_t b_dim = batch.batch_size;
+  std::vector<int64_t> first(b_dim, 0);
+  std::vector<int64_t> second(b_dim, 0);
+  const int64_t stride = config_.stride_by_kernel ? m : 1;
+  const int64_t max_h = (config_.long_range ? config_.H : 1) * stride;
+  for (int64_t b = 0; b < b_dim; ++b) {
+    // Valid interest positions for this sample: windows fully inside the
+    // un-padded prefix (at least one position always exists).
+    const int64_t valid =
+        std::max<int64_t>(1, std::min(l_out, batch.lengths[b] - m + 1));
+    if (valid == 1) continue;  // degenerate: identical views at position 0
+    const int64_t h = std::min<int64_t>(
+        stride * SampleDistanceUnits(max_h / stride), valid - 1);
+    const int64_t l = rng_.UniformInt(valid - h);
+    first[b] = l;
+    second[b] = l + h;
+  }
+  return {nn::GatherInterest(g, first), nn::GatherInterest(g, second)};
+}
+
+MissModule::ViewPair MissModule::SampleFeaturePair(
+    const std::vector<nn::Tensor>& interests, const data::Batch& batch) {
+  // RS^if (Eq. 24): apply a vertical kernel to a random branch, then per
+  // sample pick one time position and two (distinct when possible) feature
+  // rows of the resulting fine-grained tensor.
+  const int64_t branch =
+      rng_.UniformInt(static_cast<int64_t>(interests.size()));
+  const int64_t v_branch =
+      rng_.UniformInt(static_cast<int64_t>(vertical_kernels_.size()));
+  const nn::Tensor& kernel = vertical_kernels_[v_branch];
+  nn::Tensor fine = nn::Relu(nn::VerticalConv(interests[branch], kernel));
+
+  const int64_t m = horizontal_kernels_[branch].dim(0);
+  const int64_t j_out = fine.dim(1);
+  const int64_t l_out = fine.dim(2);
+  const int64_t b_dim = batch.batch_size;
+
+  std::vector<int64_t> j1(b_dim, 0), j2(b_dim, 0), l_idx(b_dim, 0);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t valid =
+        std::max<int64_t>(1, std::min(l_out, batch.lengths[b] - m + 1));
+    l_idx[b] = rng_.UniformInt(valid);
+    if (j_out > 1) {
+      j1[b] = rng_.UniformInt(j_out);
+      j2[b] = rng_.UniformInt(j_out);
+      if (j2[b] == j1[b]) j2[b] = (j1[b] + 1) % j_out;
+    }
+  }
+  return {nn::GatherFeatureVector(fine, j1, l_idx),
+          nn::GatherFeatureVector(fine, j2, l_idx)};
+}
+
+MissModule::ViewPair MissModule::SampleLevelViews(const nn::Tensor& c,
+                                                  const data::Batch& batch) {
+  // Prior-work augmentation (Figure 1 styles, collapsed to dropout views of
+  // the whole-sequence representation). Used by the /M ablation.
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = c.dim(2);
+  std::vector<float> mask(b_dim * l_dim * 1, 0.0f);
+  std::vector<float> inv(b_dim, 0.0f);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    float count = 0.0f;
+    for (int64_t l = 0; l < l_dim; ++l) count += batch.seq_mask[b * l_dim + l];
+    inv[b] = count > 0 ? 1.0f / count : 0.0f;
+  }
+  // Mean over time of C: [B, J, L, K] -> [B, J, K] -> [B, J*K].
+  nn::Tensor pooled = nn::MeanAxis(c, /*axis=*/2);
+  // Rescale by L / valid_len to make the mean a masked mean.
+  std::vector<float> scale(b_dim);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    scale[b] = inv[b] * static_cast<float>(l_dim);
+  }
+  nn::Tensor scale_t =
+      nn::Tensor::FromData({b_dim, 1, 1}, std::move(scale));
+  pooled = nn::Reshape(nn::Mul(pooled, scale_t), {b_dim, j_dim_ * k_dim_});
+
+  nn::Tensor v1 = nn::Dropout(pooled, config_.sample_view_dropout,
+                              /*training=*/true, rng_);
+  nn::Tensor v2 = nn::Dropout(pooled, config_.sample_view_dropout,
+                              /*training=*/true, rng_);
+  return {v1, v2};
+}
+
+nn::Tensor MissModule::ExtractWithSelfAttention(const nn::Tensor& c,
+                                                const data::Batch& batch) {
+  const int64_t b_dim = c.dim(0);
+  const int64_t l_dim = c.dim(2);
+  // [B, J, L, K] -> [B, L, J*K]: per-position field concatenation.
+  std::vector<nn::Tensor> per_field;
+  per_field.reserve(j_dim_);
+  for (int64_t j = 0; j < j_dim_; ++j) {
+    per_field.push_back(
+        nn::Reshape(nn::Slice(c, 1, j, 1), {b_dim, l_dim, k_dim_}));
+  }
+  nn::Tensor seq = nn::Concat(per_field, /*axis=*/2);
+  return sa_extractor_->Forward(seq, batch.seq_mask);
+}
+
+nn::Tensor MissModule::ExtractWithLstm(const nn::Tensor& c,
+                                       const data::Batch& batch) {
+  const int64_t b_dim = c.dim(0);
+  const int64_t l_dim = c.dim(2);
+  std::vector<nn::Tensor> per_field;
+  per_field.reserve(j_dim_);
+  for (int64_t j = 0; j < j_dim_; ++j) {
+    per_field.push_back(
+        nn::Reshape(nn::Slice(c, 1, j, 1), {b_dim, l_dim, k_dim_}));
+  }
+  nn::Tensor seq = nn::Concat(per_field, /*axis=*/2);
+  return lstm_extractor_->Forward(seq, batch.seq_mask);
+}
+
+MissModule::ViewPair MissModule::SampleSequencePair(const nn::Tensor& reps,
+                                                    const data::Batch& batch) {
+  // reps: [B, L, D] per-position interest representations (SA/LSTM paths).
+  const int64_t b_dim = reps.dim(0);
+  const int64_t l_dim = reps.dim(1);
+  const int64_t d_dim = reps.dim(2);
+  nn::Tensor as4d = nn::Reshape(reps, {b_dim, 1, l_dim, d_dim});
+
+  std::vector<int64_t> first(b_dim, 0), second(b_dim, 0);
+  const int64_t max_h = config_.long_range ? config_.H : 1;
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t valid =
+        std::max<int64_t>(1, std::min<int64_t>(l_dim, batch.lengths[b]));
+    if (valid == 1) continue;
+    const int64_t h =
+        std::min<int64_t>(SampleDistanceUnits(max_h), valid - 1);
+    const int64_t l = rng_.UniformInt(valid - h);
+    first[b] = l;
+    second[b] = l + h;
+  }
+  return {nn::GatherInterest(as4d, first), nn::GatherInterest(as4d, second)};
+}
+
+SslLossResult MissModule::ComputeLoss(models::CtrModel& model,
+                                      const data::Batch& batch) {
+  SslLossResult result;
+  nn::Tensor c = model.embeddings().SequenceTensor(batch);  // [B, J, L, K]
+  MISS_CHECK_EQ(c.dim(1), j_dim_);
+  MISS_CHECK_EQ(c.dim(3), k_dim_);
+
+  double similarity_sum = 0.0;
+  int64_t similarity_count = 0;
+
+  if (!config_.multi_interest) {
+    // Sample-level SSL fallback (the /M variant).
+    ViewPair views = SampleLevelViews(c, batch);
+    InfoNceResult nce = InfoNce(EncodeInterestView(views.first),
+                                EncodeInterestView(views.second), config_.tau);
+    result.interest_loss = nce.loss;
+    result.mean_pair_similarity = nce.mean_positive_similarity;
+    return result;
+  }
+
+  // -- Interest-level branch (Eq. 9, 11, 13, 15) -------------------------------
+  std::vector<nn::Tensor> interests;  // CNN path only
+  nn::Tensor sequence_reps;           // SA/LSTM paths
+  if (config_.extractor == MissConfig::Extractor::kCnn) {
+    interests = ExtractInterests(c);
+  } else if (config_.extractor == MissConfig::Extractor::kSelfAttention) {
+    sequence_reps = ExtractWithSelfAttention(c, batch);
+  } else {
+    sequence_reps = ExtractWithLstm(c, batch);
+  }
+
+  nn::Tensor interest_loss;
+  for (int64_t p = 0; p < config_.P; ++p) {
+    ViewPair views = config_.extractor == MissConfig::Extractor::kCnn
+                         ? SampleInterestPair(interests, batch)
+                         : SampleSequencePair(sequence_reps, batch);
+    InfoNceResult nce = InfoNce(EncodeInterestView(views.first),
+                                EncodeInterestView(views.second), config_.tau);
+    interest_loss = interest_loss.defined()
+                        ? nn::Add(interest_loss, nce.loss)
+                        : nce.loss;
+    similarity_sum += nce.mean_positive_similarity;
+    ++similarity_count;
+  }
+  result.interest_loss =
+      nn::MulScalar(interest_loss, 1.0f / static_cast<float>(config_.P));
+
+  // -- Feature-level branch (Eq. 10, 12, 14, 16) -------------------------------
+  if (config_.fine_grained &&
+      config_.extractor == MissConfig::Extractor::kCnn) {
+    nn::Tensor feature_loss;
+    for (int64_t q = 0; q < config_.Q; ++q) {
+      ViewPair views = SampleFeaturePair(interests, batch);
+      InfoNceResult nce = InfoNce(enc_if_->Forward(views.first),
+                                  enc_if_->Forward(views.second), config_.tau);
+      feature_loss = feature_loss.defined() ? nn::Add(feature_loss, nce.loss)
+                                            : nce.loss;
+    }
+    result.feature_loss =
+        nn::MulScalar(feature_loss, 1.0f / static_cast<float>(config_.Q));
+  }
+
+  result.mean_pair_similarity =
+      similarity_count > 0 ? similarity_sum / similarity_count : 0.0;
+  return result;
+}
+
+}  // namespace miss::core

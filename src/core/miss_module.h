@@ -1,0 +1,170 @@
+// The MISS framework (paper Sections IV-V): CNN multi-interest extraction,
+// interest-level and fine-grained feature-level augmentation, view encoding,
+// and InfoNCE losses — packaged as a plug-in SslMethod.
+
+#ifndef MISS_CORE_MISS_MODULE_H_
+#define MISS_CORE_MISS_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ssl_method.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/rnn.h"
+
+namespace miss::core {
+
+struct MissConfig {
+  // Horizontal convolution branches g_1..g_M (Eq. 19). m = 1 captures
+  // point-wise interests; m > 1 union-wise interests.
+  int64_t M = 4;
+  // Vertical convolution branches (Eq. 22) for intra-item correlations.
+  int64_t N = 2;
+  // Maximum interest-dependency distance H for RS^i (Eq. 21).
+  int64_t H = 4;
+  // Number of interest-level view pairs P (Eq. 11) sampled per batch.
+  int64_t P = 6;
+  // Number of feature-level view pairs Q (Eq. 12) sampled per batch.
+  int64_t Q = 6;
+  // InfoNCE temperature (Figure 7 sweeps this; 0.1 is the paper's turning
+  // point).
+  float tau = 0.1f;
+
+  // -- Ablation toggles (Table VII) ------------------------------------------
+  // M practice: interest-level SSL. When false, augmentation degrades to the
+  // sample-level scheme of prior work (two dropout views of the pooled
+  // sequence representation) — the MISS/M/F/U/L variant.
+  bool multi_interest = true;
+  // U practice: union-wise representations. When false only the m = 1
+  // point-wise kernel is used.
+  bool union_wise = true;
+  // L practice: long-range dependencies. When false the pair distance h is
+  // fixed to 1 (adjacent views only).
+  bool long_range = true;
+  // F practice: fine-grained feature-level branch (MIMFE + Eq. 16). When
+  // false the feature loss is absent.
+  bool fine_grained = true;
+
+  // -- Extractor choice (Table VIII) ------------------------------------------
+  enum class Extractor { kCnn, kSelfAttention, kLstm };
+  Extractor extractor = Extractor::kCnn;
+
+  // -- Future-work extensions (Section V-B / IV-B3 of the paper) --------------
+  // Distribution of the interest-dependency distance h. The paper assumes
+  // uniform and names Gaussian as future work; both are provided. Gaussian
+  // draws |round(N(0, H/2))| clamped to [1, H], biasing toward short-range
+  // dependencies while keeping a long-range tail.
+  enum class DistanceDistribution { kUniform, kGaussian };
+  DistanceDistribution distance_distribution = DistanceDistribution::kUniform;
+  // View encoder structure. The paper uses MLPs and names Transformer
+  // encoders as future work; kTransformer encodes the J field views of an
+  // interest representation with one self-attention layer before projecting.
+  enum class EncoderKind { kMlp, kTransformer };
+  EncoderKind interest_encoder = EncoderKind::kMlp;
+
+  // Encoder hidden sizes (paper: {20, 20} and {10, 10}).
+  std::vector<int64_t> enc_i_hidden = {20, 20};
+  std::vector<int64_t> enc_if_hidden = {10, 10};
+
+  // When true, RS^i measures the pair distance h in units of the kernel
+  // width m (so sampled windows never overlap and the contrastive task
+  // cannot be solved by shared-item identity alone).
+  bool stride_by_kernel = true;
+
+  // Dropout used by the sample-level fallback views.
+  float sample_view_dropout = 0.2f;
+
+  uint64_t seed = 97;
+
+  // Named variants from Table VII.
+  static MissConfig Full() { return MissConfig(); }
+  static MissConfig WithoutF();
+  static MissConfig WithoutFU();
+  static MissConfig WithoutFL();
+  static MissConfig WithoutFUL();
+  static MissConfig WithoutMFUL();
+};
+
+class MissModule : public nn::Module, public SslMethod {
+ public:
+  // `schema` must match the batches later passed to ComputeLoss; it fixes
+  // J (field count) and hence the encoder input sizes.
+  MissModule(const data::DatasetSchema& schema, int64_t embedding_dim,
+             const MissConfig& config);
+
+  SslLossResult ComputeLoss(models::CtrModel& model,
+                            const data::Batch& batch) override;
+
+  std::vector<nn::Tensor> TrainableParameters() const override {
+    return Parameters();
+  }
+
+  std::string name() const override;
+
+  const MissConfig& config() const { return config_; }
+
+  // |T| for a given valid length (Eq. 20): sum over m of (len - m + 1).
+  int64_t InterestCount(int64_t len) const;
+  // Omega (Eq. 23): sum over n of (J - n + 1).
+  int64_t FeatureRepresentationCount() const;
+
+  // The convolution kernels g_m / g_hat_n (exposed for tests and analysis).
+  const std::vector<nn::Tensor>& horizontal_kernels() const {
+    return horizontal_kernels_;
+  }
+  const std::vector<nn::Tensor>& vertical_kernels() const {
+    return vertical_kernels_;
+  }
+
+ private:
+  struct ViewPair {
+    nn::Tensor first;   // [B, d]
+    nn::Tensor second;  // [B, d]
+  };
+
+  // Interest sequences per horizontal branch: G_m = ReLU(C * g_m).
+  std::vector<nn::Tensor> ExtractInterests(const nn::Tensor& c);
+  // One RS^i draw (Eq. 21) across the batch from branch G_m.
+  ViewPair SampleInterestPair(const std::vector<nn::Tensor>& interests,
+                              const data::Batch& batch);
+  // One RS^if draw (Eq. 24).
+  ViewPair SampleFeaturePair(const std::vector<nn::Tensor>& interests,
+                             const data::Batch& batch);
+  // Sample-level fallback used when multi_interest is off.
+  ViewPair SampleLevelViews(const nn::Tensor& c, const data::Batch& batch);
+
+  // Alternative extractors (Table VIII): sequences of per-position interest
+  // representations [B, L, J*K].
+  nn::Tensor ExtractWithSelfAttention(const nn::Tensor& c,
+                                      const data::Batch& batch);
+  nn::Tensor ExtractWithLstm(const nn::Tensor& c, const data::Batch& batch);
+  ViewPair SampleSequencePair(const nn::Tensor& reps,
+                              const data::Batch& batch);
+
+  MissConfig config_;
+  int64_t j_dim_;
+  int64_t k_dim_;
+  common::Rng rng_;
+
+  // Samples a distance according to config_.distance_distribution.
+  int64_t SampleDistanceUnits(int64_t max_units);
+  // Applies Enc^i (MLP or Transformer variant) to a [B, J*K] view.
+  nn::Tensor EncodeInterestView(const nn::Tensor& view) const;
+
+  std::vector<nn::Tensor> horizontal_kernels_;  // g_m, m = 1..M_eff
+  std::vector<nn::Tensor> vertical_kernels_;    // g_n, n = 1..N_eff
+  std::unique_ptr<nn::Mlp> enc_i_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> enc_i_attention_;
+  std::unique_ptr<nn::Linear> enc_i_projection_;
+  std::unique_ptr<nn::Mlp> enc_if_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> sa_extractor_;
+  std::unique_ptr<nn::LstmRunner> lstm_extractor_;
+};
+
+}  // namespace miss::core
+
+#endif  // MISS_CORE_MISS_MODULE_H_

@@ -1,0 +1,260 @@
+#include "core/ssl_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "core/info_nce.h"
+#include "nn/ops.h"
+
+namespace miss::core {
+
+namespace {
+
+// Position-dependent base weight making pooled views order-sensitive (so the
+// reorder augmentation is not a no-op under pooling).
+float RecencyWeight(int64_t l) {
+  return std::exp(0.08f * static_cast<float>(l));
+}
+
+// By convention sequence field 0 is the item-id sequence and field 1 (when
+// present) the category sequence.
+constexpr int kItemSeq = 0;
+constexpr int kCategorySeq = 1;
+
+}  // namespace
+
+SequenceSslBase::SequenceSslBase(int64_t embedding_dim, float tau,
+                                 uint64_t seed)
+    : tau_(tau), rng_(seed) {
+  encoder_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{embedding_dim, 20, 20}, nn::Activation::kRelu,
+      nn::Activation::kNone, rng_);
+  RegisterChild(encoder_.get());
+}
+
+nn::Tensor SequenceSslBase::PoolPositions(
+    const nn::Tensor& seq, const std::vector<float>& weights) const {
+  const int64_t b_dim = seq.dim(0);
+  const int64_t l_dim = seq.dim(1);
+  MISS_CHECK_EQ(static_cast<int64_t>(weights.size()), b_dim * l_dim);
+  std::vector<float> normalized(weights);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    float total = 0.0f;
+    for (int64_t l = 0; l < l_dim; ++l) total += normalized[b * l_dim + l];
+    if (total <= 0.0f) continue;
+    for (int64_t l = 0; l < l_dim; ++l) normalized[b * l_dim + l] /= total;
+  }
+  nn::Tensor w =
+      nn::Tensor::FromData({b_dim, l_dim, 1}, std::move(normalized));
+  return nn::SumAxis(nn::Mul(w, seq), /*axis=*/1);
+}
+
+nn::Tensor SequenceSslBase::Encode(const nn::Tensor& view) const {
+  return encoder_->Forward(view);
+}
+
+// ----------------------------------------------------------------------------
+// Rule-based SSL
+// ----------------------------------------------------------------------------
+
+RuleSsl::RuleSsl(int64_t embedding_dim, float tau, uint64_t seed,
+                 float dropout)
+    : SequenceSslBase(embedding_dim, tau, seed), dropout_(dropout) {}
+
+SslLossResult RuleSsl::ComputeLoss(models::CtrModel& model,
+                                   const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  const int64_t j_dim = batch.num_seq;
+  nn::Tensor item_seq =
+      model.embeddings().SequenceEmbeddings(batch, kItemSeq);
+
+  // Segment by category: keep the user's dominant category.
+  const int cat_seq = j_dim > 1 ? kCategorySeq : kItemSeq;
+  std::vector<float> weights(b_dim * l_dim, 0.0f);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    std::unordered_map<int64_t, int64_t> counts;
+    for (int64_t l = 0; l < l_dim; ++l) {
+      if (batch.seq_mask[b * l_dim + l] == 0.0f) continue;
+      ++counts[batch.seq[(b * j_dim + cat_seq) * l_dim + l]];
+    }
+    int64_t best = -1;
+    int64_t best_count = 0;
+    for (const auto& [cat, count] : counts) {
+      if (count > best_count) {
+        best = cat;
+        best_count = count;
+      }
+    }
+    for (int64_t l = 0; l < l_dim; ++l) {
+      if (batch.seq_mask[b * l_dim + l] == 0.0f) continue;
+      if (batch.seq[(b * j_dim + cat_seq) * l_dim + l] == best) {
+        weights[b * l_dim + l] = RecencyWeight(l);
+      }
+    }
+  }
+
+  nn::Tensor pooled = PoolPositions(item_seq, weights);
+  nn::Tensor v1 = nn::Dropout(pooled, dropout_, /*training=*/true, rng_);
+  nn::Tensor v2 = nn::Dropout(pooled, dropout_, /*training=*/true, rng_);
+  InfoNceResult nce = InfoNce(Encode(v1), Encode(v2), tau_);
+  SslLossResult result;
+  result.interest_loss = nce.loss;
+  result.mean_pair_similarity = nce.mean_positive_similarity;
+  return result;
+}
+
+// ----------------------------------------------------------------------------
+// IRSSL
+// ----------------------------------------------------------------------------
+
+IrsslSsl::IrsslSsl(const data::DatasetSchema& schema, int64_t embedding_dim,
+                   float tau, uint64_t seed)
+    : tau_(tau), rng_(seed) {
+  // Candidate-side fields: everything except the user id (field 0).
+  for (int i = 1; i < schema.num_categorical(); ++i) item_fields_.push_back(i);
+  MISS_CHECK(!item_fields_.empty());
+  encoder_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{
+          static_cast<int64_t>(item_fields_.size()) * embedding_dim, 20, 20},
+      nn::Activation::kRelu, nn::Activation::kNone, rng_);
+  RegisterChild(encoder_.get());
+}
+
+SslLossResult IrsslSsl::ComputeLoss(models::CtrModel& model,
+                                    const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  // Complementary random feature masking: each item field goes to exactly
+  // one of the two views.
+  std::vector<float> keep1(item_fields_.size());
+  for (auto& k : keep1) k = rng_.Bernoulli(0.5) ? 1.0f : 0.0f;
+  // Guarantee both views are non-empty when >= 2 fields exist.
+  if (item_fields_.size() >= 2) {
+    keep1[0] = 1.0f;
+    keep1[1] = 0.0f;
+  }
+
+  std::vector<nn::Tensor> parts1, parts2;
+  for (size_t f = 0; f < item_fields_.size(); ++f) {
+    nn::Tensor emb = model.embeddings().FieldEmbedding(batch, item_fields_[f]);
+    nn::Tensor m1 = nn::Tensor::Full({1}, keep1[f]);
+    nn::Tensor m2 = nn::Tensor::Full({1}, 1.0f - keep1[f]);
+    parts1.push_back(nn::Mul(emb, m1));
+    parts2.push_back(nn::Mul(emb, m2));
+  }
+  nn::Tensor v1 = nn::Concat(parts1, /*axis=*/1);
+  nn::Tensor v2 = nn::Concat(parts2, /*axis=*/1);
+  InfoNceResult nce =
+      InfoNce(encoder_->Forward(v1), encoder_->Forward(v2), tau_);
+  SslLossResult result;
+  result.interest_loss = nce.loss;
+  result.mean_pair_similarity = nce.mean_positive_similarity;
+  (void)b_dim;
+  return result;
+}
+
+// ----------------------------------------------------------------------------
+// S3Rec (sequence-segment MIM)
+// ----------------------------------------------------------------------------
+
+S3RecSsl::S3RecSsl(int64_t embedding_dim, float tau, uint64_t seed)
+    : SequenceSslBase(embedding_dim, tau, seed) {}
+
+SslLossResult S3RecSsl::ComputeLoss(models::CtrModel& model,
+                                    const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  nn::Tensor item_seq =
+      model.embeddings().SequenceEmbeddings(batch, kItemSeq);
+
+  std::vector<float> seg(b_dim * l_dim, 0.0f);
+  std::vector<float> rest(b_dim * l_dim, 0.0f);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t valid = std::max<int64_t>(1, batch.lengths[b]);
+    const int64_t seg_len =
+        std::max<int64_t>(1, rng_.UniformInt(1, std::max<int64_t>(1, valid / 2)));
+    const int64_t start = rng_.UniformInt(valid - seg_len + 1);
+    for (int64_t l = 0; l < valid && l < l_dim; ++l) {
+      const bool in_segment = (l >= start && l < start + seg_len);
+      (in_segment ? seg : rest)[b * l_dim + l] = RecencyWeight(l);
+    }
+  }
+  InfoNceResult nce = InfoNce(Encode(PoolPositions(item_seq, seg)),
+                              Encode(PoolPositions(item_seq, rest)), tau_);
+  SslLossResult result;
+  result.interest_loss = nce.loss;
+  result.mean_pair_similarity = nce.mean_positive_similarity;
+  return result;
+}
+
+// ----------------------------------------------------------------------------
+// CL4SRec
+// ----------------------------------------------------------------------------
+
+Cl4SrecSsl::Cl4SrecSsl(int64_t embedding_dim, float tau, uint64_t seed)
+    : SequenceSslBase(embedding_dim, tau, seed) {}
+
+void Cl4SrecSsl::Augment(int64_t valid_len, int64_t l_dim, float* weights) {
+  for (int64_t l = 0; l < valid_len && l < l_dim; ++l) {
+    weights[l] = RecencyWeight(l);
+  }
+  const int64_t op = rng_.UniformInt(3);
+  if (op == 0) {
+    // Crop: keep a contiguous window of 60-80% of the sequence.
+    const double ratio = rng_.Uniform(0.6, 0.8);
+    const int64_t keep =
+        std::max<int64_t>(1, static_cast<int64_t>(valid_len * ratio));
+    const int64_t start = rng_.UniformInt(valid_len - keep + 1);
+    for (int64_t l = 0; l < valid_len; ++l) {
+      if (l < start || l >= start + keep) weights[l] = 0.0f;
+    }
+  } else if (op == 1) {
+    // Mask: drop 30% of positions (keeping at least one).
+    int64_t kept = valid_len;
+    for (int64_t l = 0; l < valid_len && kept > 1; ++l) {
+      if (rng_.Bernoulli(0.3)) {
+        weights[l] = 0.0f;
+        --kept;
+      }
+    }
+  } else {
+    // Reorder: shuffle a window covering ~30% of the sequence. Under the
+    // recency-weighted pooling this permutes which items carry which weight.
+    const int64_t win =
+        std::max<int64_t>(2, static_cast<int64_t>(valid_len * 0.3));
+    if (valid_len >= 2) {
+      const int64_t len = std::min(win, valid_len);
+      const int64_t start = rng_.UniformInt(valid_len - len + 1);
+      for (int64_t l = len - 1; l > 0; --l) {
+        const int64_t other = rng_.UniformInt(l + 1);
+        std::swap(weights[start + l], weights[start + other]);
+      }
+    }
+  }
+}
+
+SslLossResult Cl4SrecSsl::ComputeLoss(models::CtrModel& model,
+                                      const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  nn::Tensor item_seq =
+      model.embeddings().SequenceEmbeddings(batch, kItemSeq);
+
+  std::vector<float> w1(b_dim * l_dim, 0.0f);
+  std::vector<float> w2(b_dim * l_dim, 0.0f);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t valid = std::max<int64_t>(1, batch.lengths[b]);
+    Augment(valid, l_dim, w1.data() + b * l_dim);
+    Augment(valid, l_dim, w2.data() + b * l_dim);
+  }
+  InfoNceResult nce = InfoNce(Encode(PoolPositions(item_seq, w1)),
+                              Encode(PoolPositions(item_seq, w2)), tau_);
+  SslLossResult result;
+  result.interest_loss = nce.loss;
+  result.mean_pair_similarity = nce.mean_positive_similarity;
+  return result;
+}
+
+}  // namespace miss::core

@@ -1,0 +1,118 @@
+// Competing self-supervised methods used in the superiority analysis
+// (Table VI): rule-based category segmentation, IRSSL feature masking,
+// S3Rec sequence-segment MIM, and CL4SRec crop/mask/reorder.
+//
+// Each is adapted to the CTR setting the same way the paper does: the
+// auxiliary InfoNCE loss is computed on views derived from the sample's
+// behavior sequence (or feature set) and back-propagates into the shared
+// embedding tables.
+
+#ifndef MISS_CORE_SSL_BASELINES_H_
+#define MISS_CORE_SSL_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ssl_method.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace miss::core {
+
+// Shared scaffolding: an encoder MLP over pooled sequence views + InfoNCE.
+class SequenceSslBase : public nn::Module, public SslMethod {
+ public:
+  SequenceSslBase(int64_t embedding_dim, float tau, uint64_t seed);
+
+  std::vector<nn::Tensor> TrainableParameters() const override {
+    return Parameters();
+  }
+
+ protected:
+  // Recency-weighted masked mean over selected positions; `weights` is a
+  // [B, L] buffer (zeros drop a position). Order-sensitive so that reorder
+  // augmentations are not no-ops.
+  nn::Tensor PoolPositions(const nn::Tensor& seq,
+                           const std::vector<float>& weights) const;
+
+  // Encodes a [B, K] view and returns it.
+  nn::Tensor Encode(const nn::Tensor& view) const;
+
+  float tau_;
+  common::Rng rng_;
+
+ private:
+  std::unique_ptr<nn::Mlp> encoder_;
+};
+
+// Rule-based SSL: segment the behavior sequence by item category, take the
+// user's dominant category segment, and contrast two dropout views of its
+// pooled representation.
+class RuleSsl : public SequenceSslBase {
+ public:
+  RuleSsl(int64_t embedding_dim, float tau, uint64_t seed,
+          float dropout = 0.3f);
+
+  SslLossResult ComputeLoss(models::CtrModel& model,
+                            const data::Batch& batch) override;
+  std::string name() const override { return "Rule"; }
+
+ private:
+  float dropout_;
+};
+
+// IRSSL (Yao et al., 2021): two complementary random maskings of the item's
+// categorical features; the views are the concatenated surviving field
+// embeddings. Loses efficacy when few item features exist — exactly the
+// paper's observation.
+class IrsslSsl : public nn::Module, public SslMethod {
+ public:
+  IrsslSsl(const data::DatasetSchema& schema, int64_t embedding_dim,
+           float tau, uint64_t seed);
+
+  SslLossResult ComputeLoss(models::CtrModel& model,
+                            const data::Batch& batch) override;
+  std::vector<nn::Tensor> TrainableParameters() const override {
+    return Parameters();
+  }
+  std::string name() const override { return "IRSSL"; }
+
+ private:
+  float tau_;
+  common::Rng rng_;
+  std::vector<int> item_fields_;  // candidate-side categorical fields
+  std::unique_ptr<nn::Mlp> encoder_;
+};
+
+// S3Rec (Zhou et al., CIKM 2020), sequence-segment MIM variant: contrast a
+// random in-sequence segment with the rest of the sequence.
+class S3RecSsl : public SequenceSslBase {
+ public:
+  S3RecSsl(int64_t embedding_dim, float tau, uint64_t seed);
+
+  SslLossResult ComputeLoss(models::CtrModel& model,
+                            const data::Batch& batch) override;
+  std::string name() const override { return "S3Rec"; }
+};
+
+// CL4SRec (Xie et al., 2020): two independent augmentations drawn from
+// {crop, mask, reorder} applied to the whole behavior sequence.
+class Cl4SrecSsl : public SequenceSslBase {
+ public:
+  Cl4SrecSsl(int64_t embedding_dim, float tau, uint64_t seed);
+
+  SslLossResult ComputeLoss(models::CtrModel& model,
+                            const data::Batch& batch) override;
+  std::string name() const override { return "CL4SRec"; }
+
+ private:
+  // Fills `weights` (length L) for one sample according to one random
+  // augmentation operator.
+  void Augment(int64_t valid_len, int64_t l_dim, float* weights);
+};
+
+}  // namespace miss::core
+
+#endif  // MISS_CORE_SSL_BASELINES_H_

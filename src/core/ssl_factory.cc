@@ -1,0 +1,36 @@
+#include "core/ssl_factory.h"
+
+#include "common/check.h"
+#include "core/ssl_baselines.h"
+
+namespace miss::core {
+
+std::unique_ptr<SslMethod> CreateSslMethod(const std::string& name,
+                                           const data::DatasetSchema& schema,
+                                           int64_t embedding_dim, float tau,
+                                           uint64_t seed,
+                                           const MissConfig& miss_config) {
+  if (name.empty() || name == "none") return nullptr;
+  if (name == "miss") {
+    MissConfig config = miss_config;
+    config.tau = tau;
+    config.seed = seed;
+    return std::make_unique<MissModule>(schema, embedding_dim, config);
+  }
+  if (name == "rule") {
+    return std::make_unique<RuleSsl>(embedding_dim, tau, seed);
+  }
+  if (name == "irssl") {
+    return std::make_unique<IrsslSsl>(schema, embedding_dim, tau, seed);
+  }
+  if (name == "s3rec") {
+    return std::make_unique<S3RecSsl>(embedding_dim, tau, seed);
+  }
+  if (name == "cl4srec") {
+    return std::make_unique<Cl4SrecSsl>(embedding_dim, tau, seed);
+  }
+  MISS_CHECK(false) << "unknown ssl method: " << name;
+  return nullptr;
+}
+
+}  // namespace miss::core

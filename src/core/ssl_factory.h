@@ -1,0 +1,25 @@
+// Creates SSL methods by name for the experiment harness.
+
+#ifndef MISS_CORE_SSL_FACTORY_H_
+#define MISS_CORE_SSL_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/miss_module.h"
+#include "core/ssl_method.h"
+#include "data/schema.h"
+
+namespace miss::core {
+
+// names: "miss" (uses `miss_config`), "rule", "irssl", "s3rec", "cl4srec".
+// Returns nullptr for "" / "none" (plain CTR training).
+std::unique_ptr<SslMethod> CreateSslMethod(const std::string& name,
+                                           const data::DatasetSchema& schema,
+                                           int64_t embedding_dim, float tau,
+                                           uint64_t seed,
+                                           const MissConfig& miss_config);
+
+}  // namespace miss::core
+
+#endif  // MISS_CORE_SSL_FACTORY_H_

@@ -1,0 +1,45 @@
+// Interface for auxiliary self-supervised learning components that plug into
+// CTR training (paper Section IV-C). MISS and all the competing SSL methods
+// of Table VI implement this.
+
+#ifndef MISS_CORE_SSL_METHOD_H_
+#define MISS_CORE_SSL_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/ctr_model.h"
+#include "nn/tensor.h"
+
+namespace miss::core {
+
+struct SslLossResult {
+  // Interest-level contrastive loss, Eq. (15). Undefined tensor = absent.
+  nn::Tensor interest_loss;
+  // Feature-level contrastive loss, Eq. (16). Undefined tensor = absent.
+  nn::Tensor feature_loss;
+  // Mean cosine similarity of the positive view pairs produced this step
+  // (the quantity plotted in Figure 5).
+  double mean_pair_similarity = 0.0;
+};
+
+class SslMethod {
+ public:
+  virtual ~SslMethod() = default;
+
+  // Computes the auxiliary losses for one batch. The returned graph shares
+  // embedding nodes with `model` so gradients flow into the shared tables.
+  virtual SslLossResult ComputeLoss(models::CtrModel& model,
+                                    const data::Batch& batch) = 0;
+
+  // Parameters owned by the SSL component itself (encoders, kernels), to be
+  // optimized jointly with the model.
+  virtual std::vector<nn::Tensor> TrainableParameters() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace miss::core
+
+#endif  // MISS_CORE_SSL_METHOD_H_

@@ -1,0 +1,73 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace miss::data {
+
+Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  const DatasetSchema& schema = dataset.schema;
+  Batch batch;
+  batch.batch_size = static_cast<int64_t>(indices.size());
+  batch.num_cat = schema.num_categorical();
+  batch.num_seq = schema.num_sequential();
+  batch.seq_len = schema.max_seq_len;
+
+  const int64_t b_dim = batch.batch_size;
+  const int64_t i_dim = batch.num_cat;
+  const int64_t j_dim = batch.num_seq;
+  const int64_t l_dim = batch.seq_len;
+
+  batch.cat.assign(b_dim * i_dim, 0);
+  batch.seq.assign(b_dim * j_dim * l_dim, -1);
+  batch.seq_mask.assign(b_dim * l_dim, 0.0f);
+  batch.labels.assign(b_dim, 0.0f);
+  batch.lengths.assign(b_dim, 0);
+
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const Sample& s = dataset.samples[indices[b]];
+    MISS_CHECK_EQ(static_cast<int64_t>(s.cat.size()), i_dim);
+    MISS_CHECK_EQ(static_cast<int64_t>(s.seq.size()), j_dim);
+    for (int64_t i = 0; i < i_dim; ++i) batch.cat[b * i_dim + i] = s.cat[i];
+
+    // Keep the most recent l_dim behaviors; all J sequences are aligned.
+    const int64_t history = static_cast<int64_t>(s.seq.empty()
+                                                     ? 0
+                                                     : s.seq[0].size());
+    const int64_t keep = std::min(history, l_dim);
+    const int64_t skip = history - keep;
+    batch.lengths[b] = keep;
+    for (int64_t j = 0; j < j_dim; ++j) {
+      MISS_CHECK_EQ(static_cast<int64_t>(s.seq[j].size()), history)
+          << "sequential fields must be time-aligned";
+      for (int64_t l = 0; l < keep; ++l) {
+        batch.seq[(b * j_dim + j) * l_dim + l] = s.seq[j][skip + l];
+      }
+    }
+    for (int64_t l = 0; l < keep; ++l) batch.seq_mask[b * l_dim + l] = 1.0f;
+    batch.labels[b] = s.label;
+  }
+  return batch;
+}
+
+BatchPlan::BatchPlan(int64_t dataset_size, int64_t batch_size)
+    : order_(dataset_size), batch_size_(batch_size) {
+  MISS_CHECK_GT(batch_size, 0);
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void BatchPlan::Shuffle(common::Rng& rng) { rng.Shuffle(order_); }
+
+int64_t BatchPlan::num_batches() const {
+  return (static_cast<int64_t>(order_.size()) + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<int64_t> BatchPlan::BatchIndices(int64_t b) const {
+  const int64_t begin = b * batch_size_;
+  const int64_t end = std::min(begin + batch_size_,
+                               static_cast<int64_t>(order_.size()));
+  MISS_CHECK_LT(begin, end);
+  return std::vector<int64_t>(order_.begin() + begin, order_.begin() + end);
+}
+
+}  // namespace miss::data

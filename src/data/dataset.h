@@ -1,0 +1,68 @@
+// In-memory datasets and padded mini-batches.
+
+#ifndef MISS_DATA_DATASET_H_
+#define MISS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace miss::data {
+
+// One training/eval sample: a (user, candidate, context, history) tuple with
+// a click label. All J sequences are time-aligned and equally long.
+struct Sample {
+  std::vector<int64_t> cat;               // size I
+  std::vector<std::vector<int64_t>> seq;  // J x history_len
+  float label = 0.0f;
+};
+
+struct Dataset {
+  DatasetSchema schema;
+  std::vector<Sample> samples;
+
+  int64_t size() const { return static_cast<int64_t>(samples.size()); }
+};
+
+// A padded, dense mini-batch. Sequence padding uses id -1 (zero embedding,
+// no gradient); `seq_mask` marks valid positions.
+struct Batch {
+  int64_t batch_size = 0;  // B
+  int64_t num_cat = 0;     // I
+  int64_t num_seq = 0;     // J
+  int64_t seq_len = 0;     // L
+
+  std::vector<int64_t> cat;      // B x I
+  std::vector<int64_t> seq;      // B x J x L, -1 = padding
+  std::vector<float> seq_mask;   // B x L, shared by all J fields
+  std::vector<float> labels;     // B
+  std::vector<int64_t> lengths;  // B, valid history length per sample
+};
+
+// Assembles the samples at `indices` into a padded batch. Histories longer
+// than schema.max_seq_len are truncated to their most recent entries.
+Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices);
+
+// Yields shuffled (or sequential) index slices of size <= batch_size
+// covering the dataset once per epoch.
+class BatchPlan {
+ public:
+  BatchPlan(int64_t dataset_size, int64_t batch_size);
+
+  // Deterministically reshuffles sample order for a new epoch.
+  void Shuffle(common::Rng& rng);
+
+  int64_t num_batches() const;
+  // Index list of batch `b` in the current order.
+  std::vector<int64_t> BatchIndices(int64_t b) const;
+
+ private:
+  std::vector<int64_t> order_;
+  int64_t batch_size_;
+};
+
+}  // namespace miss::data
+
+#endif  // MISS_DATA_DATASET_H_

@@ -1,0 +1,203 @@
+#include "data/log_loader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace miss::data {
+
+namespace {
+
+// Parses one CSV line into an Interaction. Returns false on malformed rows.
+bool ParseLine(const std::string& line, Interaction* out) {
+  std::istringstream stream(line);
+  std::string field;
+  int64_t values[4];
+  for (int i = 0; i < 4; ++i) {
+    if (!std::getline(stream, field, ',')) return false;
+    char* end = nullptr;
+    values[i] = std::strtoll(field.c_str(), &end, 10);
+    if (end == field.c_str()) return false;
+  }
+  out->user = values[0];
+  out->item = values[1];
+  out->category = values[2];
+  out->timestamp = values[3];
+  return true;
+}
+
+bool LooksLikeHeader(const std::string& line) {
+  for (char c : line) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return true;
+  }
+  return false;
+}
+
+// Densifies raw ids; returns the dense id, assigning the next one on first
+// sight.
+int64_t Densify(std::unordered_map<int64_t, int64_t>& mapping, int64_t raw) {
+  auto [it, inserted] = mapping.emplace(raw, mapping.size());
+  return it->second;
+}
+
+}  // namespace
+
+bool ParseInteractionCsv(const std::string& content,
+                         std::vector<Interaction>* out, std::string* error) {
+  std::istringstream stream(content);
+  std::string line;
+  int64_t line_number = 0;
+  bool first_data_line = true;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Interaction interaction;
+    if (!ParseLine(line, &interaction)) {
+      // Tolerate a single header line at the top.
+      if (first_data_line && LooksLikeHeader(line)) {
+        first_data_line = false;
+        continue;
+      }
+      if (error != nullptr) {
+        *error = "malformed CSV at line " + std::to_string(line_number) +
+                 ": " + line;
+      }
+      return false;
+    }
+    first_data_line = false;
+    out->push_back(interaction);
+  }
+  return true;
+}
+
+bool LoadInteractionCsv(const std::string& path, std::vector<Interaction>* out,
+                        std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseInteractionCsv(buffer.str(), out, error);
+}
+
+DatasetBundle BuildFromInteractionLog(std::vector<Interaction> interactions,
+                                      const LogToDatasetOptions& options) {
+  // -- Frequency filtering (iterate until stable, as dropping users can
+  //    push items under the threshold and vice versa) ------------------------
+  bool changed = true;
+  while (changed && !interactions.empty()) {
+    std::unordered_map<int64_t, int64_t> user_count;
+    std::unordered_map<int64_t, int64_t> item_count;
+    for (const Interaction& x : interactions) {
+      ++user_count[x.user];
+      ++item_count[x.item];
+    }
+    std::vector<Interaction> kept;
+    kept.reserve(interactions.size());
+    for (const Interaction& x : interactions) {
+      if (user_count[x.user] >= options.min_count &&
+          item_count[x.item] >= options.min_count) {
+        kept.push_back(x);
+      }
+    }
+    changed = kept.size() != interactions.size();
+    interactions = std::move(kept);
+  }
+
+  // -- Dense id remapping -----------------------------------------------------
+  std::unordered_map<int64_t, int64_t> user_ids, item_ids, category_ids;
+  std::unordered_map<int64_t, int64_t> item_category;  // dense item -> cat
+  for (Interaction& x : interactions) {
+    x.user = Densify(user_ids, x.user);
+    x.item = Densify(item_ids, x.item);
+    x.category = Densify(category_ids, x.category);
+    item_category[x.item] = x.category;
+  }
+
+  // -- Group per user, chronological order ------------------------------------
+  std::vector<std::vector<Interaction>> per_user(user_ids.size());
+  for (const Interaction& x : interactions) per_user[x.user].push_back(x);
+  for (auto& trace : per_user) {
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const Interaction& a, const Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+
+  // -- Schema -----------------------------------------------------------------
+  DatasetSchema schema;
+  schema.name = options.name;
+  schema.categorical = {
+      {"user_id", static_cast<int64_t>(user_ids.size())},
+      {"item_id", static_cast<int64_t>(item_ids.size())},
+      {"category_id", static_cast<int64_t>(category_ids.size())},
+  };
+  schema.sequential = {
+      {"item_seq", static_cast<int64_t>(item_ids.size())},
+      {"category_seq", static_cast<int64_t>(category_ids.size())},
+  };
+  schema.seq_shares_table_with = {kFieldItem, kFieldCategory};
+  schema.max_seq_len = options.max_seq_len;
+  schema.Validate();
+
+  DatasetBundle bundle;
+  bundle.train.schema = schema;
+  bundle.valid.schema = schema;
+  bundle.test.schema = schema;
+
+  // -- Leave-one-out splits with negative sampling ----------------------------
+  common::Rng rng(options.seed);
+  const int64_t num_items = static_cast<int64_t>(item_ids.size());
+  int64_t emitted_users = 0;
+  for (const auto& trace : per_user) {
+    const int64_t n = static_cast<int64_t>(trace.size());
+    if (n < 4) continue;  // the split needs >= 4 behaviors
+    ++emitted_users;
+
+    std::unordered_set<int64_t> interacted;
+    for (const Interaction& x : trace) interacted.insert(x.item);
+
+    auto emit = [&](int64_t target_pos, Dataset* out) {
+      std::vector<int64_t> item_seq(target_pos);
+      std::vector<int64_t> cat_seq(target_pos);
+      for (int64_t l = 0; l < target_pos; ++l) {
+        item_seq[l] = trace[l].item;
+        cat_seq[l] = trace[l].category;
+      }
+      auto make_sample = [&](int64_t candidate, float label) {
+        Sample s;
+        s.cat = {trace[0].user, candidate, item_category[candidate]};
+        s.seq = {item_seq, cat_seq};
+        s.label = label;
+        return s;
+      };
+      out->samples.push_back(make_sample(trace[target_pos].item, 1.0f));
+      int64_t negative = rng.UniformInt(num_items);
+      for (int attempts = 0;
+           interacted.count(negative) > 0 && attempts < 100; ++attempts) {
+        negative = rng.UniformInt(num_items);
+      }
+      out->samples.push_back(make_sample(negative, 0.0f));
+    };
+
+    emit(n - 3, &bundle.train);
+    emit(n - 2, &bundle.valid);
+    emit(n - 1, &bundle.test);
+  }
+
+  bundle.num_users = emitted_users;
+  bundle.num_items = num_items;
+  bundle.num_instances = bundle.train.size();
+  bundle.num_features = schema.TotalFeatures();
+  bundle.num_fields = schema.num_fields();
+  return bundle;
+}
+
+}  // namespace miss::data

@@ -1,0 +1,78 @@
+// Dataset schema: the multi-field layout of CTR samples (paper Section III).
+//
+// A sample carries I categorical features (user id, candidate item id,
+// candidate category, context fields, ...) and J sequential features (the
+// behavior history: item-id sequence, category sequence, ...), all encoded
+// as integer ids into per-field vocabularies. A sequential field may share
+// its vocabulary — and hence its embedding table — with a categorical field
+// (e.g. the item-id sequence shares the candidate item-id table), which is
+// what lets DIN-style attention and MISS's SSL shape the very embeddings the
+// CTR tower consumes.
+
+#ifndef MISS_DATA_SCHEMA_H_
+#define MISS_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace miss::data {
+
+struct FieldSpec {
+  std::string name;
+  int64_t vocab_size = 0;
+};
+
+struct DatasetSchema {
+  std::string name;
+  // Categorical (single-valued) fields, in sample order.
+  std::vector<FieldSpec> categorical;
+  // Sequential (multi-valued, chronologically ordered) fields.
+  std::vector<FieldSpec> sequential;
+  // For each sequential field, the index of the categorical field whose
+  // vocabulary/embedding table it shares, or -1 for a private table.
+  std::vector<int> seq_shares_table_with;
+  // Maximum (padded) history length L. Longer histories are truncated to
+  // their most recent L entries.
+  int64_t max_seq_len = 0;
+
+  int64_t num_categorical() const {
+    return static_cast<int64_t>(categorical.size());
+  }
+  int64_t num_sequential() const {
+    return static_cast<int64_t>(sequential.size());
+  }
+  // Total field count as reported in Table III (#Fields).
+  int64_t num_fields() const { return num_categorical() + num_sequential(); }
+
+  // Total feature count (#Features in Table III): the number of distinct
+  // feature ids across all vocabularies, counting shared tables once.
+  int64_t TotalFeatures() const {
+    int64_t total = 0;
+    for (const auto& f : categorical) total += f.vocab_size;
+    for (size_t j = 0; j < sequential.size(); ++j) {
+      if (seq_shares_table_with[j] < 0) total += sequential[j].vocab_size;
+    }
+    return total;
+  }
+
+  void Validate() const {
+    MISS_CHECK_EQ(sequential.size(), seq_shares_table_with.size());
+    MISS_CHECK_GT(max_seq_len, 0);
+    for (size_t j = 0; j < sequential.size(); ++j) {
+      const int shared = seq_shares_table_with[j];
+      if (shared >= 0) {
+        MISS_CHECK_LT(shared, static_cast<int>(categorical.size()));
+        MISS_CHECK_EQ(sequential[j].vocab_size,
+                      categorical[shared].vocab_size)
+            << "shared table vocab mismatch for field " << sequential[j].name;
+      }
+    }
+  }
+};
+
+}  // namespace miss::data
+
+#endif  // MISS_DATA_SCHEMA_H_

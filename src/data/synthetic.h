@@ -1,0 +1,109 @@
+// Synthetic multi-interest behavior data.
+//
+// The paper evaluates on Amazon-Cds, Amazon-Books (review crawls) and Alipay
+// (IJCAI-16 logs), none of which are available offline. This generator is
+// the substitution documented in DESIGN.md §2: a latent multi-interest
+// generative model that plants exactly the structures MISS exploits —
+//
+//   * every user has a small set of latent interests (item categories);
+//   * behaviors arrive as a regime-switching process over those interests,
+//     so behaviors of one interest cluster on the time line (the paper's
+//     closeness assumption) while interests interleave at larger distances
+//     (long-range dependencies);
+//   * a fraction of behaviors are uniform-random noise (spurious clicks);
+//   * held-out positives are real next behaviors; negatives are uniformly
+//     sampled non-interacted items (which occasionally match a latent
+//     interest: inherent label noise);
+//   * one positive + one negative per user per split: label sparsity.
+//
+// The chronological leave-one-out split follows the paper (Section VI-A2):
+// behaviors [1, L-3] train -> predict item L-2; [1, L-2] -> L-1 (valid);
+// [1, L-1] -> L (test).
+
+#ifndef MISS_DATA_SYNTHETIC_H_
+#define MISS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace miss::data {
+
+// Categorical field indices shared by all synthetic profiles.
+inline constexpr int kFieldUser = 0;
+inline constexpr int kFieldItem = 1;
+inline constexpr int kFieldCategory = 2;
+inline constexpr int kFieldSeller = 3;   // Alipay-style profiles only
+inline constexpr int kFieldWeekday = 4;  // Alipay-style profiles only
+
+// Sequential field indices.
+inline constexpr int kSeqItem = 0;
+inline constexpr int kSeqCategory = 1;
+
+struct SyntheticConfig {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_categories = 0;
+  // 0 disables the seller/weekday context fields (5-field Amazon layout);
+  // > 0 enables them (7-field Alipay layout).
+  int64_t num_sellers = 0;
+  // Latent interests per user, inclusive range.
+  int64_t interests_min = 2;
+  int64_t interests_max = 5;
+  // Generated behavior count per user, inclusive range (>= 4 required by
+  // the leave-one-out split).
+  int64_t seq_len_min = 12;
+  int64_t seq_len_max = 30;
+  // Probability of switching to another of the user's interests after each
+  // behavior. Lower values -> longer same-interest runs.
+  double switch_prob = 0.2;
+  // Probability that a behavior is a uniform-random item (spurious click).
+  double behavior_noise = 0.08;
+  // Zipf exponent shaping category sizes (0 = uniform).
+  double category_skew = 1.0;
+  // Latent interests are TOPICS, not categories: a topic is a cluster of
+  // items whose observable category labels only partially agree. With
+  // probability `category_purity` an item carries its topic's primary
+  // category; otherwise a uniform random category. This mirrors the paper's
+  // observation that "item categories are usually defined in coarse
+  // granularities" and motivates learning implicit interests. 1.0 makes
+  // categories perfect interest markers; ~0.5 is realistic.
+  double category_purity = 0.8;
+  // Number of latent topics; 0 derives 1.5x num_categories.
+  int64_t num_topics = 0;
+  // Padded history length L used for batching.
+  int64_t max_seq_len = 30;
+  uint64_t seed = 2022;
+
+  // Profiles mirroring the paper's three datasets at laptop scale. `scale`
+  // multiplies user/item/category counts (benches read MISS_SCALE).
+  static SyntheticConfig AmazonCds(double scale = 1.0);
+  static SyntheticConfig AmazonBooks(double scale = 1.0);
+  static SyntheticConfig Alipay(double scale = 1.0);
+  // Minimal profile for unit tests.
+  static SyntheticConfig Tiny();
+};
+
+struct DatasetBundle {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+  // Table III statistics.
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_instances = 0;  // training instances (2 per user)
+  int64_t num_features = 0;
+  int64_t num_fields = 0;
+};
+
+// Builds the schema implied by a config (without generating data).
+DatasetSchema MakeSchema(const SyntheticConfig& config);
+
+// Generates the three chronological splits. Deterministic in config.seed.
+DatasetBundle GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace miss::data
+
+#endif  // MISS_DATA_SYNTHETIC_H_

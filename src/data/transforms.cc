@@ -1,0 +1,47 @@
+#include "data/transforms.h"
+
+#include <numeric>
+
+namespace miss::data {
+
+Dataset DownsampleTrain(const Dataset& dataset, double rate,
+                        common::Rng& rng) {
+  MISS_CHECK_GT(rate, 0.0);
+  MISS_CHECK_LE(rate, 1.0);
+  if (rate >= 1.0) return dataset;
+
+  std::vector<int64_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int64_t keep =
+      std::max<int64_t>(1, static_cast<int64_t>(dataset.size() * rate));
+
+  Dataset out;
+  out.schema = dataset.schema;
+  out.samples.reserve(keep);
+  for (int64_t i = 0; i < keep; ++i) {
+    out.samples.push_back(dataset.samples[order[i]]);
+  }
+  return out;
+}
+
+Dataset InjectLabelNoise(const Dataset& dataset, double rate,
+                         common::Rng& rng) {
+  MISS_CHECK_GE(rate, 0.0);
+  MISS_CHECK_LE(rate, 1.0);
+  Dataset out = dataset;
+  if (rate == 0.0) return out;
+
+  // Flip exactly round(rate * n) labels, uniformly chosen.
+  std::vector<int64_t> order(out.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int64_t flips = static_cast<int64_t>(out.size() * rate + 0.5);
+  for (int64_t i = 0; i < flips; ++i) {
+    float& label = out.samples[order[i]].label;
+    label = 1.0f - label;
+  }
+  return out;
+}
+
+}  // namespace miss::data

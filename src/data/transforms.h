@@ -1,0 +1,25 @@
+// Training-set perturbations used by the case studies:
+//   * down-sampling for the label-sparsity analysis (Table X);
+//   * label swapping for the label-noise analysis (Table XI).
+// Validation and test sets are never transformed (paper Section VI-E).
+
+#ifndef MISS_DATA_TRANSFORMS_H_
+#define MISS_DATA_TRANSFORMS_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace miss::data {
+
+// Keeps a uniformly sampled `rate` fraction of the samples (rate in (0, 1]).
+Dataset DownsampleTrain(const Dataset& dataset, double rate,
+                        common::Rng& rng);
+
+// Flips the label of a uniformly chosen `rate` fraction of the samples
+// ("randomly swapping the labels at an indicated proportion").
+Dataset InjectLabelNoise(const Dataset& dataset, double rate,
+                         common::Rng& rng);
+
+}  // namespace miss::data
+
+#endif  // MISS_DATA_TRANSFORMS_H_

@@ -1,0 +1,89 @@
+#include "models/attention_models.h"
+
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+AutoIntModel::AutoIntModel(const data::DatasetSchema& schema,
+                           const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  for (int64_t l = 0; l < config.attention_layers; ++l) {
+    layers_.push_back(std::make_unique<nn::MultiHeadSelfAttention>(
+        config.embedding_dim, config.attention_heads, /*residual=*/true,
+        init_rng()));
+    RegisterChild(layers_.back().get());
+  }
+  const int64_t fields = schema.num_fields();
+  attn_out_ = std::make_unique<nn::Linear>(fields * config.embedding_dim, 1,
+                                           init_rng());
+  RegisterChild(attn_out_.get());
+  std::vector<int64_t> dims = {fields * config.embedding_dim};
+  dims.insert(dims.end(), config.mlp_hidden.begin(), config.mlp_hidden.end());
+  dims.push_back(1);
+  deep_ = std::make_unique<nn::Mlp>(dims, nn::Activation::kRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor AutoIntModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);  // [B, F, K]
+  const int64_t f_dim = fields.dim(1);
+  const int64_t k_dim = fields.dim(2);
+
+  nn::Tensor h = fields;
+  for (const auto& layer : layers_) h = layer->Forward(h, /*mask=*/{});
+  nn::Tensor attn_logit =
+      attn_out_->Forward(nn::Reshape(h, {b_dim, f_dim * k_dim}));
+
+  nn::Tensor flat = nn::Reshape(fields, {b_dim, f_dim * k_dim});
+  nn::Tensor deep = deep_->Forward(ApplyDropout(flat, training));
+  return nn::Reshape(nn::Add(attn_logit, deep), {b_dim});
+}
+
+FiGnnModel::FiGnnModel(const data::DatasetSchema& schema,
+                       const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  propagate_ = std::make_unique<nn::MultiHeadSelfAttention>(
+      config.embedding_dim, config.attention_heads, /*residual=*/false,
+      init_rng());
+  RegisterChild(propagate_.get());
+  update_ = std::make_unique<nn::GruCell>(config.embedding_dim,
+                                          config.embedding_dim, init_rng());
+  RegisterChild(update_.get());
+  score_ = std::make_unique<nn::Linear>(config.embedding_dim, 1, init_rng());
+  RegisterChild(score_.get());
+  attention_ =
+      std::make_unique<nn::Linear>(config.embedding_dim, 1, init_rng());
+  RegisterChild(attention_.get());
+}
+
+nn::Tensor FiGnnModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);  // [B, F, K]
+  const int64_t f_dim = fields.dim(1);
+  const int64_t k_dim = fields.dim(2);
+
+  nn::Tensor h = fields;
+  for (int64_t t = 0; t < config_.fignn_steps; ++t) {
+    // Attention-weighted aggregation over the fully connected field graph.
+    nn::Tensor messages = propagate_->Forward(h, /*mask=*/{});  // [B, F, K]
+    // GRU node-state update (flatten nodes into the batch axis), with the
+    // residual connection to the initial node features used by the
+    // original FiGNN.
+    nn::Tensor h_flat = nn::Reshape(h, {b_dim * f_dim, k_dim});
+    nn::Tensor m_flat = nn::Reshape(messages, {b_dim * f_dim, k_dim});
+    h = nn::Add(
+        nn::Reshape(update_->Forward(m_flat, h_flat), {b_dim, f_dim, k_dim}),
+        fields);
+  }
+
+  // Attentional scoring readout: logit = sum_f a_f * s_f.
+  nn::Tensor scores = score_->Forward(h);                 // [B, F, 1]
+  nn::Tensor weights = nn::Sigmoid(attention_->Forward(h));  // [B, F, 1]
+  nn::Tensor logit = nn::SumAxis(nn::Mul(scores, weights), /*axis=*/1);
+  return nn::Reshape(logit, {b_dim});
+}
+
+}  // namespace miss::models

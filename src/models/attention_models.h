@@ -1,0 +1,55 @@
+// Attention- and graph-based baselines: AutoInt+ and FiGNN.
+
+#ifndef MISS_MODELS_ATTENTION_MODELS_H_
+#define MISS_MODELS_ATTENTION_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace miss::models {
+
+// AutoInt+ (Song et al., CIKM 2019): stacked residual multi-head
+// self-attention over field embeddings, with a parallel DNN branch (the
+// "+" variant).
+class AutoIntModel : public CtrModel {
+ public:
+  AutoIntModel(const data::DatasetSchema& schema, const ModelConfig& config,
+               uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "AutoInt+"; }
+
+ private:
+  std::vector<std::unique_ptr<nn::MultiHeadSelfAttention>> layers_;
+  std::unique_ptr<nn::Linear> attn_out_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// FiGNN (Li et al., CIKM 2019): fields form a fully connected graph; node
+// states are refined over `fignn_steps` rounds of attention-weighted message
+// passing with GRU state updates, then read out with per-field attentional
+// scoring.
+class FiGnnModel : public CtrModel {
+ public:
+  FiGnnModel(const data::DatasetSchema& schema, const ModelConfig& config,
+             uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "FiGNN"; }
+
+ private:
+  std::unique_ptr<nn::MultiHeadSelfAttention> propagate_;
+  std::unique_ptr<nn::GruCell> update_;
+  std::unique_ptr<nn::Linear> score_;      // per-node scalar score
+  std::unique_ptr<nn::Linear> attention_;  // per-node attention weight
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_ATTENTION_MODELS_H_

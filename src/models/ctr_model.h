@@ -1,0 +1,78 @@
+// The common interface every CTR model implements, plus shared
+// configuration. Models own an EmbeddingSet, which the MISS framework also
+// reads — that is the entire plug-in contract.
+
+#ifndef MISS_MODELS_CTR_MODEL_H_
+#define MISS_MODELS_CTR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "models/embedding_set.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace miss::models {
+
+// Hyper-parameters shared across models (paper Section VI-A5) plus the
+// per-architecture knobs. One struct keeps the experiment harness simple.
+struct ModelConfig {
+  int64_t embedding_dim = 10;            // K, fixed to 10 in the paper
+  float embedding_init_stddev = 0.05f;
+  std::vector<int64_t> mlp_hidden = {40, 40, 40};  // deep layers {40,40,40,1}
+  float dropout = 0.1f;
+
+  // DCN / DCN-M.
+  int64_t cross_layers = 2;
+  // xDeepFM CIN feature-map sizes.
+  std::vector<int64_t> cin_sizes = {8, 8};
+  // AutoInt / FiGNN / MISS-SA attention heads and propagation steps.
+  int64_t attention_heads = 2;
+  int64_t attention_layers = 2;
+  int64_t fignn_steps = 2;
+  // SIM soft-search retrieval size.
+  int64_t sim_top_k = 10;
+};
+
+class CtrModel : public nn::Module {
+ public:
+  CtrModel(const data::DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed)
+      : config_(config), init_rng_(seed), dropout_rng_(init_rng_.Fork()) {
+    embeddings_ = std::make_unique<EmbeddingSet>(
+        schema, config.embedding_dim, init_rng_,
+        config.embedding_init_stddev);
+    RegisterChild(embeddings_.get());
+  }
+
+  // Computes CTR logits, shape [B]. `training` enables dropout.
+  virtual nn::Tensor Forward(const data::Batch& batch, bool training) = 0;
+
+  virtual std::string name() const = 0;
+
+  EmbeddingSet& embeddings() { return *embeddings_; }
+  const EmbeddingSet& embeddings() const { return *embeddings_; }
+  const data::DatasetSchema& schema() const { return embeddings_->schema(); }
+  const ModelConfig& config() const { return config_; }
+
+ protected:
+  common::Rng& init_rng() { return init_rng_; }
+  common::Rng& dropout_rng() { return dropout_rng_; }
+  nn::Tensor ApplyDropout(const nn::Tensor& x, bool training) {
+    return nn::Dropout(x, config_.dropout, training, dropout_rng_);
+  }
+
+  ModelConfig config_;
+
+ private:
+  common::Rng init_rng_;
+  common::Rng dropout_rng_;
+  std::unique_ptr<EmbeddingSet> embeddings_;
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_CTR_MODEL_H_

@@ -1,0 +1,208 @@
+#include "models/deep_models.h"
+
+#include <utility>
+
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+namespace {
+
+// Appends the output layer to the configured hidden sizes.
+std::vector<int64_t> MlpDims(int64_t in_dim, const ModelConfig& config,
+                             int64_t out_dim = 1) {
+  std::vector<int64_t> dims;
+  dims.push_back(in_dim);
+  dims.insert(dims.end(), config.mlp_hidden.begin(), config.mlp_hidden.end());
+  dims.push_back(out_dim);
+  return dims;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// DeepFM
+// ----------------------------------------------------------------------------
+
+DeepFmModel::DeepFmModel(const data::DatasetSchema& schema,
+                         const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  lr_weights_ = std::make_unique<EmbeddingSet>(schema, /*dim=*/1, init_rng());
+  RegisterChild(lr_weights_.get());
+  bias_ = AddParameter(nn::Tensor::Zeros({1}, /*requires_grad=*/true));
+  const int64_t fields = schema.num_fields();
+  deep_ = std::make_unique<nn::Mlp>(
+      MlpDims(fields * config.embedding_dim, config), nn::Activation::kRelu,
+      nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor DeepFmModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);  // [B, F, K]
+
+  // First order.
+  nn::Tensor first =
+      nn::Add(nn::SumAxis(FieldMatrix(*lr_weights_, batch), 1), bias_);
+
+  // FM second order.
+  nn::Tensor sum_f = nn::SumAxis(fields, 1);
+  nn::Tensor pairwise = nn::MulScalar(
+      nn::SumAxis(
+          nn::Sub(nn::Square(sum_f), nn::SumAxis(nn::Square(fields), 1)), 1,
+          /*keepdims=*/true),
+      0.5f);
+
+  // Deep component over the flattened embeddings.
+  nn::Tensor flat =
+      nn::Reshape(fields, {b_dim, fields.dim(1) * fields.dim(2)});
+  nn::Tensor deep = deep_->Forward(ApplyDropout(flat, training));
+
+  return nn::Reshape(nn::Add(nn::Add(first, pairwise), deep), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// IPNN
+// ----------------------------------------------------------------------------
+
+IpnnModel::IpnnModel(const data::DatasetSchema& schema,
+                     const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  const int64_t fields = schema.num_fields();
+  const int64_t in_dim =
+      fields * config.embedding_dim + fields * fields;  // z + all pair IPs
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor IpnnModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);  // [B, F, K]
+  const int64_t f_dim = fields.dim(1);
+  // Inner products between all field pairs: [B, F, F].
+  nn::Tensor products = nn::BatchMatMul(fields, nn::TransposeLast2(fields));
+  nn::Tensor flat = nn::Concat(
+      {nn::Reshape(fields, {b_dim, f_dim * fields.dim(2)}),
+       nn::Reshape(products, {b_dim, f_dim * f_dim})},
+      /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(flat, training)), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// DCN / DCN-M
+// ----------------------------------------------------------------------------
+
+DcnModel::DcnModel(const data::DatasetSchema& schema,
+                   const ModelConfig& config, uint64_t seed, CrossForm form)
+    : CtrModel(schema, config, seed), form_(form) {
+  input_dim_ = schema.num_fields() * config.embedding_dim;
+  for (int64_t l = 0; l < config.cross_layers; ++l) {
+    if (form_ == CrossForm::kVector) {
+      cross_weights_.push_back(AddParameter(nn::Tensor::XavierUniform(
+          {input_dim_, 1}, init_rng(), /*requires_grad=*/true)));
+    } else {
+      cross_weights_.push_back(AddParameter(nn::Tensor::XavierUniform(
+          {input_dim_, input_dim_}, init_rng(), /*requires_grad=*/true)));
+    }
+    cross_biases_.push_back(
+        AddParameter(nn::Tensor::Zeros({input_dim_}, /*requires_grad=*/true)));
+  }
+  deep_ = std::make_unique<nn::Mlp>(
+      MlpDims(input_dim_, config, config.mlp_hidden.back()),
+      nn::Activation::kRelu, nn::Activation::kRelu, init_rng());
+  RegisterChild(deep_.get());
+  combine_ = std::make_unique<nn::Linear>(
+      input_dim_ + config.mlp_hidden.back(), 1, init_rng());
+  RegisterChild(combine_.get());
+}
+
+nn::Tensor DcnModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);
+  nn::Tensor x0 = nn::Reshape(fields, {b_dim, input_dim_});
+
+  nn::Tensor x = x0;
+  for (size_t l = 0; l < cross_weights_.size(); ++l) {
+    if (form_ == CrossForm::kVector) {
+      // x_{l+1} = x0 * (x_l . w) + b + x_l
+      nn::Tensor proj = nn::MatMul(x, cross_weights_[l]);  // [B, 1]
+      x = nn::Add(nn::Add(nn::Mul(x0, proj), cross_biases_[l]), x);
+    } else {
+      // x_{l+1} = x0 o (W x_l + b) + x_l
+      nn::Tensor proj =
+          nn::Add(nn::MatMul(x, cross_weights_[l]), cross_biases_[l]);
+      x = nn::Add(nn::Mul(x0, proj), x);
+    }
+  }
+
+  nn::Tensor deep = deep_->Forward(ApplyDropout(x0, training));
+  nn::Tensor logit = combine_->Forward(nn::Concat({x, deep}, /*axis=*/1));
+  return nn::Reshape(logit, {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// xDeepFM
+// ----------------------------------------------------------------------------
+
+XDeepFmModel::XDeepFmModel(const data::DatasetSchema& schema,
+                           const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  lr_weights_ = std::make_unique<EmbeddingSet>(schema, /*dim=*/1, init_rng());
+  RegisterChild(lr_weights_.get());
+  bias_ = AddParameter(nn::Tensor::Zeros({1}, /*requires_grad=*/true));
+
+  const int64_t fields = schema.num_fields();
+  int64_t prev = fields;
+  int64_t cin_total = 0;
+  for (int64_t size : config.cin_sizes) {
+    cin_layers_.push_back(
+        std::make_unique<nn::Linear>(prev * fields, size, init_rng()));
+    RegisterChild(cin_layers_.back().get());
+    prev = size;
+    cin_total += size;
+  }
+  cin_out_ = std::make_unique<nn::Linear>(cin_total, 1, init_rng());
+  RegisterChild(cin_out_.get());
+
+  deep_ = std::make_unique<nn::Mlp>(
+      MlpDims(fields * config.embedding_dim, config), nn::Activation::kRelu,
+      nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor XDeepFmModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t k_dim = config_.embedding_dim;
+  nn::Tensor x0 = FieldMatrix(embeddings(), batch);  // [B, m, K]
+  const int64_t m_dim = x0.dim(1);
+
+  // CIN: x^{l+1}_h = sum_{i,j} W_h[i,j] (x^l_i o x^0_j)
+  nn::Tensor xl = x0;
+  std::vector<nn::Tensor> pooled;  // sum over K of each layer's maps
+  for (const auto& layer : cin_layers_) {
+    const int64_t h_dim = xl.dim(1);
+    // Outer interaction z: [B, h, m, K] via broadcasting.
+    nn::Tensor a = nn::Reshape(xl, {b_dim, h_dim, 1, k_dim});
+    nn::Tensor b = nn::Reshape(x0, {b_dim, 1, m_dim, k_dim});
+    nn::Tensor z = nn::Mul(a, b);
+    // Compress: treat (h*m) as features per channel k.
+    nn::Tensor zt = nn::TransposeLast2(
+        nn::Reshape(z, {b_dim, h_dim * m_dim, k_dim}));  // [B, K, h*m]
+    nn::Tensor next = nn::Relu(layer->Forward(zt));      // [B, K, size]
+    xl = nn::TransposeLast2(next);                       // [B, size, K]
+    pooled.push_back(nn::SumAxis(xl, /*axis=*/2));       // [B, size]
+  }
+  nn::Tensor cin_logit = cin_out_->Forward(nn::Concat(pooled, /*axis=*/1));
+
+  nn::Tensor first =
+      nn::Add(nn::SumAxis(FieldMatrix(*lr_weights_, batch), 1), bias_);
+  nn::Tensor flat = nn::Reshape(x0, {b_dim, m_dim * k_dim});
+  nn::Tensor deep = deep_->Forward(ApplyDropout(flat, training));
+
+  return nn::Reshape(nn::Add(nn::Add(first, cin_logit), deep), {b_dim});
+}
+
+}  // namespace miss::models

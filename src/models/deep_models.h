@@ -1,0 +1,90 @@
+// Deep feature-interaction baselines: DeepFM, IPNN, DCN, DCN-M, xDeepFM.
+
+#ifndef MISS_MODELS_DEEP_MODELS_H_
+#define MISS_MODELS_DEEP_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "nn/layers.h"
+
+namespace miss::models {
+
+// DeepFM (Guo et al., IJCAI 2017): FM component + DNN over shared
+// embeddings, summed into one logit.
+class DeepFmModel : public CtrModel {
+ public:
+  DeepFmModel(const data::DatasetSchema& schema, const ModelConfig& config,
+              uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DeepFM"; }
+
+ private:
+  std::unique_ptr<EmbeddingSet> lr_weights_;
+  nn::Tensor bias_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// IPNN (Qu et al., TOIS 2019): inner products of all field pairs
+// concatenated with the raw embeddings, fed to a DNN.
+class IpnnModel : public CtrModel {
+ public:
+  IpnnModel(const data::DatasetSchema& schema, const ModelConfig& config,
+            uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "IPNN"; }
+
+ private:
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// DCN (Wang et al., ADKDD 2017) and DCN-M / DCN-V2 (Wang et al., WWW 2021).
+// The cross network computes x_{l+1} = x0 * f(x_l) + b_l + x_l where f is a
+// scalar projection (vector form, DCN) or a full matrix (matrix form,
+// DCN-M).
+class DcnModel : public CtrModel {
+ public:
+  enum class CrossForm { kVector, kMatrix };
+
+  DcnModel(const data::DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed, CrossForm form);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override {
+    return form_ == CrossForm::kVector ? "DCN" : "DCN-M";
+  }
+
+ private:
+  CrossForm form_;
+  int64_t input_dim_;
+  std::vector<nn::Tensor> cross_weights_;  // [D,1] (vector) or [D,D] (matrix)
+  std::vector<nn::Tensor> cross_biases_;   // [D]
+  std::unique_ptr<nn::Mlp> deep_;
+  std::unique_ptr<nn::Linear> combine_;
+};
+
+// xDeepFM (Lian et al., KDD 2018): Compressed Interaction Network over
+// field embeddings + DNN + linear part.
+class XDeepFmModel : public CtrModel {
+ public:
+  XDeepFmModel(const data::DatasetSchema& schema, const ModelConfig& config,
+               uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "xDeepFM"; }
+
+ private:
+  std::unique_ptr<EmbeddingSet> lr_weights_;
+  nn::Tensor bias_;
+  std::vector<std::unique_ptr<nn::Linear>> cin_layers_;
+  std::unique_ptr<nn::Mlp> deep_;
+  std::unique_ptr<nn::Linear> cin_out_;
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_DEEP_MODELS_H_

@@ -1,0 +1,88 @@
+#include "models/embedding_set.h"
+
+#include <utility>
+
+#include "nn/ops.h"
+
+namespace miss::models {
+
+EmbeddingSet::EmbeddingSet(const data::DatasetSchema& schema, int64_t dim,
+                           common::Rng& rng, float init_stddev)
+    : schema_(schema), dim_(dim) {
+  schema_.Validate();
+  for (const auto& field : schema_.categorical) {
+    cat_tables_.push_back(std::make_unique<nn::Embedding>(
+        field.vocab_size, dim, rng, init_stddev));
+    RegisterChild(cat_tables_.back().get());
+  }
+  for (size_t j = 0; j < schema_.sequential.size(); ++j) {
+    if (schema_.seq_shares_table_with[j] >= 0) {
+      seq_tables_.push_back(nullptr);
+    } else {
+      seq_tables_.push_back(std::make_unique<nn::Embedding>(
+          schema_.sequential[j].vocab_size, dim, rng, init_stddev));
+      RegisterChild(seq_tables_.back().get());
+    }
+  }
+}
+
+const nn::Embedding& EmbeddingSet::SeqTable(int seq_field) const {
+  const int shared = schema_.seq_shares_table_with[seq_field];
+  if (shared >= 0) return *cat_tables_[shared];
+  return *seq_tables_[seq_field];
+}
+
+nn::Tensor EmbeddingSet::CategoricalEmbeddings(
+    const data::Batch& batch) const {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t i_dim = batch.num_cat;
+  MISS_CHECK_EQ(i_dim, schema_.num_categorical());
+  std::vector<nn::Tensor> parts;
+  parts.reserve(i_dim);
+  for (int64_t i = 0; i < i_dim; ++i) {
+    std::vector<int64_t> ids(b_dim);
+    for (int64_t b = 0; b < b_dim; ++b) ids[b] = batch.cat[b * i_dim + i];
+    parts.push_back(cat_tables_[i]->Forward(ids, {b_dim, 1}));
+  }
+  return nn::Concat(parts, /*axis=*/1);
+}
+
+nn::Tensor EmbeddingSet::FieldEmbedding(const data::Batch& batch,
+                                        int field) const {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t i_dim = batch.num_cat;
+  MISS_CHECK_LT(field, i_dim);
+  std::vector<int64_t> ids(b_dim);
+  for (int64_t b = 0; b < b_dim; ++b) ids[b] = batch.cat[b * i_dim + field];
+  return cat_tables_[field]->Forward(ids, {b_dim});
+}
+
+nn::Tensor EmbeddingSet::SequenceEmbeddings(const data::Batch& batch,
+                                            int seq_field) const {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t j_dim = batch.num_seq;
+  const int64_t l_dim = batch.seq_len;
+  MISS_CHECK_LT(seq_field, j_dim);
+  std::vector<int64_t> ids(b_dim * l_dim);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    for (int64_t l = 0; l < l_dim; ++l) {
+      ids[b * l_dim + l] = batch.seq[(b * j_dim + seq_field) * l_dim + l];
+    }
+  }
+  return SeqTable(seq_field).Forward(ids, {b_dim, l_dim});
+}
+
+nn::Tensor EmbeddingSet::SequenceTensor(const data::Batch& batch) const {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t j_dim = batch.num_seq;
+  const int64_t l_dim = batch.seq_len;
+  std::vector<nn::Tensor> parts;
+  parts.reserve(j_dim);
+  for (int64_t j = 0; j < j_dim; ++j) {
+    parts.push_back(nn::Reshape(SequenceEmbeddings(batch, j),
+                                {b_dim, 1, l_dim, dim_}));
+  }
+  return nn::Concat(parts, /*axis=*/1);
+}
+
+}  // namespace miss::models

@@ -1,0 +1,57 @@
+// Field-wise embedding tables shared by every CTR model and by the MISS SSL
+// component.
+//
+// Sequential fields that share a vocabulary with a categorical field (e.g.
+// the clicked-item sequence and the candidate item id) share one table, so
+// self-supervision signals computed on behavior sequences back-propagate
+// into the very embeddings the CTR tower scores candidates with — the
+// mechanism behind the paper's "plug-in" compatibility claim.
+
+#ifndef MISS_MODELS_EMBEDDING_SET_H_
+#define MISS_MODELS_EMBEDDING_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace miss::models {
+
+class EmbeddingSet : public nn::Module {
+ public:
+  EmbeddingSet(const data::DatasetSchema& schema, int64_t dim,
+               common::Rng& rng, float init_stddev = 0.05f);
+
+  // Embeddings of all categorical fields: [B, I, K].
+  nn::Tensor CategoricalEmbeddings(const data::Batch& batch) const;
+
+  // Embedding of one categorical field: [B, K].
+  nn::Tensor FieldEmbedding(const data::Batch& batch, int field) const;
+
+  // Embeddings of one sequential field: [B, L, K] (padding rows are zero).
+  nn::Tensor SequenceEmbeddings(const data::Batch& batch, int seq_field) const;
+
+  // The Eq. (18) tensor C: [B, J, L, K].
+  nn::Tensor SequenceTensor(const data::Batch& batch) const;
+
+  int64_t dim() const { return dim_; }
+  const data::DatasetSchema& schema() const { return schema_; }
+
+ private:
+  const nn::Embedding& SeqTable(int seq_field) const;
+
+  data::DatasetSchema schema_;
+  int64_t dim_;
+  std::vector<std::unique_ptr<nn::Embedding>> cat_tables_;
+  // Private tables for sequential fields that don't share; indexed by j,
+  // nullptr when shared.
+  std::vector<std::unique_ptr<nn::Embedding>> seq_tables_;
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_EMBEDDING_SET_H_

@@ -1,0 +1,167 @@
+#include "models/extra_models.h"
+
+#include <algorithm>
+
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+namespace {
+
+std::vector<int64_t> MlpDims(int64_t in_dim, const ModelConfig& config) {
+  std::vector<int64_t> dims = {in_dim};
+  dims.insert(dims.end(), config.mlp_hidden.begin(), config.mlp_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+// Reverses a [B, S, K] tensor along the session axis.
+nn::Tensor ReverseSessions(const nn::Tensor& x) {
+  const int64_t s_dim = x.dim(1);
+  std::vector<nn::Tensor> parts;
+  parts.reserve(s_dim);
+  for (int64_t s = s_dim; s-- > 0;) {
+    parts.push_back(nn::Slice(x, /*axis=*/1, s, 1));
+  }
+  return nn::Concat(parts, /*axis=*/1);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// Wide&Deep
+// ----------------------------------------------------------------------------
+
+WideDeepModel::WideDeepModel(const data::DatasetSchema& schema,
+                             const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  wide_weights_ = std::make_unique<EmbeddingSet>(schema, /*dim=*/1,
+                                                 init_rng());
+  RegisterChild(wide_weights_.get());
+  bias_ = AddParameter(nn::Tensor::Zeros({1}, /*requires_grad=*/true));
+  deep_ = std::make_unique<nn::Mlp>(
+      MlpDims(schema.num_fields() * config.embedding_dim, config),
+      nn::Activation::kRelu, nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor WideDeepModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor wide =
+      nn::Add(nn::SumAxis(FieldMatrix(*wide_weights_, batch), 1), bias_);
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);
+  nn::Tensor flat =
+      nn::Reshape(fields, {b_dim, fields.dim(1) * fields.dim(2)});
+  nn::Tensor deep = deep_->Forward(ApplyDropout(flat, training));
+  return nn::Reshape(nn::Add(wide, deep), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// DSIN
+// ----------------------------------------------------------------------------
+
+DsinModel::DsinModel(const data::DatasetSchema& schema,
+                     const ModelConfig& config, uint64_t seed,
+                     int64_t session_len)
+    : CtrModel(schema, config, seed), session_len_(session_len) {
+  const int64_t k_dim = config.embedding_dim;
+  intra_session_ = std::make_unique<nn::MultiHeadSelfAttention>(
+      k_dim, config.attention_heads, /*residual=*/true, init_rng());
+  RegisterChild(intra_session_.get());
+  inter_forward_ = std::make_unique<nn::LstmRunner>(k_dim, k_dim, init_rng());
+  RegisterChild(inter_forward_.get());
+  inter_backward_ = std::make_unique<nn::LstmRunner>(k_dim, k_dim, init_rng());
+  RegisterChild(inter_backward_.get());
+  inter_merge_ = std::make_unique<nn::Linear>(2 * k_dim, k_dim, init_rng());
+  RegisterChild(inter_merge_.get());
+  // Inputs: all fields except the item sequence's plain pooling, plus two
+  // session-level summaries, their candidate products, and two relevance
+  // scalars.
+  const int64_t in_dim = (schema.num_fields() + 3) * k_dim + 2;
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kPRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor DsinModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  const int64_t k_dim = config_.embedding_dim;
+  const int64_t s_count = (l_dim + session_len_ - 1) / session_len_;
+
+  nn::Tensor item_seq = embeddings().SequenceEmbeddings(batch, 0);
+  const int cand_field = schema().seq_shares_table_with[0];
+  MISS_CHECK_GE(cand_field, 0);
+  nn::Tensor candidate = embeddings().FieldEmbedding(batch, cand_field);
+
+  // -- Session interest extraction (intra-session self-attention) -------------
+  std::vector<nn::Tensor> session_reprs;
+  std::vector<float> session_mask(b_dim * s_count, 0.0f);
+  for (int64_t s = 0; s < s_count; ++s) {
+    const int64_t begin = s * session_len_;
+    const int64_t len = std::min(session_len_, l_dim - begin);
+    nn::Tensor window = nn::Slice(item_seq, /*axis=*/1, begin, len);
+    std::vector<float> window_mask(b_dim * len);
+    for (int64_t b = 0; b < b_dim; ++b) {
+      bool any = false;
+      for (int64_t l = 0; l < len; ++l) {
+        const float m = batch.seq_mask[b * l_dim + begin + l];
+        window_mask[b * len + l] = m;
+        any |= m > 0.0f;
+      }
+      if (any) session_mask[b * s_count + s] = 1.0f;
+    }
+    nn::Tensor attended = intra_session_->Forward(window, window_mask);
+    nn::Tensor pooled = MaskedMeanPool(attended, window_mask);  // [B, K]
+    session_reprs.push_back(nn::Reshape(pooled, {b_dim, 1, k_dim}));
+  }
+  nn::Tensor sessions = nn::Concat(session_reprs, /*axis=*/1);  // [B, S, K]
+
+  // -- Session interest evolution (Bi-LSTM over sessions) ---------------------
+  nn::Tensor forward_states = inter_forward_->Forward(sessions, session_mask);
+  std::vector<float> reversed_mask(session_mask.size());
+  for (int64_t b = 0; b < b_dim; ++b) {
+    for (int64_t s = 0; s < s_count; ++s) {
+      reversed_mask[b * s_count + s] =
+          session_mask[b * s_count + (s_count - 1 - s)];
+    }
+  }
+  nn::Tensor backward_states = ReverseSessions(
+      inter_backward_->Forward(ReverseSessions(sessions), reversed_mask));
+  nn::Tensor evolved = inter_merge_->Forward(
+      nn::Concat({forward_states, backward_states}, /*axis=*/2));
+
+  // -- Candidate-aware attention over both levels ------------------------------
+  auto attend = [&](const nn::Tensor& states) {
+    nn::Tensor scores = nn::Reshape(
+        nn::BatchMatMul(states, nn::Reshape(candidate, {b_dim, k_dim, 1})),
+        {b_dim, s_count});
+    nn::Tensor probs = nn::MaskedSoftmaxLastDim(scores, session_mask);
+    return nn::SumAxis(
+        nn::Mul(nn::Reshape(probs, {b_dim, s_count, 1}), states), /*axis=*/1);
+  };
+  nn::Tensor interest = attend(sessions);
+  nn::Tensor evolution = attend(evolved);
+
+  std::vector<nn::Tensor> features;
+  features.push_back(nn::Reshape(embeddings().CategoricalEmbeddings(batch),
+                                 {b_dim, batch.num_cat * k_dim}));
+  features.push_back(interest);
+  features.push_back(evolution);
+  nn::Tensor product_i = nn::Mul(interest, candidate);
+  nn::Tensor product_e = nn::Mul(evolution, candidate);
+  features.push_back(product_i);
+  features.push_back(nn::SumAxis(product_i, 1, /*keepdims=*/true));
+  features.push_back(product_e);
+  features.push_back(nn::SumAxis(product_e, 1, /*keepdims=*/true));
+  for (int j = 1; j < batch.num_seq; ++j) {
+    features.push_back(MaskedMeanPool(embeddings().SequenceEmbeddings(batch, j),
+                                      batch.seq_mask));
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
+}
+
+}  // namespace miss::models

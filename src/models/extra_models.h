@@ -1,0 +1,61 @@
+// Additional mainstream baselines referenced in the paper's related work:
+// Wide&Deep (Cheng et al., DLRS 2016) and DSIN (Feng et al., IJCAI 2019).
+
+#ifndef MISS_MODELS_EXTRA_MODELS_H_
+#define MISS_MODELS_EXTRA_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace miss::models {
+
+// Wide&Deep: a linear ("wide") component over the raw features plus a DNN
+// ("deep") component over the embeddings, summed into one logit.
+class WideDeepModel : public CtrModel {
+ public:
+  WideDeepModel(const data::DatasetSchema& schema, const ModelConfig& config,
+                uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "Wide&Deep"; }
+
+ private:
+  std::unique_ptr<EmbeddingSet> wide_weights_;
+  nn::Tensor bias_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// DSIN: Deep Session Interest Network. The behavior sequence is divided
+// into sessions; a self-attention layer models the homogeneous interest
+// within each session, a Bi-LSTM models the evolution across sessions, and
+// candidate-aware attention pools both levels.
+//
+// The original segments sessions by 30-minute gaps; our Batch carries no
+// timestamps, so sessions are fixed-length windows (`session_len`), which
+// preserves the two-level intra/inter-session structure.
+class DsinModel : public CtrModel {
+ public:
+  DsinModel(const data::DatasetSchema& schema, const ModelConfig& config,
+            uint64_t seed, int64_t session_len = 5);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DSIN"; }
+
+ private:
+  int64_t session_len_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> intra_session_;
+  std::unique_ptr<nn::LstmRunner> inter_forward_;
+  std::unique_ptr<nn::LstmRunner> inter_backward_;
+  std::unique_ptr<nn::Linear> inter_merge_;  // 2K -> K
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_EXTRA_MODELS_H_

@@ -1,0 +1,348 @@
+#include "models/interest_models.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+namespace {
+
+std::vector<int64_t> MlpDims(int64_t in_dim, const ModelConfig& config) {
+  std::vector<int64_t> dims = {in_dim};
+  dims.insert(dims.end(), config.mlp_hidden.begin(), config.mlp_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+// Tiles a [B, K] candidate embedding to [B, L, K] (broadcast add with a
+// constant zero tensor keeps the tape small).
+nn::Tensor TileCandidate(const nn::Tensor& candidate, int64_t l_dim) {
+  const int64_t b_dim = candidate.dim(0);
+  const int64_t k_dim = candidate.dim(1);
+  nn::Tensor zero = nn::Tensor::Zeros({b_dim, l_dim, k_dim});
+  return nn::Add(zero, nn::Reshape(candidate, {b_dim, 1, k_dim}));
+}
+
+// Weighted sum pooling: probs [B, L] applied to seq [B, L, K] -> [B, K].
+nn::Tensor WeightedSum(const nn::Tensor& probs, const nn::Tensor& seq) {
+  const int64_t b_dim = seq.dim(0);
+  const int64_t l_dim = seq.dim(1);
+  nn::Tensor w = nn::Reshape(probs, {b_dim, l_dim, 1});
+  return nn::SumAxis(nn::Mul(w, seq), /*axis=*/1);
+}
+
+// Candidate counterpart field for sequence j, or -1 when none exists.
+int CandidateFieldFor(const data::DatasetSchema& schema, int j) {
+  const int field = schema.seq_shares_table_with[j];
+  return field;
+}
+
+// By convention, sequence field 0 is the primary (item-id) behavior
+// sequence; DIEN/SIM/DMR model interests over it.
+constexpr int kPrimarySeq = 0;
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// LocalActivationUnit
+// ----------------------------------------------------------------------------
+
+LocalActivationUnit::LocalActivationUnit(int64_t dim, common::Rng& rng) {
+  att_mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{4 * dim, 16, 1}, nn::Activation::kPRelu,
+      nn::Activation::kNone, rng);
+  RegisterChild(att_mlp_.get());
+}
+
+nn::Tensor LocalActivationUnit::AttentionProbs(
+    const nn::Tensor& seq, const nn::Tensor& candidate,
+    const std::vector<float>& mask) const {
+  const int64_t b_dim = seq.dim(0);
+  const int64_t l_dim = seq.dim(1);
+  nn::Tensor cand = TileCandidate(candidate, l_dim);
+  nn::Tensor features = nn::Concat(
+      {cand, seq, nn::Sub(cand, seq), nn::Mul(cand, seq)}, /*axis=*/2);
+  nn::Tensor scores =
+      nn::Reshape(att_mlp_->Forward(features), {b_dim, l_dim});
+  return nn::MaskedSoftmaxLastDim(scores, mask);
+}
+
+nn::Tensor LocalActivationUnit::Forward(const nn::Tensor& seq,
+                                        const nn::Tensor& candidate,
+                                        const std::vector<float>& mask) const {
+  return WeightedSum(AttentionProbs(seq, candidate, mask), seq);
+}
+
+// ----------------------------------------------------------------------------
+// DIN
+// ----------------------------------------------------------------------------
+
+DinModel::DinModel(const data::DatasetSchema& schema,
+                   const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  for (int64_t j = 0; j < schema.num_sequential(); ++j) {
+    laups_.push_back(std::make_unique<LocalActivationUnit>(
+        config.embedding_dim, init_rng()));
+    RegisterChild(laups_.back().get());
+  }
+  int64_t product_fields = 0;
+  for (int64_t j = 0; j < schema.num_sequential(); ++j) {
+    if (schema.seq_shares_table_with[j] >= 0) ++product_fields;
+  }
+  const int64_t in_dim =
+      (schema.num_fields() + product_fields) * config.embedding_dim +
+      product_fields;
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kPRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor DinModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t k_dim = config_.embedding_dim;
+
+  std::vector<nn::Tensor> features;
+  features.push_back(nn::Reshape(embeddings().CategoricalEmbeddings(batch),
+                                 {b_dim, batch.num_cat * k_dim}));
+  for (int j = 0; j < batch.num_seq; ++j) {
+    nn::Tensor seq = embeddings().SequenceEmbeddings(batch, j);
+    const int cand_field = CandidateFieldFor(schema(), j);
+    nn::Tensor pooled;
+    if (cand_field >= 0) {
+      nn::Tensor candidate = embeddings().FieldEmbedding(batch, cand_field);
+      pooled = laups_[j]->Forward(seq, candidate, batch.seq_mask);
+      // Explicit candidate-history interaction: MLPs struggle to learn the
+      // multiplicative match from concatenation alone.
+      nn::Tensor product = nn::Mul(candidate, pooled);
+      features.push_back(product);
+      features.push_back(nn::SumAxis(product, 1, /*keepdims=*/true));
+    } else {
+      pooled = MaskedMeanPool(seq, batch.seq_mask);
+    }
+    features.push_back(pooled);
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// DIEN
+// ----------------------------------------------------------------------------
+
+DienModel::DienModel(const data::DatasetSchema& schema,
+                     const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  extractor_ = std::make_unique<nn::GruRunner>(
+      config.embedding_dim, config.embedding_dim, init_rng());
+  RegisterChild(extractor_.get());
+  evolution_ = std::make_unique<nn::GruCell>(
+      config.embedding_dim, config.embedding_dim, init_rng());
+  RegisterChild(evolution_.get());
+  const int64_t in_dim =
+      (schema.num_fields() + 2) * config.embedding_dim + 2;
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kPRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor DienModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  const int64_t k_dim = config_.embedding_dim;
+
+  // Interest extraction: GRU over the item sequence.
+  nn::Tensor item_seq = embeddings().SequenceEmbeddings(batch, kPrimarySeq);
+  nn::Tensor interests =
+      extractor_->Forward(item_seq, batch.seq_mask);  // [B, L, K]
+
+  // Attention of each interest state toward the target item.
+  nn::Tensor candidate = embeddings().FieldEmbedding(batch, CandidateFieldFor(schema(), kPrimarySeq));
+  nn::Tensor scores = nn::Reshape(
+      nn::BatchMatMul(interests, nn::Reshape(candidate, {b_dim, k_dim, 1})),
+      {b_dim, l_dim});
+  nn::Tensor probs = nn::MaskedSoftmaxLastDim(scores, batch.seq_mask);
+
+  // Interest evolution: AUGRU sweep with attention-scaled update gates.
+  nn::Tensor h = nn::Tensor::Zeros({b_dim, k_dim});
+  for (int64_t t = 0; t < l_dim; ++t) {
+    nn::Tensor xt =
+        nn::Reshape(nn::Slice(interests, 1, t, 1), {b_dim, k_dim});
+    nn::Tensor at = nn::Reshape(nn::Slice(probs, 1, t, 1), {b_dim, 1});
+    // Padded steps have zero attention, so the state is untouched there.
+    h = evolution_->ForwardAttentional(xt, h, at);
+  }
+
+  std::vector<nn::Tensor> features;
+  features.push_back(nn::Reshape(embeddings().CategoricalEmbeddings(batch),
+                                 {b_dim, batch.num_cat * k_dim}));
+  features.push_back(h);
+  nn::Tensor product_h = nn::Mul(h, candidate);
+  features.push_back(product_h);
+  features.push_back(nn::SumAxis(product_h, 1, /*keepdims=*/true));
+  nn::Tensor pooled_raw = MaskedMeanPool(item_seq, batch.seq_mask);
+  nn::Tensor product_raw = nn::Mul(pooled_raw, candidate);
+  features.push_back(product_raw);
+  features.push_back(nn::SumAxis(product_raw, 1, /*keepdims=*/true));
+  for (int j = 1; j < batch.num_seq; ++j) {
+    features.push_back(MaskedMeanPool(embeddings().SequenceEmbeddings(batch, j),
+                                      batch.seq_mask));
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// SIM(soft)
+// ----------------------------------------------------------------------------
+
+SimModel::SimModel(const data::DatasetSchema& schema,
+                   const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  laup_ = std::make_unique<LocalActivationUnit>(config.embedding_dim,
+                                                init_rng());
+  RegisterChild(laup_.get());
+  const int64_t in_dim =
+      (schema.num_fields() + 3) * config.embedding_dim + 2;
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kPRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor SimModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  const int64_t k_dim = config_.embedding_dim;
+  const int64_t top_k = std::min<int64_t>(config_.sim_top_k, l_dim);
+
+  nn::Tensor item_seq = embeddings().SequenceEmbeddings(batch, kPrimarySeq);
+  nn::Tensor candidate = embeddings().FieldEmbedding(batch, CandidateFieldFor(schema(), kPrimarySeq));
+
+  // Soft search: rank valid behaviors by inner product with the target.
+  // The selection itself is non-differentiable (a retrieval step); gradients
+  // flow through the selected embeddings.
+  const auto& seq_v = item_seq.value();
+  const auto& cand_v = candidate.value();
+  std::vector<int64_t> selected(b_dim * top_k, 0);
+  std::vector<float> sub_mask(b_dim * top_k, 0.0f);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    std::vector<std::pair<float, int64_t>> scored;
+    for (int64_t l = 0; l < l_dim; ++l) {
+      if (batch.seq_mask[b * l_dim + l] == 0.0f) continue;
+      float dot = 0.0f;
+      for (int64_t k = 0; k < k_dim; ++k) {
+        dot += seq_v[(b * l_dim + l) * k_dim + k] * cand_v[b * k_dim + k];
+      }
+      scored.emplace_back(dot, l);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const int64_t take = std::min<int64_t>(top_k, scored.size());
+    for (int64_t t = 0; t < take; ++t) {
+      selected[b * top_k + t] = scored[t].second;
+      sub_mask[b * top_k + t] = 1.0f;
+    }
+  }
+
+  nn::Tensor retrieved = nn::SelectTimeSteps(item_seq, selected, top_k);
+  nn::Tensor pooled = laup_->Forward(retrieved, candidate, sub_mask);
+
+  std::vector<nn::Tensor> features;
+  features.push_back(nn::Reshape(embeddings().CategoricalEmbeddings(batch),
+                                 {b_dim, batch.num_cat * k_dim}));
+  features.push_back(pooled);
+  nn::Tensor full_pool = MaskedMeanPool(item_seq, batch.seq_mask);
+  features.push_back(full_pool);
+  nn::Tensor product_s = nn::Mul(pooled, candidate);
+  features.push_back(product_s);
+  features.push_back(nn::SumAxis(product_s, 1, /*keepdims=*/true));
+  nn::Tensor product_full = nn::Mul(full_pool, candidate);
+  features.push_back(product_full);
+  features.push_back(nn::SumAxis(product_full, 1, /*keepdims=*/true));
+  for (int j = 1; j < batch.num_seq; ++j) {
+    features.push_back(MaskedMeanPool(embeddings().SequenceEmbeddings(batch, j),
+                                      batch.seq_mask));
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
+}
+
+// ----------------------------------------------------------------------------
+// DMR
+// ----------------------------------------------------------------------------
+
+DmrModel::DmrModel(const data::DatasetSchema& schema,
+                   const ModelConfig& config, uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  u2i_ = std::make_unique<LocalActivationUnit>(config.embedding_dim,
+                                               init_rng());
+  RegisterChild(u2i_.get());
+  i2i_query_ = std::make_unique<nn::Linear>(config.embedding_dim,
+                                            config.embedding_dim, init_rng());
+  RegisterChild(i2i_query_.get());
+  i2i_key_ = std::make_unique<nn::Linear>(config.embedding_dim,
+                                          config.embedding_dim, init_rng());
+  RegisterChild(i2i_key_.get());
+  // Inputs: all fields + u2i/i2i summaries + their candidate products +
+  // two relevance scalars.
+  const int64_t in_dim =
+      schema.num_fields() * config.embedding_dim + 4 * config.embedding_dim + 2;
+  deep_ = std::make_unique<nn::Mlp>(MlpDims(in_dim, config),
+                                    nn::Activation::kPRelu,
+                                    nn::Activation::kNone, init_rng());
+  RegisterChild(deep_.get());
+}
+
+nn::Tensor DmrModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t l_dim = batch.seq_len;
+  const int64_t k_dim = config_.embedding_dim;
+
+  nn::Tensor item_seq = embeddings().SequenceEmbeddings(batch, kPrimarySeq);
+  nn::Tensor candidate = embeddings().FieldEmbedding(batch, CandidateFieldFor(schema(), kPrimarySeq));
+
+  // User-to-item: attention summary + relevance <u, e_c>.
+  nn::Tensor u = u2i_->Forward(item_seq, candidate, batch.seq_mask);
+  nn::Tensor r1 = nn::SumAxis(nn::Mul(u, candidate), /*axis=*/1,
+                              /*keepdims=*/true);  // [B, 1]
+
+  // Item-to-item: projected inner-product attention; the pre-softmax score
+  // mass doubles as a relevance feature.
+  nn::Tensor q = i2i_query_->Forward(candidate);           // [B, K]
+  nn::Tensor keys = i2i_key_->Forward(item_seq);           // [B, L, K]
+  nn::Tensor scores = nn::Reshape(
+      nn::BatchMatMul(keys, nn::Reshape(q, {b_dim, k_dim, 1})),
+      {b_dim, l_dim});
+  nn::Tensor probs = nn::MaskedSoftmaxLastDim(scores, batch.seq_mask);
+  nn::Tensor v = WeightedSum(probs, item_seq);
+  std::vector<float> mask_copy = batch.seq_mask;
+  nn::Tensor mask_tensor =
+      nn::Tensor::FromData({b_dim, l_dim}, std::move(mask_copy));
+  nn::Tensor r2 = nn::MulScalar(
+      nn::SumAxis(nn::Mul(nn::Sigmoid(scores), mask_tensor),
+                  /*axis=*/1, /*keepdims=*/true),
+      1.0f / static_cast<float>(l_dim));
+
+  std::vector<nn::Tensor> features;
+  features.push_back(nn::Reshape(embeddings().CategoricalEmbeddings(batch),
+                                 {b_dim, batch.num_cat * k_dim}));
+  for (int j = 0; j < batch.num_seq; ++j) {
+    features.push_back(MaskedMeanPool(embeddings().SequenceEmbeddings(batch, j),
+                                      batch.seq_mask));
+  }
+  features.push_back(u);
+  features.push_back(v);
+  features.push_back(nn::Mul(u, candidate));
+  features.push_back(nn::Mul(v, candidate));
+  features.push_back(r1);
+  features.push_back(r2);
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
+}
+
+}  // namespace miss::models

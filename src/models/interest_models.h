@@ -1,0 +1,104 @@
+// User-interest-modeling baselines: DIN, DIEN, SIM(soft), DMR.
+
+#ifndef MISS_MODELS_INTEREST_MODELS_H_
+#define MISS_MODELS_INTEREST_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace miss::models {
+
+// DIN's local activation unit (Zhou et al., KDD 2018): candidate-aware
+// attention pooling over a behavior sequence. The attention net scores
+// concat(e_cand, e_l, e_cand - e_l, e_cand * e_l) per position.
+class LocalActivationUnit : public nn::Module {
+ public:
+  LocalActivationUnit(int64_t dim, common::Rng& rng);
+
+  // seq: [B, L, K], candidate: [B, K], mask: [B, L] -> attention
+  // probabilities [B, L] (masked softmax).
+  nn::Tensor AttentionProbs(const nn::Tensor& seq, const nn::Tensor& candidate,
+                            const std::vector<float>& mask) const;
+
+  // Attention-weighted sum pooling -> [B, K].
+  nn::Tensor Forward(const nn::Tensor& seq, const nn::Tensor& candidate,
+                     const std::vector<float>& mask) const;
+
+ private:
+  std::unique_ptr<nn::Mlp> att_mlp_;  // 4K -> 36 -> 1
+};
+
+// DIN: local-activation-unit pooling of every behavior sequence against its
+// candidate counterpart field, followed by an MLP with PReLU activations.
+class DinModel : public CtrModel {
+ public:
+  DinModel(const data::DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DIN"; }
+
+ private:
+  std::vector<std::unique_ptr<LocalActivationUnit>> laups_;  // one per J
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// DIEN (Zhou et al., AAAI 2019): a GRU interest-extraction layer over the
+// item sequence followed by an attention-updated GRU (AUGRU) interest
+// evolution layer. (The optional auxiliary next-behavior loss is omitted;
+// the paper's MISS experiments treat DIEN as a plain CTR baseline.)
+class DienModel : public CtrModel {
+ public:
+  DienModel(const data::DatasetSchema& schema, const ModelConfig& config,
+            uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DIEN"; }
+
+ private:
+  std::unique_ptr<nn::GruRunner> extractor_;
+  std::unique_ptr<nn::GruCell> evolution_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// SIM(soft) (Pi et al., CIKM 2020): soft-search retrieves the top-k
+// behaviors by embedding inner product with the target, then applies
+// DIN-style attention over the retrieved subsequence.
+class SimModel : public CtrModel {
+ public:
+  SimModel(const data::DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "SIM(soft)"; }
+
+ private:
+  std::unique_ptr<LocalActivationUnit> laup_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+// DMR (Lyu et al., AAAI 2020): user-to-item and item-to-item relevance
+// networks whose attention summaries and relevance scalars feed the CTR MLP.
+class DmrModel : public CtrModel {
+ public:
+  DmrModel(const data::DatasetSchema& schema, const ModelConfig& config,
+           uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DMR"; }
+
+ private:
+  std::unique_ptr<LocalActivationUnit> u2i_;
+  std::unique_ptr<nn::Linear> i2i_query_;
+  std::unique_ptr<nn::Linear> i2i_key_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_INTEREST_MODELS_H_

@@ -1,0 +1,43 @@
+#include "models/linear_models.h"
+
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+LrModel::LrModel(const data::DatasetSchema& schema, const ModelConfig& config,
+                 uint64_t seed)
+    : CtrModel(schema, config, seed) {
+  weights_ = std::make_unique<EmbeddingSet>(schema, /*dim=*/1, init_rng());
+  RegisterChild(weights_.get());
+  bias_ = AddParameter(nn::Tensor::Zeros({1}, /*requires_grad=*/true));
+}
+
+nn::Tensor LrModel::FirstOrderLogit(const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  // [B, I+J, 1]: categorical weights plus mean-pooled sequence weights.
+  nn::Tensor field_weights = FieldMatrix(*weights_, batch);
+  nn::Tensor sum = nn::SumAxis(field_weights, /*axis=*/1);  // [B, 1]
+  return nn::Reshape(nn::Add(sum, bias_), {b_dim});
+}
+
+nn::Tensor LrModel::Forward(const data::Batch& batch, bool training) {
+  return FirstOrderLogit(batch);
+}
+
+FmModel::FmModel(const data::DatasetSchema& schema, const ModelConfig& config,
+                 uint64_t seed)
+    : LrModel(schema, config, seed) {}
+
+nn::Tensor FmModel::Forward(const data::Batch& batch, bool training) {
+  const int64_t b_dim = batch.batch_size;
+  nn::Tensor fields = FieldMatrix(embeddings(), batch);  // [B, F, K]
+  nn::Tensor sum_f = nn::SumAxis(fields, /*axis=*/1);    // [B, K]
+  nn::Tensor square_of_sum = nn::Square(sum_f);
+  nn::Tensor sum_of_square = nn::SumAxis(nn::Square(fields), /*axis=*/1);
+  nn::Tensor pairwise = nn::MulScalar(
+      nn::SumAxis(nn::Sub(square_of_sum, sum_of_square), /*axis=*/1), 0.5f);
+  return nn::Add(FirstOrderLogit(batch), nn::Reshape(pairwise, {b_dim}));
+}
+
+}  // namespace miss::models

@@ -1,0 +1,45 @@
+// Shallow baselines: Logistic Regression and Factorization Machines.
+
+#ifndef MISS_MODELS_LINEAR_MODELS_H_
+#define MISS_MODELS_LINEAR_MODELS_H_
+
+#include <memory>
+#include <string>
+
+#include "models/ctr_model.h"
+
+namespace miss::models {
+
+// LR: logit = b + sum of per-feature weights. Sequence fields contribute
+// the mean of their members' weights. (Lee et al., KDD 2012 baseline.)
+class LrModel : public CtrModel {
+ public:
+  LrModel(const data::DatasetSchema& schema, const ModelConfig& config,
+          uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "LR"; }
+
+ protected:
+  // The first-order part; reused by FM.
+  nn::Tensor FirstOrderLogit(const data::Batch& batch);
+
+ private:
+  std::unique_ptr<EmbeddingSet> weights_;  // dim-1 "embeddings" = weights
+  nn::Tensor bias_;
+};
+
+// FM (Rendle, ICDM 2010): first-order term + pairwise interactions
+// 0.5 * sum_k [(sum_f v_fk)^2 - sum_f v_fk^2].
+class FmModel : public LrModel {
+ public:
+  FmModel(const data::DatasetSchema& schema, const ModelConfig& config,
+          uint64_t seed);
+
+  nn::Tensor Forward(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "FM"; }
+};
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_LINEAR_MODELS_H_

@@ -1,0 +1,59 @@
+#include "models/model_factory.h"
+
+#include "common/check.h"
+#include "models/attention_models.h"
+#include "models/deep_models.h"
+#include "models/interest_models.h"
+#include "models/extra_models.h"
+#include "models/linear_models.h"
+
+namespace miss::models {
+
+std::unique_ptr<CtrModel> CreateModel(const std::string& name,
+                                      const data::DatasetSchema& schema,
+                                      const ModelConfig& config,
+                                      uint64_t seed) {
+  if (name == "lr") return std::make_unique<LrModel>(schema, config, seed);
+  if (name == "fm") return std::make_unique<FmModel>(schema, config, seed);
+  if (name == "deepfm") {
+    return std::make_unique<DeepFmModel>(schema, config, seed);
+  }
+  if (name == "ipnn") return std::make_unique<IpnnModel>(schema, config, seed);
+  if (name == "dcn") {
+    return std::make_unique<DcnModel>(schema, config, seed,
+                                      DcnModel::CrossForm::kVector);
+  }
+  if (name == "dcnm") {
+    return std::make_unique<DcnModel>(schema, config, seed,
+                                      DcnModel::CrossForm::kMatrix);
+  }
+  if (name == "xdeepfm") {
+    return std::make_unique<XDeepFmModel>(schema, config, seed);
+  }
+  if (name == "din") return std::make_unique<DinModel>(schema, config, seed);
+  if (name == "dien") return std::make_unique<DienModel>(schema, config, seed);
+  if (name == "sim") return std::make_unique<SimModel>(schema, config, seed);
+  if (name == "dmr") return std::make_unique<DmrModel>(schema, config, seed);
+  if (name == "autoint") {
+    return std::make_unique<AutoIntModel>(schema, config, seed);
+  }
+  if (name == "fignn") {
+    return std::make_unique<FiGnnModel>(schema, config, seed);
+  }
+  if (name == "wide_deep") {
+    return std::make_unique<WideDeepModel>(schema, config, seed);
+  }
+  if (name == "dsin") {
+    return std::make_unique<DsinModel>(schema, config, seed);
+  }
+  MISS_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> KnownModelNames() {
+  return {"lr",   "fm",  "deepfm", "ipnn", "dcn",     "dcnm",
+          "xdeepfm", "din", "dien", "sim",  "dmr",     "autoint",
+          "fignn", "wide_deep", "dsin"};
+}
+
+}  // namespace miss::models

@@ -1,0 +1,28 @@
+// Creates CTR models by name; used by the experiment harness and benches.
+
+#ifndef MISS_MODELS_MODEL_FACTORY_H_
+#define MISS_MODELS_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/ctr_model.h"
+
+namespace miss::models {
+
+// Known names: "lr", "fm", "deepfm", "ipnn", "dcn", "dcnm", "xdeepfm",
+// "din", "dien", "sim", "dmr", "autoint", "fignn", "wide_deep", "dsin".
+// Aborts on unknown names.
+std::unique_ptr<CtrModel> CreateModel(const std::string& name,
+                                      const data::DatasetSchema& schema,
+                                      const ModelConfig& config,
+                                      uint64_t seed);
+
+// All names accepted by CreateModel (the 13 Table IV baselines first,
+// then the extra related-work models Wide&Deep and DSIN).
+std::vector<std::string> KnownModelNames();
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_MODEL_FACTORY_H_

@@ -1,0 +1,47 @@
+#include "models/pooling.h"
+
+#include "models/embedding_set.h"
+#include "nn/ops.h"
+
+namespace miss::models {
+
+nn::Tensor MaskedMeanPool(const nn::Tensor& seq,
+                          const std::vector<float>& mask) {
+  MISS_CHECK_EQ(seq.ndim(), 3);
+  const int64_t b_dim = seq.dim(0);
+  const int64_t l_dim = seq.dim(1);
+  MISS_CHECK_EQ(static_cast<int64_t>(mask.size()), b_dim * l_dim);
+
+  // Multiply by the mask (as a constant [B, L, 1] tensor), sum over time,
+  // divide by valid counts.
+  std::vector<float> mask_data(mask);
+  nn::Tensor mask_tensor =
+      nn::Tensor::FromData({b_dim, l_dim, 1}, std::move(mask_data));
+  nn::Tensor summed = nn::SumAxis(nn::Mul(seq, mask_tensor), /*axis=*/1);
+
+  std::vector<float> inv_counts(b_dim);
+  for (int64_t b = 0; b < b_dim; ++b) {
+    float count = 0.0f;
+    for (int64_t l = 0; l < l_dim; ++l) count += mask[b * l_dim + l];
+    inv_counts[b] = count > 0.0f ? 1.0f / count : 0.0f;
+  }
+  nn::Tensor inv = nn::Tensor::FromData({b_dim, 1}, std::move(inv_counts));
+  return nn::Mul(summed, inv);
+}
+
+nn::Tensor FieldMatrix(const EmbeddingSet& embeddings,
+                       const data::Batch& batch) {
+  const int64_t b_dim = batch.batch_size;
+  const int64_t k_dim = embeddings.dim();
+  std::vector<nn::Tensor> parts;
+  parts.push_back(embeddings.CategoricalEmbeddings(batch));  // [B, I, K]
+  for (int64_t j = 0; j < batch.num_seq; ++j) {
+    nn::Tensor pooled =
+        MaskedMeanPool(embeddings.SequenceEmbeddings(batch, j),
+                       batch.seq_mask);  // [B, K]
+    parts.push_back(nn::Reshape(pooled, {b_dim, 1, k_dim}));
+  }
+  return nn::Concat(parts, /*axis=*/1);  // [B, I+J, K]
+}
+
+}  // namespace miss::models

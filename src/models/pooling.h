@@ -1,0 +1,26 @@
+// Sequence pooling helpers shared across models.
+
+#ifndef MISS_MODELS_POOLING_H_
+#define MISS_MODELS_POOLING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace miss::models {
+
+// Mean over valid positions: seq [B, L, K], mask [B, L] -> [B, K].
+// All-padding rows yield zeros.
+nn::Tensor MaskedMeanPool(const nn::Tensor& seq,
+                          const std::vector<float>& mask);
+
+// Builds the standard field list for feature-interaction models:
+// I categorical embeddings plus J mean-pooled sequence embeddings,
+// stacked to [B, I+J, K].
+nn::Tensor FieldMatrix(const class EmbeddingSet& embeddings,
+                       const data::Batch& batch);
+
+}  // namespace miss::models
+
+#endif  // MISS_MODELS_POOLING_H_

@@ -1,0 +1,70 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/ops.h"
+
+namespace miss::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               bool residual, common::Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      residual_(residual) {
+  MISS_CHECK_EQ(head_dim_ * num_heads_, dim_)
+      << "dim must be divisible by num_heads";
+  wq_ = std::make_unique<Linear>(dim, dim, rng);
+  wk_ = std::make_unique<Linear>(dim, dim, rng);
+  wv_ = std::make_unique<Linear>(dim, dim, rng);
+  wo_ = std::make_unique<Linear>(dim, dim, rng);
+  for (Module* m : {(Module*)wq_.get(), (Module*)wk_.get(), (Module*)wv_.get(),
+                    (Module*)wo_.get()}) {
+    RegisterChild(m);
+  }
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const std::vector<float>& mask) const {
+  MISS_CHECK_EQ(x.ndim(), 3);
+  const int64_t b_dim = x.dim(0);
+  const int64_t l_dim = x.dim(1);
+  MISS_CHECK_EQ(x.dim(2), dim_);
+
+  Tensor q = wq_->Forward(x);
+  Tensor k = wk_->Forward(x);
+  Tensor v = wv_->Forward(x);
+
+  // Tile the key mask to [B, L, L]: every query row shares the key mask.
+  std::vector<float> tiled_mask;
+  if (!mask.empty()) {
+    MISS_CHECK_EQ(static_cast<int64_t>(mask.size()), b_dim * l_dim);
+    tiled_mask.resize(b_dim * l_dim * l_dim);
+    for (int64_t b = 0; b < b_dim; ++b) {
+      for (int64_t i = 0; i < l_dim; ++i) {
+        for (int64_t j = 0; j < l_dim; ++j) {
+          tiled_mask[(b * l_dim + i) * l_dim + j] = mask[b * l_dim + j];
+        }
+      }
+    }
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor qh = Slice(q, /*axis=*/2, h * head_dim_, head_dim_);
+    Tensor kh = Slice(k, /*axis=*/2, h * head_dim_, head_dim_);
+    Tensor vh = Slice(v, /*axis=*/2, h * head_dim_, head_dim_);
+    Tensor scores = MulScalar(BatchMatMul(qh, TransposeLast2(kh)), scale);
+    Tensor probs = mask.empty() ? SoftmaxLastDim(scores)
+                                : MaskedSoftmaxLastDim(scores, tiled_mask);
+    head_outputs.push_back(BatchMatMul(probs, vh));
+  }
+  Tensor out = wo_->Forward(Concat(head_outputs, /*axis=*/2));
+  if (residual_) out = Relu(Add(x, out));
+  return out;
+}
+
+}  // namespace miss::nn

@@ -1,0 +1,39 @@
+// Multi-head self-attention over a sequence of vectors.
+// Used by AutoInt (+), FiGNN edge attention, DSIN-style session modeling
+// and the MISS-SA extractor ablation.
+
+#ifndef MISS_NN_ATTENTION_H_
+#define MISS_NN_ATTENTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace miss::nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  // dim must be divisible by num_heads. If `residual`, the output is
+  // relu(x + attention(x)) as in AutoInt.
+  MultiHeadSelfAttention(int64_t dim, int64_t num_heads, bool residual,
+                         common::Rng& rng);
+
+  // x: [B, L, dim]; mask: per-position key mask [B, L] (1 = valid) or empty
+  // for no masking. Returns [B, L, dim].
+  Tensor Forward(const Tensor& x, const std::vector<float>& mask) const;
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  bool residual_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+};
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_ATTENTION_H_

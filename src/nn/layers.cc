@@ -1,0 +1,78 @@
+#include "nn/layers.h"
+
+#include <memory>
+#include <utility>
+
+namespace miss::nn {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, common::Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = AddParameter(
+      Tensor::XavierUniform({in_dim, out_dim}, rng, /*requires_grad=*/true));
+  bias_ = AddParameter(Tensor::Zeros({out_dim}, /*requires_grad=*/true));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  MISS_CHECK_EQ(x.dim(-1), in_dim_);
+  return Add(MatMul(x, weight_), bias_);
+}
+
+PRelu::PRelu(float init_slope) {
+  slope_ = AddParameter(Tensor::Full({1}, init_slope, /*requires_grad=*/true));
+}
+
+Tensor PRelu::Forward(const Tensor& x) const {
+  // prelu(x) = relu(x) - slope * relu(-x)
+  return Sub(Relu(x), Mul(slope_, Relu(Neg(x))));
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation hidden, Activation output,
+         common::Rng& rng)
+    : dims_(std::move(dims)), hidden_(hidden), output_(output) {
+  MISS_CHECK_GE(dims_.size(), 2u);
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims_[i], dims_[i + 1], rng));
+    RegisterChild(layers_.back().get());
+    prelus_.push_back(std::make_unique<PRelu>());
+    RegisterChild(prelus_.back().get());
+  }
+}
+
+Tensor Mlp::Activate(const Tensor& x, Activation act, size_t layer) const {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kPRelu:
+      return prelus_[layer]->Forward(x);
+  }
+  return x;
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    const bool last = (i + 1 == layers_.size());
+    h = Activate(h, last ? output_ : hidden_, i);
+  }
+  return h;
+}
+
+Embedding::Embedding(int64_t vocab, int64_t dim, common::Rng& rng,
+                     float init_stddev) {
+  table_ = AddParameter(Tensor::RandomNormal({vocab, dim}, init_stddev, rng,
+                                             /*requires_grad=*/true));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids,
+                          std::vector<int64_t> leading_shape) const {
+  return EmbeddingLookup(table_, ids, std::move(leading_shape));
+}
+
+}  // namespace miss::nn

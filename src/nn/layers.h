@@ -1,0 +1,91 @@
+// Standard feed-forward building blocks: Linear, MLP, PReLU, Embedding.
+
+#ifndef MISS_NN_LAYERS_H_
+#define MISS_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+// Activation applied between MLP layers.
+enum class Activation { kNone, kRelu, kSigmoid, kTanh, kPRelu };
+
+// Fully connected layer: y = x W + b, applied to the last axis of x.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, common::Rng& rng);
+
+  // x: [..., in_dim] -> [..., out_dim]
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out]
+};
+
+// Parametric ReLU with a single learnable slope (used by DIN-style towers).
+class PRelu : public Module {
+ public:
+  explicit PRelu(float init_slope = 0.25f);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor slope_;  // [1]
+};
+
+// Multi-layer perceptron. `dims` = {in, h1, ..., out}. The hidden
+// activation is applied between layers; `output_activation` after the last.
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<int64_t> dims, Activation hidden, Activation output,
+      common::Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_dim() const { return dims_.front(); }
+  int64_t out_dim() const { return dims_.back(); }
+
+ private:
+  Tensor Activate(const Tensor& x, Activation act, size_t layer) const;
+
+  std::vector<int64_t> dims_;
+  Activation hidden_;
+  Activation output_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+  std::vector<std::unique_ptr<PRelu>> prelus_;  // one per layer if kPRelu
+};
+
+// Embedding table of shape [vocab, dim]. Index -1 denotes padding and maps
+// to a zero vector with no gradient.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t dim, common::Rng& rng,
+            float init_stddev = 0.05f);
+
+  // ids laid out in row-major `leading_shape` order; result
+  // [leading_shape..., dim].
+  Tensor Forward(const std::vector<int64_t>& ids,
+                 std::vector<int64_t> leading_shape) const;
+
+  const Tensor& table() const { return table_; }
+  int64_t vocab() const { return table_.dim(0); }
+  int64_t dim() const { return table_.dim(1); }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_LAYERS_H_

@@ -1,0 +1,60 @@
+// Base class for parameterized network components.
+//
+// A Module owns trainable parameters (requires_grad tensors) and may
+// aggregate child modules; Parameters() walks the tree so optimizers see a
+// flat list. Modules are neither copyable nor movable: they are identity
+// objects referenced by the models that own them.
+
+#ifndef MISS_NN_MODULE_H_
+#define MISS_NN_MODULE_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  // All trainable parameters of this module and its registered children.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out = params_;
+    for (const Module* child : children_) {
+      std::vector<Tensor> sub = child->Parameters();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+
+  // Total number of scalar parameters (for complexity reporting).
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const Tensor& p : Parameters()) n += p.size();
+    return n;
+  }
+
+ protected:
+  // Registers `t` as a trainable parameter and returns it.
+  Tensor AddParameter(Tensor t) {
+    MISS_CHECK(t.requires_grad());
+    params_.push_back(t);
+    return t;
+  }
+
+  // Registers a child whose parameters are reported by Parameters().
+  // The child must outlive this module (typically a member).
+  void RegisterChild(Module* child) { children_.push_back(child); }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_MODULE_H_

@@ -1,0 +1,1139 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace miss::nn {
+
+namespace {
+
+using internal::MakeResult;
+
+// ----------------------------------------------------------------------------
+// Broadcasting machinery
+// ----------------------------------------------------------------------------
+
+// Pads `shape` with leading 1s to `nd` dims.
+std::vector<int64_t> PadShape(const std::vector<int64_t>& shape, size_t nd) {
+  std::vector<int64_t> out(nd, 1);
+  std::copy(shape.begin(), shape.end(), out.begin() + (nd - shape.size()));
+  return out;
+}
+
+// Row-major strides, with stride 0 on broadcast (size-1) dims relative to
+// the output shape.
+std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& padded,
+                                      const std::vector<int64_t>& out_shape) {
+  const size_t nd = out_shape.size();
+  std::vector<int64_t> strides(nd, 0);
+  int64_t s = 1;
+  for (size_t i = nd; i-- > 0;) {
+    if (padded[i] == out_shape[i]) {
+      strides[i] = (padded[i] == 1) ? 0 : s;
+    } else {
+      MISS_CHECK_EQ(padded[i], 1)
+          << "incompatible broadcast dim " << i << ": " << padded[i] << " vs "
+          << out_shape[i];
+      strides[i] = 0;
+    }
+    s *= padded[i];
+  }
+  return strides;
+}
+
+struct BroadcastPlan {
+  std::vector<int64_t> out_shape;
+  std::vector<int64_t> a_strides;
+  std::vector<int64_t> b_strides;
+  int64_t out_size = 0;
+  bool same_shape = false;  // fast path: identical shapes
+  bool b_scalar = false;    // fast path: b has a single element
+};
+
+BroadcastPlan MakeBroadcastPlan(const std::vector<int64_t>& a,
+                                const std::vector<int64_t>& b) {
+  BroadcastPlan plan;
+  plan.out_shape = BroadcastShape(a, b);
+  plan.out_size = NumElements(plan.out_shape);
+  plan.same_shape = (a == b);
+  plan.b_scalar = (NumElements(b) == 1);
+  const size_t nd = plan.out_shape.size();
+  plan.a_strides = BroadcastStrides(PadShape(a, nd), plan.out_shape);
+  plan.b_strides = BroadcastStrides(PadShape(b, nd), plan.out_shape);
+  return plan;
+}
+
+// Calls visit(out_index, a_index, b_index) for every output element.
+template <typename Visitor>
+void ForEachBroadcast(const BroadcastPlan& plan, Visitor&& visit) {
+  if (plan.same_shape) {
+    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, o);
+    return;
+  }
+  if (plan.b_scalar) {
+    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, 0);
+    return;
+  }
+  const size_t nd = plan.out_shape.size();
+  std::vector<int64_t> idx(nd, 0);
+  int64_t ai = 0;
+  int64_t bi = 0;
+  for (int64_t o = 0; o < plan.out_size; ++o) {
+    visit(o, ai, bi);
+    for (size_t d = nd; d-- > 0;) {
+      ++idx[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (idx[d] < plan.out_shape[d]) break;
+      ai -= plan.a_strides[d] * plan.out_shape[d];
+      bi -= plan.b_strides[d] * plan.out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// Shared implementation for broadcast binary ops. `fwd(x, y)` computes the
+// value; `bwd(g, x, y, &dx, &dy)` adds the local gradients for one element.
+template <typename Fwd, typename Bwd>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
+  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
+  std::vector<float> out(plan.out_size);
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  ForEachBroadcast(plan, [&](int64_t o, int64_t ai, int64_t bi) {
+    out[o] = fwd(av[ai], bv[bi]);
+  });
+  Tensor ta = a;
+  Tensor tb = b;
+  return MakeResult(
+      plan.out_shape, std::move(out), {a, b},
+      [ta, tb, plan, bwd](Node& node) mutable {
+        const auto& g = node.grad;
+        const bool need_a = ta.requires_grad();
+        const bool need_b = tb.requires_grad();
+        auto* ga = need_a ? &ta.node()->EnsureGrad() : nullptr;
+        auto* gb = need_b ? &tb.node()->EnsureGrad() : nullptr;
+        const auto& av = ta.value();
+        const auto& bv = tb.value();
+        ForEachBroadcast(plan, [&](int64_t o, int64_t ai, int64_t bi) {
+          float dx = 0.0f;
+          float dy = 0.0f;
+          bwd(g[o], av[ai], bv[bi], &dx, &dy);
+          if (need_a) (*ga)[ai] += dx;
+          if (need_b) (*gb)[bi] += dy;
+        });
+      });
+}
+
+// Shared implementation for elementwise unary ops. `bwd(g, x, y)` returns
+// the input gradient given upstream g, input x and output y.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  const int64_t n = a.size();
+  std::vector<float> out(n);
+  const auto& av = a.value();
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(av[i]);
+  Tensor ta = a;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ta, bwd](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& av = ta.value();
+                      const auto& yv = node.value;
+                      const auto& g = node.grad;
+                      const int64_t n = static_cast<int64_t>(g.size());
+                      for (int64_t i = 0; i < n; ++i) {
+                        ga[i] += bwd(g[i], av[i], yv[i]);
+                      }
+                    });
+}
+
+// C[m, n] (+)= sum_k A[m, k] * B[k, n]
+void GemmNN(const float* a, const float* b, float* c, int64_t m_dim,
+            int64_t k_dim, int64_t n_dim) {
+  for (int64_t m = 0; m < m_dim; ++m) {
+    float* crow = c + m * n_dim;
+    const float* arow = a + m * k_dim;
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b + k * n_dim;
+      for (int64_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+// C[m, k] += sum_n A[m, n] * B[k, n]   (i.e. C += A * B^T)
+void GemmNT(const float* a, const float* b, float* c, int64_t m_dim,
+            int64_t n_dim, int64_t k_dim) {
+  for (int64_t m = 0; m < m_dim; ++m) {
+    const float* arow = a + m * n_dim;
+    float* crow = c + m * k_dim;
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const float* brow = b + k * n_dim;
+      float acc = 0.0f;
+      for (int64_t n = 0; n < n_dim; ++n) acc += arow[n] * brow[n];
+      crow[k] += acc;
+    }
+  }
+}
+
+// C[k, n] += sum_m A[m, k] * B[m, n]   (i.e. C += A^T * B)
+void GemmTN(const float* a, const float* b, float* c, int64_t m_dim,
+            int64_t k_dim, int64_t n_dim) {
+  for (int64_t m = 0; m < m_dim; ++m) {
+    const float* arow = a + m * k_dim;
+    const float* brow = b + m * n_dim;
+    for (int64_t k = 0; k < k_dim; ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      float* crow = c + k * n_dim;
+      for (int64_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    }
+  }
+}
+
+int NormalizeAxis(int axis, int ndim) {
+  if (axis < 0) axis += ndim;
+  MISS_CHECK_GE(axis, 0);
+  MISS_CHECK_LT(axis, ndim);
+  return axis;
+}
+
+}  // namespace
+
+std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b) {
+  const size_t nd = std::max(a.size(), b.size());
+  const std::vector<int64_t> pa = PadShape(a, nd);
+  const std::vector<int64_t> pb = PadShape(b, nd);
+  std::vector<int64_t> out(nd);
+  for (size_t i = 0; i < nd; ++i) {
+    if (pa[i] == pb[i]) {
+      out[i] = pa[i];
+    } else if (pa[i] == 1) {
+      out[i] = pb[i];
+    } else if (pb[i] == 1) {
+      out[i] = pa[i];
+    } else {
+      MISS_CHECK(false) << "cannot broadcast dim " << i << ": " << pa[i]
+                        << " vs " << pb[i];
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------------
+// Arithmetic
+// ----------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float g, float, float, float* dx, float* dy) {
+        *dx = g;
+        *dy = g;
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float g, float, float, float* dx, float* dy) {
+        *dx = g;
+        *dy = -g;
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float g, float x, float y, float* dx, float* dy) {
+        *dx = g * y;
+        *dy = g * x;
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float g, float x, float y, float* dx, float* dy) {
+        *dx = g / y;
+        *dy = -g * x / (y * y);
+      });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float g, float, float) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float g, float, float) { return g * s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+// ----------------------------------------------------------------------------
+// Nonlinearities
+// ----------------------------------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float g, float, float y) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float g, float, float y) { return g * (1.0f - y * y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float g, float, float y) { return g * y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(x + eps); },
+      [eps](float g, float x, float) { return g / (x + eps); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float g, float, float y) { return g * 0.5f / (y + 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float g, float x, float) { return g * 2.0f * x; });
+}
+
+// ----------------------------------------------------------------------------
+// Linear algebra
+// ----------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MISS_CHECK_GE(a.ndim(), 2);
+  MISS_CHECK_EQ(b.ndim(), 2);
+  const int64_t k_dim = a.dim(-1);
+  MISS_CHECK_EQ(k_dim, b.dim(0));
+  const int64_t n_dim = b.dim(1);
+  const int64_t rows = a.size() / k_dim;
+
+  std::vector<float> out(rows * n_dim, 0.0f);
+  GemmNN(a.value().data(), b.value().data(), out.data(), rows, k_dim, n_dim);
+
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape.back() = n_dim;
+
+  Tensor ta = a;
+  Tensor tb = b;
+  return MakeResult(
+      std::move(out_shape), std::move(out), {a, b},
+      [ta, tb, rows, k_dim, n_dim](Node& node) mutable {
+        const float* g = node.grad.data();
+        if (ta.requires_grad()) {
+          auto& ga = ta.node()->EnsureGrad();
+          // dA = dC * B^T
+          GemmNT(g, tb.value().data(), ga.data(), rows, n_dim, k_dim);
+        }
+        if (tb.requires_grad()) {
+          auto& gb = tb.node()->EnsureGrad();
+          // dB = A^T * dC
+          GemmTN(ta.value().data(), g, gb.data(), rows, k_dim, n_dim);
+        }
+      });
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  MISS_CHECK_GE(a.ndim(), 3);
+  MISS_CHECK_EQ(a.ndim(), b.ndim());
+  for (int i = 0; i < a.ndim() - 2; ++i) MISS_CHECK_EQ(a.dim(i), b.dim(i));
+  const int64_t m_dim = a.dim(-2);
+  const int64_t k_dim = a.dim(-1);
+  MISS_CHECK_EQ(k_dim, b.dim(-2));
+  const int64_t n_dim = b.dim(-1);
+  const int64_t batches = a.size() / (m_dim * k_dim);
+
+  std::vector<float> out(batches * m_dim * n_dim, 0.0f);
+  for (int64_t i = 0; i < batches; ++i) {
+    GemmNN(a.value().data() + i * m_dim * k_dim,
+           b.value().data() + i * k_dim * n_dim, out.data() + i * m_dim * n_dim,
+           m_dim, k_dim, n_dim);
+  }
+
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[out_shape.size() - 1] = n_dim;
+
+  Tensor ta = a;
+  Tensor tb = b;
+  return MakeResult(
+      std::move(out_shape), std::move(out), {a, b},
+      [ta, tb, batches, m_dim, k_dim, n_dim](Node& node) mutable {
+        const float* g = node.grad.data();
+        if (ta.requires_grad()) {
+          auto& ga = ta.node()->EnsureGrad();
+          for (int64_t i = 0; i < batches; ++i) {
+            GemmNT(g + i * m_dim * n_dim, tb.value().data() + i * k_dim * n_dim,
+                   ga.data() + i * m_dim * k_dim, m_dim, n_dim, k_dim);
+          }
+        }
+        if (tb.requires_grad()) {
+          auto& gb = tb.node()->EnsureGrad();
+          for (int64_t i = 0; i < batches; ++i) {
+            GemmTN(ta.value().data() + i * m_dim * k_dim, g + i * m_dim * n_dim,
+                   gb.data() + i * k_dim * n_dim, m_dim, k_dim, n_dim);
+          }
+        }
+      });
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  MISS_CHECK_GE(a.ndim(), 2);
+  const int64_t m_dim = a.dim(-2);
+  const int64_t n_dim = a.dim(-1);
+  const int64_t batches = a.size() / (m_dim * n_dim);
+  std::vector<float> out(a.size());
+  const auto& av = a.value();
+  for (int64_t i = 0; i < batches; ++i) {
+    const float* src = av.data() + i * m_dim * n_dim;
+    float* dst = out.data() + i * m_dim * n_dim;
+    for (int64_t m = 0; m < m_dim; ++m) {
+      for (int64_t n = 0; n < n_dim; ++n) dst[n * m_dim + m] = src[m * n_dim + n];
+    }
+  }
+  std::vector<int64_t> out_shape = a.shape();
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+
+  Tensor ta = a;
+  return MakeResult(std::move(out_shape), std::move(out), {a},
+                    [ta, batches, m_dim, n_dim](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const float* g = node.grad.data();
+                      for (int64_t i = 0; i < batches; ++i) {
+                        const float* src = g + i * m_dim * n_dim;
+                        float* dst = ga.data() + i * m_dim * n_dim;
+                        for (int64_t m = 0; m < m_dim; ++m) {
+                          for (int64_t n = 0; n < n_dim; ++n) {
+                            dst[m * n_dim + n] += src[n * m_dim + m];
+                          }
+                        }
+                      }
+                    });
+}
+
+// ----------------------------------------------------------------------------
+// Shape manipulation
+// ----------------------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  MISS_CHECK_EQ(NumElements(shape), a.size())
+      << "reshape " << a.ShapeString() << " to incompatible size";
+  Tensor ta = a;
+  return MakeResult(std::move(shape), a.value(), {a}, [ta](Node& node) mutable {
+    if (!ta.requires_grad()) return;
+    auto& ga = ta.node()->EnsureGrad();
+    const auto& g = node.grad;
+    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+  });
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  MISS_CHECK(!parts.empty());
+  const int nd = parts[0].ndim();
+  const int ax = NormalizeAxis(axis, nd);
+  std::vector<int64_t> out_shape = parts[0].shape();
+  int64_t concat_dim = 0;
+  for (const Tensor& p : parts) {
+    MISS_CHECK_EQ(p.ndim(), nd);
+    for (int i = 0; i < nd; ++i) {
+      if (i != ax) {
+        MISS_CHECK_EQ(p.dim(i), parts[0].dim(i));
+      }
+    }
+    concat_dim += p.dim(ax);
+  }
+  out_shape[ax] = concat_dim;
+
+  int64_t outer = 1;
+  for (int i = 0; i < ax; ++i) outer *= out_shape[i];
+  int64_t inner = 1;
+  for (int i = ax + 1; i < nd; ++i) inner *= out_shape[i];
+
+  std::vector<float> out(NumElements(out_shape));
+  int64_t offset = 0;  // offset along the concat axis
+  for (const Tensor& p : parts) {
+    const int64_t p_ax = p.dim(ax);
+    const auto& pv = p.value();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out.data() + (o * concat_dim + offset) * inner,
+                  pv.data() + o * p_ax * inner,
+                  sizeof(float) * p_ax * inner);
+    }
+    offset += p_ax;
+  }
+
+  std::vector<Tensor> parents = parts;
+  return MakeResult(
+      std::move(out_shape), std::move(out), parts,
+      [parents, outer, inner, concat_dim, ax](Node& node) mutable {
+        const auto& g = node.grad;
+        int64_t offset = 0;
+        for (Tensor& p : parents) {
+          const int64_t p_ax = p.dim(ax);
+          if (p.requires_grad()) {
+            auto& gp = p.node()->EnsureGrad();
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* src = g.data() + (o * concat_dim + offset) * inner;
+              float* dst = gp.data() + o * p_ax * inner;
+              for (int64_t i = 0; i < p_ax * inner; ++i) dst[i] += src[i];
+            }
+          }
+          offset += p_ax;
+        }
+      });
+}
+
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
+  const int nd = a.ndim();
+  const int ax = NormalizeAxis(axis, nd);
+  MISS_CHECK_GE(start, 0);
+  MISS_CHECK_GE(len, 0);
+  MISS_CHECK_LE(start + len, a.dim(ax));
+
+  int64_t outer = 1;
+  for (int i = 0; i < ax; ++i) outer *= a.dim(i);
+  int64_t inner = 1;
+  for (int i = ax + 1; i < nd; ++i) inner *= a.dim(i);
+  const int64_t a_ax = a.dim(ax);
+
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[ax] = len;
+  std::vector<float> out(NumElements(out_shape));
+  const auto& av = a.value();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(out.data() + o * len * inner,
+                av.data() + (o * a_ax + start) * inner,
+                sizeof(float) * len * inner);
+  }
+
+  Tensor ta = a;
+  return MakeResult(std::move(out_shape), std::move(out), {a},
+                    [ta, outer, inner, a_ax, start, len](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& g = node.grad;
+                      for (int64_t o = 0; o < outer; ++o) {
+                        const float* src = g.data() + o * len * inner;
+                        float* dst = ga.data() + (o * a_ax + start) * inner;
+                        for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
+                      }
+                    });
+}
+
+// ----------------------------------------------------------------------------
+// Reductions
+// ----------------------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.value()) acc += v;
+  Tensor ta = a;
+  return MakeResult({1}, {static_cast<float>(acc)}, {a},
+                    [ta](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const float g = node.grad[0];
+                      for (auto& v : ga) v += g;
+                    });
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.size()));
+}
+
+namespace {
+
+Tensor ReduceAxis(const Tensor& a, int axis, bool keepdims, float scale) {
+  const int nd = a.ndim();
+  const int ax = NormalizeAxis(axis, nd);
+  int64_t outer = 1;
+  for (int i = 0; i < ax; ++i) outer *= a.dim(i);
+  const int64_t n = a.dim(ax);
+  int64_t inner = 1;
+  for (int i = ax + 1; i < nd; ++i) inner *= a.dim(i);
+
+  std::vector<int64_t> out_shape;
+  for (int i = 0; i < nd; ++i) {
+    if (i == ax) {
+      if (keepdims) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.dim(i));
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+
+  std::vector<float> out(outer * inner, 0.0f);
+  const auto& av = a.value();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float* src = av.data() + (o * n + j) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  if (scale != 1.0f) {
+    for (auto& v : out) v *= scale;
+  }
+
+  Tensor ta = a;
+  return MakeResult(std::move(out_shape), std::move(out), {a},
+                    [ta, outer, n, inner, scale](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& g = node.grad;
+                      for (int64_t o = 0; o < outer; ++o) {
+                        const float* src = g.data() + o * inner;
+                        for (int64_t j = 0; j < n; ++j) {
+                          float* dst = ga.data() + (o * n + j) * inner;
+                          for (int64_t i = 0; i < inner; ++i) {
+                            dst[i] += src[i] * scale;
+                          }
+                        }
+                      }
+                    });
+}
+
+}  // namespace
+
+Tensor SumAxis(const Tensor& a, int axis, bool keepdims) {
+  return ReduceAxis(a, axis, keepdims, 1.0f);
+}
+
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdims) {
+  const int ax = NormalizeAxis(axis, a.ndim());
+  return ReduceAxis(a, axis, keepdims,
+                    1.0f / static_cast<float>(a.dim(ax)));
+}
+
+// ----------------------------------------------------------------------------
+// Softmax and losses
+// ----------------------------------------------------------------------------
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  const int64_t n = a.dim(-1);
+  const int64_t rows = a.size() / n;
+  std::vector<float> out(a.size());
+  const auto& av = a.value();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = av.data() + r * n;
+    float* dst = out.data() + r * n;
+    float max_v = src[0];
+    for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, src[i]);
+    float sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = std::exp(src[i] - max_v);
+      sum += dst[i];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+  }
+  Tensor ta = a;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ta, rows, n](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& y = node.value;
+                      const auto& g = node.grad;
+                      for (int64_t r = 0; r < rows; ++r) {
+                        const float* yr = y.data() + r * n;
+                        const float* gr = g.data() + r * n;
+                        float dot = 0.0f;
+                        for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
+                        float* dst = ga.data() + r * n;
+                        for (int64_t i = 0; i < n; ++i) {
+                          dst[i] += yr[i] * (gr[i] - dot);
+                        }
+                      }
+                    });
+}
+
+Tensor MaskedSoftmaxLastDim(const Tensor& a, const std::vector<float>& mask) {
+  MISS_CHECK_EQ(static_cast<int64_t>(mask.size()), a.size());
+  const int64_t n = a.dim(-1);
+  const int64_t rows = a.size() / n;
+  std::vector<float> out(a.size(), 0.0f);
+  const auto& av = a.value();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = av.data() + r * n;
+    const float* msk = mask.data() + r * n;
+    float* dst = out.data() + r * n;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (int64_t i = 0; i < n; ++i) {
+      if (msk[i] > 0.0f) max_v = std::max(max_v, src[i]);
+    }
+    if (max_v == -std::numeric_limits<float>::infinity()) continue;  // all pad
+    float sum = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      if (msk[i] > 0.0f) {
+        dst[i] = std::exp(src[i] - max_v);
+        sum += dst[i];
+      }
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+  }
+  Tensor ta = a;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ta, rows, n](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& y = node.value;
+                      const auto& g = node.grad;
+                      for (int64_t r = 0; r < rows; ++r) {
+                        const float* yr = y.data() + r * n;
+                        const float* gr = g.data() + r * n;
+                        float dot = 0.0f;
+                        for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
+                        float* dst = ga.data() + r * n;
+                        for (int64_t i = 0; i < n; ++i) {
+                          dst[i] += yr[i] * (gr[i] - dot);
+                        }
+                      }
+                    });
+}
+
+Tensor DiagonalNllFromLogits(const Tensor& s) {
+  MISS_CHECK_EQ(s.ndim(), 2);
+  const int64_t b_dim = s.dim(0);
+  MISS_CHECK_EQ(b_dim, s.dim(1));
+  const auto& sv = s.value();
+  double loss = 0.0;
+  for (int64_t r = 0; r < b_dim; ++r) {
+    const float* row = sv.data() + r * b_dim;
+    float max_v = row[0];
+    for (int64_t c = 1; c < b_dim; ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < b_dim; ++c) sum += std::exp(row[c] - max_v);
+    loss += (max_v + std::log(sum)) - row[r];
+  }
+  loss /= static_cast<double>(b_dim);
+
+  Tensor ts = s;
+  return MakeResult(
+      {1}, {static_cast<float>(loss)}, {s}, [ts, b_dim](Node& node) mutable {
+        if (!ts.requires_grad()) return;
+        auto& gs = ts.node()->EnsureGrad();
+        const auto& sv = ts.value();
+        const float g = node.grad[0] / static_cast<float>(b_dim);
+        for (int64_t r = 0; r < b_dim; ++r) {
+          const float* row = sv.data() + r * b_dim;
+          float* grow = gs.data() + r * b_dim;
+          float max_v = row[0];
+          for (int64_t c = 1; c < b_dim; ++c) max_v = std::max(max_v, row[c]);
+          double sum = 0.0;
+          for (int64_t c = 0; c < b_dim; ++c) sum += std::exp(row[c] - max_v);
+          for (int64_t c = 0; c < b_dim; ++c) {
+            const float p =
+                static_cast<float>(std::exp(row[c] - max_v) / sum);
+            grow[c] += g * (p - (c == r ? 1.0f : 0.0f));
+          }
+        }
+      });
+}
+
+Tensor BceWithLogitsLoss(const Tensor& logits,
+                         const std::vector<float>& labels) {
+  MISS_CHECK_EQ(logits.size(), static_cast<int64_t>(labels.size()));
+  const int64_t n = logits.size();
+  const auto& x = logits.value();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    // max(x, 0) - x*y + log(1 + exp(-|x|))
+    loss += std::max(xi, 0.0f) - xi * labels[i] +
+            std::log1p(std::exp(-std::abs(xi)));
+  }
+  loss /= static_cast<double>(n);
+
+  Tensor tl = logits;
+  return MakeResult(
+      {1}, {static_cast<float>(loss)}, {logits},
+      [tl, labels, n](Node& node) mutable {
+        if (!tl.requires_grad()) return;
+        auto& gl = tl.node()->EnsureGrad();
+        const auto& x = tl.value();
+        const float g = node.grad[0] / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const float xi = x[i];
+          const float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
+                                       : std::exp(xi) / (1.0f + std::exp(xi));
+          gl[i] += g * (sig - labels[i]);
+        }
+      });
+}
+
+// ----------------------------------------------------------------------------
+// Normalization / dropout
+// ----------------------------------------------------------------------------
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  const int64_t n = a.dim(-1);
+  const int64_t rows = a.size() / n;
+  std::vector<float> out(a.size());
+  std::vector<float> norms(rows);
+  const auto& av = a.value();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = av.data() + r * n;
+    double sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) sq += static_cast<double>(src[i]) * src[i];
+    const float norm = static_cast<float>(std::sqrt(sq + eps));
+    norms[r] = norm;
+    float* dst = out.data() + r * n;
+    for (int64_t i = 0; i < n; ++i) dst[i] = src[i] / norm;
+  }
+  Tensor ta = a;
+  return MakeResult(
+      a.shape(), std::move(out), {a},
+      [ta, rows, n, norms = std::move(norms)](Node& node) mutable {
+        if (!ta.requires_grad()) return;
+        auto& ga = ta.node()->EnsureGrad();
+        const auto& y = node.value;
+        const auto& g = node.grad;
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* yr = y.data() + r * n;
+          const float* gr = g.data() + r * n;
+          float dot = 0.0f;
+          for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
+          const float inv = 1.0f / norms[r];
+          float* dst = ga.data() + r * n;
+          for (int64_t i = 0; i < n; ++i) {
+            dst[i] += (gr[i] - yr[i] * dot) * inv;
+          }
+        }
+      });
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, common::Rng& rng) {
+  if (!training || p <= 0.0f) return a;
+  MISS_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  const int64_t n = a.size();
+  std::vector<float> mask(n);
+  for (auto& m : mask) m = rng.Bernoulli(p) ? 0.0f : scale;
+  std::vector<float> out(n);
+  const auto& av = a.value();
+  for (int64_t i = 0; i < n; ++i) out[i] = av[i] * mask[i];
+  Tensor ta = a;
+  return MakeResult(a.shape(), std::move(out), {a},
+                    [ta, mask = std::move(mask)](Node& node) mutable {
+                      if (!ta.requires_grad()) return;
+                      auto& ga = ta.node()->EnsureGrad();
+                      const auto& g = node.grad;
+                      for (size_t i = 0; i < g.size(); ++i) {
+                        ga[i] += g[i] * mask[i];
+                      }
+                    });
+}
+
+// ----------------------------------------------------------------------------
+// Gather / scatter
+// ----------------------------------------------------------------------------
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
+                       std::vector<int64_t> leading_shape) {
+  MISS_CHECK_EQ(table.ndim(), 2);
+  MISS_CHECK_EQ(NumElements(leading_shape),
+                static_cast<int64_t>(ids.size()));
+  const int64_t vocab = table.dim(0);
+  const int64_t k_dim = table.dim(1);
+  std::vector<float> out(ids.size() * k_dim, 0.0f);
+  const auto& tv = table.value();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    if (id < 0) continue;  // padding: zero row
+    MISS_CHECK_LT(id, vocab) << "embedding id out of range";
+    std::memcpy(out.data() + i * k_dim, tv.data() + id * k_dim,
+                sizeof(float) * k_dim);
+  }
+  std::vector<int64_t> out_shape = std::move(leading_shape);
+  out_shape.push_back(k_dim);
+
+  Tensor tt = table;
+  return MakeResult(std::move(out_shape), std::move(out), {table},
+                    [tt, ids, k_dim](Node& node) mutable {
+                      if (!tt.requires_grad()) return;
+                      auto& gt = tt.node()->EnsureGrad();
+                      const auto& g = node.grad;
+                      for (size_t i = 0; i < ids.size(); ++i) {
+                        const int64_t id = ids[i];
+                        if (id < 0) continue;
+                        const float* src = g.data() + i * k_dim;
+                        float* dst = gt.data() + id * k_dim;
+                        for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+                      }
+                    });
+}
+
+Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
+                       int64_t t_count) {
+  MISS_CHECK_EQ(x.ndim(), 3);
+  const int64_t b_dim = x.dim(0);
+  const int64_t l_dim = x.dim(1);
+  const int64_t k_dim = x.dim(2);
+  MISS_CHECK_EQ(static_cast<int64_t>(idx.size()), b_dim * t_count);
+  std::vector<float> out(b_dim * t_count * k_dim);
+  const auto& xv = x.value();
+  for (int64_t b = 0; b < b_dim; ++b) {
+    for (int64_t t = 0; t < t_count; ++t) {
+      const int64_t l = idx[b * t_count + t];
+      MISS_CHECK_GE(l, 0);
+      MISS_CHECK_LT(l, l_dim);
+      std::memcpy(out.data() + (b * t_count + t) * k_dim,
+                  xv.data() + (b * l_dim + l) * k_dim, sizeof(float) * k_dim);
+    }
+  }
+  Tensor tx = x;
+  return MakeResult(
+      {b_dim, t_count, k_dim}, std::move(out), {x},
+      [tx, idx, b_dim, l_dim, t_count, k_dim](Node& node) mutable {
+        if (!tx.requires_grad()) return;
+        auto& gx = tx.node()->EnsureGrad();
+        const auto& g = node.grad;
+        for (int64_t b = 0; b < b_dim; ++b) {
+          for (int64_t t = 0; t < t_count; ++t) {
+            const int64_t l = idx[b * t_count + t];
+            const float* src = g.data() + (b * t_count + t) * k_dim;
+            float* dst = gx.data() + (b * l_dim + l) * k_dim;
+            for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+          }
+        }
+      });
+}
+
+Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx) {
+  MISS_CHECK_EQ(g.ndim(), 4);
+  const int64_t b_dim = g.dim(0);
+  const int64_t j_dim = g.dim(1);
+  const int64_t l_dim = g.dim(2);
+  const int64_t k_dim = g.dim(3);
+  MISS_CHECK_EQ(static_cast<int64_t>(l_idx.size()), b_dim);
+  std::vector<float> out(b_dim * j_dim * k_dim);
+  const auto& gv = g.value();
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t l = l_idx[b];
+    MISS_CHECK_GE(l, 0);
+    MISS_CHECK_LT(l, l_dim);
+    for (int64_t j = 0; j < j_dim; ++j) {
+      std::memcpy(out.data() + (b * j_dim + j) * k_dim,
+                  gv.data() + ((b * j_dim + j) * l_dim + l) * k_dim,
+                  sizeof(float) * k_dim);
+    }
+  }
+  Tensor tg = g;
+  return MakeResult(
+      {b_dim, j_dim * k_dim}, std::move(out), {g},
+      [tg, l_idx, b_dim, j_dim, l_dim, k_dim](Node& node) mutable {
+        if (!tg.requires_grad()) return;
+        auto& gg = tg.node()->EnsureGrad();
+        const auto& grad = node.grad;
+        for (int64_t b = 0; b < b_dim; ++b) {
+          const int64_t l = l_idx[b];
+          for (int64_t j = 0; j < j_dim; ++j) {
+            const float* src = grad.data() + (b * j_dim + j) * k_dim;
+            float* dst = gg.data() + ((b * j_dim + j) * l_dim + l) * k_dim;
+            for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+          }
+        }
+      });
+}
+
+Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
+                           const std::vector<int64_t>& l_idx) {
+  MISS_CHECK_EQ(g.ndim(), 4);
+  const int64_t b_dim = g.dim(0);
+  const int64_t j_dim = g.dim(1);
+  const int64_t l_dim = g.dim(2);
+  const int64_t k_dim = g.dim(3);
+  MISS_CHECK_EQ(static_cast<int64_t>(j_idx.size()), b_dim);
+  MISS_CHECK_EQ(static_cast<int64_t>(l_idx.size()), b_dim);
+  std::vector<float> out(b_dim * k_dim);
+  const auto& gv = g.value();
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const int64_t j = j_idx[b];
+    const int64_t l = l_idx[b];
+    MISS_CHECK_GE(j, 0);
+    MISS_CHECK_LT(j, j_dim);
+    MISS_CHECK_GE(l, 0);
+    MISS_CHECK_LT(l, l_dim);
+    std::memcpy(out.data() + b * k_dim,
+                gv.data() + ((b * j_dim + j) * l_dim + l) * k_dim,
+                sizeof(float) * k_dim);
+  }
+  Tensor tg = g;
+  return MakeResult(
+      {b_dim, k_dim}, std::move(out), {g},
+      [tg, j_idx, l_idx, b_dim, j_dim, l_dim, k_dim](Node& node) mutable {
+        if (!tg.requires_grad()) return;
+        auto& gg = tg.node()->EnsureGrad();
+        const auto& grad = node.grad;
+        for (int64_t b = 0; b < b_dim; ++b) {
+          const float* src = grad.data() + b * k_dim;
+          float* dst = gg.data() +
+                       ((b * j_dim + j_idx[b]) * l_dim + l_idx[b]) * k_dim;
+          for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+        }
+      });
+}
+
+// ----------------------------------------------------------------------------
+// MISS convolutions
+// ----------------------------------------------------------------------------
+
+Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
+  MISS_CHECK_EQ(c.ndim(), 4);
+  MISS_CHECK_EQ(kernel.ndim(), 1);
+  const int64_t b_dim = c.dim(0);
+  const int64_t j_dim = c.dim(1);
+  const int64_t l_dim = c.dim(2);
+  const int64_t k_dim = c.dim(3);
+  const int64_t m = kernel.dim(0);
+  MISS_CHECK_LE(m, l_dim) << "horizontal kernel wider than sequence";
+  const int64_t l_out = l_dim - m + 1;
+
+  std::vector<float> out(b_dim * j_dim * l_out * k_dim, 0.0f);
+  const auto& cv = c.value();
+  const auto& w = kernel.value();
+  for (int64_t bj = 0; bj < b_dim * j_dim; ++bj) {
+    const float* src = cv.data() + bj * l_dim * k_dim;
+    float* dst = out.data() + bj * l_out * k_dim;
+    for (int64_t l = 0; l < l_out; ++l) {
+      for (int64_t i = 0; i < m; ++i) {
+        const float wi = w[i];
+        const float* row = src + (l + i) * k_dim;
+        float* orow = dst + l * k_dim;
+        for (int64_t k = 0; k < k_dim; ++k) orow[k] += wi * row[k];
+      }
+    }
+  }
+
+  Tensor tc = c;
+  Tensor tk = kernel;
+  return MakeResult(
+      {b_dim, j_dim, l_out, k_dim}, std::move(out), {c, kernel},
+      [tc, tk, b_dim, j_dim, l_dim, k_dim, m, l_out](Node& node) mutable {
+        const auto& g = node.grad;
+        const auto& cv = tc.value();
+        const auto& w = tk.value();
+        const bool need_c = tc.requires_grad();
+        const bool need_k = tk.requires_grad();
+        auto* gc = need_c ? &tc.node()->EnsureGrad() : nullptr;
+        auto* gk = need_k ? &tk.node()->EnsureGrad() : nullptr;
+        for (int64_t bj = 0; bj < b_dim * j_dim; ++bj) {
+          const float* gsrc = g.data() + bj * l_out * k_dim;
+          const float* csrc = cv.data() + bj * l_dim * k_dim;
+          for (int64_t l = 0; l < l_out; ++l) {
+            const float* grow = gsrc + l * k_dim;
+            for (int64_t i = 0; i < m; ++i) {
+              if (need_c) {
+                float* dst = gc->data() + (bj * l_dim + l + i) * k_dim;
+                const float wi = w[i];
+                for (int64_t k = 0; k < k_dim; ++k) dst[k] += wi * grow[k];
+              }
+              if (need_k) {
+                const float* crow = csrc + (l + i) * k_dim;
+                float acc = 0.0f;
+                for (int64_t k = 0; k < k_dim; ++k) acc += crow[k] * grow[k];
+                (*gk)[i] += acc;
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor VerticalConv(const Tensor& g_in, const Tensor& kernel) {
+  MISS_CHECK_EQ(g_in.ndim(), 4);
+  MISS_CHECK_EQ(kernel.ndim(), 1);
+  const int64_t b_dim = g_in.dim(0);
+  const int64_t j_dim = g_in.dim(1);
+  const int64_t l_dim = g_in.dim(2);
+  const int64_t k_dim = g_in.dim(3);
+  const int64_t n = kernel.dim(0);
+  MISS_CHECK_LE(n, j_dim) << "vertical kernel taller than field count";
+  const int64_t j_out = j_dim - n + 1;
+
+  const int64_t plane = l_dim * k_dim;
+  std::vector<float> out(b_dim * j_out * plane, 0.0f);
+  const auto& gv = g_in.value();
+  const auto& w = kernel.value();
+  for (int64_t b = 0; b < b_dim; ++b) {
+    const float* src = gv.data() + b * j_dim * plane;
+    float* dst = out.data() + b * j_out * plane;
+    for (int64_t j = 0; j < j_out; ++j) {
+      for (int64_t i = 0; i < n; ++i) {
+        const float wi = w[i];
+        const float* row = src + (j + i) * plane;
+        float* orow = dst + j * plane;
+        for (int64_t p = 0; p < plane; ++p) orow[p] += wi * row[p];
+      }
+    }
+  }
+
+  Tensor tg = g_in;
+  Tensor tk = kernel;
+  return MakeResult(
+      {b_dim, j_out, l_dim, k_dim}, std::move(out), {g_in, kernel},
+      [tg, tk, b_dim, j_dim, plane, n, j_out](Node& node) mutable {
+        const auto& g = node.grad;
+        const auto& gv = tg.value();
+        const auto& w = tk.value();
+        const bool need_g = tg.requires_grad();
+        const bool need_k = tk.requires_grad();
+        auto* gg = need_g ? &tg.node()->EnsureGrad() : nullptr;
+        auto* gk = need_k ? &tk.node()->EnsureGrad() : nullptr;
+        for (int64_t b = 0; b < b_dim; ++b) {
+          const float* gsrc = g.data() + b * j_out * plane;
+          const float* xsrc = gv.data() + b * j_dim * plane;
+          for (int64_t j = 0; j < j_out; ++j) {
+            const float* grow = gsrc + j * plane;
+            for (int64_t i = 0; i < n; ++i) {
+              if (need_g) {
+                float* dst = gg->data() + (b * j_dim + j + i) * plane;
+                const float wi = w[i];
+                for (int64_t p = 0; p < plane; ++p) dst[p] += wi * grow[p];
+              }
+              if (need_k) {
+                const float* xrow = xsrc + (j + i) * plane;
+                float acc = 0.0f;
+                for (int64_t p = 0; p < plane; ++p) acc += xrow[p] * grow[p];
+                (*gk)[i] += acc;
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace miss::nn

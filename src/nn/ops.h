@@ -1,0 +1,145 @@
+// Differentiable tensor operations.
+//
+// All ops are free functions returning new tensors wired into the autograd
+// tape (see tensor.h). Binary arithmetic follows numpy broadcasting rules.
+// Every op's backward pass is verified against central finite differences in
+// tests/nn_ops_grad_test.cc.
+
+#ifndef MISS_NN_OPS_H_
+#define MISS_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+// -- Broadcast arithmetic ----------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+// -- Elementwise nonlinearities ----------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+// Natural log of (a + eps); eps guards against log(0).
+Tensor Log(const Tensor& a, float eps = 0.0f);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+// -- Linear algebra ------------------------------------------------------------
+
+// a: [..., M, K] x b: [K, N] -> [..., M, N]. Leading dims of `a` are
+// flattened; `b` must be 2-D. This is the workhorse behind Linear layers.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// a: [..., M, K] x b: [..., K, N] with identical leading dims
+// -> [..., M, N]. Used by attention.
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+// Swaps the last two axes: [..., M, N] -> [..., N, M].
+Tensor TransposeLast2(const Tensor& a);
+
+// -- Shape manipulation --------------------------------------------------------
+
+// Same data, new shape (sizes must match). Gradient flows through.
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+
+// Concatenates along `axis` (negative axes allowed).
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+// Contiguous slice [start, start+len) along `axis`.
+Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len);
+
+// -- Reductions ------------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+// Reduce a single axis. keepdims retains the axis with size 1.
+Tensor SumAxis(const Tensor& a, int axis, bool keepdims = false);
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdims = false);
+
+// -- Softmax / losses ---------------------------------------------------------------
+
+// Numerically stable softmax over the last axis.
+Tensor SoftmaxLastDim(const Tensor& a);
+
+// Softmax over the last axis where mask==0 positions receive zero
+// probability. `mask` is a raw (non-differentiable) buffer of the same total
+// size as `a`, with entries in {0, 1}. Rows that are entirely masked yield
+// all-zero probabilities.
+Tensor MaskedSoftmaxLastDim(const Tensor& a, const std::vector<float>& mask);
+
+// InfoNCE core: given a similarity-logit matrix s of shape [B, B] whose
+// diagonal holds positive-pair logits, returns
+//   (1/B) * sum_b [ logsumexp_c s[b, c] - s[b, b] ]
+// This is Eq. (15)/(16) of the paper once s = cos-sim / tau.
+Tensor DiagonalNllFromLogits(const Tensor& s);
+
+// Mean binary cross-entropy over a batch of logits (shape [B]) with
+// non-differentiable 0/1 labels. Numerically stable (softplus form).
+Tensor BceWithLogitsLoss(const Tensor& logits,
+                         const std::vector<float>& labels);
+
+// -- Normalization / regularization -----------------------------------------------
+
+// L2-normalizes along the last axis: y = x / max(||x||, eps).
+Tensor RowL2Normalize(const Tensor& a, float eps = 1e-8f);
+
+// Inverted dropout. Identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, bool training, common::Rng& rng);
+
+// -- Gather / scatter -----------------------------------------------------------------
+
+// table: [V, K]; ids: flat index buffer with logical shape `leading_shape`.
+// Returns [leading_shape..., K]. Negative ids produce zero rows and receive
+// no gradient (used for padding).
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
+                       std::vector<int64_t> leading_shape);
+
+// x: [B, L, K]; idx: B*T indices into [0, L). Returns [B, T, K] where
+// out[b, t] = x[b, idx[b*T + t]]. Used by SIM's soft-search top-k stage.
+Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
+                       int64_t t_count);
+
+// g: [B, J, L, K]; l_idx: one time index per batch row. Returns [B, J*K]:
+// the flattened interest representation Flat(G_m[:, l, :]) of Eq. (20),
+// selected per sample.
+Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx);
+
+// g: [B, J, L, K]; (j_idx, l_idx): one (field, time) pair per batch row.
+// Returns [B, K]: the fine-grained feature-level view of Eq. (24).
+Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
+                           const std::vector<int64_t>& l_idx);
+
+// -- MISS convolutions (Eq. 19 and Eq. 22) --------------------------------------------
+
+// c: [B, J, L, K]; kernel: [m]. Depth-wise convolution along the time axis
+// with the kernel shared across fields and channels:
+//   out[b, j, l, k] = sum_i c[b, j, l+i, k] * kernel[i],  out: [B,J,L-m+1,K]
+Tensor HorizontalConv(const Tensor& c, const Tensor& kernel);
+
+// g: [B, J, L, K]; kernel: [n]. Depth-wise convolution along the field axis:
+//   out[b, j, l, k] = sum_i g[b, j+i, l, k] * kernel[i],  out: [B,J-n+1,L,K]
+Tensor VerticalConv(const Tensor& g, const Tensor& kernel);
+
+// -- Utilities -------------------------------------------------------------------------
+
+// Result shape of broadcasting a against b; aborts if incompatible.
+std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b);
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_OPS_H_

@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace miss::nn {
+
+void Optimizer::ZeroGrad(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) {
+    auto& g = p.node()->grad;
+    std::fill(g.begin(), g.end(), 0.0f);
+  }
+}
+
+void Sgd::Step(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) {
+    auto& g = p.node()->grad;
+    if (g.empty()) continue;
+    auto& v = p.node()->value;
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] -= lr_ * (g[i] + weight_decay_ * v[i]);
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) {
+    auto& g = p.node()->grad;
+    if (g.empty()) continue;
+    auto& v = p.node()->value;
+    State& s = state_[p.node()];
+    if (s.m.empty()) {
+      s.m.assign(v.size(), 0.0f);
+      s.v.assign(v.size(), 0.0f);
+    }
+    ++s.t;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(s.t));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(s.t));
+    for (size_t i = 0; i < v.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * v[i];
+      s.m[i] = beta1_ * s.m[i] + (1.0f - beta1_) * grad;
+      s.v[i] = beta2_ * s.v[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = s.m[i] / bc1;
+      const float v_hat = s.v[i] / bc2;
+      v[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.node()->grad) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const Tensor& p : params) {
+      for (auto& g : p.node()->grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace miss::nn

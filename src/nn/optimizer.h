@@ -1,0 +1,73 @@
+// First-order optimizers. Adam is the paper's choice (Section VI-A5);
+// SGD is kept for tests and ablations. Both support decoupled L2
+// regularization via weight_decay (the paper tunes the "L2 norm
+// regularization weight").
+
+#ifndef MISS_NN_OPTIMIZER_H_
+#define MISS_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients accumulated in `params`.
+  virtual void Step(const std::vector<Tensor>& params) = 0;
+
+  // Clears gradients ahead of the next backward pass.
+  static void ZeroGrad(const std::vector<Tensor>& params);
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.0f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Tensor>& params) override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float weight_decay = 0.0f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f)
+      : lr_(lr),
+        weight_decay_(weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+
+  void Step(const std::vector<Tensor>& params) override;
+
+ private:
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+    int64_t t = 0;
+  };
+
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::unordered_map<Node*, State> state_;
+};
+
+// Scales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_OPTIMIZER_H_

@@ -1,0 +1,143 @@
+#include "nn/rnn.h"
+
+#include <utility>
+
+#include "nn/ops.h"
+
+namespace miss::nn {
+
+namespace {
+
+// Extracts time step t of a [B, L] float mask as a constant [B, 1] tensor.
+Tensor MaskColumn(const std::vector<float>& mask, int64_t b_dim, int64_t l_dim,
+                  int64_t t) {
+  std::vector<float> col(b_dim);
+  for (int64_t b = 0; b < b_dim; ++b) col[b] = mask[b * l_dim + t];
+  return Tensor::FromData({b_dim, 1}, std::move(col));
+}
+
+// h_keep = m * h_new + (1 - m) * h_prev
+Tensor MaskedUpdate(const Tensor& h_new, const Tensor& h_prev,
+                    const Tensor& m) {
+  return Add(Mul(m, h_new), Mul(AddScalar(Neg(m), 1.0f), h_prev));
+}
+
+}  // namespace
+
+GruCell::GruCell(int64_t in_dim, int64_t hidden_dim, common::Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  xz_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hz_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  xr_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hr_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  xn_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hn_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  for (Module* m : {static_cast<Module*>(xz_.get()), (Module*)hz_.get(),
+                    (Module*)xr_.get(), (Module*)hr_.get(), (Module*)xn_.get(),
+                    (Module*)hn_.get()}) {
+    RegisterChild(m);
+  }
+}
+
+GruCell::Gates GruCell::ComputeGates(const Tensor& x, const Tensor& h) const {
+  Tensor z = Sigmoid(Add(xz_->Forward(x), hz_->Forward(h)));
+  Tensor r = Sigmoid(Add(xr_->Forward(x), hr_->Forward(h)));
+  Tensor n = Tanh(Add(xn_->Forward(x), hn_->Forward(Mul(r, h))));
+  return {z, n};
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  Gates g = ComputeGates(x, h);
+  // h' = (1 - z) * n + z * h
+  return Add(Mul(AddScalar(Neg(g.z), 1.0f), g.n), Mul(g.z, h));
+}
+
+Tensor GruCell::ForwardAttentional(const Tensor& x, const Tensor& h,
+                                   const Tensor& attention) const {
+  Gates g = ComputeGates(x, h);
+  // AUGRU: z' = a * z, so low-attention steps barely move the state.
+  Tensor z = Mul(attention, g.z);
+  return Add(Mul(AddScalar(Neg(z), 1.0f), h), Mul(z, g.n));
+}
+
+LstmCell::LstmCell(int64_t in_dim, int64_t hidden_dim, common::Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  xi_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hi_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  xf_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hf_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  xo_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  ho_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  xg_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  hg_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng);
+  for (Module* m :
+       {(Module*)xi_.get(), (Module*)hi_.get(), (Module*)xf_.get(),
+        (Module*)hf_.get(), (Module*)xo_.get(), (Module*)ho_.get(),
+        (Module*)xg_.get(), (Module*)hg_.get()}) {
+    RegisterChild(m);
+  }
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
+  Tensor i = Sigmoid(Add(xi_->Forward(x), hi_->Forward(state.h)));
+  Tensor f = Sigmoid(Add(xf_->Forward(x), hf_->Forward(state.h)));
+  Tensor o = Sigmoid(Add(xo_->Forward(x), ho_->Forward(state.h)));
+  Tensor g = Tanh(Add(xg_->Forward(x), hg_->Forward(state.h)));
+  Tensor c = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h = Mul(o, Tanh(c));
+  return {h, c};
+}
+
+GruRunner::GruRunner(int64_t in_dim, int64_t hidden_dim, common::Rng& rng) {
+  cell_ = std::make_unique<GruCell>(in_dim, hidden_dim, rng);
+  RegisterChild(cell_.get());
+}
+
+Tensor GruRunner::Forward(const Tensor& x,
+                          const std::vector<float>& mask) const {
+  MISS_CHECK_EQ(x.ndim(), 3);
+  const int64_t b_dim = x.dim(0);
+  const int64_t l_dim = x.dim(1);
+  MISS_CHECK_EQ(static_cast<int64_t>(mask.size()), b_dim * l_dim);
+
+  Tensor h = Tensor::Zeros({b_dim, cell_->hidden_dim()});
+  std::vector<Tensor> states;
+  states.reserve(l_dim);
+  for (int64_t t = 0; t < l_dim; ++t) {
+    Tensor xt = Reshape(Slice(x, /*axis=*/1, t, 1),
+                        {b_dim, x.dim(2)});
+    Tensor h_new = cell_->Forward(xt, h);
+    h = MaskedUpdate(h_new, h, MaskColumn(mask, b_dim, l_dim, t));
+    states.push_back(Reshape(h, {b_dim, 1, cell_->hidden_dim()}));
+  }
+  return Concat(states, /*axis=*/1);
+}
+
+LstmRunner::LstmRunner(int64_t in_dim, int64_t hidden_dim, common::Rng& rng) {
+  cell_ = std::make_unique<LstmCell>(in_dim, hidden_dim, rng);
+  RegisterChild(cell_.get());
+}
+
+Tensor LstmRunner::Forward(const Tensor& x,
+                           const std::vector<float>& mask) const {
+  MISS_CHECK_EQ(x.ndim(), 3);
+  const int64_t b_dim = x.dim(0);
+  const int64_t l_dim = x.dim(1);
+  MISS_CHECK_EQ(static_cast<int64_t>(mask.size()), b_dim * l_dim);
+
+  LstmCell::State state{Tensor::Zeros({b_dim, cell_->hidden_dim()}),
+                        Tensor::Zeros({b_dim, cell_->hidden_dim()})};
+  std::vector<Tensor> states;
+  states.reserve(l_dim);
+  for (int64_t t = 0; t < l_dim; ++t) {
+    Tensor xt = Reshape(Slice(x, /*axis=*/1, t, 1), {b_dim, x.dim(2)});
+    LstmCell::State next = cell_->Forward(xt, state);
+    Tensor m = MaskColumn(mask, b_dim, l_dim, t);
+    state.h = MaskedUpdate(next.h, state.h, m);
+    state.c = MaskedUpdate(next.c, state.c, m);
+    states.push_back(Reshape(state.h, {b_dim, 1, cell_->hidden_dim()}));
+  }
+  return Concat(states, /*axis=*/1);
+}
+
+}  // namespace miss::nn

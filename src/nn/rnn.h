@@ -1,0 +1,94 @@
+// Recurrent cells: GRU, attention-updated GRU (AUGRU, used by DIEN) and LSTM
+// (used by the MISS-LSTM extractor ablation).
+
+#ifndef MISS_NN_RNN_H_
+#define MISS_NN_RNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace miss::nn {
+
+// Standard GRU cell.
+//   z = sigmoid(x Wz + h Uz + bz)
+//   r = sigmoid(x Wr + h Ur + br)
+//   n = tanh(x Wn + (r*h) Un + bn)
+//   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(int64_t in_dim, int64_t hidden_dim, common::Rng& rng);
+
+  // x: [B, in], h: [B, hidden] -> [B, hidden]
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  // AUGRU step (Zhou et al., DIEN): the update gate is scaled by an
+  // attention weight a in [0, 1] per sample, shape [B, 1].
+  Tensor ForwardAttentional(const Tensor& x, const Tensor& h,
+                            const Tensor& attention) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct Gates {
+    Tensor z;
+    Tensor n;
+  };
+  Gates ComputeGates(const Tensor& x, const Tensor& h) const;
+
+  int64_t hidden_dim_;
+  std::unique_ptr<Linear> xz_, hz_, xr_, hr_, xn_, hn_;
+};
+
+// Standard LSTM cell.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t in_dim, int64_t hidden_dim, common::Rng& rng);
+
+  struct State {
+    Tensor h;  // [B, hidden]
+    Tensor c;  // [B, hidden]
+  };
+
+  State Forward(const Tensor& x, const State& state) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  std::unique_ptr<Linear> xi_, hi_, xf_, hf_, xo_, ho_, xg_, hg_;
+};
+
+// Runs a GRU over a [B, L, in] sequence; returns all hidden states
+// [B, L, hidden]. Padding positions (mask == 0) keep the previous state.
+class GruRunner : public Module {
+ public:
+  GruRunner(int64_t in_dim, int64_t hidden_dim, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<float>& mask) const;
+
+  const GruCell& cell() const { return *cell_; }
+
+ private:
+  std::unique_ptr<GruCell> cell_;
+};
+
+// Runs an LSTM over a [B, L, in] sequence; returns all hidden states
+// [B, L, hidden].
+class LstmRunner : public Module {
+ public:
+  LstmRunner(int64_t in_dim, int64_t hidden_dim, common::Rng& rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<float>& mask) const;
+
+ private:
+  std::unique_ptr<LstmCell> cell_;
+};
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_RNN_H_

@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace miss::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'S', 'S', 'C', 'K', 'P', 'T'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+
+  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic))) return false;
+  const uint64_t count = params.size();
+  if (!WriteBytes(f.get(), &count, sizeof(count))) return false;
+
+  for (const Tensor& p : params) {
+    const uint64_t ndim = p.shape().size();
+    if (!WriteBytes(f.get(), &ndim, sizeof(ndim))) return false;
+    if (!WriteBytes(f.get(), p.shape().data(), ndim * sizeof(int64_t))) {
+      return false;
+    }
+    if (!WriteBytes(f.get(), p.value().data(),
+                    p.value().size() * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadParameters(const std::vector<Tensor>& params,
+                    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+
+  char magic[8];
+  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), &count, sizeof(count))) return false;
+  if (count != params.size()) return false;
+
+  // Stage everything first so a partial read can't corrupt the model.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint64_t ndim = 0;
+    if (!ReadBytes(f.get(), &ndim, sizeof(ndim))) return false;
+    std::vector<int64_t> shape(ndim);
+    if (!ReadBytes(f.get(), shape.data(), ndim * sizeof(int64_t))) {
+      return false;
+    }
+    if (shape != params[i].shape()) return false;
+    staged[i].resize(params[i].size());
+    if (!ReadBytes(f.get(), staged[i].data(),
+                   staged[i].size() * sizeof(float))) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].node()->value = std::move(staged[i]);
+  }
+  return true;
+}
+
+}  // namespace miss::nn

@@ -1,0 +1,35 @@
+// Parameter checkpointing.
+//
+// Parameters are serialized in registration order (the order returned by
+// Module::Parameters()), which is deterministic for a given model
+// configuration. The binary format is:
+//
+//   magic "MISSCKPT" | uint64 tensor_count
+//   per tensor: uint64 ndim | int64 shape[ndim] | float data[numel]
+//
+// Little-endian, float32. Loading validates shapes and fails (returns
+// false) on any mismatch without modifying the target tensors.
+
+#ifndef MISS_NN_SERIALIZE_H_
+#define MISS_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+// Writes `params` to `path`. Returns false on I/O failure.
+bool SaveParameters(const std::vector<Tensor>& params,
+                    const std::string& path);
+
+// Reads a checkpoint into `params` (shapes must match exactly, in order).
+// Returns false on I/O failure, bad magic, or any shape mismatch; in that
+// case no tensor is modified.
+bool LoadParameters(const std::vector<Tensor>& params,
+                    const std::string& path);
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_SERIALIZE_H_

@@ -1,0 +1,162 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace miss::nn {
+
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MISS_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
+                    bool requires_grad) {
+  const int64_t n = NumElements(shape);
+  return FromData(std::move(shape), std::vector<float>(n, fill),
+                  requires_grad);
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
+                        bool requires_grad) {
+  MISS_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  Tensor t;
+  t.node_ = std::make_shared<Node>();
+  t.node_->shape = std::move(shape);
+  t.node_->value = std::move(data);
+  t.node_->requires_grad = requires_grad;
+  return t;
+}
+
+Tensor Tensor::Scalar(float v, bool requires_grad) {
+  return FromData({1}, {v}, requires_grad);
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, float stddev,
+                            common::Rng& rng, bool requires_grad) {
+  const int64_t n = NumElements(shape);
+  std::vector<float> data(n);
+  for (auto& x : data) x = static_cast<float>(rng.Normal(0.0, stddev));
+  return FromData(std::move(shape), std::move(data), requires_grad);
+}
+
+Tensor Tensor::XavierUniform(std::vector<int64_t> shape, common::Rng& rng,
+                             bool requires_grad) {
+  MISS_CHECK_GE(shape.size(), 1u);
+  const int64_t fan_out = shape.back();
+  int64_t fan_in = 1;
+  for (size_t i = 0; i + 1 < shape.size(); ++i) fan_in *= shape[i];
+  if (fan_in == 0) fan_in = 1;
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  const int64_t n = NumElements(shape);
+  std::vector<float> data(n);
+  for (auto& x : data) x = static_cast<float>(rng.Uniform(-limit, limit));
+  return FromData(std::move(shape), std::move(data), requires_grad);
+}
+
+int64_t Tensor::dim(int i) const {
+  const auto& s = node()->shape;
+  if (i < 0) i += static_cast<int>(s.size());
+  MISS_CHECK_GE(i, 0);
+  MISS_CHECK_LT(i, static_cast<int>(s.size()));
+  return s[i];
+}
+
+float Tensor::item() const {
+  MISS_CHECK_EQ(size(), 1);
+  return node()->value[0];
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  const auto& s = node()->shape;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << s[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Detach(const Tensor& t) {
+  return Tensor::FromData(t.shape(), t.value(), /*requires_grad=*/false);
+}
+
+namespace internal {
+
+Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> value,
+                  std::vector<Tensor> parents,
+                  std::function<void(Node&)> backward) {
+  Tensor out = Tensor::FromData(std::move(shape), std::move(value));
+  bool needs_grad = false;
+  for (const Tensor& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      needs_grad = true;
+      break;
+    }
+  }
+  if (!needs_grad) return out;  // constant: keep the tape empty
+  Node* node = out.node();
+  node->requires_grad = true;
+  node->parents.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    if (p.defined()) node->parents.push_back(p.node_ptr());
+  }
+  node->backward = [node, fn = std::move(backward)]() { fn(*node); };
+  return out;
+}
+
+}  // namespace internal
+
+void Backward(const Tensor& loss) {
+  Node* root = loss.node();
+  MISS_CHECK(root->requires_grad)
+      << "Backward() on a tensor with no gradient path";
+
+  // Iterative post-order topological sort over the tape.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Node* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed gradient: d(loss)/d(loss) = 1 elementwise.
+  auto& seed = root->EnsureGrad();
+  for (auto& g : seed) g += 1.0f;
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && !node->grad.empty()) node->backward();
+  }
+}
+
+}  // namespace miss::nn

@@ -1,0 +1,137 @@
+// Dense float tensors with reverse-mode automatic differentiation.
+//
+// A Tensor is a cheap shared handle onto a graph node holding the value
+// buffer, the (lazily allocated) gradient buffer, the shape, and — when the
+// node was produced by a differentiable op — references to its parents and a
+// backward closure. Graphs are built dynamically as ops execute (a "tape");
+// nn::Backward(loss) topologically sorts the tape and propagates gradients.
+//
+// Conventions:
+//   * dtype is always float32; shapes are row-major, batch-first.
+//   * Gradient tracking is opt-in via requires_grad on leaf tensors
+//     (parameters); it propagates to results automatically. Ops on
+//     non-tracked inputs skip tape construction entirely, so inference is
+//     allocation-light.
+//   * The library does not use exceptions; shape errors abort via MISS_CHECK.
+
+#ifndef MISS_NN_TENSOR_H_
+#define MISS_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace miss::nn {
+
+class Tensor;
+
+// Internal graph node. Users interact with Tensor handles; Node is exposed
+// so optimizers can key state off stable node addresses.
+struct Node {
+  std::vector<float> value;
+  std::vector<float> grad;  // empty until gradients are first accumulated
+  std::vector<int64_t> shape;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into parents' grads. Null for leaves.
+  std::function<void()> backward;
+  bool requires_grad = false;
+
+  int64_t size() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+
+  // Ensures the grad buffer exists (zero-filled) and returns it.
+  std::vector<float>& EnsureGrad() {
+    if (grad.empty()) grad.assign(value.size(), 0.0f);
+    return grad;
+  }
+};
+
+class Tensor {
+ public:
+  // Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  // -- Factories ------------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float fill,
+                     bool requires_grad = false);
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  static Tensor Scalar(float v, bool requires_grad = false);
+  // I.i.d. normal entries with the given stddev.
+  static Tensor RandomNormal(std::vector<int64_t> shape, float stddev,
+                             common::Rng& rng, bool requires_grad = false);
+  // Xavier/Glorot uniform initialization for a [fan_in, fan_out] matrix
+  // (generalized: fan_in = shape[0], fan_out = last dim).
+  static Tensor XavierUniform(std::vector<int64_t> shape, common::Rng& rng,
+                              bool requires_grad = false);
+
+  // -- Introspection ----------------------------------------------------------
+
+  bool defined() const { return node_ != nullptr; }
+  const std::vector<int64_t>& shape() const { return node()->shape; }
+  int64_t dim(int i) const;
+  int ndim() const { return static_cast<int>(node()->shape.size()); }
+  int64_t size() const { return node()->size(); }
+  bool requires_grad() const { return node()->requires_grad; }
+
+  std::vector<float>& value() { return node()->value; }
+  const std::vector<float>& value() const { return node()->value; }
+  // Gradient buffer (may be empty if never written).
+  std::vector<float>& grad() { return node()->grad; }
+  const std::vector<float>& grad() const { return node()->grad; }
+
+  // Scalar convenience accessor; requires size() == 1.
+  float item() const;
+
+  // Flat element accessors.
+  float at(int64_t i) const { return node()->value[i]; }
+  void set(int64_t i, float v) { node()->value[i] = v; }
+
+  std::shared_ptr<Node>& node_ptr() { return node_; }
+  const std::shared_ptr<Node>& node_ptr() const { return node_; }
+  Node* node() const {
+    MISS_CHECK(node_ != nullptr) << "use of undefined Tensor";
+    return node_.get();
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Number of elements described by a shape.
+int64_t NumElements(const std::vector<int64_t>& shape);
+
+// Runs reverse-mode differentiation from `loss` (any shape; the seed
+// gradient is 1 for every element). Gradients accumulate into each
+// requires_grad node reachable from `loss`.
+void Backward(const Tensor& loss);
+
+// Creates a detached copy sharing no graph history (value is copied).
+Tensor Detach(const Tensor& t);
+
+namespace internal {
+
+// Builds a result node wired to `parents` with the given backward closure.
+// If no parent requires grad, the closure is dropped and the node is a
+// constant (tape-free).
+Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> value,
+                  std::vector<Tensor> parents,
+                  std::function<void(Node&)> backward);
+
+}  // namespace internal
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_TENSOR_H_

@@ -1,0 +1,65 @@
+#include "train/experiment.h"
+
+#include <cmath>
+
+#include "common/env.h"
+#include "core/ssl_factory.h"
+#include "models/model_factory.h"
+
+namespace miss::train {
+
+ExperimentResult RunExperiment(const data::DatasetBundle& bundle,
+                               const ExperimentSpec& spec,
+                               const data::Dataset* train_override) {
+  const data::Dataset& train =
+      train_override != nullptr ? *train_override : bundle.train;
+
+  std::vector<double> aucs;
+  std::vector<double> loglosses;
+  ExperimentResult result;
+
+  for (int64_t s = 0; s < spec.num_seeds; ++s) {
+    const uint64_t seed = spec.train_config.seed + 1000 * s;
+    std::unique_ptr<models::CtrModel> model = models::CreateModel(
+        spec.model, bundle.train.schema, spec.model_config, seed);
+    std::unique_ptr<core::SslMethod> ssl = core::CreateSslMethod(
+        spec.ssl, bundle.train.schema, spec.model_config.embedding_dim,
+        spec.miss.tau, seed + 17, spec.miss);
+
+    TrainConfig tc = spec.train_config;
+    tc.seed = seed;
+    Trainer trainer(tc);
+    FitResult fit =
+        trainer.Fit(*model, ssl.get(), train, bundle.valid, bundle.test);
+    aucs.push_back(fit.test.auc);
+    loglosses.push_back(fit.test.logloss);
+    result.similarity_trace = std::move(fit.similarity_trace);
+  }
+
+  double auc_sum = 0.0;
+  double ll_sum = 0.0;
+  for (size_t i = 0; i < aucs.size(); ++i) {
+    auc_sum += aucs[i];
+    ll_sum += loglosses[i];
+  }
+  result.auc = auc_sum / aucs.size();
+  result.logloss = ll_sum / loglosses.size();
+
+  double var = 0.0;
+  for (double a : aucs) var += (a - result.auc) * (a - result.auc);
+  result.auc_stddev =
+      aucs.size() > 1 ? std::sqrt(var / (aucs.size() - 1)) : 0.0;
+  return result;
+}
+
+double BenchScale() { return common::GetEnvDouble("MISS_SCALE", 1.0); }
+
+int64_t BenchEpochs(int64_t default_epochs) {
+  return common::GetEnvInt("MISS_EPOCHS", default_epochs);
+}
+
+int64_t BenchSeeds(int64_t default_seeds) {
+  return common::GetEnvInt("MISS_SEEDS", default_seeds);
+}
+
+}  // namespace miss::train

@@ -1,0 +1,49 @@
+// High-level experiment runner: (dataset bundle, model, SSL method, training
+// config, seeds) -> averaged AUC/Logloss. Every bench builds its table rows
+// through this.
+
+#ifndef MISS_TRAIN_EXPERIMENT_H_
+#define MISS_TRAIN_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/miss_module.h"
+#include "data/synthetic.h"
+#include "models/ctr_model.h"
+#include "train/trainer.h"
+
+namespace miss::train {
+
+struct ExperimentSpec {
+  std::string model = "din";  // model_factory name
+  std::string ssl;            // "", "miss", "rule", "irssl", "s3rec", "cl4srec"
+  core::MissConfig miss;      // used when ssl == "miss"
+  models::ModelConfig model_config;
+  TrainConfig train_config;
+  int64_t num_seeds = 1;  // paper repeats 5x; benches default lower for speed
+};
+
+struct ExperimentResult {
+  double auc = 0.0;
+  double logloss = 0.0;
+  double auc_stddev = 0.0;
+  // Per-step similarity trace of the last seed (Figure 5).
+  std::vector<double> similarity_trace;
+};
+
+// Trains on bundle.train (optionally replaced by `train_override`), selects
+// on bundle.valid, reports bundle.test metrics averaged over seeds.
+ExperimentResult RunExperiment(const data::DatasetBundle& bundle,
+                               const ExperimentSpec& spec,
+                               const data::Dataset* train_override = nullptr);
+
+// Environment-controlled knobs for benches: MISS_SCALE (dataset size
+// multiplier), MISS_EPOCHS (training epochs), MISS_SEEDS (repetitions).
+double BenchScale();
+int64_t BenchEpochs(int64_t default_epochs);
+int64_t BenchSeeds(int64_t default_seeds);
+
+}  // namespace miss::train
+
+#endif  // MISS_TRAIN_EXPERIMENT_H_

@@ -1,0 +1,59 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace miss::train {
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<float>& labels) {
+  MISS_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Average ranks over tie groups.
+  std::vector<double> ranks(n);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (int64_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  int64_t positives = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  const int64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  return (positive_rank_sum -
+          static_cast<double>(positives) * (positives + 1) / 2.0) /
+         (static_cast<double>(positives) * negatives);
+}
+
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<float>& labels) {
+  MISS_CHECK_EQ(probs.size(), labels.size());
+  MISS_CHECK(!probs.empty());
+  double total = 0.0;
+  for (size_t k = 0; k < probs.size(); ++k) {
+    const double p = std::clamp(probs[k], 1e-7, 1.0 - 1e-7);
+    total += labels[k] > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+}  // namespace miss::train

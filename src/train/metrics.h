@@ -1,0 +1,22 @@
+// Evaluation metrics: AUC and Logloss (paper Section VI-A4).
+
+#ifndef MISS_TRAIN_METRICS_H_
+#define MISS_TRAIN_METRICS_H_
+
+#include <vector>
+
+namespace miss::train {
+
+// Area under the ROC curve via the rank-sum formulation with average ranks
+// for ties. Requires at least one positive and one negative; returns 0.5
+// otherwise.
+double Auc(const std::vector<double>& scores, const std::vector<float>& labels);
+
+// Mean binary cross-entropy of predicted probabilities (clamped away from
+// {0, 1} for numerical safety).
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<float>& labels);
+
+}  // namespace miss::train
+
+#endif  // MISS_TRAIN_METRICS_H_

@@ -1,0 +1,116 @@
+#include "train/stats.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace miss::train {
+
+double Mean(const std::vector<double>& values) {
+  MISS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  MISS_CHECK_GE(values.size(), 2u);
+  const double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta function
+// (Numerical Recipes' betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 3e-12;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  MISS_CHECK_GE(a.size(), 2u);
+  MISS_CHECK_GE(b.size(), 2u);
+  TTestResult result;
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  const double var_a = StdDev(a) * StdDev(a);
+  const double var_b = StdDev(b) * StdDev(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  result.mean_difference = mean_a - mean_b;
+  const double se2 = var_a / na + var_b / nb;
+  if (se2 <= 0.0) {
+    result.p_value = result.mean_difference == 0.0 ? 1.0 : 0.0;
+    result.t_statistic =
+        result.mean_difference == 0.0
+            ? 0.0
+            : std::copysign(std::numeric_limits<double>::infinity(),
+                            result.mean_difference);
+    result.degrees_of_freedom = na + nb - 2.0;
+    return result;
+  }
+  result.t_statistic = result.mean_difference / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  result.degrees_of_freedom =
+      se2 * se2 /
+      (var_a * var_a / (na * na * (na - 1.0)) +
+       var_b * var_b / (nb * nb * (nb - 1.0)));
+
+  // Two-sided p-value via the t-distribution CDF expressed through the
+  // incomplete beta function.
+  const double dof = result.degrees_of_freedom;
+  const double t2 = result.t_statistic * result.t_statistic;
+  result.p_value = IncompleteBeta(dof / 2.0, 0.5, dof / (dof + t2));
+  return result;
+}
+
+}  // namespace miss::train

@@ -1,0 +1,36 @@
+// Statistical comparison of repeated experiment runs. The paper marks
+// Table IV improvements with a star when p < 0.05 over 5 repetitions; this
+// provides the corresponding two-sample Welch t-test.
+
+#ifndef MISS_TRAIN_STATS_H_
+#define MISS_TRAIN_STATS_H_
+
+#include <vector>
+
+namespace miss::train {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  // Two-sided p-value.
+  double p_value = 1.0;
+  double mean_difference = 0.0;  // mean(a) - mean(b)
+};
+
+// Welch's unequal-variance t-test between two samples (each needs >= 2
+// observations). Degenerate inputs (zero variance in both samples) yield
+// p = 0 when the means differ and p = 1 when they are equal.
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+// Sample mean and (n-1)-normalized standard deviation.
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// Regularized incomplete beta function I_x(a, b), exposed for testing; used
+// by the t-distribution CDF.
+double IncompleteBeta(double a, double b, double x);
+
+}  // namespace miss::train
+
+#endif  // MISS_TRAIN_STATS_H_

@@ -1,0 +1,156 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "train/metrics.h"
+
+namespace miss::train {
+
+namespace {
+
+// Parameter snapshot for best-on-validation model selection.
+std::vector<std::vector<float>> Snapshot(const std::vector<nn::Tensor>& params) {
+  std::vector<std::vector<float>> out;
+  out.reserve(params.size());
+  for (const nn::Tensor& p : params) out.push_back(p.value());
+  return out;
+}
+
+void Restore(const std::vector<nn::Tensor>& params,
+             const std::vector<std::vector<float>>& snapshot) {
+  MISS_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].node()->value = snapshot[i];
+  }
+}
+
+}  // namespace
+
+EvalResult Evaluate(models::CtrModel& model, const data::Dataset& dataset,
+                    int64_t batch_size) {
+  std::vector<double> probs;
+  std::vector<float> labels;
+  probs.reserve(dataset.size());
+  labels.reserve(dataset.size());
+
+  data::BatchPlan plan(dataset.size(), batch_size);
+  for (int64_t b = 0; b < plan.num_batches(); ++b) {
+    data::Batch batch = data::MakeBatch(dataset, plan.BatchIndices(b));
+    nn::Tensor logits = model.Forward(batch, /*training=*/false);
+    for (int64_t i = 0; i < batch.batch_size; ++i) {
+      const double x = logits.at(i);
+      probs.push_back(1.0 / (1.0 + std::exp(-x)));
+      labels.push_back(batch.labels[i]);
+    }
+  }
+  return {Auc(probs, labels), LogLoss(probs, labels)};
+}
+
+FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
+                       const data::Dataset& train, const data::Dataset& valid,
+                       const data::Dataset& test) {
+  FitResult result;
+  common::Rng rng(config_.seed);
+
+  std::vector<nn::Tensor> params = model.Parameters();
+  if (ssl != nullptr) {
+    std::vector<nn::Tensor> ssl_params = ssl->TrainableParameters();
+    params.insert(params.end(), ssl_params.begin(), ssl_params.end());
+  }
+  nn::Adam optimizer(config_.learning_rate, config_.weight_decay);
+
+  std::vector<std::vector<float>> best_params;
+  double best_valid_auc = -1.0;
+
+  const bool pretraining_enabled =
+      ssl != nullptr && config_.strategy == Strategy::kPretrain;
+
+  // Pre-training stage: SSL losses only (MISS-Pre in Table IX).
+  if (pretraining_enabled) {
+    data::BatchPlan plan(train.size(), config_.batch_size);
+    for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+      plan.Shuffle(rng);
+      for (int64_t b = 0; b < plan.num_batches(); ++b) {
+        data::Batch batch = data::MakeBatch(train, plan.BatchIndices(b));
+        core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
+        nn::Tensor loss;
+        if (ssl_losses.interest_loss.defined()) {
+          loss = nn::MulScalar(ssl_losses.interest_loss, config_.alpha1);
+        }
+        if (ssl_losses.feature_loss.defined()) {
+          nn::Tensor f = nn::MulScalar(ssl_losses.feature_loss, config_.alpha2);
+          loss = loss.defined() ? nn::Add(loss, f) : f;
+        }
+        if (!loss.defined()) continue;
+        nn::Optimizer::ZeroGrad(params);
+        nn::Backward(loss);
+        nn::ClipGradNorm(params, config_.grad_clip_norm);
+        optimizer.Step(params);
+      }
+    }
+  }
+
+  // Main stage: CTR loss, plus SSL losses when training jointly.
+  const bool joint_ssl =
+      ssl != nullptr && config_.strategy == Strategy::kJoint;
+  data::BatchPlan plan(train.size(), config_.batch_size);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    plan.Shuffle(rng);
+    double epoch_loss = 0.0;
+    for (int64_t b = 0; b < plan.num_batches(); ++b) {
+      data::Batch batch = data::MakeBatch(train, plan.BatchIndices(b));
+      nn::Tensor logits = model.Forward(batch, /*training=*/true);
+      nn::Tensor loss = nn::BceWithLogitsLoss(logits, batch.labels);
+
+      if (joint_ssl) {
+        core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
+        if (ssl_losses.interest_loss.defined() && config_.alpha1 > 0.0f) {
+          loss = nn::Add(
+              loss, nn::MulScalar(ssl_losses.interest_loss, config_.alpha1));
+        }
+        if (ssl_losses.feature_loss.defined() && config_.alpha2 > 0.0f) {
+          loss = nn::Add(
+              loss, nn::MulScalar(ssl_losses.feature_loss, config_.alpha2));
+        }
+        result.similarity_trace.push_back(ssl_losses.mean_pair_similarity);
+      }
+
+      epoch_loss += loss.item();
+      nn::Optimizer::ZeroGrad(params);
+      nn::Backward(loss);
+      nn::ClipGradNorm(params, config_.grad_clip_norm);
+      optimizer.Step(params);
+    }
+    result.loss_trace.push_back(epoch_loss / plan.num_batches());
+
+    if (config_.select_best_on_valid) {
+      const EvalResult valid_result = Evaluate(model, valid);
+      if (valid_result.auc > best_valid_auc) {
+        best_valid_auc = valid_result.auc;
+        best_params = Snapshot(params);
+      }
+      if (config_.verbose) {
+        MISS_LOG(INFO) << model.name() << (ssl ? "+" + ssl->name() : "")
+                       << " epoch " << epoch + 1 << "/" << config_.epochs
+                       << " loss=" << result.loss_trace.back()
+                       << " valid_auc=" << valid_result.auc;
+      }
+    }
+  }
+
+  if (config_.select_best_on_valid && !best_params.empty()) {
+    Restore(params, best_params);
+    result.best_valid_auc = best_valid_auc;
+  } else {
+    result.best_valid_auc = Evaluate(model, valid).auc;
+  }
+  result.test = Evaluate(model, test);
+  return result;
+}
+
+}  // namespace miss::train

@@ -1,0 +1,74 @@
+// Mini-batch trainer with multi-task SSL support (paper Section IV-C):
+// joint optimization L = L_ll + a1*L_ssl + a2*L_ssl' (Eq. 17), or the
+// two-stage pre-train/fine-tune strategy compared in Table IX.
+
+#ifndef MISS_TRAIN_TRAINER_H_
+#define MISS_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ssl_method.h"
+#include "data/dataset.h"
+#include "models/ctr_model.h"
+
+namespace miss::train {
+
+enum class Strategy {
+  kJoint,     // MISS-Joint: one loss, end to end
+  kPretrain,  // MISS-Pre: SSL-only warmup, then CTR-only fine-tuning
+};
+
+struct TrainConfig {
+  int64_t epochs = 3;
+  int64_t batch_size = 128;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-6f;
+  // SSL loss weights a1 (interest level) and a2 (feature level), Eq. 17.
+  float alpha1 = 1.0f;
+  float alpha2 = 1.0f;
+  Strategy strategy = Strategy::kJoint;
+  int64_t pretrain_epochs = 2;
+  float grad_clip_norm = 10.0f;
+  uint64_t seed = 1;
+  // Evaluate on the validation split each epoch and report the test metrics
+  // of the best-validation parameters (paper Section VI-A5).
+  bool select_best_on_valid = true;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double auc = 0.0;
+  double logloss = 0.0;
+};
+
+struct FitResult {
+  EvalResult test;
+  double best_valid_auc = 0.0;
+  // Mean positive-pair cosine similarity per training step (Figure 5).
+  std::vector<double> similarity_trace;
+  // Total training loss per epoch.
+  std::vector<double> loss_trace;
+};
+
+// Scores a dataset with the model (no dropout) and computes AUC/Logloss.
+EvalResult Evaluate(models::CtrModel& model, const data::Dataset& dataset,
+                    int64_t batch_size = 256);
+
+class Trainer {
+ public:
+  explicit Trainer(const TrainConfig& config) : config_(config) {}
+
+  // Trains `model` (optionally with the auxiliary `ssl` task; pass nullptr
+  // for plain CTR training) and returns test metrics.
+  FitResult Fit(models::CtrModel& model, core::SslMethod* ssl,
+                const data::Dataset& train, const data::Dataset& valid,
+                const data::Dataset& test);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace miss::train
+
+#endif  // MISS_TRAIN_TRAINER_H_

@@ -1,0 +1,132 @@
+// Semantics of the autograd tape itself: gradient accumulation, stop-
+// gradient, requires_grad propagation, shared-subexpression (diamond)
+// graphs, and deep chains.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace miss {
+namespace {
+
+using nn::Tensor;
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwardCalls) {
+  Tensor x = Tensor::FromData({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  nn::Backward(nn::SumAll(nn::Square(x)));  // d/dx = 2x
+  nn::Backward(nn::SumAll(nn::Square(x)));  // again
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);       // 2 * 2x at x=1
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+}
+
+TEST(AutogradTest, DetachBlocksGradientFlow) {
+  Tensor x = Tensor::FromData({2}, {3.0f, 4.0f}, /*requires_grad=*/true);
+  Tensor d = nn::Detach(nn::Square(x));
+  EXPECT_FALSE(d.requires_grad());
+  // Using the detached value in further requires-grad math must not reach x.
+  Tensor y = Tensor::FromData({2}, {1.0f, 1.0f}, /*requires_grad=*/true);
+  nn::Backward(nn::SumAll(nn::Mul(d, y)));
+  EXPECT_TRUE(x.grad().empty());
+  EXPECT_FLOAT_EQ(y.grad()[0], 9.0f);
+  EXPECT_FLOAT_EQ(y.grad()[1], 16.0f);
+}
+
+TEST(AutogradTest, ConstantsBuildNoTape) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {4, 5, 6});
+  Tensor c = nn::Add(nn::Mul(a, b), a);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.node()->parents.empty());  // tape-free
+}
+
+TEST(AutogradTest, DiamondGraphSumsBothPaths) {
+  // y = x*x + x  ->  dy/dx = 2x + 1
+  Tensor x = Tensor::FromData({1}, {3.0f}, /*requires_grad=*/true);
+  nn::Backward(nn::Add(nn::Mul(x, x), x));
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(AutogradTest, SharedSubexpressionUsedTwice) {
+  // z = (a+b) * (a+b) -> dz/da = 2(a+b)
+  Tensor a = Tensor::FromData({1}, {2.0f}, true);
+  Tensor b = Tensor::FromData({1}, {5.0f}, true);
+  Tensor s = nn::Add(a, b);
+  nn::Backward(nn::Mul(s, s));
+  EXPECT_FLOAT_EQ(a.grad()[0], 14.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 14.0f);
+}
+
+TEST(AutogradTest, DeepChainIsStable) {
+  // y = x * 1.01^200; gradient = 1.01^200.
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Tensor y = x;
+  for (int i = 0; i < 200; ++i) y = nn::MulScalar(y, 1.01f);
+  nn::Backward(y);
+  EXPECT_NEAR(x.grad()[0], std::pow(1.01, 200), std::pow(1.01, 200) * 1e-3);
+}
+
+TEST(AutogradTest, MixedGradAndNoGradParents) {
+  Tensor w = Tensor::FromData({2}, {2.0f, 3.0f}, true);
+  Tensor constant = Tensor::FromData({2}, {10.0f, 20.0f});
+  nn::Backward(nn::SumAll(nn::Mul(w, constant)));
+  EXPECT_FLOAT_EQ(w.grad()[0], 10.0f);
+  EXPECT_FLOAT_EQ(w.grad()[1], 20.0f);
+  EXPECT_TRUE(constant.grad().empty());
+}
+
+TEST(AutogradTest, BackwardThroughReusedParameterInTwoBranches) {
+  // loss = sum(relu(w)) + sum(sigmoid(w)); both branches contribute.
+  Tensor w = Tensor::FromData({2}, {1.0f, -1.0f}, true);
+  Tensor loss =
+      nn::Add(nn::SumAll(nn::Relu(w)), nn::SumAll(nn::Sigmoid(w)));
+  nn::Backward(loss);
+  const float sig1 = 1.0f / (1.0f + std::exp(-1.0f));
+  const float sig_neg1 = 1.0f - sig1;
+  EXPECT_NEAR(w.grad()[0], 1.0f + sig1 * (1 - sig1), 1e-5);
+  EXPECT_NEAR(w.grad()[1], 0.0f + sig_neg1 * (1 - sig_neg1), 1e-5);
+}
+
+TEST(AutogradTest, ZeroGradThenStepIsIdempotentOnFreshGraph) {
+  Tensor w = Tensor::FromData({1}, {1.0f}, true);
+  nn::Sgd sgd(0.5f);
+  nn::Backward(nn::Square(w));  // grad 2
+  sgd.Step({w});                // w = 1 - 0.5*2 = 0
+  EXPECT_FLOAT_EQ(w.at(0), 0.0f);
+  nn::Optimizer::ZeroGrad({w});
+  sgd.Step({w});  // zero grad -> no change
+  EXPECT_FLOAT_EQ(w.at(0), 0.0f);
+}
+
+TEST(TensorTest, AccessorsAndShapeString) {
+  Tensor t = Tensor::FromData({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.ShapeString(), "[2,3]");
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 3);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  Tensor s = Tensor::Scalar(7.5f);
+  EXPECT_FLOAT_EQ(s.item(), 7.5f);
+}
+
+TEST(TensorTest, FullAndZerosInitialize) {
+  Tensor z = Tensor::Zeros({2, 2});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(z.at(i), 0.0f);
+  Tensor f = Tensor::Full({3}, -2.5f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(f.at(i), -2.5f);
+}
+
+TEST(TensorTest, RandomNormalRespectsStddev) {
+  common::Rng rng(9);
+  Tensor t = Tensor::RandomNormal({10000}, 0.1f, rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) sq += t.at(i) * t.at(i);
+  EXPECT_NEAR(std::sqrt(sq / t.size()), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace miss

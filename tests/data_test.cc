@@ -1,0 +1,253 @@
+// Tests for the data pipeline: schema, batching, the synthetic generator's
+// invariants, and the sparsity/noise transforms.
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace miss {
+namespace {
+
+using data::DatasetBundle;
+using data::SyntheticConfig;
+
+TEST(SchemaTest, TotalFeaturesCountsSharedTablesOnce) {
+  data::DatasetSchema schema;
+  schema.name = "t";
+  schema.categorical = {{"user", 10}, {"item", 20}, {"cat", 5}};
+  schema.sequential = {{"item_seq", 20}, {"cat_seq", 5}};
+  schema.seq_shares_table_with = {1, 2};
+  schema.max_seq_len = 4;
+  schema.Validate();
+  EXPECT_EQ(schema.TotalFeatures(), 35);
+  EXPECT_EQ(schema.num_fields(), 5);
+}
+
+TEST(SchemaTest, PrivateSeqTablesAddToFeatureCount) {
+  data::DatasetSchema schema;
+  schema.categorical = {{"user", 10}};
+  schema.sequential = {{"other_seq", 7}};
+  schema.seq_shares_table_with = {-1};
+  schema.max_seq_len = 4;
+  schema.Validate();
+  EXPECT_EQ(schema.TotalFeatures(), 17);
+}
+
+data::Dataset TinyDataset() {
+  data::Dataset d;
+  d.schema.name = "t";
+  d.schema.categorical = {{"user", 10}, {"item", 20}};
+  d.schema.sequential = {{"item_seq", 20}};
+  d.schema.seq_shares_table_with = {1};
+  d.schema.max_seq_len = 4;
+  // Sample 0: history length 2; sample 1: history length 6 (truncated to 4).
+  d.samples.push_back({{1, 5}, {{7, 8}}, 1.0f});
+  d.samples.push_back({{2, 6}, {{1, 2, 3, 4, 5, 6}}, 0.0f});
+  return d;
+}
+
+TEST(BatchTest, PadsAndMasks) {
+  data::Dataset d = TinyDataset();
+  data::Batch batch = data::MakeBatch(d, {0, 1});
+  EXPECT_EQ(batch.batch_size, 2);
+  EXPECT_EQ(batch.seq_len, 4);
+  // Sample 0: two valid positions then padding.
+  EXPECT_EQ(batch.seq[0], 7);
+  EXPECT_EQ(batch.seq[1], 8);
+  EXPECT_EQ(batch.seq[2], -1);
+  EXPECT_EQ(batch.seq[3], -1);
+  EXPECT_EQ(batch.lengths[0], 2);
+  EXPECT_FLOAT_EQ(batch.seq_mask[0], 1.0f);
+  EXPECT_FLOAT_EQ(batch.seq_mask[2], 0.0f);
+}
+
+TEST(BatchTest, TruncatesToMostRecent) {
+  data::Dataset d = TinyDataset();
+  data::Batch batch = data::MakeBatch(d, {1});
+  // History {1..6} truncated to the most recent 4: {3, 4, 5, 6}.
+  EXPECT_EQ(batch.seq[0], 3);
+  EXPECT_EQ(batch.seq[3], 6);
+  EXPECT_EQ(batch.lengths[0], 4);
+}
+
+TEST(BatchPlanTest, CoversAllIndicesOncePerEpoch) {
+  data::BatchPlan plan(10, 3);
+  EXPECT_EQ(plan.num_batches(), 4);
+  std::set<int64_t> seen;
+  for (int64_t b = 0; b < plan.num_batches(); ++b) {
+    for (int64_t i : plan.BatchIndices(b)) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(BatchPlanTest, ShuffleIsDeterministicInSeed) {
+  data::BatchPlan p1(20, 5), p2(20, 5);
+  common::Rng r1(9), r2(9);
+  p1.Shuffle(r1);
+  p2.Shuffle(r2);
+  for (int64_t b = 0; b < p1.num_batches(); ++b) {
+    EXPECT_EQ(p1.BatchIndices(b), p2.BatchIndices(b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator invariants, swept over all profiles.
+// ---------------------------------------------------------------------------
+
+class SyntheticProfileTest
+    : public ::testing::TestWithParam<SyntheticConfig> {};
+
+TEST_P(SyntheticProfileTest, SplitSizesAndStats) {
+  SyntheticConfig config = GetParam();
+  DatasetBundle bundle = data::GenerateSynthetic(config);
+  // One positive + one negative per user per split.
+  EXPECT_EQ(bundle.train.size(), 2 * config.num_users);
+  EXPECT_EQ(bundle.valid.size(), 2 * config.num_users);
+  EXPECT_EQ(bundle.test.size(), 2 * config.num_users);
+  EXPECT_EQ(bundle.num_instances, bundle.train.size());
+  EXPECT_EQ(bundle.num_fields, bundle.train.schema.num_fields());
+  EXPECT_EQ(bundle.num_features, bundle.train.schema.TotalFeatures());
+}
+
+TEST_P(SyntheticProfileTest, LabelsAlternatePositiveNegative) {
+  DatasetBundle bundle = data::GenerateSynthetic(GetParam());
+  for (int64_t i = 0; i < bundle.train.size(); i += 2) {
+    EXPECT_FLOAT_EQ(bundle.train.samples[i].label, 1.0f);
+    EXPECT_FLOAT_EQ(bundle.train.samples[i + 1].label, 0.0f);
+  }
+}
+
+TEST_P(SyntheticProfileTest, IdsWithinVocabularies) {
+  SyntheticConfig config = GetParam();
+  DatasetBundle bundle = data::GenerateSynthetic(config);
+  const auto& schema = bundle.train.schema;
+  for (const data::Dataset* d :
+       {&bundle.train, &bundle.valid, &bundle.test}) {
+    for (const auto& s : d->samples) {
+      for (size_t i = 0; i < s.cat.size(); ++i) {
+        EXPECT_GE(s.cat[i], 0);
+        EXPECT_LT(s.cat[i], schema.categorical[i].vocab_size);
+      }
+      for (size_t j = 0; j < s.seq.size(); ++j) {
+        for (int64_t id : s.seq[j]) {
+          EXPECT_GE(id, 0);
+          EXPECT_LT(id, schema.sequential[j].vocab_size);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SyntheticProfileTest, ChronologicalPrefixProperty) {
+  // A user's validation history extends their training history by exactly
+  // one behavior (the training positive), and similarly for test.
+  SyntheticConfig config = GetParam();
+  DatasetBundle bundle = data::GenerateSynthetic(config);
+  for (int64_t u = 0; u < std::min<int64_t>(50, config.num_users); ++u) {
+    const auto& train_pos = bundle.train.samples[2 * u];
+    const auto& valid_pos = bundle.valid.samples[2 * u];
+    const auto& test_pos = bundle.test.samples[2 * u];
+    ASSERT_EQ(valid_pos.seq[0].size(), train_pos.seq[0].size() + 1);
+    ASSERT_EQ(test_pos.seq[0].size(), valid_pos.seq[0].size() + 1);
+    // Prefix match.
+    for (size_t l = 0; l < train_pos.seq[0].size(); ++l) {
+      EXPECT_EQ(train_pos.seq[0][l], valid_pos.seq[0][l]);
+    }
+    // The appended behavior is the training positive candidate (item field).
+    EXPECT_EQ(valid_pos.seq[0].back(), train_pos.cat[data::kFieldItem]);
+  }
+}
+
+TEST_P(SyntheticProfileTest, CategorySequenceConsistentWithItems) {
+  // Every (item, category) pair in any history must agree with the
+  // candidate-side pairing of that item elsewhere in the data.
+  SyntheticConfig config = GetParam();
+  DatasetBundle bundle = data::GenerateSynthetic(config);
+  std::unordered_map<int64_t, int64_t> item_category;
+  auto check = [&](int64_t item, int64_t category) {
+    auto [it, inserted] = item_category.emplace(item, category);
+    if (!inserted) {
+      EXPECT_EQ(it->second, category) << "item " << item;
+    }
+  };
+  for (const auto& s : bundle.train.samples) {
+    check(s.cat[data::kFieldItem], s.cat[data::kFieldCategory]);
+    for (size_t l = 0; l < s.seq[0].size(); ++l) {
+      check(s.seq[data::kSeqItem][l], s.seq[data::kSeqCategory][l]);
+    }
+  }
+}
+
+TEST_P(SyntheticProfileTest, DeterministicInSeed) {
+  SyntheticConfig config = GetParam();
+  DatasetBundle a = data::GenerateSynthetic(config);
+  DatasetBundle b = data::GenerateSynthetic(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int64_t i = 0; i < std::min<int64_t>(100, a.train.size()); ++i) {
+    EXPECT_EQ(a.train.samples[i].cat, b.train.samples[i].cat);
+    EXPECT_EQ(a.train.samples[i].seq, b.train.samples[i].seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, SyntheticProfileTest,
+    ::testing::Values(SyntheticConfig::Tiny(),
+                      SyntheticConfig::AmazonCds(0.1),
+                      SyntheticConfig::AmazonBooks(0.1),
+                      SyntheticConfig::Alipay(0.1)),
+    [](const ::testing::TestParamInfo<SyntheticConfig>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SyntheticTest, AlipayHasSevenFieldsAmazonFive) {
+  EXPECT_EQ(data::MakeSchema(SyntheticConfig::AmazonCds(0.1)).num_fields(), 5);
+  EXPECT_EQ(data::MakeSchema(SyntheticConfig::Alipay(0.1)).num_fields(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Transforms.
+// ---------------------------------------------------------------------------
+
+TEST(TransformTest, DownsampleKeepsRequestedFraction) {
+  DatasetBundle bundle = data::GenerateSynthetic(SyntheticConfig::Tiny());
+  common::Rng rng(5);
+  data::Dataset down = data::DownsampleTrain(bundle.train, 0.8, rng);
+  EXPECT_EQ(down.size(), static_cast<int64_t>(bundle.train.size() * 0.8));
+  data::Dataset full = data::DownsampleTrain(bundle.train, 1.0, rng);
+  EXPECT_EQ(full.size(), bundle.train.size());
+}
+
+TEST(TransformTest, LabelNoiseFlipsExactFraction) {
+  DatasetBundle bundle = data::GenerateSynthetic(SyntheticConfig::Tiny());
+  common::Rng rng(6);
+  data::Dataset noisy = data::InjectLabelNoise(bundle.train, 0.2, rng);
+  ASSERT_EQ(noisy.size(), bundle.train.size());
+  int64_t flipped = 0;
+  for (int64_t i = 0; i < noisy.size(); ++i) {
+    if (noisy.samples[i].label != bundle.train.samples[i].label) ++flipped;
+  }
+  EXPECT_EQ(flipped,
+            static_cast<int64_t>(bundle.train.size() * 0.2 + 0.5));
+}
+
+TEST(TransformTest, ZeroNoiseIsIdentity) {
+  DatasetBundle bundle = data::GenerateSynthetic(SyntheticConfig::Tiny());
+  common::Rng rng(7);
+  data::Dataset noisy = data::InjectLabelNoise(bundle.train, 0.0, rng);
+  for (int64_t i = 0; i < noisy.size(); ++i) {
+    EXPECT_EQ(noisy.samples[i].label, bundle.train.samples[i].label);
+  }
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,126 @@
+// Tests for the shared embedding tables and pooling helpers — the plug-in
+// contract between CTR models and the MISS SSL component.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/embedding_set.h"
+#include "models/pooling.h"
+#include "nn/ops.h"
+
+namespace miss {
+namespace {
+
+data::Dataset MakeDataset() {
+  data::Dataset d;
+  d.schema.name = "t";
+  d.schema.categorical = {{"user", 4}, {"item", 6}, {"cat", 3}};
+  d.schema.sequential = {{"item_seq", 6}, {"cat_seq", 3}};
+  d.schema.seq_shares_table_with = {1, 2};
+  d.schema.max_seq_len = 3;
+  d.samples.push_back({{0, 2, 1}, {{3, 4}, {0, 2}}, 1.0f});
+  d.samples.push_back({{1, 5, 0}, {{1, 2, 3}, {1, 0, 2}}, 0.0f});
+  return d;
+}
+
+TEST(EmbeddingSetTest, SharedTableIdentity) {
+  data::Dataset d = MakeDataset();
+  common::Rng rng(1);
+  models::EmbeddingSet set(d.schema, /*dim=*/4, rng);
+
+  data::Batch batch = data::MakeBatch(d, {0});
+  // Candidate item id = 2; position 1 of the item sequence is item 4, but
+  // we check the table sharing by comparing candidate embedding with a
+  // sequence whose first entry is the same id.
+  data::Dataset d2 = MakeDataset();
+  d2.samples[0].seq[0][0] = d2.samples[0].cat[1];  // history item == cand
+  data::Batch batch2 = data::MakeBatch(d2, {0});
+
+  nn::Tensor cand = set.FieldEmbedding(batch2, 1);            // [1, 4]
+  nn::Tensor seq = set.SequenceEmbeddings(batch2, 0);         // [1, 3, 4]
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_FLOAT_EQ(seq.at(k), cand.at(k))
+        << "item sequence must share the candidate item table";
+  }
+}
+
+TEST(EmbeddingSetTest, SequenceTensorShapeMatchesEq18) {
+  data::Dataset d = MakeDataset();
+  common::Rng rng(2);
+  models::EmbeddingSet set(d.schema, 4, rng);
+  data::Batch batch = data::MakeBatch(d, {0, 1});
+  nn::Tensor c = set.SequenceTensor(batch);
+  EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 2, 3, 4}));  // [B, J, L, K]
+}
+
+TEST(EmbeddingSetTest, PaddingRowsAreZero) {
+  data::Dataset d = MakeDataset();
+  common::Rng rng(3);
+  models::EmbeddingSet set(d.schema, 4, rng);
+  data::Batch batch = data::MakeBatch(d, {0});  // history length 2 of 3
+  nn::Tensor c = set.SequenceTensor(batch);
+  // Position l = 2 is padding for sample 0 in both sequence fields.
+  for (int j = 0; j < 2; ++j) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_FLOAT_EQ(c.at(((0 * 2 + j) * 3 + 2) * 4 + k), 0.0f);
+    }
+  }
+}
+
+TEST(EmbeddingSetTest, ParameterCountCountsSharedTablesOnce) {
+  data::Dataset d = MakeDataset();
+  common::Rng rng(4);
+  models::EmbeddingSet set(d.schema, 4, rng);
+  // Three categorical tables only (both sequences share).
+  EXPECT_EQ(set.NumParameters(), (4 + 6 + 3) * 4);
+}
+
+TEST(EmbeddingSetTest, PrivateSeqTableAddsParameters) {
+  data::Dataset d = MakeDataset();
+  d.schema.seq_shares_table_with = {1, -1};  // cat_seq gets its own table
+  common::Rng rng(5);
+  models::EmbeddingSet set(d.schema, 4, rng);
+  EXPECT_EQ(set.NumParameters(), (4 + 6 + 3 + 3) * 4);
+}
+
+TEST(MaskedMeanPoolTest, AveragesOnlyValidPositions) {
+  nn::Tensor seq = nn::Tensor::FromData(
+      {1, 3, 2}, {1, 2, 3, 4, 100, 200});  // last position will be masked
+  const std::vector<float> mask = {1, 1, 0};
+  nn::Tensor pooled = models::MaskedMeanPool(seq, mask);
+  EXPECT_FLOAT_EQ(pooled.at(0), 2.0f);  // (1 + 3) / 2
+  EXPECT_FLOAT_EQ(pooled.at(1), 3.0f);  // (2 + 4) / 2
+}
+
+TEST(MaskedMeanPoolTest, AllPaddingYieldsZeros) {
+  nn::Tensor seq = nn::Tensor::FromData({1, 2, 2}, {5, 5, 5, 5});
+  const std::vector<float> mask = {0, 0};
+  nn::Tensor pooled = models::MaskedMeanPool(seq, mask);
+  EXPECT_FLOAT_EQ(pooled.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(pooled.at(1), 0.0f);
+}
+
+TEST(MaskedMeanPoolTest, GradientFlowsOnlyThroughValidPositions) {
+  common::Rng rng(6);
+  nn::Tensor seq =
+      nn::Tensor::RandomNormal({1, 3, 2}, 1.0f, rng, /*requires_grad=*/true);
+  const std::vector<float> mask = {1, 0, 1};
+  nn::Backward(nn::MeanAll(nn::Square(models::MaskedMeanPool(seq, mask))));
+  const auto& g = seq.grad();
+  EXPECT_NE(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);  // masked position
+  EXPECT_FLOAT_EQ(g[3], 0.0f);
+  EXPECT_NE(g[4], 0.0f);
+}
+
+TEST(FieldMatrixTest, StacksCategoricalAndPooledSequences) {
+  data::Dataset d = MakeDataset();
+  common::Rng rng(7);
+  models::EmbeddingSet set(d.schema, 4, rng);
+  data::Batch batch = data::MakeBatch(d, {0, 1});
+  nn::Tensor fields = models::FieldMatrix(set, batch);
+  EXPECT_EQ(fields.shape(), (std::vector<int64_t>{2, 5, 4}));  // I+J fields
+}
+
+}  // namespace
+}  // namespace miss

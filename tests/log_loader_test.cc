@@ -1,0 +1,152 @@
+// Tests for the interaction-log ingestion path (the paper's real-data
+// preprocessing protocol).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/log_loader.h"
+
+namespace miss {
+namespace {
+
+using data::Interaction;
+
+// user,item,category,timestamp
+constexpr char kSmallLog[] = R"(# comment line
+user_id,item_id,category_id,timestamp
+10,100,7,1
+10,101,7,2
+10,102,8,3
+10,103,8,4
+10,104,7,5
+20,100,7,9
+20,102,8,8
+20,101,7,7
+20,103,8,6
+)";
+
+TEST(ParseCsvTest, ParsesHeaderCommentsAndRows) {
+  std::vector<Interaction> events;
+  std::string error;
+  ASSERT_TRUE(data::ParseInteractionCsv(kSmallLog, &events, &error)) << error;
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events[0].user, 10);
+  EXPECT_EQ(events[0].item, 100);
+  EXPECT_EQ(events[0].category, 7);
+  EXPECT_EQ(events[0].timestamp, 1);
+}
+
+TEST(ParseCsvTest, RejectsMalformedRows) {
+  std::vector<Interaction> events;
+  std::string error;
+  EXPECT_FALSE(
+      data::ParseInteractionCsv("1,2,3,4\nbad,row\n", &events, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(LogLoaderTest, BuildsChronologicalLeaveOneOutSplits) {
+  std::vector<Interaction> events;
+  std::string error;
+  ASSERT_TRUE(data::ParseInteractionCsv(kSmallLog, &events, &error));
+
+  data::LogToDatasetOptions options;
+  options.min_count = 1;
+  options.max_seq_len = 10;
+  data::DatasetBundle bundle =
+      data::BuildFromInteractionLog(events, options);
+
+  EXPECT_EQ(bundle.num_users, 2);
+  // One positive + one negative per user per split.
+  EXPECT_EQ(bundle.train.size(), 4);
+  EXPECT_EQ(bundle.valid.size(), 4);
+  EXPECT_EQ(bundle.test.size(), 4);
+
+  // User 20 has 4 interactions (timestamps 6..9, stored in reverse order in
+  // the log): train history = 1 behavior, valid = 2, test = 3, and the
+  // interactions must have been re-sorted chronologically.
+  const data::Sample& u2_train_pos = bundle.train.samples[2];
+  ASSERT_EQ(u2_train_pos.seq[0].size(), 1u);
+  EXPECT_FLOAT_EQ(u2_train_pos.label, 1.0f);
+
+  const data::Sample& u2_valid_pos = bundle.valid.samples[2];
+  const data::Sample& u2_test_pos = bundle.test.samples[2];
+  ASSERT_EQ(u2_valid_pos.seq[0].size(), 2u);
+  ASSERT_EQ(u2_test_pos.seq[0].size(), 3u);
+  // Chronological prefix property across splits.
+  EXPECT_EQ(u2_valid_pos.seq[0][0], u2_train_pos.seq[0][0]);
+  EXPECT_EQ(u2_test_pos.seq[0][0], u2_valid_pos.seq[0][0]);
+  EXPECT_EQ(u2_test_pos.seq[0][1], u2_valid_pos.seq[0][1]);
+  // The oldest behavior (ts 6) is raw item 103; chronological sorting means
+  // the first history entry of every user-20 sample maps from item 103, and
+  // the valid positive's target (ts 8) is raw item 102's dense id, which
+  // equals the second history entry of the test sample.
+  EXPECT_EQ(u2_test_pos.seq[0][2], u2_valid_pos.cat[data::kFieldItem]);
+}
+
+TEST(LogLoaderTest, FrequencyFilterDropsRareUsersAndItems) {
+  std::vector<Interaction> events;
+  // User 1 has 6 interactions over two frequent items; user 2 has only 2.
+  for (int t = 0; t < 6; ++t) events.push_back({1, 100 + t % 2, 0, t});
+  events.push_back({2, 100, 0, 1});
+  events.push_back({2, 101, 0, 2});
+
+  data::LogToDatasetOptions options;
+  options.min_count = 3;
+  data::DatasetBundle bundle =
+      data::BuildFromInteractionLog(events, options);
+  EXPECT_EQ(bundle.num_users, 1);  // user 2 filtered out
+
+  // Item counts after dropping user 2: 100 and 101 appear 3x each - kept.
+  EXPECT_EQ(bundle.num_items, 2);
+}
+
+TEST(LogLoaderTest, UsersWithTooFewBehaviorsAreSkipped) {
+  std::vector<Interaction> events;
+  for (int t = 0; t < 3; ++t) events.push_back({1, t, 0, t});  // only 3
+  data::LogToDatasetOptions options;
+  options.min_count = 1;
+  data::DatasetBundle bundle =
+      data::BuildFromInteractionLog(events, options);
+  EXPECT_EQ(bundle.num_users, 0);
+  EXPECT_EQ(bundle.train.size(), 0);
+}
+
+TEST(LogLoaderTest, DenseIdsWithinSchemaVocabularies) {
+  std::vector<Interaction> events;
+  std::string error;
+  ASSERT_TRUE(data::ParseInteractionCsv(kSmallLog, &events, &error));
+  data::LogToDatasetOptions options;
+  options.min_count = 1;
+  data::DatasetBundle bundle =
+      data::BuildFromInteractionLog(events, options);
+  const auto& schema = bundle.train.schema;
+  for (const data::Dataset* d : {&bundle.train, &bundle.valid, &bundle.test}) {
+    for (const auto& s : d->samples) {
+      for (size_t i = 0; i < s.cat.size(); ++i) {
+        EXPECT_GE(s.cat[i], 0);
+        EXPECT_LT(s.cat[i], schema.categorical[i].vocab_size);
+      }
+    }
+  }
+}
+
+TEST(LogLoaderTest, NegativesAreNonInteracted) {
+  std::vector<Interaction> events;
+  std::string error;
+  ASSERT_TRUE(data::ParseInteractionCsv(kSmallLog, &events, &error));
+  data::LogToDatasetOptions options;
+  options.min_count = 1;
+  data::DatasetBundle bundle =
+      data::BuildFromInteractionLog(events, options);
+  // With 5 items total and user 10 having interacted with all 5, the
+  // negative may collide; but user 20 interacted with 4 of 5, so negatives
+  // exist. This asserts the far weaker invariant that labels alternate.
+  for (int64_t i = 0; i < bundle.train.size(); i += 2) {
+    EXPECT_FLOAT_EQ(bundle.train.samples[i].label, 1.0f);
+    EXPECT_FLOAT_EQ(bundle.train.samples[i + 1].label, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,85 @@
+// AUC and Logloss metric tests, including a brute-force cross-check.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "train/metrics.h"
+
+namespace miss {
+namespace {
+
+// O(n^2) reference: P(score_pos > score_neg) + 0.5 P(tie).
+double BruteForceAuc(const std::vector<double>& scores,
+                     const std::vector<float>& labels) {
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5f) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5f) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / pairs;
+}
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(train::Auc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(train::Auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(train::Auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(train::Auc({0.1, 0.9}, {1, 1}), 0.5);
+}
+
+TEST(AucTest, MatchesBruteForceOnRandomData) {
+  common::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores(50);
+    std::vector<float> labels(50);
+    for (int i = 0; i < 50; ++i) {
+      // Quantized scores force tie handling.
+      scores[i] = std::round(rng.Uniform() * 10.0) / 10.0;
+      labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+    }
+    bool has_pos = false, has_neg = false;
+    for (float l : labels) (l > 0.5f ? has_pos : has_neg) = true;
+    if (!has_pos || !has_neg) continue;
+    EXPECT_NEAR(train::Auc(scores, labels), BruteForceAuc(scores, labels),
+                1e-10);
+  }
+}
+
+TEST(LogLossTest, HandComputedValues) {
+  const double expected =
+      -(std::log(0.8) + std::log(1.0 - 0.3)) / 2.0;
+  EXPECT_NEAR(train::LogLoss({0.8, 0.3}, {1, 0}), expected, 1e-12);
+}
+
+TEST(LogLossTest, ClampsExtremeProbabilities) {
+  const double ll = train::LogLoss({1.0, 0.0}, {0, 1});
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_GT(ll, 10.0);  // confidently wrong is heavily penalized
+}
+
+TEST(LogLossTest, PerfectPredictionNearZero) {
+  EXPECT_LT(train::LogLoss({0.999999, 0.000001}, {1, 0}), 1e-4);
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,264 @@
+// Tests for the MISS framework: extractor identities (|T|, Omega),
+// InfoNCE semantics, configuration variants, and the competing SSL methods.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/info_nce.h"
+#include "core/miss_module.h"
+#include "core/ssl_baselines.h"
+#include "core/ssl_factory.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+
+namespace miss {
+namespace {
+
+data::DatasetBundle SmallBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 50;
+  config.num_items = 40;
+  config.num_categories = 5;
+  return data::GenerateSynthetic(config);
+}
+
+// ---------------------------------------------------------------------------
+// InfoNCE.
+// ---------------------------------------------------------------------------
+
+TEST(InfoNceTest, MatchesHandComputedLoss) {
+  // Orthogonal pairs: z1 rows = e1, e2; z2 = identical. Cosine matrix = I.
+  nn::Tensor z1 = nn::Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  nn::Tensor z2 = nn::Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  const float tau = 0.5f;
+  core::InfoNceResult r = core::InfoNce(z1, z2, tau);
+  // Each row: logits {1/tau, 0} with positive first.
+  const double row = std::log(std::exp(2.0) + std::exp(0.0)) - 2.0;
+  EXPECT_NEAR(r.loss.item(), row, 1e-5);
+  EXPECT_NEAR(r.mean_positive_similarity, 1.0, 1e-5);
+}
+
+TEST(InfoNceTest, AlignedPairsBeatMisalignedPairs) {
+  common::Rng rng(3);
+  nn::Tensor a = nn::Tensor::RandomNormal({8, 6}, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::RandomNormal({8, 6}, 1.0f, rng);
+  const double aligned = core::InfoNce(a, a, 0.1f).loss.item();
+  const double random = core::InfoNce(a, b, 0.1f).loss.item();
+  EXPECT_LT(aligned, random);
+}
+
+TEST(InfoNceTest, SimilarityIsMeanDiagonalCosine) {
+  nn::Tensor z1 = nn::Tensor::FromData({2, 2}, {1, 0, 1, 0});
+  nn::Tensor z2 = nn::Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  core::InfoNceResult r = core::InfoNce(z1, z2, 1.0f);
+  EXPECT_NEAR(r.mean_positive_similarity, 0.5, 1e-5);  // (1 + 0) / 2
+}
+
+// ---------------------------------------------------------------------------
+// MissModule structure.
+// ---------------------------------------------------------------------------
+
+struct CountCase {
+  int64_t M;
+  int64_t len;
+};
+
+class InterestCountTest : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(InterestCountTest, MatchesEq20Identity) {
+  // |T| = sum_{1<=m<=M} (L - m + 1)  (Eq. 20)
+  data::DatasetBundle bundle = SmallBundle();
+  core::MissConfig config;
+  config.M = GetParam().M;
+  core::MissModule module(bundle.train.schema, /*embedding_dim=*/4, config);
+  int64_t expected = 0;
+  for (int64_t m = 1; m <= GetParam().M; ++m) {
+    if (GetParam().len >= m) expected += GetParam().len - m + 1;
+  }
+  EXPECT_EQ(module.InterestCount(GetParam().len), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, InterestCountTest,
+                         ::testing::Values(CountCase{1, 5}, CountCase{2, 5},
+                                           CountCase{3, 5}, CountCase{4, 8},
+                                           CountCase{4, 3}, CountCase{3, 12}));
+
+TEST(MissModuleTest, OmegaMatchesEq23Identity) {
+  // Omega = sum_{1<=n<=N} (J - n + 1) with J = 2 sequence fields.
+  data::DatasetBundle bundle = SmallBundle();
+  core::MissConfig config;
+  config.N = 2;
+  core::MissModule module(bundle.train.schema, 4, config);
+  EXPECT_EQ(module.FeatureRepresentationCount(), 2 + 1);
+  core::MissConfig config1;
+  config1.N = 1;
+  core::MissModule module1(bundle.train.schema, 4, config1);
+  EXPECT_EQ(module1.FeatureRepresentationCount(), 2);
+}
+
+TEST(MissModuleTest, KernelParameterCountsFollowComplexityAnalysis) {
+  // Horizontal kernels contribute sum_{m=1..M} m parameters, vertical
+  // sum_{n=1..N} n (Section V-E).
+  data::DatasetBundle bundle = SmallBundle();
+  core::MissConfig config;
+  config.M = 4;
+  config.N = 2;
+  core::MissModule module(bundle.train.schema, 4, config);
+  int64_t kernel_params = 0;
+  for (const nn::Tensor& p : module.horizontal_kernels()) {
+    kernel_params += p.size();
+  }
+  for (const nn::Tensor& p : module.vertical_kernels()) {
+    kernel_params += p.size();
+  }
+  EXPECT_EQ(kernel_params, (1 + 2 + 3 + 4) + (1 + 2));
+}
+
+// ---------------------------------------------------------------------------
+// MissModule loss across all configuration variants.
+// ---------------------------------------------------------------------------
+
+struct VariantCase {
+  std::string name;
+  core::MissConfig config;
+  bool expect_feature_loss;
+};
+
+class MissVariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(MissVariantTest, ProducesFiniteLossesOfRightArity) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 1);
+  core::MissModule module(bundle.train.schema, mc.embedding_dim,
+                          GetParam().config);
+  data::Batch batch = data::MakeBatch(bundle.train, {0, 1, 2, 3, 4, 5, 6, 7});
+  core::SslLossResult result = module.ComputeLoss(*model, batch);
+
+  ASSERT_TRUE(result.interest_loss.defined());
+  EXPECT_TRUE(std::isfinite(result.interest_loss.item()));
+  EXPECT_EQ(result.feature_loss.defined(), GetParam().expect_feature_loss);
+  if (result.feature_loss.defined()) {
+    EXPECT_TRUE(std::isfinite(result.feature_loss.item()));
+  }
+  EXPECT_GE(result.mean_pair_similarity, -1.0 - 1e-6);
+  EXPECT_LE(result.mean_pair_similarity, 1.0 + 1e-6);
+
+  // SSL gradients must reach the shared embedding tables.
+  nn::Tensor loss = result.interest_loss;
+  if (result.feature_loss.defined()) {
+    loss = nn::Add(loss, result.feature_loss);
+  }
+  nn::Backward(loss);
+  double emb_grad = 0.0;
+  for (const nn::Tensor& p : model->embeddings().Parameters()) {
+    for (float g : p.grad()) emb_grad += std::abs(g);
+  }
+  EXPECT_GT(emb_grad, 0.0);
+}
+
+std::vector<VariantCase> VariantCases() {
+  std::vector<VariantCase> cases;
+  cases.push_back({"full", core::MissConfig::Full(), true});
+  cases.push_back({"no_f", core::MissConfig::WithoutF(), false});
+  cases.push_back({"no_fu", core::MissConfig::WithoutFU(), false});
+  cases.push_back({"no_fl", core::MissConfig::WithoutFL(), false});
+  cases.push_back({"no_ful", core::MissConfig::WithoutFUL(), false});
+  cases.push_back({"no_mful", core::MissConfig::WithoutMFUL(), false});
+  core::MissConfig sa;
+  sa.extractor = core::MissConfig::Extractor::kSelfAttention;
+  cases.push_back({"sa", sa, false});
+  core::MissConfig lstm;
+  lstm.extractor = core::MissConfig::Extractor::kLstm;
+  cases.push_back({"lstm", lstm, false});
+  core::MissConfig gaussian;
+  gaussian.distance_distribution =
+      core::MissConfig::DistanceDistribution::kGaussian;
+  cases.push_back({"gaussian_h", gaussian, true});
+  core::MissConfig transformer;
+  transformer.interest_encoder = core::MissConfig::EncoderKind::kTransformer;
+  cases.push_back({"transformer_enc", transformer, true});
+  core::MissConfig overlap;
+  overlap.stride_by_kernel = false;
+  cases.push_back({"overlap_pairs", overlap, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MissVariantTest,
+                         ::testing::ValuesIn(VariantCases()),
+                         [](const ::testing::TestParamInfo<VariantCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(MissVariantTest, VariantNamesMatchTable7) {
+  data::DatasetBundle bundle = SmallBundle();
+  auto name_of = [&](const core::MissConfig& c) {
+    return core::MissModule(bundle.train.schema, 4, c).name();
+  };
+  EXPECT_EQ(name_of(core::MissConfig::Full()), "MISS");
+  EXPECT_EQ(name_of(core::MissConfig::WithoutF()), "MISS/F");
+  EXPECT_EQ(name_of(core::MissConfig::WithoutFU()), "MISS/F/U");
+  EXPECT_EQ(name_of(core::MissConfig::WithoutFL()), "MISS/F/L");
+  EXPECT_EQ(name_of(core::MissConfig::WithoutFUL()), "MISS/F/U/L");
+  EXPECT_EQ(name_of(core::MissConfig::WithoutMFUL()), "MISS/M/F/U/L");
+}
+
+TEST(MissModuleTest, UnionWiseOffUsesOnlyPointwiseKernel) {
+  data::DatasetBundle bundle = SmallBundle();
+  core::MissConfig config = core::MissConfig::WithoutFU();
+  core::MissModule module(bundle.train.schema, 4, config);
+  // Only the m = 1 kernel: InterestCount(len) == len.
+  EXPECT_EQ(module.InterestCount(9), 9);
+}
+
+// ---------------------------------------------------------------------------
+// SSL baselines.
+// ---------------------------------------------------------------------------
+
+class SslBaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SslBaselineTest, ProducesFiniteLossAndHasParameters) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("ipnn", bundle.train.schema, mc, 1);
+  auto ssl = core::CreateSslMethod(GetParam(), bundle.train.schema,
+                                   mc.embedding_dim, 0.1f, 11,
+                                   core::MissConfig::Full());
+  ASSERT_NE(ssl, nullptr);
+  EXPECT_FALSE(ssl->TrainableParameters().empty());
+
+  data::Batch batch = data::MakeBatch(bundle.train, {0, 1, 2, 3, 4, 5});
+  core::SslLossResult result = ssl->ComputeLoss(*model, batch);
+  ASSERT_TRUE(result.interest_loss.defined());
+  EXPECT_TRUE(std::isfinite(result.interest_loss.item()));
+
+  nn::Backward(result.interest_loss);
+  double emb_grad = 0.0;
+  for (const nn::Tensor& p : model->embeddings().Parameters()) {
+    for (float g : p.grad()) emb_grad += std::abs(g);
+  }
+  EXPECT_GT(emb_grad, 0.0) << GetParam() << " does not touch embeddings";
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SslBaselineTest,
+                         ::testing::Values("miss", "rule", "irssl", "s3rec",
+                                           "cl4srec"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(SslFactoryTest, NoneReturnsNull) {
+  data::DatasetBundle bundle = SmallBundle();
+  EXPECT_EQ(core::CreateSslMethod("", bundle.train.schema, 4, 0.1f, 1,
+                                  core::MissConfig::Full()),
+            nullptr);
+  EXPECT_EQ(core::CreateSslMethod("none", bundle.train.schema, 4, 0.1f, 1,
+                                  core::MissConfig::Full()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,124 @@
+// Cross-model contract tests: every CTR model must produce finite [B]
+// logits, route gradients into the shared embedding tables, and be able to
+// fit data.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+#include "train/trainer.h"
+
+namespace miss {
+namespace {
+
+data::DatasetBundle SmallBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 60;
+  config.num_items = 50;
+  config.num_categories = 5;
+  return data::GenerateSynthetic(config);
+}
+
+class ModelContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() { bundle_ = new data::DatasetBundle(SmallBundle()); }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static data::DatasetBundle* bundle_;
+};
+
+data::DatasetBundle* ModelContractTest::bundle_ = nullptr;
+
+TEST_P(ModelContractTest, ForwardShapeAndFiniteness) {
+  models::ModelConfig config;
+  auto model = models::CreateModel(GetParam(), bundle_->train.schema, config,
+                                   /*seed=*/1);
+  data::Batch batch = data::MakeBatch(bundle_->train, {0, 1, 2, 3, 4});
+  nn::Tensor logits = model->Forward(batch, /*training=*/false);
+  ASSERT_EQ(logits.shape(), (std::vector<int64_t>{5}));
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits.at(i))) << "logit " << i;
+  }
+}
+
+TEST_P(ModelContractTest, GradientReachesItemEmbeddings) {
+  models::ModelConfig config;
+  auto model = models::CreateModel(GetParam(), bundle_->train.schema, config,
+                                   /*seed=*/2);
+  data::Batch batch = data::MakeBatch(bundle_->train, {0, 1, 2, 3});
+  nn::Tensor logits = model->Forward(batch, /*training=*/true);
+  nn::Tensor loss = nn::BceWithLogitsLoss(logits, batch.labels);
+  nn::Backward(loss);
+
+  double grad_norm = 0.0;
+  for (const nn::Tensor& p : model->Parameters()) {
+    for (float g : p.grad()) grad_norm += static_cast<double>(g) * g;
+  }
+  EXPECT_GT(grad_norm, 0.0) << "no gradient anywhere in " << GetParam();
+}
+
+TEST_P(ModelContractTest, DeterministicForwardAtFixedSeed) {
+  models::ModelConfig config;
+  auto m1 = models::CreateModel(GetParam(), bundle_->train.schema, config, 7);
+  auto m2 = models::CreateModel(GetParam(), bundle_->train.schema, config, 7);
+  data::Batch batch = data::MakeBatch(bundle_->train, {1, 3, 5});
+  nn::Tensor y1 = m1->Forward(batch, /*training=*/false);
+  nn::Tensor y2 = m2->Forward(batch, /*training=*/false);
+  for (int64_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.at(i), y2.at(i));
+  }
+}
+
+TEST_P(ModelContractTest, HandlesMinimalHistory) {
+  // Samples whose history is a single behavior must not crash any model.
+  data::Dataset d;
+  d.schema = bundle_->train.schema;
+  data::Sample s = bundle_->train.samples[0];
+  for (auto& seq : s.seq) seq.resize(1);
+  d.samples = {s, s};
+  models::ModelConfig config;
+  auto model = models::CreateModel(GetParam(), d.schema, config, 3);
+  data::Batch batch = data::MakeBatch(d, {0, 1});
+  nn::Tensor logits = model->Forward(batch, /*training=*/false);
+  EXPECT_TRUE(std::isfinite(logits.at(0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelContractTest,
+                         ::testing::ValuesIn(models::KnownModelNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(ModelFitTest, DeepFmLearnsAboveChance) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig config;
+  auto model = models::CreateModel("deepfm", bundle.train.schema, config, 5);
+  train::TrainConfig tc;
+  tc.epochs = 30;
+  tc.learning_rate = 3e-3f;
+  tc.select_best_on_valid = true;
+  train::Trainer trainer(tc);
+  train::FitResult fit =
+      trainer.Fit(*model, nullptr, bundle.train, bundle.valid, bundle.test);
+  EXPECT_GT(fit.test.auc, 0.58) << "deepfm failed to learn structure";
+  // Loss must broadly decrease.
+  EXPECT_LT(fit.loss_trace.back(), fit.loss_trace.front());
+}
+
+TEST(ModelFitTest, ParameterCountsAreReported) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig config;
+  for (const std::string& name : models::KnownModelNames()) {
+    auto model = models::CreateModel(name, bundle.train.schema, config, 1);
+    EXPECT_GT(model->NumParameters(), 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace miss

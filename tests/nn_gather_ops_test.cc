@@ -1,0 +1,120 @@
+// Tests for the MISS-specific gather ops used by the augmentation
+// functions (GatherInterest / GatherFeatureVector).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/test_util.h"
+
+namespace miss {
+namespace {
+
+using nn::Tensor;
+
+Tensor Sequential4d(int64_t b, int64_t j, int64_t l, int64_t k,
+                    bool requires_grad = false) {
+  std::vector<float> data(b * j * l * k);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  return Tensor::FromData({b, j, l, k}, std::move(data), requires_grad);
+}
+
+TEST(GatherInterestTest, SelectsPerSamplePositions) {
+  // g: [2, 2, 3, 2]; select l=1 for sample 0, l=2 for sample 1.
+  Tensor g = Sequential4d(2, 2, 3, 2);
+  Tensor out = nn::GatherInterest(g, {1, 2});
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 4}));  // [B, J*K]
+  // Sample 0, j=0, l=1: flat offset ((0*2+0)*3+1)*2 = 2 -> values 2, 3.
+  EXPECT_FLOAT_EQ(out.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 3.0f);
+  // Sample 0, j=1, l=1: offset ((0*2+1)*3+1)*2 = 8.
+  EXPECT_FLOAT_EQ(out.at(2), 8.0f);
+  // Sample 1, j=0, l=2: offset ((1*2+0)*3+2)*2 = 16.
+  EXPECT_FLOAT_EQ(out.at(4), 16.0f);
+}
+
+TEST(GatherInterestTest, GradCheck) {
+  common::Rng rng(1);
+  Tensor g = Tensor::RandomNormal({2, 2, 4, 3}, 1.0f, rng, true);
+  const std::vector<int64_t> idx = {3, 0};
+  testing::CheckGradients({g}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::GatherInterest(in[0], idx)));
+  });
+}
+
+TEST(GatherInterestTest, GradientIsSparse) {
+  Tensor g = Sequential4d(1, 1, 3, 2, /*requires_grad=*/true);
+  nn::Backward(nn::SumAll(nn::GatherInterest(g, {1})));
+  const auto& grad = g.grad();
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad[2], 1.0f);  // selected position
+  EXPECT_FLOAT_EQ(grad[3], 1.0f);
+  EXPECT_FLOAT_EQ(grad[4], 0.0f);
+}
+
+TEST(GatherFeatureVectorTest, SelectsFieldTimePairs) {
+  Tensor g = Sequential4d(2, 3, 2, 2);
+  Tensor out = nn::GatherFeatureVector(g, {2, 0}, {1, 0});
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 2}));  // [B, K]
+  // Sample 0, j=2, l=1: offset ((0*3+2)*2+1)*2 = 10.
+  EXPECT_FLOAT_EQ(out.at(0), 10.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 11.0f);
+  // Sample 1, j=0, l=0: offset ((1*3+0)*2+0)*2 = 12.
+  EXPECT_FLOAT_EQ(out.at(2), 12.0f);
+}
+
+TEST(GatherFeatureVectorTest, GradCheck) {
+  common::Rng rng(2);
+  Tensor g = Tensor::RandomNormal({2, 3, 2, 4}, 1.0f, rng, true);
+  testing::CheckGradients({g}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(
+        nn::Square(nn::GatherFeatureVector(in[0], {1, 2}, {0, 1})));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast-shape property sweep.
+// ---------------------------------------------------------------------------
+
+struct ShapeCase {
+  std::vector<int64_t> a;
+  std::vector<int64_t> b;
+  std::vector<int64_t> expected;
+};
+
+class BroadcastShapeTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(BroadcastShapeTest, ComputesNumpyRules) {
+  EXPECT_EQ(nn::BroadcastShape(GetParam().a, GetParam().b),
+            GetParam().expected);
+  // Symmetry.
+  EXPECT_EQ(nn::BroadcastShape(GetParam().b, GetParam().a),
+            GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BroadcastShapeTest,
+    ::testing::Values(
+        ShapeCase{{3, 4}, {3, 4}, {3, 4}},
+        ShapeCase{{3, 4}, {1}, {3, 4}},
+        ShapeCase{{3, 4}, {4}, {3, 4}},
+        ShapeCase{{3, 1}, {1, 4}, {3, 4}},
+        ShapeCase{{2, 1, 5}, {3, 1}, {2, 3, 5}},
+        ShapeCase{{1}, {1}, {1}},
+        ShapeCase{{2, 3, 4, 5}, {3, 1, 5}, {2, 3, 4, 5}}));
+
+TEST(BroadcastShapeTest, BroadcastValueSemantics) {
+  // [2,1] + [1,3] -> outer-sum matrix.
+  Tensor a = Tensor::FromData({2, 1}, {10, 20});
+  Tensor b = Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor c = nn::Add(a, b);
+  ASSERT_EQ(c.shape(), (std::vector<int64_t>{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0), 11);
+  EXPECT_FLOAT_EQ(c.at(1), 12);
+  EXPECT_FLOAT_EQ(c.at(2), 13);
+  EXPECT_FLOAT_EQ(c.at(3), 21);
+  EXPECT_FLOAT_EQ(c.at(5), 23);
+}
+
+}  // namespace
+}  // namespace miss

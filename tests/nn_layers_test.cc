@@ -1,0 +1,283 @@
+// Tests for layers, recurrent cells, attention, and optimizers.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "tests/test_util.h"
+
+namespace miss {
+namespace {
+
+using nn::Tensor;
+
+TEST(LinearTest, ShapeAndBias) {
+  common::Rng rng(1);
+  nn::Linear linear(3, 2, rng);
+  Tensor x = Tensor::FromData({2, 3}, {1, 0, 0, 0, 1, 0});
+  Tensor y = linear.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(linear.Parameters().size(), 2u);  // weight + bias
+}
+
+TEST(LinearTest, AppliesToLeadingDims) {
+  common::Rng rng(2);
+  nn::Linear linear(4, 3, rng);
+  Tensor x = Tensor::RandomNormal({2, 5, 4}, 1.0f, rng);
+  Tensor y = linear.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 5, 3}));
+}
+
+TEST(LinearTest, GradientFlowsToParameters) {
+  common::Rng rng(3);
+  nn::Linear linear(3, 2, rng);
+  Tensor x = Tensor::RandomNormal({4, 3}, 1.0f, rng);
+  nn::Backward(nn::MeanAll(nn::Square(linear.Forward(x))));
+  for (const Tensor& p : linear.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(PReluTest, MatchesDefinition) {
+  nn::PRelu prelu(0.5f);
+  Tensor x = Tensor::FromData({4}, {-2, -1, 1, 2});
+  Tensor y = prelu.Forward(x);
+  EXPECT_FLOAT_EQ(y.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), -0.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 2.0f);
+}
+
+TEST(MlpTest, DimsAndOutputShape) {
+  common::Rng rng(4);
+  nn::Mlp mlp({6, 4, 2}, nn::Activation::kRelu, nn::Activation::kNone, rng);
+  EXPECT_EQ(mlp.in_dim(), 6);
+  EXPECT_EQ(mlp.out_dim(), 2);
+  Tensor x = Tensor::RandomNormal({3, 6}, 1.0f, rng);
+  EXPECT_EQ(mlp.Forward(x).shape(), (std::vector<int64_t>{3, 2}));
+}
+
+TEST(MlpTest, GradCheckThroughTwoLayers) {
+  common::Rng rng(5);
+  nn::Mlp mlp({3, 4, 1}, nn::Activation::kTanh, nn::Activation::kNone, rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, 1.0f, rng, /*requires_grad=*/true);
+  testing::CheckGradients({x}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(mlp.Forward(in[0]));
+  });
+}
+
+TEST(EmbeddingTest, LookupMatchesTableRows) {
+  common::Rng rng(6);
+  nn::Embedding emb(10, 4, rng);
+  Tensor out = emb.Forward({3, 7}, {2});
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_FLOAT_EQ(out.at(k), emb.table().at(3 * 4 + k));
+    EXPECT_FLOAT_EQ(out.at(4 + k), emb.table().at(7 * 4 + k));
+  }
+}
+
+TEST(XavierTest, BoundsRespectFanInFanOut) {
+  common::Rng rng(7);
+  Tensor w = Tensor::XavierUniform({50, 30}, rng);
+  const double limit = std::sqrt(6.0 / (50 + 30));
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.at(i)), limit + 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recurrent cells.
+// ---------------------------------------------------------------------------
+
+TEST(GruTest, RunnerShapeAndMasking) {
+  common::Rng rng(8);
+  nn::GruRunner gru(3, 5, rng);
+  Tensor x = Tensor::RandomNormal({2, 4, 3}, 1.0f, rng);
+  // Second sample has only 2 valid steps.
+  const std::vector<float> mask = {1, 1, 1, 1, 1, 1, 0, 0};
+  Tensor states = gru.Forward(x, mask);
+  EXPECT_EQ(states.shape(), (std::vector<int64_t>{2, 4, 5}));
+  // Masked steps must carry the last valid state forward.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_FLOAT_EQ(states.at((1 * 4 + 2) * 5 + k),
+                    states.at((1 * 4 + 1) * 5 + k));
+    EXPECT_FLOAT_EQ(states.at((1 * 4 + 3) * 5 + k),
+                    states.at((1 * 4 + 1) * 5 + k));
+  }
+}
+
+TEST(GruTest, AttentionalGateZeroFreezesState) {
+  common::Rng rng(9);
+  nn::GruCell cell(3, 3, rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, 1.0f, rng);
+  Tensor h = Tensor::RandomNormal({2, 3}, 1.0f, rng);
+  Tensor zero_attention = Tensor::Zeros({2, 1});
+  Tensor h2 = cell.ForwardAttentional(x, h, zero_attention);
+  for (int64_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h2.at(i), h.at(i), 1e-6);
+  }
+}
+
+TEST(LstmTest, RunnerShape) {
+  common::Rng rng(10);
+  nn::LstmRunner lstm(4, 6, rng);
+  Tensor x = Tensor::RandomNormal({3, 5, 4}, 1.0f, rng);
+  const std::vector<float> mask(15, 1.0f);
+  EXPECT_EQ(lstm.Forward(x, mask).shape(), (std::vector<int64_t>{3, 5, 6}));
+}
+
+TEST(LstmTest, GradientFlowsThroughTime) {
+  common::Rng rng(11);
+  nn::LstmRunner lstm(2, 3, rng);
+  Tensor x = Tensor::RandomNormal({1, 3, 2}, 1.0f, rng, /*requires_grad=*/true);
+  const std::vector<float> mask(3, 1.0f);
+  nn::Backward(nn::MeanAll(nn::Square(lstm.Forward(x, mask))));
+  ASSERT_FALSE(x.grad().empty());
+  bool any_nonzero = false;
+  for (float g : x.grad()) any_nonzero |= (g != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+}
+
+// ---------------------------------------------------------------------------
+// Attention.
+// ---------------------------------------------------------------------------
+
+TEST(AttentionTest, OutputShapeMultiHead) {
+  common::Rng rng(12);
+  nn::MultiHeadSelfAttention attn(6, 2, /*residual=*/false, rng);
+  Tensor x = Tensor::RandomNormal({2, 4, 6}, 1.0f, rng);
+  EXPECT_EQ(attn.Forward(x, {}).shape(), (std::vector<int64_t>{2, 4, 6}));
+}
+
+TEST(AttentionTest, MaskedKeysGetZeroWeight) {
+  common::Rng rng(13);
+  nn::MultiHeadSelfAttention attn(4, 1, /*residual=*/false, rng);
+  // Two inputs identical except in the masked position: outputs must match.
+  common::Rng data_rng(14);
+  Tensor x1 = Tensor::RandomNormal({1, 3, 4}, 1.0f, data_rng);
+  Tensor x2 = Tensor::FromData({1, 3, 4}, x1.value());
+  for (int k = 0; k < 4; ++k) x2.set(2 * 4 + k, 99.0f);  // perturb masked pos
+  const std::vector<float> mask = {1, 1, 0};
+  Tensor y1 = attn.Forward(x1, mask);
+  Tensor y2 = attn.Forward(x2, mask);
+  // Rows 0 and 1 attend only over unmasked keys, so they cannot see the
+  // perturbation.
+  for (int64_t i = 0; i < 2 * 4; ++i) {
+    EXPECT_NEAR(y1.at(i), y2.at(i), 1e-5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers.
+// ---------------------------------------------------------------------------
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Tensor w = Tensor::FromData({2}, {1.0f, -2.0f}, /*requires_grad=*/true);
+  w.node()->EnsureGrad();
+  w.grad()[0] = 0.5f;
+  w.grad()[1] = -1.0f;
+  nn::Sgd sgd(0.1f, /*weight_decay=*/0.0f);
+  sgd.Step({w});
+  EXPECT_FLOAT_EQ(w.at(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(w.at(1), -2.0f + 0.1f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::FromData({1}, {2.0f}, /*requires_grad=*/true);
+  w.node()->EnsureGrad();
+  nn::Sgd sgd(0.1f, /*weight_decay=*/0.5f);
+  sgd.Step({w});
+  EXPECT_FLOAT_EQ(w.at(0), 2.0f - 0.1f * 0.5f * 2.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2.
+  Tensor w = Tensor::FromData({1}, {0.0f}, /*requires_grad=*/true);
+  nn::Adam adam(0.1f);
+  for (int step = 0; step < 300; ++step) {
+    nn::Optimizer::ZeroGrad({w});
+    Tensor loss = nn::Square(nn::AddScalar(w, -3.0f));
+    nn::Backward(loss);
+    adam.Step({w});
+  }
+  EXPECT_NEAR(w.at(0), 3.0f, 1e-2);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Tensor w = Tensor::FromData({2}, {0.0f, 0.0f}, /*requires_grad=*/true);
+  w.node()->EnsureGrad();
+  w.grad()[0] = 3.0f;
+  w.grad()[1] = 4.0f;  // norm 5
+  const double before = nn::ClipGradNorm({w}, 1.0);
+  EXPECT_NEAR(before, 5.0, 1e-6);
+  EXPECT_NEAR(w.grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(w.grad()[1], 0.8f, 1e-5);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::FromData({1}, {0.0f}, /*requires_grad=*/true);
+  w.node()->EnsureGrad();
+  w.grad()[0] = 0.3f;
+  nn::ClipGradNorm({w}, 1.0);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.3f);
+}
+
+TEST(ZeroGradTest, ClearsAccumulatedGradients) {
+  Tensor w = Tensor::FromData({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  nn::Backward(nn::SumAll(nn::Square(w)));
+  ASSERT_NE(w.grad()[0], 0.0f);
+  nn::Optimizer::ZeroGrad({w});
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(w.grad()[1], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// RNG determinism.
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  common::Rng a(42);
+  common::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  common::Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  common::Rng rng(44);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int64_t> counts(3, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(RngTest, NormalMoments) {
+  common::Rng rng(45);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,457 @@
+// Finite-difference validation of every differentiable op's backward pass.
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "tests/test_util.h"
+
+namespace miss {
+namespace {
+
+using nn::Tensor;
+using testing::CheckGradients;
+
+Tensor RandomInput(std::vector<int64_t> shape, uint64_t seed,
+                   float stddev = 1.0f) {
+  common::Rng rng(seed);
+  return Tensor::RandomNormal(std::move(shape), stddev, rng,
+                              /*requires_grad=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast binary ops, parameterized over (op, shape pair).
+// ---------------------------------------------------------------------------
+
+struct BinaryCase {
+  std::string name;
+  std::function<Tensor(const Tensor&, const Tensor&)> op;
+  std::vector<int64_t> a_shape;
+  std::vector<int64_t> b_shape;
+};
+
+class BinaryOpGradTest : public ::testing::TestWithParam<BinaryCase> {};
+
+TEST_P(BinaryOpGradTest, MatchesFiniteDifference) {
+  const BinaryCase& c = GetParam();
+  Tensor a = RandomInput(c.a_shape, 1);
+  Tensor b = RandomInput(c.b_shape, 2);
+  // Keep divisors away from zero.
+  if (c.name.find("div") != std::string::npos) {
+    for (int64_t i = 0; i < b.size(); ++i) {
+      b.set(i, b.at(i) >= 0 ? b.at(i) + 1.5f : b.at(i) - 1.5f);
+    }
+  }
+  CheckGradients({a, b}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(c.op(in[0], in[1]));
+  });
+}
+
+std::vector<BinaryCase> BinaryCases() {
+  std::vector<BinaryCase> cases;
+  struct OpDef {
+    std::string name;
+    std::function<Tensor(const Tensor&, const Tensor&)> op;
+  };
+  const std::vector<OpDef> ops = {
+      {"add", [](const Tensor& a, const Tensor& b) { return nn::Add(a, b); }},
+      {"sub", [](const Tensor& a, const Tensor& b) { return nn::Sub(a, b); }},
+      {"mul", [](const Tensor& a, const Tensor& b) { return nn::Mul(a, b); }},
+      {"div", [](const Tensor& a, const Tensor& b) { return nn::Div(a, b); }},
+  };
+  struct ShapePair {
+    std::string name;
+    std::vector<int64_t> a;
+    std::vector<int64_t> b;
+  };
+  const std::vector<ShapePair> shapes = {
+      {"same", {3, 4}, {3, 4}},
+      {"scalar", {3, 4}, {1}},
+      {"row", {3, 4}, {4}},
+      {"col", {3, 1}, {3, 4}},
+      {"mid", {2, 1, 4}, {2, 3, 4}},
+      {"deep", {2, 3, 1, 2}, {1, 3, 2, 2}},
+  };
+  for (const auto& op : ops) {
+    for (const auto& sp : shapes) {
+      cases.push_back({op.name + "_" + sp.name, op.op, sp.a, sp.b});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBinaryOps, BinaryOpGradTest,
+                         ::testing::ValuesIn(BinaryCases()),
+                         [](const ::testing::TestParamInfo<BinaryCase>& info) {
+                           return info.param.name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Unary ops.
+// ---------------------------------------------------------------------------
+
+struct UnaryCase {
+  std::string name;
+  std::function<Tensor(const Tensor&)> op;
+  bool positive_only = false;
+};
+
+class UnaryOpGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryOpGradTest, MatchesFiniteDifference) {
+  const UnaryCase& c = GetParam();
+  Tensor a = RandomInput({2, 5}, 7);
+  if (c.positive_only) {
+    for (int64_t i = 0; i < a.size(); ++i) a.set(i, std::abs(a.at(i)) + 0.5f);
+  } else {
+    // Keep values away from the ReLU kink where finite differences lie.
+    for (int64_t i = 0; i < a.size(); ++i) {
+      if (std::abs(a.at(i)) < 0.05f) a.set(i, 0.2f);
+    }
+  }
+  CheckGradients({a}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(c.op(in[0]));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryOpGradTest,
+    ::testing::Values(
+        UnaryCase{"relu", [](const Tensor& a) { return nn::Relu(a); }},
+        UnaryCase{"sigmoid", [](const Tensor& a) { return nn::Sigmoid(a); }},
+        UnaryCase{"tanh", [](const Tensor& a) { return nn::Tanh(a); }},
+        UnaryCase{"exp", [](const Tensor& a) { return nn::Exp(a); }},
+        UnaryCase{"log", [](const Tensor& a) { return nn::Log(a); }, true},
+        UnaryCase{"sqrt", [](const Tensor& a) { return nn::Sqrt(a); }, true},
+        UnaryCase{"square", [](const Tensor& a) { return nn::Square(a); }},
+        UnaryCase{"neg", [](const Tensor& a) { return nn::Neg(a); }},
+        UnaryCase{"addscalar",
+                  [](const Tensor& a) { return nn::AddScalar(a, 2.5f); }},
+        UnaryCase{"mulscalar",
+                  [](const Tensor& a) { return nn::MulScalar(a, -1.7f); }},
+        UnaryCase{"softmax",
+                  [](const Tensor& a) { return nn::SoftmaxLastDim(a); }},
+        UnaryCase{"l2norm",
+                  [](const Tensor& a) { return nn::RowL2Normalize(a); }}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication.
+// ---------------------------------------------------------------------------
+
+TEST(MatMulGradTest, TwoDee) {
+  Tensor a = RandomInput({3, 4}, 11);
+  Tensor b = RandomInput({4, 2}, 12);
+  CheckGradients({a, b}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::MatMul(in[0], in[1]));
+  });
+}
+
+TEST(MatMulGradTest, LeadingBatchDims) {
+  Tensor a = RandomInput({2, 3, 4}, 13);
+  Tensor b = RandomInput({4, 5}, 14);
+  CheckGradients({a, b}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::MatMul(in[0], in[1]));
+  });
+}
+
+TEST(MatMulGradTest, BatchMatMul) {
+  Tensor a = RandomInput({2, 3, 4}, 15);
+  Tensor b = RandomInput({2, 4, 2}, 16);
+  CheckGradients({a, b}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::BatchMatMul(in[0], in[1]));
+  });
+}
+
+TEST(MatMulGradTest, TransposeLast2) {
+  Tensor a = RandomInput({2, 3, 4}, 17);
+  CheckGradients({a}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Mul(nn::TransposeLast2(in[0]),
+                               nn::TransposeLast2(in[0])));
+  });
+}
+
+TEST(MatMulValueTest, KnownProduct) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {5, 6, 7, 8});
+  Tensor c = nn::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 19);
+  EXPECT_FLOAT_EQ(c.at(1), 22);
+  EXPECT_FLOAT_EQ(c.at(2), 43);
+  EXPECT_FLOAT_EQ(c.at(3), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops.
+// ---------------------------------------------------------------------------
+
+TEST(ShapeOpGradTest, Reshape) {
+  Tensor a = RandomInput({2, 6}, 21);
+  CheckGradients({a}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::Reshape(in[0], {3, 4})));
+  });
+}
+
+TEST(ShapeOpGradTest, Concat) {
+  Tensor a = RandomInput({2, 3}, 22);
+  Tensor b = RandomInput({2, 2}, 23);
+  Tensor c = RandomInput({2, 4}, 24);
+  CheckGradients({a, b, c}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::Concat({in[0], in[1], in[2]}, 1)));
+  });
+}
+
+TEST(ShapeOpGradTest, ConcatAxis0) {
+  Tensor a = RandomInput({2, 3}, 25);
+  Tensor b = RandomInput({1, 3}, 26);
+  CheckGradients({a, b}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::Concat({in[0], in[1]}, 0)));
+  });
+}
+
+TEST(ShapeOpGradTest, Slice) {
+  Tensor a = RandomInput({3, 5}, 27);
+  CheckGradients({a}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::Slice(in[0], 1, 1, 3)));
+  });
+}
+
+TEST(ShapeOpGradTest, SliceMiddleAxis) {
+  Tensor a = RandomInput({2, 4, 3}, 28);
+  CheckGradients({a}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::Slice(in[0], 1, 0, 2)));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+struct ReduceCase {
+  std::string name;
+  int axis;
+  bool keepdims;
+  bool mean;
+};
+
+class ReduceGradTest : public ::testing::TestWithParam<ReduceCase> {};
+
+TEST_P(ReduceGradTest, MatchesFiniteDifference) {
+  const ReduceCase& c = GetParam();
+  Tensor a = RandomInput({2, 3, 4}, 31);
+  CheckGradients({a}, [&](const std::vector<Tensor>& in) {
+    Tensor r = c.mean ? nn::MeanAxis(in[0], c.axis, c.keepdims)
+                      : nn::SumAxis(in[0], c.axis, c.keepdims);
+    return nn::MeanAll(nn::Square(r));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axes, ReduceGradTest,
+    ::testing::Values(ReduceCase{"sum0", 0, false, false},
+                      ReduceCase{"sum1", 1, false, false},
+                      ReduceCase{"sum2", 2, false, false},
+                      ReduceCase{"sum1keep", 1, true, false},
+                      ReduceCase{"mean0", 0, false, true},
+                      ReduceCase{"mean2keep", 2, true, true},
+                      ReduceCase{"sumneg", -1, false, false}),
+    [](const ::testing::TestParamInfo<ReduceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ReduceValueTest, SumAllAndMeanAll) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(nn::SumAll(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(nn::MeanAll(a).item(), 2.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Losses and masked softmax.
+// ---------------------------------------------------------------------------
+
+TEST(LossGradTest, DiagonalNllFromLogits) {
+  Tensor s = RandomInput({4, 4}, 41);
+  CheckGradients({s}, [](const std::vector<Tensor>& in) {
+    return nn::DiagonalNllFromLogits(in[0]);
+  });
+}
+
+TEST(LossValueTest, DiagonalNllMatchesHandComputation) {
+  // 2x2 logits: rows [1, 0], [0, 2].
+  Tensor s = Tensor::FromData({2, 2}, {1, 0, 0, 2});
+  const double row0 = std::log(std::exp(1.0) + std::exp(0.0)) - 1.0;
+  const double row1 = std::log(std::exp(0.0) + std::exp(2.0)) - 2.0;
+  EXPECT_NEAR(nn::DiagonalNllFromLogits(s).item(), (row0 + row1) / 2.0, 1e-5);
+}
+
+TEST(LossGradTest, BceWithLogits) {
+  Tensor x = RandomInput({6}, 42);
+  const std::vector<float> labels = {1, 0, 1, 1, 0, 0};
+  CheckGradients({x}, [&](const std::vector<Tensor>& in) {
+    return nn::BceWithLogitsLoss(in[0], labels);
+  });
+}
+
+TEST(LossValueTest, BceMatchesDefinition) {
+  Tensor x = Tensor::FromData({2}, {0.5f, -1.0f});
+  const std::vector<float> y = {1.0f, 0.0f};
+  const double p0 = 1.0 / (1.0 + std::exp(-0.5));
+  const double p1 = 1.0 / (1.0 + std::exp(1.0));
+  const double expected = -(std::log(p0) + std::log(1 - p1)) / 2.0;
+  EXPECT_NEAR(nn::BceWithLogitsLoss(x, y).item(), expected, 1e-5);
+}
+
+TEST(MaskedSoftmaxTest, ZeroesMaskedPositionsAndGradients) {
+  Tensor a = RandomInput({2, 4}, 43);
+  const std::vector<float> mask = {1, 1, 0, 1, 0, 1, 1, 0};
+  Tensor p = nn::MaskedSoftmaxLastDim(a, mask);
+  EXPECT_FLOAT_EQ(p.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(p.at(4), 0.0f);
+  EXPECT_FLOAT_EQ(p.at(7), 0.0f);
+  float row0 = p.at(0) + p.at(1) + p.at(3);
+  float row1 = p.at(5) + p.at(6);
+  EXPECT_NEAR(row0, 1.0f, 1e-5);
+  EXPECT_NEAR(row1, 1.0f, 1e-5);
+
+  CheckGradients({a}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::MaskedSoftmaxLastDim(in[0], mask)));
+  });
+}
+
+TEST(MaskedSoftmaxTest, FullyMaskedRowYieldsZeros) {
+  Tensor a = Tensor::FromData({1, 3}, {5, 5, 5});
+  const std::vector<float> mask = {0, 0, 0};
+  Tensor p = nn::MaskedSoftmaxLastDim(a, mask);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.at(i), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Gather ops.
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingGradTest, LookupScattersGradients) {
+  Tensor table = RandomInput({5, 3}, 51);
+  const std::vector<int64_t> ids = {0, 4, 2, 2};
+  CheckGradients({table}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::EmbeddingLookup(in[0], ids, {2, 2})));
+  });
+}
+
+TEST(EmbeddingValueTest, NegativeIdGivesZeroRow) {
+  common::Rng rng(1);
+  Tensor table = Tensor::RandomNormal({4, 3}, 1.0f, rng, true);
+  Tensor out = nn::EmbeddingLookup(table, {-1, 2}, {2});
+  for (int k = 0; k < 3; ++k) EXPECT_FLOAT_EQ(out.at(k), 0.0f);
+  for (int k = 0; k < 3; ++k) EXPECT_FLOAT_EQ(out.at(3 + k), table.at(6 + k));
+}
+
+TEST(SelectTimeStepsTest, GathersAndBackpropagates) {
+  Tensor x = RandomInput({2, 4, 3}, 52);
+  const std::vector<int64_t> idx = {0, 3, 1, 1};  // B=2, T=2
+  Tensor out = nn::SelectTimeSteps(x, idx, 2);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{2, 2, 3}));
+  EXPECT_FLOAT_EQ(out.at(0), x.at(0));
+  // b=1, t=0 -> x[1, 1]
+  EXPECT_FLOAT_EQ(out.at(2 * 3 + 0), x.at((4 + 1) * 3 + 0));
+  CheckGradients({x}, [&](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::SelectTimeSteps(in[0], idx, 2)));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MISS convolutions, parameterized over kernel widths (property sweep).
+// ---------------------------------------------------------------------------
+
+class HorizontalConvGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HorizontalConvGradTest, MatchesFiniteDifference) {
+  const int m = GetParam();
+  Tensor c = RandomInput({2, 2, 5, 3}, 61);
+  Tensor w = RandomInput({m}, 62);
+  CheckGradients({c, w}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::HorizontalConv(in[0], in[1])));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelWidths, HorizontalConvGradTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class VerticalConvGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerticalConvGradTest, MatchesFiniteDifference) {
+  const int n = GetParam();
+  Tensor g = RandomInput({2, 3, 4, 2}, 63);
+  Tensor w = RandomInput({n}, 64);
+  CheckGradients({g, w}, [](const std::vector<Tensor>& in) {
+    return nn::MeanAll(nn::Square(nn::VerticalConv(in[0], in[1])));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelHeights, VerticalConvGradTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(HorizontalConvValueTest, IdentityKernelIsNoOp) {
+  Tensor c = RandomInput({1, 2, 4, 3}, 65);
+  Tensor w = Tensor::FromData({1}, {1.0f});
+  Tensor out = nn::HorizontalConv(c, w);
+  ASSERT_EQ(out.shape(), c.shape());
+  for (int64_t i = 0; i < c.size(); ++i) EXPECT_FLOAT_EQ(out.at(i), c.at(i));
+}
+
+TEST(HorizontalConvValueTest, SumKernelSlidesWindow) {
+  // C: [1,1,3,1] = [1, 2, 3]; kernel [1, 1] -> [3, 5]
+  Tensor c = Tensor::FromData({1, 1, 3, 1}, {1, 2, 3});
+  Tensor w = Tensor::FromData({2}, {1, 1});
+  Tensor out = nn::HorizontalConv(c, w);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 2, 1}));
+  EXPECT_FLOAT_EQ(out.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 5.0f);
+}
+
+TEST(VerticalConvValueTest, SumsAdjacentFields) {
+  // G: [1,3,1,2]: field rows [1,2], [3,4], [5,6]; kernel [1,1]
+  Tensor g = Tensor::FromData({1, 3, 1, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor w = Tensor::FromData({2}, {1, 1});
+  Tensor out = nn::VerticalConv(g, w);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 2, 1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 6.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(3), 10.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Dropout.
+// ---------------------------------------------------------------------------
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  common::Rng rng(77);
+  Tensor a = RandomInput({4, 4}, 71);
+  Tensor out = nn::Dropout(a, 0.5f, /*training=*/false, rng);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(out.at(i), a.at(i));
+}
+
+TEST(DropoutTest, TrainingPreservesMeanAndZeroesEntries) {
+  common::Rng rng(78);
+  Tensor a = Tensor::Full({10000}, 1.0f);
+  Tensor out = nn::Dropout(a, 0.3f, /*training=*/true, rng);
+  int64_t zeros = 0;
+  double sum = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.at(i) == 0.0f) ++zeros;
+    sum += out.at(i);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.3, 0.02);
+  EXPECT_NEAR(sum / out.size(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,120 @@
+// Checkpoint save/load round-trip tests.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/serialize.h"
+#include "train/trainer.h"
+
+namespace miss {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  common::Rng rng(1);
+  std::vector<nn::Tensor> params = {
+      nn::Tensor::RandomNormal({3, 4}, 1.0f, rng, true),
+      nn::Tensor::RandomNormal({7}, 1.0f, rng, true),
+  };
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(params, path));
+
+  std::vector<nn::Tensor> loaded = {
+      nn::Tensor::Zeros({3, 4}, true),
+      nn::Tensor::Zeros({7}, true),
+  };
+  ASSERT_TRUE(nn::LoadParameters(loaded, path));
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int64_t j = 0; j < params[i].size(); ++j) {
+      EXPECT_FLOAT_EQ(loaded[i].at(j), params[i].at(j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatchWithoutModification) {
+  common::Rng rng(2);
+  std::vector<nn::Tensor> params = {
+      nn::Tensor::RandomNormal({2, 2}, 1.0f, rng, true)};
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(params, path));
+
+  std::vector<nn::Tensor> wrong = {nn::Tensor::Full({3, 2}, 5.0f, true)};
+  EXPECT_FALSE(nn::LoadParameters(wrong, path));
+  for (int64_t j = 0; j < wrong[0].size(); ++j) {
+    EXPECT_FLOAT_EQ(wrong[0].at(j), 5.0f);  // untouched
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongCountAndBadMagic) {
+  common::Rng rng(3);
+  std::vector<nn::Tensor> params = {
+      nn::Tensor::RandomNormal({2}, 1.0f, rng, true)};
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(params, path));
+  std::vector<nn::Tensor> two = {nn::Tensor::Zeros({2}, true),
+                                 nn::Tensor::Zeros({2}, true)};
+  EXPECT_FALSE(nn::LoadParameters(two, path));
+
+  // Corrupt the magic.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputc('X', f);
+  std::fclose(f);
+  EXPECT_FALSE(nn::LoadParameters(params, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  std::vector<nn::Tensor> params = {nn::Tensor::Zeros({2}, true)};
+  EXPECT_FALSE(nn::LoadParameters(params, TempPath("does-not-exist.ckpt")));
+}
+
+TEST(SerializeTest, ModelCheckpointRestoresPredictions) {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 80;
+  data::DatasetBundle bundle = data::GenerateSynthetic(config);
+  models::ModelConfig mc;
+  auto model = models::CreateModel("deepfm", bundle.train.schema, mc, 5);
+
+  // Train briefly so parameters are non-trivial.
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  tc.select_best_on_valid = false;
+  train::Trainer trainer(tc);
+  trainer.Fit(*model, nullptr, bundle.train, bundle.valid, bundle.test);
+
+  data::Batch batch = data::MakeBatch(bundle.test, {0, 1, 2, 3});
+  nn::Tensor before = model->Forward(batch, false);
+
+  const std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(model->Parameters(), path));
+
+  // A freshly initialized model predicts differently, then matches after
+  // loading the checkpoint.
+  auto fresh = models::CreateModel("deepfm", bundle.train.schema, mc, 99);
+  nn::Tensor fresh_out = fresh->Forward(batch, false);
+  bool differs = false;
+  for (int64_t i = 0; i < before.size(); ++i) {
+    if (fresh_out.at(i) != before.at(i)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+
+  ASSERT_TRUE(nn::LoadParameters(fresh->Parameters(), path));
+  nn::Tensor restored = fresh->Forward(batch, false);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(restored.at(i), before.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace miss

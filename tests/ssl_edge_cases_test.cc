@@ -1,0 +1,112 @@
+// Edge-case and failure-injection tests for the SSL methods: degenerate
+// histories, tiny batches, and configuration extremes must never crash or
+// produce non-finite losses.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/miss_module.h"
+#include "core/ssl_factory.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+
+namespace miss {
+namespace {
+
+// A dataset whose histories are all length 1 — the hardest degenerate case
+// for window-based augmentation.
+data::Dataset SingleBehaviorDataset() {
+  data::Dataset d;
+  d.schema.name = "edge";
+  d.schema.categorical = {{"user", 8}, {"item", 10}, {"cat", 4}};
+  d.schema.sequential = {{"item_seq", 10}, {"cat_seq", 4}};
+  d.schema.seq_shares_table_with = {1, 2};
+  d.schema.max_seq_len = 6;
+  for (int64_t u = 0; u < 8; ++u) {
+    data::Sample s;
+    s.cat = {u, u % 10, u % 4};
+    s.seq = {{(u + 3) % 10}, {(u + 1) % 4}};
+    s.label = u % 2 ? 1.0f : 0.0f;
+    d.samples.push_back(s);
+  }
+  return d;
+}
+
+class SslEdgeCaseTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SslEdgeCaseTest, SingleBehaviorHistories) {
+  data::Dataset d = SingleBehaviorDataset();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", d.schema, mc, 1);
+  auto ssl = core::CreateSslMethod(GetParam(), d.schema, mc.embedding_dim,
+                                   0.1f, 3, core::MissConfig::Full());
+  data::Batch batch = data::MakeBatch(d, {0, 1, 2, 3, 4, 5, 6, 7});
+  for (int step = 0; step < 3; ++step) {
+    core::SslLossResult result = ssl->ComputeLoss(*model, batch);
+    ASSERT_TRUE(result.interest_loss.defined());
+    EXPECT_TRUE(std::isfinite(result.interest_loss.item())) << GetParam();
+  }
+}
+
+TEST_P(SslEdgeCaseTest, TinyBatch) {
+  data::Dataset d = SingleBehaviorDataset();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("ipnn", d.schema, mc, 2);
+  auto ssl = core::CreateSslMethod(GetParam(), d.schema, mc.embedding_dim,
+                                   0.1f, 4, core::MissConfig::Full());
+  data::Batch batch = data::MakeBatch(d, {0, 1});  // B = 2
+  core::SslLossResult result = ssl->ComputeLoss(*model, batch);
+  EXPECT_TRUE(std::isfinite(result.interest_loss.item()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SslEdgeCaseTest,
+                         ::testing::Values("miss", "rule", "irssl", "s3rec",
+                                           "cl4srec"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(SslEdgeCaseTest, MissWithKernelsWiderThanSequence) {
+  // L = 3 but M = 4: the m = 4 kernel cannot slide; construction must
+  // reject it cleanly at extraction time via the valid-window clamp.
+  data::Dataset d = SingleBehaviorDataset();
+  d.schema.max_seq_len = 3;
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", d.schema, mc, 3);
+  core::MissConfig config;
+  config.M = 3;  // kernels up to the full length
+  core::MissModule module(d.schema, mc.embedding_dim, config);
+  data::Batch batch = data::MakeBatch(d, {0, 1, 2, 3});
+  core::SslLossResult result = module.ComputeLoss(*model, batch);
+  EXPECT_TRUE(std::isfinite(result.interest_loss.item()));
+}
+
+TEST(SslEdgeCaseTest, MissInterestCountWithShortSequences) {
+  data::Dataset d = SingleBehaviorDataset();
+  core::MissConfig config;
+  config.M = 4;
+  core::MissModule module(d.schema, 4, config);
+  // len = 2: only kernels m = 1, 2 fit -> |T| = 2 + 1.
+  EXPECT_EQ(module.InterestCount(2), 3);
+  // len = 1: only m = 1 -> |T| = 1.
+  EXPECT_EQ(module.InterestCount(1), 1);
+}
+
+TEST(SslEdgeCaseTest, ExtremeTemperaturesStayFinite) {
+  data::Dataset d = SingleBehaviorDataset();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", d.schema, mc, 4);
+  data::Batch batch = data::MakeBatch(d, {0, 1, 2, 3});
+  for (float tau : {1e-3f, 100.0f}) {
+    core::MissConfig config;
+    config.tau = tau;
+    core::MissModule module(d.schema, mc.embedding_dim, config);
+    core::SslLossResult result = module.ComputeLoss(*model, batch);
+    EXPECT_TRUE(std::isfinite(result.interest_loss.item())) << tau;
+  }
+}
+
+}  // namespace
+}  // namespace miss

@@ -1,0 +1,67 @@
+// Tests for the Welch t-test used for the paper's significance stars.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "train/stats.h"
+
+namespace miss {
+namespace {
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(train::Mean({2, 4, 6}), 4.0);
+  EXPECT_NEAR(train::StdDev({2, 4, 6}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, IncompleteBetaBoundaryValues) {
+  EXPECT_DOUBLE_EQ(train::IncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(train::IncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1, 1) = x (uniform distribution CDF).
+  EXPECT_NEAR(train::IncompleteBeta(1, 1, 0.37), 0.37, 1e-9);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  const double x = 0.4;
+  EXPECT_NEAR(train::IncompleteBeta(2, 2, x), x * x * (3 - 2 * x), 1e-9);
+}
+
+TEST(StatsTest, IdenticalSamplesAreNotSignificant) {
+  train::TTestResult r = train::WelchTTest({1, 2, 3, 4}, {1, 2, 3, 4});
+  EXPECT_NEAR(r.t_statistic, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+}
+
+TEST(StatsTest, WellSeparatedSamplesAreSignificant) {
+  train::TTestResult r =
+      train::WelchTTest({0.90, 0.91, 0.89, 0.90, 0.91},
+                        {0.80, 0.81, 0.79, 0.80, 0.80});
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.mean_difference, 0.09);
+}
+
+TEST(StatsTest, MatchesReferenceTwoSampleCase) {
+  // Hand-computed Welch statistics for
+  // a = [5.1, 4.9, 6.2, 5.7], b = [4.4, 4.8, 4.1]:
+  // t = 2.90698, dof = 4.8707; two-sided p ~ 0.034.
+  train::TTestResult r =
+      train::WelchTTest({5.1, 4.9, 6.2, 5.7}, {4.4, 4.8, 4.1});
+  EXPECT_NEAR(r.t_statistic, 2.90698, 1e-4);
+  EXPECT_NEAR(r.degrees_of_freedom, 4.8707, 1e-3);
+  EXPECT_GT(r.p_value, 0.02);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(StatsTest, ZeroVarianceDegenerateCases) {
+  train::TTestResult same = train::WelchTTest({1, 1}, {1, 1});
+  EXPECT_DOUBLE_EQ(same.p_value, 1.0);
+  train::TTestResult diff = train::WelchTTest({1, 1}, {2, 2});
+  EXPECT_DOUBLE_EQ(diff.p_value, 0.0);
+}
+
+TEST(StatsTest, OverlappingNoisySamplesNotSignificant) {
+  train::TTestResult r =
+      train::WelchTTest({0.80, 0.84, 0.78}, {0.79, 0.83, 0.81});
+  EXPECT_GT(r.p_value, 0.3);
+}
+
+}  // namespace
+}  // namespace miss

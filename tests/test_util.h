@@ -1,0 +1,61 @@
+// Shared helpers for the test suite, most importantly the finite-difference
+// gradient checker used to validate every op's backward pass.
+
+#ifndef MISS_TESTS_TEST_UTIL_H_
+#define MISS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace miss::testing {
+
+// Checks d(scalar fn)/d(inputs) against central finite differences.
+//
+// `fn` must build a fresh graph from the given leaf tensors and return a
+// scalar loss. Each input must have requires_grad = true. `eps` is the
+// perturbation, `tol` the max allowed |analytic - numeric| after relative
+// normalization.
+inline void CheckGradients(
+    std::vector<nn::Tensor> inputs,
+    const std::function<nn::Tensor(const std::vector<nn::Tensor>&)>& fn,
+    float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  for (auto& t : inputs) {
+    auto& g = t.node()->grad;
+    std::fill(g.begin(), g.end(), 0.0f);
+  }
+  nn::Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.size(), 1) << "gradient check needs a scalar loss";
+  nn::Backward(loss);
+
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    nn::Tensor& t = inputs[which];
+    const auto analytic = t.node()->grad.empty()
+                              ? std::vector<float>(t.size(), 0.0f)
+                              : t.node()->grad;
+    for (int64_t i = 0; i < t.size(); ++i) {
+      const float orig = t.at(i);
+      t.set(i, orig + eps);
+      const float up = fn(inputs).item();
+      t.set(i, orig - eps);
+      const float down = fn(inputs).item();
+      t.set(i, orig);
+      const float numeric = (up - down) / (2.0f * eps);
+      const float scale =
+          std::max({1.0f, std::abs(numeric), std::abs(analytic[i])});
+      EXPECT_NEAR(analytic[i] / scale, numeric / scale, tol)
+          << "input " << which << " element " << i << " analytic "
+          << analytic[i] << " numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace miss::testing
+
+#endif  // MISS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,119 @@
+// Trainer, strategies, and experiment-runner tests.
+
+#include <gtest/gtest.h>
+
+#include "core/miss_module.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "data/transforms.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+
+namespace miss {
+namespace {
+
+data::DatasetBundle SmallBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 120;
+  config.num_items = 80;
+  config.num_categories = 6;
+  return data::GenerateSynthetic(config);
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("fm", bundle.train.schema, mc, 1);
+  train::TrainConfig tc;
+  tc.epochs = 8;
+  tc.select_best_on_valid = false;
+  train::Trainer trainer(tc);
+  train::FitResult fit =
+      trainer.Fit(*model, nullptr, bundle.train, bundle.valid, bundle.test);
+  ASSERT_EQ(fit.loss_trace.size(), 8u);
+  EXPECT_LT(fit.loss_trace.back(), fit.loss_trace.front());
+}
+
+TEST(TrainerTest, JointSslTrainingRecordsSimilarityTrace) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 1);
+  core::MissModule miss(bundle.train.schema, mc.embedding_dim,
+                        core::MissConfig::Full());
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  train::Trainer trainer(tc);
+  train::FitResult fit =
+      trainer.Fit(*model, &miss, bundle.train, bundle.valid, bundle.test);
+  EXPECT_FALSE(fit.similarity_trace.empty());
+  for (double s : fit.similarity_trace) {
+    EXPECT_GE(s, -1.0 - 1e-6);
+    EXPECT_LE(s, 1.0 + 1e-6);
+  }
+}
+
+TEST(TrainerTest, PretrainStrategyRunsEndToEnd) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 1);
+  core::MissModule miss(bundle.train.schema, mc.embedding_dim,
+                        core::MissConfig::Full());
+  train::TrainConfig tc;
+  tc.epochs = 2;
+  tc.strategy = train::Strategy::kPretrain;
+  tc.pretrain_epochs = 2;
+  train::Trainer trainer(tc);
+  train::FitResult fit =
+      trainer.Fit(*model, &miss, bundle.train, bundle.valid, bundle.test);
+  EXPECT_GT(fit.test.auc, 0.0);
+  // Pre-training keeps SSL out of the main stage: no similarity trace.
+  EXPECT_TRUE(fit.similarity_trace.empty());
+}
+
+TEST(TrainerTest, EvaluateProducesSaneMetrics) {
+  data::DatasetBundle bundle = SmallBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 1);
+  train::EvalResult r = train::Evaluate(*model, bundle.test);
+  EXPECT_GE(r.auc, 0.0);
+  EXPECT_LE(r.auc, 1.0);
+  EXPECT_GT(r.logloss, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicAtFixedSeed) {
+  data::DatasetBundle bundle = SmallBundle();
+  train::ExperimentSpec spec;
+  spec.model = "fm";
+  spec.train_config.epochs = 3;
+  train::ExperimentResult a = train::RunExperiment(bundle, spec);
+  train::ExperimentResult b = train::RunExperiment(bundle, spec);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_DOUBLE_EQ(a.logloss, b.logloss);
+}
+
+TEST(ExperimentTest, MultiSeedReportsStddev) {
+  data::DatasetBundle bundle = SmallBundle();
+  train::ExperimentSpec spec;
+  spec.model = "lr";
+  spec.train_config.epochs = 2;
+  spec.num_seeds = 2;
+  train::ExperimentResult r = train::RunExperiment(bundle, spec);
+  EXPECT_GE(r.auc_stddev, 0.0);
+}
+
+TEST(ExperimentTest, TrainOverrideIsUsed) {
+  data::DatasetBundle bundle = SmallBundle();
+  common::Rng rng(3);
+  data::Dataset tiny_train = data::DownsampleTrain(bundle.train, 0.1, rng);
+  train::ExperimentSpec spec;
+  spec.model = "fm";
+  spec.train_config.epochs = 2;
+  // Must run (and differ from full-data training) without touching bundle.
+  train::ExperimentResult down =
+      train::RunExperiment(bundle, spec, &tiny_train);
+  train::ExperimentResult full = train::RunExperiment(bundle, spec);
+  EXPECT_NE(down.auc, full.auc);
+}
+
+}  // namespace
+}  // namespace miss
