@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_similarity.dir/fig5_similarity.cc.o"
+  "CMakeFiles/fig5_similarity.dir/fig5_similarity.cc.o.d"
+  "fig5_similarity"
+  "fig5_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

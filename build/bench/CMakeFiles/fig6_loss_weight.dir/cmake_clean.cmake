@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_loss_weight.dir/fig6_loss_weight.cc.o"
+  "CMakeFiles/fig6_loss_weight.dir/fig6_loss_weight.cc.o.d"
+  "fig6_loss_weight"
+  "fig6_loss_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_loss_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_temperature.cc" "bench/CMakeFiles/fig7_temperature.dir/fig7_temperature.cc.o" "gcc" "bench/CMakeFiles/fig7_temperature.dir/fig7_temperature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/miss_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/miss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/miss_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/miss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/miss_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

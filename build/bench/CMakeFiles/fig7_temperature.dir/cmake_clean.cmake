@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_temperature.dir/fig7_temperature.cc.o"
+  "CMakeFiles/fig7_temperature.dir/fig7_temperature.cc.o.d"
+  "fig7_temperature"
+  "fig7_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_sparsity.dir/table10_sparsity.cc.o"
+  "CMakeFiles/table10_sparsity.dir/table10_sparsity.cc.o.d"
+  "table10_sparsity"
+  "table10_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_noise.dir/table11_noise.cc.o"
+  "CMakeFiles/table11_noise.dir/table11_noise.cc.o.d"
+  "table11_noise"
+  "table11_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_compatibility.dir/table5_compatibility.cc.o"
+  "CMakeFiles/table5_compatibility.dir/table5_compatibility.cc.o.d"
+  "table5_compatibility"
+  "table5_compatibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_compatibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

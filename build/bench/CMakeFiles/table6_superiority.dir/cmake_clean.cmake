@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_superiority.dir/table6_superiority.cc.o"
+  "CMakeFiles/table6_superiority.dir/table6_superiority.cc.o.d"
+  "table6_superiority"
+  "table6_superiority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_superiority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_extractors.dir/table8_extractors.cc.o"
+  "CMakeFiles/table8_extractors.dir/table8_extractors.cc.o.d"
+  "table8_extractors"
+  "table8_extractors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_extractors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

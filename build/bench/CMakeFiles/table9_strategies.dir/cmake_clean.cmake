@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_strategies.dir/table9_strategies.cc.o"
+  "CMakeFiles/table9_strategies.dir/table9_strategies.cc.o.d"
+  "table9_strategies"
+  "table9_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

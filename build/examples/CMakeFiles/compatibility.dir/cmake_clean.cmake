@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compatibility.dir/compatibility.cpp.o"
+  "CMakeFiles/compatibility.dir/compatibility.cpp.o.d"
+  "compatibility"
+  "compatibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compatibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

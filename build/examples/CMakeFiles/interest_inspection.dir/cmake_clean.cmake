@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_inspection.dir/interest_inspection.cpp.o"
+  "CMakeFiles/interest_inspection.dir/interest_inspection.cpp.o.d"
+  "interest_inspection"
+  "interest_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

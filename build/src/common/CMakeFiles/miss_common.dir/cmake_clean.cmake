@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_common.dir/env.cc.o"
+  "CMakeFiles/miss_common.dir/env.cc.o.d"
+  "CMakeFiles/miss_common.dir/logging.cc.o"
+  "CMakeFiles/miss_common.dir/logging.cc.o.d"
+  "CMakeFiles/miss_common.dir/rng.cc.o"
+  "CMakeFiles/miss_common.dir/rng.cc.o.d"
+  "libmiss_common.a"
+  "libmiss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_core.dir/info_nce.cc.o"
+  "CMakeFiles/miss_core.dir/info_nce.cc.o.d"
+  "CMakeFiles/miss_core.dir/miss_module.cc.o"
+  "CMakeFiles/miss_core.dir/miss_module.cc.o.d"
+  "CMakeFiles/miss_core.dir/ssl_baselines.cc.o"
+  "CMakeFiles/miss_core.dir/ssl_baselines.cc.o.d"
+  "CMakeFiles/miss_core.dir/ssl_factory.cc.o"
+  "CMakeFiles/miss_core.dir/ssl_factory.cc.o.d"
+  "libmiss_core.a"
+  "libmiss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_data.dir/dataset.cc.o"
+  "CMakeFiles/miss_data.dir/dataset.cc.o.d"
+  "CMakeFiles/miss_data.dir/log_loader.cc.o"
+  "CMakeFiles/miss_data.dir/log_loader.cc.o.d"
+  "CMakeFiles/miss_data.dir/synthetic.cc.o"
+  "CMakeFiles/miss_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/miss_data.dir/transforms.cc.o"
+  "CMakeFiles/miss_data.dir/transforms.cc.o.d"
+  "libmiss_data.a"
+  "libmiss_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

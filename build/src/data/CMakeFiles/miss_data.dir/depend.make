@@ -1,0 +1,2 @@
+# Empty dependencies file for miss_data.
+# This may be replaced when dependencies are built.

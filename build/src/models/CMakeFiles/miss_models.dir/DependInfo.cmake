@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/attention_models.cc" "src/models/CMakeFiles/miss_models.dir/attention_models.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/attention_models.cc.o.d"
+  "/root/repo/src/models/deep_models.cc" "src/models/CMakeFiles/miss_models.dir/deep_models.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/deep_models.cc.o.d"
+  "/root/repo/src/models/embedding_set.cc" "src/models/CMakeFiles/miss_models.dir/embedding_set.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/embedding_set.cc.o.d"
+  "/root/repo/src/models/extra_models.cc" "src/models/CMakeFiles/miss_models.dir/extra_models.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/extra_models.cc.o.d"
+  "/root/repo/src/models/interest_models.cc" "src/models/CMakeFiles/miss_models.dir/interest_models.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/interest_models.cc.o.d"
+  "/root/repo/src/models/linear_models.cc" "src/models/CMakeFiles/miss_models.dir/linear_models.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/linear_models.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "src/models/CMakeFiles/miss_models.dir/model_factory.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/model_factory.cc.o.d"
+  "/root/repo/src/models/pooling.cc" "src/models/CMakeFiles/miss_models.dir/pooling.cc.o" "gcc" "src/models/CMakeFiles/miss_models.dir/pooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/miss_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/miss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

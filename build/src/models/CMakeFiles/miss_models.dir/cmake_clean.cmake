@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_models.dir/attention_models.cc.o"
+  "CMakeFiles/miss_models.dir/attention_models.cc.o.d"
+  "CMakeFiles/miss_models.dir/deep_models.cc.o"
+  "CMakeFiles/miss_models.dir/deep_models.cc.o.d"
+  "CMakeFiles/miss_models.dir/embedding_set.cc.o"
+  "CMakeFiles/miss_models.dir/embedding_set.cc.o.d"
+  "CMakeFiles/miss_models.dir/extra_models.cc.o"
+  "CMakeFiles/miss_models.dir/extra_models.cc.o.d"
+  "CMakeFiles/miss_models.dir/interest_models.cc.o"
+  "CMakeFiles/miss_models.dir/interest_models.cc.o.d"
+  "CMakeFiles/miss_models.dir/linear_models.cc.o"
+  "CMakeFiles/miss_models.dir/linear_models.cc.o.d"
+  "CMakeFiles/miss_models.dir/model_factory.cc.o"
+  "CMakeFiles/miss_models.dir/model_factory.cc.o.d"
+  "CMakeFiles/miss_models.dir/pooling.cc.o"
+  "CMakeFiles/miss_models.dir/pooling.cc.o.d"
+  "libmiss_models.a"
+  "libmiss_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmiss_models.a"
+)

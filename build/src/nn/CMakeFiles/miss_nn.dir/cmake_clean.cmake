@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_nn.dir/attention.cc.o"
+  "CMakeFiles/miss_nn.dir/attention.cc.o.d"
+  "CMakeFiles/miss_nn.dir/layers.cc.o"
+  "CMakeFiles/miss_nn.dir/layers.cc.o.d"
+  "CMakeFiles/miss_nn.dir/ops.cc.o"
+  "CMakeFiles/miss_nn.dir/ops.cc.o.d"
+  "CMakeFiles/miss_nn.dir/optimizer.cc.o"
+  "CMakeFiles/miss_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/miss_nn.dir/rnn.cc.o"
+  "CMakeFiles/miss_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/miss_nn.dir/serialize.cc.o"
+  "CMakeFiles/miss_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/miss_nn.dir/tensor.cc.o"
+  "CMakeFiles/miss_nn.dir/tensor.cc.o.d"
+  "libmiss_nn.a"
+  "libmiss_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_train.dir/experiment.cc.o"
+  "CMakeFiles/miss_train.dir/experiment.cc.o.d"
+  "CMakeFiles/miss_train.dir/metrics.cc.o"
+  "CMakeFiles/miss_train.dir/metrics.cc.o.d"
+  "CMakeFiles/miss_train.dir/stats.cc.o"
+  "CMakeFiles/miss_train.dir/stats.cc.o.d"
+  "CMakeFiles/miss_train.dir/trainer.cc.o"
+  "CMakeFiles/miss_train.dir/trainer.cc.o.d"
+  "libmiss_train.a"
+  "libmiss_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

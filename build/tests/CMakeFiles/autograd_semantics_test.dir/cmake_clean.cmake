@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_semantics_test.dir/autograd_semantics_test.cc.o"
+  "CMakeFiles/autograd_semantics_test.dir/autograd_semantics_test.cc.o.d"
+  "autograd_semantics_test"
+  "autograd_semantics_test.pdb"
+  "autograd_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

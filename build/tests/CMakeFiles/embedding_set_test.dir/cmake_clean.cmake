@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_set_test.dir/embedding_set_test.cc.o"
+  "CMakeFiles/embedding_set_test.dir/embedding_set_test.cc.o.d"
+  "embedding_set_test"
+  "embedding_set_test.pdb"
+  "embedding_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

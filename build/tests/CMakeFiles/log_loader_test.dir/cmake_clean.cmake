@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_loader_test.dir/log_loader_test.cc.o"
+  "CMakeFiles/log_loader_test.dir/log_loader_test.cc.o.d"
+  "log_loader_test"
+  "log_loader_test.pdb"
+  "log_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_core_test.dir/miss_core_test.cc.o"
+  "CMakeFiles/miss_core_test.dir/miss_core_test.cc.o.d"
+  "miss_core_test"
+  "miss_core_test.pdb"
+  "miss_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

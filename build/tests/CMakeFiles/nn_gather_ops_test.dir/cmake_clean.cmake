@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_gather_ops_test.dir/nn_gather_ops_test.cc.o"
+  "CMakeFiles/nn_gather_ops_test.dir/nn_gather_ops_test.cc.o.d"
+  "nn_gather_ops_test"
+  "nn_gather_ops_test.pdb"
+  "nn_gather_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_gather_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_ops_grad_test.dir/nn_ops_grad_test.cc.o"
+  "CMakeFiles/nn_ops_grad_test.dir/nn_ops_grad_test.cc.o.d"
+  "nn_ops_grad_test"
+  "nn_ops_grad_test.pdb"
+  "nn_ops_grad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_ops_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssl_edge_cases_test.cc" "tests/CMakeFiles/ssl_edge_cases_test.dir/ssl_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/ssl_edge_cases_test.dir/ssl_edge_cases_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/miss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/miss_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/miss_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/miss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

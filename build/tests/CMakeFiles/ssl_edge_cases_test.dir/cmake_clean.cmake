@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssl_edge_cases_test.dir/ssl_edge_cases_test.cc.o"
+  "CMakeFiles/ssl_edge_cases_test.dir/ssl_edge_cases_test.cc.o.d"
+  "ssl_edge_cases_test"
+  "ssl_edge_cases_test.pdb"
+  "ssl_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssl_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nn_ops_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/miss_core_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/log_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/embedding_set_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_gather_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/ssl_edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
