@@ -11,12 +11,16 @@
 #define MISS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
 #include "data/synthetic.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "train/experiment.h"
 
 namespace miss::bench {
@@ -85,6 +89,71 @@ inline void PrintRowLabel(const std::string& label) {
 inline void PrintMetrics(double auc, double logloss) {
   std::printf(" | %12s%.4f  %.4f", "", auc, logloss);
 }
+
+// Machine-readable perf snapshot written next to a bench's table output so
+// the trajectory can be diffed across PRs. Schema:
+//   {"name": "...", "config": {...}, "metrics": {...}, "wall_ms": ...}
+// wall_ms covers construction -> Write(). The output lands in
+// BENCH_<name>.json under MISS_BENCH_DIR (default: the working directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_ns_(obs::NowNs()) {
+    AddConfig("scale", common::GetEnvDouble("MISS_SCALE", 0.5));
+    AddConfig("epochs",
+              static_cast<double>(common::GetEnvInt("MISS_EPOCHS", 12)));
+    AddConfig("seeds",
+              static_cast<double>(common::GetEnvInt("MISS_SEEDS", 1)));
+  }
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_strings_.emplace_back(key, value);
+  }
+  void AddConfig(const std::string& key, double value) {
+    config_numbers_.emplace_back(key, value);
+  }
+  void AddMetric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  std::string path() const {
+    return common::GetEnvString("MISS_BENCH_DIR", ".") + "/BENCH_" + name_ +
+           ".json";
+  }
+
+  bool Write() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("name").String(name_);
+    w.Key("config").BeginObject();
+    for (const auto& [key, value] : config_strings_) w.Key(key).String(value);
+    for (const auto& [key, value] : config_numbers_) w.Key(key).Number(value);
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    for (const auto& [key, value] : metrics_) w.Key(key).Number(value);
+    w.EndObject();
+    w.Key("wall_ms").Number(static_cast<double>(obs::NowNs() - start_ns_) /
+                            1e6);
+    w.EndObject();
+
+    const std::string out_path = path();
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", out_path.c_str());
+      return false;
+    }
+    out << w.str() << "\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  int64_t start_ns_;
+  std::vector<std::pair<std::string, std::string>> config_strings_;
+  std::vector<std::pair<std::string, double>> config_numbers_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace miss::bench
 

@@ -5,12 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/info_nce.h"
 #include "core/miss_module.h"
 #include "data/synthetic.h"
 #include "models/model_factory.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -127,6 +133,63 @@ void BM_DinMissTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DinMissTrainStep);
 
+// Cost of one MISS_TRACE_SCOPE site. Disabled (the default for every bench
+// above — MISS_* observability env vars unset) it is a relaxed atomic load
+// plus a branch, which is what keeps instrumented kernels within noise of
+// their uninstrumented wall time; enabled it adds two clock reads and a
+// histogram record.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  for (auto _ : state) {
+    MISS_TRACE_SCOPE("bench/span_overhead");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::SetEnabled(true);
+  for (auto _ : state) {
+    MISS_TRACE_SCOPE("bench/span_overhead");
+    benchmark::ClobberMemory();
+  }
+  obs::SetEnabled(false);
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// Captures per-benchmark real time so main() can dump BENCH_micro_engine.json
+// alongside the console table.
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  // (benchmark name, real time in the run's time unit — ns by default).
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  miss::bench::BenchReport report("micro_engine");
+  JsonDumpReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  for (const auto& [name, real_time_ns] : reporter.results()) {
+    report.AddMetric(name + "_ns", real_time_ns);
+  }
+  report.Write();
+  return 0;
+}

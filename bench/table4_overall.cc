@@ -37,6 +37,7 @@ int main() {
 
   bench::PrintTableHeader("Table IV: overall performance", ctx.dataset_names);
 
+  bench::BenchReport report("table4");
   std::vector<std::vector<double>> aucs(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
     bench::PrintRowLabel(rows[r].label);
@@ -48,6 +49,9 @@ int main() {
       bench::PrintMetrics(res.auc, res.logloss);
       std::fflush(stdout);
       aucs[r].push_back(res.auc);
+      const std::string key = rows[r].label + "/" + ctx.dataset_names[d];
+      report.AddMetric("auc/" + key, res.auc);
+      report.AddMetric("logloss/" + key, res.logloss);
     }
     std::printf("\n");
   }
@@ -67,6 +71,9 @@ int main() {
     std::printf("  %-14s best baseline %-10s %.4f -> MISS %.4f (%+.2f%%)\n",
                 ctx.dataset_names[d].c_str(), best_name.c_str(), best,
                 miss_auc, 100.0 * (miss_auc - best) / best);
+    report.AddMetric("miss_lift_pct/" + ctx.dataset_names[d],
+                     100.0 * (miss_auc - best) / best);
   }
+  report.Write();
   return 0;
 }

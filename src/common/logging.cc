@@ -1,11 +1,56 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "common/env.h"
 
 namespace miss::common {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+
+// Parses MISS_LOG_LEVEL: a number (0=debug .. 3=fatal) or a level name.
+// Returns true on success.
+bool ParseLevel(const std::string& text, LogLevel* out) {
+  if (text.empty()) return false;
+  if (text == "0" || text == "debug" || text == "DEBUG") {
+    *out = LogLevel::kDebug;
+  } else if (text == "1" || text == "info" || text == "INFO") {
+    *out = LogLevel::kInfo;
+  } else if (text == "2" || text == "warning" || text == "WARNING" ||
+             text == "warn" || text == "WARN") {
+    *out = LogLevel::kWarning;
+  } else if (text == "3" || text == "fatal" || text == "FATAL") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// When MISS_LOG_LEVEL is set it pins the threshold: SetMinLogLevel calls
+// from code (benches silencing themselves, tests) are ignored, so CI can
+// raise or silence verbosity without code changes.
+struct LevelState {
+  LogLevel level = LogLevel::kInfo;
+  bool pinned_by_env = false;
+
+  LevelState() {
+    LogLevel parsed;
+    if (ParseLevel(GetEnvString("MISS_LOG_LEVEL", ""), &parsed)) {
+      level = parsed;
+      pinned_by_env = true;
+    }
+  }
+};
+
+LevelState& State() {
+  static LevelState state;
+  return state;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,10 +65,42 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Small dense per-thread id, assigned in first-log order.
+int LogThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ISO-8601 UTC timestamp with millisecond resolution, e.g.
+// 2026-08-05T14:03:07.512Z.
+void AppendTimestamp(std::ostream& os) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+  os << buf;
+}
+
 }  // namespace
 
-LogLevel MinLogLevel() { return g_min_level; }
-void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel MinLogLevel() { return State().level; }
+
+void SetMinLogLevel(LogLevel level) {
+  LevelState& state = State();
+  if (state.pinned_by_env) return;
+  state.level = level;
+}
 
 namespace internal {
 
@@ -35,7 +112,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level) << " ";
+    AppendTimestamp(stream_);
+    stream_ << " t" << LogThreadId() << " " << base << ":" << line << "] ";
   }
 }
 

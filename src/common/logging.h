@@ -1,8 +1,15 @@
 // Minimal leveled logging to stderr.
 //
 // Usage: MISS_LOG(INFO) << "epoch " << epoch << " auc=" << auc;
-// Severity FATAL aborts after printing. The verbosity threshold can be
-// raised via SetMinLogLevel (benches use this to keep table output clean).
+// Severity FATAL aborts after printing. Each line is prefixed with the
+// severity letter, an ISO-8601 UTC timestamp, and a dense thread id:
+//   [I 2026-08-05T14:03:07.512Z t0 trainer.cc:139] ...
+//
+// The verbosity threshold can be raised via SetMinLogLevel (benches use
+// this to keep table output clean). When the MISS_LOG_LEVEL env var is set
+// (0-3 or debug/info/warning/fatal) it pins the threshold and
+// SetMinLogLevel becomes a no-op, so CI can silence or raise verbosity
+// without code changes.
 
 #ifndef MISS_COMMON_LOGGING_H_
 #define MISS_COMMON_LOGGING_H_

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
+
 namespace miss::data {
 
 Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  MISS_TRACE_SCOPE("data/make_batch");
   const DatasetSchema& schema = dataset.schema;
   Batch batch;
   batch.batch_size = static_cast<int64_t>(indices.size());

@@ -178,8 +178,11 @@ struct UserTrace {
 UserTrace GenerateTrace(const SyntheticConfig& config, const ItemWorld& world,
                         common::Rng& rng) {
   UserTrace trace;
-  const int64_t n_interests =
-      rng.UniformInt(config.interests_min, config.interests_max);
+  // Clamp to the topic count: at small MISS_SCALE the scaled-down world can
+  // hold fewer topics than interests_max, and drawing more distinct topics
+  // than exist would spin forever.
+  const int64_t n_interests = std::min(
+      world.num_topics, rng.UniformInt(config.interests_min, config.interests_max));
   std::vector<int64_t> interests;  // latent topics
   interests.reserve(n_interests);
   while (static_cast<int64_t>(interests.size()) < n_interests) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace miss::nn {
 
 namespace {
@@ -333,6 +335,7 @@ Tensor Square(const Tensor& a) {
 // ----------------------------------------------------------------------------
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MISS_TRACE_SCOPE("nn/matmul");
   MISS_CHECK_GE(a.ndim(), 2);
   MISS_CHECK_EQ(b.ndim(), 2);
   const int64_t k_dim = a.dim(-1);
@@ -366,6 +369,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  MISS_TRACE_SCOPE("nn/batch_matmul");
   MISS_CHECK_GE(a.ndim(), 3);
   MISS_CHECK_EQ(a.ndim(), b.ndim());
   for (int i = 0; i < a.ndim() - 2; ++i) MISS_CHECK_EQ(a.dim(i), b.dim(i));
@@ -863,6 +867,7 @@ Tensor Dropout(const Tensor& a, float p, bool training, common::Rng& rng) {
 
 Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
                        std::vector<int64_t> leading_shape) {
+  MISS_TRACE_SCOPE("nn/embedding_lookup");
   MISS_CHECK_EQ(table.ndim(), 2);
   MISS_CHECK_EQ(NumElements(leading_shape),
                 static_cast<int64_t>(ids.size()));
@@ -1012,6 +1017,7 @@ Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
 // ----------------------------------------------------------------------------
 
 Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
+  MISS_TRACE_SCOPE("nn/horizontal_conv");
   MISS_CHECK_EQ(c.ndim(), 4);
   MISS_CHECK_EQ(kernel.ndim(), 1);
   const int64_t b_dim = c.dim(0);
@@ -1074,6 +1080,7 @@ Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
 }
 
 Tensor VerticalConv(const Tensor& g_in, const Tensor& kernel) {
+  MISS_TRACE_SCOPE("nn/vertical_conv");
   MISS_CHECK_EQ(g_in.ndim(), 4);
   MISS_CHECK_EQ(kernel.ndim(), 1);
   const int64_t b_dim = g_in.dim(0);

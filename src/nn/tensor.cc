@@ -1,11 +1,49 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <unordered_set>
 
 namespace miss::nn {
+
+namespace {
+std::atomic<int64_t> g_total_nodes{0};
+std::atomic<int64_t> g_live_nodes{0};
+std::atomic<int64_t> g_peak_live_nodes{0};
+}  // namespace
+
+namespace internal {
+
+void NodeCreated() {
+  g_total_nodes.fetch_add(1, std::memory_order_relaxed);
+  const int64_t live = g_live_nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t peak = g_peak_live_nodes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_live_nodes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void NodeDestroyed() {
+  g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+TensorAllocStats GetTensorAllocStats() {
+  TensorAllocStats stats;
+  stats.total_nodes = g_total_nodes.load(std::memory_order_relaxed);
+  stats.live_nodes = g_live_nodes.load(std::memory_order_relaxed);
+  stats.peak_live_nodes = g_peak_live_nodes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetTensorAllocStats() {
+  g_total_nodes.store(0, std::memory_order_relaxed);
+  g_peak_live_nodes.store(g_live_nodes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
 
 int64_t NumElements(const std::vector<int64_t>& shape) {
   int64_t n = 1;

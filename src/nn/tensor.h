@@ -30,9 +30,31 @@ namespace miss::nn {
 
 class Tensor;
 
+// Lightweight always-on allocation accounting (two relaxed atomic ops per
+// node — negligible next to the value-buffer allocation). The telemetry run
+// reporter surfaces peak_live_nodes as a proxy for tape memory pressure.
+struct TensorAllocStats {
+  int64_t total_nodes = 0;      // nodes created since last reset
+  int64_t live_nodes = 0;       // currently alive
+  int64_t peak_live_nodes = 0;  // high-water mark since last reset
+};
+TensorAllocStats GetTensorAllocStats();
+// Zeroes total and drops the peak to the current live count.
+void ResetTensorAllocStats();
+
+namespace internal {
+void NodeCreated();
+void NodeDestroyed();
+}  // namespace internal
+
 // Internal graph node. Users interact with Tensor handles; Node is exposed
 // so optimizers can key state off stable node addresses.
 struct Node {
+  Node() { internal::NodeCreated(); }
+  ~Node() { internal::NodeDestroyed(); }
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
   std::vector<float> value;
   std::vector<float> grad;  // empty until gradients are first accumulated
   std::vector<int64_t> shape;

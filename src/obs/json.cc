@@ -1,0 +1,337 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace miss::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+    return buf;
+  }
+  // Shortest representation that round-trips: try %.15g, fall back to %.17g.
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ",";
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ << "{";
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  MISS_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ << "[";
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  MISS_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  MaybeComma();
+  out_ << "\"" << JsonEscape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  MaybeComma();
+  out_ << "\"" << JsonEscape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  MaybeComma();
+  out_ << JsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  MaybeComma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  MaybeComma();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Validating recursive-descent parser (well-formedness only).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool Literal(const char* lit) {
+    const char* q = p;
+    while (*lit) {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+
+  bool ParseString() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end) {
+      unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            ++p;
+            break;
+          case 'u': {
+            ++p;
+            for (int i = 0; i < 4; ++i) {
+              if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+                return false;
+              ++p;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (c < 0x20) {
+        return false;  // raw control char inside string
+      } else {
+        ++p;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return p > start;
+  }
+
+  bool ParseValue() {
+    if (++depth > 256) return false;
+    SkipWs();
+    if (p >= end) return false;
+    bool ok = false;
+    switch (*p) {
+      case '{':
+        ok = ParseObject();
+        break;
+      case '[':
+        ok = ParseArray();
+        break;
+      case '"':
+        ok = ParseString();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = ParseNumber();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool ParseObject() {
+    ++p;  // '{'
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++p;  // '['
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonValid(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.ParseValue()) return false;
+  parser.SkipWs();
+  return parser.p == parser.end;
+}
+
+bool JsonlValid(const std::string& text) {
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    if (!JsonValid(line)) return false;
+    ++lines;
+  }
+  return lines > 0;
+}
+
+}  // namespace miss::obs

@@ -1,0 +1,69 @@
+// Minimal JSON utilities for the telemetry subsystem.
+//
+// JsonWriter builds objects/arrays with correct escaping and locale-free
+// number formatting; JsonValid is a small validating parser used by tests
+// and the obs_smoke target to assert that emitted files are well-formed.
+// Deliberately tiny — no DOM, no external deps.
+
+#ifndef MISS_OBS_JSON_H_
+#define MISS_OBS_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace miss::obs {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes excluded).
+std::string JsonEscape(const std::string& s);
+
+// Formats a double the way JSON expects: finite values via shortest-ish
+// round-trip formatting, NaN/Inf mapped to null (JSON has no such literals).
+std::string JsonNumber(double v);
+
+// Streaming writer for one JSON document. Keeps a context stack so commas
+// and closers are emitted correctly:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("name").String("table4");
+//   w.Key("metrics").BeginObject();
+//   w.Key("auc").Number(0.81);
+//   w.EndObject();
+//   w.EndObject();
+//   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Bool(bool v);
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void MaybeComma();
+  std::ostringstream out_;
+  // One entry per open scope; true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+// Returns true iff `text` is exactly one well-formed JSON value (plus
+// trailing whitespace). Validates structure, string escapes, and number
+// syntax; does not build a tree.
+bool JsonValid(const std::string& text);
+
+// Convenience: every non-empty line of `text` must be valid JSON (the JSONL
+// convention used by run reports). Empty input is invalid.
+bool JsonlValid(const std::string& text);
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_JSON_H_

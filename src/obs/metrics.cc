@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace miss::obs {
+
+std::vector<double> Histogram::DefaultBounds() {
+  std::vector<double> bounds;
+  bounds.reserve(52);
+  for (double b = 1e-6; b < 2e9; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Histogram::Histogram() : Histogram(DefaultBounds()) {}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MISS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MISS_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  ++counts_[bucket];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, midpoint-free definition).
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  // The extreme ranks are known exactly from the tracked min/max.
+  if (rank <= 1.0) return min_;
+  if (rank >= static_cast<double>(count_)) return max_;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t lo_rank = seen + 1;
+    const int64_t hi_rank = seen + counts_[i];
+    if (rank <= static_cast<double>(hi_rank)) {
+      // Bucket edges; clamp to the observed min/max so quantiles never fall
+      // outside the recorded range.
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo || counts_[i] == 1) return std::clamp((lo + hi) / 2, lo, hi);
+      // Linear interpolation across the bucket's occupied rank range.
+      const double frac =
+          (rank - static_cast<double>(lo_rank)) /
+          static_cast<double>(counts_[i] - 1);
+      return lo + frac * (hi - lo);
+    }
+    seen = hi_rank;
+  }
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  snap.p50 = QuantileLocked(0.50);
+  snap.p95 = QuantileLocked(0.95);
+  snap.p99 = QuantileLocked(0.99);
+  return snap;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, unused] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, unused] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, unused] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Int(counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Number(gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot s = hist->Snapshot();
+    w.Key(name).BeginObject();
+    w.Key("count").Int(s.count);
+    w.Key("sum").Number(s.sum);
+    w.Key("min").Number(s.min);
+    w.Key("max").Number(s.max);
+    w.Key("mean").Number(s.mean);
+    w.Key("p50").Number(s.p50);
+    w.Key("p95").Number(s.p95);
+    w.Key("p99").Number(s.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace miss::obs

@@ -1,0 +1,137 @@
+// Process-global metrics registry: counters, gauges, and fixed-bucket
+// histograms with quantile summaries.
+//
+// Every metric is addressable by name from anywhere:
+//
+//   obs::MetricsRegistry::Global().GetCounter("trainer/steps").Add(1);
+//   obs::MetricsRegistry::Global()
+//       .GetHistogram("nn/matmul_ms").Record(elapsed_ms);
+//
+// All operations are thread-safe. Metric objects live for the lifetime of
+// the registry (references stay valid until Reset()). Instrumented hot paths
+// should gate registry access behind obs::Enabled() (trace.h) so that a
+// fully disabled build pays only one relaxed atomic load per site.
+//
+// The whole registry serializes to JSON via ToJson() / WriteJsonFile(); when
+// the MISS_METRICS_JSON env var names a path, a dump is written there at
+// process exit (see trace.h's InitFromEnv).
+
+#ifndef MISS_OBS_METRICS_H_
+#define MISS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace miss::obs {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Fixed-bucket histogram. Bucket i counts values in
+// [bounds[i-1], bounds[i]); an extra overflow bucket catches values
+// >= bounds.back(). Quantiles interpolate linearly inside the containing
+// bucket, so accuracy is bounded by bucket width (the default exponential
+// bounds give ~ +/- 50% relative error — plenty for latency percentiles;
+// pass explicit linear bounds where tighter answers matter).
+class Histogram {
+ public:
+  // Default bounds: exponential, 1e-6 .. ~1e9 doubling per bucket. Suits
+  // millisecond latencies from sub-microsecond spans to multi-day runs.
+  Histogram();
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double v);
+  HistogramSnapshot Snapshot() const;
+  // Quantile from the current contents; q in [0, 1].
+  double Quantile(double q) const;
+  int64_t count() const;
+  double sum() const;
+  void Reset();
+
+  static std::vector<double> DefaultBounds();
+
+ private:
+  double QuantileLocked(double q) const;
+
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;       // ascending bucket upper edges
+  std::vector<int64_t> counts_;      // bounds_.size() + 1 (overflow)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Finds or creates the named metric. References remain valid until
+  // Reset(). A histogram's bounds are fixed by its first GetHistogram call.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  // Removes every metric. Invalidates previously returned references; only
+  // meant for test isolation.
+  void Reset();
+
+  // Snapshot of current metric names, for reporters.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  //  mean,p50,p95,p99}}}
+  std::string ToJson() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_METRICS_H_

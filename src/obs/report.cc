@@ -1,0 +1,109 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace miss::obs {
+
+RunReporter::RunReporter(std::string run_name)
+    : run_name_(std::move(run_name)) {}
+
+void RunReporter::AddConfig(const std::string& key, const std::string& value) {
+  config_strings_.emplace_back(key, value);
+}
+
+void RunReporter::AddConfig(const std::string& key, double value) {
+  config_numbers_.emplace_back(key, value);
+}
+
+void RunReporter::AddConfig(const std::string& key, int64_t value) {
+  config_numbers_.emplace_back(key, static_cast<double>(value));
+}
+
+void RunReporter::LogEpoch(int64_t epoch,
+                           const std::map<std::string, double>& values) {
+  epochs_.push_back({epoch, values});
+}
+
+void RunReporter::SetSummary(const std::string& key, double value) {
+  summary_[key] = value;
+}
+
+std::string RunReporter::ToJsonl() const {
+  std::ostringstream out;
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("run_start");
+    w.Key("run").String(run_name_);
+    w.Key("config").BeginObject();
+    for (const auto& [key, value] : config_strings_) w.Key(key).String(value);
+    for (const auto& [key, value] : config_numbers_) w.Key(key).Number(value);
+    w.EndObject();
+    w.EndObject();
+    out << w.str() << "\n";
+  }
+  for (const EpochRow& row : epochs_) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("epoch");
+    w.Key("run").String(run_name_);
+    w.Key("epoch").Int(row.epoch);
+    for (const auto& [key, value] : row.values) w.Key(key).Number(value);
+    w.EndObject();
+    out << w.str() << "\n";
+  }
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("run_end");
+    w.Key("run").String(run_name_);
+    w.Key("summary").BeginObject();
+    for (const auto& [key, value] : summary_) w.Key(key).Number(value);
+    w.EndObject();
+    w.EndObject();
+    out << w.str() << "\n";
+  }
+  return out.str();
+}
+
+bool RunReporter::AppendJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << ToJsonl();
+  return static_cast<bool>(out);
+}
+
+std::string RunReporter::ToCsv() const {
+  // Header: epoch + union of keys across rows, sorted for stability.
+  std::set<std::string> keys;
+  for (const EpochRow& row : epochs_) {
+    for (const auto& [key, unused] : row.values) keys.insert(key);
+  }
+  std::ostringstream out;
+  out << "epoch";
+  for (const std::string& key : keys) out << "," << key;
+  out << "\n";
+  for (const EpochRow& row : epochs_) {
+    out << row.epoch;
+    for (const std::string& key : keys) {
+      out << ",";
+      auto it = row.values.find(key);
+      if (it != row.values.end()) out << JsonNumber(it->second);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool RunReporter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace miss::obs

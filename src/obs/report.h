@@ -1,0 +1,69 @@
+// Structured run reports: one training/eval run serialized to JSONL or CSV.
+//
+// A report carries (a) stringified config key/values, (b) a per-epoch table
+// of named numeric series (loss, valid_auc, ...), and (c) summary scalars
+// (phase timings, samples/sec, peak tensor allocation count). Trainer::Fit
+// fills one automatically when the MISS_RUN_REPORT env var names a path
+// (see trace.h).
+//
+// JSONL layout — one self-describing record per line so files can be
+// appended across runs and streamed with `jq`:
+//
+//   {"type":"run_start","run":"trainer_fit","config":{...}}
+//   {"type":"epoch","run":"trainer_fit","epoch":1,"loss":0.59,...}
+//   {"type":"run_end","run":"trainer_fit","summary":{...}}
+
+#ifndef MISS_OBS_REPORT_H_
+#define MISS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace miss::obs {
+
+class RunReporter {
+ public:
+  explicit RunReporter(std::string run_name);
+
+  // Config is recorded in insertion order.
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, int64_t value);
+
+  // Appends one epoch row; `epoch` is 1-based. Rows may carry different key
+  // sets (e.g. valid_auc only when validation ran).
+  void LogEpoch(int64_t epoch, const std::map<std::string, double>& values);
+
+  void SetSummary(const std::string& key, double value);
+
+  int64_t num_epochs() const { return static_cast<int64_t>(epochs_.size()); }
+
+  // Serializes the full report (run_start / epoch* / run_end records).
+  std::string ToJsonl() const;
+  // Appends to `path`, creating it if needed.
+  bool AppendJsonl(const std::string& path) const;
+
+  // Epoch table as CSV: header = epoch + union of value keys; missing
+  // entries are left empty.
+  std::string ToCsv() const;
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  struct EpochRow {
+    int64_t epoch;
+    std::map<std::string, double> values;
+  };
+
+  std::string run_name_;
+  std::vector<std::pair<std::string, std::string>> config_strings_;
+  std::vector<std::pair<std::string, double>> config_numbers_;
+  std::vector<EpochRow> epochs_;
+  std::map<std::string, double> summary_;
+};
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_REPORT_H_

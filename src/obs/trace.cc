@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/env.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace miss::obs {
+
+namespace {
+
+std::mutex g_trace_mu;
+std::ofstream* g_trace_file = nullptr;  // guarded by g_trace_mu
+bool g_trace_has_events = false;        // guarded by g_trace_mu
+std::atomic<bool> g_trace_active{false};
+std::atomic<bool> g_exit_hook_armed{false};
+std::string* g_metrics_json_path = nullptr;  // guarded by g_trace_mu
+
+void AtExitFlush() {
+  StopTracing();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    if (g_metrics_json_path != nullptr) path = *g_metrics_json_path;
+  }
+  if (!path.empty()) MetricsRegistry::Global().WriteJsonFile(path);
+}
+
+void ArmExitHook() {
+  if (!g_exit_hook_armed.exchange(true)) std::atexit(AtExitFlush);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_state{0};
+
+void InitFromEnvSlow() {
+  // Serialize first-time init; recompute under the lock so concurrent
+  // callers agree.
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_state.load(std::memory_order_relaxed) != 0) return;
+
+  const std::string trace_file = common::GetEnvString("MISS_TRACE_FILE", "");
+  const std::string metrics_json =
+      common::GetEnvString("MISS_METRICS_JSON", "");
+  const std::string run_report = common::GetEnvString("MISS_RUN_REPORT", "");
+  const bool on = common::GetEnvInt("MISS_TELEMETRY", 0) != 0 ||
+                  !trace_file.empty() || !metrics_json.empty() ||
+                  !run_report.empty();
+
+  if (!metrics_json.empty()) {
+    delete g_metrics_json_path;
+    g_metrics_json_path = new std::string(metrics_json);
+    ArmExitHook();
+  }
+  g_state.store(on ? 2 : 1, std::memory_order_relaxed);
+  if (!trace_file.empty()) {
+    // StartTracing needs g_trace_mu; open inline instead.
+    delete g_trace_file;
+    g_trace_file = new std::ofstream(trace_file, std::ios::trunc);
+    if (*g_trace_file) {
+      (*g_trace_file) << "{\"traceEvents\":[";
+      g_trace_has_events = false;
+      g_trace_active.store(true, std::memory_order_release);
+      ArmExitHook();
+    } else {
+      delete g_trace_file;
+      g_trace_file = nullptr;
+    }
+  }
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_state.store(on ? 2 : 1, std::memory_order_relaxed);
+}
+
+void ReinitFromEnv() {
+  StopTracing();
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mu);
+    delete g_metrics_json_path;
+    g_metrics_json_path = nullptr;
+    internal::g_state.store(0, std::memory_order_relaxed);
+  }
+  internal::InitFromEnvSlow();
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void StartTracing(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_file != nullptr) {
+    // Close the previous document first.
+    (*g_trace_file) << "]}\n";
+    delete g_trace_file;
+    g_trace_file = nullptr;
+    g_trace_active.store(false, std::memory_order_release);
+  }
+  auto* file = new std::ofstream(path, std::ios::trunc);
+  if (!*file) {
+    delete file;
+    return;
+  }
+  (*file) << "{\"traceEvents\":[";
+  g_trace_file = file;
+  g_trace_has_events = false;
+  g_trace_active.store(true, std::memory_order_release);
+  ArmExitHook();
+}
+
+void StopTracing() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_file == nullptr) return;
+  (*g_trace_file) << "]}\n";
+  g_trace_file->flush();
+  delete g_trace_file;
+  g_trace_file = nullptr;
+  g_trace_active.store(false, std::memory_order_release);
+}
+
+bool TracingActive() {
+  return g_trace_active.load(std::memory_order_acquire);
+}
+
+void EmitTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns) {
+  const int tid = ThreadId();
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_file == nullptr) return;
+  if (g_trace_has_events) (*g_trace_file) << ",";
+  g_trace_has_events = true;
+  // Chrome trace events use microsecond timestamps.
+  (*g_trace_file) << "\n{\"name\":\"" << JsonEscape(name)
+                  << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+                  << ",\"ts\":" << static_cast<double>(ts_ns) / 1000.0
+                  << ",\"dur\":" << static_cast<double>(dur_ns) / 1000.0
+                  << "}";
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const int64_t end_ns = NowNs();
+  const int64_t dur_ns = end_ns - start_ns_;
+  MetricsRegistry::Global()
+      .GetHistogram(std::string("span/") + name_)
+      .Record(static_cast<double>(dur_ns) / 1e6);  // milliseconds
+  if (TracingActive()) EmitTraceEvent(name_, start_ns_, dur_ns);
+}
+
+std::string RunReportPath() {
+  if (!Enabled()) return "";
+  return common::GetEnvString("MISS_RUN_REPORT", "");
+}
+
+}  // namespace miss::obs

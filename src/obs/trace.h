@@ -1,0 +1,102 @@
+// Telemetry enable switch, RAII trace spans, and Chrome trace-event output.
+//
+// The whole subsystem is off by default and costs one relaxed atomic load
+// plus a predictable branch per instrumented site when disabled. It turns on
+// when any of these env vars is set (read lazily on first use):
+//
+//   MISS_TELEMETRY=1       collect metrics/spans in-process only
+//   MISS_TRACE_FILE=path   additionally stream Chrome trace-event JSON
+//                          (open chrome://tracing or https://ui.perfetto.dev)
+//   MISS_METRICS_JSON=path dump the metrics registry to `path` at exit
+//   MISS_RUN_REPORT=path   Trainer::Fit appends a JSONL run report (report.h)
+//
+// Spans record wall time in **milliseconds** into the global registry
+// histogram "span/<name>" and, when a trace file is active, emit one
+// complete ("ph":"X") trace event:
+//
+//   void Trainer::Fit(...) {
+//     MISS_TRACE_SCOPE("trainer/fit");
+//     ...
+//   }
+
+#ifndef MISS_OBS_TRACE_H_
+#define MISS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace miss::obs {
+
+namespace internal {
+// 0 = uninitialized (first Enabled() call reads the environment),
+// 1 = disabled, 2 = enabled.
+extern std::atomic<int> g_state;
+void InitFromEnvSlow();
+}  // namespace internal
+
+// True when telemetry collection is on. The hot-path guard.
+inline bool Enabled() {
+  int s = internal::g_state.load(std::memory_order_relaxed);
+  if (s == 0) {
+    internal::InitFromEnvSlow();
+    s = internal::g_state.load(std::memory_order_relaxed);
+  }
+  return s == 2;
+}
+
+// Programmatic override (tests, benches). Marks the flag initialized, so the
+// environment is no longer consulted.
+void SetEnabled(bool on);
+
+// Re-reads the MISS_* env vars: recomputes the enabled flag, (re)opens the
+// trace file, re-arms the exit-time metrics dump. For processes that set
+// env vars after startup (the obs_smoke target does).
+void ReinitFromEnv();
+
+// Monotonic clock in nanoseconds.
+int64_t NowNs();
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use order).
+int ThreadId();
+
+// -- Chrome trace-event output ----------------------------------------------
+
+// Starts streaming trace events to `path` (truncates). Thread-safe.
+void StartTracing(const std::string& path);
+// Closes the JSON document. Safe to call when inactive; called automatically
+// at process exit when tracing was started via the environment.
+void StopTracing();
+bool TracingActive();
+// Appends one complete event; `ts_ns` is the span start in NowNs() time.
+void EmitTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns);
+
+// -- RAII span ---------------------------------------------------------------
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(Enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? NowNs() : 0) {}
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // null when telemetry is disabled
+  int64_t start_ns_;
+};
+
+// Path configured via MISS_RUN_REPORT, or "" when unset.
+std::string RunReportPath();
+
+}  // namespace miss::obs
+
+#define MISS_OBS_CONCAT_INNER(a, b) a##b
+#define MISS_OBS_CONCAT(a, b) MISS_OBS_CONCAT_INNER(a, b)
+// Times the enclosing scope; see file comment.
+#define MISS_TRACE_SCOPE(name) \
+  ::miss::obs::TraceSpan MISS_OBS_CONCAT(miss_trace_span_, __LINE__)(name)
+
+#endif  // MISS_OBS_TRACE_H_

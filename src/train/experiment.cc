@@ -5,12 +5,14 @@
 #include "common/env.h"
 #include "core/ssl_factory.h"
 #include "models/model_factory.h"
+#include "obs/trace.h"
 
 namespace miss::train {
 
 ExperimentResult RunExperiment(const data::DatasetBundle& bundle,
                                const ExperimentSpec& spec,
                                const data::Dataset* train_override) {
+  MISS_TRACE_SCOPE("experiment/run");
   const data::Dataset& train =
       train_override != nullptr ? *train_override : bundle.train;
 
@@ -34,6 +36,8 @@ ExperimentResult RunExperiment(const data::DatasetBundle& bundle,
     aucs.push_back(fit.test.auc);
     loglosses.push_back(fit.test.logloss);
     result.similarity_trace = std::move(fit.similarity_trace);
+    result.loss_trace = std::move(fit.loss_trace);
+    result.valid_auc_trace = std::move(fit.valid_auc_trace);
   }
 
   double auc_sum = 0.0;

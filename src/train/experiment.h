@@ -30,6 +30,10 @@ struct ExperimentResult {
   double auc_stddev = 0.0;
   // Per-step similarity trace of the last seed (Figure 5).
   std::vector<double> similarity_trace;
+  // Per-epoch traces of the last seed (Figure 6-style curves and run
+  // reports read these instead of re-evaluating).
+  std::vector<double> loss_trace;
+  std::vector<double> valid_auc_trace;
 };
 
 // Trains on bundle.train (optionally replaced by `train_override`), selects

@@ -7,6 +7,9 @@
 #include "common/logging.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "train/metrics.h"
 
 namespace miss::train {
@@ -29,10 +32,41 @@ void Restore(const std::vector<nn::Tensor>& params,
   }
 }
 
+// Accumulates the enclosing scope's wall time into *acc_ns; free when
+// telemetry is disabled (no clock reads).
+class PhaseTimer {
+ public:
+  PhaseTimer(bool on, int64_t* acc_ns)
+      : acc_(on ? acc_ns : nullptr), start_(acc_ != nullptr ? obs::NowNs() : 0) {}
+  ~PhaseTimer() {
+    if (acc_ != nullptr) *acc_ += obs::NowNs() - start_;
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  int64_t* acc_;
+  int64_t start_;
+};
+
+// Wall time spent in each training phase, in nanoseconds.
+struct PhaseNs {
+  int64_t batch_assembly = 0;
+  int64_t forward = 0;
+  int64_t backward = 0;
+  int64_t optimizer = 0;
+  int64_t eval = 0;
+
+  int64_t TrainTotal() const {
+    return batch_assembly + forward + backward + optimizer;
+  }
+};
+
 }  // namespace
 
 EvalResult Evaluate(models::CtrModel& model, const data::Dataset& dataset,
                     int64_t batch_size) {
+  MISS_TRACE_SCOPE("trainer/evaluate");
   std::vector<double> probs;
   std::vector<float> labels;
   probs.reserve(dataset.size());
@@ -54,6 +88,14 @@ EvalResult Evaluate(models::CtrModel& model, const data::Dataset& dataset,
 FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
                        const data::Dataset& train, const data::Dataset& valid,
                        const data::Dataset& test) {
+  MISS_TRACE_SCOPE("trainer/fit");
+  const bool telemetry = obs::Enabled();
+  const int64_t fit_start_ns = telemetry ? obs::NowNs() : 0;
+  if (telemetry) nn::ResetTensorAllocStats();  // per-run peak accounting
+  PhaseNs phase;
+  int64_t train_steps = 0;
+  int64_t train_samples = 0;
+
   FitResult result;
   common::Rng rng(config_.seed);
 
@@ -72,25 +114,42 @@ FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
 
   // Pre-training stage: SSL losses only (MISS-Pre in Table IX).
   if (pretraining_enabled) {
+    MISS_TRACE_SCOPE("trainer/pretrain");
     data::BatchPlan plan(train.size(), config_.batch_size);
     for (int64_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+      MISS_TRACE_SCOPE("trainer/pretrain_epoch");
       plan.Shuffle(rng);
       for (int64_t b = 0; b < plan.num_batches(); ++b) {
-        data::Batch batch = data::MakeBatch(train, plan.BatchIndices(b));
-        core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
+        data::Batch batch = [&] {
+          PhaseTimer t(telemetry, &phase.batch_assembly);
+          return data::MakeBatch(train, plan.BatchIndices(b));
+        }();
         nn::Tensor loss;
-        if (ssl_losses.interest_loss.defined()) {
-          loss = nn::MulScalar(ssl_losses.interest_loss, config_.alpha1);
-        }
-        if (ssl_losses.feature_loss.defined()) {
-          nn::Tensor f = nn::MulScalar(ssl_losses.feature_loss, config_.alpha2);
-          loss = loss.defined() ? nn::Add(loss, f) : f;
+        {
+          PhaseTimer t(telemetry, &phase.forward);
+          core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
+          if (ssl_losses.interest_loss.defined()) {
+            loss = nn::MulScalar(ssl_losses.interest_loss, config_.alpha1);
+          }
+          if (ssl_losses.feature_loss.defined()) {
+            nn::Tensor f =
+                nn::MulScalar(ssl_losses.feature_loss, config_.alpha2);
+            loss = loss.defined() ? nn::Add(loss, f) : f;
+          }
         }
         if (!loss.defined()) continue;
-        nn::Optimizer::ZeroGrad(params);
-        nn::Backward(loss);
-        nn::ClipGradNorm(params, config_.grad_clip_norm);
-        optimizer.Step(params);
+        {
+          PhaseTimer t(telemetry, &phase.backward);
+          nn::Optimizer::ZeroGrad(params);
+          nn::Backward(loss);
+          nn::ClipGradNorm(params, config_.grad_clip_norm);
+        }
+        {
+          PhaseTimer t(telemetry, &phase.optimizer);
+          optimizer.Step(params);
+        }
+        ++train_steps;
+        train_samples += batch.batch_size;
       }
     }
   }
@@ -100,36 +159,56 @@ FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
       ssl != nullptr && config_.strategy == Strategy::kJoint;
   data::BatchPlan plan(train.size(), config_.batch_size);
   for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    MISS_TRACE_SCOPE("trainer/epoch");
     plan.Shuffle(rng);
     double epoch_loss = 0.0;
     for (int64_t b = 0; b < plan.num_batches(); ++b) {
-      data::Batch batch = data::MakeBatch(train, plan.BatchIndices(b));
-      nn::Tensor logits = model.Forward(batch, /*training=*/true);
-      nn::Tensor loss = nn::BceWithLogitsLoss(logits, batch.labels);
+      data::Batch batch = [&] {
+        PhaseTimer t(telemetry, &phase.batch_assembly);
+        return data::MakeBatch(train, plan.BatchIndices(b));
+      }();
+      nn::Tensor loss;
+      {
+        PhaseTimer t(telemetry, &phase.forward);
+        nn::Tensor logits = model.Forward(batch, /*training=*/true);
+        loss = nn::BceWithLogitsLoss(logits, batch.labels);
 
-      if (joint_ssl) {
-        core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
-        if (ssl_losses.interest_loss.defined() && config_.alpha1 > 0.0f) {
-          loss = nn::Add(
-              loss, nn::MulScalar(ssl_losses.interest_loss, config_.alpha1));
+        if (joint_ssl) {
+          core::SslLossResult ssl_losses = ssl->ComputeLoss(model, batch);
+          if (ssl_losses.interest_loss.defined() && config_.alpha1 > 0.0f) {
+            loss = nn::Add(
+                loss, nn::MulScalar(ssl_losses.interest_loss, config_.alpha1));
+          }
+          if (ssl_losses.feature_loss.defined() && config_.alpha2 > 0.0f) {
+            loss = nn::Add(
+                loss, nn::MulScalar(ssl_losses.feature_loss, config_.alpha2));
+          }
+          result.similarity_trace.push_back(ssl_losses.mean_pair_similarity);
         }
-        if (ssl_losses.feature_loss.defined() && config_.alpha2 > 0.0f) {
-          loss = nn::Add(
-              loss, nn::MulScalar(ssl_losses.feature_loss, config_.alpha2));
-        }
-        result.similarity_trace.push_back(ssl_losses.mean_pair_similarity);
       }
 
       epoch_loss += loss.item();
-      nn::Optimizer::ZeroGrad(params);
-      nn::Backward(loss);
-      nn::ClipGradNorm(params, config_.grad_clip_norm);
-      optimizer.Step(params);
+      {
+        PhaseTimer t(telemetry, &phase.backward);
+        nn::Optimizer::ZeroGrad(params);
+        nn::Backward(loss);
+        nn::ClipGradNorm(params, config_.grad_clip_norm);
+      }
+      {
+        PhaseTimer t(telemetry, &phase.optimizer);
+        optimizer.Step(params);
+      }
+      ++train_steps;
+      train_samples += batch.batch_size;
     }
     result.loss_trace.push_back(epoch_loss / plan.num_batches());
 
     if (config_.select_best_on_valid) {
-      const EvalResult valid_result = Evaluate(model, valid);
+      const EvalResult valid_result = [&] {
+        PhaseTimer t(telemetry, &phase.eval);
+        return Evaluate(model, valid);
+      }();
+      result.valid_auc_trace.push_back(valid_result.auc);
       if (valid_result.auc > best_valid_auc) {
         best_valid_auc = valid_result.auc;
         best_params = Snapshot(params);
@@ -147,9 +226,90 @@ FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
     Restore(params, best_params);
     result.best_valid_auc = best_valid_auc;
   } else {
+    PhaseTimer t(telemetry, &phase.eval);
     result.best_valid_auc = Evaluate(model, valid).auc;
   }
-  result.test = Evaluate(model, test);
+  {
+    PhaseTimer t(telemetry, &phase.eval);
+    result.test = Evaluate(model, test);
+  }
+
+  if (telemetry) {
+    const double wall_ms =
+        static_cast<double>(obs::NowNs() - fit_start_ns) / 1e6;
+    const double train_s = static_cast<double>(phase.TrainTotal()) / 1e9;
+    const double samples_per_sec =
+        train_s > 0.0 ? static_cast<double>(train_samples) / train_s : 0.0;
+    const nn::TensorAllocStats allocs = nn::GetTensorAllocStats();
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("trainer/steps").Add(train_steps);
+    reg.GetCounter("trainer/samples").Add(train_samples);
+    reg.GetGauge("trainer/phase_ms/batch_assembly")
+        .Set(static_cast<double>(phase.batch_assembly) / 1e6);
+    reg.GetGauge("trainer/phase_ms/forward")
+        .Set(static_cast<double>(phase.forward) / 1e6);
+    reg.GetGauge("trainer/phase_ms/backward")
+        .Set(static_cast<double>(phase.backward) / 1e6);
+    reg.GetGauge("trainer/phase_ms/optimizer")
+        .Set(static_cast<double>(phase.optimizer) / 1e6);
+    reg.GetGauge("trainer/phase_ms/eval")
+        .Set(static_cast<double>(phase.eval) / 1e6);
+    reg.GetGauge("trainer/samples_per_sec").Set(samples_per_sec);
+
+    const std::string report_path = obs::RunReportPath();
+    if (!report_path.empty()) {
+      obs::RunReporter reporter("trainer_fit");
+      reporter.AddConfig("model", model.name());
+      reporter.AddConfig("ssl", ssl != nullptr ? ssl->name() : "");
+      reporter.AddConfig(
+          "strategy",
+          config_.strategy == Strategy::kJoint ? "joint" : "pretrain");
+      reporter.AddConfig("epochs", config_.epochs);
+      reporter.AddConfig("batch_size", config_.batch_size);
+      reporter.AddConfig("learning_rate",
+                         static_cast<double>(config_.learning_rate));
+      reporter.AddConfig("weight_decay",
+                         static_cast<double>(config_.weight_decay));
+      reporter.AddConfig("alpha1", static_cast<double>(config_.alpha1));
+      reporter.AddConfig("alpha2", static_cast<double>(config_.alpha2));
+      reporter.AddConfig("seed", static_cast<int64_t>(config_.seed));
+      reporter.AddConfig("train_size", train.size());
+
+      for (size_t e = 0; e < result.loss_trace.size(); ++e) {
+        std::map<std::string, double> row;
+        row["loss"] = result.loss_trace[e];
+        if (e < result.valid_auc_trace.size()) {
+          row["valid_auc"] = result.valid_auc_trace[e];
+        }
+        reporter.LogEpoch(static_cast<int64_t>(e) + 1, row);
+      }
+
+      reporter.SetSummary("wall_ms", wall_ms);
+      reporter.SetSummary("phase_ms/batch_assembly",
+                          static_cast<double>(phase.batch_assembly) / 1e6);
+      reporter.SetSummary("phase_ms/forward",
+                          static_cast<double>(phase.forward) / 1e6);
+      reporter.SetSummary("phase_ms/backward",
+                          static_cast<double>(phase.backward) / 1e6);
+      reporter.SetSummary("phase_ms/optimizer",
+                          static_cast<double>(phase.optimizer) / 1e6);
+      reporter.SetSummary("phase_ms/eval",
+                          static_cast<double>(phase.eval) / 1e6);
+      reporter.SetSummary("samples_per_sec", samples_per_sec);
+      reporter.SetSummary("steps", static_cast<double>(train_steps));
+      reporter.SetSummary("best_valid_auc", result.best_valid_auc);
+      reporter.SetSummary("test_auc", result.test.auc);
+      reporter.SetSummary("test_logloss", result.test.logloss);
+      reporter.SetSummary("peak_live_tensor_nodes",
+                          static_cast<double>(allocs.peak_live_nodes));
+      reporter.SetSummary("tensor_nodes_total",
+                          static_cast<double>(allocs.total_nodes));
+      if (!reporter.AppendJsonl(report_path)) {
+        MISS_LOG(WARNING) << "failed to append run report to " << report_path;
+      }
+    }
+  }
   return result;
 }
 

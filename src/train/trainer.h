@@ -49,6 +49,9 @@ struct FitResult {
   std::vector<double> similarity_trace;
   // Total training loss per epoch.
   std::vector<double> loss_trace;
+  // Validation AUC per epoch, aligned with loss_trace. Empty when
+  // select_best_on_valid is off (no per-epoch evaluation happens then).
+  std::vector<double> valid_auc_trace;
 };
 
 // Scores a dataset with the model (no dropout) and computes AUC/Logloss.

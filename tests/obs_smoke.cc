@@ -1,0 +1,129 @@
+// End-to-end telemetry smoke check, registered in ctest as `obs_smoke` so
+// tier-1 catches telemetry breakage: runs a 1-epoch tiny synthetic training
+// with tracing + run reporting enabled, then asserts that every emitted
+// artifact (JSONL run report, Chrome trace file, metrics dump) parses and
+// carries the expected content. Plain main(), no external deps — the JSON
+// checker is src/obs/json.h.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "train/trainer.h"
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++g_failures;
+  } else {
+    std::printf("ok: %s\n", what);
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int main() {
+  using namespace miss;
+
+  const std::string report_path = "obs_smoke_report.jsonl";
+  const std::string trace_path = "obs_smoke_trace.json";
+  const std::string metrics_path = "obs_smoke_metrics.json";
+  std::remove(report_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  // Configure telemetry through the same env vars users set, then re-init
+  // so the lazily-read flags pick them up.
+  setenv("MISS_RUN_REPORT", report_path.c_str(), 1);
+  setenv("MISS_TRACE_FILE", trace_path.c_str(), 1);
+  setenv("MISS_METRICS_JSON", metrics_path.c_str(), 1);
+  obs::ReinitFromEnv();
+  Check(obs::Enabled(), "telemetry enabled from env");
+  Check(obs::TracingActive(), "tracing active from env");
+
+  // 1-epoch tiny synthetic training run.
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  data::DatasetBundle bundle = data::GenerateSynthetic(config);
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, /*seed=*/1);
+  train::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 64;
+  train::Trainer trainer(tc);
+  train::FitResult fit = trainer.Fit(*model, /*ssl=*/nullptr, bundle.train,
+                                     bundle.valid, bundle.test);
+  Check(fit.loss_trace.size() == 1, "one epoch of loss recorded");
+  Check(fit.valid_auc_trace.size() == 1, "one epoch of valid AUC recorded");
+
+  // Close the trace document and dump the metrics registry explicitly (the
+  // atexit hook would also do both, but then we could not validate here).
+  obs::StopTracing();
+  Check(obs::MetricsRegistry::Global().WriteJsonFile(metrics_path),
+        "metrics dump written");
+
+  const std::string report = ReadFile(report_path);
+  Check(!report.empty(), "run report exists");
+  Check(obs::JsonlValid(report), "run report is valid JSONL");
+  Check(Contains(report, "\"type\":\"run_start\""), "report has run_start");
+  Check(Contains(report, "\"loss\""), "report has per-epoch loss");
+  Check(Contains(report, "\"valid_auc\""), "report has per-epoch valid AUC");
+  Check(Contains(report, "phase_ms/forward"), "report has forward phase time");
+  Check(Contains(report, "phase_ms/backward"),
+        "report has backward phase time");
+  Check(Contains(report, "phase_ms/optimizer"),
+        "report has optimizer phase time");
+  Check(Contains(report, "phase_ms/eval"), "report has eval phase time");
+  Check(Contains(report, "samples_per_sec"), "report has throughput");
+  Check(Contains(report, "peak_live_tensor_nodes"),
+        "report has peak tensor allocation count");
+
+  const std::string trace = ReadFile(trace_path);
+  Check(!trace.empty(), "trace file exists");
+  Check(obs::JsonValid(trace), "trace file is valid JSON");
+  Check(Contains(trace, "\"traceEvents\""), "trace has traceEvents");
+  Check(Contains(trace, "trainer/fit"), "trace covers trainer/fit");
+  Check(Contains(trace, "trainer/epoch"), "trace covers trainer/epoch");
+  Check(Contains(trace, "data/make_batch"), "trace covers batching");
+  Check(Contains(trace, "nn/matmul"), "trace covers matmul kernel");
+  Check(Contains(trace, "nn/embedding_lookup"),
+        "trace covers embedding gather");
+
+  const std::string metrics = ReadFile(metrics_path);
+  Check(obs::JsonValid(metrics), "metrics dump is valid JSON");
+  Check(Contains(metrics, "trainer/steps"), "metrics has step counter");
+  Check(Contains(metrics, "span/trainer/fit"), "metrics has fit span");
+  Check(Contains(metrics, "\"p99\""), "metrics has quantile summaries");
+
+  std::remove(report_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "obs_smoke: %d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("obs_smoke: all checks passed\n");
+  return 0;
+}

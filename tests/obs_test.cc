@@ -1,0 +1,344 @@
+// Unit tests for the telemetry subsystem (src/obs): counter/gauge/histogram
+// semantics, quantile correctness on known distributions, span nesting,
+// trace-event JSON well-formedness, concurrent recording, and registry
+// isolation between tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace miss::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Every test starts from an empty registry and a known enabled state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    SetEnabled(false);
+  }
+  void TearDown() override {
+    StopTracing();
+    MetricsRegistry::Global().Reset();
+    SetEnabled(false);
+  }
+};
+
+// -- JSON utilities ----------------------------------------------------------
+
+TEST_F(ObsTest, JsonWriterProducesValidNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("x \"quoted\"\n");
+  w.Key("vals").BeginArray();
+  w.Number(1.5).Int(-7).Bool(true);
+  w.BeginObject().Key("k").String("v").EndObject();
+  w.EndArray();
+  w.Key("empty").BeginObject().EndObject();
+  w.EndObject();
+  const std::string doc = w.str();
+  EXPECT_TRUE(JsonValid(doc)) << doc;
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonValidRejectsMalformedInput) {
+  EXPECT_TRUE(JsonValid("{}"));
+  EXPECT_TRUE(JsonValid("[1, 2.5e-3, \"a\", null, true]"));
+  EXPECT_TRUE(JsonValid("  {\"a\": [1]}  "));
+  EXPECT_FALSE(JsonValid(""));
+  EXPECT_FALSE(JsonValid("{"));
+  EXPECT_FALSE(JsonValid("{\"a\":}"));
+  EXPECT_FALSE(JsonValid("[1,]"));
+  EXPECT_FALSE(JsonValid("{\"a\":1} extra"));
+  EXPECT_FALSE(JsonValid("01"));
+  EXPECT_FALSE(JsonValid("\"unterminated"));
+  EXPECT_FALSE(JsonValid("nul"));
+}
+
+TEST_F(ObsTest, JsonNumberMapsNonFiniteToNull) {
+  EXPECT_EQ(JsonNumber(2.0), "2");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+  EXPECT_TRUE(JsonValid(JsonNumber(0.1)));
+}
+
+// -- Counter / Gauge ---------------------------------------------------------
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test/counter");
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test/counter").value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, CounterIsThreadSafe) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test/concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("test/gauge");
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+// -- Histogram ---------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBasicStats) {
+  Histogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(3.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOnUniformDistribution) {
+  // Linear unit-width buckets: quantile error is bounded by one bucket.
+  std::vector<double> bounds;
+  for (double b = 0.0; b <= 101.0; b += 1.0) bounds.push_back(b);
+  Histogram h(std::move(bounds));
+  for (int v = 1; v <= 100; ++v) h.Record(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.Quantile(0.50), 50.5, 1.5);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST_F(ObsTest, HistogramQuantilesOnSkewedDistribution) {
+  // 99 fast ops at ~1ms, one slow op at ~500ms: p50 must stay near 1,
+  // p99 must land in the slow bucket.
+  Histogram h;  // default exponential bounds
+  for (int i = 0; i < 99; ++i) h.Record(1.0);
+  h.Record(500.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_LT(s.p50, 2.5);
+  EXPECT_GT(s.p99, 250.0);
+  EXPECT_DOUBLE_EQ(s.max, 500.0);
+}
+
+TEST_F(ObsTest, HistogramSingleValue) {
+  Histogram h;
+  h.Record(7.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.p50, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketClampsToMax) {
+  Histogram h({1.0, 2.0});  // everything above 2 overflows
+  h.Record(10.0);
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().max, 100.0);
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecording) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test/hist");
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kThreads * kRecordsPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  // Sum of t+1 over threads, times records per thread.
+  EXPECT_DOUBLE_EQ(s.sum, kRecordsPerThread * (1.0 + 8.0) * 8.0 / 2.0);
+}
+
+// -- Registry ----------------------------------------------------------------
+
+TEST_F(ObsTest, RegistryResetClearsEverything) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("a").Add(1);
+  reg.GetGauge("b").Set(2.0);
+  reg.GetHistogram("c").Record(3.0);
+  EXPECT_EQ(reg.CounterNames().size(), 1u);
+  reg.Reset();
+  EXPECT_TRUE(reg.CounterNames().empty());
+  EXPECT_TRUE(reg.GaugeNames().empty());
+  EXPECT_TRUE(reg.HistogramNames().empty());
+  // Re-created metrics start from zero.
+  EXPECT_EQ(reg.GetCounter("a").value(), 0);
+}
+
+TEST_F(ObsTest, RegistryToJsonIsValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("trainer/steps").Add(12);
+  reg.GetGauge("trainer/samples_per_sec").Set(1234.5);
+  reg.GetHistogram("span/nn/matmul").Record(0.25);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"trainer/steps\":12"), std::string::npos);
+  EXPECT_NE(json.find("span/nn/matmul"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// -- Spans -------------------------------------------------------------------
+
+TEST_F(ObsTest, SpanDisabledRecordsNothing) {
+  SetEnabled(false);
+  { MISS_TRACE_SCOPE("test/disabled"); }
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetHistogram("span/test/disabled").count(), 0);
+}
+
+TEST_F(ObsTest, NestedSpansRecordSeparateHistograms) {
+  SetEnabled(true);
+  {
+    MISS_TRACE_SCOPE("test/outer");
+    MISS_TRACE_SCOPE("test/inner");  // same scope: nested lifetime
+    {
+      MISS_TRACE_SCOPE("test/inner");  // deeper nesting, same name
+    }
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const HistogramSnapshot outer =
+      reg.GetHistogram("span/test/outer").Snapshot();
+  const HistogramSnapshot inner =
+      reg.GetHistogram("span/test/inner").Snapshot();
+  EXPECT_EQ(outer.count, 1);
+  EXPECT_EQ(inner.count, 2);
+  // The outer span encloses both inner spans.
+  EXPECT_GE(outer.max, inner.max);
+}
+
+TEST_F(ObsTest, TraceFileIsWellFormedJson) {
+  SetEnabled(true);
+  const std::string path = ::testing::TempDir() + "/miss_obs_test_trace.json";
+  StartTracing(path);
+  ASSERT_TRUE(TracingActive());
+  {
+    MISS_TRACE_SCOPE("test/traced_outer");
+    MISS_TRACE_SCOPE("test/traced \"inner\"");
+  }
+  StopTracing();
+  EXPECT_FALSE(TracingActive());
+
+  const std::string content = ReadFile(path);
+  ASSERT_FALSE(content.empty());
+  EXPECT_TRUE(JsonValid(content)) << content;
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("test/traced_outer"), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, EmptyTraceFileIsStillValid) {
+  const std::string path = ::testing::TempDir() + "/miss_obs_empty_trace.json";
+  StartTracing(path);
+  StopTracing();
+  EXPECT_TRUE(JsonValid(ReadFile(path)));
+  std::remove(path.c_str());
+}
+
+// -- Run reporter ------------------------------------------------------------
+
+TEST_F(ObsTest, RunReporterJsonlRoundTrip) {
+  RunReporter reporter("unit_test_run");
+  reporter.AddConfig("model", "din");
+  reporter.AddConfig("epochs", static_cast<int64_t>(2));
+  reporter.AddConfig("learning_rate", 1e-3);
+  reporter.LogEpoch(1, {{"loss", 0.61}, {"valid_auc", 0.71}});
+  reporter.LogEpoch(2, {{"loss", 0.55}, {"valid_auc", 0.74}});
+  reporter.SetSummary("samples_per_sec", 5120.0);
+  reporter.SetSummary("phase_ms/forward", 123.4);
+
+  const std::string jsonl = reporter.ToJsonl();
+  EXPECT_TRUE(JsonlValid(jsonl)) << jsonl;
+  // run_start + 2 epochs + run_end.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 4);
+  EXPECT_NE(jsonl.find("\"type\":\"run_start\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"valid_auc\":0.74"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"run_end\""), std::string::npos);
+  EXPECT_NE(jsonl.find("samples_per_sec"), std::string::npos);
+}
+
+TEST_F(ObsTest, RunReporterAppendsAcrossRuns) {
+  const std::string path = ::testing::TempDir() + "/miss_obs_report.jsonl";
+  std::remove(path.c_str());
+  RunReporter first("run_a");
+  first.LogEpoch(1, {{"loss", 1.0}});
+  ASSERT_TRUE(first.AppendJsonl(path));
+  RunReporter second("run_b");
+  second.LogEpoch(1, {{"loss", 0.5}});
+  ASSERT_TRUE(second.AppendJsonl(path));
+
+  const std::string content = ReadFile(path);
+  EXPECT_TRUE(JsonlValid(content));
+  EXPECT_NE(content.find("run_a"), std::string::npos);
+  EXPECT_NE(content.find("run_b"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, RunReporterCsvHasUnionHeader) {
+  RunReporter reporter("csv_run");
+  reporter.LogEpoch(1, {{"loss", 1.0}});
+  reporter.LogEpoch(2, {{"loss", 0.9}, {"valid_auc", 0.7}});
+  const std::string csv = reporter.ToCsv();
+  EXPECT_NE(csv.find("epoch,loss,valid_auc"), std::string::npos);
+  // Row 1 has no valid_auc: trailing empty cell.
+  EXPECT_NE(csv.find("1,1,\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,0.9"), std::string::npos);
+}
+
+// -- Registry dump to file ---------------------------------------------------
+
+TEST_F(ObsTest, WriteJsonFileRoundTrip) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("x").Add(3);
+  const std::string path = ::testing::TempDir() + "/miss_obs_metrics.json";
+  ASSERT_TRUE(reg.WriteJsonFile(path));
+  EXPECT_TRUE(JsonValid(ReadFile(path)));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace miss::obs
