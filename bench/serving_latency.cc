@@ -1,0 +1,251 @@
+// Serving-engine throughput/latency bench (the serving runtime's perf
+// contract): compares single-sample scoring on the tape-building path, the
+// tape-free InferenceScope path, and the micro-batching serve::Engine under
+// closed-loop producer load. Emits BENCH_serving_latency.json with qps and
+// exact (sorted-sample) p50/p95/p99 per engine configuration plus the
+// headline engine-vs-tape speedup, which must stay >= 3x.
+//
+// Env knobs: MISS_SERVE_REQUESTS (default 2000) requests per measurement,
+// MISS_SERVE_PRODUCERS (default 64) closed-loop producer threads.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/tensor.h"
+#include "obs/trace.h"
+#include "serve/engine.h"
+
+namespace miss {
+namespace {
+
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Exact quantile of a sorted sample set; q in [0, 1].
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct SingleLoopResult {
+  double qps = 0.0;
+  double checksum = 0.0;  // keeps the forwards from being optimized away
+};
+
+// Scores `num_requests` single samples one at a time on the calling thread.
+SingleLoopResult SingleSampleLoop(models::CtrModel& model,
+                                  const data::Dataset& dataset,
+                                  int64_t num_requests, bool inference_mode) {
+  SingleLoopResult result;
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t i = 0; i < num_requests; ++i) {
+    std::unique_ptr<nn::InferenceScope> scope;
+    if (inference_mode) scope = std::make_unique<nn::InferenceScope>();
+    data::Batch one = data::MakeBatch(dataset, {i % dataset.size()});
+    nn::Tensor logit = model.Forward(one, /*training=*/false);
+    result.checksum += SigmoidF(logit.at(0));
+  }
+  const double secs =
+      static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  result.qps = static_cast<double>(num_requests) / secs;
+  return result;
+}
+
+struct EngineRunResult {
+  double saturated_qps = 0.0;  // open-loop: queue pre-filled, full batches
+  double closed_qps = 0.0;     // closed-loop: one request in flight/producer
+  double p50_ms = 0.0;         // closed-loop round-trip percentiles (exact)
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Open-loop saturation: submit every request before collecting any result,
+// so workers always find full batches and no producer sleeps on a future
+// while scoring runs. This is the engine's peak throughput.
+double SaturatedQps(models::CtrModel& model, const data::Dataset& dataset,
+                    const serve::EngineConfig& config, int64_t num_requests) {
+  serve::Engine engine(model, config);
+  std::vector<std::future<float>> futures;
+  futures.reserve(num_requests);
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t i = 0; i < num_requests; ++i) {
+    futures.push_back(engine.Submit(dataset.samples[i % dataset.size()]));
+  }
+  for (std::future<float>& f : futures) f.get();
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  engine.Shutdown();
+  return static_cast<double>(num_requests) / secs;
+}
+
+// Closed-loop load: `num_producers` threads each submit one request, block on
+// its future, record the exact round-trip, and immediately submit the next —
+// so up to `num_producers` requests are in flight and the batcher has real
+// coalescing opportunities.
+EngineRunResult RunEngine(models::CtrModel& model,
+                          const data::Dataset& dataset,
+                          const serve::EngineConfig& config,
+                          int64_t num_requests, int num_producers) {
+  serve::Engine engine(model, config);
+  std::vector<std::vector<double>> latencies_ms(num_producers);
+  std::atomic<int64_t> next_request{0};
+
+  const int64_t start_ns = obs::NowNs();
+  std::vector<std::thread> producers;
+  producers.reserve(num_producers);
+  for (int t = 0; t < num_producers; ++t) {
+    producers.emplace_back([&, t] {
+      while (true) {
+        const int64_t i = next_request.fetch_add(1);
+        if (i >= num_requests) return;
+        const int64_t t0 = obs::NowNs();
+        std::future<float> f =
+            engine.Submit(dataset.samples[i % dataset.size()]);
+        f.get();
+        latencies_ms[t].push_back(
+            static_cast<double>(obs::NowNs() - t0) / 1e6);
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  engine.Shutdown();
+
+  std::vector<double> all;
+  all.reserve(num_requests);
+  for (const std::vector<double>& v : latencies_ms) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  EngineRunResult result;
+  result.closed_qps = static_cast<double>(num_requests) / secs;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p95_ms = Percentile(all, 0.95);
+  result.p99_ms = Percentile(all, 0.99);
+  result.saturated_qps =
+      SaturatedQps(model, dataset, config, num_requests);
+  return result;
+}
+
+int Main() {
+  common::SetMinLogLevel(common::LogLevel::kWarning);
+  const int64_t num_requests =
+      common::GetEnvInt("MISS_SERVE_REQUESTS", 2000);
+  const int num_producers =
+      static_cast<int>(common::GetEnvInt("MISS_SERVE_PRODUCERS", 64));
+
+  data::SyntheticConfig data_config = data::SyntheticConfig::Tiny();
+  data_config.num_users = 400;  // enough distinct traffic to cycle through
+  data::DatasetBundle bundle = data::GenerateSynthetic(data_config);
+  const data::Dataset& traffic = bundle.test;
+
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 42);
+
+  bench::BenchReport report("serving_latency");
+  report.AddConfig("model", std::string("din"));
+  report.AddConfig("requests", static_cast<double>(num_requests));
+  report.AddConfig("producers", static_cast<double>(num_producers));
+
+  // Warm up caches/allocator before any timed section.
+  SingleSampleLoop(*model, traffic, 64, /*inference_mode=*/true);
+
+  std::printf("serving latency bench: %ld requests, %d producers\n\n",
+              static_cast<long>(num_requests), num_producers);
+
+  const SingleLoopResult tape =
+      SingleSampleLoop(*model, traffic, num_requests,
+                       /*inference_mode=*/false);
+  std::printf("%-34s %10.0f qps\n", "single-sample, tape-building",
+              tape.qps);
+  report.AddMetric("tape_single_qps", tape.qps);
+
+  const SingleLoopResult inference =
+      SingleSampleLoop(*model, traffic, num_requests,
+                       /*inference_mode=*/true);
+  std::printf("%-34s %10.0f qps\n", "single-sample, inference mode",
+              inference.qps);
+  report.AddMetric("inference_single_qps", inference.qps);
+
+  // Ideal batching ceiling: hand-rolled batch-64 scoring with zero queueing
+  // or thread hand-off. The engine's throughput gap to this number is its
+  // coordination overhead.
+  {
+    constexpr int64_t kDirectBatch = 64;
+    double checksum = 0.0;
+    const int64_t start_ns = obs::NowNs();
+    int64_t scored = 0;
+    std::vector<int64_t> indices(kDirectBatch);
+    while (scored < num_requests) {
+      for (int64_t i = 0; i < kDirectBatch; ++i) {
+        indices[i] = (scored + i) % traffic.size();
+      }
+      data::Batch b = data::MakeBatch(traffic, indices);
+      nn::InferenceScope scope;
+      nn::Tensor logits = model->Forward(b, /*training=*/false);
+      checksum += SigmoidF(logits.at(0));
+      scored += kDirectBatch;
+    }
+    const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+    const double qps = static_cast<double>(scored) / secs;
+    std::printf("%-34s %10.0f qps   (checksum %.3f)\n",
+                "direct batch-64, inference mode", qps, checksum);
+    report.AddMetric("direct_batch64_qps", qps);
+  }
+
+  struct NamedConfig {
+    const char* tag;
+    serve::EngineConfig config;
+  };
+  const NamedConfig configs[] = {
+      {"engine_w1_b1_d0", {1, 1, 0}},
+      {"engine_w1_b32_d200", {1, 32, 200}},
+      {"engine_w1_b64_d500", {1, 64, 500}},
+      {"engine_w2_b32_d200", {2, 32, 200}},
+      {"engine_w2_b128_d1000", {2, 128, 1000}},
+      {"engine_w1_b256_d1000", {1, 256, 1000}},
+  };
+
+  double best_engine_qps = 0.0;
+  for (const NamedConfig& nc : configs) {
+    const EngineRunResult r =
+        RunEngine(*model, traffic, nc.config, num_requests, num_producers);
+    std::printf(
+        "%-26s %8.0f qps sat.  %8.0f qps closed   p50 %.3f ms   "
+        "p95 %.3f ms   p99 %.3f ms\n",
+        nc.tag, r.saturated_qps, r.closed_qps, r.p50_ms, r.p95_ms, r.p99_ms);
+    report.AddMetric(std::string(nc.tag) + "_saturated_qps", r.saturated_qps);
+    report.AddMetric(std::string(nc.tag) + "_qps", r.closed_qps);
+    report.AddMetric(std::string(nc.tag) + "_p50_ms", r.p50_ms);
+    report.AddMetric(std::string(nc.tag) + "_p95_ms", r.p95_ms);
+    report.AddMetric(std::string(nc.tag) + "_p99_ms", r.p99_ms);
+    best_engine_qps = std::max(best_engine_qps, r.saturated_qps);
+  }
+
+  const double speedup = best_engine_qps / tape.qps;
+  std::printf("\nbest engine throughput vs tape-building path: %.2fx "
+              "(target >= 3x)\n",
+              speedup);
+  report.AddMetric("speedup_vs_tape", speedup);
+  report.Write();
+  return speedup >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace miss
+
+int main() { return miss::Main(); }

@@ -58,6 +58,17 @@ class CtrModel : public nn::Module {
   const data::DatasetSchema& schema() const { return embeddings_->schema(); }
   const ModelConfig& config() const { return config_; }
 
+  // The models::CreateModel key and seed this instance was built from,
+  // recorded by the factory (key is "" for directly constructed models).
+  // Serving bundles persist them so a fresh process can rebuild the exact
+  // same architecture before warm-loading the checkpoint.
+  const std::string& factory_key() const { return factory_key_; }
+  uint64_t factory_seed() const { return factory_seed_; }
+  void SetFactoryOrigin(std::string key, uint64_t seed) {
+    factory_key_ = std::move(key);
+    factory_seed_ = seed;
+  }
+
  protected:
   common::Rng& init_rng() { return init_rng_; }
   common::Rng& dropout_rng() { return dropout_rng_; }
@@ -71,6 +82,8 @@ class CtrModel : public nn::Module {
   common::Rng init_rng_;
   common::Rng dropout_rng_;
   std::unique_ptr<EmbeddingSet> embeddings_;
+  std::string factory_key_;
+  uint64_t factory_seed_ = 0;
 };
 
 }  // namespace miss::models

@@ -9,10 +9,11 @@
 
 namespace miss::models {
 
-std::unique_ptr<CtrModel> CreateModel(const std::string& name,
-                                      const data::DatasetSchema& schema,
-                                      const ModelConfig& config,
-                                      uint64_t seed) {
+namespace {
+
+std::unique_ptr<CtrModel> Build(const std::string& name,
+                                const data::DatasetSchema& schema,
+                                const ModelConfig& config, uint64_t seed) {
   if (name == "lr") return std::make_unique<LrModel>(schema, config, seed);
   if (name == "fm") return std::make_unique<FmModel>(schema, config, seed);
   if (name == "deepfm") {
@@ -48,6 +49,17 @@ std::unique_ptr<CtrModel> CreateModel(const std::string& name,
   }
   MISS_CHECK(false) << "unknown model name: " << name;
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<CtrModel> CreateModel(const std::string& name,
+                                      const data::DatasetSchema& schema,
+                                      const ModelConfig& config,
+                                      uint64_t seed) {
+  std::unique_ptr<CtrModel> model = Build(name, schema, config, seed);
+  model->SetFactoryOrigin(name, seed);
+  return model;
 }
 
 std::vector<std::string> KnownModelNames() {

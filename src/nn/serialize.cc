@@ -4,12 +4,18 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
+
+#include "common/logging.h"
 
 namespace miss::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'I', 'S', 'S', 'C', 'K', 'P', 'T'};
+// First 7 header bytes. The 8th byte is the version: kCheckpointVersion for
+// current files, 'T' for legacy files whose magic was "MISSCKPT".
+constexpr char kMagic[7] = {'M', 'I', 'S', 'S', 'C', 'K', 'P'};
+constexpr uint8_t kLegacyVersion = 'T';
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -26,27 +32,61 @@ bool ReadBytes(std::FILE* f, void* data, size_t n) {
   return std::fread(data, 1, n, f) == n;
 }
 
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ",";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool WriteTo(std::FILE* f, const std::vector<Tensor>& params) {
+  if (!WriteBytes(f, kMagic, sizeof(kMagic))) return false;
+  const uint8_t version = kCheckpointVersion;
+  if (!WriteBytes(f, &version, sizeof(version))) return false;
+  const uint64_t count = params.size();
+  if (!WriteBytes(f, &count, sizeof(count))) return false;
+
+  for (const Tensor& p : params) {
+    const uint64_t ndim = p.shape().size();
+    if (!WriteBytes(f, &ndim, sizeof(ndim))) return false;
+    if (!WriteBytes(f, p.shape().data(), ndim * sizeof(int64_t))) {
+      return false;
+    }
+    if (!WriteBytes(f, p.value().data(), p.value().size() * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveParameters(const std::vector<Tensor>& params,
                     const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return false;
-
-  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic))) return false;
-  const uint64_t count = params.size();
-  if (!WriteBytes(f.get(), &count, sizeof(count))) return false;
-
-  for (const Tensor& p : params) {
-    const uint64_t ndim = p.shape().size();
-    if (!WriteBytes(f.get(), &ndim, sizeof(ndim))) return false;
-    if (!WriteBytes(f.get(), p.shape().data(), ndim * sizeof(int64_t))) {
+  // Stream to a sibling and rename into place so a crash mid-save can never
+  // truncate an existing checkpoint at `path`.
+  const std::string tmp_path = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp_path.c_str(), "wb"));
+    if (f == nullptr) return false;
+    if (!WriteTo(f.get(), params)) {
+      f.reset();
+      std::remove(tmp_path.c_str());
       return false;
     }
-    if (!WriteBytes(f.get(), p.value().data(),
-                    p.value().size() * sizeof(float))) {
+    if (std::fflush(f.get()) != 0) {
+      f.reset();
+      std::remove(tmp_path.c_str());
       return false;
     }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
   }
   return true;
 }
@@ -56,14 +96,26 @@ bool LoadParameters(const std::vector<Tensor>& params,
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) return false;
 
-  char magic[8];
+  char magic[7];
   if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return false;
   }
+  uint8_t version = 0;
+  if (!ReadBytes(f.get(), &version, sizeof(version))) return false;
+  if (version != kCheckpointVersion && version != kLegacyVersion) {
+    MISS_LOG(WARNING) << "checkpoint " << path
+                      << ": unsupported format version "
+                      << static_cast<int>(version);
+    return false;
+  }
   uint64_t count = 0;
   if (!ReadBytes(f.get(), &count, sizeof(count))) return false;
-  if (count != params.size()) return false;
+  if (count != params.size()) {
+    MISS_LOG(WARNING) << "checkpoint " << path << ": holds " << count
+                      << " tensors but the model expects " << params.size();
+    return false;
+  }
 
   // Stage everything first so a partial read can't corrupt the model.
   std::vector<std::vector<float>> staged(params.size());
@@ -74,7 +126,13 @@ bool LoadParameters(const std::vector<Tensor>& params,
     if (!ReadBytes(f.get(), shape.data(), ndim * sizeof(int64_t))) {
       return false;
     }
-    if (shape != params[i].shape()) return false;
+    if (shape != params[i].shape()) {
+      MISS_LOG(WARNING) << "checkpoint " << path << ": tensor " << i
+                        << " has shape " << ShapeToString(shape)
+                        << " but the model expects "
+                        << params[i].ShapeString();
+      return false;
+    }
     staged[i].resize(params[i].size());
     if (!ReadBytes(f.get(), staged[i].data(),
                    staged[i].size() * sizeof(float))) {

@@ -4,15 +4,23 @@
 // Module::Parameters()), which is deterministic for a given model
 // configuration. The binary format is:
 //
-//   magic "MISSCKPT" | uint64 tensor_count
+//   magic "MISSCKP" | uint8 version | uint64 tensor_count
 //   per tensor: uint64 ndim | int64 shape[ndim] | float data[numel]
 //
-// Little-endian, float32. Loading validates shapes and fails (returns
-// false) on any mismatch without modifying the target tensors.
+// Little-endian, float32. The version byte is 0x01 for files written today;
+// legacy files (written before the header carried a version) spell
+// "MISSCKPT" — their eighth byte 'T' is accepted as the legacy version and
+// the payload layout is identical, so old checkpoints keep loading.
+//
+// Writes are atomic: SaveParameters streams to a ".tmp" sibling and renames
+// it into place, so a crash mid-save never corrupts an existing checkpoint.
+// Loading validates shapes and fails (returns false) on any mismatch
+// without modifying the target tensors.
 
 #ifndef MISS_NN_SERIALIZE_H_
 #define MISS_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,13 +28,18 @@
 
 namespace miss::nn {
 
-// Writes `params` to `path`. Returns false on I/O failure.
+// Current checkpoint format version (see file comment for the history).
+inline constexpr uint8_t kCheckpointVersion = 0x01;
+
+// Writes `params` to `path` via a temporary sibling + rename. Returns false
+// on I/O failure (the temporary is cleaned up; `path` is left untouched).
 bool SaveParameters(const std::vector<Tensor>& params,
                     const std::string& path);
 
 // Reads a checkpoint into `params` (shapes must match exactly, in order).
-// Returns false on I/O failure, bad magic, or any shape mismatch; in that
-// case no tensor is modified.
+// Returns false on I/O failure, bad magic/version, or any shape mismatch —
+// logging which tensor index and shapes diverged — and in that case no
+// tensor is modified.
 bool LoadParameters(const std::vector<Tensor>& params,
                     const std::string& path);
 

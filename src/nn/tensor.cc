@@ -12,7 +12,16 @@ namespace {
 std::atomic<int64_t> g_total_nodes{0};
 std::atomic<int64_t> g_live_nodes{0};
 std::atomic<int64_t> g_peak_live_nodes{0};
+
+// Nesting depth of InferenceScope on this thread; > 0 disables the tape.
+thread_local int t_inference_depth = 0;
 }  // namespace
+
+InferenceScope::InferenceScope() { ++t_inference_depth; }
+
+InferenceScope::~InferenceScope() { --t_inference_depth; }
+
+bool InferenceMode() { return t_inference_depth > 0; }
 
 namespace internal {
 
@@ -137,6 +146,7 @@ Tensor MakeResult(std::vector<int64_t> shape, std::vector<float> value,
                   std::vector<Tensor> parents,
                   std::function<void(Node&)> backward) {
   Tensor out = Tensor::FromData(std::move(shape), std::move(value));
+  if (InferenceMode()) return out;  // forward-only: never build the tape
   bool needs_grad = false;
   for (const Tensor& p : parents) {
     if (p.defined() && p.requires_grad()) {

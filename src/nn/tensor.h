@@ -135,6 +135,29 @@ class Tensor {
 // Number of elements described by a shape.
 int64_t NumElements(const std::vector<int64_t>& shape);
 
+// Scoped forward-only mode: while any InferenceScope is alive on the current
+// thread, ops skip tape construction entirely — results carry no parent
+// edges, no backward closures, and requires_grad == false even when inputs
+// are parameters. Intermediates are therefore freed as soon as their handles
+// go out of scope, so a forward pass allocates only its live activations.
+// The flag is thread-local: serving workers run under their own scope while
+// a trainer thread keeps building tapes. Scopes nest.
+//
+//   {
+//     nn::InferenceScope guard;
+//     nn::Tensor logits = model.Forward(batch, /*training=*/false);
+//   }  // tape-free; Backward() on `logits` would abort
+class InferenceScope {
+ public:
+  InferenceScope();
+  ~InferenceScope();
+  InferenceScope(const InferenceScope&) = delete;
+  InferenceScope& operator=(const InferenceScope&) = delete;
+};
+
+// True when an InferenceScope is active on the calling thread.
+bool InferenceMode();
+
 // Runs reverse-mode differentiation from `loss` (any shape; the seed
 // gradient is 1 for every element). Gradients accumulate into each
 // requires_grad node reachable from `loss`.

@@ -130,10 +130,30 @@ JsonWriter& JsonWriter::Bool(bool v) {
 }
 
 // ---------------------------------------------------------------------------
-// Validating recursive-descent parser (well-formedness only).
+// Recursive-descent parser. One implementation serves both JsonValid
+// (out == nullptr: well-formedness only, no allocation beyond the stack) and
+// JsonParse (out != nullptr: builds a JsonValue tree).
 // ---------------------------------------------------------------------------
 
 namespace {
+
+void AppendUtf8(std::string& s, uint32_t cp) {
+  if (cp < 0x80) {
+    s += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    s += static_cast<char>(0xC0 | (cp >> 6));
+    s += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    s += static_cast<char>(0xE0 | (cp >> 12));
+    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    s += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    s += static_cast<char>(0xF0 | (cp >> 18));
+    s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    s += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
 
 struct Parser {
   const char* p;
@@ -156,7 +176,22 @@ struct Parser {
     return true;
   }
 
-  bool ParseString() {
+  // Reads exactly 4 hex digits into *cp.
+  bool HexQuad(uint32_t* cp) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+        return false;
+      const char c = *p++;
+      v = v * 16 + (c <= '9'   ? static_cast<uint32_t>(c - '0')
+                    : c <= 'F' ? static_cast<uint32_t>(c - 'A' + 10)
+                               : static_cast<uint32_t>(c - 'a' + 10));
+    }
+    *cp = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
     if (p >= end || *p != '"') return false;
     ++p;
     while (p < end) {
@@ -172,20 +207,43 @@ struct Parser {
           case '"':
           case '\\':
           case '/':
+            if (out != nullptr) *out += *p;
+            ++p;
+            break;
           case 'b':
+            if (out != nullptr) *out += '\b';
+            ++p;
+            break;
           case 'f':
+            if (out != nullptr) *out += '\f';
+            ++p;
+            break;
           case 'n':
+            if (out != nullptr) *out += '\n';
+            ++p;
+            break;
           case 'r':
+            if (out != nullptr) *out += '\r';
+            ++p;
+            break;
           case 't':
+            if (out != nullptr) *out += '\t';
             ++p;
             break;
           case 'u': {
             ++p;
-            for (int i = 0; i < 4; ++i) {
-              if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
-                return false;
-              ++p;
+            uint32_t cp = 0;
+            if (!HexQuad(&cp)) return false;
+            // Combine a high/low surrogate pair when present.
+            if (cp >= 0xD800 && cp <= 0xDBFF && p + 1 < end && p[0] == '\\' &&
+                p[1] == 'u') {
+              p += 2;
+              uint32_t low = 0;
+              if (!HexQuad(&low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) return false;
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
             }
+            if (out != nullptr) AppendUtf8(*out, cp);
             break;
           }
           default:
@@ -194,13 +252,14 @@ struct Parser {
       } else if (c < 0x20) {
         return false;  // raw control char inside string
       } else {
+        if (out != nullptr) *out += static_cast<char>(c);
         ++p;
       }
     }
     return false;  // unterminated
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(double* out) {
     const char* start = p;
     if (p < end && *p == '-') ++p;
     if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
@@ -222,41 +281,56 @@ struct Parser {
         return false;
       while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
     }
-    return p > start;
+    if (p == start) return false;
+    if (out != nullptr) *out = std::strtod(std::string(start, p).c_str(), nullptr);
+    return true;
   }
 
-  bool ParseValue() {
+  bool ParseValue(JsonValue* out) {
     if (++depth > 256) return false;
     SkipWs();
     if (p >= end) return false;
     bool ok = false;
     switch (*p) {
       case '{':
-        ok = ParseObject();
+        if (out != nullptr) out->type = JsonValue::Type::kObject;
+        ok = ParseObject(out);
         break;
       case '[':
-        ok = ParseArray();
+        if (out != nullptr) out->type = JsonValue::Type::kArray;
+        ok = ParseArray(out);
         break;
       case '"':
-        ok = ParseString();
+        if (out != nullptr) out->type = JsonValue::Type::kString;
+        ok = ParseString(out != nullptr ? &out->string : nullptr);
         break;
       case 't':
         ok = Literal("true");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = true;
+        }
         break;
       case 'f':
         ok = Literal("false");
+        if (ok && out != nullptr) {
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = false;
+        }
         break;
       case 'n':
         ok = Literal("null");
+        if (ok && out != nullptr) out->type = JsonValue::Type::kNull;
         break;
       default:
-        ok = ParseNumber();
+        if (out != nullptr) out->type = JsonValue::Type::kNumber;
+        ok = ParseNumber(out != nullptr ? &out->number : nullptr);
     }
     --depth;
     return ok;
   }
 
-  bool ParseObject() {
+  bool ParseObject(JsonValue* out) {
     ++p;  // '{'
     SkipWs();
     if (p < end && *p == '}') {
@@ -265,11 +339,17 @@ struct Parser {
     }
     while (true) {
       SkipWs();
-      if (!ParseString()) return false;
+      std::string key;
+      if (!ParseString(out != nullptr ? &key : nullptr)) return false;
       SkipWs();
       if (p >= end || *p != ':') return false;
       ++p;
-      if (!ParseValue()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->object.emplace_back(std::move(key), JsonValue());
+        slot = &out->object.back().second;
+      }
+      if (!ParseValue(slot)) return false;
       SkipWs();
       if (p < end && *p == ',') {
         ++p;
@@ -283,7 +363,7 @@ struct Parser {
     }
   }
 
-  bool ParseArray() {
+  bool ParseArray(JsonValue* out) {
     ++p;  // '['
     SkipWs();
     if (p < end && *p == ']') {
@@ -291,7 +371,12 @@ struct Parser {
       return true;
     }
     while (true) {
-      if (!ParseValue()) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->array.emplace_back();
+        slot = &out->array.back();
+      }
+      if (!ParseValue(slot)) return false;
       SkipWs();
       if (p < end && *p == ',') {
         ++p;
@@ -308,9 +393,25 @@ struct Parser {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
 bool JsonValid(const std::string& text) {
   Parser parser{text.data(), text.data() + text.size()};
-  if (!parser.ParseValue()) return false;
+  if (!parser.ParseValue(nullptr)) return false;
+  parser.SkipWs();
+  return parser.p == parser.end;
+}
+
+bool JsonParse(const std::string& text, JsonValue* out) {
+  *out = JsonValue();
+  Parser parser{text.data(), text.data() + text.size()};
+  if (!parser.ParseValue(out)) return false;
   parser.SkipWs();
   return parser.p == parser.end;
 }

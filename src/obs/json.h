@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace miss::obs {
@@ -59,6 +60,33 @@ class JsonWriter {
 // trailing whitespace). Validates structure, string escapes, and number
 // syntax; does not build a tree.
 bool JsonValid(const std::string& text);
+
+// Minimal parsed-JSON tree for reading the small documents this codebase
+// writes itself (bundle manifests, metrics dumps). One variant struct keeps
+// the API tiny; exactly one of the payload members is meaningful per type.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  // Object members in document order (duplicate keys are kept as-is).
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  // Object member lookup; nullptr when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+};
+
+// Parses exactly one JSON value (plus trailing whitespace) into `*out`.
+// Returns false on malformed input, leaving `*out` unspecified. Accepts the
+// same grammar JsonValid accepts.
+bool JsonParse(const std::string& text, JsonValue* out);
 
 // Convenience: every non-empty line of `text` must be valid JSON (the JSONL
 // convention used by run reports). Empty input is invalid.

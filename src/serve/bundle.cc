@@ -1,0 +1,260 @@
+#include "serve/bundle.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/logging.h"
+#include "models/model_factory.h"
+#include "nn/serialize.h"
+#include "obs/json.h"
+
+namespace miss::serve {
+
+namespace {
+
+void WriteFields(obs::JsonWriter& w, const std::vector<data::FieldSpec>& fields) {
+  w.BeginArray();
+  for (const data::FieldSpec& f : fields) {
+    w.BeginObject();
+    w.Key("name").String(f.name);
+    w.Key("vocab_size").Int(f.vocab_size);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+std::string ManifestJson(const models::CtrModel& model) {
+  const data::DatasetSchema& schema = model.schema();
+  const models::ModelConfig& config = model.config();
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("format_version").Int(kBundleFormatVersion);
+  w.Key("model").String(model.factory_key());
+  w.Key("seed").Int(static_cast<int64_t>(model.factory_seed()));
+
+  w.Key("schema").BeginObject();
+  w.Key("name").String(schema.name);
+  w.Key("max_seq_len").Int(schema.max_seq_len);
+  w.Key("categorical");
+  WriteFields(w, schema.categorical);
+  w.Key("sequential");
+  WriteFields(w, schema.sequential);
+  w.Key("seq_shares_table_with").BeginArray();
+  for (int shared : schema.seq_shares_table_with) w.Int(shared);
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("config").BeginObject();
+  w.Key("embedding_dim").Int(config.embedding_dim);
+  w.Key("embedding_init_stddev")
+      .Number(static_cast<double>(config.embedding_init_stddev));
+  w.Key("mlp_hidden").BeginArray();
+  for (int64_t h : config.mlp_hidden) w.Int(h);
+  w.EndArray();
+  w.Key("dropout").Number(static_cast<double>(config.dropout));
+  w.Key("cross_layers").Int(config.cross_layers);
+  w.Key("cin_sizes").BeginArray();
+  for (int64_t s : config.cin_sizes) w.Int(s);
+  w.EndArray();
+  w.Key("attention_heads").Int(config.attention_heads);
+  w.Key("attention_layers").Int(config.attention_layers);
+  w.Key("fignn_steps").Int(config.fignn_steps);
+  w.Key("sim_top_k").Int(config.sim_top_k);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+// -- Manifest readback helpers. Each returns false (without logging) on a
+// missing/mistyped key; LoadBundle reports the file-level context.
+
+bool ReadInt(const obs::JsonValue& obj, const std::string& key, int64_t* out) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) return false;
+  *out = static_cast<int64_t>(v->number);
+  return true;
+}
+
+bool ReadDouble(const obs::JsonValue& obj, const std::string& key,
+                double* out) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) return false;
+  *out = v->number;
+  return true;
+}
+
+bool ReadString(const obs::JsonValue& obj, const std::string& key,
+                std::string* out) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsString()) return false;
+  *out = v->string;
+  return true;
+}
+
+bool ReadIntArray(const obs::JsonValue& obj, const std::string& key,
+                  std::vector<int64_t>* out) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsArray()) return false;
+  out->clear();
+  for (const obs::JsonValue& e : v->array) {
+    if (!e.IsNumber()) return false;
+    out->push_back(static_cast<int64_t>(e.number));
+  }
+  return true;
+}
+
+bool ReadFields(const obs::JsonValue& obj, const std::string& key,
+                std::vector<data::FieldSpec>* out) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsArray()) return false;
+  out->clear();
+  for (const obs::JsonValue& e : v->array) {
+    data::FieldSpec spec;
+    if (!ReadString(e, "name", &spec.name)) return false;
+    if (!ReadInt(e, "vocab_size", &spec.vocab_size)) return false;
+    out->push_back(std::move(spec));
+  }
+  return true;
+}
+
+bool ParseManifest(const std::string& text, std::string* model_name,
+                   uint64_t* seed, data::DatasetSchema* schema,
+                   models::ModelConfig* config) {
+  obs::JsonValue root;
+  if (!obs::JsonParse(text, &root) || !root.IsObject()) return false;
+
+  int64_t version = 0;
+  if (!ReadInt(root, "format_version", &version)) return false;
+  if (version > kBundleFormatVersion || version < 1) {
+    MISS_LOG(WARNING) << "bundle manifest format_version " << version
+                      << " is not supported (current "
+                      << kBundleFormatVersion << ")";
+    return false;
+  }
+  if (!ReadString(root, "model", model_name)) return false;
+  int64_t seed_int = 0;
+  if (!ReadInt(root, "seed", &seed_int)) return false;
+  *seed = static_cast<uint64_t>(seed_int);
+
+  const obs::JsonValue* s = root.Find("schema");
+  if (s == nullptr || !s->IsObject()) return false;
+  if (!ReadString(*s, "name", &schema->name)) return false;
+  if (!ReadInt(*s, "max_seq_len", &schema->max_seq_len)) return false;
+  if (!ReadFields(*s, "categorical", &schema->categorical)) return false;
+  if (!ReadFields(*s, "sequential", &schema->sequential)) return false;
+  std::vector<int64_t> shared;
+  if (!ReadIntArray(*s, "seq_shares_table_with", &shared)) return false;
+  schema->seq_shares_table_with.assign(shared.begin(), shared.end());
+
+  const obs::JsonValue* c = root.Find("config");
+  if (c == nullptr || !c->IsObject()) return false;
+  double stddev = 0.0;
+  double dropout = 0.0;
+  if (!ReadInt(*c, "embedding_dim", &config->embedding_dim)) return false;
+  if (!ReadDouble(*c, "embedding_init_stddev", &stddev)) return false;
+  if (!ReadIntArray(*c, "mlp_hidden", &config->mlp_hidden)) return false;
+  if (!ReadDouble(*c, "dropout", &dropout)) return false;
+  if (!ReadInt(*c, "cross_layers", &config->cross_layers)) return false;
+  if (!ReadIntArray(*c, "cin_sizes", &config->cin_sizes)) return false;
+  if (!ReadInt(*c, "attention_heads", &config->attention_heads)) return false;
+  if (!ReadInt(*c, "attention_layers", &config->attention_layers)) {
+    return false;
+  }
+  if (!ReadInt(*c, "fignn_steps", &config->fignn_steps)) return false;
+  if (!ReadInt(*c, "sim_top_k", &config->sim_top_k)) return false;
+  config->embedding_init_stddev = static_cast<float>(stddev);
+  config->dropout = static_cast<float>(dropout);
+  return true;
+}
+
+}  // namespace
+
+bool SaveBundle(const models::CtrModel& model, const std::string& dir) {
+  if (model.factory_key().empty()) {
+    MISS_LOG(WARNING) << "SaveBundle: model " << model.name()
+                      << " was not built by models::CreateModel; no factory "
+                         "key to record";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    MISS_LOG(WARNING) << "SaveBundle: cannot create " << dir << ": "
+                      << ec.message();
+    return false;
+  }
+
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  {
+    std::ofstream out(manifest_path, std::ios::trunc);
+    if (!out) {
+      MISS_LOG(WARNING) << "SaveBundle: cannot write " << manifest_path;
+      return false;
+    }
+    out << ManifestJson(model) << "\n";
+    if (!out.flush()) {
+      MISS_LOG(WARNING) << "SaveBundle: short write to " << manifest_path;
+      return false;
+    }
+  }
+
+  const std::string params_path = dir + "/" + kParamsFileName;
+  if (!nn::SaveParameters(model.Parameters(), params_path)) {
+    MISS_LOG(WARNING) << "SaveBundle: cannot write " << params_path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadBundle(const std::string& dir, Bundle* out) {
+  *out = Bundle();
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  std::ifstream in(manifest_path);
+  if (!in) {
+    MISS_LOG(WARNING) << "LoadBundle: cannot read " << manifest_path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  data::DatasetSchema schema;
+  models::ModelConfig config;
+  std::string model_name;
+  uint64_t seed = 0;
+  if (!ParseManifest(text.str(), &model_name, &seed, &schema, &config)) {
+    MISS_LOG(WARNING) << "LoadBundle: malformed manifest " << manifest_path;
+    return false;
+  }
+  schema.Validate();
+
+  bool known = false;
+  for (const std::string& name : models::KnownModelNames()) {
+    if (name == model_name) known = true;
+  }
+  if (!known) {
+    MISS_LOG(WARNING) << "LoadBundle: manifest names unknown model \""
+                      << model_name << "\"";
+    return false;
+  }
+
+  std::unique_ptr<models::CtrModel> model =
+      models::CreateModel(model_name, schema, config, seed);
+  const std::string params_path = dir + "/" + kParamsFileName;
+  if (!nn::LoadParameters(model->Parameters(), params_path)) {
+    MISS_LOG(WARNING) << "LoadBundle: checkpoint " << params_path
+                      << " does not match the manifest-built " << model_name
+                      << " (see preceding shape diagnostics)";
+    return false;
+  }
+
+  out->model = std::move(model);
+  out->model_name = model_name;
+  out->seed = seed;
+  return true;
+}
+
+}  // namespace miss::serve

@@ -1,0 +1,50 @@
+// Self-describing model bundles: one directory holding everything a fresh
+// process needs to reconstruct a trained model and score traffic with it.
+//
+//   <dir>/manifest.json   model factory key, seed, dataset schema, and the
+//                         ModelConfig hyper-parameters (JSON, format_version)
+//   <dir>/params.ckpt     the nn/serialize checkpoint of Parameters()
+//
+// SaveBundle exports a factory-built model (models::CreateModel records its
+// key/seed on the instance); LoadBundle re-reads the manifest, rebuilds the
+// identical architecture through the factory, and warm-loads the checkpoint,
+// so scores before export and after reload are bitwise identical.
+
+#ifndef MISS_SERVE_BUNDLE_H_
+#define MISS_SERVE_BUNDLE_H_
+
+#include <memory>
+#include <string>
+
+#include "models/ctr_model.h"
+
+namespace miss::serve {
+
+// Bumped when the manifest layout changes; LoadBundle rejects newer files.
+inline constexpr int64_t kBundleFormatVersion = 1;
+
+inline constexpr char kManifestFileName[] = "manifest.json";
+inline constexpr char kParamsFileName[] = "params.ckpt";
+
+// A reloaded bundle: the reconstructed model plus the manifest fields needed
+// to assemble compatible batches (the schema lives in model->schema()).
+struct Bundle {
+  std::unique_ptr<models::CtrModel> model;
+  std::string model_name;  // factory key, e.g. "din"
+  uint64_t seed = 0;
+};
+
+// Writes manifest.json + params.ckpt for `model` into `dir` (created,
+// including parents, when missing). The model must come from
+// models::CreateModel so its factory key is known. Returns false on I/O
+// failure, logging the reason.
+bool SaveBundle(const models::CtrModel& model, const std::string& dir);
+
+// Rebuilds the bundled model in-process. Returns false — logging which
+// stage failed (manifest parse, factory mismatch, checkpoint shape) — and
+// leaves `*out` empty on any error.
+bool LoadBundle(const std::string& dir, Bundle* out);
+
+}  // namespace miss::serve
+
+#endif  // MISS_SERVE_BUNDLE_H_

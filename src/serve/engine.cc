@@ -1,0 +1,147 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::serve {
+
+Engine::Engine(models::CtrModel& model, const EngineConfig& config)
+    : model_(model), config_(config) {
+  MISS_CHECK_GT(config_.num_workers, 0);
+  MISS_CHECK_GT(config_.max_batch_size, 0);
+  MISS_CHECK_GE(config_.max_queue_delay_us, 0);
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+std::future<float> Engine::Submit(data::Sample sample) {
+  Request req;
+  req.sample = std::move(sample);
+  req.enqueue_ns = obs::NowNs();
+  std::future<float> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MISS_CHECK(!stopping_) << "Engine::Submit after Shutdown";
+    queue_.push_back(std::move(req));
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve/queue_depth")
+          .Set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Engine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+int64_t Engine::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void Engine::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+
+      // Dynamic micro-batching: hold the batch open until it is full or the
+      // oldest request has aged past the configured delay. During shutdown
+      // everything queued is scored immediately.
+      const int64_t deadline_ns =
+          queue_.front().enqueue_ns + config_.max_queue_delay_us * 1000;
+      while (!stopping_ &&
+             static_cast<int64_t>(queue_.size()) < config_.max_batch_size) {
+        const int64_t now_ns = obs::NowNs();
+        if (now_ns >= deadline_ns) break;
+        cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now_ns));
+        if (queue_.empty()) break;  // another worker claimed the batch
+      }
+      if (queue_.empty()) continue;
+
+      const int64_t take =
+          std::min(static_cast<int64_t>(queue_.size()), config_.max_batch_size);
+      batch.reserve(take);
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("serve/queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
+    }
+    cv_.notify_all();  // residual requests may form another worker's batch
+    ScoreBatch(std::move(batch));
+  }
+}
+
+void Engine::ScoreBatch(std::vector<Request> batch) {
+  MISS_TRACE_SCOPE("serve/score_batch");
+  const int64_t n = static_cast<int64_t>(batch.size());
+
+  // MakeBatch wants (dataset, indices); wrap the requests in a throwaway
+  // dataset sharing the model's schema.
+  data::Dataset staging;
+  staging.schema = model_.schema();
+  staging.samples.reserve(n);
+  std::vector<int64_t> indices(n);
+  for (int64_t i = 0; i < n; ++i) {
+    staging.samples.push_back(std::move(batch[i].sample));
+    indices[i] = i;
+  }
+  data::Batch assembled = data::MakeBatch(staging, indices);
+
+  nn::Tensor logits;
+  {
+    nn::InferenceScope inference;
+    logits = model_.Forward(assembled, /*training=*/false);
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = logits.at(i);
+    batch[i].promise.set_value(1.0f / (1.0f + std::exp(-x)));
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("serve/requests").Add(n);
+    reg.GetCounter("serve/batches").Add(1);
+    reg.GetHistogram("serve/batch_size").Record(static_cast<double>(n));
+    obs::Histogram& latency = reg.GetHistogram("serve/latency_ms");
+    const int64_t done_ns = obs::NowNs();
+    for (int64_t i = 0; i < n; ++i) {
+      latency.Record(static_cast<double>(done_ns - batch[i].enqueue_ns) / 1e6);
+    }
+  }
+}
+
+}  // namespace miss::serve

@@ -1,0 +1,94 @@
+// Concurrent scoring engine with dynamic micro-batching.
+//
+// Callers submit single data::Sample requests from any thread and receive
+// std::future<float> click probabilities. A pool of worker threads drains a
+// shared queue: each worker coalesces requests until either max_batch_size
+// are waiting or the oldest request has waited max_queue_delay_us, assembles
+// them with data::MakeBatch, and runs ONE forward pass under
+// nn::InferenceScope (tape-free, activations only). Per-sample results are
+// independent of batch composition — every op in the engine is row-wise over
+// the batch axis and padding is fixed by schema.max_seq_len — so scores are
+// bitwise identical to an unbatched forward.
+//
+// The model's Forward must be read-only, which holds for every factory model
+// when training == false (dropout is identity and never touches its RNG);
+// multiple workers therefore share one model with no locking.
+//
+// Telemetry (behind obs::Enabled()): counters serve/requests and
+// serve/batches, gauge serve/queue_depth, histograms serve/batch_size and
+// serve/latency_ms (submit -> promise fulfilled, the end-to-end number whose
+// p50/p95/p99 the serving bench reports).
+
+#ifndef MISS_SERVE_ENGINE_H_
+#define MISS_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/ctr_model.h"
+
+namespace miss::serve {
+
+struct EngineConfig {
+  // Worker threads running forward passes. 1 preserves submission order.
+  int num_workers = 2;
+  // A batch closes as soon as this many requests are queued...
+  int64_t max_batch_size = 32;
+  // ...or once the oldest queued request has waited this long. 0 scores
+  // whatever is queued immediately (latency-optimal, batch of ~1 under low
+  // load).
+  int64_t max_queue_delay_us = 200;
+};
+
+class Engine {
+ public:
+  // `model` must outlive the engine and is shared, unlocked, by all
+  // workers (see file comment for the thread-safety contract).
+  Engine(models::CtrModel& model, const EngineConfig& config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Enqueues one sample (fields must match the model's schema) and returns
+  // a future resolving to the predicted click probability sigmoid(logit).
+  // Aborts if called after Shutdown().
+  std::future<float> Submit(data::Sample sample);
+
+  // Drains every queued request, then stops and joins the workers.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  // Requests currently waiting for a batch slot (diagnostic).
+  int64_t QueueDepth() const;
+
+ private:
+  struct Request {
+    data::Sample sample;
+    std::promise<float> promise;
+    int64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop();
+  void ScoreBatch(std::vector<Request> batch);
+
+  models::CtrModel& model_;
+  const EngineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace miss::serve
+
+#endif  // MISS_SERVE_ENGINE_H_

@@ -75,6 +75,9 @@ EvalResult Evaluate(models::CtrModel& model, const data::Dataset& dataset,
   data::BatchPlan plan(dataset.size(), batch_size);
   for (int64_t b = 0; b < plan.num_batches(); ++b) {
     data::Batch batch = data::MakeBatch(dataset, plan.BatchIndices(b));
+    // Forward-only: no tape nodes, no gradient buffers — intermediates are
+    // freed as soon as the model's expressions release them.
+    nn::InferenceScope inference;
     nn::Tensor logits = model.Forward(batch, /*training=*/false);
     for (int64_t i = 0; i < batch.batch_size; ++i) {
       const double x = logits.at(i);

@@ -1,0 +1,465 @@
+// Serving runtime tests: inference mode, model bundles (including a genuine
+// fresh-process reload via self re-execution), and the micro-batching
+// engine's concurrency semantics.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/bundle.h"
+#include "serve/engine.h"
+#include "train/trainer.h"
+
+namespace miss {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Engine scores are sigmoid(logit) in float math; the reference must use the
+// exact same expression for bitwise comparisons.
+float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+data::DatasetBundle MakeTinyBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 60;
+  return data::GenerateSynthetic(config);
+}
+
+// -- Inference mode ----------------------------------------------------------
+
+TEST(ServeInferenceScopeTest, OpsUnderScopeBuildNoTape) {
+  common::Rng rng(1);
+  nn::Tensor w = nn::Tensor::RandomNormal({4, 3}, 1.0f, rng, true);
+  nn::Tensor x = nn::Tensor::RandomNormal({2, 4}, 1.0f, rng);
+
+  nn::Tensor tape_result = nn::MatMul(x, w);
+  EXPECT_TRUE(tape_result.requires_grad());
+  EXPECT_FALSE(tape_result.node()->parents.empty());
+
+  {
+    nn::InferenceScope inference;
+    EXPECT_TRUE(nn::InferenceMode());
+    nn::Tensor y = nn::MatMul(x, w);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_TRUE(y.node()->parents.empty());
+    EXPECT_EQ(y.node()->backward, nullptr);
+    // Values are unaffected by the mode.
+    for (int64_t i = 0; i < y.size(); ++i) {
+      EXPECT_EQ(y.at(i), tape_result.at(i));
+    }
+    {
+      nn::InferenceScope nested;
+      EXPECT_TRUE(nn::InferenceMode());
+    }
+    EXPECT_TRUE(nn::InferenceMode());  // still inside the outer scope
+  }
+  EXPECT_FALSE(nn::InferenceMode());
+
+  nn::Tensor after = nn::MatMul(x, w);
+  EXPECT_TRUE(after.requires_grad());  // tape construction restored
+}
+
+TEST(ServeInferenceScopeTest, ScopeIsThreadLocal) {
+  nn::InferenceScope inference;
+  ASSERT_TRUE(nn::InferenceMode());
+  bool other_thread_mode = true;
+  std::thread t([&] { other_thread_mode = nn::InferenceMode(); });
+  t.join();
+  EXPECT_FALSE(other_thread_mode);
+}
+
+TEST(ServeInferenceScopeTest, EvaluateNoLongerGrowsTheTape) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 3);
+  const int64_t batch_size = 32;
+  std::vector<int64_t> indices(batch_size);
+  for (int64_t i = 0; i < batch_size; ++i) indices[i] = i;
+  data::Batch batch = data::MakeBatch(bundle.train, indices);
+
+  // Tape-building forward: every intermediate stays live (pinned by parent
+  // edges) until the logits handle dies, so the peak counts the whole graph.
+  nn::ResetTensorAllocStats();
+  const int64_t live_before = nn::GetTensorAllocStats().live_nodes;
+  { nn::Tensor logits = model->Forward(batch, /*training=*/false); }
+  const int64_t tape_peak =
+      nn::GetTensorAllocStats().peak_live_nodes - live_before;
+
+  // Evaluate runs under InferenceScope: intermediates are freed eagerly, so
+  // the same batch size peaks far lower even across many batches.
+  nn::ResetTensorAllocStats();
+  train::Evaluate(*model, bundle.train, batch_size);
+  const int64_t eval_peak =
+      nn::GetTensorAllocStats().peak_live_nodes - live_before;
+
+  EXPECT_LT(eval_peak, tape_peak);
+  // No nodes leak out of evaluation.
+  EXPECT_EQ(nn::GetTensorAllocStats().live_nodes, live_before);
+}
+
+// -- Checkpoint format -------------------------------------------------------
+
+TEST(ServeCheckpointTest, WritesVersionedHeaderAtomically) {
+  common::Rng rng(4);
+  std::vector<nn::Tensor> params = {
+      nn::Tensor::RandomNormal({3, 2}, 1.0f, rng, true)};
+  const std::string path = TempPath("versioned.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(params, path));
+
+  // No temporary sibling is left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  char header[8];
+  in.read(header, sizeof(header));
+  EXPECT_EQ(std::string(header, 7), "MISSCKP");
+  EXPECT_EQ(static_cast<uint8_t>(header[7]), nn::kCheckpointVersion);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCheckpointTest, LegacyHeaderStillLoads) {
+  // Hand-craft a pre-version checkpoint: "MISSCKPT" magic, no version byte.
+  const std::string path = TempPath("legacy.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("MISSCKPT", 8);
+    const uint64_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const uint64_t ndim = 1;
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    const int64_t dim = 3;
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    const float values[3] = {1.5f, -2.0f, 0.25f};
+    out.write(reinterpret_cast<const char*>(values), sizeof(values));
+  }
+  std::vector<nn::Tensor> params = {nn::Tensor::Zeros({3}, true)};
+  ASSERT_TRUE(nn::LoadParameters(params, path));
+  EXPECT_EQ(params[0].at(0), 1.5f);
+  EXPECT_EQ(params[0].at(1), -2.0f);
+  EXPECT_EQ(params[0].at(2), 0.25f);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCheckpointTest, SaveIntoMissingDirectoryFailsCleanly) {
+  common::Rng rng(5);
+  std::vector<nn::Tensor> params = {
+      nn::Tensor::RandomNormal({2}, 1.0f, rng, true)};
+  const std::string path = TempPath("no-such-dir/x.ckpt");
+  EXPECT_FALSE(nn::SaveParameters(params, path));
+}
+
+// -- Bundles -----------------------------------------------------------------
+
+TEST(ServeBundleTest, RoundTripIsBitwiseForEveryFactoryModel) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4, 5, 6, 7};
+  data::Batch batch = data::MakeBatch(bundle.test, indices);
+
+  for (const std::string& name : models::KnownModelNames()) {
+    SCOPED_TRACE(name);
+    auto model = models::CreateModel(name, bundle.train.schema, mc, 11);
+    nn::Tensor before;
+    {
+      nn::InferenceScope inference;
+      before = model->Forward(batch, /*training=*/false);
+    }
+
+    const std::string dir = TempPath("bundle_" + name);
+    ASSERT_TRUE(serve::SaveBundle(*model, dir));
+
+    serve::Bundle loaded;
+    ASSERT_TRUE(serve::LoadBundle(dir, &loaded));
+    EXPECT_EQ(loaded.model_name, name);
+    EXPECT_EQ(loaded.seed, 11u);
+    EXPECT_EQ(loaded.model->schema().name, bundle.train.schema.name);
+
+    nn::Tensor after;
+    {
+      nn::InferenceScope inference;
+      after = loaded.model->Forward(batch, /*training=*/false);
+    }
+    ASSERT_EQ(after.size(), before.size());
+    for (int64_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(after.at(i), before.at(i));  // bitwise for normal floats
+    }
+  }
+}
+
+TEST(ServeBundleTest, LoadFromMissingDirectoryFails) {
+  serve::Bundle loaded;
+  EXPECT_FALSE(serve::LoadBundle(TempPath("no-such-bundle"), &loaded));
+  EXPECT_EQ(loaded.model, nullptr);
+}
+
+TEST(ServeBundleTest, MismatchedCheckpointIsRejected) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("deepfm", bundle.train.schema, mc, 2);
+  const std::string dir = TempPath("bundle_mismatch");
+  ASSERT_TRUE(serve::SaveBundle(*model, dir));
+
+  // Overwrite the checkpoint with one from a wider architecture; the
+  // manifest-built model's shapes no longer match.
+  models::ModelConfig wide = mc;
+  wide.embedding_dim = mc.embedding_dim * 2;
+  auto other = models::CreateModel("deepfm", bundle.train.schema, wide, 2);
+  ASSERT_TRUE(nn::SaveParameters(other->Parameters(),
+                                 dir + "/" + serve::kParamsFileName));
+
+  serve::Bundle loaded;
+  EXPECT_FALSE(serve::LoadBundle(dir, &loaded));
+  EXPECT_EQ(loaded.model, nullptr);
+}
+
+TEST(ServeBundleTest, DirectlyConstructedModelCannotBeBundled) {
+  // Without a factory key there is nothing a fresh process could rebuild.
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 1);
+  model->SetFactoryOrigin("", 0);
+  EXPECT_FALSE(serve::SaveBundle(*model, TempPath("bundle_nokey")));
+}
+
+// Child half of the fresh-process test: when the env vars are set (by
+// FreshProcessReloadScoresBitwiseIdentically, which re-executes this binary),
+// load the bundle, score the canonical batch, and write raw float bytes.
+TEST(ServeBundleTest, ChildScoresBundle) {
+  const char* bundle_dir = std::getenv("MISS_SERVE_CHILD_BUNDLE");
+  const char* out_path = std::getenv("MISS_SERVE_CHILD_OUT");
+  if (bundle_dir == nullptr || out_path == nullptr) {
+    GTEST_SKIP() << "parent-driven child test";
+  }
+  serve::Bundle loaded;
+  ASSERT_TRUE(serve::LoadBundle(bundle_dir, &loaded));
+
+  data::DatasetBundle bundle = MakeTinyBundle();  // deterministic in seed
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  data::Batch batch = data::MakeBatch(bundle.test, indices);
+  nn::Tensor logits;
+  {
+    nn::InferenceScope inference;
+    logits = loaded.model->Forward(batch, /*training=*/false);
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    const float v = logits.at(i);
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+}
+
+TEST(ServeBundleTest, FreshProcessReloadScoresBitwiseIdentically) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 17);
+
+  // Train briefly so the exported parameters are non-trivial.
+  train::TrainConfig tc;
+  tc.epochs = 1;
+  tc.select_best_on_valid = false;
+  train::Trainer trainer(tc);
+  trainer.Fit(*model, nullptr, bundle.train, bundle.valid, bundle.test);
+
+  const std::string dir = TempPath("bundle_fresh_process");
+  ASSERT_TRUE(serve::SaveBundle(*model, dir));
+
+  std::vector<int64_t> indices = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  data::Batch batch = data::MakeBatch(bundle.test, indices);
+  nn::Tensor reference;
+  {
+    nn::InferenceScope inference;
+    reference = model->Forward(batch, /*training=*/false);
+  }
+
+  // Re-execute this test binary so the reload happens in a process that has
+  // never seen the trained model. /proc/self/exe must be resolved HERE: if
+  // the literal path went into the command, the shell spawned by
+  // std::system would re-exec itself instead of this binary.
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  ASSERT_FALSE(ec) << ec.message();
+  const std::string out_path = TempPath("fresh_process_scores.bin");
+  const std::string cmd = "MISS_SERVE_CHILD_BUNDLE='" + dir +
+                          "' MISS_SERVE_CHILD_OUT='" + out_path + "' '" +
+                          self.string() +
+                          "' --gtest_filter=ServeBundleTest.ChildScoresBundle "
+                          "> /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  std::ifstream in(out_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<float> child_scores(indices.size());
+  in.read(reinterpret_cast<char*>(child_scores.data()),
+          child_scores.size() * sizeof(float));
+  ASSERT_EQ(in.gcount(),
+            static_cast<std::streamsize>(child_scores.size() * sizeof(float)));
+
+  for (size_t i = 0; i < child_scores.size(); ++i) {
+    EXPECT_EQ(child_scores[i], reference.at(static_cast<int64_t>(i)));
+  }
+  std::remove(out_path.c_str());
+}
+
+// -- Engine ------------------------------------------------------------------
+
+// Unbatched reference scores for every sample of `dataset`.
+std::vector<float> ReferenceScores(models::CtrModel& model,
+                                   const data::Dataset& dataset) {
+  std::vector<float> scores;
+  scores.reserve(dataset.samples.size());
+  nn::InferenceScope inference;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    data::Batch one = data::MakeBatch(dataset, {i});
+    nn::Tensor logit = model.Forward(one, /*training=*/false);
+    scores.push_back(SigmoidF(logit.at(0)));
+  }
+  return scores;
+}
+
+TEST(ServeEngineTest, ScoresMatchUnbatchedReference) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 23);
+  const std::vector<float> reference = ReferenceScores(*model, bundle.test);
+
+  serve::EngineConfig config;
+  config.num_workers = 1;
+  config.max_batch_size = 7;  // deliberately not a divisor of the stream
+  config.max_queue_delay_us = 1000;
+  serve::Engine engine(*model, config);
+
+  std::vector<std::future<float>> futures;
+  futures.reserve(bundle.test.samples.size());
+  for (const data::Sample& s : bundle.test.samples) {
+    futures.push_back(engine.Submit(s));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), reference[i]) << "sample " << i;
+  }
+}
+
+TEST(ServeEngineTest, ConcurrentProducersRandomizedConfigs) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("deepfm", bundle.train.schema, mc, 29);
+  const std::vector<float> reference = ReferenceScores(*model, bundle.test);
+  const int64_t num_samples = bundle.test.size();
+
+  common::Rng config_rng(31);
+  for (int round = 0; round < 3; ++round) {
+    serve::EngineConfig config;
+    config.num_workers = 1 + static_cast<int>(config_rng.UniformInt(3));
+    config.max_batch_size = 1 + config_rng.UniformInt(32);
+    config.max_queue_delay_us = config_rng.UniformInt(400);
+    SCOPED_TRACE("workers=" + std::to_string(config.num_workers) +
+                 " batch=" + std::to_string(config.max_batch_size) +
+                 " delay_us=" + std::to_string(config.max_queue_delay_us));
+    serve::Engine engine(*model, config);
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 40;
+    std::vector<std::vector<int64_t>> picks(kProducers);
+    for (int t = 0; t < kProducers; ++t) {
+      common::Rng rng(100 + round * kProducers + t);
+      for (int i = 0; i < kPerProducer; ++i) {
+        picks[t].push_back(rng.UniformInt(num_samples));
+      }
+    }
+
+    std::vector<std::vector<std::future<float>>> futures(kProducers);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&, t] {
+        futures[t].reserve(picks[t].size());
+        for (int64_t idx : picks[t]) {
+          futures[t].push_back(engine.Submit(bundle.test.samples[idx]));
+        }
+      });
+    }
+    for (std::thread& p : producers) p.join();
+
+    for (int t = 0; t < kProducers; ++t) {
+      for (size_t i = 0; i < picks[t].size(); ++i) {
+        EXPECT_EQ(futures[t][i].get(), reference[picks[t][i]])
+            << "producer " << t << " request " << i;
+      }
+    }
+    engine.Shutdown();
+  }
+}
+
+TEST(ServeEngineTest, ShutdownDrainsPendingRequests) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 37);
+
+  serve::EngineConfig config;
+  config.num_workers = 2;
+  config.max_batch_size = 64;
+  config.max_queue_delay_us = 1000000;  // would wait 1s without shutdown
+  serve::Engine engine(*model, config);
+
+  std::vector<std::future<float>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine.Submit(bundle.test.samples[i]));
+  }
+  engine.Shutdown();  // must score everything queued, not abandon it
+  for (auto& f : futures) {
+    const float p = f.get();
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+  EXPECT_EQ(engine.QueueDepth(), 0);
+}
+
+TEST(ServeEngineTest, RecordsServingMetrics) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle bundle = MakeTinyBundle();
+    models::ModelConfig mc;
+    auto model = models::CreateModel("lr", bundle.train.schema, mc, 41);
+    serve::EngineConfig config;
+    config.num_workers = 2;
+    config.max_batch_size = 8;
+    config.max_queue_delay_us = 100;
+    serve::Engine engine(*model, config);
+    std::vector<std::future<float>> futures;
+    for (int i = 0; i < 30; ++i) {
+      futures.push_back(engine.Submit(bundle.test.samples[i]));
+    }
+    for (auto& f : futures) f.get();
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("serve/requests").value(), 30);
+  EXPECT_GE(reg.GetCounter("serve/batches").value(), 4);  // ceil(30 / 8)
+  EXPECT_EQ(reg.GetHistogram("serve/latency_ms").count(), 30);
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace miss
