@@ -1,0 +1,258 @@
+// Network-serving load generator (the serving front-end's perf contract):
+// measures the micro-batching engine's in-process saturated throughput,
+// then drives the SAME engine instance through net::Server over loopback —
+// binary protocol pipelined (windowed), binary closed-loop, and HTTP
+// closed-loop — and emits BENCH_net_serving.json with qps and exact
+// (sorted-sample) p50/p95/p99 per protocol.
+//
+// Headline: pipelined binary serving over loopback must retain >= 80% of
+// the in-process engine qps at identical batch settings; the process exits
+// non-zero when the ratio slips below that.
+//
+// Env knobs: MISS_NET_REQUESTS (default 10000) requests per phase,
+// MISS_NET_WINDOW (default 128) outstanding requests in the pipelined phase.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/trace.h"
+#include "serve/engine.h"
+
+namespace miss {
+namespace {
+
+// Load-gen phases cannot proceed past a transport failure; abort loudly.
+void CheckOr(bool ok, const char* what, const std::string& detail) {
+  if (ok) return;
+  std::fprintf(stderr, "net_serving: %s: %s\n", what, detail.c_str());
+  std::exit(1);
+}
+
+// Exact quantile of a sorted sample set; q in [0, 1].
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// Open-loop saturation: every request submitted before any result is
+// collected, so workers always find full batches. This is the engine's
+// peak throughput and the denominator of the serving-overhead ratio.
+double InProcessSaturatedQps(serve::Engine& engine,
+                             const data::Dataset& traffic,
+                             int64_t num_requests) {
+  std::vector<std::future<float>> futures;
+  futures.reserve(num_requests);
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t i = 0; i < num_requests; ++i) {
+    futures.push_back(engine.Submit(traffic.samples[i % traffic.size()]));
+  }
+  for (std::future<float>& f : futures) f.get();
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  return static_cast<double>(num_requests) / secs;
+}
+
+// Pipelined binary load: keep up to `window` requests outstanding on one
+// connection, refilling in half-window bursts (many frames per write
+// syscall — on a shared core every client syscall steals cycles from the
+// server and the engine). Mirrors the in-process saturated phase (the
+// batcher always has work queued), so the qps gap to it is pure wire +
+// event-loop cost.
+double BinaryPipelinedQps(const std::string& host, int port,
+                          const data::Dataset& traffic, int64_t num_requests,
+                          int64_t window) {
+  net::Client client;
+  std::string error;
+  CheckOr(client.Connect(host, port, &error), "connect", error);
+  window = std::min(window, num_requests);
+  const int64_t burst = std::max<int64_t>(1, window / 2);
+
+  int64_t sent = 0;
+  int64_t received = 0;
+  std::string frames;
+  auto send_burst = [&](int64_t count) {
+    frames.clear();
+    for (int64_t i = 0; i < count; ++i, ++sent) {
+      net::EncodeRequest(static_cast<uint64_t>(sent + 1),
+                         traffic.samples[sent % traffic.size()], &frames);
+    }
+    CheckOr(client.SendRaw(frames, &error), "send", error);
+  };
+
+  const int64_t start_ns = obs::NowNs();
+  send_burst(window);
+  net::WireResponse response;
+  while (received < num_requests) {
+    CheckOr(client.Receive(&response, &error), "receive", error);
+    CheckOr(response.ok, "server error", response.error);
+    ++received;
+    // Top back up to the full window once half of it has drained.
+    if (sent < num_requests && sent - received <= window - burst) {
+      send_burst(std::min(burst, num_requests - sent));
+    }
+  }
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  return static_cast<double>(num_requests) / secs;
+}
+
+struct ClosedLoopResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// One request in flight at a time; records the exact round-trip per
+// request, so the percentiles are the full client-observed latency
+// (wire + parse + queue + batch-close delay + score + response).
+template <typename ScoreOnce>
+ClosedLoopResult ClosedLoop(const data::Dataset& traffic,
+                            int64_t num_requests, ScoreOnce&& score_once) {
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(num_requests);
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t i = 0; i < num_requests; ++i) {
+    const int64_t t0 = obs::NowNs();
+    score_once(traffic.samples[i % traffic.size()]);
+    latencies_ms.push_back(static_cast<double>(obs::NowNs() - t0) / 1e6);
+  }
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+
+  ClosedLoopResult result;
+  result.qps = static_cast<double>(num_requests) / secs;
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p95_ms = Percentile(latencies_ms, 0.95);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  return result;
+}
+
+int Main() {
+  common::SetMinLogLevel(common::LogLevel::kWarning);
+  const int64_t num_requests = common::GetEnvInt("MISS_NET_REQUESTS", 10000);
+  const int64_t window = common::GetEnvInt("MISS_NET_WINDOW", 128);
+
+  data::SyntheticConfig data_config = data::SyntheticConfig::Tiny();
+  data_config.num_users = 400;  // enough distinct traffic to cycle through
+  data::DatasetBundle bundle = data::GenerateSynthetic(data_config);
+  const data::Dataset& traffic = bundle.test;
+
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle.train.schema, mc, 42);
+
+  serve::EngineConfig engine_config;
+  engine_config.num_workers = 1;
+  engine_config.max_batch_size = 32;
+  engine_config.max_queue_delay_us = 200;
+  serve::Engine engine(*model, engine_config);
+
+  bench::BenchReport report("net_serving");
+  report.AddConfig("model", std::string("din"));
+  report.AddConfig("workers", static_cast<double>(engine_config.num_workers));
+  report.AddConfig("max_batch",
+                   static_cast<double>(engine_config.max_batch_size));
+  report.AddConfig("max_queue_delay_us",
+                   static_cast<double>(engine_config.max_queue_delay_us));
+  report.AddConfig("requests", static_cast<double>(num_requests));
+  report.AddConfig("window", static_cast<double>(window));
+
+  std::printf("net serving bench: %ld requests/phase, window %ld\n\n",
+              static_cast<long>(num_requests), static_cast<long>(window));
+
+  // Warm up the allocator / model caches before any timed section.
+  InProcessSaturatedQps(engine, traffic, 64);
+
+  const double inproc_qps =
+      InProcessSaturatedQps(engine, traffic, num_requests);
+  std::printf("%-28s %10.0f qps\n", "in-process saturated", inproc_qps);
+  report.AddMetric("inproc_saturated_qps", inproc_qps);
+
+  net::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  net::Server server(engine, bundle.train.schema, server_config);
+  CheckOr(server.Start(), "server start", "listen failed");
+  const std::string host = server_config.bind_address;
+  const int port = server.port();
+
+  // --- Binary, pipelined (windowed) ------------------------------------
+  BinaryPipelinedQps(host, port, traffic, 64, window);  // warm-up
+  const double binary_qps =
+      BinaryPipelinedQps(host, port, traffic, num_requests, window);
+  const double ratio = binary_qps / inproc_qps;
+  std::printf("%-28s %10.0f qps   (%.1f%% of in-process)\n",
+              "binary pipelined", binary_qps, 100.0 * ratio);
+  report.AddMetric("binary_pipelined_qps", binary_qps);
+  report.AddMetric("binary_vs_inproc_ratio", ratio);
+
+  // --- Binary, closed-loop ---------------------------------------------
+  {
+    net::Client client;
+    std::string error;
+    CheckOr(client.Connect(host, port, &error), "connect", error);
+    auto score_once = [&](const data::Sample& sample) {
+      float score = 0.0f;
+      CheckOr(client.Score(sample, &score, &error), "score", error);
+    };
+    ClosedLoop(traffic, 64, score_once);  // warm-up
+    const ClosedLoopResult r = ClosedLoop(traffic, num_requests, score_once);
+    std::printf(
+        "%-28s %10.0f qps   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms\n",
+        "binary closed-loop", r.qps, r.p50_ms, r.p95_ms, r.p99_ms);
+    report.AddMetric("binary_closed_qps", r.qps);
+    report.AddMetric("binary_closed_p50_ms", r.p50_ms);
+    report.AddMetric("binary_closed_p95_ms", r.p95_ms);
+    report.AddMetric("binary_closed_p99_ms", r.p99_ms);
+  }
+
+  // --- HTTP, closed-loop -----------------------------------------------
+  {
+    net::HttpClient client;
+    std::string error;
+    CheckOr(client.Connect(host, port, &error), "connect", error);
+    auto score_once = [&](const data::Sample& sample) {
+      int status = 0;
+      float score = 0.0f;
+      std::string body;
+      CheckOr(client.Score(sample, &status, &score, &body, &error),
+              "http score", error);
+      CheckOr(status == 200, "http status", body);
+    };
+    ClosedLoop(traffic, 64, score_once);  // warm-up
+    const ClosedLoopResult r = ClosedLoop(traffic, num_requests, score_once);
+    std::printf(
+        "%-28s %10.0f qps   p50 %.3f ms   p95 %.3f ms   p99 %.3f ms\n",
+        "http closed-loop", r.qps, r.p50_ms, r.p95_ms, r.p99_ms);
+    report.AddMetric("http_closed_qps", r.qps);
+    report.AddMetric("http_closed_p50_ms", r.p50_ms);
+    report.AddMetric("http_closed_p95_ms", r.p95_ms);
+    report.AddMetric("http_closed_p99_ms", r.p99_ms);
+  }
+
+  server.Stop();
+  engine.Drain();
+
+  std::printf("\nbinary pipelined vs in-process: %.1f%% (target >= 80%%)\n",
+              100.0 * ratio);
+  report.Write();
+  return ratio >= 0.8 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace miss
+
+int main() { return miss::Main(); }

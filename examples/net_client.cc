@@ -1,0 +1,112 @@
+// Scores one request against a running miss_serve over BOTH protocols and
+// prints the server's health — the smallest complete net::Client /
+// net::HttpClient walkthrough.
+//
+//   miss_serve --export-demo-bundle /tmp/demo
+//   miss_serve --bundle /tmp/demo --port 8080 &
+//   net_client 127.0.0.1 8080 /tmp/demo/sample.json
+//
+// The sample file holds one JSON scoring request ({"cat":[...],
+// "seq":[[...],...]}); --export-demo-bundle writes a matching one.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "net/client.h"
+#include "obs/json.h"
+
+namespace {
+
+// The example has no schema to validate against (that is the server's job),
+// so it decodes the request file structurally with the obs:: JSON DOM.
+bool LoadSample(const std::string& path, miss::data::Sample* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  miss::obs::JsonValue root;
+  if (!miss::obs::JsonParse(buf.str(), &root) || !root.IsObject()) {
+    return false;
+  }
+  const miss::obs::JsonValue* cat = root.Find("cat");
+  const miss::obs::JsonValue* seq = root.Find("seq");
+  if (cat == nullptr || !cat->IsArray() || seq == nullptr ||
+      !seq->IsArray()) {
+    return false;
+  }
+  for (const auto& v : cat->array) {
+    if (!v.IsNumber()) return false;
+    out->cat.push_back(static_cast<int64_t>(v.number));
+  }
+  for (const auto& row : seq->array) {
+    if (!row.IsArray()) return false;
+    std::vector<int64_t> ids;
+    for (const auto& v : row.array) {
+      if (!v.IsNumber()) return false;
+      ids.push_back(static_cast<int64_t>(v.number));
+    }
+    out->seq.push_back(std::move(ids));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: net_client <host> <port> <sample.json>\n");
+    return 2;
+  }
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  miss::data::Sample sample;
+  if (!LoadSample(argv[3], &sample)) {
+    std::fprintf(stderr, "failed to read scoring request from %s\n", argv[3]);
+    return 1;
+  }
+
+  std::string error;
+
+  // Binary protocol: one connection, one pipelined-capable client.
+  miss::net::Client binary;
+  if (!binary.Connect(host, port, &error)) {
+    std::fprintf(stderr, "binary connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  float binary_score = 0.0f;
+  if (!binary.Score(sample, &binary_score, &error)) {
+    std::fprintf(stderr, "binary score failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("binary  score: %.17g\n", binary_score);
+
+  // HTTP: POST /score on a keep-alive connection, then GET /healthz.
+  miss::net::HttpClient http;
+  if (!http.Connect(host, port, &error)) {
+    std::fprintf(stderr, "http connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  int status = 0;
+  float http_score = 0.0f;
+  std::string body;
+  if (!http.Score(sample, &status, &http_score, &body, &error)) {
+    std::fprintf(stderr, "http score failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (status != 200) {
+    std::fprintf(stderr, "http score: %d %s\n", status, body.c_str());
+    return 1;
+  }
+  std::printf("http    score: %.17g  (%s)\n", http_score,
+              binary_score == http_score ? "bitwise equal" : "MISMATCH");
+
+  if (!http.Get("/healthz", &status, &body, &error)) {
+    std::fprintf(stderr, "healthz failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("healthz %d: %s\n", status, body.c_str());
+  return binary_score == http_score ? 0 : 1;
+}

@@ -1,0 +1,341 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/http.h"
+#include "obs/json.h"
+
+namespace miss::net {
+
+namespace {
+
+int ConnectTcp(const std::string& host, int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host address \"" + host + "\" (IPv4 literal expected)";
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect(" + host + ":" + std::to_string(port) +
+             "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const char* data, size_t size, std::string* error) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    *error = std::string("write(): ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+// Reads more bytes into `*buf`; false on error, sets *eof on clean close.
+bool ReadMore(int fd, std::string* buf, bool* eof, std::string* error) {
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf->append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      *eof = true;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    *error = std::string("read(): ") + std::strerror(errno);
+    return false;
+  }
+}
+
+// Parses one HTTP response from data[*offset..size); mirrors the shape of
+// the server's request parser but only needs status + Content-Length body.
+// Returns 0 = ok, 1 = need more data, 2 = malformed.
+int ParseHttpResponse(const char* data, size_t size, size_t* offset,
+                      int* status_code, std::string* body, bool* keep_alive,
+                      std::string* error) {
+  const char* begin = data + *offset;
+  const size_t avail = size - *offset;
+  size_t head_len = 0;
+  for (size_t i = 0; i + 3 < avail; ++i) {
+    if (begin[i] == '\r' && begin[i + 1] == '\n' && begin[i + 2] == '\r' &&
+        begin[i + 3] == '\n') {
+      head_len = i + 4;
+      break;
+    }
+  }
+  if (head_len == 0) return 1;
+
+  const std::string head(begin, head_len);
+  if (head.rfind("HTTP/1.", 0) != 0 || head.size() < 12) {
+    *error = "malformed status line";
+    return 2;
+  }
+  *status_code = std::atoi(head.c_str() + 9);
+  if (*status_code < 100 || *status_code > 599) {
+    *error = "malformed status code";
+    return 2;
+  }
+
+  size_t content_length = 0;
+  *keep_alive = true;
+  size_t line_start = head.find("\r\n") + 2;
+  while (line_start < head.size()) {
+    const size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos || line_end == line_start) break;
+    std::string line = head.substr(line_start, line_end - line_start);
+    for (char& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.rfind("content-length:", 0) == 0) {
+      content_length = static_cast<size_t>(
+          std::atoll(line.c_str() + sizeof("content-length:") - 1));
+    } else if (line.rfind("connection:", 0) == 0 &&
+               line.find("close") != std::string::npos) {
+      *keep_alive = false;
+    }
+    line_start = line_end + 2;
+  }
+  if (content_length > kMaxFrameBytes) {
+    *error = "response body too large";
+    return 2;
+  }
+  if (avail < head_len + content_length) return 1;
+  body->assign(begin + head_len, content_length);
+  *offset += head_len + content_length;
+  return 0;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  if (!ConnectRaw(host, port, error)) return false;
+  std::string preamble;
+  EncodeMagic(&preamble);
+  if (!WriteAll(fd_, preamble.data(), preamble.size(), error)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ConnectRaw(const std::string& host, int port,
+                        std::string* error) {
+  Close();
+  fd_ = ConnectTcp(host, port, error);
+  return fd_ >= 0;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rx_.clear();
+  rx_off_ = 0;
+}
+
+bool Client::Send(uint64_t request_id, const data::Sample& sample,
+                  std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string frame;
+  EncodeRequest(request_id, sample, &frame);
+  return SendRaw(frame, error);
+}
+
+bool Client::SendRaw(const std::string& bytes, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!WriteAll(fd_, bytes.data(), bytes.size(), error)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::Receive(WireResponse* out, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  for (;;) {
+    const DecodeStatus status =
+        DecodeResponse(rx_.data(), rx_.size(), &rx_off_, out, error);
+    if (status == DecodeStatus::kOk) {
+      if (rx_off_ > 64 * 1024) {
+        rx_.erase(0, rx_off_);
+        rx_off_ = 0;
+      }
+      return true;
+    }
+    if (status == DecodeStatus::kMalformed) {
+      Close();
+      return false;
+    }
+    bool eof = false;
+    if (!ReadMore(fd_, &rx_, &eof, error)) {
+      Close();
+      return false;
+    }
+    if (eof) {
+      *error = "connection closed by server";
+      Close();
+      return false;
+    }
+  }
+}
+
+bool Client::Score(const data::Sample& sample, float* score,
+                   std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!Send(id, sample, error)) return false;
+  WireResponse resp;
+  if (!Receive(&resp, error)) return false;
+  if (resp.request_id != id) {
+    *error = "response correlates to request " +
+             std::to_string(resp.request_id) + ", expected " +
+             std::to_string(id);
+    Close();
+    return false;
+  }
+  if (!resp.ok) {
+    *error = "server error: " + resp.error;
+    return false;
+  }
+  *score = resp.score;
+  return true;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+bool HttpClient::Connect(const std::string& host, int port,
+                         std::string* error) {
+  Close();
+  host_ = host;
+  port_ = port;
+  return EnsureConnected(error);
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool HttpClient::EnsureConnected(std::string* error) {
+  if (fd_ >= 0) return true;
+  fd_ = ConnectTcp(host_, port_, error);
+  return fd_ >= 0;
+}
+
+bool HttpClient::Roundtrip(const std::string& request, int* status_code,
+                           std::string* body, bool* server_closed,
+                           std::string* error) {
+  if (!EnsureConnected(error)) return false;
+  if (!WriteAll(fd_, request.data(), request.size(), error)) {
+    Close();
+    return false;
+  }
+  std::string rx;
+  size_t off = 0;
+  bool keep_alive = true;
+  for (;;) {
+    const int status = ParseHttpResponse(rx.data(), rx.size(), &off,
+                                         status_code, body, &keep_alive,
+                                         error);
+    if (status == 0) break;
+    if (status == 2) {
+      Close();
+      return false;
+    }
+    bool eof = false;
+    if (!ReadMore(fd_, &rx, &eof, error)) {
+      Close();
+      return false;
+    }
+    if (eof) {
+      *error = "connection closed by server mid-response";
+      Close();
+      return false;
+    }
+  }
+  *server_closed = !keep_alive;
+  if (!keep_alive) Close();
+  return true;
+}
+
+bool HttpClient::Score(const data::Sample& sample, int* status_code,
+                       float* score, std::string* body, std::string* error) {
+  const std::string payload = ScoreRequestJson(sample);
+  std::string request;
+  request.reserve(128 + payload.size());
+  request += "POST /score HTTP/1.1\r\nHost: ";
+  request += host_;
+  request += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  request += std::to_string(payload.size());
+  request += "\r\n\r\n";
+  request += payload;
+
+  bool server_closed = false;
+  if (!Roundtrip(request, status_code, body, &server_closed, error)) {
+    return false;
+  }
+  if (*status_code != 200) return true;  // error JSON is in *body
+  obs::JsonValue root;
+  const obs::JsonValue* v = nullptr;
+  if (!obs::JsonParse(*body, &root) || !root.IsObject() ||
+      (v = root.Find("score")) == nullptr || !v->IsNumber()) {
+    *error = "malformed score response body: " + *body;
+    return false;
+  }
+  *score = static_cast<float>(v->number);
+  return true;
+}
+
+bool HttpClient::Get(const std::string& path, int* status_code,
+                     std::string* body, std::string* error) {
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\n\r\n";
+  bool server_closed = false;
+  return Roundtrip(request, status_code, body, &server_closed, error);
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status_code, std::string* body, std::string* error) {
+  HttpClient client;
+  if (!client.Connect(host, port, error)) return false;
+  return client.Get(path, status_code, body, error);
+}
+
+}  // namespace miss::net

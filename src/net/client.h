@@ -1,0 +1,105 @@
+// Client side of the serving front-end, used by tests, the load-gen bench,
+// and examples/net_client.
+//
+// Client speaks the binary protocol (net/protocol.h) over a blocking
+// socket: Score() is the one-request convenience, Send()/Receive() expose
+// the pipelined form (fire N requests, then collect N responses — the
+// server may answer out of order, correlate by request id).
+//
+// HttpClient holds one keep-alive HTTP/1.1 connection: Score() POSTs
+// /score, Get() fetches /healthz | /metricz. HttpGet() is the one-shot
+// helper when no connection reuse is wanted.
+//
+// Every method reports failure via a bool + `*error` message rather than
+// exceptions, matching how the callers react (fail the test, skip the
+// sample, print and exit).
+
+#ifndef MISS_NET_CLIENT_H_
+#define MISS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "net/protocol.h"
+
+namespace miss::net {
+
+// Binary-protocol client. Not thread-safe; one connection per instance.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and sends the "MIB1" preamble.
+  bool Connect(const std::string& host, int port, std::string* error);
+  // Connects WITHOUT the preamble — for tests that want to drive the
+  // server's protocol sniffer with arbitrary first bytes.
+  bool ConnectRaw(const std::string& host, int port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes one request frame (flushes to the socket immediately).
+  bool Send(uint64_t request_id, const data::Sample& sample,
+            std::string* error);
+
+  // Writes arbitrary bytes — for malformed-input tests.
+  bool SendRaw(const std::string& bytes, std::string* error);
+
+  // Blocks for the next response frame. False on EOF / malformed response /
+  // socket error; a server-side error frame is kOk here with out->ok false.
+  bool Receive(WireResponse* out, std::string* error);
+
+  // Send + Receive for the single-request case.
+  bool Score(const data::Sample& sample, float* score, std::string* error);
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string rx_;
+  size_t rx_off_ = 0;
+};
+
+// Minimal keep-alive HTTP/1.1 client for the three serving endpoints.
+// Not thread-safe; one connection per instance. Reconnects transparently
+// when the server closed the previous exchange.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  bool Connect(const std::string& host, int port, std::string* error);
+  void Close();
+
+  // POST /score. False on transport failure; an HTTP error status is
+  // reported as success with `*status_code` set and `*body` the error JSON.
+  bool Score(const data::Sample& sample, int* status_code, float* score,
+             std::string* body, std::string* error);
+
+  // GET `path` (e.g. "/healthz").
+  bool Get(const std::string& path, int* status_code, std::string* body,
+           std::string* error);
+
+ private:
+  bool Roundtrip(const std::string& request, int* status_code,
+                 std::string* body, bool* server_closed, std::string* error);
+  bool EnsureConnected(std::string* error);
+
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
+};
+
+// One-shot GET without connection reuse: connect, request, read, close.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int* status_code, std::string* body, std::string* error);
+
+}  // namespace miss::net
+
+#endif  // MISS_NET_CLIENT_H_

@@ -1,0 +1,275 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "net/protocol.h"
+#include "obs/json.h"
+
+namespace miss::net {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (c <= ' ' || c >= 127) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const char* HttpStatusText(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+HttpParseStatus ParseHttpRequest(const char* data, size_t size, size_t* offset,
+                                 size_t max_head_bytes, size_t max_body_bytes,
+                                 HttpRequest* out, int* status_code,
+                                 std::string* error) {
+  *status_code = 400;
+  const char* begin = data + *offset;
+  const size_t avail = size - *offset;
+
+  // Locate the end of the head (CRLFCRLF; bare LFLF tolerated).
+  size_t head_len = 0;  // bytes up to and including the blank line
+  for (size_t i = 0; i + 1 < avail; ++i) {
+    if (begin[i] == '\n' &&
+        (begin[i + 1] == '\n' ||
+         (i + 2 < avail && begin[i + 1] == '\r' && begin[i + 2] == '\n'))) {
+      head_len = i + (begin[i + 1] == '\n' ? 2 : 3);
+      break;
+    }
+  }
+  if (head_len == 0) {
+    if (avail > max_head_bytes) {
+      *error = "request head exceeds " + std::to_string(max_head_bytes) +
+               " bytes";
+      return HttpParseStatus::kBad;
+    }
+    return HttpParseStatus::kNeedMoreData;
+  }
+  if (head_len > max_head_bytes) {
+    *error = "request head exceeds " + std::to_string(max_head_bytes) +
+             " bytes";
+    return HttpParseStatus::kBad;
+  }
+
+  // Split the head into lines.
+  HttpRequest req;
+  std::vector<std::string> lines;
+  {
+    size_t line_start = 0;
+    for (size_t i = 0; i < head_len; ++i) {
+      if (begin[i] != '\n') continue;
+      size_t line_end = i;
+      if (line_end > line_start && begin[line_end - 1] == '\r') --line_end;
+      lines.emplace_back(begin + line_start, line_end - line_start);
+      line_start = i + 1;
+    }
+  }
+  if (lines.empty() || lines[0].empty()) {
+    *error = "empty request line";
+    return HttpParseStatus::kBad;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  {
+    const std::string& line = lines[0];
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+      *error = "malformed request line";
+      return HttpParseStatus::kBad;
+    }
+    req.method = line.substr(0, sp1);
+    req.path = Trim(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    req.version = line.substr(sp2 + 1);
+    if (!IsToken(req.method) || !IsToken(req.path)) {
+      *error = "malformed request line";
+      return HttpParseStatus::kBad;
+    }
+    if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+      *error = "unsupported version \"" + req.version + "\"";
+      return HttpParseStatus::kBad;
+    }
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) break;  // blank line terminating the head
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos || colon == 0) {
+      *error = "malformed header line";
+      return HttpParseStatus::kBad;
+    }
+    req.headers.emplace_back(ToLower(Trim(lines[i].substr(0, colon))),
+                             Trim(lines[i].substr(colon + 1)));
+  }
+
+  // Body framing: Content-Length only. Chunked uploads are refused rather
+  // than mis-framed.
+  size_t content_length = 0;
+  if (const std::string* te = req.FindHeader("transfer-encoding")) {
+    *error = "transfer-encoding \"" + *te + "\" not supported";
+    *status_code = 411;
+    return HttpParseStatus::kBad;
+  }
+  if (const std::string* cl = req.FindHeader("content-length")) {
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos ||
+        cl->size() > 9) {
+      *error = "malformed content-length \"" + *cl + "\"";
+      return HttpParseStatus::kBad;
+    }
+    content_length = static_cast<size_t>(std::stoul(*cl));
+    if (content_length > max_body_bytes) {
+      *error = "request body of " + *cl + " bytes exceeds the " +
+               std::to_string(max_body_bytes) + "-byte limit";
+      *status_code = 413;
+      return HttpParseStatus::kBad;
+    }
+  }
+  if (avail < head_len + content_length) return HttpParseStatus::kNeedMoreData;
+  req.body.assign(begin + head_len, content_length);
+
+  req.keep_alive = req.version == "HTTP/1.1";
+  if (const std::string* conn = req.FindHeader("connection")) {
+    const std::string v = ToLower(*conn);
+    if (v == "close") req.keep_alive = false;
+    if (v == "keep-alive") req.keep_alive = true;
+  }
+
+  *out = std::move(req);
+  *offset += head_len + content_length;
+  return HttpParseStatus::kOk;
+}
+
+std::string MakeHttpResponse(int status_code, const std::string& content_type,
+                             const std::string& body, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status_code);
+  out += " ";
+  out += HttpStatusText(status_code);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive"
+                    : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool ParseScoreRequestJson(const std::string& body,
+                           const data::DatasetSchema& schema,
+                           data::Sample* out, std::string* error) {
+  obs::JsonValue root;
+  if (!obs::JsonParse(body, &root) || !root.IsObject()) {
+    *error = "body is not a JSON object";
+    return false;
+  }
+  const obs::JsonValue* cat = root.Find("cat");
+  const obs::JsonValue* seq = root.Find("seq");
+  if (cat == nullptr || !cat->IsArray()) {
+    *error = "missing \"cat\" array";
+    return false;
+  }
+  if (seq == nullptr || !seq->IsArray()) {
+    *error = "missing \"seq\" array";
+    return false;
+  }
+  if (static_cast<int64_t>(cat->array.size()) != schema.num_categorical() ||
+      static_cast<int64_t>(seq->array.size()) != schema.num_sequential()) {
+    *error = "field counts (" + std::to_string(cat->array.size()) +
+             " cat, " + std::to_string(seq->array.size()) +
+             " seq) do not match schema \"" + schema.name + "\" (" +
+             std::to_string(schema.num_categorical()) + " cat, " +
+             std::to_string(schema.num_sequential()) + " seq)";
+    return false;
+  }
+
+  data::Sample sample;
+  sample.cat.reserve(cat->array.size());
+  for (const obs::JsonValue& v : cat->array) {
+    if (!v.IsNumber()) {
+      *error = "\"cat\" entries must be integers";
+      return false;
+    }
+    sample.cat.push_back(static_cast<int64_t>(v.number));
+  }
+  sample.seq.reserve(seq->array.size());
+  for (const obs::JsonValue& row : seq->array) {
+    if (!row.IsArray()) {
+      *error = "\"seq\" entries must be arrays (one per sequential field)";
+      return false;
+    }
+    std::vector<int64_t> ids;
+    ids.reserve(row.array.size());
+    for (const obs::JsonValue& v : row.array) {
+      if (!v.IsNumber()) {
+        *error = "\"seq\" ids must be integers";
+        return false;
+      }
+      ids.push_back(static_cast<int64_t>(v.number));
+    }
+    sample.seq.push_back(std::move(ids));
+  }
+  sample.label = 0.0f;
+  if (!ValidateSample(sample, schema, error)) return false;
+  *out = std::move(sample);
+  return true;
+}
+
+std::string ScoreRequestJson(const data::Sample& sample) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("cat").BeginArray();
+  for (int64_t id : sample.cat) w.Int(id);
+  w.EndArray();
+  w.Key("seq").BeginArray();
+  for (const auto& row : sample.seq) {
+    w.BeginArray();
+    for (int64_t id : row) w.Int(id);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace miss::net

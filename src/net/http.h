@@ -1,0 +1,69 @@
+// Minimal HTTP/1.1 support for the serving front-end.
+//
+// Just enough of the protocol for a scoring tier: request parsing with
+// Content-Length bodies (no chunked encoding, no continuations), keep-alive
+// by HTTP/1.1 default, and response assembly. The server mounts
+//
+//   POST /score     {"cat":[...],"seq":[[...],...]} -> {"score":p}
+//   GET  /healthz   serving status + the serve/* metrics
+//   GET  /metricz   the full obs::MetricsRegistry snapshot as JSON
+//
+// Parsing is incremental (kNeedMoreData) and bounded: the head and body
+// limits come from the caller (net::ServerConfig), oversized or garbled
+// input is kBad with a message suitable for a 400 body.
+
+#ifndef MISS_NET_HTTP_H_
+#define MISS_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace miss::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "POST"
+  std::string path;     // origin-form target, query string left attached
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  // Header names lower-cased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  // nullptr when absent; `name` must be given lower-case.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+enum class HttpParseStatus { kOk, kNeedMoreData, kBad };
+
+// Parses one request from data[*offset..size); advances *offset past it on
+// kOk. kBad sets `*error` and, for oversized bodies, `*status_code` to 413
+// (400 otherwise) — the connection should answer once and close.
+HttpParseStatus ParseHttpRequest(const char* data, size_t size, size_t* offset,
+                                 size_t max_head_bytes, size_t max_body_bytes,
+                                 HttpRequest* out, int* status_code,
+                                 std::string* error);
+
+// Serializes a complete response with Content-Length and Connection headers.
+std::string MakeHttpResponse(int status_code, const std::string& content_type,
+                             const std::string& body, bool keep_alive);
+
+// Standard reason phrase for the handful of codes the server emits.
+const char* HttpStatusText(int status_code);
+
+// JSON body of POST /score -> data::Sample (label 0), validated against the
+// schema (field counts; id ranges via ValidateSample). False sets `*error`.
+bool ParseScoreRequestJson(const std::string& body,
+                           const data::DatasetSchema& schema,
+                           data::Sample* out, std::string* error);
+
+// The inverse, for clients and the demo-bundle sample file.
+std::string ScoreRequestJson(const data::Sample& sample);
+
+}  // namespace miss::net
+
+#endif  // MISS_NET_HTTP_H_

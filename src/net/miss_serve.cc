@@ -1,0 +1,170 @@
+// miss_serve: the network scoring server.
+//
+//   miss_serve --bundle <dir> [--host 127.0.0.1] [--port 8080]
+//              [--port-file <path>] [--workers N] [--max-batch N]
+//              [--max-delay-us N] [--drain-timeout-ms N]
+//
+// Loads a serve::SaveBundle directory, stands up a serve::Engine over it,
+// and serves the binary protocol plus HTTP (POST /score, GET /healthz,
+// GET /metricz) on one listener. SIGTERM/SIGINT trigger a graceful stop:
+// the listener closes, in-flight requests finish and flush, then the
+// process exits 0. --port 0 picks an ephemeral port; --port-file writes the
+// chosen port for harnesses (the net_smoke test uses both).
+//
+//   miss_serve --export-demo-bundle <dir>
+//
+// writes a tiny untrained "din" bundle plus a matching sample.json scoring
+// request into <dir> and exits — enough to try the server (and run the
+// smoke test) without a training run.
+
+#include <signal.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "serve/bundle.h"
+#include "serve/engine.h"
+
+namespace {
+
+miss::net::Server* g_server = nullptr;
+
+void HandleStopSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestStop();  // async-signal-safe
+}
+
+int ExportDemoBundle(const std::string& dir) {
+  miss::data::SyntheticConfig config = miss::data::SyntheticConfig::Tiny();
+  config.seed = 42;
+  const miss::data::DatasetBundle data = GenerateSynthetic(config);
+  miss::models::ModelConfig mc;
+  auto model = miss::models::CreateModel("din", data.test.schema, mc, 42);
+  if (!miss::serve::SaveBundle(*model, dir)) {
+    std::fprintf(stderr, "failed to write bundle to %s\n", dir.c_str());
+    return 1;
+  }
+  const std::string sample_path = dir + "/sample.json";
+  std::ofstream out(sample_path);
+  out << miss::net::ScoreRequestJson(data.test.samples[0]) << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "failed to write %s\n", sample_path.c_str());
+    return 1;
+  }
+  std::printf("demo bundle written to %s (scoring request: %s)\n",
+              dir.c_str(), sample_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bundle_dir;
+  std::string export_dir;
+  std::string port_file;
+  miss::net::ServerConfig server_config;
+  server_config.port = 8080;
+  miss::serve::EngineConfig engine_config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bundle") {
+      bundle_dir = next("--bundle");
+    } else if (arg == "--export-demo-bundle") {
+      export_dir = next("--export-demo-bundle");
+    } else if (arg == "--host") {
+      server_config.bind_address = next("--host");
+    } else if (arg == "--port") {
+      server_config.port = std::atoi(next("--port"));
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else if (arg == "--workers") {
+      engine_config.num_workers = std::atoi(next("--workers"));
+    } else if (arg == "--max-batch") {
+      engine_config.max_batch_size = std::atoll(next("--max-batch"));
+    } else if (arg == "--max-delay-us") {
+      engine_config.max_queue_delay_us = std::atoll(next("--max-delay-us"));
+    } else if (arg == "--drain-timeout-ms") {
+      server_config.drain_timeout_ms = std::atoll(next("--drain-timeout-ms"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
+          "                  [--port-file F] [--workers N] [--max-batch N]\n"
+          "                  [--max-delay-us N] [--drain-timeout-ms N]\n"
+          "       miss_serve --export-demo-bundle <dir>\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!export_dir.empty()) return ExportDemoBundle(export_dir);
+  if (bundle_dir.empty()) {
+    std::fprintf(stderr, "--bundle is required (or --export-demo-bundle)\n");
+    return 2;
+  }
+
+  miss::serve::Bundle bundle;
+  if (!miss::serve::LoadBundle(bundle_dir, &bundle)) {
+    std::fprintf(stderr, "failed to load bundle from %s\n",
+                 bundle_dir.c_str());
+    return 1;
+  }
+  MISS_LOG(INFO) << "miss_serve: loaded \"" << bundle.model_name
+                 << "\" bundle (schema " << bundle.model->schema().name
+                 << ") from " << bundle_dir;
+
+  miss::serve::Engine engine(*bundle.model, engine_config);
+  miss::net::Server server(engine, bundle.model->schema(), server_config);
+  if (!server.Start()) return 1;
+
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write port file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+
+  g_server = &server;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // broken clients must not kill the server
+
+  std::printf("miss_serve listening on %s:%d (model %s, %d workers)\n",
+              server_config.bind_address.c_str(), server.port(),
+              bundle.model_name.c_str(), engine_config.num_workers);
+  std::fflush(stdout);
+
+  server.WaitUntilStopped();
+  engine.Drain();
+  g_server = nullptr;
+
+  const miss::net::ServerStats stats = server.stats();
+  MISS_LOG(INFO) << "miss_serve: drained; served " << stats.responses
+                 << " responses over " << stats.connections_accepted
+                 << " connections (" << stats.protocol_errors
+                 << " protocol errors)";
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace miss::net {
+
+namespace {
+
+// The wire format is little-endian; x86/ARM64 hosts memcpy verbatim. (A
+// big-endian port would byte-swap here — one chokepoint per direction.)
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+constexpr size_t kRequestHeaderLen = 8 + 4 + 4 + 4;  // after payload_len
+constexpr size_t kResponseOkLen = 8 + 1 + 4;
+
+}  // namespace
+
+void EncodeMagic(std::string* out) { out->append(kBinaryMagic, 4); }
+
+void EncodeRequest(uint64_t request_id, const data::Sample& sample,
+                   std::string* out) {
+  const uint32_t num_cat = static_cast<uint32_t>(sample.cat.size());
+  const uint32_t num_seq = static_cast<uint32_t>(sample.seq.size());
+  const uint32_t seq_len =
+      sample.seq.empty() ? 0 : static_cast<uint32_t>(sample.seq[0].size());
+  const uint32_t payload_len = static_cast<uint32_t>(
+      kRequestHeaderLen +
+      8 * (num_cat + static_cast<size_t>(num_seq) * seq_len));
+  out->reserve(out->size() + 4 + payload_len);
+  AppendRaw<uint32_t>(payload_len, out);
+  AppendRaw<uint64_t>(request_id, out);
+  AppendRaw<uint32_t>(num_cat, out);
+  AppendRaw<uint32_t>(num_seq, out);
+  AppendRaw<uint32_t>(seq_len, out);
+  for (int64_t id : sample.cat) AppendRaw<int64_t>(id, out);
+  for (const auto& row : sample.seq) {
+    for (int64_t id : row) AppendRaw<int64_t>(id, out);
+  }
+}
+
+void EncodeResponse(const WireResponse& response, std::string* out) {
+  if (response.ok) {
+    AppendRaw<uint32_t>(static_cast<uint32_t>(kResponseOkLen), out);
+    AppendRaw<uint64_t>(response.request_id, out);
+    out->push_back(static_cast<char>(0));
+    AppendRaw<float>(response.score, out);
+    return;
+  }
+  std::string message = response.error;
+  if (message.size() > 512) message.resize(512);
+  AppendRaw<uint32_t>(static_cast<uint32_t>(8 + 1 + message.size()), out);
+  AppendRaw<uint64_t>(response.request_id, out);
+  out->push_back(static_cast<char>(1));
+  out->append(message);
+}
+
+DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
+                           const data::DatasetSchema& schema,
+                           uint64_t* request_id, data::Sample* sample,
+                           std::string* error) {
+  const size_t avail = size - *offset;
+  if (avail < 4) return DecodeStatus::kNeedMoreData;
+  const char* p = data + *offset;
+  const uint32_t payload_len = ReadRaw<uint32_t>(p);
+  if (payload_len > kMaxFrameBytes) {
+    *error = "frame payload of " + std::to_string(payload_len) +
+             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             "-byte limit";
+    return DecodeStatus::kMalformed;
+  }
+  if (payload_len < kRequestHeaderLen) {
+    *error = "frame payload of " + std::to_string(payload_len) +
+             " bytes is shorter than the request header";
+    return DecodeStatus::kMalformed;
+  }
+  if (avail < 4 + static_cast<size_t>(payload_len)) {
+    return DecodeStatus::kNeedMoreData;
+  }
+  p += 4;
+  *request_id = ReadRaw<uint64_t>(p);
+  p += 8;
+  const uint32_t num_cat = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t num_seq = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t seq_len = ReadRaw<uint32_t>(p);
+  p += 4;
+
+  if (num_cat != static_cast<uint32_t>(schema.num_categorical()) ||
+      num_seq != static_cast<uint32_t>(schema.num_sequential())) {
+    *error = "field counts (" + std::to_string(num_cat) + " cat, " +
+             std::to_string(num_seq) + " seq) do not match schema \"" +
+             schema.name + "\" (" + std::to_string(schema.num_categorical()) +
+             " cat, " + std::to_string(schema.num_sequential()) + " seq)";
+    return DecodeStatus::kMalformed;
+  }
+  // payload_len bounds the id count, so this multiply cannot overflow into
+  // a huge allocation: both factors are < kMaxFrameBytes.
+  const uint64_t num_ids =
+      static_cast<uint64_t>(num_cat) +
+      static_cast<uint64_t>(num_seq) * static_cast<uint64_t>(seq_len);
+  if (static_cast<uint64_t>(payload_len) != kRequestHeaderLen + 8 * num_ids) {
+    *error = "frame payload of " + std::to_string(payload_len) +
+             " bytes does not match its declared field counts";
+    return DecodeStatus::kMalformed;
+  }
+
+  sample->cat.resize(num_cat);
+  for (uint32_t i = 0; i < num_cat; ++i) {
+    sample->cat[i] = ReadRaw<int64_t>(p);
+    p += 8;
+  }
+  sample->seq.assign(num_seq, {});
+  for (uint32_t j = 0; j < num_seq; ++j) {
+    sample->seq[j].resize(seq_len);
+    for (uint32_t l = 0; l < seq_len; ++l) {
+      sample->seq[j][l] = ReadRaw<int64_t>(p);
+      p += 8;
+    }
+  }
+  sample->label = 0.0f;
+  *offset += 4 + payload_len;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
+                            WireResponse* out, std::string* error) {
+  const size_t avail = size - *offset;
+  if (avail < 4) return DecodeStatus::kNeedMoreData;
+  const char* p = data + *offset;
+  const uint32_t payload_len = ReadRaw<uint32_t>(p);
+  if (payload_len > kMaxFrameBytes) {
+    *error = "response payload of " + std::to_string(payload_len) +
+             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             "-byte limit";
+    return DecodeStatus::kMalformed;
+  }
+  if (payload_len < 8 + 1) {
+    *error = "response payload of " + std::to_string(payload_len) +
+             " bytes is shorter than the response header";
+    return DecodeStatus::kMalformed;
+  }
+  if (avail < 4 + static_cast<size_t>(payload_len)) {
+    return DecodeStatus::kNeedMoreData;
+  }
+  p += 4;
+  out->request_id = ReadRaw<uint64_t>(p);
+  p += 8;
+  const uint8_t status = static_cast<uint8_t>(*p);
+  p += 1;
+  if (status == 0) {
+    if (payload_len != kResponseOkLen) {
+      *error = "ok response carries " + std::to_string(payload_len) +
+               " payload bytes, expected " + std::to_string(kResponseOkLen);
+      return DecodeStatus::kMalformed;
+    }
+    out->ok = true;
+    out->score = ReadRaw<float>(p);
+    out->error.clear();
+  } else if (status == 1) {
+    out->ok = false;
+    out->score = 0.0f;
+    out->error.assign(p, payload_len - 9);
+  } else {
+    *error = "unknown response status " + std::to_string(status);
+    return DecodeStatus::kMalformed;
+  }
+  *offset += 4 + payload_len;
+  return DecodeStatus::kOk;
+}
+
+bool ValidateSample(const data::Sample& sample,
+                    const data::DatasetSchema& schema, std::string* error) {
+  for (size_t i = 0; i < sample.cat.size(); ++i) {
+    const int64_t id = sample.cat[i];
+    const int64_t vocab = schema.categorical[i].vocab_size;
+    if (id < 0 || id >= vocab) {
+      *error = "categorical field \"" + schema.categorical[i].name +
+               "\" id " + std::to_string(id) + " outside [0, " +
+               std::to_string(vocab) + ")";
+      return false;
+    }
+  }
+  if (sample.seq.empty() || sample.seq[0].empty()) {
+    *error = "empty behavior history (seq_len must be >= 1)";
+    return false;
+  }
+  const size_t history = sample.seq[0].size();
+  for (size_t j = 0; j < sample.seq.size(); ++j) {
+    if (sample.seq[j].size() != history) {
+      *error = "sequential fields must be time-aligned (field \"" +
+               schema.sequential[j].name + "\" has " +
+               std::to_string(sample.seq[j].size()) + " steps, expected " +
+               std::to_string(history) + ")";
+      return false;
+    }
+    const int64_t vocab = schema.sequential[j].vocab_size;
+    for (int64_t id : sample.seq[j]) {
+      if (id < 0 || id >= vocab) {
+        *error = "sequential field \"" + schema.sequential[j].name +
+                 "\" id " + std::to_string(id) + " outside [0, " +
+                 std::to_string(vocab) + ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace miss::net

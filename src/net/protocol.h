@@ -1,0 +1,84 @@
+// Length-prefixed binary scoring protocol (the "MIB1" wire format).
+//
+// A connection opens with the 4-byte magic "MIB1" (how the server's
+// protocol sniffer tells a binary client from an HTTP one), then carries any
+// number of pipelined frames. All integers are little-endian; the request
+// layout mirrors data::Sample against the serving bundle's
+// data::DatasetSchema:
+//
+//   request   u32 payload_len        bytes after this field
+//             u64 request_id         echoed verbatim in the response
+//             u32 num_cat            must equal schema.num_categorical()
+//             u32 num_seq            must equal schema.num_sequential()
+//             u32 seq_len            shared history length, >= 1
+//             i64 cat[num_cat]
+//             i64 seq[num_seq * seq_len]   field-major: seq[j][l]
+//
+//   response  u32 payload_len
+//             u64 request_id
+//             u8  status             0 = ok, 1 = error
+//             f32 score              status 0: sigmoid(logit), verbatim bits
+//             u8  error[]            status 1: message, payload_len-9 bytes
+//
+// Responses may arrive in any order; request_id is the correlation key.
+// Decoders are incremental (kNeedMoreData) and defensive: payload_len is
+// capped (kMaxFrameBytes), field counts are checked against the schema
+// before any allocation sized from the wire, and id range checks
+// (ValidateSample) run before a sample ever reaches the engine — a
+// malformed frame yields a per-connection error, never a crash.
+
+#ifndef MISS_NET_PROTOCOL_H_
+#define MISS_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace miss::net {
+
+inline constexpr char kBinaryMagic[4] = {'M', 'I', 'B', '1'};
+inline constexpr size_t kBinaryMagicLen = 4;
+
+// Hard ceiling on payload_len for both directions. Generous: a request for
+// a 7-field schema with a 4096-step history is ~230 KiB.
+inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
+
+struct WireResponse {
+  uint64_t request_id = 0;
+  bool ok = false;
+  float score = 0.0f;
+  std::string error;  // meaningful when !ok
+};
+
+enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
+
+// Appends the connection preamble / one encoded frame to `out`.
+void EncodeMagic(std::string* out);
+void EncodeRequest(uint64_t request_id, const data::Sample& sample,
+                   std::string* out);
+void EncodeResponse(const WireResponse& response, std::string* out);
+
+// Incremental decoders over data[*offset..size): on kOk the frame is
+// consumed (*offset advanced); on kNeedMoreData nothing is consumed; on
+// kMalformed `*error` names the defect and the connection should be failed.
+// DecodeRequest checks the frame's structure against `schema` (field
+// counts, length arithmetic) but not id ranges — run ValidateSample next.
+DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
+                           const data::DatasetSchema& schema,
+                           uint64_t* request_id, data::Sample* sample,
+                           std::string* error);
+DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
+                            WireResponse* out, std::string* error);
+
+// Range-checks a structurally valid sample against the schema: every cat id
+// in [0, vocab), every sequence id in [0, vocab), history length >= 1.
+// Shared by the binary and HTTP request paths.
+bool ValidateSample(const data::Sample& sample,
+                    const data::DatasetSchema& schema, std::string* error);
+
+}  // namespace miss::net
+
+#endif  // MISS_NET_PROTOCOL_H_

@@ -1,0 +1,704 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/http.h"
+#include "net/protocol.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::net {
+
+namespace {
+
+// Compact the consumed prefix of a parse buffer once it is worth the move.
+constexpr size_t kCompactThreshold = 64 * 1024;
+// Per-connection cap on buffered-but-unparsed input; a client that exceeds
+// it (only possible while responses stall parsing) stops being read until
+// the backlog drains.
+constexpr size_t kMaxRxBuffer = 4 * (1 << 20);
+
+std::string ErrorJson(const std::string& message) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("error").String(message);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ScoreJson(float score) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("score").Number(static_cast<double>(score));
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+// Engine callbacks hold a shared_ptr to this sink, not to the Server: a
+// worker finishing after a forced teardown (drain timeout) writes into live
+// memory and a dup'd pipe end, never a dead Server.
+struct Server::CompletionSink {
+  std::mutex mu;
+  std::vector<Completion> items;
+  int wake_fd = -1;  // owned dup of the loop's wake-pipe write end
+
+  ~CompletionSink() {
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void Push(const Completion& c) {
+    bool was_empty;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      was_empty = items.empty();
+      items.push_back(c);
+    }
+    if (was_empty && wake_fd >= 0) {
+      const char byte = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
+    }
+  }
+};
+
+struct Server::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+  enum class Proto { kSniff, kBinary, kHttp } proto = Proto::kSniff;
+
+  std::string rx;
+  size_t rx_off = 0;
+  std::string tx;
+  size_t tx_off = 0;
+
+  int64_t in_flight = 0;
+  bool http_busy = false;       // a /score is waiting on the engine
+  bool http_keep_alive = true;  // of that pending /score
+  bool read_closed = false;     // peer EOF; still flushing responses
+  bool close_after_flush = false;
+
+  int64_t opened_ns = 0;
+  int64_t requests = 0;
+  int64_t bytes_rx = 0;
+  int64_t bytes_tx = 0;
+
+  size_t rx_pending() const { return rx.size() - rx_off; }
+  size_t tx_pending() const { return tx.size() - tx_off; }
+};
+
+Server::Server(serve::Engine& engine, const data::DatasetSchema& schema,
+               const ServerConfig& config)
+    : engine_(engine), schema_(schema), config_(config) {}
+
+Server::~Server() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+bool Server::Start() {
+  MISS_CHECK(!started_) << "net::Server::Start called twice";
+  started_ = true;
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    MISS_LOG(WARNING) << "net::Server: socket(): " << std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    MISS_LOG(WARNING) << "net::Server: bad bind address \""
+                      << config_.bind_address << "\"";
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    MISS_LOG(WARNING) << "net::Server: bind(" << config_.bind_address << ":"
+                      << config_.port << "): " << std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    MISS_LOG(WARNING) << "net::Server: listen(): " << std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    MISS_LOG(WARNING) << "net::Server: pipe2(): " << std::strerror(errno);
+    return false;
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  sink_ = std::make_shared<CompletionSink>();
+  sink_->wake_fd = ::fcntl(wake_wr_, F_DUPFD_CLOEXEC, 0);
+
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { EventLoop(); });
+  MISS_LOG(INFO) << "net::Server listening on " << config_.bind_address << ":"
+                 << port_;
+  return true;
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_wr_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_wr_, &byte, 1);
+  }
+}
+
+void Server::Stop() {
+  RequestStop();
+  WaitUntilStopped();
+}
+
+void Server::WaitUntilStopped() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (loop_.joinable()) loop_.join();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::EventLoop() {
+  bool listener_open = true;
+  bool drain_started = false;
+  int64_t drain_deadline_ns = 0;
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pfds entry; 0 = not a conn
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) && !drain_started) {
+      drain_started = true;
+      draining_ = true;
+      drain_deadline_ns = obs::NowNs() + config_.drain_timeout_ms * 1'000'000;
+      if (listener_open) {
+        ::close(listen_fd_);  // refuse new connections from here on
+        listen_fd_ = -1;
+        listener_open = false;
+      }
+    }
+    if (drain_started) {
+      bool idle = true;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->in_flight > 0 || conn->tx_pending() > 0) {
+          idle = false;
+          break;
+        }
+      }
+      if (idle || obs::NowNs() >= drain_deadline_ns) break;
+    }
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_rd_, POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listener_open &&
+        static_cast<int>(conns_.size()) < config_.max_connections) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (const auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!draining_ && !conn->read_closed &&
+          conn->rx_pending() < kMaxRxBuffer) {
+        events |= POLLIN;
+      }
+      if (conn->tx_pending() > 0) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    int timeout_ms = -1;
+    if (drain_started) {
+      timeout_ms = static_cast<int>(std::max<int64_t>(
+          1, (drain_deadline_ns - obs::NowNs()) / 1'000'000));
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      MISS_LOG(WARNING) << "net::Server: poll(): " << std::strerror(errno);
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    ProcessCompletions();
+
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      if (pfd_conn[i] == 0) {
+        AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(pfd_conn[i]);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      Conn& conn = *it->second;
+      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        CloseConn(conn.id);
+        continue;
+      }
+      if (pfds[i].revents & (POLLIN | POLLHUP)) {
+        HandleReadable(conn);
+        if (conns_.find(pfd_conn[i]) == conns_.end()) continue;
+      }
+      if ((pfds[i].revents & POLLOUT) && conn.tx_pending() > 0) {
+        FlushWrites(conn);
+      }
+    }
+  }
+
+  // Teardown: anything still open is force-closed (drain timeout, poll
+  // failure, or a clean drain whose idle connections simply remain). Late
+  // completions land in the shared sink and are dropped.
+  std::vector<uint64_t> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) remaining.push_back(id);
+  for (uint64_t id : remaining) CloseConn(id);
+  if (listener_open && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) return;
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      MISS_LOG(WARNING) << "net::Server: accept(): " << std::strerror(errno);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->opened_ns = obs::NowNs();
+    conns_[conn->id] = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+      ++stats_.connections_active;
+    }
+    if (obs::Enabled()) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.GetCounter("net/connections").Add(1);
+      reg.GetGauge("net/active_connections")
+          .Set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void Server::HandleReadable(Conn& conn) {
+  char buf[64 * 1024];
+  int64_t read_now = 0;
+  // Bounded rounds keep one firehose connection from starving the rest.
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.rx.append(buf, static_cast<size_t>(n));
+      conn.bytes_rx += n;
+      read_now += n;
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn.id);
+    return;
+  }
+  if (read_now > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_rx += read_now;
+    }
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("net/bytes_rx").Add(read_now);
+    }
+  }
+  ParseBuffered(conn);
+}
+
+void Server::ParseBuffered(Conn& conn) {
+  if (conn.proto == Conn::Proto::kSniff) {
+    if (conn.rx_pending() < kBinaryMagicLen) {
+      if (conn.read_closed) CloseConn(conn.id);
+      return;
+    }
+    if (std::memcmp(conn.rx.data() + conn.rx_off, kBinaryMagic,
+                    kBinaryMagicLen) == 0) {
+      conn.proto = Conn::Proto::kBinary;
+      conn.rx_off += kBinaryMagicLen;
+    } else {
+      conn.proto = Conn::Proto::kHttp;
+    }
+  }
+  const uint64_t conn_id = conn.id;
+  if (conn.proto == Conn::Proto::kBinary) {
+    ParseBinary(conn);
+  } else {
+    ParseHttp(conn);
+  }
+  if (conns_.find(conn_id) == conns_.end()) return;  // closed while parsing
+
+  if (conn.rx_off > kCompactThreshold) {
+    conn.rx.erase(0, conn.rx_off);
+    conn.rx_off = 0;
+  }
+  if (conn.tx_pending() > 0) FlushWrites(conn);
+}
+
+void Server::ParseBinary(Conn& conn) {
+  while (!draining_ && !conn.close_after_flush) {
+    uint64_t request_id = 0;
+    data::Sample sample;
+    std::string error;
+    const DecodeStatus status =
+        DecodeRequest(conn.rx.data(), conn.rx.size(), &conn.rx_off, schema_,
+                      &request_id, &sample, &error);
+    if (status == DecodeStatus::kNeedMoreData) break;
+    if (status == DecodeStatus::kMalformed) {
+      // Framing is lost: answer once (request id unknown -> 0) and close.
+      WireResponse resp;
+      resp.request_id = 0;
+      resp.ok = false;
+      resp.error = error;
+      EncodeResponse(resp, &conn.tx);
+      conn.close_after_flush = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      ++stats_.responses;
+      break;
+    }
+    if (!ValidateSample(sample, schema_, &error)) {
+      // The frame itself was well-formed, so framing survives: report the
+      // defect against its request id and keep the connection.
+      WireResponse resp;
+      resp.request_id = request_id;
+      resp.ok = false;
+      resp.error = error;
+      EncodeResponse(resp, &conn.tx);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        ++stats_.responses;
+      }
+      continue;
+    }
+    SubmitScore(conn, request_id, /*http=*/false, std::move(sample));
+  }
+  if (conn.read_closed && conn.in_flight == 0 && conn.tx_pending() == 0) {
+    CloseConn(conn.id);
+  }
+}
+
+void Server::ParseHttp(Conn& conn) {
+  while (!draining_ && !conn.http_busy && !conn.close_after_flush) {
+    HttpRequest req;
+    int status_code = 400;
+    std::string error;
+    const HttpParseStatus status = ParseHttpRequest(
+        conn.rx.data(), conn.rx.size(), &conn.rx_off,
+        config_.max_http_head_bytes, config_.max_http_body_bytes, &req,
+        &status_code, &error);
+    if (status == HttpParseStatus::kNeedMoreData) break;
+    if (status == HttpParseStatus::kBad) {
+      conn.tx += MakeHttpResponse(status_code, "application/json",
+                                  ErrorJson(error), /*keep_alive=*/false);
+      conn.close_after_flush = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+      ++stats_.responses;
+      break;
+    }
+
+    bool responded = true;
+    if (req.method == "GET" && req.path == "/healthz") {
+      conn.tx += MakeHttpResponse(200, "application/json", HealthzJson(),
+                                  req.keep_alive);
+    } else if (req.method == "GET" && req.path == "/metricz") {
+      conn.tx += MakeHttpResponse(200, "application/json",
+                                  obs::MetricsRegistry::Global().ToJson(),
+                                  req.keep_alive);
+    } else if (req.method == "POST" && req.path == "/score") {
+      data::Sample sample;
+      if (!ParseScoreRequestJson(req.body, schema_, &sample, &error)) {
+        conn.tx += MakeHttpResponse(400, "application/json", ErrorJson(error),
+                                    req.keep_alive);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      } else {
+        conn.http_busy = true;
+        conn.http_keep_alive = req.keep_alive;
+        responded = false;
+        SubmitScore(conn, 0, /*http=*/true, std::move(sample));
+      }
+    } else if (req.method != "GET" && req.method != "POST") {
+      conn.tx += MakeHttpResponse(405, "application/json",
+                                  ErrorJson("method not allowed"),
+                                  req.keep_alive);
+    } else {
+      conn.tx += MakeHttpResponse(
+          404, "application/json",
+          ErrorJson("no such endpoint; try POST /score, GET /healthz, "
+                    "GET /metricz"),
+          req.keep_alive);
+    }
+    if (responded) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses;
+    }
+    if (!req.keep_alive && !conn.http_busy) {
+      conn.close_after_flush = true;
+      break;
+    }
+  }
+  if (conn.read_closed && conn.in_flight == 0 && conn.tx_pending() == 0 &&
+      !conn.http_busy) {
+    CloseConn(conn.id);
+  }
+}
+
+void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
+                         data::Sample sample) {
+  ++conn.in_flight;
+  ++conn.requests;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    ++stats_.in_flight;
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("net/requests").Add(1);
+  }
+  Completion pending;
+  pending.conn_id = conn.id;
+  pending.request_id = request_id;
+  pending.http = http;
+  pending.parsed_ns = obs::NowNs();
+  std::shared_ptr<CompletionSink> sink = sink_;
+  engine_.SubmitAsync(std::move(sample),
+                      [sink, pending](float score, bool ok) {
+                        Completion done = pending;
+                        done.ok = ok;
+                        done.score = score;
+                        sink->Push(done);
+                      });
+}
+
+void Server::ProcessCompletions() {
+  std::vector<Completion> items;
+  {
+    std::lock_guard<std::mutex> lock(sink_->mu);
+    items.swap(sink_->items);
+  }
+  if (items.empty()) return;
+
+  const int64_t now_ns = obs::NowNs();
+  obs::Histogram* latency =
+      obs::Enabled() ? &obs::MetricsRegistry::Global().GetHistogram(
+                           "net/request_latency_ms")
+                     : nullptr;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.in_flight -= static_cast<int64_t>(items.size());
+    stats_.responses += static_cast<int64_t>(items.size());
+  }
+
+  for (const Completion& c : items) {
+    if (latency != nullptr) {
+      latency->Record(static_cast<double>(now_ns - c.parsed_ns) / 1e6);
+    }
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // connection died while scoring
+    Conn& conn = *it->second;
+    --conn.in_flight;
+    if (c.http) {
+      const bool keep = conn.http_keep_alive && c.ok;
+      conn.tx += c.ok ? MakeHttpResponse(200, "application/json",
+                                         ScoreJson(c.score), keep)
+                      : MakeHttpResponse(503, "application/json",
+                                         ErrorJson("engine is draining"),
+                                         false);
+      conn.http_busy = false;
+      if (!keep) conn.close_after_flush = true;
+    } else {
+      WireResponse resp;
+      resp.request_id = c.request_id;
+      resp.ok = c.ok;
+      resp.score = c.score;
+      if (!c.ok) resp.error = "engine is draining";
+      EncodeResponse(resp, &conn.tx);
+    }
+  }
+
+  // One flush per touched connection; a freed-up HTTP connection may have
+  // the next pipelined request already buffered.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    if (conn.tx_pending() > 0 || conn.close_after_flush || conn.read_closed) {
+      if (!FlushWrites(conn)) continue;
+    }
+    if (conns_.find(id) == conns_.end()) continue;
+    if (conn.proto == Conn::Proto::kHttp && !conn.http_busy &&
+        conn.rx_pending() > 0 && !draining_) {
+      ParseBuffered(conn);
+    }
+  }
+}
+
+bool Server::FlushWrites(Conn& conn) {
+  int64_t wrote_now = 0;
+  while (conn.tx_pending() > 0) {
+    const ssize_t n =
+        ::write(conn.fd, conn.tx.data() + conn.tx_off, conn.tx_pending());
+    if (n > 0) {
+      conn.tx_off += static_cast<size_t>(n);
+      conn.bytes_tx += n;
+      wrote_now += n;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn.id);
+    return false;
+  }
+  if (wrote_now > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_tx += wrote_now;
+    }
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("net/bytes_tx").Add(wrote_now);
+    }
+  }
+  if (conn.tx_pending() > 0) return true;  // kernel buffer full; poll POLLOUT
+  conn.tx.clear();
+  conn.tx_off = 0;
+  // Fully flushed: honor deferred closes (protocol error, Connection: close,
+  // or peer EOF with nothing left to answer).
+  const bool drained = conn.in_flight == 0 && !conn.http_busy;
+  if (drained && (conn.close_after_flush ||
+                  (conn.read_closed && conn.rx_pending() == 0))) {
+    CloseConn(conn.id);
+    return false;
+  }
+  return true;
+}
+
+void Server::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("net/active_connections")
+        .Set(static_cast<double>(conns_.size() - 1));
+    MISS_LOG(DEBUG) << "net::Server conn " << conn.id << " closed: "
+                    << conn.requests << " requests, " << conn.bytes_rx
+                    << " B in, " << conn.bytes_tx << " B out, "
+                    << (obs::NowNs() - conn.opened_ns) / 1'000'000 << " ms";
+  }
+  ::close(conn.fd);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --stats_.connections_active;
+  }
+  conns_.erase(it);
+}
+
+std::string Server::HealthzJson() const {
+  const ServerStats s = stats();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("status").String(draining_ ? "draining" : "ok");
+  w.Key("connections").Int(s.connections_active);
+  w.Key("connections_total").Int(s.connections_accepted);
+  w.Key("requests").Int(s.requests);
+  w.Key("responses").Int(s.responses);
+  w.Key("in_flight").Int(s.in_flight);
+  w.Key("protocol_errors").Int(s.protocol_errors);
+  w.Key("bytes_rx").Int(s.bytes_rx);
+  w.Key("bytes_tx").Int(s.bytes_tx);
+  w.Key("engine_queue_depth").Int(engine_.QueueDepth());
+  w.Key("telemetry_enabled").Bool(obs::Enabled());
+  if (obs::Enabled()) {
+    // The serve/* and net/* slices of the registry snapshot — the numbers
+    // an operator actually wants from a scoring tier. /metricz has it all.
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Global().SnapshotAll();
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("serve/", 0) == 0 || name.rfind("net/", 0) == 0) {
+        w.Key(name).Int(value);
+      }
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      if (name.rfind("serve/", 0) == 0 || name.rfind("net/", 0) == 0) {
+        w.Key(name).Number(value);
+      }
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+      if (name.rfind("serve/", 0) != 0 && name.rfind("net/", 0) != 0) {
+        continue;
+      }
+      w.Key(name).BeginObject();
+      w.Key("count").Int(hist.count);
+      w.Key("p50").Number(hist.p50);
+      w.Key("p95").Number(hist.p95);
+      w.Key("p99").Number(hist.p99);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace miss::net

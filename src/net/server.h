@@ -1,0 +1,153 @@
+// TCP serving front-end over serve::Engine.
+//
+// One poll(2)-driven event-loop thread owns the listener and every
+// connection; scoring runs on the engine's worker threads, which hand
+// results back through a completion queue + self-pipe wakeup, so the loop
+// never blocks on a score and a worker never touches a socket. Each
+// connection speaks one of two protocols, sniffed from its first bytes:
+//
+//   * the length-prefixed binary protocol (net/protocol.h) — pipelined
+//     requests, out-of-order responses correlated by request id;
+//   * HTTP/1.1 (net/http.h) — POST /score, GET /healthz, GET /metricz,
+//     keep-alive, one request in flight per connection.
+//
+// Malformed input of either kind produces a per-connection error (an error
+// frame or a 4xx) and at worst closes that connection — never the server.
+//
+// Shutdown is graceful by design: RequestStop() is async-signal-safe (the
+// miss_serve SIGTERM handler calls it), after which the loop closes the
+// listener (new connections are refused), stops parsing new requests,
+// waits for every in-flight score to come back and flush — bounded by
+// drain_timeout_ms — then closes all connections and exits.
+//
+// Telemetry (behind obs::Enabled()): counters net/connections,
+// net/requests, net/bytes_rx, net/bytes_tx; gauge net/active_connections;
+// histogram net/request_latency_ms (request parsed -> response enqueued).
+// ServerStats mirrors the counters unconditionally for tests and /healthz.
+
+#ifndef MISS_NET_SERVER_H_
+#define MISS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "serve/engine.h"
+
+namespace miss::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the chosen one back via port()
+  int backlog = 128;
+  int max_connections = 1024;
+  size_t max_http_head_bytes = 16 * 1024;
+  size_t max_http_body_bytes = 1 << 20;
+  // Upper bound on the graceful-drain wait once a stop is requested.
+  int64_t drain_timeout_ms = 5000;
+};
+
+// Monotonic totals since Start(). Plain counters (always on, unlike the
+// obs:: metrics) so tests and /healthz can read them cheaply.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t requests = 0;         // successfully parsed + submitted
+  int64_t responses = 0;        // responses enqueued (ok or error)
+  int64_t protocol_errors = 0;  // malformed frames / bad HTTP
+  int64_t in_flight = 0;        // submitted to the engine, not yet answered
+  int64_t bytes_rx = 0;
+  int64_t bytes_tx = 0;
+};
+
+class Server {
+ public:
+  // `engine` and `schema` must outlive the server; `schema` is the serving
+  // bundle's and is what request validation runs against.
+  Server(serve::Engine& engine, const data::DatasetSchema& schema,
+         const ServerConfig& config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the event loop. False on bind/listen failure
+  // (logged). At most one successful Start per Server.
+  bool Start();
+
+  // The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  // Async-signal-safe stop trigger: flags the loop and pokes the self-pipe.
+  void RequestStop();
+
+  // RequestStop() + block until the loop finished draining and exited.
+  void Stop();
+
+  // Blocks until the event loop exits (something else must stop it).
+  void WaitUntilStopped();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;  // binary protocol correlation key
+    bool http = false;
+    bool ok = false;
+    float score = 0.0f;
+    int64_t parsed_ns = 0;  // request-parse time, for net/request_latency_ms
+  };
+  // Engine callbacks write completions here through a shared_ptr, so a score
+  // finishing after a forced teardown never touches a dead Server.
+  struct CompletionSink;
+
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(Conn& conn);
+  void ParseBuffered(Conn& conn);
+  void ParseBinary(Conn& conn);
+  void ParseHttp(Conn& conn);
+  void SubmitScore(Conn& conn, uint64_t request_id, bool http,
+                   data::Sample sample);
+  void ProcessCompletions();
+  bool FlushWrites(Conn& conn);  // false when the conn died
+  void CloseConn(uint64_t conn_id);
+  std::string HealthzJson() const;
+
+  serve::Engine& engine_;
+  const data::DatasetSchema& schema_;
+  const ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  int port_ = 0;
+  std::thread loop_;
+  std::mutex join_mu_;  // serializes concurrent Stop/WaitUntilStopped joins
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  bool draining_ = false;  // event-loop thread only
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+
+  std::shared_ptr<CompletionSink> sink_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace miss::net
+
+#endif  // MISS_NET_SERVER_H_

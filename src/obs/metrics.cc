@@ -178,23 +178,64 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   return names;
 }
 
-std::string MetricsRegistry::ToJson() const {
+int64_t RegistrySnapshot::CounterOr(const std::string& name,
+                                    int64_t fallback) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+double RegistrySnapshot::GaugeOr(const std::string& name,
+                                 double fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+RegistrySnapshot MetricsRegistry::SnapshotAll() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const RegistrySnapshot snap = SnapshotAll();
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
-  for (const auto& [name, counter] : counters_) {
-    w.Key(name).Int(counter->value());
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name).Int(value);
   }
   w.EndObject();
   w.Key("gauges").BeginObject();
-  for (const auto& [name, gauge] : gauges_) {
-    w.Key(name).Number(gauge->value());
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name).Number(value);
   }
   w.EndObject();
   w.Key("histograms").BeginObject();
-  for (const auto& [name, hist] : histograms_) {
-    const HistogramSnapshot s = hist->Snapshot();
+  for (const auto& [name, s] : snap.histograms) {
     w.Key(name).BeginObject();
     w.Key("count").Int(s.count);
     w.Key("sum").Number(s.sum);

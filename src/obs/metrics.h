@@ -99,6 +99,20 @@ class Histogram {
   double max_ = 0.0;
 };
 
+// Point-in-time copy of every metric in a registry, for renderers (the
+// /healthz and /metricz endpoints, reporters) that must not create metrics
+// as a side effect of reading them. Entries are name-sorted (map order).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  // Lookup helpers; fallback/nullptr when the metric does not exist yet.
+  int64_t CounterOr(const std::string& name, int64_t fallback) const;
+  double GaugeOr(const std::string& name, double fallback) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -120,8 +134,12 @@ class MetricsRegistry {
   std::vector<std::string> GaugeNames() const;
   std::vector<std::string> HistogramNames() const;
 
+  // Consistent point-in-time copy of every metric (each histogram is
+  // snapshotted under its own lock; the set of metrics under the registry's).
+  RegistrySnapshot SnapshotAll() const;
+
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  //  mean,p50,p95,p99}}}
+  //  mean,p50,p95,p99}}} — SnapshotAll() rendered as one JSON object.
   std::string ToJson() const;
   bool WriteJsonFile(const std::string& path) const;
 

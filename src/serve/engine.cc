@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "common/check.h"
@@ -22,7 +23,27 @@ Engine::Engine(models::CtrModel& model, const EngineConfig& config)
   }
 }
 
-Engine::~Engine() { Shutdown(); }
+Engine::~Engine() { StopAndJoin(/*flush=*/false); }
+
+void Engine::Fail(Request& req, const char* what) {
+  if (req.callback) {
+    req.callback(0.0f, /*ok=*/false);
+    return;
+  }
+  req.promise.set_exception(
+      std::make_exception_ptr(std::runtime_error(what)));
+}
+
+bool Engine::EnqueueLocked(Request req) {
+  if (stopping_) return false;
+  queue_.push_back(std::move(req));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve/queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  return true;
+}
 
 std::future<float> Engine::Submit(data::Sample sample) {
   Request req;
@@ -31,29 +52,71 @@ std::future<float> Engine::Submit(data::Sample sample) {
   std::future<float> future = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MISS_CHECK(!stopping_) << "Engine::Submit after Shutdown";
-    queue_.push_back(std::move(req));
-    if (obs::Enabled()) {
-      obs::MetricsRegistry::Global()
-          .GetGauge("serve/queue_depth")
-          .Set(static_cast<double>(queue_.size()));
+    if (!EnqueueLocked(std::move(req))) {
+      std::promise<float> failed;
+      failed.set_exception(std::make_exception_ptr(
+          std::runtime_error("serve::Engine::Submit after Drain")));
+      return failed.get_future();
     }
   }
   cv_.notify_one();
   return future;
 }
 
-void Engine::Shutdown() {
+void Engine::SubmitAsync(data::Sample sample, ScoreCallback callback) {
+  MISS_CHECK(callback != nullptr);
+  Request req;
+  req.sample = std::move(sample);
+  req.callback = std::move(callback);
+  req.enqueue_ns = obs::NowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
-    stopping_ = true;
+    if (!stopping_) {
+      MISS_CHECK(EnqueueLocked(std::move(req)));
+      cv_.notify_one();
+      return;
+    }
+  }
+  req.callback(0.0f, /*ok=*/false);
+}
+
+void Engine::Drain() { StopAndJoin(/*flush=*/true); }
+
+void Engine::Shutdown() { Drain(); }
+
+bool Engine::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+void Engine::StopAndJoin(bool flush) {
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      flush_on_stop_ = flush;
+    }
   }
   cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+
+  // Fast stop (destructor without a prior Drain) abandons the queue to us:
+  // fail every request so no caller blocks on a dead future.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    if (obs::Enabled() && !leftover.empty()) {
+      obs::MetricsRegistry::Global().GetGauge("serve/queue_depth").Set(0.0);
+    }
+  }
+  for (Request& req : leftover) {
+    Fail(req, "serve::Engine destroyed with the request still queued");
+  }
 }
 
 int64_t Engine::QueueDepth() const {
@@ -67,14 +130,15 @@ void Engine::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && !flush_on_stop_) return;
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
       }
 
       // Dynamic micro-batching: hold the batch open until it is full or the
-      // oldest request has aged past the configured delay. During shutdown
-      // everything queued is scored immediately.
+      // oldest request has aged past the configured delay. During a graceful
+      // drain everything queued is scored immediately.
       const int64_t deadline_ns =
           queue_.front().enqueue_ns + config_.max_queue_delay_us * 1000;
       while (!stopping_ &&
@@ -84,6 +148,7 @@ void Engine::WorkerLoop() {
         cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now_ns));
         if (queue_.empty()) break;  // another worker claimed the batch
       }
+      if (stopping_ && !flush_on_stop_) return;
       if (queue_.empty()) continue;
 
       const int64_t take =
@@ -128,7 +193,12 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
 
   for (int64_t i = 0; i < n; ++i) {
     const float x = logits.at(i);
-    batch[i].promise.set_value(1.0f / (1.0f + std::exp(-x)));
+    const float score = 1.0f / (1.0f + std::exp(-x));
+    if (batch[i].callback) {
+      batch[i].callback(score, /*ok=*/true);
+    } else {
+      batch[i].promise.set_value(score);
+    }
   }
 
   if (obs::Enabled()) {

@@ -14,6 +14,13 @@
 // when training == false (dropout is identity and never touches its RNG);
 // multiple workers therefore share one model with no locking.
 //
+// Lifecycle: Drain() stops intake (subsequent submissions fail with an
+// error, never block), scores everything already queued, and joins the
+// workers — the SIGTERM path for a serving process. The destructor instead
+// stops the workers fast and fulfills any still-queued promises with a
+// std::runtime_error, so no caller is ever left blocked on an abandoned
+// future. Shutdown() is a pre-Drain alias kept for existing callers.
+//
 // Telemetry (behind obs::Enabled()): counters serve/requests and
 // serve/batches, gauge serve/queue_depth, histograms serve/batch_size and
 // serve/latency_ms (submit -> promise fulfilled, the end-to-end number whose
@@ -25,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -48,6 +56,11 @@ struct EngineConfig {
 
 class Engine {
  public:
+  // Invoked exactly once per SubmitAsync call: on the scoring worker thread
+  // with ok == true, or (when the engine is draining/destroyed) with
+  // ok == false — possibly inline from SubmitAsync itself.
+  using ScoreCallback = std::function<void(float score, bool ok)>;
+
   // `model` must outlive the engine and is shared, unlocked, by all
   // workers (see file comment for the thread-safety contract).
   Engine(models::CtrModel& model, const EngineConfig& config);
@@ -58,12 +71,22 @@ class Engine {
 
   // Enqueues one sample (fields must match the model's schema) and returns
   // a future resolving to the predicted click probability sigmoid(logit).
-  // Aborts if called after Shutdown().
+  // After Drain()/Shutdown() the future holds a std::runtime_error instead.
   std::future<float> Submit(data::Sample sample);
 
-  // Drains every queued request, then stops and joins the workers.
-  // Idempotent; also run by the destructor.
+  // Callback form for event-driven callers (the net::Server): no future, no
+  // blocked thread. See ScoreCallback for the invocation contract.
+  void SubmitAsync(data::Sample sample, ScoreCallback callback);
+
+  // Stops intake, scores every queued request, then joins the workers.
+  // Idempotent and safe to call from multiple threads.
+  void Drain();
+
+  // Pre-Drain name for the same graceful stop (kept for existing callers).
   void Shutdown();
+
+  // True once Drain()/Shutdown()/destruction has begun; new submissions fail.
+  bool draining() const;
 
   // Requests currently waiting for a batch slot (diagnostic).
   int64_t QueueDepth() const;
@@ -72,8 +95,15 @@ class Engine {
   struct Request {
     data::Sample sample;
     std::promise<float> promise;
+    ScoreCallback callback;  // when set, used instead of the promise
     int64_t enqueue_ns = 0;
   };
+
+  // Shared stop path: flush scores the queue before the workers exit,
+  // !flush abandons it to the post-join sweep (destructor semantics).
+  void StopAndJoin(bool flush);
+  bool EnqueueLocked(Request req);  // false once stopping
+  static void Fail(Request& req, const char* what);
 
   void WorkerLoop();
   void ScoreBatch(std::vector<Request> batch);
@@ -85,7 +115,9 @@ class Engine {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  bool flush_on_stop_ = true;
 
+  std::mutex join_mu_;  // serializes concurrent StopAndJoin callers
   std::vector<std::thread> workers_;
 };
 

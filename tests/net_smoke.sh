@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for miss_serve: demo bundle -> boot -> curl
+# /healthz + /score -> SIGTERM must exit 0 (graceful drain).
+set -euo pipefail
+
+SERVE_BIN="$1"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVE_BIN" --export-demo-bundle "$WORK/bundle"
+
+"$SERVE_BIN" --bundle "$WORK/bundle" --port 0 --port-file "$WORK/port" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "FAIL: server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/port")"
+
+HEALTH="$(curl -sf "http://127.0.0.1:$PORT/healthz")"
+echo "healthz: $HEALTH"
+echo "$HEALTH" | grep -q '"status":"ok"' \
+  || { echo "FAIL: /healthz did not report status ok" >&2; exit 1; }
+
+SCORE="$(curl -sf -X POST "http://127.0.0.1:$PORT/score" \
+              -H 'Content-Type: application/json' \
+              --data @"$WORK/bundle/sample.json")"
+echo "score: $SCORE"
+echo "$SCORE" | grep -q '"score":' \
+  || { echo "FAIL: /score did not return a score" >&2; exit 1; }
+
+# Malformed input must get an error response, not crash the server.
+BAD="$(curl -s -X POST "http://127.0.0.1:$PORT/score" -d '{"oops":1}')"
+echo "$BAD" | grep -q '"error":' \
+  || { echo "FAIL: malformed /score did not return an error body" >&2; exit 1; }
+
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  echo "PASS: graceful shutdown exited 0"
+  SERVER_PID=""
+else
+  CODE=$?
+  echo "FAIL: server exited $CODE after SIGTERM" >&2
+  exit 1
+fi

@@ -435,6 +435,81 @@ TEST(ServeEngineTest, ShutdownDrainsPendingRequests) {
   EXPECT_EQ(engine.QueueDepth(), 0);
 }
 
+TEST(ServeEngineTest, SubmitAfterDrainFailsWithoutBlocking) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 43);
+  serve::Engine engine(*model, {});
+  EXPECT_FALSE(engine.draining());
+  engine.Drain();
+  EXPECT_TRUE(engine.draining());
+
+  // Futures resolve to an error instead of hanging on a dead worker pool.
+  std::future<float> f = engine.Submit(bundle.test.samples[0]);
+  EXPECT_THROW(f.get(), std::runtime_error);
+
+  // The callback form reports the rejection inline with ok == false.
+  bool called = false;
+  bool ok = true;
+  engine.SubmitAsync(bundle.test.samples[0], [&](float, bool cb_ok) {
+    called = true;
+    ok = cb_ok;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+
+  engine.Drain();  // idempotent
+}
+
+TEST(ServeEngineTest, DestructorFailsStillQueuedRequests) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 47);
+
+  serve::EngineConfig config;
+  config.num_workers = 1;
+  config.max_batch_size = 64;
+  config.max_queue_delay_us = 1000000;  // batch stays open for 1s
+  std::vector<std::future<float>> futures;
+  {
+    serve::Engine engine(*model, config);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(engine.Submit(bundle.test.samples[i]));
+    }
+    // Destroyed while the batch window is still open: unlike Drain(), the
+    // destructor abandons the queue but must fulfill every promise.
+  }
+  int errored = 0;
+  for (auto& f : futures) {
+    try {
+      const float p = f.get();  // a request already claimed may still score
+      EXPECT_GT(p, 0.0f);
+      EXPECT_LT(p, 1.0f);
+    } catch (const std::runtime_error&) {
+      ++errored;
+    }
+  }
+  EXPECT_GT(errored, 0) << "destructor scored the whole queue; expected the "
+                           "fast-stop path to abandon still-queued requests";
+}
+
+TEST(ServeEngineTest, SubmitAsyncScoresMatchFutures) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", bundle.train.schema, mc, 53);
+  serve::Engine engine(*model, {});
+
+  for (int i = 0; i < 8; ++i) {
+    const float expected = engine.Submit(bundle.test.samples[i]).get();
+    std::promise<float> done;
+    engine.SubmitAsync(bundle.test.samples[i], [&](float score, bool ok) {
+      ASSERT_TRUE(ok);
+      done.set_value(score);
+    });
+    EXPECT_EQ(done.get_future().get(), expected) << "sample " << i;
+  }
+}
+
 TEST(ServeEngineTest, RecordsServingMetrics) {
   obs::SetEnabled(true);
   obs::MetricsRegistry::Global().Reset();
