@@ -3,10 +3,14 @@
 //   miss_serve --bundle <dir> [--host 127.0.0.1] [--port 8080]
 //              [--port-file <path>] [--workers N] [--max-batch N]
 //              [--max-delay-us N] [--drain-timeout-ms N]
+//              [--slow-ms N] [--slow-log <path>]
 //
 // Loads a serve::SaveBundle directory, stands up a serve::Engine over it,
 // and serves the binary protocol plus HTTP (POST /score, GET /healthz,
-// GET /metricz) on one listener. SIGTERM/SIGINT trigger a graceful stop:
+// GET /metricz[?format=prom], GET /statusz) on one listener. --slow-ms
+// turns on the slow-request log (requests over the threshold appear in
+// /statusz's ring and, with --slow-log, as JSONL lines) and forces
+// telemetry on. SIGTERM/SIGINT trigger a graceful stop:
 // the listener closes, in-flight requests finish and flush, then the
 // process exits 0. --port 0 picks an ephemeral port; --port-file writes the
 // chosen port for harnesses (the net_smoke test uses both).
@@ -28,6 +32,7 @@
 
 #include "common/logging.h"
 #include "data/synthetic.h"
+#include "obs/trace.h"
 #include "models/model_factory.h"
 #include "net/http.h"
 #include "net/server.h"
@@ -101,11 +106,16 @@ int main(int argc, char** argv) {
       engine_config.max_queue_delay_us = std::atoll(next("--max-delay-us"));
     } else if (arg == "--drain-timeout-ms") {
       server_config.drain_timeout_ms = std::atoll(next("--drain-timeout-ms"));
+    } else if (arg == "--slow-ms") {
+      server_config.slow_request_ms = std::atoll(next("--slow-ms"));
+    } else if (arg == "--slow-log") {
+      server_config.slow_log_path = next("--slow-log");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
           "                  [--port-file F] [--workers N] [--max-batch N]\n"
           "                  [--max-delay-us N] [--drain-timeout-ms N]\n"
+          "                  [--slow-ms N] [--slow-log F]\n"
           "       miss_serve --export-demo-bundle <dir>\n");
       return 0;
     } else {
@@ -129,6 +139,15 @@ int main(int argc, char** argv) {
   MISS_LOG(INFO) << "miss_serve: loaded \"" << bundle.model_name
                  << "\" bundle (schema " << bundle.model->schema().name
                  << ") from " << bundle_dir;
+  server_config.model_name = bundle.model_name;
+  server_config.bundle_path = bundle_dir;
+
+  // The slow-request log needs stage timestamps, which only exist when
+  // telemetry is on; make --slow-ms imply it. Read Enabled() first so the
+  // MISS_* env init runs (and opens MISS_TRACE_FILE) before the override.
+  if (server_config.slow_request_ms > 0 && !miss::obs::Enabled()) {
+    miss::obs::SetEnabled(true);
+  }
 
   miss::serve::Engine engine(*bundle.model, engine_config);
   miss::net::Server server(engine, bundle.model->schema(), server_config);

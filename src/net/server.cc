@@ -47,6 +47,22 @@ std::string ScoreJson(float score) {
   return w.str();
 }
 
+// /statusz keeps this many recent slow requests.
+constexpr size_t kSlowRingCapacity = 16;
+
+// The serving stage histograms (milliseconds). Each is recorded twice per
+// request: into the lifetime Histogram of this name and into the
+// SlidingHistogram of the same name (the /statusz rolling window).
+constexpr const char* kStageParse = "serve/stage/parse_ms";
+constexpr const char* kStageQueue = "serve/stage/queue_ms";
+constexpr const char* kStageForward = "serve/stage/forward_ms";
+constexpr const char* kStageWrite = "serve/stage/write_ms";
+constexpr const char* kStageTotal = "serve/stage/total_ms";
+
+double MsBetween(int64_t from_ns, int64_t to_ns) {
+  return static_cast<double>(to_ns - from_ns) / 1e6;
+}
+
 }  // namespace
 
 // Engine callbacks hold a shared_ptr to this sink, not to the Server: a
@@ -92,6 +108,7 @@ struct Server::Conn {
   bool close_after_flush = false;
 
   int64_t opened_ns = 0;
+  int64_t last_read_ns = 0;  // wire entry of the request(s) now buffered
   int64_t requests = 0;
   int64_t bytes_rx = 0;
   int64_t bytes_tx = 0;
@@ -159,6 +176,17 @@ bool Server::Start() {
   sink_ = std::make_shared<CompletionSink>();
   sink_->wake_fd = ::fcntl(wake_wr_, F_DUPFD_CLOEXEC, 0);
 
+  start_ns_ = obs::NowNs();
+  if (config_.slow_request_ms > 0 && !config_.slow_log_path.empty()) {
+    slow_log_ = std::make_unique<std::ofstream>(config_.slow_log_path,
+                                                std::ios::app);
+    if (!*slow_log_) {
+      MISS_LOG(WARNING) << "net::Server: cannot open slow-request log \""
+                        << config_.slow_log_path << "\"";
+      slow_log_.reset();
+    }
+  }
+
   running_.store(true, std::memory_order_release);
   loop_ = std::thread([this] { EventLoop(); });
   MISS_LOG(INFO) << "net::Server listening on " << config_.bind_address << ":"
@@ -190,6 +218,7 @@ ServerStats Server::stats() const {
 }
 
 void Server::EventLoop() {
+  obs::SetCurrentThreadName("net-loop");
   bool listener_open = true;
   bool drain_started = false;
   int64_t drain_deadline_ns = 0;
@@ -327,6 +356,12 @@ void Server::AcceptNew() {
 }
 
 void Server::HandleReadable(Conn& conn) {
+  // Wire-entry stamp for the request(s) about to land: only taken when the
+  // buffer holds no partial request, so a request split across reads keeps
+  // the timestamp of its first byte.
+  if (obs::Enabled() && conn.rx_pending() == 0) {
+    conn.last_read_ns = obs::NowNs();
+  }
   char buf[64 * 1024];
   int64_t read_now = 0;
   // Bounded rounds keep one firehose connection from starving the rest.
@@ -454,14 +489,32 @@ void Server::ParseHttp(Conn& conn) {
     }
 
     bool responded = true;
-    if (req.method == "GET" && req.path == "/healthz") {
+    // The origin-form target keeps its query string; route on the path part.
+    std::string route = req.path;
+    std::string query;
+    const size_t qpos = route.find('?');
+    if (qpos != std::string::npos) {
+      query = route.substr(qpos + 1);
+      route.resize(qpos);
+    }
+    if (req.method == "GET" && route == "/healthz") {
       conn.tx += MakeHttpResponse(200, "application/json", HealthzJson(),
                                   req.keep_alive);
-    } else if (req.method == "GET" && req.path == "/metricz") {
-      conn.tx += MakeHttpResponse(200, "application/json",
-                                  obs::MetricsRegistry::Global().ToJson(),
+    } else if (req.method == "GET" && route == "/metricz") {
+      if (query == "format=prom") {
+        conn.tx += MakeHttpResponse(
+            200, "text/plain; version=0.0.4",
+            obs::MetricsRegistry::Global().ToPrometheusText(),
+            req.keep_alive);
+      } else {
+        conn.tx += MakeHttpResponse(200, "application/json",
+                                    obs::MetricsRegistry::Global().ToJson(),
+                                    req.keep_alive);
+      }
+    } else if (req.method == "GET" && route == "/statusz") {
+      conn.tx += MakeHttpResponse(200, "application/json", StatuszJson(),
                                   req.keep_alive);
-    } else if (req.method == "POST" && req.path == "/score") {
+    } else if (req.method == "POST" && route == "/score") {
       data::Sample sample;
       if (!ParseScoreRequestJson(req.body, schema_, &sample, &error)) {
         conn.tx += MakeHttpResponse(400, "application/json", ErrorJson(error),
@@ -482,7 +535,7 @@ void Server::ParseHttp(Conn& conn) {
       conn.tx += MakeHttpResponse(
           404, "application/json",
           ErrorJson("no such endpoint; try POST /score, GET /healthz, "
-                    "GET /metricz"),
+                    "GET /metricz, GET /statusz"),
           req.keep_alive);
     }
     if (responded) {
@@ -509,22 +562,40 @@ void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
     ++stats_.requests;
     ++stats_.in_flight;
   }
-  if (obs::Enabled()) {
-    obs::MetricsRegistry::Global().GetCounter("net/requests").Add(1);
-  }
   Completion pending;
   pending.conn_id = conn.id;
   pending.request_id = request_id;
   pending.http = http;
   pending.parsed_ns = obs::NowNs();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("net/requests").Add(1);
+    reg.GetSlidingCounter("net/requests").Add(1);
+    // Trace the request through the engine. recv falls back to parse time
+    // for requests that arrived glued to an earlier one in the same read.
+    pending.trace.trace_id = next_trace_id_++;
+    pending.trace.recv_ns =
+        conn.last_read_ns != 0 ? conn.last_read_ns : pending.parsed_ns;
+    if (obs::TracingActive()) {
+      // The net-loop half of the request's Perfetto lane: one slice from
+      // wire entry to engine submit, with the flow arrow starting inside it
+      // (at the slice start, which the slice contains).
+      obs::EmitTraceEvent("net/request", pending.trace.recv_ns,
+                          pending.parsed_ns - pending.trace.recv_ns);
+      obs::EmitFlowStart(pending.trace.trace_id, pending.trace.recv_ns);
+    }
+  }
   std::shared_ptr<CompletionSink> sink = sink_;
-  engine_.SubmitAsync(std::move(sample),
-                      [sink, pending](float score, bool ok) {
-                        Completion done = pending;
-                        done.ok = ok;
-                        done.score = score;
-                        sink->Push(done);
-                      });
+  engine_.SubmitTraced(
+      std::move(sample), pending.trace,
+      [sink, pending](float score, bool ok,
+                      const serve::RequestTrace& trace) {
+        Completion done = pending;
+        done.ok = ok;
+        done.score = score;
+        done.trace = trace;
+        sink->Push(done);
+      });
 }
 
 void Server::ProcessCompletions() {
@@ -549,6 +620,7 @@ void Server::ProcessCompletions() {
   for (const Completion& c : items) {
     if (latency != nullptr) {
       latency->Record(static_cast<double>(now_ns - c.parsed_ns) / 1e6);
+      RecordStages(c, now_ns);
     }
     auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // connection died while scoring
@@ -590,6 +662,68 @@ void Server::ProcessCompletions() {
         conn.rx_pending() > 0 && !draining_) {
       ParseBuffered(conn);
     }
+  }
+}
+
+void Server::RecordStages(const Completion& c, int64_t reply_ns) {
+  // Only fully stamped traces count: requests failed before scoring (drain)
+  // or submitted with telemetry off have zero stamps.
+  const serve::RequestTrace& t = c.trace;
+  if (t.trace_id == 0 || t.enqueue_ns == 0 || t.batch_close_ns == 0 ||
+      t.forward_done_ns == 0) {
+    return;
+  }
+  const double parse_ms = MsBetween(t.recv_ns, t.enqueue_ns);
+  const double queue_ms = MsBetween(t.enqueue_ns, t.batch_close_ns);
+  const double forward_ms = MsBetween(t.batch_close_ns, t.forward_done_ns);
+  const double write_ms = MsBetween(t.forward_done_ns, reply_ns);
+  const double total_ms = MsBetween(t.recv_ns, reply_ns);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetHistogram(kStageParse).Record(parse_ms);
+  reg.GetHistogram(kStageQueue).Record(queue_ms);
+  reg.GetHistogram(kStageForward).Record(forward_ms);
+  reg.GetHistogram(kStageWrite).Record(write_ms);
+  reg.GetHistogram(kStageTotal).Record(total_ms);
+  reg.GetSlidingHistogram(kStageParse).Record(parse_ms);
+  reg.GetSlidingHistogram(kStageQueue).Record(queue_ms);
+  reg.GetSlidingHistogram(kStageForward).Record(forward_ms);
+  reg.GetSlidingHistogram(kStageWrite).Record(write_ms);
+  reg.GetSlidingHistogram(kStageTotal).Record(total_ms);
+
+  if (config_.slow_request_ms <= 0 ||
+      total_ms < static_cast<double>(config_.slow_request_ms)) {
+    return;
+  }
+  SlowRequest slow;
+  slow.trace_id = t.trace_id;
+  slow.http = c.http;
+  slow.total_ms = total_ms;
+  slow.parse_ms = parse_ms;
+  slow.queue_ms = queue_ms;
+  slow.forward_ms = forward_ms;
+  slow.write_ms = write_ms;
+  if (slow_ring_.size() < kSlowRingCapacity) {
+    slow_ring_.push_back(slow);
+  } else {
+    slow_ring_[slow_ring_next_] = slow;
+  }
+  slow_ring_next_ = (slow_ring_next_ + 1) % kSlowRingCapacity;
+  ++slow_count_;
+  if (slow_log_ != nullptr) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("trace_id").Int(static_cast<int64_t>(t.trace_id));
+    w.Key("proto").String(c.http ? "http" : "binary");
+    w.Key("ok").Bool(c.ok);
+    w.Key("total_ms").Number(total_ms);
+    w.Key("parse_ms").Number(parse_ms);
+    w.Key("queue_ms").Number(queue_ms);
+    w.Key("forward_ms").Number(forward_ms);
+    w.Key("write_ms").Number(write_ms);
+    w.EndObject();
+    (*slow_log_) << w.str() << "\n";
+    slow_log_->flush();
   }
 }
 
@@ -697,6 +831,59 @@ std::string Server::HealthzJson() const {
     }
     w.EndObject();
   }
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::StatuszJson() const {
+  const ServerStats s = stats();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("status").String(draining_ ? "draining" : "ok");
+  w.Key("uptime_seconds")
+      .Number(static_cast<double>(obs::NowNs() - start_ns_) / 1e9);
+  w.Key("model").String(config_.model_name);
+  w.Key("bundle").String(config_.bundle_path);
+  w.Key("connections").Int(s.connections_active);
+  w.Key("in_flight").Int(s.in_flight);
+  w.Key("requests_total").Int(s.requests);
+  w.Key("engine_queue_depth").Int(engine_.QueueDepth());
+  w.Key("telemetry_enabled").Bool(obs::Enabled());
+  if (obs::Enabled()) {
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Global().SnapshotAll();
+    w.Key("qps_window").Number(snap.RateOr("net/requests", 0.0));
+    // The rolling-window stage breakdown — what the last minute looked
+    // like, not the process lifetime (that lives in /metricz).
+    w.Key("stages").BeginObject();
+    for (const auto& [name, win] : snap.windows) {
+      if (name.rfind("serve/stage/", 0) != 0) continue;
+      w.Key(name).BeginObject();
+      w.Key("count").Int(win.count);
+      w.Key("mean").Number(win.mean);
+      w.Key("p50").Number(win.p50);
+      w.Key("p95").Number(win.p95);
+      w.Key("p99").Number(win.p99);
+      w.Key("window_seconds").Number(win.window_seconds);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.Key("slow_request_ms").Int(config_.slow_request_ms);
+  w.Key("slow_requests_total").Int(slow_count_);
+  w.Key("slow_requests").BeginArray();
+  for (const SlowRequest& slow : slow_ring_) {
+    w.BeginObject();
+    w.Key("trace_id").Int(static_cast<int64_t>(slow.trace_id));
+    w.Key("proto").String(slow.http ? "http" : "binary");
+    w.Key("total_ms").Number(slow.total_ms);
+    w.Key("parse_ms").Number(slow.parse_ms);
+    w.Key("queue_ms").Number(slow.queue_ms);
+    w.Key("forward_ms").Number(slow.forward_ms);
+    w.Key("write_ms").Number(slow.write_ms);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.str();
 }

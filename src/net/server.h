@@ -8,8 +8,9 @@
 //
 //   * the length-prefixed binary protocol (net/protocol.h) — pipelined
 //     requests, out-of-order responses correlated by request id;
-//   * HTTP/1.1 (net/http.h) — POST /score, GET /healthz, GET /metricz,
-//     keep-alive, one request in flight per connection.
+//   * HTTP/1.1 (net/http.h) — POST /score, GET /healthz, GET /metricz
+//     (?format=prom for Prometheus text), GET /statusz, keep-alive, one
+//     request in flight per connection.
 //
 // Malformed input of either kind produces a per-connection error (an error
 // frame or a 4xx) and at worst closes that connection — never the server.
@@ -24,12 +25,23 @@
 // net/requests, net/bytes_rx, net/bytes_tx; gauge net/active_connections;
 // histogram net/request_latency_ms (request parsed -> response enqueued).
 // ServerStats mirrors the counters unconditionally for tests and /healthz.
+//
+// Request tracing (also behind obs::Enabled()): every scored request gets a
+// trace id at wire entry and a serve::RequestTrace that rides through the
+// engine; the stage breakdown (parse / queue / forward / write / total)
+// lands in both lifetime serve/stage/* histograms and rolling-window
+// SlidingHistograms of the same names — /statusz reports the windowed
+// p50/p95/p99 plus qps, /metricz?format=prom exports both. Requests slower
+// than ServerConfig::slow_request_ms (0 = off) are kept in a small ring
+// buffer (shown by /statusz) and appended as one JSONL line to
+// slow_log_path when set.
 
 #ifndef MISS_NET_SERVER_H_
 #define MISS_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +63,14 @@ struct ServerConfig {
   size_t max_http_body_bytes = 1 << 20;
   // Upper bound on the graceful-drain wait once a stop is requested.
   int64_t drain_timeout_ms = 5000;
+  // Shown by /statusz so an operator can tell which bundle is serving.
+  std::string model_name;
+  std::string bundle_path;
+  // Requests whose recv -> reply time exceeds this are recorded in the
+  // /statusz slow-request ring and appended to slow_log_path (JSONL, one
+  // object per request with the full stage breakdown). 0 disables both.
+  int64_t slow_request_ms = 0;
+  std::string slow_log_path;
 };
 
 // Monotonic totals since Start(). Plain counters (always on, unlike the
@@ -106,6 +126,18 @@ class Server {
     bool ok = false;
     float score = 0.0f;
     int64_t parsed_ns = 0;  // request-parse time, for net/request_latency_ms
+    // Stage timestamps; trace_id == 0 when telemetry was off at submit.
+    serve::RequestTrace trace;
+  };
+  // One /statusz ring entry: the stage breakdown of a slow request.
+  struct SlowRequest {
+    uint64_t trace_id = 0;
+    bool http = false;
+    double total_ms = 0.0;
+    double parse_ms = 0.0;
+    double queue_ms = 0.0;
+    double forward_ms = 0.0;
+    double write_ms = 0.0;
   };
   // Engine callbacks write completions here through a shared_ptr, so a score
   // finishing after a forced teardown never touches a dead Server.
@@ -120,9 +152,11 @@ class Server {
   void SubmitScore(Conn& conn, uint64_t request_id, bool http,
                    data::Sample sample);
   void ProcessCompletions();
+  void RecordStages(const Completion& c, int64_t reply_ns);
   bool FlushWrites(Conn& conn);  // false when the conn died
   void CloseConn(uint64_t conn_id);
   std::string HealthzJson() const;
+  std::string StatuszJson() const;
 
   serve::Engine& engine_;
   const data::DatasetSchema& schema_;
@@ -143,6 +177,16 @@ class Server {
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
 
   std::shared_ptr<CompletionSink> sink_;
+
+  int64_t start_ns_ = 0;        // Start() time, for /statusz uptime
+  uint64_t next_trace_id_ = 1;  // event-loop thread only
+
+  // Slow-request ring (newest overwrite oldest) and its JSONL sink; both
+  // touched only from the event-loop thread.
+  std::vector<SlowRequest> slow_ring_;
+  size_t slow_ring_next_ = 0;
+  int64_t slow_count_ = 0;
+  std::unique_ptr<std::ofstream> slow_log_;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -1,13 +1,63 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 
 #include "common/check.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace miss::obs {
+
+namespace {
+
+// Quantile over one set of fixed buckets (shared by Histogram and the
+// merged view of SlidingHistogram's sub-windows). `counts` has
+// bounds.size() + 1 entries, the last being the overflow bucket; `count`,
+// `min` and `max` describe the recorded population.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<int64_t>& counts, int64_t count,
+                           double min, double max, double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, midpoint-free definition).
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  // The extreme ranks are known exactly from the tracked min/max.
+  if (rank <= 1.0) return min;
+  if (rank >= static_cast<double>(count)) return max;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t lo_rank = seen + 1;
+    const int64_t hi_rank = seen + counts[i];
+    if (rank <= static_cast<double>(hi_rank)) {
+      const bool overflow = i == bounds.size();
+      // Bucket edges; clamp to the observed min/max so quantiles never fall
+      // outside the recorded range.
+      double lo = i == 0 ? min : bounds[i - 1];
+      double hi = overflow ? max : bounds[i];
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      // The overflow bucket is the topmost bucket, so when it holds exactly
+      // one value that value IS the recorded maximum — report it instead of
+      // a midpoint between bounds.back() and max that underestimates the
+      // tail.
+      if (overflow && counts[i] == 1) return max;
+      if (hi <= lo || counts[i] == 1) return std::clamp((lo + hi) / 2, lo, hi);
+      // Linear interpolation across the bucket's occupied rank range.
+      const double frac = (rank - static_cast<double>(lo_rank)) /
+                          static_cast<double>(counts[i] - 1);
+      return lo + frac * (hi - lo);
+    }
+    seen = hi_rank;
+  }
+  return max;
+}
+
+}  // namespace
 
 std::vector<double> Histogram::DefaultBounds() {
   std::vector<double> bounds;
@@ -44,35 +94,7 @@ void Histogram::Record(double v) {
 }
 
 double Histogram::QuantileLocked(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the target observation (1-based, midpoint-free definition).
-  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
-  // The extreme ranks are known exactly from the tracked min/max.
-  if (rank <= 1.0) return min_;
-  if (rank >= static_cast<double>(count_)) return max_;
-  int64_t seen = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    const int64_t lo_rank = seen + 1;
-    const int64_t hi_rank = seen + counts_[i];
-    if (rank <= static_cast<double>(hi_rank)) {
-      // Bucket edges; clamp to the observed min/max so quantiles never fall
-      // outside the recorded range.
-      double lo = i == 0 ? min_ : bounds_[i - 1];
-      double hi = i < bounds_.size() ? bounds_[i] : max_;
-      lo = std::max(lo, min_);
-      hi = std::min(hi, max_);
-      if (hi <= lo || counts_[i] == 1) return std::clamp((lo + hi) / 2, lo, hi);
-      // Linear interpolation across the bucket's occupied rank range.
-      const double frac =
-          (rank - static_cast<double>(lo_rank)) /
-          static_cast<double>(counts_[i] - 1);
-      return lo + frac * (hi - lo);
-    }
-    seen = hi_rank;
-  }
-  return max_;
+  return QuantileFromBuckets(bounds_, counts_, count_, min_, max_, q);
 }
 
 double Histogram::Quantile(double q) const {
@@ -113,6 +135,176 @@ void Histogram::Reset() {
   max_ = 0.0;
 }
 
+namespace {
+// Default rolling-window geometry: 12 x 5 s, a one-minute SLO window.
+constexpr int kDefaultSubWindows = 12;
+constexpr int64_t kDefaultSubWindowNs = 5'000'000'000;
+}  // namespace
+
+SlidingHistogram::SlidingHistogram()
+    : SlidingHistogram(kDefaultSubWindows, kDefaultSubWindowNs,
+                       Histogram::DefaultBounds()) {}
+
+SlidingHistogram::SlidingHistogram(int num_windows, int64_t window_ns,
+                                   std::vector<double> bounds)
+    : window_ns_(window_ns), bounds_(std::move(bounds)) {
+  MISS_CHECK_GT(num_windows, 0);
+  MISS_CHECK_GT(window_ns, 0);
+  MISS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MISS_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+  windows_.resize(static_cast<size_t>(num_windows));
+  for (SubWindow& w : windows_) w.counts.assign(bounds_.size() + 1, 0);
+}
+
+SlidingHistogram::SubWindow& SlidingHistogram::RotateLocked(int64_t now_ns) {
+  const int64_t epoch = now_ns / window_ns_;
+  SubWindow& w =
+      windows_[static_cast<size_t>(epoch % static_cast<int64_t>(
+                                               windows_.size()))];
+  if (w.epoch != epoch) {
+    // The slot last held an expired sub-window; recycle it in place.
+    w.epoch = epoch;
+    std::fill(w.counts.begin(), w.counts.end(), 0);
+    w.count = 0;
+    w.sum = 0.0;
+    w.min = 0.0;
+    w.max = 0.0;
+  }
+  return w;
+}
+
+void SlidingHistogram::Record(double v) { RecordAt(v, NowNs()); }
+
+void SlidingHistogram::RecordAt(double v, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubWindow& w = RotateLocked(now_ns);
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  ++w.counts[bucket];
+  if (w.count == 0) {
+    w.min = v;
+    w.max = v;
+  } else {
+    w.min = std::min(w.min, v);
+    w.max = std::max(w.max, v);
+  }
+  ++w.count;
+  w.sum += v;
+}
+
+WindowSnapshot SlidingHistogram::Snapshot() const {
+  return SnapshotAt(NowNs());
+}
+
+WindowSnapshot SlidingHistogram::SnapshotAt(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+
+  WindowSnapshot snap;
+  std::vector<int64_t> merged(bounds_.size() + 1, 0);
+  int64_t oldest_live_epoch = now_epoch + 1;
+  for (const SubWindow& w : windows_) {
+    // Only sub-windows inside [min_epoch, now_epoch] are live; slots not yet
+    // recycled may still hold data from a full ring-length ago.
+    if (w.epoch < min_epoch || w.epoch > now_epoch || w.count == 0) continue;
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += w.counts[i];
+    if (snap.count == 0) {
+      snap.min = w.min;
+      snap.max = w.max;
+    } else {
+      snap.min = std::min(snap.min, w.min);
+      snap.max = std::max(snap.max, w.max);
+    }
+    snap.count += w.count;
+    snap.sum += w.sum;
+    oldest_live_epoch = std::min(oldest_live_epoch, w.epoch);
+  }
+  if (snap.count == 0) return snap;
+
+  snap.mean = snap.sum / static_cast<double>(snap.count);
+  snap.p50 = QuantileFromBuckets(bounds_, merged, snap.count, snap.min,
+                                 snap.max, 0.50);
+  snap.p95 = QuantileFromBuckets(bounds_, merged, snap.count, snap.min,
+                                 snap.max, 0.95);
+  snap.p99 = QuantileFromBuckets(bounds_, merged, snap.count, snap.min,
+                                 snap.max, 0.99);
+  // Covered span: from the start of the oldest live sub-window to now.
+  const double span_ns =
+      static_cast<double>(now_ns - oldest_live_epoch * window_ns_);
+  snap.window_seconds = span_ns > 0 ? span_ns / 1e9 : 0.0;
+  snap.rate_per_sec = snap.window_seconds > 0
+                          ? static_cast<double>(snap.count) /
+                                snap.window_seconds
+                          : 0.0;
+  return snap;
+}
+
+SlidingCounter::SlidingCounter()
+    : SlidingCounter(kDefaultSubWindows, kDefaultSubWindowNs) {}
+
+SlidingCounter::SlidingCounter(int num_windows, int64_t window_ns)
+    : window_ns_(window_ns) {
+  MISS_CHECK_GT(num_windows, 0);
+  MISS_CHECK_GT(window_ns, 0);
+  windows_.resize(static_cast<size_t>(num_windows));
+}
+
+void SlidingCounter::Add(int64_t delta) { AddAt(delta, NowNs()); }
+
+void SlidingCounter::AddAt(int64_t delta, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t epoch = now_ns / window_ns_;
+  SubWindow& w =
+      windows_[static_cast<size_t>(epoch % static_cast<int64_t>(
+                                               windows_.size()))];
+  if (w.epoch != epoch) {
+    w.epoch = epoch;
+    w.count = 0;
+  }
+  w.count += delta;
+}
+
+int64_t SlidingCounter::TotalInWindow() const {
+  return TotalInWindowAt(NowNs());
+}
+
+int64_t SlidingCounter::TotalInWindowAt(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+  int64_t total = 0;
+  for (const SubWindow& w : windows_) {
+    if (w.epoch >= min_epoch && w.epoch <= now_epoch) total += w.count;
+  }
+  return total;
+}
+
+double SlidingCounter::RatePerSec() const { return RatePerSecAt(NowNs()); }
+
+double SlidingCounter::RatePerSecAt(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+  int64_t total = 0;
+  int64_t oldest_live_epoch = now_epoch + 1;
+  for (const SubWindow& w : windows_) {
+    if (w.epoch < min_epoch || w.epoch > now_epoch || w.count == 0) continue;
+    total += w.count;
+    oldest_live_epoch = std::min(oldest_live_epoch, w.epoch);
+  }
+  if (total == 0) return 0.0;
+  const double span_ns =
+      static_cast<double>(now_ns - oldest_live_epoch * window_ns_);
+  return span_ns > 0 ? static_cast<double>(total) / (span_ns / 1e9) : 0.0;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;
@@ -147,11 +339,49 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+SlidingHistogram& MetricsRegistry::GetSlidingHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sliding_[name];
+  if (!slot) slot = std::make_unique<SlidingHistogram>();
+  return *slot;
+}
+
+SlidingHistogram& MetricsRegistry::GetSlidingHistogram(
+    const std::string& name, int num_windows, int64_t window_ns,
+    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sliding_[name];
+  if (!slot) {
+    slot = std::make_unique<SlidingHistogram>(num_windows, window_ns,
+                                              std::move(bounds));
+  }
+  return *slot;
+}
+
+SlidingCounter& MetricsRegistry::GetSlidingCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sliding_counters_[name];
+  if (!slot) slot = std::make_unique<SlidingCounter>();
+  return *slot;
+}
+
+SlidingCounter& MetricsRegistry::GetSlidingCounter(const std::string& name,
+                                                   int num_windows,
+                                                   int64_t window_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sliding_counters_[name];
+  if (!slot) slot = std::make_unique<SlidingCounter>(num_windows, window_ns);
+  return *slot;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  sliding_.clear();
+  sliding_counters_.clear();
 }
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
@@ -202,6 +432,22 @@ const HistogramSnapshot* RegistrySnapshot::FindHistogram(
   return nullptr;
 }
 
+const WindowSnapshot* RegistrySnapshot::FindWindow(
+    const std::string& name) const {
+  for (const auto& [n, v] : windows) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::RateOr(const std::string& name,
+                                double fallback) const {
+  for (const auto& [n, v] : rates) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
 RegistrySnapshot MetricsRegistry::SnapshotAll() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
@@ -216,6 +462,14 @@ RegistrySnapshot MetricsRegistry::SnapshotAll() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.emplace_back(name, hist->Snapshot());
+  }
+  snap.windows.reserve(sliding_.size());
+  for (const auto& [name, hist] : sliding_) {
+    snap.windows.emplace_back(name, hist->Snapshot());
+  }
+  snap.rates.reserve(sliding_counters_.size());
+  for (const auto& [name, counter] : sliding_counters_) {
+    snap.rates.emplace_back(name, counter->RatePerSec());
   }
   return snap;
 }
@@ -248,8 +502,107 @@ std::string MetricsRegistry::ToJson() const {
     w.EndObject();
   }
   w.EndObject();
+  w.Key("windows").BeginObject();
+  for (const auto& [name, s] : snap.windows) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(s.count);
+    w.Key("sum").Number(s.sum);
+    w.Key("min").Number(s.min);
+    w.Key("max").Number(s.max);
+    w.Key("mean").Number(s.mean);
+    w.Key("p50").Number(s.p50);
+    w.Key("p95").Number(s.p95);
+    w.Key("p99").Number(s.p99);
+    w.Key("window_seconds").Number(s.window_seconds);
+    w.Key("rate_per_sec").Number(s.rate_per_sec);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("rates").BeginObject();
+  for (const auto& [name, rate] : snap.rates) {
+    w.Key(name).Number(rate);
+  }
+  w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; our slash-delimited names
+// ("serve/stage/queue_ms") become miss_serve_stage_queue_ms.
+std::string PromName(const std::string& name, const char* suffix = "") {
+  std::string out = "miss_";
+  out.reserve(out.size() + name.size() + std::strlen(suffix));
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  out += suffix;
+  return out;
+}
+
+void AppendNumber(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendSummary(std::string& out, const std::string& prom_name,
+                   int64_t count, double sum, double p50, double p95,
+                   double p99) {
+  out += "# TYPE " + prom_name + " summary\n";
+  out += prom_name + "{quantile=\"0.5\"} ";
+  AppendNumber(out, p50);
+  out += "\n" + prom_name + "{quantile=\"0.95\"} ";
+  AppendNumber(out, p95);
+  out += "\n" + prom_name + "{quantile=\"0.99\"} ";
+  AppendNumber(out, p99);
+  out += "\n" + prom_name + "_sum ";
+  AppendNumber(out, sum);
+  out += "\n" + prom_name + "_count " + std::to_string(count) + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const RegistrySnapshot snap = SnapshotAll();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = PromName(name, "_total");
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = PromName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    AppendNumber(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, rate] : snap.rates) {
+    const std::string p = PromName(name, "_rate_per_sec");
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " ";
+    AppendNumber(out, rate);
+    out += "\n";
+  }
+  for (const auto& [name, s] : snap.histograms) {
+    AppendSummary(out, PromName(name), s.count, s.sum, s.p50, s.p95, s.p99);
+  }
+  for (const auto& [name, s] : snap.windows) {
+    const std::string p = PromName(name, "_window");
+    AppendSummary(out, p, s.count, s.sum, s.p50, s.p95, s.p99);
+    out += "# TYPE " + p + "_seconds gauge\n";
+    out += p + "_seconds ";
+    AppendNumber(out, s.window_seconds);
+    out += "\n# TYPE " + p + "_rate_per_sec gauge\n";
+    out += p + "_rate_per_sec ";
+    AppendNumber(out, s.rate_per_sec);
+    out += "\n";
+  }
+  return out;
 }
 
 bool MetricsRegistry::WriteJsonFile(const std::string& path) const {

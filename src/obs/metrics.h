@@ -1,5 +1,7 @@
-// Process-global metrics registry: counters, gauges, and fixed-bucket
-// histograms with quantile summaries.
+// Process-global metrics registry: counters, gauges, fixed-bucket
+// histograms with quantile summaries, and rolling-window variants
+// (SlidingHistogram / SlidingCounter) for "over the last minute" serving
+// SLOs.
 //
 // Every metric is addressable by name from anywhere:
 //
@@ -64,6 +66,22 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
+// Snapshot of a SlidingHistogram: the same summary restricted to the live
+// rolling window, plus how much wall time that window actually covers and
+// the event rate over it.
+struct WindowSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double window_seconds = 0.0;  // covered span (< capacity until warmed up)
+  double rate_per_sec = 0.0;    // count / window_seconds
+};
+
 // Fixed-bucket histogram. Bucket i counts values in
 // [bounds[i-1], bounds[i]); an extra overflow bucket catches values
 // >= bounds.back(). Quantiles interpolate linearly inside the containing
@@ -99,6 +117,74 @@ class Histogram {
   double max_ = 0.0;
 };
 
+// Rolling-window histogram: a ring of fixed-bucket sub-windows (default
+// 12 x 5 s = a one-minute window). Record() lands in the sub-window that
+// covers "now"; Snapshot() merges only the sub-windows that are still
+// inside the window, so quantiles answer "p99 over the last minute" and
+// fully decay to empty once recording stops — unlike the lifetime
+// Histogram, which never forgets. The *At() overloads take an explicit
+// clock reading so rotation and expiry are unit-testable.
+class SlidingHistogram {
+ public:
+  // Default geometry: 12 sub-windows of 5 s over Histogram::DefaultBounds().
+  SlidingHistogram();
+  SlidingHistogram(int num_windows, int64_t window_ns,
+                   std::vector<double> bounds);
+
+  void Record(double v);
+  void RecordAt(double v, int64_t now_ns);
+  WindowSnapshot Snapshot() const;
+  WindowSnapshot SnapshotAt(int64_t now_ns) const;
+
+  int64_t window_span_ns() const {
+    return static_cast<int64_t>(windows_.size()) * window_ns_;
+  }
+
+ private:
+  struct SubWindow {
+    int64_t epoch = -1;  // now_ns / window_ns when last written; -1 = empty
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  SubWindow& RotateLocked(int64_t now_ns);
+
+  mutable std::mutex mu_;
+  const int64_t window_ns_;
+  std::vector<double> bounds_;
+  std::vector<SubWindow> windows_;
+};
+
+// Rolling-window event counter (the qps side of SlidingHistogram): a ring
+// of per-sub-window totals. RatePerSec() divides the live-window total by
+// the covered span, so it reads as a recent-traffic rate, not a lifetime
+// average.
+class SlidingCounter {
+ public:
+  // Default geometry matches SlidingHistogram: 12 x 5 s.
+  SlidingCounter();
+  SlidingCounter(int num_windows, int64_t window_ns);
+
+  void Add(int64_t delta = 1);
+  void AddAt(int64_t delta, int64_t now_ns);
+  int64_t TotalInWindow() const;
+  int64_t TotalInWindowAt(int64_t now_ns) const;
+  double RatePerSec() const;
+  double RatePerSecAt(int64_t now_ns) const;
+
+ private:
+  struct SubWindow {
+    int64_t epoch = -1;
+    int64_t count = 0;
+  };
+
+  mutable std::mutex mu_;
+  const int64_t window_ns_;
+  std::vector<SubWindow> windows_;
+};
+
 // Point-in-time copy of every metric in a registry, for renderers (the
 // /healthz and /metricz endpoints, reporters) that must not create metrics
 // as a side effect of reading them. Entries are name-sorted (map order).
@@ -106,11 +192,15 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, WindowSnapshot>> windows;
+  std::vector<std::pair<std::string, double>> rates;  // sliding counters, /s
 
   // Lookup helpers; fallback/nullptr when the metric does not exist yet.
   int64_t CounterOr(const std::string& name, int64_t fallback) const;
   double GaugeOr(const std::string& name, double fallback) const;
   const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  const WindowSnapshot* FindWindow(const std::string& name) const;
+  double RateOr(const std::string& name, double fallback) const;
 };
 
 class MetricsRegistry {
@@ -124,6 +214,14 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name);
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bounds);
+  // Rolling-window metrics; geometry is fixed by the first call per name.
+  SlidingHistogram& GetSlidingHistogram(const std::string& name);
+  SlidingHistogram& GetSlidingHistogram(const std::string& name,
+                                        int num_windows, int64_t window_ns,
+                                        std::vector<double> bounds);
+  SlidingCounter& GetSlidingCounter(const std::string& name);
+  SlidingCounter& GetSlidingCounter(const std::string& name, int num_windows,
+                                    int64_t window_ns);
 
   // Removes every metric. Invalidates previously returned references; only
   // meant for test isolation.
@@ -139,15 +237,25 @@ class MetricsRegistry {
   RegistrySnapshot SnapshotAll() const;
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  //  mean,p50,p95,p99}}} — SnapshotAll() rendered as one JSON object.
+  //  mean,p50,p95,p99}},"windows":{name:{...,window_seconds,rate_per_sec}},
+  //  "rates":{...}} — SnapshotAll() rendered as one JSON object.
   std::string ToJson() const;
   bool WriteJsonFile(const std::string& path) const;
+
+  // SnapshotAll() rendered as Prometheus text exposition (version 0.0.4):
+  // counters as `counter`, gauges and sliding-counter rates as `gauge`,
+  // histograms as `summary` (quantile-labeled series + _sum/_count; sliding
+  // histograms get a `_window` suffix). Metric names are prefixed `miss_`
+  // and sanitized ('/', '-', '.' -> '_').
+  std::string ToPrometheusText() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingHistogram>> sliding_;
+  std::map<std::string, std::unique_ptr<SlidingCounter>> sliding_counters_;
 };
 
 }  // namespace miss::obs

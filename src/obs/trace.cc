@@ -3,7 +3,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <mutex>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
 
 #include "common/env.h"
 #include "obs/json.h"
@@ -19,6 +24,8 @@ bool g_trace_has_events = false;        // guarded by g_trace_mu
 std::atomic<bool> g_trace_active{false};
 std::atomic<bool> g_exit_hook_armed{false};
 std::string* g_metrics_json_path = nullptr;  // guarded by g_trace_mu
+// ThreadId() -> display name; never freed. Guarded by g_trace_mu.
+std::map<int, std::string>* g_thread_names = nullptr;
 
 void AtExitFlush() {
   StopTracing();
@@ -32,6 +39,25 @@ void AtExitFlush() {
 
 void ArmExitHook() {
   if (!g_exit_hook_armed.exchange(true)) std::atexit(AtExitFlush);
+}
+
+// Writes one ph:"M" thread_name metadata event. Caller holds g_trace_mu and
+// has checked g_trace_file != nullptr.
+void EmitThreadNameLocked(int tid, const std::string& name) {
+  if (g_trace_has_events) (*g_trace_file) << ",";
+  g_trace_has_events = true;
+  (*g_trace_file) << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+                  << JsonEscape(name) << "\"}}";
+}
+
+// Threads may be named before tracing starts; seed each new trace document
+// with every name learned so far. Caller holds g_trace_mu.
+void ReplayThreadNamesLocked() {
+  if (g_thread_names == nullptr) return;
+  for (const auto& [tid, name] : *g_thread_names) {
+    EmitThreadNameLocked(tid, name);
+  }
 }
 
 }  // namespace
@@ -65,8 +91,12 @@ void InitFromEnvSlow() {
     delete g_trace_file;
     g_trace_file = new std::ofstream(trace_file, std::ios::trunc);
     if (*g_trace_file) {
+      // Default stream precision (6 significant digits) would collapse
+      // microsecond timestamps measured since boot; 15 keeps sub-µs apart.
+      g_trace_file->precision(15);
       (*g_trace_file) << "{\"traceEvents\":[";
       g_trace_has_events = false;
+      ReplayThreadNamesLocked();
       g_trace_active.store(true, std::memory_order_release);
       ArmExitHook();
     } else {
@@ -119,9 +149,11 @@ void StartTracing(const std::string& path) {
     delete file;
     return;
   }
+  file->precision(15);  // keep boot-relative µs timestamps sub-µs exact
   (*file) << "{\"traceEvents\":[";
   g_trace_file = file;
   g_trace_has_events = false;
+  ReplayThreadNamesLocked();
   g_trace_active.store(true, std::memory_order_release);
   ArmExitHook();
 }
@@ -152,6 +184,44 @@ void EmitTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns) {
                   << ",\"ts\":" << static_cast<double>(ts_ns) / 1000.0
                   << ",\"dur\":" << static_cast<double>(dur_ns) / 1000.0
                   << "}";
+}
+
+void EmitFlowStart(uint64_t id, int64_t ts_ns) {
+  const int tid = ThreadId();
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_file == nullptr) return;
+  if (g_trace_has_events) (*g_trace_file) << ",";
+  g_trace_has_events = true;
+  (*g_trace_file) << "\n{\"name\":\"request\",\"cat\":\"request\","
+                  << "\"ph\":\"s\",\"pid\":1,\"tid\":" << tid
+                  << ",\"ts\":" << static_cast<double>(ts_ns) / 1000.0
+                  << ",\"id\":" << id << "}";
+}
+
+void EmitFlowFinish(uint64_t id, int64_t ts_ns) {
+  const int tid = ThreadId();
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_trace_file == nullptr) return;
+  if (g_trace_has_events) (*g_trace_file) << ",";
+  g_trace_has_events = true;
+  (*g_trace_file) << "\n{\"name\":\"request\",\"cat\":\"request\","
+                  << "\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << tid
+                  << ",\"ts\":" << static_cast<double>(ts_ns) / 1000.0
+                  << ",\"id\":" << id << "}";
+}
+
+void SetCurrentThreadName(const std::string& name) {
+#ifdef __linux__
+  // The kernel limit is 15 chars + NUL.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#endif
+  const int tid = ThreadId();
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  if (g_thread_names == nullptr) {
+    g_thread_names = new std::map<int, std::string>();
+  }
+  (*g_thread_names)[tid] = name;
+  if (g_trace_file != nullptr) EmitThreadNameLocked(tid, name);
 }
 
 TraceSpan::~TraceSpan() {

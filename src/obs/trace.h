@@ -71,6 +71,21 @@ bool TracingActive();
 // Appends one complete event; `ts_ns` is the span start in NowNs() time.
 void EmitTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns);
 
+// Flow events tie spans on different threads into one connected arrow in
+// Perfetto: EmitFlowStart inside the producing slice (e.g. the net-loop's
+// request span), EmitFlowFinish inside the consuming slice (the engine
+// worker's batch span), both with the same `id` (the request's trace id).
+// The finish uses binding point "enclosing" (bp:"e") so it attaches to the
+// slice that contains `ts_ns` rather than the next one to begin.
+void EmitFlowStart(uint64_t id, int64_t ts_ns);
+void EmitFlowFinish(uint64_t id, int64_t ts_ns);
+
+// Names the calling thread's lane in the trace viewer (and, on Linux, the
+// OS thread). Remembered per ThreadId(), so names stick across StartTracing
+// calls: each new trace document replays all known names as metadata
+// (ph:"M", name:"thread_name") events.
+void SetCurrentThreadName(const std::string& name);
+
 // -- RAII span ---------------------------------------------------------------
 
 class TraceSpan {

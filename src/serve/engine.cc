@@ -19,13 +19,20 @@ Engine::Engine(models::CtrModel& model, const EngineConfig& config)
   MISS_CHECK_GE(config_.max_queue_delay_us, 0);
   workers_.reserve(config_.num_workers);
   for (int i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::SetCurrentThreadName("engine-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
 Engine::~Engine() { StopAndJoin(/*flush=*/false); }
 
 void Engine::Fail(Request& req, const char* what) {
+  if (req.traced_callback) {
+    req.traced_callback(0.0f, /*ok=*/false, req.trace);
+    return;
+  }
   if (req.callback) {
     req.callback(0.0f, /*ok=*/false);
     return;
@@ -78,6 +85,26 @@ void Engine::SubmitAsync(data::Sample sample, ScoreCallback callback) {
     }
   }
   req.callback(0.0f, /*ok=*/false);
+}
+
+void Engine::SubmitTraced(data::Sample sample, RequestTrace trace,
+                          TracedScoreCallback callback) {
+  MISS_CHECK(callback != nullptr);
+  Request req;
+  req.sample = std::move(sample);
+  req.traced_callback = std::move(callback);
+  req.trace = trace;
+  req.enqueue_ns = obs::NowNs();
+  if (req.trace.trace_id != 0) req.trace.enqueue_ns = req.enqueue_ns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      MISS_CHECK(EnqueueLocked(std::move(req)));
+      cv_.notify_one();
+      return;
+    }
+  }
+  req.traced_callback(0.0f, /*ok=*/false, req.trace);
 }
 
 void Engine::Drain() { StopAndJoin(/*flush=*/true); }
@@ -173,6 +200,14 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
   MISS_TRACE_SCOPE("serve/score_batch");
   const int64_t n = static_cast<int64_t>(batch.size());
 
+  // Batch sealed: queue wait ends here, assembly + forward begins.
+  if (obs::Enabled()) {
+    const int64_t close_ns = obs::NowNs();
+    for (Request& req : batch) {
+      if (req.trace.trace_id != 0) req.trace.batch_close_ns = close_ns;
+    }
+  }
+
   // MakeBatch wants (dataset, indices); wrap the requests in a throwaway
   // dataset sharing the model's schema.
   data::Dataset staging;
@@ -191,13 +226,27 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     logits = model_.Forward(assembled, /*training=*/false);
   }
 
+  // Forward done; stamp traced requests and, when a trace file is active,
+  // emit the flow-finish half of each request's arrow. The finish timestamp
+  // sits inside this serve/score_batch span (bp:"e" binds it to the
+  // enclosing slice on this worker's lane).
+  const bool enabled = obs::Enabled();
+  const int64_t forward_done_ns = enabled ? obs::NowNs() : 0;
+  const bool tracing = enabled && obs::TracingActive();
   for (int64_t i = 0; i < n; ++i) {
+    Request& req = batch[i];
+    if (enabled && req.trace.trace_id != 0) {
+      req.trace.forward_done_ns = forward_done_ns;
+      if (tracing) obs::EmitFlowFinish(req.trace.trace_id, forward_done_ns);
+    }
     const float x = logits.at(i);
     const float score = 1.0f / (1.0f + std::exp(-x));
-    if (batch[i].callback) {
-      batch[i].callback(score, /*ok=*/true);
+    if (req.traced_callback) {
+      req.traced_callback(score, /*ok=*/true, req.trace);
+    } else if (req.callback) {
+      req.callback(score, /*ok=*/true);
     } else {
-      batch[i].promise.set_value(score);
+      req.promise.set_value(score);
     }
   }
 

@@ -25,6 +25,13 @@
 // serve/batches, gauge serve/queue_depth, histograms serve/batch_size and
 // serve/latency_ms (submit -> promise fulfilled, the end-to-end number whose
 // p50/p95/p99 the serving bench reports).
+//
+// Request-scoped tracing: SubmitTraced carries a RequestTrace through the
+// queue, stamping each lifecycle transition (enqueue -> batch close ->
+// forward done) so the caller can attribute latency to queue wait vs batch
+// assembly + forward vs its own response write. When a Chrome trace file is
+// active the worker also emits a flow-finish event per traced request,
+// connecting the caller's span to the worker's serve/score_batch span.
 
 #ifndef MISS_SERVE_ENGINE_H_
 #define MISS_SERVE_ENGINE_H_
@@ -42,6 +49,19 @@
 #include "models/ctr_model.h"
 
 namespace miss::serve {
+
+// Per-request stage timestamps (obs::NowNs() clock), stamped as the request
+// moves through the serving path. trace_id == 0 means "untraced": the engine
+// skips all stamping and flow-event work for the request. The caller stamps
+// recv_ns (wire entry); the engine stamps the rest up to forward_done_ns;
+// the reply timestamp stays with the caller, which owns the response write.
+struct RequestTrace {
+  uint64_t trace_id = 0;
+  int64_t recv_ns = 0;          // caller: first byte of the request read
+  int64_t enqueue_ns = 0;       // engine: request entered the queue
+  int64_t batch_close_ns = 0;   // engine: batch sealed, assembly begins
+  int64_t forward_done_ns = 0;  // engine: forward pass + sigmoid finished
+};
 
 struct EngineConfig {
   // Worker threads running forward passes. 1 preserves submission order.
@@ -61,6 +81,12 @@ class Engine {
   // ok == false — possibly inline from SubmitAsync itself.
   using ScoreCallback = std::function<void(float score, bool ok)>;
 
+  // As ScoreCallback, plus the request's RequestTrace with every stage the
+  // engine owns stamped (zeros when the request was submitted untraced or
+  // the engine failed it before scoring).
+  using TracedScoreCallback =
+      std::function<void(float score, bool ok, const RequestTrace& trace)>;
+
   // `model` must outlive the engine and is shared, unlocked, by all
   // workers (see file comment for the thread-safety contract).
   Engine(models::CtrModel& model, const EngineConfig& config);
@@ -77,6 +103,12 @@ class Engine {
   // Callback form for event-driven callers (the net::Server): no future, no
   // blocked thread. See ScoreCallback for the invocation contract.
   void SubmitAsync(data::Sample sample, ScoreCallback callback);
+
+  // SubmitAsync carrying a RequestTrace. The engine stamps enqueue_ns /
+  // batch_close_ns / forward_done_ns (when trace.trace_id != 0 and telemetry
+  // is enabled) and hands the trace back through the callback.
+  void SubmitTraced(data::Sample sample, RequestTrace trace,
+                    TracedScoreCallback callback);
 
   // Stops intake, scores every queued request, then joins the workers.
   // Idempotent and safe to call from multiple threads.
@@ -96,6 +128,8 @@ class Engine {
     data::Sample sample;
     std::promise<float> promise;
     ScoreCallback callback;  // when set, used instead of the promise
+    TracedScoreCallback traced_callback;  // takes precedence over both
+    RequestTrace trace;
     int64_t enqueue_ns = 0;
   };
 

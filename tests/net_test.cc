@@ -4,12 +4,16 @@
 // direct serve::Engine::Submit, pipelining and concurrent clients must
 // hold up (also under the tsan preset), and a stop must drain cleanly.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -24,6 +28,8 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace miss {
@@ -632,6 +638,266 @@ TEST_F(NetServerTest, StopDrainsInFlightAndRefusesNewConnections) {
   EXPECT_EQ(stats.requests, kRequests);
   EXPECT_EQ(stats.responses, kRequests);
   EXPECT_EQ(stats.in_flight, 0);
+}
+
+// Scoped telemetry for the observability tests below: clean registry +
+// enabled on entry, everything off and clean again on exit (including when
+// an ASSERT bails out of the test body).
+struct TelemetryGuard {
+  TelemetryGuard() {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+  }
+  ~TelemetryGuard() {
+    obs::StopTracing();
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(false);
+  }
+};
+
+TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
+  TelemetryGuard telemetry;
+  // Pin the total-stage rolling window to 2 x 50 ms before the server's
+  // first Record fixes the default one-minute geometry, so expiry is
+  // observable in test time.
+  obs::MetricsRegistry::Global().GetSlidingHistogram(
+      "serve/stage/total_ms", 2, 50'000'000, obs::Histogram::DefaultBounds());
+  net::ServerConfig server_config;
+  server_config.model_name = "din";
+  server_config.bundle_path = "unit-test-bundle";
+  StartServer({}, server_config);
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int i = 0; i < 8; ++i) {
+    int status = 0;
+    float score = 0.0f;
+    std::string body;
+    ASSERT_TRUE(client.Score(bundle_.test.samples[i], &status, &score, &body,
+                             &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_EQ(root.Find("status")->string, "ok");
+  EXPECT_EQ(root.Find("model")->string, "din");
+  EXPECT_EQ(root.Find("bundle")->string, "unit-test-bundle");
+  EXPECT_GT(root.Find("uptime_seconds")->number, 0.0);
+  EXPECT_GT(root.Find("qps_window")->number, 0.0);
+  const obs::JsonValue* stages = root.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  const obs::JsonValue* total = stages->Find("serve/stage/total_ms");
+  ASSERT_NE(total, nullptr) << body;
+  // >= rather than == 8: a scheduler stall between scores could age the
+  // first requests out of the tiny 2 x 50 ms test window.
+  EXPECT_GE(total->Find("count")->number, 1.0);
+  EXPECT_GT(total->Find("p99")->number, 0.0);
+
+  // The rolling window forgets; the lifetime histogram in /metricz doesn't.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_DOUBLE_EQ(
+      root.Find("stages")->Find("serve/stage/total_ms")->Find("count")->number,
+      0.0);
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/metricz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_DOUBLE_EQ(root.Find("histograms")
+                       ->Find("serve/stage/total_ms")
+                       ->Find("count")
+                       ->number,
+                   8.0);
+}
+
+TEST_F(NetServerTest, MetriczPrometheusExposition) {
+  TelemetryGuard telemetry;
+  StartServer();
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  int status = 0;
+  float score = 0.0f;
+  std::string body;
+  ASSERT_TRUE(
+      client.Score(bundle_.test.samples[0], &status, &score, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(),
+                           "/metricz?format=prom", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  EXPECT_FALSE(obs::JsonValid(body));  // text exposition, not JSON
+  EXPECT_NE(body.find("# TYPE miss_net_requests_total counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE miss_serve_stage_total_ms summary"),
+            std::string::npos);
+  EXPECT_NE(body.find("miss_serve_stage_total_ms_window{quantile=\"0.99\"}"),
+            std::string::npos);
+  // Plain /metricz still answers JSON.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/metricz", &status,
+                           &body, &error))
+      << error;
+  EXPECT_TRUE(obs::JsonValid(body));
+}
+
+TEST_F(NetServerTest, SlowRequestLogAndRing) {
+  TelemetryGuard telemetry;
+  const std::string log_path = ::testing::TempDir() + "/miss_net_slow.jsonl";
+  std::remove(log_path.c_str());
+  serve::EngineConfig slow_engine;
+  slow_engine.num_workers = 1;
+  slow_engine.max_batch_size = 8;
+  slow_engine.max_queue_delay_us = 5000;  // every request waits ~5 ms queued
+  net::ServerConfig server_config;
+  server_config.slow_request_ms = 1;
+  server_config.slow_log_path = log_path;
+  StartServer(slow_engine, server_config);
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int i = 0; i < 3; ++i) {
+    int status = 0;
+    float score = 0.0f;
+    std::string body;
+    ASSERT_TRUE(client.Score(bundle_.test.samples[i], &status, &score, &body,
+                             &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_GE(root.Find("slow_requests_total")->number, 3.0);
+  const obs::JsonValue* ring = root.Find("slow_requests");
+  ASSERT_NE(ring, nullptr);
+  ASSERT_TRUE(ring->IsArray());
+  ASSERT_GE(ring->array.size(), 3u);
+  const obs::JsonValue& entry = ring->array[0];
+  EXPECT_GT(entry.Find("total_ms")->number, 1.0);
+  EXPECT_GT(entry.Find("queue_ms")->number, 0.0);
+  EXPECT_EQ(entry.Find("proto")->string, "http");
+
+  // One structured JSONL line per slow request, stage breakdown included.
+  std::ifstream in(log_path);
+  std::string jsonl((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_TRUE(obs::JsonlValid(jsonl)) << jsonl;
+  EXPECT_GE(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("\"forward_ms\""), std::string::npos);
+  std::remove(log_path.c_str());
+}
+
+TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
+  TelemetryGuard telemetry;
+  const std::string path = ::testing::TempDir() + "/miss_net_flow_trace.json";
+  obs::StartTracing(path);
+  StartServer();
+
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int i = 0; i < 4; ++i) {
+    float score = 0.0f;
+    ASSERT_TRUE(client.Score(bundle_.test.samples[i], &score, &error))
+        << error;
+  }
+  server_->Stop();
+  engine_->Drain();
+  obs::StopTracing();
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(content, &doc)) << content;
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Index the complete slices per thread and the flow halves per id.
+  struct Slice {
+    double tid, ts, dur;
+    std::string name;
+  };
+  std::vector<Slice> slices;
+  struct Flow {
+    double tid = -1, ts = 0;
+    bool seen = false;
+  };
+  std::map<double, Flow> starts, finishes;
+  bool saw_net_loop_name = false;
+  bool saw_worker_name = false;
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->IsString()) continue;
+    if (ph->string == "X") {
+      slices.push_back({e.Find("tid")->number, e.Find("ts")->number,
+                        e.Find("dur")->number, e.Find("name")->string});
+    } else if (ph->string == "s" || ph->string == "f") {
+      Flow& flow =
+          (ph->string == "s" ? starts : finishes)[e.Find("id")->number];
+      flow.tid = e.Find("tid")->number;
+      flow.ts = e.Find("ts")->number;
+      flow.seen = true;
+      if (ph->string == "f") {
+        EXPECT_EQ(e.Find("bp")->string, "e");
+      }
+    } else if (ph->string == "M" &&
+               e.Find("name")->string == "thread_name") {
+      const std::string& tname = e.Find("args")->Find("name")->string;
+      if (tname == "net-loop") saw_net_loop_name = true;
+      if (tname.rfind("engine-worker-", 0) == 0) saw_worker_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_net_loop_name);
+  EXPECT_TRUE(saw_worker_name);
+
+  // Every request's arrow must start inside a net/request slice on the
+  // net-loop thread and finish inside a serve/score_batch slice on an
+  // engine-worker thread — that is what makes Perfetto draw one connected
+  // lane per request.
+  auto enclosed_by = [&slices](const Flow& flow, const std::string& name) {
+    for (const Slice& s : slices) {
+      if (s.name == name && s.tid == flow.tid && s.ts <= flow.ts &&
+          flow.ts <= s.ts + s.dur) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_GE(starts.size(), 4u);
+  int connected = 0;
+  for (const auto& [id, start] : starts) {
+    auto fin = finishes.find(id);
+    if (fin == finishes.end()) continue;
+    EXPECT_TRUE(enclosed_by(start, "net/request")) << "id " << id;
+    EXPECT_TRUE(enclosed_by(fin->second, "serve/score_batch")) << "id " << id;
+    EXPECT_NE(start.tid, fin->second.tid) << "flow must cross threads";
+    ++connected;
+  }
+  EXPECT_GE(connected, 4);
+  std::remove(path.c_str());
 }
 
 TEST_F(NetServerTest, HealthzReportsStatusAndStopIsIdempotent) {

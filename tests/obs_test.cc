@@ -172,6 +172,16 @@ TEST_F(ObsTest, HistogramOverflowBucketClampsToMax) {
   EXPECT_LE(h.Quantile(0.99), 100.0);
 }
 
+TEST_F(ObsTest, HistogramSingleOutlierInOverflowBucketReportsMax) {
+  // Regression: a lone outlier past bounds.back() used to make p99 report a
+  // midpoint between bounds.back() and max instead of the outlier itself.
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 99; ++i) h.Record(1.5);
+  h.Record(5000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 5000.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().p99, 5000.0);
+}
+
 TEST_F(ObsTest, HistogramConcurrentRecording) {
   Histogram& h = MetricsRegistry::Global().GetHistogram("test/hist");
   constexpr int kThreads = 8;
@@ -191,6 +201,103 @@ TEST_F(ObsTest, HistogramConcurrentRecording) {
   EXPECT_DOUBLE_EQ(s.max, 8.0);
   // Sum of t+1 over threads, times records per thread.
   EXPECT_DOUBLE_EQ(s.sum, kRecordsPerThread * (1.0 + 8.0) * 8.0 / 2.0);
+}
+
+// -- SlidingHistogram / SlidingCounter ---------------------------------------
+
+TEST_F(ObsTest, SlidingHistogramMergesLiveSubWindows) {
+  constexpr int64_t kWin = 1'000'000'000;  // 1 s sub-windows, 3-window ring
+  SlidingHistogram h(3, kWin, {1.0, 2.0, 4.0, 8.0});
+  const int64_t base = 100 * kWin;
+  h.RecordAt(1.5, base);
+  h.RecordAt(3.0, base + kWin);      // next sub-window
+  h.RecordAt(6.0, base + 2 * kWin);  // and the one after
+
+  const WindowSnapshot s = h.SnapshotAt(base + 2 * kWin);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.min, 1.5);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.sum, 10.5);
+  EXPECT_GT(s.window_seconds, 0.0);
+  EXPECT_GT(s.rate_per_sec, 0.0);
+}
+
+TEST_F(ObsTest, SlidingHistogramExpiresOldSubWindows) {
+  constexpr int64_t kWin = 1'000'000'000;
+  SlidingHistogram h(3, kWin, {1.0, 2.0, 4.0, 8.0});
+  const int64_t base = 100 * kWin;
+  h.RecordAt(5.0, base);
+  EXPECT_EQ(h.SnapshotAt(base).count, 1);
+  // Still live while the ring covers its epoch...
+  EXPECT_EQ(h.SnapshotAt(base + 2 * kWin).count, 1);
+  // ...fully decayed once the window has slid past — unlike a lifetime
+  // Histogram, which never forgets.
+  EXPECT_EQ(h.SnapshotAt(base + 3 * kWin).count, 0);
+  EXPECT_DOUBLE_EQ(h.SnapshotAt(base + 3 * kWin).p99, 0.0);
+}
+
+TEST_F(ObsTest, SlidingHistogramRecyclesWrappedSlotWithoutGhosts) {
+  constexpr int64_t kWin = 1'000'000'000;
+  SlidingHistogram h(3, kWin, {1.0, 2.0, 4.0, 8.0});
+  const int64_t base = 99 * kWin;  // epoch 99: slot 99 % 3 == 0
+  h.RecordAt(1.5, base);
+  // Epoch 102 maps to the same ring slot; its stale contents must be
+  // dropped, not merged.
+  h.RecordAt(6.0, base + 3 * kWin);
+  const WindowSnapshot s = h.SnapshotAt(base + 3 * kWin);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.min, 6.0);
+}
+
+TEST_F(ObsTest, SlidingHistogramWindowedQuantiles) {
+  constexpr int64_t kWin = 1'000'000'000;
+  std::vector<double> bounds;
+  for (double b = 0.0; b <= 101.0; b += 1.0) bounds.push_back(b);
+  SlidingHistogram h(12, kWin, std::move(bounds));
+  const int64_t base = 1000 * kWin;
+  for (int v = 1; v <= 100; ++v) {
+    h.RecordAt(static_cast<double>(v), base + (v % 4) * kWin);
+  }
+  const WindowSnapshot s = h.SnapshotAt(base + 3 * kWin);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_NEAR(s.p50, 50.5, 1.5);
+  EXPECT_NEAR(s.p95, 95.0, 1.5);
+  EXPECT_NEAR(s.p99, 99.0, 1.5);
+}
+
+TEST_F(ObsTest, SlidingHistogramConcurrentRecording) {
+  SlidingHistogram& h =
+      MetricsRegistry::Global().GetSlidingHistogram("test/sliding");
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The burst lasted far less than the 60 s default window: nothing expired.
+  const WindowSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kThreads * kRecordsPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+}
+
+TEST_F(ObsTest, SlidingCounterTracksRecentTotalAndRate) {
+  constexpr int64_t kWin = 1'000'000'000;
+  SlidingCounter c(3, kWin);
+  const int64_t base = 100 * kWin;
+  c.AddAt(10, base);
+  c.AddAt(20, base + kWin);
+  EXPECT_EQ(c.TotalInWindowAt(base + kWin), 30);
+  // Rate over the covered span (from the oldest live sub-window start).
+  EXPECT_GT(c.RatePerSecAt(base + kWin + kWin / 2), 0.0);
+  // Both sub-windows expire once the ring slides past them.
+  EXPECT_EQ(c.TotalInWindowAt(base + 5 * kWin), 0);
+  EXPECT_DOUBLE_EQ(c.RatePerSecAt(base + 5 * kWin), 0.0);
 }
 
 // -- Registry ----------------------------------------------------------------
@@ -219,6 +326,57 @@ TEST_F(ObsTest, RegistryToJsonIsValid) {
   EXPECT_NE(json.find("\"trainer/steps\":12"), std::string::npos);
   EXPECT_NE(json.find("span/nn/matmul"), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(ObsTest, RegistryToJsonIncludesWindowsAndRates) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetSlidingHistogram("serve/stage/total_ms").Record(1.25);
+  reg.GetSlidingCounter("net/requests").Add(4);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(json, &doc));
+  const JsonValue* windows = doc.Find("windows");
+  ASSERT_NE(windows, nullptr);
+  const JsonValue* window = windows->Find("serve/stage/total_ms");
+  ASSERT_NE(window, nullptr);
+  ASSERT_NE(window->Find("window_seconds"), nullptr);
+  ASSERT_NE(window->Find("rate_per_sec"), nullptr);
+  EXPECT_DOUBLE_EQ(window->Find("count")->number, 1.0);
+  const JsonValue* rates = doc.Find("rates");
+  ASSERT_NE(rates, nullptr);
+  EXPECT_NE(rates->Find("net/requests"), nullptr);
+}
+
+TEST_F(ObsTest, PrometheusTextExpositionShape) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("net/requests").Add(7);
+  reg.GetGauge("serve/queue_depth").Set(3.0);
+  reg.GetHistogram("serve/latency_ms").Record(2.0);
+  reg.GetSlidingHistogram("serve/stage/total_ms").Record(1.0);
+  reg.GetSlidingCounter("net/requests").Add(7);
+  const std::string text = reg.ToPrometheusText();
+
+  EXPECT_NE(text.find("# TYPE miss_net_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("miss_net_requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE miss_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE miss_serve_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("miss_serve_latency_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("miss_serve_latency_ms_count 1"), std::string::npos);
+  // Sliding metrics keep a _window suffix so they never collide with the
+  // lifetime series of the same name.
+  EXPECT_NE(text.find("# TYPE miss_serve_stage_total_ms_window summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("miss_serve_stage_total_ms_window_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("miss_net_requests_rate_per_sec"), std::string::npos);
+  // No raw '/' may survive sanitization.
+  EXPECT_EQ(text.find('/'), std::string::npos);
 }
 
 // -- Spans -------------------------------------------------------------------
@@ -276,6 +434,71 @@ TEST_F(ObsTest, EmptyTraceFileIsStillValid) {
   StartTracing(path);
   StopTracing();
   EXPECT_TRUE(JsonValid(ReadFile(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, FlowEventsRoundTripThroughJsonParse) {
+  SetEnabled(true);
+  const std::string path = ::testing::TempDir() + "/miss_obs_flow_trace.json";
+  StartTracing(path);
+  const int64_t t0 = NowNs();
+  EmitTraceEvent("net/request", t0, 1000);
+  EmitFlowStart(42, t0);
+  EmitTraceEvent("serve/score_batch", t0 + 2000, 1000);
+  EmitFlowFinish(42, t0 + 2500);
+  StopTracing();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(ReadFile(path), &doc));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  const JsonValue* start = nullptr;
+  const JsonValue* finish = nullptr;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->IsString()) continue;
+    if (ph->string == "s") start = &e;
+    if (ph->string == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  // A connected arrow needs matching name/cat/id on both halves, and the
+  // finish must bind to its enclosing slice.
+  EXPECT_EQ(start->Find("name")->string, finish->Find("name")->string);
+  EXPECT_EQ(start->Find("cat")->string, finish->Find("cat")->string);
+  EXPECT_DOUBLE_EQ(start->Find("id")->number, 42.0);
+  EXPECT_DOUBLE_EQ(finish->Find("id")->number, 42.0);
+  ASSERT_NE(finish->Find("bp"), nullptr);
+  EXPECT_EQ(finish->Find("bp")->string, "e");
+  EXPECT_LT(start->Find("ts")->number, finish->Find("ts")->number);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ThreadNameMetadataIsEmittedAndReplayed) {
+  SetEnabled(true);
+  // Named before tracing starts: the name must be replayed into the new
+  // trace document, not lost.
+  SetCurrentThreadName("obs-test-main");
+  const std::string path = ::testing::TempDir() + "/miss_obs_names_trace.json";
+  StartTracing(path);
+  StopTracing();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(ReadFile(path), &doc));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* name = e.Find("name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->string != "M" || name->string != "thread_name") continue;
+    const JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->Find("name")->string == "obs-test-main") found = true;
+  }
+  EXPECT_TRUE(found);
   std::remove(path.c_str());
 }
 

@@ -536,5 +536,76 @@ TEST(ServeEngineTest, RecordsServingMetrics) {
   obs::SetEnabled(false);
 }
 
+TEST(ServeEngineTest, SubmitTracedStampsMonotonicStages) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle bundle = MakeTinyBundle();
+    models::ModelConfig mc;
+    auto model = models::CreateModel("lr", bundle.train.schema, mc, 59);
+    serve::EngineConfig config;
+    config.num_workers = 2;
+    config.max_batch_size = 4;
+    config.max_queue_delay_us = 100;
+    serve::Engine engine(*model, config);
+
+    struct Result {
+      std::promise<serve::RequestTrace> done;
+    };
+    std::vector<Result> results(16);
+    for (int i = 0; i < 16; ++i) {
+      serve::RequestTrace trace;
+      trace.trace_id = static_cast<uint64_t>(i + 1);
+      trace.recv_ns = obs::NowNs();
+      engine.SubmitTraced(
+          bundle.test.samples[i], trace,
+          [&results, i](float score, bool ok,
+                        const serve::RequestTrace& t) {
+            ASSERT_TRUE(ok);
+            ASSERT_GT(score, 0.0f);
+            results[i].done.set_value(t);
+          });
+    }
+    for (int i = 0; i < 16; ++i) {
+      const serve::RequestTrace t = results[i].done.get_future().get();
+      const int64_t reply_ns = obs::NowNs();
+      EXPECT_EQ(t.trace_id, static_cast<uint64_t>(i + 1));
+      // The request-lifecycle invariant: recv <= enqueue <= batch_close <=
+      // forward_done <= reply, each stamp taken at the stage transition.
+      EXPECT_GT(t.recv_ns, 0);
+      EXPECT_LE(t.recv_ns, t.enqueue_ns) << "request " << i;
+      EXPECT_LE(t.enqueue_ns, t.batch_close_ns) << "request " << i;
+      EXPECT_LE(t.batch_close_ns, t.forward_done_ns) << "request " << i;
+      EXPECT_LE(t.forward_done_ns, reply_ns) << "request " << i;
+    }
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
+TEST(ServeEngineTest, SubmitTracedWithZeroIdSkipsStamps) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle bundle = MakeTinyBundle();
+    models::ModelConfig mc;
+    auto model = models::CreateModel("lr", bundle.train.schema, mc, 61);
+    serve::Engine engine(*model, {});
+    std::promise<serve::RequestTrace> done;
+    engine.SubmitTraced(bundle.test.samples[0], serve::RequestTrace{},
+                        [&done](float, bool ok, const serve::RequestTrace& t) {
+                          ASSERT_TRUE(ok);
+                          done.set_value(t);
+                        });
+    const serve::RequestTrace t = done.get_future().get();
+    EXPECT_EQ(t.trace_id, 0u);
+    EXPECT_EQ(t.enqueue_ns, 0);
+    EXPECT_EQ(t.batch_close_ns, 0);
+    EXPECT_EQ(t.forward_done_ns, 0);
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
 }  // namespace
 }  // namespace miss
