@@ -18,6 +18,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -104,6 +105,12 @@ class BenchReport {
               static_cast<double>(common::GetEnvInt("MISS_EPOCHS", 12)));
     AddConfig("seeds",
               static_cast<double>(common::GetEnvInt("MISS_SEEDS", 1)));
+    // Threading context: numbers measured at threads == 1 and threads == N
+    // are different experiments, and a speedup is only meaningful relative
+    // to the cores the machine actually has.
+    AddConfig("threads", static_cast<double>(common::IntraOpThreads()));
+    AddConfig("hw_concurrency",
+              static_cast<double>(common::HardwareConcurrency()));
   }
 
   void AddConfig(const std::string& key, const std::string& value) {

@@ -1,0 +1,187 @@
+// Intra-op kernel throughput bench (the thread-pool perf contract): times
+// the hot nn kernels — GEMM forward, MatMul forward+backward, broadcast
+// add — at 1/2/4/8 intra-op threads plus one single-epoch trainer run at
+// 1 and 4 threads. Emits BENCH_nn_kernels.json with per-thread-count
+// timings and speedup-vs-serial ratios.
+//
+// Interpreting the numbers requires the "hw_concurrency" config field: a
+// t4 speedup near 1.0 on a 1-core container is expected, not a regression.
+// Every kernel result is also memcmp'd against the 1-thread run — the
+// bitwise-parallel contract (DESIGN.md "Threading model") says they must
+// match exactly; the bench exits nonzero if they ever diverge.
+//
+// Env knobs: MISS_BENCH_ITERS (default 6) timed repetitions per kernel and
+// thread count (the median is reported).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "obs/trace.h"
+#include "train/trainer.h"
+
+namespace miss {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+// Runs `body` `iters` times and returns the median wall-clock milliseconds.
+template <typename Body>
+double MedianMs(int iters, Body&& body) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  for (int i = 0; i < iters; ++i) {
+    const int64_t t0 = obs::NowNs();
+    body();
+    samples.push_back(static_cast<double>(obs::NowNs() - t0) / 1e6);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// One timed kernel: `run` produces the output vector whose bits must match
+// the 1-thread reference. Reports <name>_t<N>_ms and <name>_t<N>_speedup.
+struct KernelResult {
+  bool bitwise_ok = true;
+};
+
+template <typename Run>
+KernelResult TimeKernel(bench::BenchReport& report, const char* name,
+                        int iters, Run&& run) {
+  KernelResult result;
+  std::vector<float> reference;
+  double serial_ms = 0.0;
+  // Untimed warmup: fault in the buffers so the first timed config (the
+  // serial baseline every speedup divides by) isn't charged for cold pages.
+  common::SetIntraOpThreads(1);
+  run();
+  for (int threads : kThreadCounts) {
+    common::SetIntraOpThreads(threads);
+    std::vector<float> out;
+    const double ms = MedianMs(iters, [&] { out = run(); });
+    if (threads == 1) {
+      reference = out;
+      serial_ms = ms;
+    } else if (!SameBits(reference, out)) {
+      std::fprintf(stderr, "%s: t%d output differs from serial bits!\n",
+                   name, threads);
+      result.bitwise_ok = false;
+    }
+    const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+    std::printf("%-24s t%d  %9.3f ms   %5.2fx\n", name, threads, ms,
+                speedup);
+    const std::string prefix =
+        std::string(name) + "_t" + std::to_string(threads);
+    report.AddMetric(prefix + "_ms", ms);
+    report.AddMetric(prefix + "_speedup", speedup);
+  }
+  common::SetIntraOpThreads(1);
+  return result;
+}
+
+int Main() {
+  common::SetMinLogLevel(common::LogLevel::kWarning);
+  const int iters =
+      static_cast<int>(common::GetEnvInt("MISS_BENCH_ITERS", 6));
+
+  bench::BenchReport report("nn_kernels");
+  report.AddConfig("iters", static_cast<double>(iters));
+
+  common::Rng rng(42);
+  bool bitwise_ok = true;
+
+  std::printf("nn kernel bench: %d iters/config, hw_concurrency %d\n\n",
+              iters, common::HardwareConcurrency());
+
+  // GEMM forward: [192,256] x [256,192] tape-free MatMul.
+  {
+    nn::Tensor a = nn::Tensor::RandomNormal({192, 256}, 1.0f, rng);
+    nn::Tensor b = nn::Tensor::RandomNormal({256, 192}, 1.0f, rng);
+    bitwise_ok &= TimeKernel(report, "gemm_fwd", iters, [&] {
+                    nn::InferenceScope scope;
+                    return nn::MatMul(a, b).value();
+                  }).bitwise_ok;
+  }
+
+  // MatMul forward + backward: the training-path GEMM triple (NN forward,
+  // NT for dA, TN for dB). The returned bits are dA ++ dB.
+  {
+    nn::Tensor a =
+        nn::Tensor::RandomNormal({192, 256}, 1.0f, rng, /*requires_grad=*/true);
+    nn::Tensor b =
+        nn::Tensor::RandomNormal({256, 192}, 1.0f, rng, /*requires_grad=*/true);
+    bitwise_ok &= TimeKernel(report, "matmul_fwd_bwd", iters, [&] {
+                    a.grad().assign(a.size(), 0.0f);
+                    b.grad().assign(b.size(), 0.0f);
+                    nn::Backward(nn::SumAll(nn::MatMul(a, b)));
+                    std::vector<float> grads = a.grad();
+                    grads.insert(grads.end(), b.grad().begin(),
+                                 b.grad().end());
+                    return grads;
+                  }).bitwise_ok;
+  }
+
+  // Broadcast add: [4096,256] + [1,256] (the bias pattern), forward only.
+  {
+    nn::Tensor x = nn::Tensor::RandomNormal({4096, 256}, 1.0f, rng);
+    nn::Tensor bias = nn::Tensor::RandomNormal({1, 256}, 1.0f, rng);
+    bitwise_ok &= TimeKernel(report, "broadcast_add", iters, [&] {
+                    nn::InferenceScope scope;
+                    return nn::Add(x, bias).value();
+                  }).bitwise_ok;
+  }
+
+  // One trainer epoch (din on the Tiny profile) at 1 and 4 threads: the
+  // end-to-end number that the kernel speedups are supposed to move.
+  {
+    data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+    config.seed = 7;
+    const data::DatasetBundle bundle = data::GenerateSynthetic(config);
+    train::TrainConfig tc;
+    tc.epochs = 1;
+    tc.select_best_on_valid = false;
+    double serial_ms = 0.0;
+    for (int threads : {1, 4}) {
+      common::SetIntraOpThreads(threads);
+      const int64_t t0 = obs::NowNs();
+      models::ModelConfig mc;
+      auto model = models::CreateModel("din", bundle.train.schema, mc, 42);
+      train::Trainer(tc).Fit(*model, nullptr, bundle.train, bundle.valid,
+                             bundle.test);
+      const double ms = static_cast<double>(obs::NowNs() - t0) / 1e6;
+      if (threads == 1) serial_ms = ms;
+      std::printf("%-24s t%d  %9.1f ms   %5.2fx\n", "trainer_epoch", threads,
+                  ms, serial_ms / ms);
+      const std::string prefix =
+          "trainer_epoch_t" + std::to_string(threads);
+      report.AddMetric(prefix + "_ms", ms);
+      report.AddMetric(prefix + "_speedup", serial_ms / ms);
+    }
+    common::SetIntraOpThreads(1);
+  }
+
+  report.AddMetric("bitwise_identical", bitwise_ok ? 1.0 : 0.0);
+  report.Write();
+  return bitwise_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace miss
+
+int main() { return miss::Main(); }

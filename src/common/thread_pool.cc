@@ -1,0 +1,222 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace miss::common {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+std::atomic<int> g_default_threads{0};  // 0 = read MISS_NUM_THREADS on first use
+thread_local int t_override_threads = 0;
+thread_local bool t_in_region = false;
+
+std::mutex g_hook_mu;
+std::function<void(int)> g_start_hook;  // guarded by g_hook_mu
+
+int ClampThreads(int n) { return std::min(std::max(n, 1), kMaxThreads); }
+
+}  // namespace
+
+int HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int IntraOpThreads() {
+  if (t_override_threads > 0) return t_override_threads;
+  int v = g_default_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    const int64_t env = GetEnvInt("MISS_NUM_THREADS", 0);
+    const int resolved =
+        ClampThreads(env > 0 ? static_cast<int>(env) : HardwareConcurrency());
+    int expected = 0;
+    g_default_threads.compare_exchange_strong(expected, resolved,
+                                              std::memory_order_relaxed);
+    v = g_default_threads.load(std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void SetIntraOpThreads(int n) {
+  g_default_threads.store(ClampThreads(n), std::memory_order_relaxed);
+}
+
+ScopedIntraOpThreads::ScopedIntraOpThreads(int n) : prev_(t_override_threads) {
+  t_override_threads = n > 0 ? ClampThreads(n) : 0;
+}
+
+ScopedIntraOpThreads::~ScopedIntraOpThreads() { t_override_threads = prev_; }
+
+void SetThreadPoolStartHook(std::function<void(int)> hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  g_start_hook = std::move(hook);
+}
+
+// One parallel dispatch. Tasks are claimed by atomic increment; `joined`
+// caps how many threads participate so a grown pool still honors a smaller
+// max_threads (the bench sweeps 1/2/4/8 against one pool). Heap-allocated
+// and shared so a worker that claims its "no more tasks" sentinel after the
+// dispatcher returned cannot touch freed memory.
+struct ThreadPool::Region {
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::atomic<int> joined{0};
+  int64_t num_tasks = 0;
+  int max_participants = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  std::mutex ex_mu;
+  std::exception_ptr first_exception;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  MISS_CHECK_GE(num_threads, 1);
+  target_threads_ = std::min(num_threads, kMaxThreads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return target_threads_;
+}
+
+void ThreadPool::EnsureThreads(int num_threads) {
+  num_threads = std::min(num_threads, kMaxThreads);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return;
+  target_threads_ = std::max(target_threads_, num_threads);
+  SpawnWorkersLocked();
+}
+
+void ThreadPool::SpawnWorkersLocked() {
+  while (static_cast<int>(workers_.size()) < target_threads_ - 1) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerMain(index); });
+  }
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_region; }
+
+void ThreadPool::RunTasks(Region& region) {
+  t_in_region = true;
+  for (;;) {
+    const int64_t i = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= region.num_tasks) break;
+    try {
+      (*region.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.ex_mu);
+      if (!region.first_exception) {
+        region.first_exception = std::current_exception();
+      }
+    }
+    if (region.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        region.num_tasks) {
+      // Lock before notifying so the dispatcher cannot check the predicate
+      // and sleep between our increment and the notify.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  t_in_region = false;
+}
+
+void ThreadPool::WorkerMain(int index) {
+  {
+    std::lock_guard<std::mutex> lock(g_hook_mu);
+    if (g_start_hook) g_start_hook(index);
+  }
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (region_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      region = region_;
+    }
+    if (region->joined.fetch_add(1, std::memory_order_relaxed) <
+        region->max_participants) {
+      RunTasks(*region);
+    }
+  }
+}
+
+void ThreadPool::ParallelRun(int64_t num_tasks, int max_threads,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  bool have_workers = false;
+  if (num_tasks > 1 && max_threads > 1 && !t_in_region) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Lazy start: the ctor only records the size; the first dispatch that
+    // could use workers actually spawns them.
+    if (!stop_) SpawnWorkersLocked();
+    have_workers = !workers_.empty() && !stop_;
+  }
+  if (num_tasks == 1 || max_threads <= 1 || !have_workers || t_in_region ||
+      !dispatch_mu_.try_lock()) {
+    // Inline serial fallback: identical per-task order, zero pool traffic.
+    // Matches the parallel path's exception contract: every task runs, the
+    // first exception is rethrown at the end.
+    std::exception_ptr first_exception;
+    for (int64_t i = 0; i < num_tasks; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_exception) first_exception = std::current_exception();
+      }
+    }
+    if (first_exception) std::rethrow_exception(first_exception);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->num_tasks = num_tasks;
+  region->max_participants = max_threads;
+  region->fn = &fn;
+  region->joined.store(1, std::memory_order_relaxed);  // the caller
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_ = region;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunTasks(*region);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return region->done.load(std::memory_order_acquire) == num_tasks;
+    });
+    region_.reset();
+  }
+  dispatch_mu_.unlock();
+  if (region->first_exception) std::rethrow_exception(region->first_exception);
+}
+
+ThreadPool& GlobalThreadPool() {
+  // Meyers singleton: the destructor joins the workers at exit, after every
+  // possible dispatcher (nothing parallel runs from static destructors).
+  static ThreadPool pool(1);
+  return pool;
+}
+
+}  // namespace miss::common

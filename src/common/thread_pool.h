@@ -1,0 +1,122 @@
+// Persistent intra-op worker pool shared by the parallel nn kernels.
+//
+// Sizing: the process-wide default thread count comes from MISS_NUM_THREADS
+// (default: hardware_concurrency), clamped to [1, 256]. A count of 1 means
+// strictly serial — ParallelRun degenerates to an inline loop on the caller
+// and the global pool never starts a thread. Threads are started lazily on
+// the first parallel dispatch and reused for the life of the process.
+//
+// Determinism contract (the "bitwise-parallel rule", DESIGN.md): ParallelRun
+// promises only that fn(i) runs exactly once per index, possibly
+// concurrently and in any interleaving. Callers partition work so each
+// output element is written by exactly one task with the same accumulation
+// order as the serial loop, which makes results bitwise identical for every
+// thread count. nn::ParallelFor (nn/parallel.h) packages that contract.
+//
+// Per-thread override: serving-engine workers run with intra-op = 1 by
+// default (the engine already provides inter-op parallelism; fanning each
+// forward into the pool would oversubscribe the machine). ScopedIntraOpThreads
+// installs a thread-local override that wins over the global default.
+
+#ifndef MISS_COMMON_THREAD_POOL_H_
+#define MISS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace miss::common {
+
+// std::thread::hardware_concurrency(), but never 0.
+int HardwareConcurrency();
+
+// Effective intra-op thread count for the calling thread: the thread-local
+// ScopedIntraOpThreads override when active, else the process default
+// (MISS_NUM_THREADS or hardware_concurrency on first use).
+int IntraOpThreads();
+
+// Replaces the process-wide default (benches sweep 1/2/4/8 in one process).
+// Clamped to [1, 256]. Does not shrink an already-started pool; a lower
+// count simply caps how many threads join each parallel region.
+void SetIntraOpThreads(int n);
+
+// RAII thread-local override of IntraOpThreads(); n <= 0 restores the
+// process default for the scope instead.
+class ScopedIntraOpThreads {
+ public:
+  explicit ScopedIntraOpThreads(int n);
+  ~ScopedIntraOpThreads();
+  ScopedIntraOpThreads(const ScopedIntraOpThreads&) = delete;
+  ScopedIntraOpThreads& operator=(const ScopedIntraOpThreads&) = delete;
+
+ private:
+  int prev_;
+};
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the caller: the pool spawns num_threads - 1
+  // workers, lazily on the first ParallelRun that can use them.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads a region may use (workers + caller).
+  int num_threads() const;
+
+  // Grows the pool so ParallelRun can use up to `num_threads` total threads.
+  // Never shrinks.
+  void EnsureThreads(int num_threads);
+
+  // Runs fn(0) .. fn(num_tasks - 1) exactly once each, on at most
+  // max_threads threads (the caller participates and counts). Blocks until
+  // every task finished. Rethrows the first task exception after all tasks
+  // ran. Falls back to an inline serial loop when max_threads <= 1, when
+  // called from inside a pool task (no nested parallelism), or when another
+  // thread is already dispatching a region (no queueing, no deadlock).
+  void ParallelRun(int64_t num_tasks, int max_threads,
+                   const std::function<void(int64_t)>& fn);
+
+  // True while the calling thread is executing ParallelRun tasks (both pool
+  // workers and a participating caller). Used to run nested parallel loops
+  // inline.
+  static bool InParallelRegion();
+
+ private:
+  struct Region;
+
+  void WorkerMain(int index);
+  void RunTasks(Region& region);
+  void SpawnWorkersLocked();  // grows workers_ to target_threads_ - 1
+
+  mutable std::mutex mu_;             // guards region_/epoch_/stop_/workers_
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // dispatcher waits for region completion
+  std::shared_ptr<Region> region_;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int target_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex dispatch_mu_;  // one region at a time; losers run inline
+};
+
+// The process-wide pool used by nn::ParallelFor. Lazily constructed; sized
+// on demand by EnsureThreads.
+ThreadPool& GlobalThreadPool();
+
+// Called once on each newly spawned pool thread with its dense index, before
+// it processes any task. Lets higher layers (nn/parallel.cc) attach
+// telemetry thread names without common depending on obs. Install before
+// the first parallel dispatch.
+void SetThreadPoolStartHook(std::function<void(int)> hook);
+
+}  // namespace miss::common
+
+#endif  // MISS_COMMON_THREAD_POOL_H_

@@ -1,8 +1,8 @@
 // miss_serve: the network scoring server.
 //
 //   miss_serve --bundle <dir> [--host 127.0.0.1] [--port 8080]
-//              [--port-file <path>] [--workers N] [--max-batch N]
-//              [--max-delay-us N] [--drain-timeout-ms N]
+//              [--port-file <path>] [--workers N] [--nn-threads N]
+//              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
 //              [--slow-ms N] [--slow-log <path>]
 //
 // Loads a serve::SaveBundle directory, stands up a serve::Engine over it,
@@ -100,6 +100,11 @@ int main(int argc, char** argv) {
       port_file = next("--port-file");
     } else if (arg == "--workers") {
       engine_config.num_workers = std::atoi(next("--workers"));
+    } else if (arg == "--nn-threads") {
+      // Intra-op threads per engine worker. Default 1: inter-op
+      // parallelism across workers already uses the cores, and
+      // oversubscribing (workers * nn_threads > cores) hurts tail latency.
+      engine_config.nn_threads = std::atoi(next("--nn-threads"));
     } else if (arg == "--max-batch") {
       engine_config.max_batch_size = std::atoll(next("--max-batch"));
     } else if (arg == "--max-delay-us") {
@@ -113,9 +118,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
-          "                  [--port-file F] [--workers N] [--max-batch N]\n"
-          "                  [--max-delay-us N] [--drain-timeout-ms N]\n"
-          "                  [--slow-ms N] [--slow-log F]\n"
+          "                  [--port-file F] [--workers N] [--nn-threads N]\n"
+          "                  [--max-batch N] [--max-delay-us N]\n"
+          "                  [--drain-timeout-ms N] [--slow-ms N]\n"
+          "                  [--slow-log F]\n"
           "       miss_serve --export-demo-bundle <dir>\n");
       return 0;
     } else {

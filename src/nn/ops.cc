@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/parallel.h"
 #include "obs/trace.h"
 
 namespace miss::nn {
@@ -51,6 +52,17 @@ struct BroadcastPlan {
   int64_t out_size = 0;
   bool same_shape = false;  // fast path: identical shapes
   bool b_scalar = false;    // fast path: b has a single element
+  // Row decomposition for the vectorized forward: the output is `rows`
+  // contiguous runs of length `inner` (the stride-1 innermost output dim),
+  // and each operand advances by a_step/b_step (always 0 or 1) within a run.
+  // flat == true collapses the whole output into one run (identical shapes
+  // or a scalar operand — the common [B,D] op [B,D] / op scalar cases),
+  // which ParallelFor then chunks directly.
+  int64_t inner = 1;
+  int64_t rows = 0;
+  int a_step = 0;
+  int b_step = 0;
+  bool flat = false;
 };
 
 BroadcastPlan MakeBroadcastPlan(const std::vector<int64_t>& a,
@@ -63,6 +75,23 @@ BroadcastPlan MakeBroadcastPlan(const std::vector<int64_t>& a,
   const size_t nd = plan.out_shape.size();
   plan.a_strides = BroadcastStrides(PadShape(a, nd), plan.out_shape);
   plan.b_strides = BroadcastStrides(PadShape(b, nd), plan.out_shape);
+  const int64_t a_size = NumElements(a);
+  const int64_t b_size = NumElements(b);
+  // An operand whose size matches the output is fully contiguous over it
+  // (broadcast compatibility forces the padded shapes to be equal).
+  plan.flat = (a_size == plan.out_size || a_size == 1) &&
+              (b_size == plan.out_size || b_size == 1);
+  if (plan.flat) {
+    plan.inner = plan.out_size;
+    plan.rows = plan.out_size > 0 ? 1 : 0;
+    plan.a_step = a_size == 1 ? 0 : 1;
+    plan.b_step = b_size == 1 ? 0 : 1;
+  } else {
+    plan.inner = plan.out_shape.back();
+    plan.rows = plan.inner > 0 ? plan.out_size / plan.inner : 0;
+    plan.a_step = plan.a_strides.back() != 0 ? 1 : 0;
+    plan.b_step = plan.b_strides.back() != 0 ? 1 : 0;
+  }
   return plan;
 }
 
@@ -95,29 +124,126 @@ void ForEachBroadcast(const BroadcastPlan& plan, Visitor&& visit) {
   }
 }
 
+// Calls visit(row, a_base, b_base) for output rows [r0, r1): the offsets of
+// the start of each length-`inner` run in a and b. Only used when
+// !plan.flat, so there is at least one leading dim.
+template <typename Visitor>
+void ForEachBroadcastRow(const BroadcastPlan& plan, int64_t r0, int64_t r1,
+                         Visitor&& visit) {
+  const size_t lead = plan.out_shape.size() - 1;
+  std::vector<int64_t> idx(lead, 0);
+  int64_t ai = 0;
+  int64_t bi = 0;
+  int64_t rem = r0;
+  for (size_t d = lead; d-- > 0;) {
+    idx[d] = rem % plan.out_shape[d];
+    rem /= plan.out_shape[d];
+    ai += idx[d] * plan.a_strides[d];
+    bi += idx[d] * plan.b_strides[d];
+  }
+  for (int64_t r = r0; r < r1; ++r) {
+    visit(r, ai, bi);
+    for (size_t d = lead; d-- > 0;) {
+      ++idx[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (idx[d] < plan.out_shape[d]) break;
+      ai -= plan.a_strides[d] * plan.out_shape[d];
+      bi -= plan.b_strides[d] * plan.out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// One contiguous inner run with compile-time operand steps (0 = broadcast
+// the single value, 1 = advance). Constant steps let the compiler vectorize
+// the [B,D] op [1,D] and op-scalar cases.
+template <int kAStep, int kBStep, typename Fwd>
+void ApplyRun(const float* ap, const float* bp, float* op, int64_t n,
+              Fwd fwd) {
+  for (int64_t i = 0; i < n; ++i) {
+    op[i] = fwd(ap[kAStep ? i : 0], bp[kBStep ? i : 0]);
+  }
+}
+
+template <typename Fwd>
+void ApplyRunDispatch(const float* ap, int a_step, const float* bp,
+                      int b_step, float* op, int64_t n, Fwd fwd) {
+  if (a_step != 0) {
+    if (b_step != 0) {
+      ApplyRun<1, 1>(ap, bp, op, n, fwd);
+    } else {
+      ApplyRun<1, 0>(ap, bp, op, n, fwd);
+    }
+  } else {
+    if (b_step != 0) {
+      ApplyRun<0, 1>(ap, bp, op, n, fwd);
+    } else {
+      ApplyRun<0, 0>(ap, bp, op, n, fwd);
+    }
+  }
+}
+
 // Shared implementation for broadcast binary ops. `fwd(x, y)` computes the
 // value; `bwd(g, x, y, &dx, &dy)` adds the local gradients for one element.
+// Forward chunks over contiguous output runs (every element has one
+// writer). Backward parallelizes only the same-shape case: a broadcast
+// operand's gradient is a cross-row reduction whose serial accumulation
+// order defines the result (bitwise-parallel rule), so it stays serial.
 template <typename Fwd, typename Bwd>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
   BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
   std::vector<float> out(plan.out_size);
-  const auto& av = a.value();
-  const auto& bv = b.value();
-  ForEachBroadcast(plan, [&](int64_t o, int64_t ai, int64_t bi) {
-    out[o] = fwd(av[ai], bv[bi]);
-  });
+  {
+    const float* av = a.value().data();
+    const float* bv = b.value().data();
+    float* op = out.data();
+    if (plan.flat) {
+      ParallelFor(0, plan.out_size, GrainFor(2),
+                  [&](int64_t c0, int64_t c1) {
+                    ApplyRunDispatch(av + (plan.a_step ? c0 : 0), plan.a_step,
+                                     bv + (plan.b_step ? c0 : 0), plan.b_step,
+                                     op + c0, c1 - c0, fwd);
+                  });
+    } else {
+      ParallelFor(0, plan.rows, GrainFor(2 * plan.inner),
+                  [&](int64_t r0, int64_t r1) {
+                    ForEachBroadcastRow(
+                        plan, r0, r1, [&](int64_t r, int64_t ai, int64_t bi) {
+                          ApplyRunDispatch(av + ai, plan.a_step, bv + bi,
+                                           plan.b_step, op + r * plan.inner,
+                                           plan.inner, fwd);
+                        });
+                  });
+    }
+  }
   Tensor ta = a;
   Tensor tb = b;
   return MakeResult(
       plan.out_shape, std::move(out), {a, b},
       [ta, tb, plan, bwd](Node& node) mutable {
-        const auto& g = node.grad;
         const bool need_a = ta.requires_grad();
         const bool need_b = tb.requires_grad();
         auto* ga = need_a ? &ta.node()->EnsureGrad() : nullptr;
         auto* gb = need_b ? &tb.node()->EnsureGrad() : nullptr;
-        const auto& av = ta.value();
-        const auto& bv = tb.value();
+        const float* g = node.grad.data();
+        const float* av = ta.value().data();
+        const float* bv = tb.value().data();
+        if (plan.same_shape) {
+          float* gap = need_a ? ga->data() : nullptr;
+          float* gbp = need_b ? gb->data() : nullptr;
+          ParallelFor(0, plan.out_size, GrainFor(4),
+                      [&](int64_t c0, int64_t c1) {
+                        for (int64_t o = c0; o < c1; ++o) {
+                          float dx = 0.0f;
+                          float dy = 0.0f;
+                          bwd(g[o], av[o], bv[o], &dx, &dy);
+                          if (gap) gap[o] += dx;
+                          if (gbp) gbp[o] += dy;
+                        }
+                      });
+          return;
+        }
         ForEachBroadcast(plan, [&](int64_t o, int64_t ai, int64_t bi) {
           float dx = 0.0f;
           float dy = 0.0f;
@@ -129,69 +255,153 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Bwd bwd) {
 }
 
 // Shared implementation for elementwise unary ops. `bwd(g, x, y)` returns
-// the input gradient given upstream g, input x and output y.
+// the input gradient given upstream g, input x and output y. Forward and
+// backward are both elementwise (one writer per slot), so both chunk.
 template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   const int64_t n = a.size();
   std::vector<float> out(n);
-  const auto& av = a.value();
-  for (int64_t i = 0; i < n; ++i) out[i] = fwd(av[i]);
+  {
+    const float* av = a.value().data();
+    float* op = out.data();
+    ParallelFor(0, n, GrainFor(4), [&](int64_t c0, int64_t c1) {
+      for (int64_t i = c0; i < c1; ++i) op[i] = fwd(av[i]);
+    });
+  }
   Tensor ta = a;
   return MakeResult(a.shape(), std::move(out), {a},
                     [ta, bwd](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
-                      const auto& av = ta.value();
-                      const auto& yv = node.value;
-                      const auto& g = node.grad;
-                      const int64_t n = static_cast<int64_t>(g.size());
-                      for (int64_t i = 0; i < n; ++i) {
-                        ga[i] += bwd(g[i], av[i], yv[i]);
-                      }
+                      float* gap = ga.data();
+                      const float* av = ta.value().data();
+                      const float* yv = node.value.data();
+                      const float* g = node.grad.data();
+                      const int64_t n = static_cast<int64_t>(node.grad.size());
+                      ParallelFor(0, n, GrainFor(4),
+                                  [&](int64_t c0, int64_t c1) {
+                                    for (int64_t i = c0; i < c1; ++i) {
+                                      gap[i] += bwd(g[i], av[i], yv[i]);
+                                    }
+                                  });
                     });
 }
 
-// C[m, n] (+)= sum_k A[m, k] * B[k, n]
-void GemmNN(const float* a, const float* b, float* c, int64_t m_dim,
+// ---------------------------------------------------------------------------
+// GEMM kernels. All three are register-tiled and take an explicit range of
+// output rows so ParallelFor can hand disjoint row blocks to different
+// threads. Value preservation: per output element, terms accumulate in
+// exactly the order of the original naive triple loops (ascending reduction
+// index, same zero-skips); the tiling only moves the partial sums from
+// memory into a register strip, so both the serial rewrite and every
+// parallel partition are bitwise identical to the original kernels.
+// ---------------------------------------------------------------------------
+
+// Output strip kept in registers across the reduction loop: 16 floats = two
+// AVX2 vectors.
+constexpr int64_t kGemmStrip = 16;
+
+// C[m, n] (+)= sum_k A[m, k] * B[k, n], for rows m in [m0, m1).
+void GemmNN(const float* a, const float* b, float* c, int64_t m0, int64_t m1,
             int64_t k_dim, int64_t n_dim) {
-  for (int64_t m = 0; m < m_dim; ++m) {
-    float* crow = c + m * n_dim;
+  for (int64_t m = m0; m < m1; ++m) {
     const float* arow = a + m * k_dim;
-    for (int64_t k = 0; k < k_dim; ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b + k * n_dim;
-      for (int64_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+    float* crow = c + m * n_dim;
+    int64_t n0 = 0;
+    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = b + k * n_dim + n0;
+        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
+    }
+    if (n0 < n_dim) {
+      const int64_t nr = n_dim - n0;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = b + k * n_dim + n0;
+        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
     }
   }
 }
 
-// C[m, k] += sum_n A[m, n] * B[k, n]   (i.e. C += A * B^T)
-void GemmNT(const float* a, const float* b, float* c, int64_t m_dim,
+// C[m, k] += sum_n A[m, n] * B[k, n]   (i.e. C += A * B^T), rows [m0, m1).
+// Runs kGemmDots independent dot products per pass over A's row: without
+// -ffast-math a single float dot product is one serial dependency chain, so
+// the instruction-level parallelism across the k strip is where the
+// throughput comes from.
+constexpr int64_t kGemmDots = 8;
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m0, int64_t m1,
             int64_t n_dim, int64_t k_dim) {
-  for (int64_t m = 0; m < m_dim; ++m) {
+  for (int64_t m = m0; m < m1; ++m) {
     const float* arow = a + m * n_dim;
     float* crow = c + m * k_dim;
-    for (int64_t k = 0; k < k_dim; ++k) {
-      const float* brow = b + k * n_dim;
-      float acc = 0.0f;
-      for (int64_t n = 0; n < n_dim; ++n) acc += arow[n] * brow[n];
-      crow[k] += acc;
+    int64_t k0 = 0;
+    for (; k0 + kGemmDots <= k_dim; k0 += kGemmDots) {
+      float acc[kGemmDots] = {};
+      for (int64_t n = 0; n < n_dim; ++n) {
+        const float av = arow[n];
+        for (int64_t j = 0; j < kGemmDots; ++j) {
+          acc[j] += av * b[(k0 + j) * n_dim + n];
+        }
+      }
+      for (int64_t j = 0; j < kGemmDots; ++j) crow[k0 + j] += acc[j];
+    }
+    if (k0 < k_dim) {
+      const int64_t kr = k_dim - k0;
+      float acc[kGemmDots] = {};
+      for (int64_t n = 0; n < n_dim; ++n) {
+        const float av = arow[n];
+        for (int64_t j = 0; j < kr; ++j) {
+          acc[j] += av * b[(k0 + j) * n_dim + n];
+        }
+      }
+      for (int64_t j = 0; j < kr; ++j) crow[k0 + j] += acc[j];
     }
   }
 }
 
-// C[k, n] += sum_m A[m, k] * B[m, n]   (i.e. C += A^T * B)
+// C[k, n] += sum_m A[m, k] * B[m, n]   (i.e. C += A^T * B), C rows
+// [k_begin, k_end). The original kernel streamed m outermost and re-wrote
+// every C element per m; holding a C strip in registers across the whole m
+// loop keeps the same per-element term order with one store per element.
 void GemmTN(const float* a, const float* b, float* c, int64_t m_dim,
-            int64_t k_dim, int64_t n_dim) {
-  for (int64_t m = 0; m < m_dim; ++m) {
-    const float* arow = a + m * k_dim;
-    const float* brow = b + m * n_dim;
-    for (int64_t k = 0; k < k_dim; ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      float* crow = c + k * n_dim;
-      for (int64_t n = 0; n < n_dim; ++n) crow[n] += av * brow[n];
+            int64_t k_dim, int64_t n_dim, int64_t k_begin, int64_t k_end) {
+  for (int64_t k = k_begin; k < k_end; ++k) {
+    float* crow = c + k * n_dim;
+    int64_t n0 = 0;
+    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
+      for (int64_t m = 0; m < m_dim; ++m) {
+        const float av = a[m * k_dim + k];
+        if (av == 0.0f) continue;
+        const float* brow = b + m * n_dim + n0;
+        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
+    }
+    if (n0 < n_dim) {
+      const int64_t nr = n_dim - n0;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
+      for (int64_t m = 0; m < m_dim; ++m) {
+        const float av = a[m * k_dim + k];
+        if (av == 0.0f) continue;
+        const float* brow = b + m * n_dim + n0;
+        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
     }
   }
 }
@@ -344,7 +554,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t rows = a.size() / k_dim;
 
   std::vector<float> out(rows * n_dim, 0.0f);
-  GemmNN(a.value().data(), b.value().data(), out.data(), rows, k_dim, n_dim);
+  {
+    const float* ap = a.value().data();
+    const float* bp = b.value().data();
+    float* op = out.data();
+    ParallelFor(0, rows, GrainFor(k_dim * n_dim),
+                [&](int64_t r0, int64_t r1) {
+                  GemmNN(ap, bp, op, r0, r1, k_dim, n_dim);
+                });
+  }
 
   std::vector<int64_t> out_shape = a.shape();
   out_shape.back() = n_dim;
@@ -357,13 +575,23 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* g = node.grad.data();
         if (ta.requires_grad()) {
           auto& ga = ta.node()->EnsureGrad();
-          // dA = dC * B^T
-          GemmNT(g, tb.value().data(), ga.data(), rows, n_dim, k_dim);
+          float* gap = ga.data();
+          const float* bp = tb.value().data();
+          // dA = dC * B^T; dA rows are written by exactly one chunk each.
+          ParallelFor(0, rows, GrainFor(n_dim * k_dim),
+                      [&](int64_t r0, int64_t r1) {
+                        GemmNT(g, bp, gap, r0, r1, n_dim, k_dim);
+                      });
         }
         if (tb.requires_grad()) {
           auto& gb = tb.node()->EnsureGrad();
-          // dB = A^T * dC
-          GemmTN(ta.value().data(), g, gb.data(), rows, k_dim, n_dim);
+          float* gbp = gb.data();
+          const float* ap = ta.value().data();
+          // dB = A^T * dC; dB rows (k index) are independent.
+          ParallelFor(0, k_dim, GrainFor(rows * n_dim),
+                      [&](int64_t c0, int64_t c1) {
+                        GemmTN(ap, g, gbp, rows, k_dim, n_dim, c0, c1);
+                      });
         }
       });
 }
@@ -380,10 +608,18 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   const int64_t batches = a.size() / (m_dim * k_dim);
 
   std::vector<float> out(batches * m_dim * n_dim, 0.0f);
-  for (int64_t i = 0; i < batches; ++i) {
-    GemmNN(a.value().data() + i * m_dim * k_dim,
-           b.value().data() + i * k_dim * n_dim, out.data() + i * m_dim * n_dim,
-           m_dim, k_dim, n_dim);
+  {
+    const float* ap = a.value().data();
+    const float* bp = b.value().data();
+    float* op = out.data();
+    // Batches are fully independent slices — the natural partition axis.
+    ParallelFor(0, batches, GrainFor(m_dim * k_dim * n_dim),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    GemmNN(ap + i * m_dim * k_dim, bp + i * k_dim * n_dim,
+                           op + i * m_dim * n_dim, 0, m_dim, k_dim, n_dim);
+                  }
+                });
   }
 
   std::vector<int64_t> out_shape = a.shape();
@@ -397,17 +633,29 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
         const float* g = node.grad.data();
         if (ta.requires_grad()) {
           auto& ga = ta.node()->EnsureGrad();
-          for (int64_t i = 0; i < batches; ++i) {
-            GemmNT(g + i * m_dim * n_dim, tb.value().data() + i * k_dim * n_dim,
-                   ga.data() + i * m_dim * k_dim, m_dim, n_dim, k_dim);
-          }
+          float* gap = ga.data();
+          const float* bp = tb.value().data();
+          ParallelFor(0, batches, GrainFor(m_dim * n_dim * k_dim),
+                      [&](int64_t i0, int64_t i1) {
+                        for (int64_t i = i0; i < i1; ++i) {
+                          GemmNT(g + i * m_dim * n_dim, bp + i * k_dim * n_dim,
+                                 gap + i * m_dim * k_dim, 0, m_dim, n_dim,
+                                 k_dim);
+                        }
+                      });
         }
         if (tb.requires_grad()) {
           auto& gb = tb.node()->EnsureGrad();
-          for (int64_t i = 0; i < batches; ++i) {
-            GemmTN(ta.value().data() + i * m_dim * k_dim, g + i * m_dim * n_dim,
-                   gb.data() + i * k_dim * n_dim, m_dim, k_dim, n_dim);
-          }
+          float* gbp = gb.data();
+          const float* ap = ta.value().data();
+          ParallelFor(0, batches, GrainFor(m_dim * k_dim * n_dim),
+                      [&](int64_t i0, int64_t i1) {
+                        for (int64_t i = i0; i < i1; ++i) {
+                          GemmTN(ap + i * m_dim * k_dim, g + i * m_dim * n_dim,
+                                 gbp + i * k_dim * n_dim, m_dim, k_dim, n_dim,
+                                 0, k_dim);
+                        }
+                      });
         }
       });
 }
@@ -418,13 +666,21 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t n_dim = a.dim(-1);
   const int64_t batches = a.size() / (m_dim * n_dim);
   std::vector<float> out(a.size());
-  const auto& av = a.value();
-  for (int64_t i = 0; i < batches; ++i) {
-    const float* src = av.data() + i * m_dim * n_dim;
-    float* dst = out.data() + i * m_dim * n_dim;
-    for (int64_t m = 0; m < m_dim; ++m) {
-      for (int64_t n = 0; n < n_dim; ++n) dst[n * m_dim + m] = src[m * n_dim + n];
-    }
+  {
+    const float* av = a.value().data();
+    float* op = out.data();
+    ParallelFor(0, batches, GrainFor(m_dim * n_dim),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    const float* src = av + i * m_dim * n_dim;
+                    float* dst = op + i * m_dim * n_dim;
+                    for (int64_t m = 0; m < m_dim; ++m) {
+                      for (int64_t n = 0; n < n_dim; ++n) {
+                        dst[n * m_dim + m] = src[m * n_dim + n];
+                      }
+                    }
+                  }
+                });
   }
   std::vector<int64_t> out_shape = a.shape();
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
@@ -434,16 +690,21 @@ Tensor TransposeLast2(const Tensor& a) {
                     [ta, batches, m_dim, n_dim](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
+                      float* gap = ga.data();
                       const float* g = node.grad.data();
-                      for (int64_t i = 0; i < batches; ++i) {
-                        const float* src = g + i * m_dim * n_dim;
-                        float* dst = ga.data() + i * m_dim * n_dim;
-                        for (int64_t m = 0; m < m_dim; ++m) {
-                          for (int64_t n = 0; n < n_dim; ++n) {
-                            dst[m * n_dim + n] += src[n * m_dim + m];
-                          }
-                        }
-                      }
+                      ParallelFor(
+                          0, batches, GrainFor(m_dim * n_dim),
+                          [&](int64_t i0, int64_t i1) {
+                            for (int64_t i = i0; i < i1; ++i) {
+                              const float* src = g + i * m_dim * n_dim;
+                              float* dst = gap + i * m_dim * n_dim;
+                              for (int64_t m = 0; m < m_dim; ++m) {
+                                for (int64_t n = 0; n < n_dim; ++n) {
+                                  dst[m * n_dim + n] += src[n * m_dim + m];
+                                }
+                              }
+                            }
+                          });
                     });
 }
 
@@ -569,7 +830,13 @@ Tensor SumAll(const Tensor& a) {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
                       const float g = node.grad[0];
-                      for (auto& v : ga) v += g;
+                      float* gap = ga.data();
+                      ParallelFor(0, static_cast<int64_t>(ga.size()),
+                                  GrainFor(1), [&](int64_t i0, int64_t i1) {
+                                    for (int64_t i = i0; i < i1; ++i) {
+                                      gap[i] += g;
+                                    }
+                                  });
                     });
 }
 
@@ -599,16 +866,25 @@ Tensor ReduceAxis(const Tensor& a, int axis, bool keepdims, float scale) {
   if (out_shape.empty()) out_shape.push_back(1);
 
   std::vector<float> out(outer * inner, 0.0f);
-  const auto& av = a.value();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t j = 0; j < n; ++j) {
-      const float* src = av.data() + (o * n + j) * inner;
-      float* dst = out.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
-  }
-  if (scale != 1.0f) {
-    for (auto& v : out) v *= scale;
+  {
+    const float* av = a.value().data();
+    float* op = out.data();
+    // Each output row o is owned by one chunk, so the j-ascending
+    // accumulation order per element matches the serial loop exactly.
+    ParallelFor(0, outer, GrainFor(n * inner),
+                [&](int64_t o0, int64_t o1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t j = 0; j < n; ++j) {
+                      const float* src = av + (o * n + j) * inner;
+                      float* dst = op + o * inner;
+                      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+                    }
+                    if (scale != 1.0f) {
+                      float* dst = op + o * inner;
+                      for (int64_t i = 0; i < inner; ++i) dst[i] *= scale;
+                    }
+                  }
+                });
   }
 
   Tensor ta = a;
@@ -616,16 +892,21 @@ Tensor ReduceAxis(const Tensor& a, int axis, bool keepdims, float scale) {
                     [ta, outer, n, inner, scale](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
-                      const auto& g = node.grad;
-                      for (int64_t o = 0; o < outer; ++o) {
-                        const float* src = g.data() + o * inner;
-                        for (int64_t j = 0; j < n; ++j) {
-                          float* dst = ga.data() + (o * n + j) * inner;
-                          for (int64_t i = 0; i < inner; ++i) {
-                            dst[i] += src[i] * scale;
-                          }
-                        }
-                      }
+                      const float* g = node.grad.data();
+                      float* gap = ga.data();
+                      ParallelFor(
+                          0, outer, GrainFor(n * inner),
+                          [&](int64_t o0, int64_t o1) {
+                            for (int64_t o = o0; o < o1; ++o) {
+                              const float* src = g + o * inner;
+                              for (int64_t j = 0; j < n; ++j) {
+                                float* dst = gap + (o * n + j) * inner;
+                                for (int64_t i = 0; i < inner; ++i) {
+                                  dst[i] += src[i] * scale;
+                                }
+                              }
+                            }
+                          });
                     });
 }
 
@@ -649,37 +930,49 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   const int64_t n = a.dim(-1);
   const int64_t rows = a.size() / n;
   std::vector<float> out(a.size());
-  const auto& av = a.value();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = av.data() + r * n;
-    float* dst = out.data() + r * n;
-    float max_v = src[0];
-    for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, src[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      dst[i] = std::exp(src[i] - max_v);
-      sum += dst[i];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+  {
+    const float* av = a.value().data();
+    float* op = out.data();
+    ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* src = av + r * n;
+        float* dst = op + r * n;
+        float max_v = src[0];
+        for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, src[i]);
+        float sum = 0.0f;
+        for (int64_t i = 0; i < n; ++i) {
+          dst[i] = std::exp(src[i] - max_v);
+          sum += dst[i];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+      }
+    });
   }
   Tensor ta = a;
   return MakeResult(a.shape(), std::move(out), {a},
                     [ta, rows, n](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
-                      const auto& y = node.value;
-                      const auto& g = node.grad;
-                      for (int64_t r = 0; r < rows; ++r) {
-                        const float* yr = y.data() + r * n;
-                        const float* gr = g.data() + r * n;
-                        float dot = 0.0f;
-                        for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
-                        float* dst = ga.data() + r * n;
-                        for (int64_t i = 0; i < n; ++i) {
-                          dst[i] += yr[i] * (gr[i] - dot);
-                        }
-                      }
+                      const float* y = node.value.data();
+                      const float* g = node.grad.data();
+                      float* gap = ga.data();
+                      ParallelFor(
+                          0, rows, GrainFor(4 * n),
+                          [&](int64_t r0, int64_t r1) {
+                            for (int64_t r = r0; r < r1; ++r) {
+                              const float* yr = y + r * n;
+                              const float* gr = g + r * n;
+                              float dot = 0.0f;
+                              for (int64_t i = 0; i < n; ++i) {
+                                dot += yr[i] * gr[i];
+                              }
+                              float* dst = gap + r * n;
+                              for (int64_t i = 0; i < n; ++i) {
+                                dst[i] += yr[i] * (gr[i] - dot);
+                              }
+                            }
+                          });
                     });
 }
 
@@ -688,43 +981,58 @@ Tensor MaskedSoftmaxLastDim(const Tensor& a, const std::vector<float>& mask) {
   const int64_t n = a.dim(-1);
   const int64_t rows = a.size() / n;
   std::vector<float> out(a.size(), 0.0f);
-  const auto& av = a.value();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = av.data() + r * n;
-    const float* msk = mask.data() + r * n;
-    float* dst = out.data() + r * n;
-    float max_v = -std::numeric_limits<float>::infinity();
-    for (int64_t i = 0; i < n; ++i) {
-      if (msk[i] > 0.0f) max_v = std::max(max_v, src[i]);
-    }
-    if (max_v == -std::numeric_limits<float>::infinity()) continue;  // all pad
-    float sum = 0.0f;
-    for (int64_t i = 0; i < n; ++i) {
-      if (msk[i] > 0.0f) {
-        dst[i] = std::exp(src[i] - max_v);
-        sum += dst[i];
+  {
+    const float* av = a.value().data();
+    const float* mp = mask.data();
+    float* op = out.data();
+    ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* src = av + r * n;
+        const float* msk = mp + r * n;
+        float* dst = op + r * n;
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < n; ++i) {
+          if (msk[i] > 0.0f) max_v = std::max(max_v, src[i]);
+        }
+        if (max_v == -std::numeric_limits<float>::infinity()) {
+          continue;  // all pad
+        }
+        float sum = 0.0f;
+        for (int64_t i = 0; i < n; ++i) {
+          if (msk[i] > 0.0f) {
+            dst[i] = std::exp(src[i] - max_v);
+            sum += dst[i];
+          }
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
       }
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+    });
   }
   Tensor ta = a;
   return MakeResult(a.shape(), std::move(out), {a},
                     [ta, rows, n](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
-                      const auto& y = node.value;
-                      const auto& g = node.grad;
-                      for (int64_t r = 0; r < rows; ++r) {
-                        const float* yr = y.data() + r * n;
-                        const float* gr = g.data() + r * n;
-                        float dot = 0.0f;
-                        for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
-                        float* dst = ga.data() + r * n;
-                        for (int64_t i = 0; i < n; ++i) {
-                          dst[i] += yr[i] * (gr[i] - dot);
-                        }
-                      }
+                      const float* y = node.value.data();
+                      const float* g = node.grad.data();
+                      float* gap = ga.data();
+                      ParallelFor(
+                          0, rows, GrainFor(4 * n),
+                          [&](int64_t r0, int64_t r1) {
+                            for (int64_t r = r0; r < r1; ++r) {
+                              const float* yr = y + r * n;
+                              const float* gr = g + r * n;
+                              float dot = 0.0f;
+                              for (int64_t i = 0; i < n; ++i) {
+                                dot += yr[i] * gr[i];
+                              }
+                              float* dst = gap + r * n;
+                              for (int64_t i = 0; i < n; ++i) {
+                                dst[i] += yr[i] * (gr[i] - dot);
+                              }
+                            }
+                          });
                     });
 }
 
@@ -749,21 +1057,24 @@ Tensor DiagonalNllFromLogits(const Tensor& s) {
       {1}, {static_cast<float>(loss)}, {s}, [ts, b_dim](Node& node) mutable {
         if (!ts.requires_grad()) return;
         auto& gs = ts.node()->EnsureGrad();
-        const auto& sv = ts.value();
+        const float* sv = ts.value().data();
+        float* gsp = gs.data();
         const float g = node.grad[0] / static_cast<float>(b_dim);
-        for (int64_t r = 0; r < b_dim; ++r) {
-          const float* row = sv.data() + r * b_dim;
-          float* grow = gs.data() + r * b_dim;
-          float max_v = row[0];
-          for (int64_t c = 1; c < b_dim; ++c) max_v = std::max(max_v, row[c]);
-          double sum = 0.0;
-          for (int64_t c = 0; c < b_dim; ++c) sum += std::exp(row[c] - max_v);
-          for (int64_t c = 0; c < b_dim; ++c) {
-            const float p =
-                static_cast<float>(std::exp(row[c] - max_v) / sum);
-            grow[c] += g * (p - (c == r ? 1.0f : 0.0f));
+        ParallelFor(0, b_dim, GrainFor(8 * b_dim), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* row = sv + r * b_dim;
+            float* grow = gsp + r * b_dim;
+            float max_v = row[0];
+            for (int64_t c = 1; c < b_dim; ++c) max_v = std::max(max_v, row[c]);
+            double sum = 0.0;
+            for (int64_t c = 0; c < b_dim; ++c) sum += std::exp(row[c] - max_v);
+            for (int64_t c = 0; c < b_dim; ++c) {
+              const float p =
+                  static_cast<float>(std::exp(row[c] - max_v) / sum);
+              grow[c] += g * (p - (c == r ? 1.0f : 0.0f));
+            }
           }
-        }
+        });
       });
 }
 
@@ -787,14 +1098,18 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
       [tl, labels, n](Node& node) mutable {
         if (!tl.requires_grad()) return;
         auto& gl = tl.node()->EnsureGrad();
-        const auto& x = tl.value();
+        const float* x = tl.value().data();
+        const float* lp = labels.data();
+        float* glp = gl.data();
         const float g = node.grad[0] / static_cast<float>(n);
-        for (int64_t i = 0; i < n; ++i) {
-          const float xi = x[i];
-          const float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
-                                       : std::exp(xi) / (1.0f + std::exp(xi));
-          gl[i] += g * (sig - labels[i]);
-        }
+        ParallelFor(0, n, GrainFor(16), [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const float xi = x[i];
+            const float sig = xi >= 0.0f ? 1.0f / (1.0f + std::exp(-xi))
+                                         : std::exp(xi) / (1.0f + std::exp(xi));
+            glp[i] += g * (sig - lp[i]);
+          }
+        });
       });
 }
 
@@ -807,15 +1122,23 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
   const int64_t rows = a.size() / n;
   std::vector<float> out(a.size());
   std::vector<float> norms(rows);
-  const auto& av = a.value();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = av.data() + r * n;
-    double sq = 0.0;
-    for (int64_t i = 0; i < n; ++i) sq += static_cast<double>(src[i]) * src[i];
-    const float norm = static_cast<float>(std::sqrt(sq + eps));
-    norms[r] = norm;
-    float* dst = out.data() + r * n;
-    for (int64_t i = 0; i < n; ++i) dst[i] = src[i] / norm;
+  {
+    const float* av = a.value().data();
+    float* op = out.data();
+    float* np = norms.data();
+    ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* src = av + r * n;
+        double sq = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+          sq += static_cast<double>(src[i]) * src[i];
+        }
+        const float norm = static_cast<float>(std::sqrt(sq + eps));
+        np[r] = norm;
+        float* dst = op + r * n;
+        for (int64_t i = 0; i < n; ++i) dst[i] = src[i] / norm;
+      }
+    });
   }
   Tensor ta = a;
   return MakeResult(
@@ -823,19 +1146,23 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
       [ta, rows, n, norms = std::move(norms)](Node& node) mutable {
         if (!ta.requires_grad()) return;
         auto& ga = ta.node()->EnsureGrad();
-        const auto& y = node.value;
-        const auto& g = node.grad;
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* yr = y.data() + r * n;
-          const float* gr = g.data() + r * n;
-          float dot = 0.0f;
-          for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
-          const float inv = 1.0f / norms[r];
-          float* dst = ga.data() + r * n;
-          for (int64_t i = 0; i < n; ++i) {
-            dst[i] += (gr[i] - yr[i] * dot) * inv;
+        const float* y = node.value.data();
+        const float* g = node.grad.data();
+        const float* np = norms.data();
+        float* gap = ga.data();
+        ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* yr = y + r * n;
+            const float* gr = g + r * n;
+            float dot = 0.0f;
+            for (int64_t i = 0; i < n; ++i) dot += yr[i] * gr[i];
+            const float inv = 1.0f / np[r];
+            float* dst = gap + r * n;
+            for (int64_t i = 0; i < n; ++i) {
+              dst[i] += (gr[i] - yr[i] * dot) * inv;
+            }
           }
-        }
+        });
       });
 }
 
@@ -854,10 +1181,15 @@ Tensor Dropout(const Tensor& a, float p, bool training, common::Rng& rng) {
                     [ta, mask = std::move(mask)](Node& node) mutable {
                       if (!ta.requires_grad()) return;
                       auto& ga = ta.node()->EnsureGrad();
-                      const auto& g = node.grad;
-                      for (size_t i = 0; i < g.size(); ++i) {
-                        ga[i] += g[i] * mask[i];
-                      }
+                      const float* g = node.grad.data();
+                      const float* mp = mask.data();
+                      float* gap = ga.data();
+                      ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                                  GrainFor(2), [&](int64_t i0, int64_t i1) {
+                                    for (int64_t i = i0; i < i1; ++i) {
+                                      gap[i] += g[i] * mp[i];
+                                    }
+                                  });
                     });
 }
 
@@ -874,13 +1206,20 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
   const int64_t vocab = table.dim(0);
   const int64_t k_dim = table.dim(1);
   std::vector<float> out(ids.size() * k_dim, 0.0f);
-  const auto& tv = table.value();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    const int64_t id = ids[i];
-    if (id < 0) continue;  // padding: zero row
-    MISS_CHECK_LT(id, vocab) << "embedding id out of range";
-    std::memcpy(out.data() + i * k_dim, tv.data() + id * k_dim,
-                sizeof(float) * k_dim);
+  {
+    const float* tv = table.value().data();
+    const int64_t* idp = ids.data();
+    float* op = out.data();
+    ParallelFor(0, static_cast<int64_t>(ids.size()), GrainFor(k_dim),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    const int64_t id = idp[i];
+                    if (id < 0) continue;  // padding: zero row
+                    MISS_CHECK_LT(id, vocab) << "embedding id out of range";
+                    std::memcpy(op + i * k_dim, tv + id * k_dim,
+                                sizeof(float) * k_dim);
+                  }
+                });
   }
   std::vector<int64_t> out_shape = std::move(leading_shape);
   out_shape.push_back(k_dim);
@@ -891,6 +1230,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
                       if (!tt.requires_grad()) return;
                       auto& gt = tt.node()->EnsureGrad();
                       const auto& g = node.grad;
+                      // Serial: repeated ids scatter-add into the same table
+                      // row, so id-order accumulation must be preserved.
                       for (size_t i = 0; i < ids.size(); ++i) {
                         const int64_t id = ids[i];
                         if (id < 0) continue;
@@ -909,15 +1250,22 @@ Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
   const int64_t k_dim = x.dim(2);
   MISS_CHECK_EQ(static_cast<int64_t>(idx.size()), b_dim * t_count);
   std::vector<float> out(b_dim * t_count * k_dim);
-  const auto& xv = x.value();
-  for (int64_t b = 0; b < b_dim; ++b) {
-    for (int64_t t = 0; t < t_count; ++t) {
-      const int64_t l = idx[b * t_count + t];
-      MISS_CHECK_GE(l, 0);
-      MISS_CHECK_LT(l, l_dim);
-      std::memcpy(out.data() + (b * t_count + t) * k_dim,
-                  xv.data() + (b * l_dim + l) * k_dim, sizeof(float) * k_dim);
-    }
+  {
+    const float* xv = x.value().data();
+    float* op = out.data();
+    ParallelFor(0, b_dim, GrainFor(t_count * k_dim),
+                [&](int64_t b0, int64_t b1) {
+                  for (int64_t b = b0; b < b1; ++b) {
+                    for (int64_t t = 0; t < t_count; ++t) {
+                      const int64_t l = idx[b * t_count + t];
+                      MISS_CHECK_GE(l, 0);
+                      MISS_CHECK_LT(l, l_dim);
+                      std::memcpy(op + (b * t_count + t) * k_dim,
+                                  xv + (b * l_dim + l) * k_dim,
+                                  sizeof(float) * k_dim);
+                    }
+                  }
+                });
   }
   Tensor tx = x;
   return MakeResult(
@@ -925,15 +1273,21 @@ Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
       [tx, idx, b_dim, l_dim, t_count, k_dim](Node& node) mutable {
         if (!tx.requires_grad()) return;
         auto& gx = tx.node()->EnsureGrad();
-        const auto& g = node.grad;
-        for (int64_t b = 0; b < b_dim; ++b) {
-          for (int64_t t = 0; t < t_count; ++t) {
-            const int64_t l = idx[b * t_count + t];
-            const float* src = g.data() + (b * t_count + t) * k_dim;
-            float* dst = gx.data() + (b * l_dim + l) * k_dim;
-            for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
-          }
-        }
+        const float* g = node.grad.data();
+        float* gxp = gx.data();
+        // Scatter targets stay within batch row b, so chunking over b keeps
+        // every gradient element owned by one task.
+        ParallelFor(0, b_dim, GrainFor(t_count * k_dim),
+                    [&](int64_t b0, int64_t b1) {
+                      for (int64_t b = b0; b < b1; ++b) {
+                        for (int64_t t = 0; t < t_count; ++t) {
+                          const int64_t l = idx[b * t_count + t];
+                          const float* src = g + (b * t_count + t) * k_dim;
+                          float* dst = gxp + (b * l_dim + l) * k_dim;
+                          for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+                        }
+                      }
+                    });
       });
 }
 
@@ -945,16 +1299,22 @@ Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx) {
   const int64_t k_dim = g.dim(3);
   MISS_CHECK_EQ(static_cast<int64_t>(l_idx.size()), b_dim);
   std::vector<float> out(b_dim * j_dim * k_dim);
-  const auto& gv = g.value();
-  for (int64_t b = 0; b < b_dim; ++b) {
-    const int64_t l = l_idx[b];
-    MISS_CHECK_GE(l, 0);
-    MISS_CHECK_LT(l, l_dim);
-    for (int64_t j = 0; j < j_dim; ++j) {
-      std::memcpy(out.data() + (b * j_dim + j) * k_dim,
-                  gv.data() + ((b * j_dim + j) * l_dim + l) * k_dim,
-                  sizeof(float) * k_dim);
-    }
+  {
+    const float* gv = g.value().data();
+    float* op = out.data();
+    ParallelFor(0, b_dim, GrainFor(j_dim * k_dim),
+                [&](int64_t b0, int64_t b1) {
+                  for (int64_t b = b0; b < b1; ++b) {
+                    const int64_t l = l_idx[b];
+                    MISS_CHECK_GE(l, 0);
+                    MISS_CHECK_LT(l, l_dim);
+                    for (int64_t j = 0; j < j_dim; ++j) {
+                      std::memcpy(op + (b * j_dim + j) * k_dim,
+                                  gv + ((b * j_dim + j) * l_dim + l) * k_dim,
+                                  sizeof(float) * k_dim);
+                    }
+                  }
+                });
   }
   Tensor tg = g;
   return MakeResult(
@@ -962,15 +1322,20 @@ Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx) {
       [tg, l_idx, b_dim, j_dim, l_dim, k_dim](Node& node) mutable {
         if (!tg.requires_grad()) return;
         auto& gg = tg.node()->EnsureGrad();
-        const auto& grad = node.grad;
-        for (int64_t b = 0; b < b_dim; ++b) {
-          const int64_t l = l_idx[b];
-          for (int64_t j = 0; j < j_dim; ++j) {
-            const float* src = grad.data() + (b * j_dim + j) * k_dim;
-            float* dst = gg.data() + ((b * j_dim + j) * l_dim + l) * k_dim;
-            for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
-          }
-        }
+        const float* grad = node.grad.data();
+        float* ggp = gg.data();
+        ParallelFor(0, b_dim, GrainFor(j_dim * k_dim),
+                    [&](int64_t b0, int64_t b1) {
+                      for (int64_t b = b0; b < b1; ++b) {
+                        const int64_t l = l_idx[b];
+                        for (int64_t j = 0; j < j_dim; ++j) {
+                          const float* src = grad + (b * j_dim + j) * k_dim;
+                          float* dst =
+                              ggp + ((b * j_dim + j) * l_dim + l) * k_dim;
+                          for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+                        }
+                      }
+                    });
       });
 }
 
@@ -984,17 +1349,22 @@ Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
   MISS_CHECK_EQ(static_cast<int64_t>(j_idx.size()), b_dim);
   MISS_CHECK_EQ(static_cast<int64_t>(l_idx.size()), b_dim);
   std::vector<float> out(b_dim * k_dim);
-  const auto& gv = g.value();
-  for (int64_t b = 0; b < b_dim; ++b) {
-    const int64_t j = j_idx[b];
-    const int64_t l = l_idx[b];
-    MISS_CHECK_GE(j, 0);
-    MISS_CHECK_LT(j, j_dim);
-    MISS_CHECK_GE(l, 0);
-    MISS_CHECK_LT(l, l_dim);
-    std::memcpy(out.data() + b * k_dim,
-                gv.data() + ((b * j_dim + j) * l_dim + l) * k_dim,
-                sizeof(float) * k_dim);
+  {
+    const float* gv = g.value().data();
+    float* op = out.data();
+    ParallelFor(0, b_dim, GrainFor(k_dim), [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        const int64_t j = j_idx[b];
+        const int64_t l = l_idx[b];
+        MISS_CHECK_GE(j, 0);
+        MISS_CHECK_LT(j, j_dim);
+        MISS_CHECK_GE(l, 0);
+        MISS_CHECK_LT(l, l_dim);
+        std::memcpy(op + b * k_dim,
+                    gv + ((b * j_dim + j) * l_dim + l) * k_dim,
+                    sizeof(float) * k_dim);
+      }
+    });
   }
   Tensor tg = g;
   return MakeResult(
@@ -1002,13 +1372,16 @@ Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
       [tg, j_idx, l_idx, b_dim, j_dim, l_dim, k_dim](Node& node) mutable {
         if (!tg.requires_grad()) return;
         auto& gg = tg.node()->EnsureGrad();
-        const auto& grad = node.grad;
-        for (int64_t b = 0; b < b_dim; ++b) {
-          const float* src = grad.data() + b * k_dim;
-          float* dst = gg.data() +
-                       ((b * j_dim + j_idx[b]) * l_dim + l_idx[b]) * k_dim;
-          for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
-        }
+        const float* grad = node.grad.data();
+        float* ggp = gg.data();
+        ParallelFor(0, b_dim, GrainFor(k_dim), [&](int64_t b0, int64_t b1) {
+          for (int64_t b = b0; b < b1; ++b) {
+            const float* src = grad + b * k_dim;
+            float* dst =
+                ggp + ((b * j_dim + j_idx[b]) * l_dim + l_idx[b]) * k_dim;
+            for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+          }
+        });
       });
 }
 
@@ -1029,19 +1402,27 @@ Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
   const int64_t l_out = l_dim - m + 1;
 
   std::vector<float> out(b_dim * j_dim * l_out * k_dim, 0.0f);
-  const auto& cv = c.value();
-  const auto& w = kernel.value();
-  for (int64_t bj = 0; bj < b_dim * j_dim; ++bj) {
-    const float* src = cv.data() + bj * l_dim * k_dim;
-    float* dst = out.data() + bj * l_out * k_dim;
-    for (int64_t l = 0; l < l_out; ++l) {
-      for (int64_t i = 0; i < m; ++i) {
-        const float wi = w[i];
-        const float* row = src + (l + i) * k_dim;
-        float* orow = dst + l * k_dim;
-        for (int64_t k = 0; k < k_dim; ++k) orow[k] += wi * row[k];
-      }
-    }
+  {
+    const float* cv = c.value().data();
+    const float* w = kernel.value().data();
+    float* op = out.data();
+    ParallelFor(0, b_dim * j_dim, GrainFor(l_out * m * k_dim),
+                [&](int64_t bj0, int64_t bj1) {
+                  for (int64_t bj = bj0; bj < bj1; ++bj) {
+                    const float* src = cv + bj * l_dim * k_dim;
+                    float* dst = op + bj * l_out * k_dim;
+                    for (int64_t l = 0; l < l_out; ++l) {
+                      for (int64_t i = 0; i < m; ++i) {
+                        const float wi = w[i];
+                        const float* row = src + (l + i) * k_dim;
+                        float* orow = dst + l * k_dim;
+                        for (int64_t k = 0; k < k_dim; ++k) {
+                          orow[k] += wi * row[k];
+                        }
+                      }
+                    }
+                  }
+                });
   }
 
   Tensor tc = c;
@@ -1056,18 +1437,39 @@ Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
         const bool need_k = tk.requires_grad();
         auto* gc = need_c ? &tc.node()->EnsureGrad() : nullptr;
         auto* gk = need_k ? &tk.node()->EnsureGrad() : nullptr;
-        for (int64_t bj = 0; bj < b_dim * j_dim; ++bj) {
-          const float* gsrc = g.data() + bj * l_out * k_dim;
-          const float* csrc = cv.data() + bj * l_dim * k_dim;
-          for (int64_t l = 0; l < l_out; ++l) {
-            const float* grow = gsrc + l * k_dim;
-            for (int64_t i = 0; i < m; ++i) {
-              if (need_c) {
-                float* dst = gc->data() + (bj * l_dim + l + i) * k_dim;
-                const float wi = w[i];
-                for (int64_t k = 0; k < k_dim; ++k) dst[k] += wi * grow[k];
-              }
-              if (need_k) {
+        if (need_c) {
+          // Input-gradient writes stay inside plane bj, so bj chunks own
+          // disjoint output ranges.
+          float* gcp = gc->data();
+          const float* gp = g.data();
+          const float* wp = w.data();
+          ParallelFor(0, b_dim * j_dim, GrainFor(l_out * m * k_dim),
+                      [&](int64_t bj0, int64_t bj1) {
+                        for (int64_t bj = bj0; bj < bj1; ++bj) {
+                          const float* gsrc = gp + bj * l_out * k_dim;
+                          for (int64_t l = 0; l < l_out; ++l) {
+                            const float* grow = gsrc + l * k_dim;
+                            for (int64_t i = 0; i < m; ++i) {
+                              float* dst =
+                                  gcp + (bj * l_dim + l + i) * k_dim;
+                              const float wi = wp[i];
+                              for (int64_t k = 0; k < k_dim; ++k) {
+                                dst[k] += wi * grow[k];
+                              }
+                            }
+                          }
+                        }
+                      });
+        }
+        if (need_k) {
+          // Serial: gk[i] reduces across every bj plane, so bj-order
+          // accumulation must be preserved.
+          for (int64_t bj = 0; bj < b_dim * j_dim; ++bj) {
+            const float* gsrc = g.data() + bj * l_out * k_dim;
+            const float* csrc = cv.data() + bj * l_dim * k_dim;
+            for (int64_t l = 0; l < l_out; ++l) {
+              const float* grow = gsrc + l * k_dim;
+              for (int64_t i = 0; i < m; ++i) {
                 const float* crow = csrc + (l + i) * k_dim;
                 float acc = 0.0f;
                 for (int64_t k = 0; k < k_dim; ++k) acc += crow[k] * grow[k];
@@ -1093,19 +1495,27 @@ Tensor VerticalConv(const Tensor& g_in, const Tensor& kernel) {
 
   const int64_t plane = l_dim * k_dim;
   std::vector<float> out(b_dim * j_out * plane, 0.0f);
-  const auto& gv = g_in.value();
-  const auto& w = kernel.value();
-  for (int64_t b = 0; b < b_dim; ++b) {
-    const float* src = gv.data() + b * j_dim * plane;
-    float* dst = out.data() + b * j_out * plane;
-    for (int64_t j = 0; j < j_out; ++j) {
-      for (int64_t i = 0; i < n; ++i) {
-        const float wi = w[i];
-        const float* row = src + (j + i) * plane;
-        float* orow = dst + j * plane;
-        for (int64_t p = 0; p < plane; ++p) orow[p] += wi * row[p];
-      }
-    }
+  {
+    const float* gv = g_in.value().data();
+    const float* w = kernel.value().data();
+    float* op = out.data();
+    ParallelFor(0, b_dim, GrainFor(j_out * n * plane),
+                [&](int64_t b0, int64_t b1) {
+                  for (int64_t b = b0; b < b1; ++b) {
+                    const float* src = gv + b * j_dim * plane;
+                    float* dst = op + b * j_out * plane;
+                    for (int64_t j = 0; j < j_out; ++j) {
+                      for (int64_t i = 0; i < n; ++i) {
+                        const float wi = w[i];
+                        const float* row = src + (j + i) * plane;
+                        float* orow = dst + j * plane;
+                        for (int64_t p = 0; p < plane; ++p) {
+                          orow[p] += wi * row[p];
+                        }
+                      }
+                    }
+                  }
+                });
   }
 
   Tensor tg = g_in;
@@ -1120,18 +1530,36 @@ Tensor VerticalConv(const Tensor& g_in, const Tensor& kernel) {
         const bool need_k = tk.requires_grad();
         auto* gg = need_g ? &tg.node()->EnsureGrad() : nullptr;
         auto* gk = need_k ? &tk.node()->EnsureGrad() : nullptr;
-        for (int64_t b = 0; b < b_dim; ++b) {
-          const float* gsrc = g.data() + b * j_out * plane;
-          const float* xsrc = gv.data() + b * j_dim * plane;
-          for (int64_t j = 0; j < j_out; ++j) {
-            const float* grow = gsrc + j * plane;
-            for (int64_t i = 0; i < n; ++i) {
-              if (need_g) {
-                float* dst = gg->data() + (b * j_dim + j + i) * plane;
-                const float wi = w[i];
-                for (int64_t p = 0; p < plane; ++p) dst[p] += wi * grow[p];
-              }
-              if (need_k) {
+        if (need_g) {
+          float* ggp = gg->data();
+          const float* gp = g.data();
+          const float* wp = w.data();
+          ParallelFor(0, b_dim, GrainFor(j_out * n * plane),
+                      [&](int64_t b0, int64_t b1) {
+                        for (int64_t b = b0; b < b1; ++b) {
+                          const float* gsrc = gp + b * j_out * plane;
+                          for (int64_t j = 0; j < j_out; ++j) {
+                            const float* grow = gsrc + j * plane;
+                            for (int64_t i = 0; i < n; ++i) {
+                              float* dst = ggp + (b * j_dim + j + i) * plane;
+                              const float wi = wp[i];
+                              for (int64_t p = 0; p < plane; ++p) {
+                                dst[p] += wi * grow[p];
+                              }
+                            }
+                          }
+                        }
+                      });
+        }
+        if (need_k) {
+          // Serial: gk[i] reduces across every batch, so batch-order
+          // accumulation must be preserved.
+          for (int64_t b = 0; b < b_dim; ++b) {
+            const float* gsrc = g.data() + b * j_out * plane;
+            const float* xsrc = gv.data() + b * j_dim * plane;
+            for (int64_t j = 0; j < j_out; ++j) {
+              const float* grow = gsrc + j * plane;
+              for (int64_t i = 0; i < n; ++i) {
                 const float* xrow = xsrc + (j + i) * plane;
                 float acc = 0.0f;
                 for (int64_t p = 0; p < plane; ++p) acc += xrow[p] * grow[p];

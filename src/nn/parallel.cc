@@ -1,0 +1,60 @@
+#include "nn/parallel.h"
+
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::nn::internal {
+
+bool ShouldParallelize(int64_t range, int64_t grain) {
+  if (range <= std::max<int64_t>(grain, 1)) return false;
+  if (common::ThreadPool::InParallelRegion()) return false;
+  return common::IntraOpThreads() > 1;
+}
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  // Name pool threads for trace output the first time the pool is used.
+  static std::once_flag hook_once;
+  std::call_once(hook_once, [] {
+    common::SetThreadPoolStartHook([](int index) {
+      if (obs::Enabled()) {
+        obs::SetCurrentThreadName("nn-pool-" + std::to_string(index));
+      }
+    });
+  });
+
+  const int64_t range = end - begin;
+  const int threads = common::IntraOpThreads();
+  if (grain < 1) grain = 1;
+
+  // Aim for a few chunks per thread (load balancing across uneven rows)
+  // without dropping below the grain.
+  const int64_t target_chunks = static_cast<int64_t>(threads) * 4;
+  int64_t chunk = (range + target_chunks - 1) / target_chunks;
+  if (chunk < grain) chunk = grain;
+  const int64_t num_chunks = (range + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  common::ThreadPool& pool = common::GlobalThreadPool();
+  pool.EnsureThreads(threads);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("pool/parallel_regions").Add(1);
+    registry.GetGauge("pool/threads")
+        .Set(static_cast<double>(pool.num_threads()));
+  }
+  pool.ParallelRun(num_chunks, threads, [&](int64_t c) {
+    const int64_t chunk_begin = begin + c * chunk;
+    const int64_t chunk_end = std::min(end, chunk_begin + chunk);
+    fn(chunk_begin, chunk_end);
+  });
+}
+
+}  // namespace miss::nn::internal

@@ -1,0 +1,66 @@
+// nn::ParallelFor — intra-op range partitioning over the shared thread pool.
+//
+// ParallelFor(begin, end, grain, fn) calls fn(chunk_begin, chunk_end) for
+// disjoint, contiguous, ascending chunks that exactly cover [begin, end);
+// each index lands in one chunk. Chunks may run concurrently on the
+// common::ThreadPool.
+//
+// The bitwise-parallel rule (DESIGN.md "Threading model"): kernels must
+// (a) write each output element from exactly one chunk and (b) keep the
+// within-chunk loop order identical to the serial loop. Floating-point
+// accumulation order per output element is then independent of the thread
+// count and chunking, so results are bitwise identical to serial execution.
+// Reductions that fold many chunks into one scalar cannot keep that order
+// and stay serial (e.g. SumAll's forward).
+//
+// With an effective intra-op thread count of 1, a range no bigger than
+// `grain`, or when already inside a pool task, fn(begin, end) runs inline on
+// the caller — the exact serial path with zero pool involvement and zero
+// std::function construction (the template below only type-erases on the
+// parallel branch).
+
+#ifndef MISS_NN_PARALLEL_H_
+#define MISS_NN_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace miss::nn {
+
+namespace internal {
+
+// True when the parallel dispatch path should be taken for `range` items of
+// at least `grain` per chunk (threads > 1, enough work, not nested).
+bool ShouldParallelize(int64_t range, int64_t grain);
+
+// Chunks [begin, end) and dispatches onto the global pool. Only called on
+// the parallel branch.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace internal
+
+template <typename Fn>
+inline void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (!internal::ShouldParallelize(range, grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, std::forward<Fn>(fn));
+}
+
+// Smallest chunk length that amortizes one task dispatch, given the
+// approximate flop count per index. Keeps tiny ops (small rows, small
+// batches) on the serial path automatically.
+inline int64_t GrainFor(int64_t cost_per_index) {
+  constexpr int64_t kMinTaskCost = 1 << 14;  // ~16k flops per task
+  return std::max<int64_t>(1, kMinTaskCost / std::max<int64_t>(cost_per_index, 1));
+}
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_PARALLEL_H_

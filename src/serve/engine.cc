@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,10 +18,14 @@ Engine::Engine(models::CtrModel& model, const EngineConfig& config)
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_batch_size, 0);
   MISS_CHECK_GE(config_.max_queue_delay_us, 0);
+  MISS_CHECK_GT(config_.nn_threads, 0);
   workers_.reserve(config_.num_workers);
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this, i] {
       obs::SetCurrentThreadName("engine-worker-" + std::to_string(i));
+      // Pin this worker's intra-op width for every forward it runs;
+      // thread-local, so other submitters/workers are unaffected.
+      common::ScopedIntraOpThreads intra_op(config_.nn_threads);
       WorkerLoop();
     });
   }

@@ -72,6 +72,13 @@ struct EngineConfig {
   // whatever is queued immediately (latency-optimal, batch of ~1 under low
   // load).
   int64_t max_queue_delay_us = 200;
+  // Intra-op threads each worker's forward pass may use (common::
+  // ScopedIntraOpThreads). Defaults to 1: the engine already provides
+  // inter-op parallelism via num_workers, and num_workers * nn_threads
+  // threads contending for cores inflates tail latency. Raise only when
+  // cores outnumber workers and per-request latency is dominated by one
+  // large forward.
+  int nn_threads = 1;
 };
 
 class Engine {

@@ -1,0 +1,320 @@
+// Bitwise-identity tests for the intra-op parallel kernels (DESIGN.md
+// "Threading model"): every op must produce bit-for-bit identical forwards
+// AND gradients at 1, 4, and 7 intra-op threads. 7 is deliberately not a
+// divisor of typical shapes, so chunk boundaries land mid-row. Plus
+// lifecycle/stress coverage for common::ThreadPool itself.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "nn/ops.h"
+#include "nn/parallel.h"
+#include "nn/tensor.h"
+
+namespace miss {
+namespace {
+
+using nn::Tensor;
+
+// Runs `body` under each thread count and asserts that every vector it
+// returns matches the 1-thread run bit for bit. `body` must rebuild its
+// inputs from scratch (same seeds) on every call.
+void ExpectBitwiseAcrossThreadCounts(
+    const std::function<std::vector<std::vector<float>>()>& body) {
+  common::SetIntraOpThreads(1);
+  const std::vector<std::vector<float>> reference = body();
+  for (int threads : {4, 7}) {
+    common::SetIntraOpThreads(threads);
+    const std::vector<std::vector<float>> got = body();
+    common::SetIntraOpThreads(1);
+    ASSERT_EQ(reference.size(), got.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i].size(), got[i].size())
+          << "output " << i << " at " << threads << " threads";
+      EXPECT_EQ(0, std::memcmp(reference[i].data(), got[i].data(),
+                               reference[i].size() * sizeof(float)))
+          << "output " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+// Forward value + input gradients of `expr` over fresh random leaves.
+std::vector<std::vector<float>> ForwardAndGrads(
+    const std::vector<std::vector<int64_t>>& shapes,
+    const std::function<Tensor(const std::vector<Tensor>&)>& expr) {
+  common::Rng rng(123);
+  std::vector<Tensor> leaves;
+  leaves.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    leaves.push_back(
+        Tensor::RandomNormal(shape, 1.0f, rng, /*requires_grad=*/true));
+  }
+  Tensor out = expr(leaves);
+  nn::Backward(nn::SumAll(nn::Square(out)));
+  std::vector<std::vector<float>> results;
+  results.push_back(out.value());
+  for (const Tensor& leaf : leaves) results.push_back(leaf.grad());
+  return results;
+}
+
+TEST(NnParallelTest, MatMulBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{33, 19}, {19, 37}},
+                           [](const std::vector<Tensor>& in) {
+                             return nn::MatMul(in[0], in[1]);
+                           });
+  });
+}
+
+TEST(NnParallelTest, MatMulLargeBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{128, 64}, {64, 96}},
+                           [](const std::vector<Tensor>& in) {
+                             return nn::MatMul(in[0], in[1]);
+                           });
+  });
+}
+
+TEST(NnParallelTest, BatchMatMulBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{6, 21, 17}, {6, 17, 23}},
+                           [](const std::vector<Tensor>& in) {
+                             return nn::BatchMatMul(in[0], in[1]);
+                           });
+  });
+}
+
+TEST(NnParallelTest, BroadcastAddBitwise) {
+  // Bias pattern [B, D] + [1, D]: parallel forward, serial broadcast-grad.
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{65, 48}, {1, 48}},
+                           [](const std::vector<Tensor>& in) {
+                             return nn::Add(in[0], in[1]);
+                           });
+  });
+}
+
+TEST(NnParallelTest, SameShapeMulBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{77, 53}, {77, 53}},
+                           [](const std::vector<Tensor>& in) {
+                             return nn::Mul(in[0], in[1]);
+                           });
+  });
+}
+
+TEST(NnParallelTest, UnaryChainBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{61, 59}}, [](const std::vector<Tensor>& in) {
+      return nn::Tanh(nn::Sigmoid(nn::Relu(in[0])));
+    });
+  });
+}
+
+TEST(NnParallelTest, SoftmaxBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{93, 31}}, [](const std::vector<Tensor>& in) {
+      return nn::SoftmaxLastDim(in[0]);
+    });
+  });
+}
+
+TEST(NnParallelTest, MaskedSoftmaxBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    // Mask out a deterministic pattern, including one all-pad row.
+    std::vector<float> mask(93 * 31, 1.0f);
+    for (size_t i = 0; i < mask.size(); i += 3) mask[i] = 0.0f;
+    for (int64_t i = 0; i < 31; ++i) mask[5 * 31 + i] = 0.0f;
+    return ForwardAndGrads({{93, 31}}, [&](const std::vector<Tensor>& in) {
+      return nn::MaskedSoftmaxLastDim(in[0], mask);
+    });
+  });
+}
+
+TEST(NnParallelTest, RowL2NormalizeBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{85, 37}}, [](const std::vector<Tensor>& in) {
+      return nn::RowL2Normalize(in[0], 1e-8f);
+    });
+  });
+}
+
+TEST(NnParallelTest, ReduceAxisBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{29, 13, 11}}, [](const std::vector<Tensor>& in) {
+      return nn::Add(
+          nn::SumAll(nn::Square(nn::SumAxis(in[0], 1, /*keepdims=*/false))),
+          nn::SumAll(nn::Square(nn::MeanAxis(in[0], 2, /*keepdims=*/false))));
+    });
+  });
+}
+
+TEST(NnParallelTest, TransposeBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads({{7, 45, 33}}, [](const std::vector<Tensor>& in) {
+      return nn::TransposeLast2(in[0]);
+    });
+  });
+}
+
+TEST(NnParallelTest, EmbeddingLookupBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    // Repeated ids (scatter collisions in backward) and padding ids.
+    std::vector<int64_t> ids(300);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = (i % 11 == 0) ? -1 : static_cast<int64_t>(i % 50);
+    }
+    return ForwardAndGrads({{50, 16}}, [&](const std::vector<Tensor>& in) {
+      return nn::EmbeddingLookup(in[0], ids,
+                                 {static_cast<int64_t>(ids.size())});
+    });
+  });
+}
+
+TEST(NnParallelTest, ConvsBitwise) {
+  ExpectBitwiseAcrossThreadCounts([] {
+    return ForwardAndGrads(
+        {{9, 5, 30, 8}, {3}, {2}}, [](const std::vector<Tensor>& in) {
+          return nn::Add(
+              nn::SumAll(nn::Square(nn::HorizontalConv(in[0], in[1]))),
+              nn::SumAll(nn::Square(nn::VerticalConv(in[0], in[2]))));
+        });
+  });
+}
+
+// A full train step on a real model: forward, BCE loss, backward, and every
+// parameter gradient must be bitwise stable across thread counts.
+TEST(NnParallelTest, ModelStepBitwise) {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.seed = 99;
+  const data::DatasetBundle bundle = data::GenerateSynthetic(config);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 64; ++i) indices.push_back(i);
+  const data::Batch batch = data::MakeBatch(bundle.train, indices);
+
+  ExpectBitwiseAcrossThreadCounts([&] {
+    models::ModelConfig mc;
+    auto model = models::CreateModel("din", bundle.train.schema, mc, 7);
+    Tensor logits = model->Forward(batch, /*training=*/false);
+    nn::Backward(nn::BceWithLogitsLoss(logits, batch.labels));
+    std::vector<std::vector<float>> results;
+    results.push_back(logits.value());
+    for (const Tensor& p : model->Parameters()) results.push_back(p.grad());
+    return results;
+  });
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  common::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const int64_t num_tasks = 1 + (round * 7) % 97;
+    std::vector<std::atomic<int>> hits(num_tasks);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelRun(num_tasks, 4,
+                     [&](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < num_tasks; ++i) {
+      ASSERT_EQ(1, hits[i].load()) << "task " << i << " round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, StartStopStress) {
+  // Pools must start, run, and join cleanly in a tight loop.
+  for (int round = 0; round < 20; ++round) {
+    common::ThreadPool pool(1 + round % 5);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelRun(64, 1 + round % 5,
+                     [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(64 * 63 / 2, sum.load());
+  }
+}
+
+TEST(ThreadPoolTest, GrowsButHonorsSmallerCaps) {
+  common::ThreadPool pool(2);
+  pool.EnsureThreads(6);
+  EXPECT_EQ(6, pool.num_threads());
+  pool.EnsureThreads(3);  // never shrinks
+  EXPECT_EQ(6, pool.num_threads());
+  std::vector<std::atomic<int>> hits(128);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelRun(128, 2, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(1, h.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  common::ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelRun(32, 4,
+                                [&](int64_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // Every task still ran exactly once despite the throw...
+  EXPECT_EQ(32, ran.load());
+  // ...and the pool remains usable.
+  std::atomic<int> ok{0};
+  pool.ParallelRun(8, 4, [&](int64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(8, ok.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  common::SetIntraOpThreads(7);
+  for (int64_t range : {1, 2, 7, 63, 64, 1000}) {
+    std::vector<std::atomic<int>> hits(range);
+    for (auto& h : hits) h.store(0);
+    nn::ParallelFor(0, range, 1, [&](int64_t b, int64_t e) {
+      ASSERT_LT(b, e);
+      for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (int64_t i = 0; i < range; ++i) {
+      ASSERT_EQ(1, hits[i].load()) << "index " << i << " range " << range;
+    }
+  }
+  common::SetIntraOpThreads(1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  common::SetIntraOpThreads(4);
+  std::atomic<int64_t> total{0};
+  nn::ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Inner loop must run inline (no deadlock, no nested regions).
+      nn::ParallelFor(0, 8, 1, [&](int64_t ib, int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  common::SetIntraOpThreads(1);
+  EXPECT_EQ(64 * 8, total.load());
+}
+
+TEST(ThreadPoolTest, ScopedOverrideWinsOverProcessDefault) {
+  common::SetIntraOpThreads(6);
+  EXPECT_EQ(6, common::IntraOpThreads());
+  {
+    common::ScopedIntraOpThreads scoped(2);
+    EXPECT_EQ(2, common::IntraOpThreads());
+    {
+      common::ScopedIntraOpThreads inner(5);
+      EXPECT_EQ(5, common::IntraOpThreads());
+    }
+    EXPECT_EQ(2, common::IntraOpThreads());
+  }
+  EXPECT_EQ(6, common::IntraOpThreads());
+  common::SetIntraOpThreads(1);
+}
+
+}  // namespace
+}  // namespace miss
