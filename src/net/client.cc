@@ -238,6 +238,37 @@ bool Client::Score(const data::Sample& sample, float* score,
   return true;
 }
 
+bool Client::SendFeedback(uint64_t request_id, float label,
+                          std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string frame;
+  EncodeFeedback(request_id, label, &frame);
+  return SendRaw(frame, error);
+}
+
+bool Client::Feedback(uint64_t request_id, float label, bool* matched,
+                      std::string* error) {
+  if (!SendFeedback(request_id, label, error)) return false;
+  WireResponse resp;
+  if (!Receive(&resp, error)) return false;
+  if (resp.request_id != request_id) {
+    *error = "response correlates to request " +
+             std::to_string(resp.request_id) + ", expected " +
+             std::to_string(request_id);
+    Close();
+    return false;
+  }
+  if (!resp.ok) {
+    *error = "server error: " + resp.error;
+    return false;
+  }
+  *matched = resp.score != 0.0f;
+  return true;
+}
+
 HttpClient::~HttpClient() { Close(); }
 
 bool HttpClient::Connect(const std::string& host, int port,
@@ -296,7 +327,8 @@ bool HttpClient::Roundtrip(const std::string& request, int* status_code,
 }
 
 bool HttpClient::Score(const data::Sample& sample, int* status_code,
-                       float* score, std::string* body, std::string* error) {
+                       float* score, std::string* body, std::string* error,
+                       uint64_t* request_id) {
   const std::string payload = ScoreRequestJson(sample);
   std::string request;
   request.reserve(128 + payload.size());
@@ -320,6 +352,12 @@ bool HttpClient::Score(const data::Sample& sample, int* status_code,
     return false;
   }
   *score = static_cast<float>(v->number);
+  if (request_id != nullptr) {
+    const obs::JsonValue* id = root.Find("request_id");
+    *request_id =
+        id != nullptr && id->IsNumber() ? static_cast<uint64_t>(id->number)
+                                        : 0;
+  }
   return true;
 }
 
@@ -327,6 +365,20 @@ bool HttpClient::Get(const std::string& path, int* status_code,
                      std::string* body, std::string* error) {
   std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host_ +
                         "\r\n\r\n";
+  bool server_closed = false;
+  return Roundtrip(request, status_code, body, &server_closed, error);
+}
+
+bool HttpClient::Post(const std::string& path, const std::string& payload,
+                      int* status_code, std::string* body,
+                      std::string* error) {
+  std::string request;
+  request.reserve(128 + payload.size());
+  request += "POST " + path + " HTTP/1.1\r\nHost: " + host_;
+  request += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  request += std::to_string(payload.size());
+  request += "\r\n\r\n";
+  request += payload;
   bool server_closed = false;
   return Roundtrip(request, status_code, body, &server_closed, error);
 }

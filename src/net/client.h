@@ -56,6 +56,15 @@ class Client {
   // Send + Receive for the single-request case.
   bool Score(const data::Sample& sample, float* score, std::string* error);
 
+  // Writes one feedback frame labeling an earlier response (pipelined form).
+  bool SendFeedback(uint64_t request_id, float label, std::string* error);
+
+  // SendFeedback + Receive: `*matched` reports whether the server could
+  // still join the id to a remembered score. False (with *error) when the
+  // server has model health disabled.
+  bool Feedback(uint64_t request_id, float label, bool* matched,
+                std::string* error);
+
  private:
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
@@ -79,12 +88,18 @@ class HttpClient {
 
   // POST /score. False on transport failure; an HTTP error status is
   // reported as success with `*status_code` set and `*body` the error JSON.
+  // `request_id` (optional) receives the server-assigned id to feed back.
   bool Score(const data::Sample& sample, int* status_code, float* score,
-             std::string* body, std::string* error);
+             std::string* body, std::string* error,
+             uint64_t* request_id = nullptr);
 
   // GET `path` (e.g. "/healthz").
   bool Get(const std::string& path, int* status_code, std::string* body,
            std::string* error);
+
+  // POST a JSON `payload` to `path` (e.g. "/feedback").
+  bool Post(const std::string& path, const std::string& payload,
+            int* status_code, std::string* body, std::string* error);
 
  private:
   bool Roundtrip(const std::string& request, int* status_code,

@@ -3,13 +3,16 @@
 //   miss_serve --bundle <dir> [--host 127.0.0.1] [--port 8080]
 //              [--port-file <path>] [--workers N] [--nn-threads N]
 //              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
-//              [--slow-ms N] [--slow-log <path>]
+//              [--slow-ms N] [--slow-log <path>] [--model-health]
 //
 // Loads a serve::SaveBundle directory, stands up a serve::Engine over it,
-// and serves the binary protocol plus HTTP (POST /score, GET /healthz,
-// GET /metricz[?format=prom], GET /statusz) on one listener. --slow-ms
-// turns on the slow-request log (requests over the threshold appear in
-// /statusz's ring and, with --slow-log, as JSONL lines) and forces
+// and serves the binary protocol plus HTTP (POST /score, POST /feedback,
+// GET /healthz, GET /metricz[?format=prom], GET /statusz, GET /modelz) on
+// one listener. --slow-ms turns on the slow-request log (requests over the
+// threshold appear in /statusz's ring and, with --slow-log, as JSONL lines)
+// and forces telemetry on. --model-health attaches a
+// serve::ModelHealthMonitor (drift vs. the bundle's training baseline,
+// calibration from /feedback labels, /modelz report) and also forces
 // telemetry on. SIGTERM/SIGINT trigger a graceful stop:
 // the listener closes, in-flight requests finish and flush, then the
 // process exits 0. --port 0 picks an ephemeral port; --port-file writes the
@@ -17,9 +20,10 @@
 //
 //   miss_serve --export-demo-bundle <dir>
 //
-// writes a tiny untrained "din" bundle plus a matching sample.json scoring
-// request into <dir> and exits — enough to try the server (and run the
-// smoke test) without a training run.
+// writes a tiny untrained "din" bundle — including a model-health baseline
+// computed over the synthetic validation split — plus a matching
+// sample.json scoring request into <dir> and exits — enough to try the
+// server (and run the smoke test) without a training run.
 
 #include <signal.h>
 
@@ -28,16 +32,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/logging.h"
 #include "data/synthetic.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "models/model_factory.h"
 #include "net/http.h"
 #include "net/server.h"
 #include "serve/bundle.h"
 #include "serve/engine.h"
+#include "serve/health.h"
+#include "train/baseline.h"
 
 namespace {
 
@@ -53,7 +61,9 @@ int ExportDemoBundle(const std::string& dir) {
   const miss::data::DatasetBundle data = GenerateSynthetic(config);
   miss::models::ModelConfig mc;
   auto model = miss::models::CreateModel("din", data.test.schema, mc, 42);
-  if (!miss::serve::SaveBundle(*model, dir)) {
+  const miss::obs::ModelBaseline baseline =
+      miss::train::ComputeBaseline(*model, data.valid);
+  if (!miss::serve::SaveBundle(*model, dir, &baseline)) {
     std::fprintf(stderr, "failed to write bundle to %s\n", dir.c_str());
     return 1;
   }
@@ -75,6 +85,7 @@ int main(int argc, char** argv) {
   std::string bundle_dir;
   std::string export_dir;
   std::string port_file;
+  bool model_health = false;
   miss::net::ServerConfig server_config;
   server_config.port = 8080;
   miss::serve::EngineConfig engine_config;
@@ -115,13 +126,15 @@ int main(int argc, char** argv) {
       server_config.slow_request_ms = std::atoll(next("--slow-ms"));
     } else if (arg == "--slow-log") {
       server_config.slow_log_path = next("--slow-log");
+    } else if (arg == "--model-health") {
+      model_health = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
           "                  [--port-file F] [--workers N] [--nn-threads N]\n"
           "                  [--max-batch N] [--max-delay-us N]\n"
           "                  [--drain-timeout-ms N] [--slow-ms N]\n"
-          "                  [--slow-log F]\n"
+          "                  [--slow-log F] [--model-health]\n"
           "       miss_serve --export-demo-bundle <dir>\n");
       return 0;
     } else {
@@ -148,11 +161,25 @@ int main(int argc, char** argv) {
   server_config.model_name = bundle.model_name;
   server_config.bundle_path = bundle_dir;
 
-  // The slow-request log needs stage timestamps, which only exist when
-  // telemetry is on; make --slow-ms imply it. Read Enabled() first so the
+  // The slow-request log and the model-health monitor both need telemetry;
+  // make --slow-ms / --model-health imply it. Read Enabled() first so the
   // MISS_* env init runs (and opens MISS_TRACE_FILE) before the override.
-  if (server_config.slow_request_ms > 0 && !miss::obs::Enabled()) {
+  if ((server_config.slow_request_ms > 0 || model_health) &&
+      !miss::obs::Enabled()) {
     miss::obs::SetEnabled(true);
+  }
+
+  std::unique_ptr<miss::serve::ModelHealthMonitor> monitor;
+  if (model_health) {
+    monitor = std::make_unique<miss::serve::ModelHealthMonitor>(
+        bundle.model->schema(), bundle.baseline);
+    engine_config.health = monitor.get();
+    server_config.health = monitor.get();
+    MISS_LOG(INFO) << "miss_serve: model-health monitoring on ("
+                   << (monitor->has_baseline()
+                           ? "baseline loaded; drift reporting active"
+                           : "no baseline in bundle; drift reporting off")
+                   << ")";
   }
 
   miss::serve::Engine engine(*bundle.model, engine_config);

@@ -23,6 +23,7 @@ T ReadRaw(const char* p) {
 }
 
 constexpr size_t kRequestHeaderLen = 8 + 4 + 4 + 4;  // after payload_len
+constexpr size_t kFeedbackLen = 8 + 4 + 4;           // id, marker, label
 constexpr size_t kResponseOkLen = 8 + 1 + 4;
 
 }  // namespace
@@ -50,6 +51,13 @@ void EncodeRequest(uint64_t request_id, const data::Sample& sample,
   }
 }
 
+void EncodeFeedback(uint64_t request_id, float label, std::string* out) {
+  AppendRaw<uint32_t>(static_cast<uint32_t>(kFeedbackLen), out);
+  AppendRaw<uint64_t>(request_id, out);
+  AppendRaw<uint32_t>(kFeedbackMarker, out);
+  AppendRaw<float>(label, out);
+}
+
 void EncodeResponse(const WireResponse& response, std::string* out) {
   if (response.ok) {
     AppendRaw<uint32_t>(static_cast<uint32_t>(kResponseOkLen), out);
@@ -68,8 +76,7 @@ void EncodeResponse(const WireResponse& response, std::string* out) {
 
 DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
                            const data::DatasetSchema& schema,
-                           uint64_t* request_id, data::Sample* sample,
-                           std::string* error) {
+                           WireRequest* out, std::string* error) {
   const size_t avail = size - *offset;
   if (avail < 4) return DecodeStatus::kNeedMoreData;
   const char* p = data + *offset;
@@ -80,19 +87,41 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
              "-byte limit";
     return DecodeStatus::kMalformed;
   }
-  if (payload_len < kRequestHeaderLen) {
+  // A feedback frame (16 payload bytes) is the shortest legal frame.
+  if (payload_len < kFeedbackLen) {
     *error = "frame payload of " + std::to_string(payload_len) +
-             " bytes is shorter than the request header";
+             " bytes is shorter than any request";
     return DecodeStatus::kMalformed;
   }
   if (avail < 4 + static_cast<size_t>(payload_len)) {
     return DecodeStatus::kNeedMoreData;
   }
   p += 4;
-  *request_id = ReadRaw<uint64_t>(p);
+  out->request_id = ReadRaw<uint64_t>(p);
   p += 8;
   const uint32_t num_cat = ReadRaw<uint32_t>(p);
   p += 4;
+
+  if (num_cat == kFeedbackMarker) {
+    if (payload_len != kFeedbackLen) {
+      *error = "feedback frame payload of " + std::to_string(payload_len) +
+               " bytes, expected " + std::to_string(kFeedbackLen);
+      return DecodeStatus::kMalformed;
+    }
+    out->kind = WireRequest::Kind::kFeedback;
+    out->label = ReadRaw<float>(p);
+    out->sample = data::Sample();
+    *offset += 4 + payload_len;
+    return DecodeStatus::kOk;
+  }
+
+  if (payload_len < kRequestHeaderLen) {
+    *error = "frame payload of " + std::to_string(payload_len) +
+             " bytes is shorter than the request header";
+    return DecodeStatus::kMalformed;
+  }
+  out->kind = WireRequest::Kind::kScore;
+  out->label = 0.0f;
   const uint32_t num_seq = ReadRaw<uint32_t>(p);
   p += 4;
   const uint32_t seq_len = ReadRaw<uint32_t>(p);
@@ -117,20 +146,21 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
     return DecodeStatus::kMalformed;
   }
 
-  sample->cat.resize(num_cat);
+  data::Sample& sample = out->sample;
+  sample.cat.resize(num_cat);
   for (uint32_t i = 0; i < num_cat; ++i) {
-    sample->cat[i] = ReadRaw<int64_t>(p);
+    sample.cat[i] = ReadRaw<int64_t>(p);
     p += 8;
   }
-  sample->seq.assign(num_seq, {});
+  sample.seq.assign(num_seq, {});
   for (uint32_t j = 0; j < num_seq; ++j) {
-    sample->seq[j].resize(seq_len);
+    sample.seq[j].resize(seq_len);
     for (uint32_t l = 0; l < seq_len; ++l) {
-      sample->seq[j][l] = ReadRaw<int64_t>(p);
+      sample.seq[j][l] = ReadRaw<int64_t>(p);
       p += 8;
     }
   }
-  sample->label = 0.0f;
+  sample.label = 0.0f;
   *offset += 4 + payload_len;
   return DecodeStatus::kOk;
 }

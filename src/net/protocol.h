@@ -14,13 +14,23 @@
 //             i64 cat[num_cat]
 //             i64 seq[num_seq * seq_len]   field-major: seq[j][l]
 //
+//   feedback  u32 payload_len        always 16
+//             u64 request_id         a previously scored request's id
+//             u32 0xFFFFFFFF         kFeedbackMarker, where num_cat sits (no
+//                                    schema has 2^32-1 categorical fields)
+//             f32 label              observed outcome, conventionally 0 or 1
+//
 //   response  u32 payload_len
 //             u64 request_id
 //             u8  status             0 = ok, 1 = error
 //             f32 score              status 0: sigmoid(logit), verbatim bits
+//                                    (for feedback: 1.0 joined, 0.0 unknown id)
 //             u8  error[]            status 1: message, payload_len-9 bytes
 //
 // Responses may arrive in any order; request_id is the correlation key.
+// Feedback frames report a scored request's observed label back to the
+// server's model-health monitor (calibration + online AUC); they share the
+// response format so clients need one decoder.
 // Decoders are incremental (kNeedMoreData) and defensive: payload_len is
 // capped (kMaxFrameBytes), field counts are checked against the schema
 // before any allocation sized from the wire, and id range checks
@@ -46,11 +56,23 @@ inline constexpr size_t kBinaryMagicLen = 4;
 // a 7-field schema with a 4096-step history is ~230 KiB.
 inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
 
+// Sentinel in the num_cat position marking a feedback frame.
+inline constexpr uint32_t kFeedbackMarker = 0xFFFFFFFFu;
+
 struct WireResponse {
   uint64_t request_id = 0;
   bool ok = false;
   float score = 0.0f;
   std::string error;  // meaningful when !ok
+};
+
+// One decoded client->server frame: a scoring request or a feedback report.
+struct WireRequest {
+  enum class Kind { kScore, kFeedback };
+  Kind kind = Kind::kScore;
+  uint64_t request_id = 0;
+  data::Sample sample;  // kind == kScore
+  float label = 0.0f;   // kind == kFeedback
 };
 
 enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
@@ -59,17 +81,17 @@ enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
 void EncodeMagic(std::string* out);
 void EncodeRequest(uint64_t request_id, const data::Sample& sample,
                    std::string* out);
+void EncodeFeedback(uint64_t request_id, float label, std::string* out);
 void EncodeResponse(const WireResponse& response, std::string* out);
 
 // Incremental decoders over data[*offset..size): on kOk the frame is
 // consumed (*offset advanced); on kNeedMoreData nothing is consumed; on
 // kMalformed `*error` names the defect and the connection should be failed.
-// DecodeRequest checks the frame's structure against `schema` (field
+// DecodeRequest checks a score frame's structure against `schema` (field
 // counts, length arithmetic) but not id ranges — run ValidateSample next.
 DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
                            const data::DatasetSchema& schema,
-                           uint64_t* request_id, data::Sample* sample,
-                           std::string* error);
+                           WireRequest* out, std::string* error);
 DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
                             WireResponse* out, std::string* error);
 

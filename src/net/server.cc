@@ -13,12 +13,15 @@
 #include <cstring>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "net/http.h"
 #include "net/protocol.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/health.h"
 
 namespace miss::net {
 
@@ -39,12 +42,54 @@ std::string ErrorJson(const std::string& message) {
   return w.str();
 }
 
-std::string ScoreJson(float score) {
+// request_id is the server-assigned correlation key the client can echo back
+// through POST /feedback to label this prediction.
+std::string ScoreJson(float score, uint64_t request_id) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("score").Number(static_cast<double>(score));
+  w.Key("request_id").Int(static_cast<int64_t>(request_id));
   w.EndObject();
   return w.str();
+}
+
+std::string FeedbackJson(bool matched) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("matched").Bool(matched);
+  w.EndObject();
+  return w.str();
+}
+
+// Escapes a value for a Prometheus label (backslash, quote, newline).
+std::string PromLabelEscape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '\\' || *p == '"') out.push_back('\\');
+    if (*p == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(*p);
+  }
+  return out;
+}
+
+// The build-identity exposition block: a constant 1-valued gauge whose labels
+// carry the interesting data (the node_exporter convention). The registry's
+// metrics are unlabeled, so this block is emitted here instead.
+std::string BuildInfoProm() {
+  const common::BuildInfo& info = common::GetBuildInfo();
+  std::string out;
+  out += "# HELP miss_build_info Build identity of the serving binary; "
+         "value is always 1.\n";
+  out += "# TYPE miss_build_info gauge\n";
+  out += "miss_build_info{git_describe=\"" +
+         PromLabelEscape(info.git_describe) + "\",build_type=\"" +
+         PromLabelEscape(info.build_type) + "\",compiler=\"" +
+         PromLabelEscape(info.compiler) + "\",cxx_standard=\"" +
+         PromLabelEscape(info.cxx_standard) + "\"} 1\n";
+  return out;
 }
 
 // /statusz keeps this many recent slow requests.
@@ -426,12 +471,10 @@ void Server::ParseBuffered(Conn& conn) {
 
 void Server::ParseBinary(Conn& conn) {
   while (!draining_ && !conn.close_after_flush) {
-    uint64_t request_id = 0;
-    data::Sample sample;
+    WireRequest req;
     std::string error;
-    const DecodeStatus status =
-        DecodeRequest(conn.rx.data(), conn.rx.size(), &conn.rx_off, schema_,
-                      &request_id, &sample, &error);
+    const DecodeStatus status = DecodeRequest(
+        conn.rx.data(), conn.rx.size(), &conn.rx_off, schema_, &req, &error);
     if (status == DecodeStatus::kNeedMoreData) break;
     if (status == DecodeStatus::kMalformed) {
       // Framing is lost: answer once (request id unknown -> 0) and close.
@@ -446,11 +489,32 @@ void Server::ParseBinary(Conn& conn) {
       ++stats_.responses;
       break;
     }
-    if (!ValidateSample(sample, schema_, &error)) {
+    if (req.kind == WireRequest::Kind::kFeedback) {
+      // Feedback is answered inline (no engine round trip): ok with score 1
+      // when the id matched a remembered prediction, 0 when unknown; an
+      // error frame when model health is not running.
+      WireResponse resp;
+      resp.request_id = req.request_id;
+      if (config_.health != nullptr && obs::Enabled()) {
+        resp.ok = true;
+        resp.score =
+            config_.health->Feedback(req.request_id, req.label) ? 1.0f : 0.0f;
+      } else {
+        resp.ok = false;
+        resp.error = "model health is disabled";
+      }
+      EncodeResponse(resp, &conn.tx);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.responses;
+      }
+      continue;
+    }
+    if (!ValidateSample(req.sample, schema_, &error)) {
       // The frame itself was well-formed, so framing survives: report the
       // defect against its request id and keep the connection.
       WireResponse resp;
-      resp.request_id = request_id;
+      resp.request_id = req.request_id;
       resp.ok = false;
       resp.error = error;
       EncodeResponse(resp, &conn.tx);
@@ -461,7 +525,7 @@ void Server::ParseBinary(Conn& conn) {
       }
       continue;
     }
-    SubmitScore(conn, request_id, /*http=*/false, std::move(sample));
+    SubmitScore(conn, req.request_id, /*http=*/false, std::move(req.sample));
   }
   if (conn.read_closed && conn.in_flight == 0 && conn.tx_pending() == 0) {
     CloseConn(conn.id);
@@ -501,10 +565,16 @@ void Server::ParseHttp(Conn& conn) {
       conn.tx += MakeHttpResponse(200, "application/json", HealthzJson(),
                                   req.keep_alive);
     } else if (req.method == "GET" && route == "/metricz") {
+      // Health gauges are computed on demand; refresh them so the scrape
+      // sees current drift/calibration values, not the last request's.
+      if (config_.health != nullptr && obs::Enabled()) {
+        config_.health->UpdateGauges();
+      }
       if (query == "format=prom") {
         conn.tx += MakeHttpResponse(
             200, "text/plain; version=0.0.4",
-            obs::MetricsRegistry::Global().ToPrometheusText(),
+            BuildInfoProm() +
+                obs::MetricsRegistry::Global().ToPrometheusText(),
             req.keep_alive);
       } else {
         conn.tx += MakeHttpResponse(200, "application/json",
@@ -514,6 +584,50 @@ void Server::ParseHttp(Conn& conn) {
     } else if (req.method == "GET" && route == "/statusz") {
       conn.tx += MakeHttpResponse(200, "application/json", StatuszJson(),
                                   req.keep_alive);
+    } else if (req.method == "GET" && route == "/modelz") {
+      if (config_.health != nullptr && obs::Enabled()) {
+        conn.tx += MakeHttpResponse(200, "application/json",
+                                    config_.health->ModelzJson(),
+                                    req.keep_alive);
+      } else {
+        conn.tx += MakeHttpResponse(
+            503, "application/json",
+            ErrorJson(config_.health == nullptr
+                          ? "model health monitoring is not attached"
+                          : "telemetry is disabled (set MISS_OBS=1)"),
+            req.keep_alive);
+      }
+    } else if (req.method == "POST" && route == "/feedback") {
+      obs::JsonValue body;
+      const obs::JsonValue* id_v = nullptr;
+      const obs::JsonValue* label_v = nullptr;
+      if (obs::JsonParse(req.body, &body) && body.IsObject()) {
+        id_v = body.Find("request_id");
+        label_v = body.Find("label");
+      }
+      if (id_v == nullptr || !id_v->IsNumber() || label_v == nullptr ||
+          !label_v->IsNumber()) {
+        conn.tx += MakeHttpResponse(
+            400, "application/json",
+            ErrorJson("feedback body must be {\"request_id\": <number>, "
+                      "\"label\": <number>}"),
+            req.keep_alive);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      } else if (config_.health == nullptr || !obs::Enabled()) {
+        conn.tx += MakeHttpResponse(
+            503, "application/json",
+            ErrorJson(config_.health == nullptr
+                          ? "model health monitoring is not attached"
+                          : "telemetry is disabled (set MISS_OBS=1)"),
+            req.keep_alive);
+      } else {
+        const bool matched = config_.health->Feedback(
+            static_cast<uint64_t>(id_v->number),
+            static_cast<float>(label_v->number));
+        conn.tx += MakeHttpResponse(200, "application/json",
+                                    FeedbackJson(matched), req.keep_alive);
+      }
     } else if (req.method == "POST" && route == "/score") {
       data::Sample sample;
       if (!ParseScoreRequestJson(req.body, schema_, &sample, &error)) {
@@ -525,7 +639,8 @@ void Server::ParseHttp(Conn& conn) {
         conn.http_busy = true;
         conn.http_keep_alive = req.keep_alive;
         responded = false;
-        SubmitScore(conn, 0, /*http=*/true, std::move(sample));
+        SubmitScore(conn, next_http_request_id_++, /*http=*/true,
+                    std::move(sample));
       }
     } else if (req.method != "GET" && req.method != "POST") {
       conn.tx += MakeHttpResponse(405, "application/json",
@@ -534,8 +649,8 @@ void Server::ParseHttp(Conn& conn) {
     } else {
       conn.tx += MakeHttpResponse(
           404, "application/json",
-          ErrorJson("no such endpoint; try POST /score, GET /healthz, "
-                    "GET /metricz, GET /statusz"),
+          ErrorJson("no such endpoint; try POST /score, POST /feedback, "
+                    "GET /healthz, GET /metricz, GET /statusz, GET /modelz"),
           req.keep_alive);
     }
     if (responded) {
@@ -622,6 +737,11 @@ void Server::ProcessCompletions() {
       latency->Record(static_cast<double>(now_ns - c.parsed_ns) / 1e6);
       RecordStages(c, now_ns);
     }
+    // Remember the served score so later feedback can be joined to it —
+    // including for clients whose connection died before the reply landed.
+    if (c.ok && config_.health != nullptr && obs::Enabled()) {
+      config_.health->RememberScore(c.request_id, c.score);
+    }
     auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // connection died while scoring
     Conn& conn = *it->second;
@@ -629,7 +749,8 @@ void Server::ProcessCompletions() {
     if (c.http) {
       const bool keep = conn.http_keep_alive && c.ok;
       conn.tx += c.ok ? MakeHttpResponse(200, "application/json",
-                                         ScoreJson(c.score), keep)
+                                         ScoreJson(c.score, c.request_id),
+                                         keep)
                       : MakeHttpResponse(503, "application/json",
                                          ErrorJson("engine is draining"),
                                          false);
@@ -844,6 +965,16 @@ std::string Server::StatuszJson() const {
       .Number(static_cast<double>(obs::NowNs() - start_ns_) / 1e9);
   w.Key("model").String(config_.model_name);
   w.Key("bundle").String(config_.bundle_path);
+  {
+    const common::BuildInfo& info = common::GetBuildInfo();
+    w.Key("build").BeginObject();
+    w.Key("git_describe").String(info.git_describe);
+    w.Key("build_type").String(info.build_type);
+    w.Key("compiler").String(info.compiler);
+    w.Key("cxx_standard").String(info.cxx_standard);
+    w.EndObject();
+  }
+  w.Key("model_health_attached").Bool(config_.health != nullptr);
   w.Key("connections").Int(s.connections_active);
   w.Key("in_flight").Int(s.in_flight);
   w.Key("requests_total").Int(s.requests);

@@ -8,9 +8,9 @@
 //
 //   * the length-prefixed binary protocol (net/protocol.h) — pipelined
 //     requests, out-of-order responses correlated by request id;
-//   * HTTP/1.1 (net/http.h) — POST /score, GET /healthz, GET /metricz
-//     (?format=prom for Prometheus text), GET /statusz, keep-alive, one
-//     request in flight per connection.
+//   * HTTP/1.1 (net/http.h) — POST /score, POST /feedback, GET /healthz,
+//     GET /metricz (?format=prom for Prometheus text), GET /statusz,
+//     GET /modelz, keep-alive, one request in flight per connection.
 //
 // Malformed input of either kind produces a per-connection error (an error
 // frame or a 4xx) and at worst closes that connection — never the server.
@@ -35,6 +35,12 @@
 // than ServerConfig::slow_request_ms (0 = off) are kept in a small ring
 // buffer (shown by /statusz) and appended as one JSONL line to
 // slow_log_path when set.
+//
+// Model health (ServerConfig::health, optional): every ok score response is
+// remembered by request id so a later /feedback (binary frame or HTTP POST)
+// can be joined to the score the client saw; GET /modelz serves the
+// monitor's drift/calibration report. HTTP /score responses carry a
+// server-assigned "request_id" for exactly this feedback loop.
 
 #ifndef MISS_NET_SERVER_H_
 #define MISS_NET_SERVER_H_
@@ -71,6 +77,10 @@ struct ServerConfig {
   // object per request with the full stage breakdown). 0 disables both.
   int64_t slow_request_ms = 0;
   std::string slow_log_path;
+  // Optional model-health monitor (must outlive the server, and should be
+  // the same one the engine records into). Enables /modelz and /feedback;
+  // null serves 503 on both.
+  serve::ModelHealthMonitor* health = nullptr;
 };
 
 // Monotonic totals since Start(). Plain counters (always on, unlike the
@@ -180,6 +190,11 @@ class Server {
 
   int64_t start_ns_ = 0;        // Start() time, for /statusz uptime
   uint64_t next_trace_id_ = 1;  // event-loop thread only
+  // Server-assigned ids for HTTP /score responses (feedback correlation).
+  // High base keeps them visually distinct from typical binary client ids,
+  // but must stay below 2^53 so the id survives the JSON double round-trip
+  // back through POST /feedback; the join tolerates collisions either way.
+  uint64_t next_http_request_id_ = (1ull << 48) + 1;
 
   // Slow-request ring (newest overwrite oldest) and its JSONL sink; both
   // touched only from the event-loop thread.

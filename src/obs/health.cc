@@ -1,0 +1,414 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace miss::obs {
+
+namespace {
+// Same rolling-window geometry as SlidingHistogram: 12 x 5 s, one minute.
+constexpr int kDefaultSubWindows = 12;
+constexpr int64_t kDefaultSubWindowNs = 5'000'000'000;
+
+// Proportion floor for PSI: an empty bucket against full mass contributes
+// ~ln(1e4) per side instead of infinity.
+constexpr double kPsiEpsilon = 1e-4;
+}  // namespace
+
+FixedDistribution::FixedDistribution(int num_buckets, double lo, double hi)
+    : FixedDistribution(num_buckets, lo, hi, kDefaultSubWindows,
+                        kDefaultSubWindowNs) {}
+
+FixedDistribution::FixedDistribution(int num_buckets, double lo, double hi,
+                                     int num_windows, int64_t window_ns)
+    : lo_(lo), hi_(hi), window_ns_(window_ns) {
+  MISS_CHECK_GT(num_buckets, 0);
+  MISS_CHECK(lo < hi) << "FixedDistribution needs lo < hi";
+  MISS_CHECK_GT(num_windows, 0);
+  MISS_CHECK_GT(window_ns, 0);
+  counts_.assign(static_cast<size_t>(num_buckets), 0);
+  windows_.resize(static_cast<size_t>(num_windows));
+  for (SubWindow& w : windows_) {
+    w.counts.assign(static_cast<size_t>(num_buckets), 0);
+  }
+}
+
+int FixedDistribution::BucketOf(double v) const {
+  const int nb = static_cast<int>(counts_.size());
+  if (v <= lo_) return 0;
+  if (v >= hi_) return nb - 1;
+  const int b = static_cast<int>((v - lo_) / (hi_ - lo_) *
+                                 static_cast<double>(nb));
+  return std::min(b, nb - 1);
+}
+
+FixedDistribution::SubWindow& FixedDistribution::RotateLocked(
+    int64_t now_ns) {
+  const int64_t epoch = now_ns / window_ns_;
+  SubWindow& w =
+      windows_[static_cast<size_t>(epoch % static_cast<int64_t>(
+                                               windows_.size()))];
+  if (w.epoch != epoch) {
+    w.epoch = epoch;
+    w.count = 0;
+    std::fill(w.counts.begin(), w.counts.end(), 0);
+  }
+  return w;
+}
+
+void FixedDistribution::Record(double v) { RecordAt(v, NowNs()); }
+
+void FixedDistribution::RecordAt(double v, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t b = static_cast<size_t>(BucketOf(v));
+  ++counts_[b];
+  ++count_;
+  sum_ += v;
+  SubWindow& w = RotateLocked(now_ns);
+  ++w.counts[b];
+  ++w.count;
+}
+
+void FixedDistribution::RecordBucket(int bucket) {
+  RecordBucketAt(bucket, NowNs());
+}
+
+void FixedDistribution::RecordBucketAt(int bucket, int64_t now_ns) {
+  MISS_CHECK_GE(bucket, 0);
+  MISS_CHECK_LT(bucket, static_cast<int>(counts_.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<size_t>(bucket)];
+  ++count_;
+  SubWindow& w = RotateLocked(now_ns);
+  ++w.counts[static_cast<size_t>(bucket)];
+  ++w.count;
+}
+
+void FixedDistribution::MergeCounts(const std::vector<int64_t>& delta) {
+  MergeCountsAt(delta, NowNs());
+}
+
+void FixedDistribution::MergeCountsAt(const std::vector<int64_t>& delta,
+                                      int64_t now_ns) {
+  MISS_CHECK_EQ(static_cast<int64_t>(delta.size()),
+                static_cast<int64_t>(counts_.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  SubWindow& w = RotateLocked(now_ns);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    counts_[i] += delta[i];
+    count_ += delta[i];
+    w.counts[i] += delta[i];
+    w.count += delta[i];
+  }
+}
+
+int64_t FixedDistribution::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double FixedDistribution::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<int64_t> FixedDistribution::Counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::vector<int64_t> FixedDistribution::WindowCounts() const {
+  return WindowCountsAt(NowNs());
+}
+
+std::vector<int64_t> FixedDistribution::WindowCountsAt(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+  std::vector<int64_t> merged(counts_.size(), 0);
+  for (const SubWindow& w : windows_) {
+    // Slots not yet recycled may hold data from a full ring-length ago.
+    if (w.epoch < min_epoch || w.epoch > now_epoch || w.count == 0) continue;
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += w.counts[i];
+  }
+  return merged;
+}
+
+int64_t FixedDistribution::WindowCount() const {
+  return WindowCountAt(NowNs());
+}
+
+int64_t FixedDistribution::WindowCountAt(int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+  int64_t total = 0;
+  for (const SubWindow& w : windows_) {
+    if (w.epoch < min_epoch || w.epoch > now_epoch) continue;
+    total += w.count;
+  }
+  return total;
+}
+
+CalibrationTable::CalibrationTable(int num_buckets)
+    : CalibrationTable(num_buckets, kDefaultSubWindows, kDefaultSubWindowNs) {}
+
+CalibrationTable::CalibrationTable(int num_buckets, int num_windows,
+                                   int64_t window_ns)
+    : window_ns_(window_ns) {
+  MISS_CHECK_GT(num_buckets, 0);
+  MISS_CHECK_GT(num_windows, 0);
+  MISS_CHECK_GT(window_ns, 0);
+  buckets_.assign(static_cast<size_t>(num_buckets), CalibrationBucket{});
+  windows_.resize(static_cast<size_t>(num_windows));
+  for (SubWindow& w : windows_) {
+    w.buckets.assign(static_cast<size_t>(num_buckets), CalibrationBucket{});
+  }
+}
+
+CalibrationTable::SubWindow& CalibrationTable::RotateLocked(int64_t now_ns) {
+  const int64_t epoch = now_ns / window_ns_;
+  SubWindow& w =
+      windows_[static_cast<size_t>(epoch % static_cast<int64_t>(
+                                               windows_.size()))];
+  if (w.epoch != epoch) {
+    w.epoch = epoch;
+    std::fill(w.buckets.begin(), w.buckets.end(), CalibrationBucket{});
+  }
+  return w;
+}
+
+void CalibrationTable::Record(double predicted, bool positive) {
+  RecordAt(predicted, positive, NowNs());
+}
+
+void CalibrationTable::RecordAt(double predicted, bool positive,
+                                int64_t now_ns) {
+  const int nb = static_cast<int>(buckets_.size());
+  const double clamped = std::min(std::max(predicted, 0.0), 1.0);
+  const int b = std::min(static_cast<int>(clamped * nb), nb - 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  CalibrationBucket& life = buckets_[static_cast<size_t>(b)];
+  ++life.count;
+  life.sum_predicted += clamped;
+  if (positive) ++life.positives;
+  ++count_;
+  SubWindow& w = RotateLocked(now_ns);
+  CalibrationBucket& win = w.buckets[static_cast<size_t>(b)];
+  ++win.count;
+  win.sum_predicted += clamped;
+  if (positive) ++win.positives;
+}
+
+int64_t CalibrationTable::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::vector<CalibrationBucket> CalibrationTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::vector<CalibrationBucket> CalibrationTable::WindowSnapshot() const {
+  return WindowSnapshotAt(NowNs());
+}
+
+std::vector<CalibrationBucket> CalibrationTable::WindowSnapshotAt(
+    int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_epoch = now_ns / window_ns_;
+  const int64_t min_epoch =
+      now_epoch - static_cast<int64_t>(windows_.size()) + 1;
+  std::vector<CalibrationBucket> merged(buckets_.size());
+  for (const SubWindow& w : windows_) {
+    if (w.epoch < min_epoch || w.epoch > now_epoch) continue;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i].count += w.buckets[i].count;
+      merged[i].sum_predicted += w.buckets[i].sum_predicted;
+      merged[i].positives += w.buckets[i].positives;
+    }
+  }
+  return merged;
+}
+
+double CalibrationTable::ExpectedCalibrationError(
+    const std::vector<CalibrationBucket>& buckets) {
+  int64_t total = 0;
+  for (const CalibrationBucket& b : buckets) total += b.count;
+  if (total == 0) return 0.0;
+  double ece = 0.0;
+  for (const CalibrationBucket& b : buckets) {
+    if (b.count == 0) continue;
+    const double n = static_cast<double>(b.count);
+    const double mean_pred = b.sum_predicted / n;
+    const double observed = static_cast<double>(b.positives) / n;
+    ece += n / static_cast<double>(total) * std::abs(mean_pred - observed);
+  }
+  return ece;
+}
+
+double Psi(const std::vector<int64_t>& expected,
+           const std::vector<int64_t>& actual) {
+  MISS_CHECK_EQ(static_cast<int64_t>(expected.size()),
+                static_cast<int64_t>(actual.size()));
+  int64_t total_e = 0;
+  int64_t total_a = 0;
+  for (int64_t e : expected) total_e += e;
+  for (int64_t a : actual) total_a += a;
+  if (total_e <= 0 || total_a <= 0) return 0.0;
+  double psi = 0.0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const double p_e = std::max(
+        static_cast<double>(expected[i]) / static_cast<double>(total_e),
+        kPsiEpsilon);
+    const double p_a = std::max(
+        static_cast<double>(actual[i]) / static_cast<double>(total_a),
+        kPsiEpsilon);
+    psi += (p_a - p_e) * std::log(p_a / p_e);
+  }
+  return psi;
+}
+
+double AucFromCounts(const std::vector<int64_t>& positives,
+                     const std::vector<int64_t>& negatives) {
+  MISS_CHECK_EQ(static_cast<int64_t>(positives.size()),
+                static_cast<int64_t>(negatives.size()));
+  double num_pos = 0.0;
+  double num_neg = 0.0;
+  for (int64_t p : positives) num_pos += static_cast<double>(p);
+  for (int64_t n : negatives) num_neg += static_cast<double>(n);
+  if (num_pos == 0.0 || num_neg == 0.0) return 0.5;
+  // Rank-sum over ascending buckets: each positive outranks every negative
+  // in a strictly lower bucket and splits ties within its own bucket.
+  double below = 0.0;
+  double win = 0.0;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    const double p = static_cast<double>(positives[i]);
+    const double n = static_cast<double>(negatives[i]);
+    win += p * (below + 0.5 * n);
+    below += n;
+  }
+  return win / (num_pos * num_neg);
+}
+
+namespace {
+
+bool ReadInt64(const JsonValue& obj, const std::string& key, int64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) return false;
+  *out = static_cast<int64_t>(v->number);
+  return true;
+}
+
+bool ReadDouble(const JsonValue& obj, const std::string& key, double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) return false;
+  *out = v->number;
+  return true;
+}
+
+bool ReadString(const JsonValue& obj, const std::string& key,
+                std::string* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsString()) return false;
+  *out = v->string;
+  return true;
+}
+
+bool ReadBool(const JsonValue& obj, const std::string& key, bool* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kBool) return false;
+  *out = v->bool_value;
+  return true;
+}
+
+bool ReadInt64Array(const JsonValue& obj, const std::string& key,
+                    std::vector<int64_t>* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsArray()) return false;
+  out->clear();
+  for (const JsonValue& e : v->array) {
+    if (!e.IsNumber()) return false;
+    out->push_back(static_cast<int64_t>(e.number));
+  }
+  return true;
+}
+
+void WriteInt64Array(JsonWriter& w, const std::vector<int64_t>& values) {
+  w.BeginArray();
+  for (int64_t v : values) w.Int(v);
+  w.EndArray();
+}
+
+}  // namespace
+
+void WriteModelBaselineJson(JsonWriter& w, const ModelBaseline& b) {
+  w.BeginObject();
+  w.Key("sample_count").Int(b.sample_count);
+  w.Key("positive_rate").Number(b.positive_rate);
+  w.Key("score_buckets").Int(b.score_buckets);
+  w.Key("score_counts");
+  WriteInt64Array(w, b.score_counts);
+  w.Key("features").BeginArray();
+  for (const FeatureBaseline& f : b.features) {
+    w.BeginObject();
+    w.Key("name").String(f.name);
+    w.Key("sequential").Bool(f.sequential);
+    w.Key("total").Int(f.total);
+    w.Key("distinct").Int(f.distinct);
+    w.Key("top_ids");
+    WriteInt64Array(w, f.top_ids);
+    w.Key("top_counts");
+    WriteInt64Array(w, f.top_counts);
+    w.Key("other").Int(f.other);
+    w.Key("seen_exact").Bool(f.seen_exact);
+    if (f.seen_exact) {
+      w.Key("seen_ids");
+      WriteInt64Array(w, f.seen_ids);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+bool ParseModelBaselineJson(const JsonValue& v, ModelBaseline* out) {
+  *out = ModelBaseline();
+  if (!v.IsObject()) return false;
+  if (!ReadInt64(v, "sample_count", &out->sample_count)) return false;
+  if (!ReadDouble(v, "positive_rate", &out->positive_rate)) return false;
+  if (!ReadInt64(v, "score_buckets", &out->score_buckets)) return false;
+  if (!ReadInt64Array(v, "score_counts", &out->score_counts)) return false;
+  if (out->score_buckets <= 0 ||
+      static_cast<int64_t>(out->score_counts.size()) != out->score_buckets) {
+    return false;
+  }
+  const JsonValue* features = v.Find("features");
+  if (features == nullptr || !features->IsArray()) return false;
+  for (const JsonValue& fv : features->array) {
+    FeatureBaseline f;
+    if (!fv.IsObject()) return false;
+    if (!ReadString(fv, "name", &f.name)) return false;
+    if (!ReadBool(fv, "sequential", &f.sequential)) return false;
+    if (!ReadInt64(fv, "total", &f.total)) return false;
+    if (!ReadInt64(fv, "distinct", &f.distinct)) return false;
+    if (!ReadInt64Array(fv, "top_ids", &f.top_ids)) return false;
+    if (!ReadInt64Array(fv, "top_counts", &f.top_counts)) return false;
+    if (!ReadInt64(fv, "other", &f.other)) return false;
+    if (!ReadBool(fv, "seen_exact", &f.seen_exact)) return false;
+    if (f.top_ids.size() != f.top_counts.size()) return false;
+    if (f.seen_exact && !ReadInt64Array(fv, "seen_ids", &f.seen_ids)) {
+      return false;
+    }
+    out->features.push_back(std::move(f));
+  }
+  return true;
+}
+
+}  // namespace miss::obs

@@ -1,0 +1,200 @@
+// Model-health sketch primitives: the building blocks behind /modelz.
+//
+// A served CTR model fails silently — the process stays green while scores
+// drift or calibration decays. Detecting that needs distribution-level
+// telemetry, not latency histograms:
+//
+//   FixedDistribution   fixed-bucket count sketch (lifetime + rolling
+//                       window) for score distributions and per-feature
+//                       category counts
+//   CalibrationTable    predicted-decile vs. observed-CTR buckets fed by
+//                       labelled feedback (lifetime + rolling window)
+//   Psi                 population stability index between two count
+//                       vectors — the drift score
+//   AucFromCounts       progressive (online) AUC over bucketed scores
+//   ModelBaseline       the training-time snapshot persisted into bundle
+//                       manifests that live traffic is compared against
+//
+// Everything here follows the obs conventions: internal locking, *At(now_ns)
+// overloads so tests control the clock, and the 12 x 5 s default window
+// geometry shared with SlidingHistogram.
+
+#ifndef MISS_OBS_HEALTH_H_
+#define MISS_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace miss::obs {
+
+// Bucket counts of the training-time score distribution span [0, 1] in this
+// many equal-width buckets; live serving uses the same geometry so PSI
+// compares like with like.
+inline constexpr int kScoreDistributionBuckets = 20;
+
+// Per-feature baselines keep the K most frequent ids individually; the rest
+// collapse into an "other" mass (standard categorical-PSI practice).
+inline constexpr int kBaselineTopK = 32;
+
+// When a feature's distinct-id count at training time is at most this, the
+// exact seen-id set is persisted and serving-time OOV detection is exact;
+// above it, only "not in the top K" is observable and OOV is approximate.
+inline constexpr int64_t kBaselineMaxExactIds = 4096;
+
+// A thread-safe fixed-geometry count sketch. Two usage modes:
+//
+//   value mode:   Record(v) clamps v into `num_buckets` equal-width buckets
+//                 spanning [lo, hi)
+//   bucket mode:  RecordBucket(i) / MergeCounts(delta) index buckets
+//                 directly (categorical slots)
+//
+// Counts accumulate twice: a lifetime vector and a ring of sub-windows
+// (default 12 x 5 s) so callers can ask "the last minute" as well as "since
+// boot" — the windowed-metrics convention serving telemetry follows.
+class FixedDistribution {
+ public:
+  FixedDistribution(int num_buckets, double lo, double hi);
+  FixedDistribution(int num_buckets, double lo, double hi, int num_windows,
+                    int64_t window_ns);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  void Record(double v);
+  void RecordAt(double v, int64_t now_ns);
+  void RecordBucket(int bucket);
+  void RecordBucketAt(int bucket, int64_t now_ns);
+  // Adds `delta` (size num_buckets) into both lifetime counts and the
+  // current sub-window in one lock acquisition — the batch-friendly path.
+  void MergeCounts(const std::vector<int64_t>& delta);
+  void MergeCountsAt(const std::vector<int64_t>& delta, int64_t now_ns);
+
+  int64_t count() const;
+  // Mean of recorded values; meaningful in value mode only.
+  double mean() const;
+  std::vector<int64_t> Counts() const;
+  std::vector<int64_t> WindowCounts() const;
+  std::vector<int64_t> WindowCountsAt(int64_t now_ns) const;
+  int64_t WindowCount() const;
+  int64_t WindowCountAt(int64_t now_ns) const;
+
+ private:
+  struct SubWindow {
+    int64_t epoch = -1;
+    int64_t count = 0;
+    std::vector<int64_t> counts;
+  };
+
+  int BucketOf(double v) const;
+  SubWindow& RotateLocked(int64_t now_ns);
+
+  mutable std::mutex mu_;
+  const double lo_;
+  const double hi_;
+  const int64_t window_ns_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  std::vector<SubWindow> windows_;
+};
+
+// One row of a calibration table: everything needed to compare the mean
+// predicted CTR in a score decile against the observed click rate there.
+struct CalibrationBucket {
+  int64_t count = 0;
+  double sum_predicted = 0.0;
+  int64_t positives = 0;
+};
+
+// Thread-safe predicted-probability calibration buckets over [0, 1],
+// lifetime plus rolling window. Fed by /feedback joins (predicted score at
+// serve time, label once the click outcome is known).
+class CalibrationTable {
+ public:
+  explicit CalibrationTable(int num_buckets = 10);
+  CalibrationTable(int num_buckets, int num_windows, int64_t window_ns);
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  void Record(double predicted, bool positive);
+  void RecordAt(double predicted, bool positive, int64_t now_ns);
+
+  int64_t count() const;
+  std::vector<CalibrationBucket> Snapshot() const;
+  std::vector<CalibrationBucket> WindowSnapshot() const;
+  std::vector<CalibrationBucket> WindowSnapshotAt(int64_t now_ns) const;
+
+  // Expected calibration error: count-weighted mean |mean predicted -
+  // observed rate| across non-empty buckets. 0 for an empty table.
+  static double ExpectedCalibrationError(
+      const std::vector<CalibrationBucket>& buckets);
+
+ private:
+  struct SubWindow {
+    int64_t epoch = -1;
+    std::vector<CalibrationBucket> buckets;
+  };
+
+  SubWindow& RotateLocked(int64_t now_ns);
+
+  mutable std::mutex mu_;
+  const int64_t window_ns_;
+  std::vector<CalibrationBucket> buckets_;
+  int64_t count_ = 0;
+  std::vector<SubWindow> windows_;
+};
+
+// Population stability index between an expected (baseline) and actual
+// (live) count vector of equal length: sum over buckets of
+// (p_actual - p_expected) * ln(p_actual / p_expected), with proportions
+// floored at a small epsilon so empty buckets contribute a large-but-finite
+// term instead of infinity. Returns 0 when either vector sums to zero.
+// Rule of thumb: < 0.1 stable, 0.1-0.25 moderate shift, > 0.25 major shift.
+double Psi(const std::vector<int64_t>& expected,
+           const std::vector<int64_t>& actual);
+
+// Progressive AUC from positive/negative score-bucket counts (equal
+// geometry, ascending score order): rank-sum with half credit for same-
+// bucket ties. Returns 0.5 when either class is empty.
+double AucFromCounts(const std::vector<int64_t>& positives,
+                     const std::vector<int64_t>& negatives);
+
+// Training-time distribution snapshot for one feature field.
+struct FeatureBaseline {
+  std::string name;
+  bool sequential = false;  // counts are per sequence element, not per sample
+  int64_t total = 0;        // observations (ids) counted
+  int64_t distinct = 0;     // distinct ids observed
+  std::vector<int64_t> top_ids;  // most frequent first; ties by ascending id
+  std::vector<int64_t> top_counts;
+  int64_t other = 0;  // total - sum(top_counts)
+  bool seen_exact = false;
+  std::vector<int64_t> seen_ids;  // sorted; only when seen_exact
+};
+
+// The model-health baseline captured on validation data after training and
+// persisted in the bundle manifest. Live serving distributions are compared
+// against this via Psi.
+struct ModelBaseline {
+  int64_t sample_count = 0;
+  double positive_rate = 0.0;
+  int64_t score_buckets = 0;          // geometry of score_counts over [0, 1]
+  std::vector<int64_t> score_counts;  // validation score distribution
+  std::vector<FeatureBaseline> features;  // categorical fields, then
+                                          // sequential fields, schema order
+};
+
+// Writes `b` as one JSON object value at the writer's current position
+// (caller supplies the surrounding Key()/object context).
+void WriteModelBaselineJson(JsonWriter& w, const ModelBaseline& b);
+
+// Parses an object previously produced by WriteModelBaselineJson. Returns
+// false on a missing/mistyped field, leaving `*out` unspecified.
+bool ParseModelBaselineJson(const JsonValue& v, ModelBaseline* out);
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_HEALTH_H_

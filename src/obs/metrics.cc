@@ -549,9 +549,18 @@ void AppendNumber(std::string& out, double v) {
   out += buf;
 }
 
+// Every exported family gets a HELP line (conformance checkers and some
+// scrapers want one per family). Registry names carry no free-form
+// descriptions, so the help text states the kind plus the internal name.
+void AppendHelp(std::string& out, const std::string& prom_name,
+                const std::string& name, const char* what) {
+  out += "# HELP " + prom_name + " " + what + " '" + name + "'.\n";
+}
+
 void AppendSummary(std::string& out, const std::string& prom_name,
-                   int64_t count, double sum, double p50, double p95,
-                   double p99) {
+                   const std::string& name, const char* what, int64_t count,
+                   double sum, double p50, double p95, double p99) {
+  AppendHelp(out, prom_name, name, what);
   out += "# TYPE " + prom_name + " summary\n";
   out += prom_name + "{quantile=\"0.5\"} ";
   AppendNumber(out, p50);
@@ -571,11 +580,13 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, value] : snap.counters) {
     const std::string p = PromName(name, "_total");
+    AppendHelp(out, p, name, "Lifetime total of counter");
     out += "# TYPE " + p + " counter\n";
     out += p + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string p = PromName(name);
+    AppendHelp(out, p, name, "Current value of gauge");
     out += "# TYPE " + p + " gauge\n";
     out += p + " ";
     AppendNumber(out, value);
@@ -583,21 +594,27 @@ std::string MetricsRegistry::ToPrometheusText() const {
   }
   for (const auto& [name, rate] : snap.rates) {
     const std::string p = PromName(name, "_rate_per_sec");
+    AppendHelp(out, p, name, "Sliding-window event rate of counter");
     out += "# TYPE " + p + " gauge\n";
     out += p + " ";
     AppendNumber(out, rate);
     out += "\n";
   }
   for (const auto& [name, s] : snap.histograms) {
-    AppendSummary(out, PromName(name), s.count, s.sum, s.p50, s.p95, s.p99);
+    AppendSummary(out, PromName(name), name, "Lifetime quantiles of histogram",
+                  s.count, s.sum, s.p50, s.p95, s.p99);
   }
   for (const auto& [name, s] : snap.windows) {
     const std::string p = PromName(name, "_window");
-    AppendSummary(out, p, s.count, s.sum, s.p50, s.p95, s.p99);
+    AppendSummary(out, p, name, "Rolling-window quantiles of histogram",
+                  s.count, s.sum, s.p50, s.p95, s.p99);
+    AppendHelp(out, p + "_seconds", name, "Window span of histogram");
     out += "# TYPE " + p + "_seconds gauge\n";
     out += p + "_seconds ";
     AppendNumber(out, s.window_seconds);
-    out += "\n# TYPE " + p + "_rate_per_sec gauge\n";
+    out += "\n";
+    AppendHelp(out, p + "_rate_per_sec", name, "Window event rate of histogram");
+    out += "# TYPE " + p + "_rate_per_sec gauge\n";
     out += p + "_rate_per_sec ";
     AppendNumber(out, s.rate_per_sec);
     out += "\n";

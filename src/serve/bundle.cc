@@ -25,7 +25,8 @@ void WriteFields(obs::JsonWriter& w, const std::vector<data::FieldSpec>& fields)
   w.EndArray();
 }
 
-std::string ManifestJson(const models::CtrModel& model) {
+std::string ManifestJson(const models::CtrModel& model,
+                         const obs::ModelBaseline* baseline) {
   const data::DatasetSchema& schema = model.schema();
   const models::ModelConfig& config = model.config();
 
@@ -64,6 +65,11 @@ std::string ManifestJson(const models::CtrModel& model) {
   w.Key("fignn_steps").Int(config.fignn_steps);
   w.Key("sim_top_k").Int(config.sim_top_k);
   w.EndObject();
+
+  if (baseline != nullptr) {
+    w.Key("baseline");
+    obs::WriteModelBaselineJson(w, *baseline);
+  }
 
   w.EndObject();
   return w.str();
@@ -123,7 +129,8 @@ bool ReadFields(const obs::JsonValue& obj, const std::string& key,
 
 bool ParseManifest(const std::string& text, std::string* model_name,
                    uint64_t* seed, data::DatasetSchema* schema,
-                   models::ModelConfig* config) {
+                   models::ModelConfig* config,
+                   std::shared_ptr<const obs::ModelBaseline>* baseline) {
   obs::JsonValue root;
   if (!obs::JsonParse(text, &root) || !root.IsObject()) return false;
 
@@ -168,12 +175,28 @@ bool ParseManifest(const std::string& text, std::string* model_name,
   if (!ReadInt(*c, "sim_top_k", &config->sim_top_k)) return false;
   config->embedding_init_stddev = static_cast<float>(stddev);
   config->dropout = static_cast<float>(dropout);
+
+  // Optional since format v2; a v1 manifest (or a v2 one saved without a
+  // baseline) simply has no block. A present-but-malformed block is a
+  // corrupt manifest, not a missing feature.
+  baseline->reset();
+  const obs::JsonValue* b = root.Find("baseline");
+  if (b != nullptr) {
+    auto parsed = std::make_shared<obs::ModelBaseline>();
+    if (!obs::ParseModelBaselineJson(*b, parsed.get())) return false;
+    *baseline = std::move(parsed);
+  }
   return true;
 }
 
 }  // namespace
 
 bool SaveBundle(const models::CtrModel& model, const std::string& dir) {
+  return SaveBundle(model, dir, /*baseline=*/nullptr);
+}
+
+bool SaveBundle(const models::CtrModel& model, const std::string& dir,
+                const obs::ModelBaseline* baseline) {
   if (model.factory_key().empty()) {
     MISS_LOG(WARNING) << "SaveBundle: model " << model.name()
                       << " was not built by models::CreateModel; no factory "
@@ -195,7 +218,7 @@ bool SaveBundle(const models::CtrModel& model, const std::string& dir) {
       MISS_LOG(WARNING) << "SaveBundle: cannot write " << manifest_path;
       return false;
     }
-    out << ManifestJson(model) << "\n";
+    out << ManifestJson(model, baseline) << "\n";
     if (!out.flush()) {
       MISS_LOG(WARNING) << "SaveBundle: short write to " << manifest_path;
       return false;
@@ -225,11 +248,18 @@ bool LoadBundle(const std::string& dir, Bundle* out) {
   models::ModelConfig config;
   std::string model_name;
   uint64_t seed = 0;
-  if (!ParseManifest(text.str(), &model_name, &seed, &schema, &config)) {
+  std::shared_ptr<const obs::ModelBaseline> baseline;
+  if (!ParseManifest(text.str(), &model_name, &seed, &schema, &config,
+                     &baseline)) {
     MISS_LOG(WARNING) << "LoadBundle: malformed manifest " << manifest_path;
     return false;
   }
   schema.Validate();
+  if (baseline == nullptr) {
+    MISS_LOG(WARNING) << "LoadBundle: " << manifest_path
+                      << " carries no model-health baseline (pre-v2 bundle?)"
+                         "; drift reporting will be disabled";
+  }
 
   bool known = false;
   for (const std::string& name : models::KnownModelNames()) {
@@ -254,6 +284,7 @@ bool LoadBundle(const std::string& dir, Bundle* out) {
   out->model = std::move(model);
   out->model_name = model_name;
   out->seed = seed;
+  out->baseline = std::move(baseline);
   return true;
 }
 

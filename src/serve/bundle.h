@@ -17,11 +17,14 @@
 #include <string>
 
 #include "models/ctr_model.h"
+#include "obs/health.h"
 
 namespace miss::serve {
 
-// Bumped when the manifest layout changes; LoadBundle rejects newer files.
-inline constexpr int64_t kBundleFormatVersion = 1;
+// Bumped when the manifest layout changes; LoadBundle rejects newer files
+// but accepts every older version (v1 bundles simply lack the model-health
+// baseline block added in v2).
+inline constexpr int64_t kBundleFormatVersion = 2;
 
 inline constexpr char kManifestFileName[] = "manifest.json";
 inline constexpr char kParamsFileName[] = "params.ckpt";
@@ -32,13 +35,19 @@ struct Bundle {
   std::unique_ptr<models::CtrModel> model;
   std::string model_name;  // factory key, e.g. "din"
   uint64_t seed = 0;
+  // Training-time model-health baseline (format v2+); null for v1 bundles
+  // or v2 bundles saved without one — drift reporting is then disabled.
+  std::shared_ptr<const obs::ModelBaseline> baseline;
 };
 
 // Writes manifest.json + params.ckpt for `model` into `dir` (created,
 // including parents, when missing). The model must come from
-// models::CreateModel so its factory key is known. Returns false on I/O
-// failure, logging the reason.
+// models::CreateModel so its factory key is known. When `baseline` is
+// non-null it is embedded in the manifest so serving can monitor drift.
+// Returns false on I/O failure, logging the reason.
 bool SaveBundle(const models::CtrModel& model, const std::string& dir);
+bool SaveBundle(const models::CtrModel& model, const std::string& dir,
+                const obs::ModelBaseline* baseline);
 
 // Rebuilds the bundled model in-process. Returns false — logging which
 // stage failed (manifest parse, factory mismatch, checkpoint shape) — and

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/health.h"
 
 namespace miss::serve {
 
@@ -238,6 +239,9 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
   const bool enabled = obs::Enabled();
   const int64_t forward_done_ns = enabled ? obs::NowNs() : 0;
   const bool tracing = enabled && obs::TracingActive();
+  const bool record_health = enabled && config_.health != nullptr;
+  std::vector<float> scores;
+  if (record_health) scores.resize(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     Request& req = batch[i];
     if (enabled && req.trace.trace_id != 0) {
@@ -246,6 +250,7 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     }
     const float x = logits.at(i);
     const float score = 1.0f / (1.0f + std::exp(-x));
+    if (record_health) scores[static_cast<size_t>(i)] = score;
     if (req.traced_callback) {
       req.traced_callback(score, /*ok=*/true, req.trace);
     } else if (req.callback) {
@@ -254,6 +259,10 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
       req.promise.set_value(score);
     }
   }
+
+  // The batch's samples were moved into `staging`, still alive here and
+  // index-aligned with `scores`.
+  if (record_health) config_.health->RecordBatch(staging.samples, scores);
 
   if (obs::Enabled()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

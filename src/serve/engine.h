@@ -50,6 +50,8 @@
 
 namespace miss::serve {
 
+class ModelHealthMonitor;
+
 // Per-request stage timestamps (obs::NowNs() clock), stamped as the request
 // moves through the serving path. trace_id == 0 means "untraced": the engine
 // skips all stamping and flow-event work for the request. The caller stamps
@@ -79,6 +81,10 @@ struct EngineConfig {
   // cores outnumber workers and per-request latency is dominated by one
   // large forward.
   int nn_threads = 1;
+  // Optional model-health monitor (must outlive the engine): every scored
+  // micro-batch is recorded — score distribution plus per-feature id
+  // coverage — when telemetry is enabled. Null disables recording.
+  ModelHealthMonitor* health = nullptr;
 };
 
 class Engine {

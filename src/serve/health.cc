@@ -1,0 +1,447 @@
+#include "serve/health.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::serve {
+
+namespace {
+
+// Live per-feature slot layout: the baseline's top-K ids individually, then
+// one "other" slot (seen at training time but not top-K), then one OOV slot.
+int OtherSlot(const obs::FeatureBaseline& fb) {
+  return static_cast<int>(fb.top_ids.size());
+}
+int OovSlot(const obs::FeatureBaseline& fb) {
+  return static_cast<int>(fb.top_ids.size()) + 1;
+}
+
+const obs::FeatureBaseline* FindFeatureBaseline(
+    const obs::ModelBaseline* baseline, const std::string& name,
+    bool sequential) {
+  if (baseline == nullptr) return nullptr;
+  for (const obs::FeatureBaseline& f : baseline->features) {
+    if (f.name == name && f.sequential == sequential) return &f;
+  }
+  return nullptr;
+}
+
+int ResolveScoreBuckets(const obs::ModelBaseline* baseline,
+                        const ModelHealthOptions& options) {
+  // The live score sketch must share the baseline's geometry or PSI would
+  // compare mismatched buckets; the manifest wins over the option.
+  if (baseline != nullptr && baseline->score_buckets > 0) {
+    return static_cast<int>(baseline->score_buckets);
+  }
+  return options.score_buckets;
+}
+
+double BaselineScoreMean(const obs::ModelBaseline& b) {
+  int64_t total = 0;
+  double weighted = 0.0;
+  const int nb = static_cast<int>(b.score_counts.size());
+  for (int i = 0; i < nb; ++i) {
+    total += b.score_counts[i];
+    weighted += static_cast<double>(b.score_counts[i]) *
+                ((static_cast<double>(i) + 0.5) / static_cast<double>(nb));
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0.0;
+}
+
+// Collapses live slot counts (top-K..., other, oov) into the K+1 categories
+// the baseline knows about: OOV mass drifts into "other".
+std::vector<int64_t> LiveVsBaselineCounts(const obs::FeatureBaseline& fb,
+                                          const std::vector<int64_t>& live) {
+  std::vector<int64_t> out(fb.top_ids.size() + 1, 0);
+  for (size_t k = 0; k < fb.top_ids.size(); ++k) out[k] = live[k];
+  out[fb.top_ids.size()] =
+      live[static_cast<size_t>(OtherSlot(fb))] +
+      live[static_cast<size_t>(OovSlot(fb))];
+  return out;
+}
+
+std::vector<int64_t> BaselineCounts(const obs::FeatureBaseline& fb) {
+  std::vector<int64_t> out(fb.top_counts);
+  out.push_back(fb.other);
+  return out;
+}
+
+void WriteCalibrationBuckets(obs::JsonWriter& w,
+                             const std::vector<obs::CalibrationBucket>& rows) {
+  const int nb = static_cast<int>(rows.size());
+  w.BeginArray();
+  for (int i = 0; i < nb; ++i) {
+    const obs::CalibrationBucket& b = rows[static_cast<size_t>(i)];
+    w.BeginObject();
+    w.Key("lo").Number(static_cast<double>(i) / nb);
+    w.Key("hi").Number(static_cast<double>(i + 1) / nb);
+    w.Key("count").Int(b.count);
+    if (b.count > 0) {
+      const double n = static_cast<double>(b.count);
+      w.Key("mean_predicted").Number(b.sum_predicted / n);
+      w.Key("observed_ctr").Number(static_cast<double>(b.positives) / n);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+ModelHealthMonitor::ModelHealthMonitor(
+    const data::DatasetSchema& schema,
+    std::shared_ptr<const obs::ModelBaseline> baseline,
+    const ModelHealthOptions& options)
+    : schema_(schema),
+      baseline_(std::move(baseline)),
+      options_(options),
+      score_dist_(ResolveScoreBuckets(baseline_.get(), options), 0.0, 1.0,
+                  options.num_windows, options.window_ns),
+      auc_pos_(options.auc_buckets, 0.0, 1.0, options.num_windows,
+               options.window_ns),
+      auc_neg_(options.auc_buckets, 0.0, 1.0, options.num_windows,
+               options.window_ns),
+      calibration_(options.calibration_buckets, options.num_windows,
+                   options.window_ns) {
+  MISS_CHECK_GT(options.feedback_capacity, 0u);
+  feedback_slots_.resize(options.feedback_capacity);
+
+  auto add_feature = [&](const data::FieldSpec& spec, bool sequential) {
+    FeatureState state;
+    state.name = spec.name;
+    state.sequential = sequential;
+    state.baseline =
+        FindFeatureBaseline(baseline_.get(), spec.name, sequential);
+    if (state.baseline != nullptr) {
+      const obs::FeatureBaseline& fb = *state.baseline;
+      state.num_slots = static_cast<int>(fb.top_ids.size()) + 2;
+      const int32_t other = static_cast<int32_t>(OtherSlot(fb));
+      const int32_t oov = static_cast<int32_t>(OovSlot(fb));
+      // Without an exact seen set, unseen ids are indistinguishable from
+      // rare seen ids, so everything non-top lands in "other".
+      state.slot_of_id.assign(static_cast<size_t>(spec.vocab_size),
+                              fb.seen_exact ? oov : other);
+      for (int64_t id : fb.seen_ids) {
+        if (id >= 0 && id < spec.vocab_size) {
+          state.slot_of_id[static_cast<size_t>(id)] = other;
+        }
+      }
+      for (size_t k = 0; k < fb.top_ids.size(); ++k) {
+        const int64_t id = fb.top_ids[k];
+        if (id >= 0 && id < spec.vocab_size) {
+          state.slot_of_id[static_cast<size_t>(id)] =
+              static_cast<int32_t>(k);
+        }
+      }
+      state.live = std::make_unique<obs::FixedDistribution>(
+          state.num_slots, 0.0, static_cast<double>(state.num_slots),
+          options_.num_windows, options_.window_ns);
+    }
+    features_.push_back(std::move(state));
+  };
+  for (const data::FieldSpec& spec : schema_.categorical) {
+    add_feature(spec, /*sequential=*/false);
+  }
+  for (const data::FieldSpec& spec : schema_.sequential) {
+    add_feature(spec, /*sequential=*/true);
+  }
+}
+
+void ModelHealthMonitor::RecordBatch(const std::vector<data::Sample>& samples,
+                                     const std::vector<float>& scores) {
+  if (!obs::Enabled()) return;
+  const size_t n = std::min(samples.size(), scores.size());
+  if (n == 0) return;
+  const int64_t now_ns = obs::NowNs();
+  for (size_t i = 0; i < n; ++i) {
+    score_dist_.RecordAt(static_cast<double>(scores[i]), now_ns);
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("health/scores").Add(static_cast<int64_t>(n));
+  if (baseline_ == nullptr) return;
+
+  int64_t total_oov = 0;
+  const size_t num_cat = schema_.categorical.size();
+  std::vector<int64_t> slot_counts;
+  for (size_t f = 0; f < features_.size(); ++f) {
+    FeatureState& state = features_[f];
+    if (state.live == nullptr) continue;
+    const obs::FeatureBaseline& fb = *state.baseline;
+    const size_t oov = static_cast<size_t>(OovSlot(fb));
+    slot_counts.assign(static_cast<size_t>(state.num_slots), 0);
+    const int64_t vocab = static_cast<int64_t>(state.slot_of_id.size());
+    auto count_id = [&](int64_t id) {
+      if (id < 0) return;  // padding / absent
+      const size_t slot = id < vocab
+                              ? static_cast<size_t>(
+                                    state.slot_of_id[static_cast<size_t>(id)])
+                              : oov;
+      ++slot_counts[slot];
+    };
+    if (!state.sequential) {
+      for (size_t i = 0; i < n; ++i) {
+        if (f < samples[i].cat.size()) count_id(samples[i].cat[f]);
+      }
+    } else {
+      const size_t j = f - num_cat;
+      for (size_t i = 0; i < n; ++i) {
+        if (j < samples[i].seq.size()) {
+          for (int64_t id : samples[i].seq[j]) count_id(id);
+        }
+      }
+    }
+    state.live->MergeCountsAt(slot_counts, now_ns);
+    const int64_t oov_here = slot_counts[oov];
+    if (oov_here > 0) {
+      total_oov += oov_here;
+      reg.GetCounter("health/oov/" + state.name).Add(oov_here);
+    }
+  }
+  if (total_oov > 0) {
+    reg.GetCounter("health/oov").Add(total_oov);
+    reg.GetSlidingCounter("health/oov").Add(total_oov);
+  }
+}
+
+void ModelHealthMonitor::RememberScore(uint64_t request_id, float score) {
+  if (!obs::Enabled()) return;
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  FeedbackSlot& slot =
+      feedback_slots_[request_id % feedback_slots_.size()];
+  slot.request_id = request_id;
+  slot.score = score;
+  slot.used = true;
+}
+
+bool ModelHealthMonitor::Feedback(uint64_t request_id, float label) {
+  if (!obs::Enabled()) return false;
+  const bool positive = label >= 0.5f;
+  float score = 0.0f;
+  bool matched = false;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    ++feedback_received_;
+    FeedbackSlot& slot =
+        feedback_slots_[request_id % feedback_slots_.size()];
+    if (slot.used && slot.request_id == request_id) {
+      matched = true;
+      score = slot.score;
+      // Consume the slot: one label per scored request.
+      slot.used = false;
+      ++feedback_matched_;
+      if (positive) ++feedback_positives_;
+    }
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("health/feedback/received").Add(1);
+  if (!matched) return false;
+  reg.GetCounter("health/feedback/matched").Add(1);
+  calibration_.Record(static_cast<double>(score), positive);
+  if (positive) {
+    auc_pos_.Record(static_cast<double>(score));
+  } else {
+    auc_neg_.Record(static_cast<double>(score));
+  }
+  return true;
+}
+
+int64_t ModelHealthMonitor::feedback_received() const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return feedback_received_;
+}
+
+int64_t ModelHealthMonitor::feedback_matched() const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return feedback_matched_;
+}
+
+void ModelHealthMonitor::AppendFeatureJson(obs::JsonWriter& w,
+                                           int64_t now_ns) const {
+  // Sorted by lifetime PSI descending so the top drift offenders lead.
+  struct Row {
+    const FeatureState* state;
+    double psi;
+    double psi_window;
+    std::vector<int64_t> live;
+    std::vector<int64_t> live_window;
+  };
+  std::vector<Row> rows;
+  for (const FeatureState& state : features_) {
+    if (state.live == nullptr) continue;
+    Row row;
+    row.state = &state;
+    row.live = state.live->Counts();
+    row.live_window = state.live->WindowCountsAt(now_ns);
+    const std::vector<int64_t> expected = BaselineCounts(*state.baseline);
+    row.psi = obs::Psi(expected, LiveVsBaselineCounts(*state.baseline,
+                                                      row.live));
+    row.psi_window = obs::Psi(
+        expected, LiveVsBaselineCounts(*state.baseline, row.live_window));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.psi > b.psi; });
+
+  w.BeginArray();
+  for (const Row& row : rows) {
+    const obs::FeatureBaseline& fb = *row.state->baseline;
+    int64_t total = 0;
+    for (int64_t c : row.live) total += c;
+    int64_t window_total = 0;
+    for (int64_t c : row.live_window) window_total += c;
+    const int64_t oov = row.live[static_cast<size_t>(OovSlot(fb))];
+    const int64_t window_oov =
+        row.live_window[static_cast<size_t>(OovSlot(fb))];
+    w.BeginObject();
+    w.Key("name").String(row.state->name);
+    w.Key("sequential").Bool(row.state->sequential);
+    w.Key("psi").Number(row.psi);
+    w.Key("psi_window").Number(row.psi_window);
+    w.Key("total").Int(total);
+    w.Key("oov").Int(oov);
+    w.Key("oov_rate")
+        .Number(total > 0 ? static_cast<double>(oov) /
+                                static_cast<double>(total)
+                          : 0.0);
+    w.Key("oov_exact").Bool(fb.seen_exact);
+    w.Key("window_total").Int(window_total);
+    w.Key("window_oov").Int(window_oov);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+std::string ModelHealthMonitor::ModelzJson() const {
+  return ModelzJsonAt(obs::NowNs());
+}
+
+std::string ModelHealthMonitor::ModelzJsonAt(int64_t now_ns) const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Bool(obs::Enabled());
+  w.Key("baseline_present").Bool(baseline_ != nullptr);
+  w.Key("requests_recorded").Int(score_dist_.count());
+
+  w.Key("score").BeginObject();
+  w.Key("count").Int(score_dist_.count());
+  w.Key("mean").Number(score_dist_.mean());
+  w.Key("window_count").Int(score_dist_.WindowCountAt(now_ns));
+  if (baseline_ != nullptr) {
+    w.Key("baseline_mean").Number(BaselineScoreMean(*baseline_));
+    w.Key("psi").Number(obs::Psi(baseline_->score_counts,
+                                 score_dist_.Counts()));
+    w.Key("psi_window")
+        .Number(obs::Psi(baseline_->score_counts,
+                         score_dist_.WindowCountsAt(now_ns)));
+  }
+  w.EndObject();
+
+  if (baseline_ != nullptr) {
+    w.Key("baseline").BeginObject();
+    w.Key("sample_count").Int(baseline_->sample_count);
+    w.Key("positive_rate").Number(baseline_->positive_rate);
+    w.EndObject();
+    w.Key("features");
+    AppendFeatureJson(w, now_ns);
+  }
+
+  const std::vector<obs::CalibrationBucket> life = calibration_.Snapshot();
+  const std::vector<obs::CalibrationBucket> window =
+      calibration_.WindowSnapshotAt(now_ns);
+  int64_t window_count = 0;
+  for (const obs::CalibrationBucket& b : window) window_count += b.count;
+  w.Key("calibration").BeginObject();
+  w.Key("count").Int(calibration_.count());
+  w.Key("ece").Number(obs::CalibrationTable::ExpectedCalibrationError(life));
+  w.Key("buckets");
+  WriteCalibrationBuckets(w, life);
+  w.Key("window").BeginObject();
+  w.Key("count").Int(window_count);
+  w.Key("ece").Number(
+      obs::CalibrationTable::ExpectedCalibrationError(window));
+  w.Key("buckets");
+  WriteCalibrationBuckets(w, window);
+  w.EndObject();
+  w.EndObject();
+
+  int64_t received = 0;
+  int64_t matched = 0;
+  int64_t positives = 0;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    received = feedback_received_;
+    matched = feedback_matched_;
+    positives = feedback_positives_;
+  }
+  const int64_t recorded = score_dist_.count();
+  w.Key("feedback").BeginObject();
+  w.Key("received").Int(received);
+  w.Key("matched").Int(matched);
+  w.Key("coverage")
+      .Number(recorded > 0 ? static_cast<double>(matched) /
+                                 static_cast<double>(recorded)
+                           : 0.0);
+  w.Key("positive_rate")
+      .Number(matched > 0 ? static_cast<double>(positives) /
+                                static_cast<double>(matched)
+                          : 0.0);
+  w.Key("online_auc")
+      .Number(obs::AucFromCounts(auc_pos_.Counts(), auc_neg_.Counts()));
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+void ModelHealthMonitor::UpdateGauges() const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const int64_t now_ns = obs::NowNs();
+  if (baseline_ != nullptr) {
+    reg.GetGauge("health/score_psi")
+        .Set(obs::Psi(baseline_->score_counts, score_dist_.Counts()));
+    reg.GetGauge("health/score_psi_window")
+        .Set(obs::Psi(baseline_->score_counts,
+                      score_dist_.WindowCountsAt(now_ns)));
+    for (const FeatureState& state : features_) {
+      if (state.live == nullptr) continue;
+      const std::vector<int64_t> expected = BaselineCounts(*state.baseline);
+      const std::vector<int64_t> live = state.live->Counts();
+      reg.GetGauge("health/feature_psi/" + state.name)
+          .Set(obs::Psi(expected,
+                        LiveVsBaselineCounts(*state.baseline, live)));
+      int64_t total = 0;
+      for (int64_t c : live) total += c;
+      const int64_t oov =
+          live[static_cast<size_t>(OovSlot(*state.baseline))];
+      reg.GetGauge("health/oov_rate/" + state.name)
+          .Set(total > 0
+                   ? static_cast<double>(oov) / static_cast<double>(total)
+                   : 0.0);
+    }
+  }
+  reg.GetGauge("health/calibration_ece")
+      .Set(obs::CalibrationTable::ExpectedCalibrationError(
+          calibration_.Snapshot()));
+  reg.GetGauge("health/calibration_ece_window")
+      .Set(obs::CalibrationTable::ExpectedCalibrationError(
+          calibration_.WindowSnapshotAt(now_ns)));
+  reg.GetGauge("health/online_auc")
+      .Set(obs::AucFromCounts(auc_pos_.Counts(), auc_neg_.Counts()));
+  int64_t matched = 0;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    matched = feedback_matched_;
+  }
+  const int64_t recorded = score_dist_.count();
+  reg.GetGauge("health/feedback_coverage")
+      .Set(recorded > 0 ? static_cast<double>(matched) /
+                              static_cast<double>(recorded)
+                        : 0.0);
+}
+
+}  // namespace miss::serve

@@ -1,0 +1,130 @@
+// ModelHealthMonitor: the serving-time half of model-health observability.
+//
+// One monitor per served model joins three telemetry streams:
+//
+//   1. The engine's scoring hot path calls RecordBatch() with each scored
+//      micro-batch: scores feed an obs::FixedDistribution, feature ids feed
+//      per-field category counters (top-K-of-baseline / other / OOV slots).
+//   2. The net front-end calls RememberScore(request_id, score) per
+//      completed response so a later /feedback can be joined to the score
+//      the client actually saw.
+//   3. /feedback delivers (request_id, label); matched pairs drive the
+//      calibration table and the progressive online-AUC sketches.
+//
+// Drift is quantified on demand as PSI of live counts vs. the training-time
+// obs::ModelBaseline shipped in the bundle manifest. Without a baseline
+// (pre-format-v2 bundles) the monitor still tracks scores, calibration, and
+// AUC — only drift-vs-baseline reporting is disabled.
+//
+// All recording is inert unless obs::Enabled(); callers on the hot path
+// should additionally gate their calls to skip argument setup.
+
+#ifndef MISS_SERVE_HEALTH_H_
+#define MISS_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "obs/health.h"
+
+namespace miss::serve {
+
+struct ModelHealthOptions {
+  // Score-distribution geometry; must match the baseline's score_buckets
+  // when a baseline is present (the constructor checks).
+  int score_buckets = obs::kScoreDistributionBuckets;
+  // Buckets for the progressive-AUC positive/negative score sketches.
+  int auc_buckets = 100;
+  int calibration_buckets = 10;
+  // Rolling-window geometry for all windowed state (12 x 5 s default, the
+  // obs convention). Tests shrink this to exercise decay quickly.
+  int num_windows = 12;
+  int64_t window_ns = 5'000'000'000;
+  // Capacity of the request_id -> score join table (ring-hashed; older
+  // entries are evicted by collision once feedback lags this far behind).
+  size_t feedback_capacity = 1 << 16;
+};
+
+class ModelHealthMonitor {
+ public:
+  // `baseline` may be null (bundle without a baseline block): drift
+  // reporting is disabled, everything else works.
+  ModelHealthMonitor(const data::DatasetSchema& schema,
+                     std::shared_ptr<const obs::ModelBaseline> baseline,
+                     const ModelHealthOptions& options = {});
+
+  bool has_baseline() const { return baseline_ != nullptr; }
+
+  // Engine hot path: one call per scored micro-batch, samples[i] paired
+  // with scores[i]. No-op when obs::Enabled() is false.
+  void RecordBatch(const std::vector<data::Sample>& samples,
+                   const std::vector<float>& scores);
+
+  // Net completion path: remember the score sent for `request_id` so a
+  // later Feedback() can join it. No-op when telemetry is off.
+  void RememberScore(uint64_t request_id, float score);
+
+  // Feedback ingestion. Returns true when `request_id` was joined to a
+  // remembered score (and calibration/AUC were updated); false when the id
+  // is unknown, already consumed, or telemetry is off.
+  bool Feedback(uint64_t request_id, float label);
+
+  // The /modelz document: score + feature PSI, OOV rates, calibration
+  // table (lifetime and window), feedback coverage, online AUC.
+  std::string ModelzJson() const;
+  std::string ModelzJsonAt(int64_t now_ns) const;
+
+  // Pushes the headline numbers into the global MetricsRegistry as
+  // health/* gauges so /metricz(?format=prom) exports them.
+  void UpdateGauges() const;
+
+  // Introspection for tests.
+  int64_t requests_recorded() const { return score_dist_.count(); }
+  int64_t feedback_received() const;
+  int64_t feedback_matched() const;
+
+ private:
+  struct FeatureState {
+    std::string name;
+    bool sequential = false;
+    const obs::FeatureBaseline* baseline = nullptr;  // owned by baseline_
+    // slot_of_id[id]: 0..K-1 top-id slots, K = other, K+1 = OOV. Dense so
+    // the hot path is one load per id, no hashing.
+    std::vector<int32_t> slot_of_id;
+    int num_slots = 0;
+    std::unique_ptr<obs::FixedDistribution> live;  // bucket mode, num_slots
+  };
+
+  struct FeedbackSlot {
+    uint64_t request_id = 0;
+    float score = 0.0f;
+    bool used = false;
+  };
+
+  void AppendFeatureJson(obs::JsonWriter& w, int64_t now_ns) const;
+
+  const data::DatasetSchema schema_;
+  const std::shared_ptr<const obs::ModelBaseline> baseline_;
+  const ModelHealthOptions options_;
+
+  obs::FixedDistribution score_dist_;
+  obs::FixedDistribution auc_pos_;
+  obs::FixedDistribution auc_neg_;
+  obs::CalibrationTable calibration_;
+  std::vector<FeatureState> features_;  // categorical then sequential
+
+  mutable std::mutex feedback_mu_;
+  std::vector<FeedbackSlot> feedback_slots_;
+  int64_t feedback_received_ = 0;
+  int64_t feedback_matched_ = 0;
+  int64_t feedback_positives_ = 0;
+};
+
+}  // namespace miss::serve
+
+#endif  // MISS_SERVE_HEALTH_H_

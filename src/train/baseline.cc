@@ -1,0 +1,118 @@
+#include "train/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nn/ops.h"
+#include "obs/trace.h"
+
+namespace miss::train {
+
+namespace {
+
+obs::FeatureBaseline SummarizeFeature(
+    const std::string& name, bool sequential,
+    const std::unordered_map<int64_t, int64_t>& counts) {
+  obs::FeatureBaseline f;
+  f.name = name;
+  f.sequential = sequential;
+  f.distinct = static_cast<int64_t>(counts.size());
+
+  std::vector<std::pair<int64_t, int64_t>> by_count(counts.begin(),
+                                                    counts.end());
+  // Most frequent first; ties broken by ascending id so the snapshot is
+  // deterministic across unordered_map iteration orders.
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const size_t k =
+      std::min(by_count.size(), static_cast<size_t>(obs::kBaselineTopK));
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    f.total += by_count[i].second;
+    if (i < k) {
+      f.top_ids.push_back(by_count[i].first);
+      f.top_counts.push_back(by_count[i].second);
+    } else {
+      f.other += by_count[i].second;
+    }
+  }
+  if (f.distinct <= obs::kBaselineMaxExactIds) {
+    f.seen_exact = true;
+    f.seen_ids.reserve(counts.size());
+    for (const auto& [id, _] : counts) f.seen_ids.push_back(id);
+    std::sort(f.seen_ids.begin(), f.seen_ids.end());
+  }
+  return f;
+}
+
+}  // namespace
+
+obs::ModelBaseline ComputeBaseline(models::CtrModel& model,
+                                   const data::Dataset& dataset,
+                                   int64_t batch_size) {
+  MISS_TRACE_SCOPE("trainer/compute_baseline");
+  const data::DatasetSchema& schema = dataset.schema;
+  obs::ModelBaseline baseline;
+  baseline.score_buckets = obs::kScoreDistributionBuckets;
+  baseline.score_counts.assign(
+      static_cast<size_t>(obs::kScoreDistributionBuckets), 0);
+  baseline.sample_count = dataset.size();
+
+  // Score distribution + positive rate via the Evaluate-style batched loop.
+  int64_t positives = 0;
+  data::BatchPlan plan(dataset.size(), batch_size);
+  for (int64_t b = 0; b < plan.num_batches(); ++b) {
+    data::Batch batch = data::MakeBatch(dataset, plan.BatchIndices(b));
+    nn::InferenceScope inference;
+    nn::Tensor logits = model.Forward(batch, /*training=*/false);
+    for (int64_t i = 0; i < batch.batch_size; ++i) {
+      // The exact float expression serving uses (serve::Engine), then the
+      // exact bucketing obs::FixedDistribution uses: replaying baseline
+      // traffic through the engine reproduces these counts bit-for-bit, so
+      // in-distribution PSI is genuinely zero.
+      const float p = 1.0f / (1.0f + std::exp(-logits.at(i)));
+      const int nb = obs::kScoreDistributionBuckets;
+      const int bucket = std::min(
+          static_cast<int>(static_cast<double>(p) * nb), nb - 1);
+      ++baseline.score_counts[static_cast<size_t>(bucket)];
+      if (batch.labels[i] >= 0.5f) ++positives;
+    }
+  }
+  baseline.positive_rate =
+      dataset.size() > 0
+          ? static_cast<double>(positives) /
+                static_cast<double>(dataset.size())
+          : 0.0;
+
+  // Per-field id frequencies straight off the raw samples (no padding).
+  const size_t num_cat = schema.categorical.size();
+  const size_t num_seq = schema.sequential.size();
+  std::vector<std::unordered_map<int64_t, int64_t>> cat_counts(num_cat);
+  std::vector<std::unordered_map<int64_t, int64_t>> seq_counts(num_seq);
+  for (const data::Sample& sample : dataset.samples) {
+    for (size_t i = 0; i < num_cat && i < sample.cat.size(); ++i) {
+      ++cat_counts[i][sample.cat[i]];
+    }
+    for (size_t j = 0; j < num_seq && j < sample.seq.size(); ++j) {
+      for (int64_t id : sample.seq[j]) {
+        if (id >= 0) ++seq_counts[j][id];
+      }
+    }
+  }
+  for (size_t i = 0; i < num_cat; ++i) {
+    baseline.features.push_back(SummarizeFeature(
+        schema.categorical[i].name, /*sequential=*/false, cat_counts[i]));
+  }
+  for (size_t j = 0; j < num_seq; ++j) {
+    baseline.features.push_back(SummarizeFeature(
+        schema.sequential[j].name, /*sequential=*/true, seq_counts[j]));
+  }
+  return baseline;
+}
+
+}  // namespace miss::train

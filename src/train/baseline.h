@@ -1,0 +1,28 @@
+// Training-time model-health baseline: the distribution snapshot a serving
+// process compares live traffic against (obs::Psi). Computed on held-out
+// data — conventionally the validation split, after best-on-valid parameter
+// selection — and persisted into the bundle manifest by serve::SaveBundle.
+
+#ifndef MISS_TRAIN_BASELINE_H_
+#define MISS_TRAIN_BASELINE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "models/ctr_model.h"
+#include "obs/health.h"
+
+namespace miss::train {
+
+// Scores `dataset` with `model` (inference mode, batched) and returns the
+// baseline snapshot: score distribution over obs::kScoreDistributionBuckets,
+// empirical positive rate, and per-field id frequencies (top-K + other, the
+// exact seen-id set when small enough for exact OOV detection at serving
+// time). Sequential fields count every history element as one observation.
+obs::ModelBaseline ComputeBaseline(models::CtrModel& model,
+                                   const data::Dataset& dataset,
+                                   int64_t batch_size = 256);
+
+}  // namespace miss::train
+
+#endif  // MISS_TRAIN_BASELINE_H_

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "train/baseline.h"
 #include "train/metrics.h"
 
 namespace miss::train {
@@ -235,6 +236,13 @@ FitResult Trainer::Fit(models::CtrModel& model, core::SslMethod* ssl,
   {
     PhaseTimer t(telemetry, &phase.eval);
     result.test = Evaluate(model, test);
+  }
+  if (config_.compute_baseline) {
+    // On the final (post-restore) parameters, so the snapshot matches what
+    // a bundle exported from this model would serve.
+    PhaseTimer t(telemetry, &phase.eval);
+    result.baseline = std::make_shared<const obs::ModelBaseline>(
+        ComputeBaseline(model, valid));
   }
 
   if (telemetry) {

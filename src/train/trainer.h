@@ -6,11 +6,13 @@
 #define MISS_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/ssl_method.h"
 #include "data/dataset.h"
 #include "models/ctr_model.h"
+#include "obs/health.h"
 
 namespace miss::train {
 
@@ -35,6 +37,10 @@ struct TrainConfig {
   // of the best-validation parameters (paper Section VI-A5).
   bool select_best_on_valid = true;
   bool verbose = false;
+  // Capture a model-health baseline (train::ComputeBaseline) on the
+  // validation split after final parameter selection, for embedding in a
+  // serving bundle (serve::SaveBundle).
+  bool compute_baseline = false;
 };
 
 struct EvalResult {
@@ -52,6 +58,10 @@ struct FitResult {
   // Validation AUC per epoch, aligned with loss_trace. Empty when
   // select_best_on_valid is off (no per-epoch evaluation happens then).
   std::vector<double> valid_auc_trace;
+  // Model-health baseline on the validation split (the distributions the
+  // serving tier diffs live traffic against). Null unless
+  // TrainConfig::compute_baseline was set.
+  std::shared_ptr<const obs::ModelBaseline> baseline;
 };
 
 // Scores a dataset with the model (no dropout) and computes AUC/Logloss.

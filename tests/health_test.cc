@@ -1,0 +1,287 @@
+// Unit tests for the model-health primitives (src/obs/health.*): the
+// FixedDistribution sketch (lifetime + rolling window), the calibration
+// table and its ECE, PSI against known fixtures, progressive AUC, the
+// baseline JSON round trip, and thread safety of concurrent recording.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/json.h"
+
+namespace miss::obs {
+namespace {
+
+TEST(ModelHealthDistribution, ValueModeBucketsAndMean) {
+  FixedDistribution d(10, 0.0, 1.0);
+  d.Record(0.05);   // bucket 0
+  d.Record(0.05);   // bucket 0
+  d.Record(0.55);   // bucket 5
+  d.Record(-1.0);   // clamps to bucket 0
+  d.Record(2.0);    // clamps to bucket 9
+  d.Record(1.0);    // hi is exclusive; clamps to bucket 9
+
+  EXPECT_EQ(d.count(), 6);
+  const std::vector<int64_t> counts = d.Counts();
+  ASSERT_EQ(counts.size(), 10u);
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[5], 1);
+  EXPECT_EQ(counts[9], 2);
+  EXPECT_NEAR(d.mean(), (0.05 + 0.05 + 0.55 - 1.0 + 2.0 + 1.0) / 6.0, 1e-12);
+}
+
+TEST(ModelHealthDistribution, EmptySketch) {
+  FixedDistribution d(4, 0.0, 1.0);
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.WindowCount(), 0);
+  for (int64_t c : d.Counts()) EXPECT_EQ(c, 0);
+  for (int64_t c : d.WindowCounts()) EXPECT_EQ(c, 0);
+}
+
+TEST(ModelHealthDistribution, WindowDecaysWhenTrafficStops) {
+  // 4 sub-windows of 1 ms: everything recorded at t0 must be gone once
+  // "now" advances past the full ring span.
+  const int64_t ms = 1'000'000;
+  FixedDistribution d(10, 0.0, 1.0, /*num_windows=*/4, /*window_ns=*/ms);
+  const int64_t t0 = 123 * ms;
+  d.RecordAt(0.25, t0);
+  d.RecordAt(0.25, t0);
+  EXPECT_EQ(d.WindowCountAt(t0), 2);
+  EXPECT_EQ(d.WindowCountsAt(t0)[2], 2);
+
+  // Still inside the ring span: visible.
+  EXPECT_EQ(d.WindowCountAt(t0 + 3 * ms), 2);
+  // Past it: the window is empty but the lifetime counts remain.
+  EXPECT_EQ(d.WindowCountAt(t0 + 5 * ms), 0);
+  EXPECT_EQ(d.count(), 2);
+  EXPECT_EQ(d.Counts()[2], 2);
+}
+
+TEST(ModelHealthDistribution, StaleSubWindowIsRecycled) {
+  const int64_t ms = 1'000'000;
+  FixedDistribution d(4, 0.0, 1.0, /*num_windows=*/2, /*window_ns=*/ms);
+  d.RecordBucketAt(1, 10 * ms);
+  // Two full spans later the same ring slot is reused; the old count must
+  // not leak into the fresh epoch.
+  d.RecordBucketAt(2, 14 * ms);
+  EXPECT_EQ(d.WindowCountAt(14 * ms), 1);
+  EXPECT_EQ(d.WindowCountsAt(14 * ms)[2], 1);
+  EXPECT_EQ(d.WindowCountsAt(14 * ms)[1], 0);
+}
+
+TEST(ModelHealthDistribution, MergeCountsMatchesRecordBucket) {
+  FixedDistribution a(5, 0.0, 1.0);
+  FixedDistribution b(5, 0.0, 1.0);
+  a.RecordBucket(0);
+  a.RecordBucket(3);
+  a.RecordBucket(3);
+  b.MergeCounts({1, 0, 0, 2, 0});
+  EXPECT_EQ(a.Counts(), b.Counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.WindowCounts(), b.WindowCounts());
+}
+
+TEST(ModelHealthDistribution, ConcurrentRecordLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  FixedDistribution d(16, 0.0, 1.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&d, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (i % 3 == 0) {
+          d.RecordBucket((t + i) % 16);
+        } else {
+          d.Record(static_cast<double>(i % 100) / 100.0);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(d.count(), static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t total = 0;
+  for (int64_t c : d.Counts()) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(ModelHealthCalibration, BucketsAndEce) {
+  CalibrationTable t(10);
+  // Decile 1 (scores in [0.1, 0.2)): predicted 0.15, observed 0/2.
+  t.Record(0.15, false);
+  t.Record(0.15, false);
+  // Decile 8: predicted 0.85, observed 1/2 -> |0.85 - 0.5| = 0.35.
+  t.Record(0.85, true);
+  t.Record(0.85, false);
+
+  EXPECT_EQ(t.count(), 4);
+  const std::vector<CalibrationBucket> snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  EXPECT_EQ(snap[1].count, 2);
+  EXPECT_EQ(snap[1].positives, 0);
+  EXPECT_NEAR(snap[1].sum_predicted, 0.30, 1e-12);
+  EXPECT_EQ(snap[8].count, 2);
+  EXPECT_EQ(snap[8].positives, 1);
+
+  // ECE = (2 * 0.15 + 2 * 0.35) / 4 = 0.25.
+  EXPECT_NEAR(CalibrationTable::ExpectedCalibrationError(snap), 0.25, 1e-12);
+  EXPECT_EQ(CalibrationTable::ExpectedCalibrationError({}), 0.0);
+}
+
+TEST(ModelHealthCalibration, WindowDecaysWhenFeedbackStops) {
+  const int64_t ms = 1'000'000;
+  CalibrationTable t(10, /*num_windows=*/4, /*window_ns=*/ms);
+  t.RecordAt(0.95, true, 50 * ms);
+  ASSERT_EQ(t.WindowSnapshotAt(50 * ms)[9].count, 1);
+  // Past the ring span the windowed table is empty; lifetime remains.
+  const std::vector<CalibrationBucket> later = t.WindowSnapshotAt(60 * ms);
+  for (const CalibrationBucket& b : later) EXPECT_EQ(b.count, 0);
+  EXPECT_EQ(t.Snapshot()[9].count, 1);
+}
+
+TEST(ModelHealthPsi, KnownFixture) {
+  // Classic two-bucket fixture: expected 50/50, actual 90/10.
+  // PSI = (0.9-0.5)ln(0.9/0.5) + (0.1-0.5)ln(0.1/0.5) = 0.8788898...
+  EXPECT_NEAR(Psi({50, 50}, {90, 10}), 0.87889, 1e-4);
+}
+
+TEST(ModelHealthPsi, IdenticalDistributionsScoreZero) {
+  EXPECT_NEAR(Psi({10, 20, 30, 40}, {10, 20, 30, 40}), 0.0, 1e-12);
+  // Scale-invariant: proportions match even though totals differ.
+  EXPECT_NEAR(Psi({1, 2, 3, 4}, {10, 20, 30, 40}), 0.0, 1e-9);
+}
+
+TEST(ModelHealthPsi, DisjointMassIsLargeButFinite) {
+  // All actual mass in a bucket the baseline never saw: epsilon smoothing
+  // must keep the result finite (and clearly above any drift threshold).
+  const double psi = Psi({100, 0}, {0, 100});
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 1.0);
+}
+
+TEST(ModelHealthPsi, EmptyVectorsScoreZero) {
+  EXPECT_EQ(Psi({0, 0}, {5, 5}), 0.0);
+  EXPECT_EQ(Psi({5, 5}, {0, 0}), 0.0);
+  EXPECT_EQ(Psi({}, {}), 0.0);
+}
+
+TEST(ModelHealthAuc, PerfectReversedAndDegenerate) {
+  // Positives all above negatives -> 1; reversed -> 0.
+  EXPECT_NEAR(AucFromCounts({0, 0, 5}, {5, 0, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(AucFromCounts({5, 0, 0}, {0, 0, 5}), 0.0, 1e-12);
+  // Same bucket -> ties -> half credit.
+  EXPECT_NEAR(AucFromCounts({0, 5, 0}, {0, 5, 0}), 0.5, 1e-12);
+  // A missing class is undecidable -> 0.5 by convention.
+  EXPECT_NEAR(AucFromCounts({0, 0, 0}, {1, 2, 3}), 0.5, 1e-12);
+  EXPECT_NEAR(AucFromCounts({1, 2, 3}, {0, 0, 0}), 0.5, 1e-12);
+}
+
+TEST(ModelHealthAuc, MixedCounts) {
+  // positives: 1 @ bucket0, 3 @ bucket2; negatives: 2 @ bucket0, 2 @ bucket1.
+  // wins: bucket2 positives beat all 4 negatives = 12;
+  // bucket0 positive ties 2 negatives = 1; total pairs = 16.
+  EXPECT_NEAR(AucFromCounts({1, 0, 3}, {2, 2, 0}), 13.0 / 16.0, 1e-12);
+}
+
+ModelBaseline MakeBaseline() {
+  ModelBaseline b;
+  b.sample_count = 1000;
+  b.positive_rate = 0.25;
+  b.score_buckets = 4;
+  b.score_counts = {100, 400, 400, 100};
+  FeatureBaseline f;
+  f.name = "user_id";
+  f.sequential = false;
+  f.total = 1000;
+  f.distinct = 3;
+  f.top_ids = {7, 3};
+  f.top_counts = {600, 300};
+  f.other = 100;
+  f.seen_exact = true;
+  f.seen_ids = {3, 7, 9};
+  b.features.push_back(f);
+  FeatureBaseline s;
+  s.name = "hist_item";
+  s.sequential = true;
+  s.total = 8000;
+  s.distinct = 5000;
+  s.top_ids = {11};
+  s.top_counts = {2000};
+  s.other = 6000;
+  s.seen_exact = false;
+  b.features.push_back(s);
+  return b;
+}
+
+TEST(ModelHealthBaseline, JsonRoundTrip) {
+  const ModelBaseline b = MakeBaseline();
+  JsonWriter w;
+  WriteModelBaselineJson(w, b);
+  const std::string text = w.str();
+  ASSERT_TRUE(JsonValid(text)) << text;
+
+  JsonValue v;
+  ASSERT_TRUE(JsonParse(text, &v));
+  ModelBaseline back;
+  ASSERT_TRUE(ParseModelBaselineJson(v, &back));
+
+  EXPECT_EQ(back.sample_count, b.sample_count);
+  EXPECT_NEAR(back.positive_rate, b.positive_rate, 1e-12);
+  EXPECT_EQ(back.score_buckets, b.score_buckets);
+  EXPECT_EQ(back.score_counts, b.score_counts);
+  ASSERT_EQ(back.features.size(), 2u);
+  EXPECT_EQ(back.features[0].name, "user_id");
+  EXPECT_FALSE(back.features[0].sequential);
+  EXPECT_EQ(back.features[0].top_ids, b.features[0].top_ids);
+  EXPECT_EQ(back.features[0].top_counts, b.features[0].top_counts);
+  EXPECT_EQ(back.features[0].other, 100);
+  EXPECT_TRUE(back.features[0].seen_exact);
+  EXPECT_EQ(back.features[0].seen_ids, b.features[0].seen_ids);
+  EXPECT_EQ(back.features[1].name, "hist_item");
+  EXPECT_TRUE(back.features[1].sequential);
+  EXPECT_FALSE(back.features[1].seen_exact);
+  EXPECT_TRUE(back.features[1].seen_ids.empty());
+}
+
+TEST(ModelHealthBaseline, ParseRejectsMalformedDocuments) {
+  const ModelBaseline b = MakeBaseline();
+  JsonWriter w;
+  WriteModelBaselineJson(w, b);
+  const std::string good = w.str();
+  ModelBaseline out;
+
+  // score_counts length disagreeing with score_buckets.
+  {
+    std::string bad = good;
+    const size_t pos = bad.find("\"score_buckets\":4");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, sizeof("\"score_buckets\":4") - 1, "\"score_buckets\":5");
+    JsonValue v;
+    ASSERT_TRUE(JsonParse(bad, &v));
+    EXPECT_FALSE(ParseModelBaselineJson(v, &out));
+  }
+  // Not an object at all.
+  {
+    JsonValue v;
+    ASSERT_TRUE(JsonParse("[1,2,3]", &v));
+    EXPECT_FALSE(ParseModelBaselineJson(v, &out));
+  }
+  // A required field missing.
+  {
+    std::string bad = good;
+    const size_t pos = bad.find("\"positive_rate\"");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, sizeof("\"positive_rate\"") - 1, "\"positive_rats\"");
+    JsonValue v;
+    ASSERT_TRUE(JsonParse(bad, &v));
+    EXPECT_FALSE(ParseModelBaselineJson(v, &out));
+  }
+}
+
+}  // namespace
+}  // namespace miss::obs

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# End-to-end smoke test for miss_serve: demo bundle -> boot with telemetry
-# and request tracing on -> curl /healthz + /score + /statusz +
-# /metricz?format=prom -> SIGTERM must exit 0 (graceful drain) and leave a
-# valid Chrome trace file behind.
+# End-to-end smoke test for miss_serve: demo bundle -> boot with telemetry,
+# request tracing, and model health on -> curl /healthz + /score + /feedback
+# + /modelz + /statusz + /metricz?format=prom -> SIGTERM must exit 0
+# (graceful drain) and leave a valid Chrome trace file behind.
 set -euo pipefail
 
 SERVE_BIN="$1"
@@ -18,7 +18,7 @@ trap cleanup EXIT
 
 MISS_TELEMETRY=1 MISS_TRACE_FILE="$WORK/trace.json" \
   "$SERVE_BIN" --bundle "$WORK/bundle" --port 0 --port-file "$WORK/port" \
-  --slow-ms 1000 &
+  --slow-ms 1000 --model-health &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -45,6 +45,42 @@ BAD="$(curl -s -X POST "http://127.0.0.1:$PORT/score" -d '{"oops":1}')"
 echo "$BAD" | grep -q '"error":' \
   || { echo "FAIL: malformed /score did not return an error body" >&2; exit 1; }
 
+# The feedback loop: /score echoes a server-assigned request id, posting a
+# label for it must join ("matched":true) and surface in /modelz.
+REQUEST_ID="$(echo "$SCORE" | sed -n 's/.*"request_id":\([0-9][0-9]*\).*/\1/p')"
+[ -n "$REQUEST_ID" ] \
+  || { echo "FAIL: /score response carries no request_id" >&2; exit 1; }
+FEEDBACK="$(curl -sf -X POST "http://127.0.0.1:$PORT/feedback" \
+                 -H 'Content-Type: application/json' \
+                 --data "{\"request_id\":$REQUEST_ID,\"label\":1}")"
+echo "feedback: $FEEDBACK"
+echo "$FEEDBACK" | grep -q '"matched":true' \
+  || { echo "FAIL: /feedback did not join the scored request" >&2; exit 1; }
+
+MODELZ="$(curl -sf "http://127.0.0.1:$PORT/modelz")"
+echo "modelz: $MODELZ"
+echo "$MODELZ" | grep -q '"baseline_present":true' \
+  || { echo "FAIL: demo bundle baseline did not reach /modelz" >&2; exit 1; }
+echo "$MODELZ" | grep -q '"psi":' \
+  || { echo "FAIL: /modelz reports no score PSI despite a baseline" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PYEOF \
+    || { echo "FAIL: /modelz is not the expected JSON document" >&2; exit 1; }
+import json
+doc = json.loads('''$MODELZ''')
+assert doc["enabled"] is True
+assert doc["requests_recorded"] >= 1
+assert doc["score"]["count"] >= 1
+assert doc["feedback"]["received"] >= 1
+assert doc["feedback"]["matched"] >= 1
+assert doc["calibration"]["count"] >= 1
+assert isinstance(doc["features"], list) and len(doc["features"]) > 0
+for f in doc["features"]:
+    assert "name" in f and "psi" in f and "oov_rate" in f, f
+PYEOF
+  echo "PASS: /modelz JSON validates"
+fi
+
 # Operator surfaces: /statusz must report the bundle and rolling windows,
 # /metricz?format=prom must answer Prometheus text exposition.
 STATUSZ="$(curl -sf "http://127.0.0.1:$PORT/statusz")"
@@ -61,6 +97,44 @@ echo "$PROM" | grep -q '^# TYPE miss_net_requests_total counter' \
   || { echo "FAIL: prom exposition is missing miss_net_requests_total" >&2; exit 1; }
 echo "$PROM" | grep -q 'miss_serve_stage_total_ms_window{quantile="0.99"}' \
   || { echo "FAIL: prom exposition is missing windowed stage summary" >&2; exit 1; }
+echo "$PROM" | grep -q '^miss_build_info{git_describe="' \
+  || { echo "FAIL: prom exposition is missing miss_build_info" >&2; exit 1; }
+echo "$PROM" | grep -q '^# TYPE miss_health_score_psi gauge' \
+  || { echo "FAIL: prom exposition is missing the health gauges" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  printf '%s\n' "$PROM" > "$WORK/metrics.prom"
+  python3 - "$WORK/metrics.prom" <<'PYEOF' \
+    || { echo "FAIL: prom exposition violates the text format" >&2; exit 1; }
+import re, sys
+name_re = re.compile(r'[a-zA-Z_:][a-zA-Z0-9_:]*$')
+sample_re = re.compile(r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$')
+helped, typed, families = set(), set(), set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        _, _, name, kind = line.split(None, 3)
+        assert name_re.match(name), f"bad family name: {name}"
+        assert kind in ("counter", "gauge", "summary", "histogram"), line
+        typed.add(name)
+    elif line.startswith("#"):
+        continue
+    else:
+        m = sample_re.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        # A sample's family is its name minus summary/window suffixes.
+        families.add(m.group(1))
+for f in families:
+    base = re.sub(r'_(window(_rate_per_sec|_seconds)?|sum|count)$', '', f)
+    assert f in typed or base in typed, f"sample family {f} has no TYPE"
+    assert f in helped or base in helped, f"sample family {f} has no HELP"
+assert "miss_build_info" in typed and "miss_build_info" in helped
+PYEOF
+  echo "PASS: prom exposition conforms (TYPE/HELP per family, names legal)"
+fi
 
 kill -TERM "$SERVER_PID"
 if wait "$SERVER_PID"; then

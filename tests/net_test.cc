@@ -15,6 +15,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
+#include "serve/health.h"
 
 namespace miss {
 namespace {
@@ -64,18 +66,59 @@ TEST(NetProtocolTest, RequestRoundTrip) {
   std::string wire;
   net::EncodeRequest(77, sample, &wire);
 
-  uint64_t request_id = 0;
-  data::Sample decoded;
+  net::WireRequest decoded;
   std::string error;
   size_t offset = 0;
   ASSERT_EQ(net::DecodeRequest(wire.data(), wire.size(), &offset, schema,
-                               &request_id, &decoded, &error),
+                               &decoded, &error),
             net::DecodeStatus::kOk)
       << error;
   EXPECT_EQ(offset, wire.size());
-  EXPECT_EQ(request_id, 77u);
-  EXPECT_EQ(decoded.cat, sample.cat);
-  EXPECT_EQ(decoded.seq, sample.seq);
+  EXPECT_EQ(decoded.kind, net::WireRequest::Kind::kScore);
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.sample.cat, sample.cat);
+  EXPECT_EQ(decoded.sample.seq, sample.seq);
+}
+
+TEST(NetProtocolTest, FeedbackFrameRoundTrip) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  const data::DatasetSchema& schema = bundle.test.schema;
+  std::string wire;
+  net::EncodeFeedback(314, 1.0f, &wire);
+  net::EncodeFeedback(315, 0.0f, &wire);
+
+  net::WireRequest decoded;
+  std::string error;
+  size_t offset = 0;
+  ASSERT_EQ(net::DecodeRequest(wire.data(), wire.size(), &offset, schema,
+                               &decoded, &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(decoded.kind, net::WireRequest::Kind::kFeedback);
+  EXPECT_EQ(decoded.request_id, 314u);
+  EXPECT_EQ(decoded.label, 1.0f);
+  ASSERT_EQ(net::DecodeRequest(wire.data(), wire.size(), &offset, schema,
+                               &decoded, &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(decoded.request_id, 315u);
+  EXPECT_EQ(decoded.label, 0.0f);
+  EXPECT_EQ(offset, wire.size());
+
+  // A feedback frame's payload is exactly 16 bytes; a marker frame carrying
+  // trailing garbage is malformed, not silently truncated.
+  std::string bloated;
+  net::EncodeFeedback(9, 1.0f, &bloated);
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, bloated.data(), 4);
+  payload_len += 4;
+  std::memcpy(bloated.data(), &payload_len, 4);
+  bloated.append(4, '\0');
+  offset = 0;
+  EXPECT_EQ(net::DecodeRequest(bloated.data(), bloated.size(), &offset,
+                               schema, &decoded, &error),
+            net::DecodeStatus::kMalformed);
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(NetProtocolTest, ResponseRoundTrip) {
@@ -115,14 +158,13 @@ TEST(NetProtocolTest, IncompleteFramesWantMoreData) {
   std::string wire;
   net::EncodeRequest(1, bundle.test.samples[0], &wire);
 
-  uint64_t id = 0;
-  data::Sample sample;
+  net::WireRequest req;
   std::string error;
   for (size_t cut : {size_t{0}, size_t{3}, size_t{4}, size_t{19},
                      wire.size() - 1}) {
     size_t offset = 0;
-    EXPECT_EQ(net::DecodeRequest(wire.data(), cut, &offset, schema, &id,
-                                 &sample, &error),
+    EXPECT_EQ(net::DecodeRequest(wire.data(), cut, &offset, schema, &req,
+                                 &error),
               net::DecodeStatus::kNeedMoreData)
         << "cut at " << cut;
     EXPECT_EQ(offset, 0u);
@@ -184,11 +226,10 @@ TEST(NetProtocolTest, MalformedFramesAreRejected) {
   for (const Case& c : cases) {
     const std::string wire = c.make();
     size_t offset = 0;
-    uint64_t id = 0;
-    data::Sample sample;
+    net::WireRequest req;
     std::string error;
     EXPECT_EQ(net::DecodeRequest(wire.data(), wire.size(), &offset, schema,
-                                 &id, &sample, &error),
+                                 &req, &error),
               net::DecodeStatus::kMalformed)
         << c.name;
     EXPECT_FALSE(error.empty()) << c.name;
@@ -338,11 +379,24 @@ TEST(NetHttpTest, ScoreRequestJsonRoundTrip) {
 
 class NetServerTest : public ::testing::Test {
  protected:
+  // When set before StartServer, a baseline-less ModelHealthMonitor is
+  // wired into both the engine and the server (the serve_test suite covers
+  // baseline-backed drift; here we exercise the wire plumbing).
+  void AttachHealth(serve::ModelHealthOptions options = {}) {
+    health_options_ = options;
+  }
+
   void StartServer(serve::EngineConfig engine_config = {},
                    net::ServerConfig server_config = {}) {
     bundle_ = MakeTinyBundle();
     models::ModelConfig mc;
     model_ = models::CreateModel("din", bundle_.test.schema, mc, 5);
+    if (health_options_.has_value()) {
+      monitor_ = std::make_unique<serve::ModelHealthMonitor>(
+          bundle_.test.schema, nullptr, *health_options_);
+      engine_config.health = monitor_.get();
+      server_config.health = monitor_.get();
+    }
     engine_ = std::make_unique<serve::Engine>(*model_, engine_config);
     server_ = std::make_unique<net::Server>(*engine_, bundle_.test.schema,
                                             server_config);
@@ -362,6 +416,8 @@ class NetServerTest : public ::testing::Test {
 
   data::DatasetBundle bundle_;
   std::unique_ptr<models::CtrModel> model_;
+  std::optional<serve::ModelHealthOptions> health_options_;
+  std::unique_ptr<serve::ModelHealthMonitor> monitor_;
   std::unique_ptr<serve::Engine> engine_;
   std::unique_ptr<net::Server> server_;
 };
@@ -749,6 +805,12 @@ TEST_F(NetServerTest, MetriczPrometheusExposition) {
             std::string::npos);
   EXPECT_NE(body.find("miss_serve_stage_total_ms_window{quantile=\"0.99\"}"),
             std::string::npos);
+  // Every family carries a HELP line, and the build-identity gauge leads
+  // the exposition with its git/compiler labels.
+  EXPECT_NE(body.find("# HELP miss_net_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("# HELP miss_build_info"), std::string::npos);
+  EXPECT_NE(body.find("miss_build_info{git_describe=\""), std::string::npos);
+  EXPECT_NE(body.find("} 1\n"), std::string::npos);
   // Plain /metricz still answers JSON.
   ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/metricz", &status,
                            &body, &error))
@@ -898,6 +960,179 @@ TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
   }
   EXPECT_GE(connected, 4);
   std::remove(path.c_str());
+}
+
+TEST_F(NetServerTest, ModelzWithoutMonitorAnswers503) {
+  TelemetryGuard telemetry;
+  StartServer();
+  std::string error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/modelz", &status,
+                           &body, &error))
+      << error;
+  EXPECT_EQ(status, 503);
+  EXPECT_TRUE(obs::JsonValid(body)) << body;
+  // /feedback needs the monitor too.
+  net::HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  ASSERT_TRUE(client.Post("/feedback", "{\"request_id\":1,\"label\":1}",
+                          &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 503);
+
+  // Join the net loop before ~TelemetryGuard resets the registry the
+  // loop's connection-close path still records into.
+  server_->Stop();
+  engine_->Drain();
+}
+
+TEST_F(NetServerTest, BinaryFeedbackJoinsOnceAndModelzDecays) {
+  TelemetryGuard telemetry;
+  serve::ModelHealthOptions options;
+  options.num_windows = 2;
+  options.window_ns = 50'000'000;  // 2 x 50 ms: decay observable in test time
+  AttachHealth(options);
+  StartServer();
+
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.Send(static_cast<uint64_t>(i + 1),
+                            bundle_.test.samples[i], &error))
+        << error;
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    net::WireResponse resp;
+    ASSERT_TRUE(client.Receive(&resp, &error)) << error;
+    ASSERT_TRUE(resp.ok) << resp.error;
+  }
+  // Responses are released before the worker's RecordBatch runs; wait for
+  // the monitor to catch up before reading /modelz.
+  while (monitor_->requests_recorded() < kRequests) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Feedback joins exactly once per id; unknown ids report unmatched but
+  // keep the connection healthy.
+  bool matched = false;
+  ASSERT_TRUE(client.Feedback(2, 1.0f, &matched, &error)) << error;
+  EXPECT_TRUE(matched);
+  ASSERT_TRUE(client.Feedback(2, 1.0f, &matched, &error)) << error;
+  EXPECT_FALSE(matched);  // consumed by the first join
+  ASSERT_TRUE(client.Feedback(3, 0.0f, &matched, &error)) << error;
+  EXPECT_TRUE(matched);
+  ASSERT_TRUE(client.Feedback(999, 0.0f, &matched, &error)) << error;
+  EXPECT_FALSE(matched);
+  EXPECT_EQ(monitor_->feedback_received(), 4);
+  EXPECT_EQ(monitor_->feedback_matched(), 2);
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/modelz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_TRUE(root.Find("enabled")->bool_value);
+  EXPECT_FALSE(root.Find("baseline_present")->bool_value);
+  EXPECT_EQ(root.Find("requests_recorded")->number, kRequests);
+  EXPECT_EQ(root.Find("score")->Find("count")->number, kRequests);
+  EXPECT_GT(root.Find("score")->Find("window_count")->number, 0.0);
+  const obs::JsonValue* feedback = root.Find("feedback");
+  ASSERT_NE(feedback, nullptr) << body;
+  EXPECT_EQ(feedback->Find("received")->number, 4.0);
+  EXPECT_EQ(feedback->Find("matched")->number, 2.0);
+  EXPECT_EQ(root.Find("calibration")->Find("count")->number, 2.0);
+
+  // With traffic stopped, the windowed view empties; lifetime state stays.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/modelz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_EQ(root.Find("score")->Find("window_count")->number, 0.0);
+  EXPECT_EQ(root.Find("score")->Find("count")->number, kRequests);
+  EXPECT_EQ(root.Find("calibration")->Find("window")->Find("count")->number,
+            0.0);
+  EXPECT_EQ(root.Find("calibration")->Find("count")->number, 2.0);
+
+  // Join the net loop before ~TelemetryGuard resets the registry the
+  // loop's connection-close path still records into.
+  server_->Stop();
+  engine_->Drain();
+}
+
+TEST_F(NetServerTest, HttpFeedbackLoopAndHealthGauges) {
+  TelemetryGuard telemetry;
+  AttachHealth();
+  StartServer();
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // /score now echoes a server-assigned request id for the feedback loop.
+  int status = 0;
+  float score = 0.0f;
+  std::string body;
+  uint64_t request_id = 0;
+  ASSERT_TRUE(client.Score(bundle_.test.samples[0], &status, &score, &body,
+                           &error, &request_id))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_GT(request_id, 0u);
+
+  ASSERT_TRUE(client.Post(
+      "/feedback",
+      "{\"request_id\":" + std::to_string(request_id) + ",\"label\":1}",
+      &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_TRUE(root.Find("matched")->bool_value);
+
+  // Malformed feedback bodies are a client error, not a monitor update.
+  for (const char* bad :
+       {"not json", "{}", "{\"request_id\":\"x\",\"label\":1}",
+        "{\"request_id\":1}"}) {
+    ASSERT_TRUE(client.Post("/feedback", bad, &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 400) << bad;
+  }
+  EXPECT_EQ(monitor_->feedback_received(), 1);
+
+  // /metricz?format=prom exports the health gauges once traffic exists.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(),
+                           "/metricz?format=prom", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  EXPECT_NE(body.find("# TYPE miss_health_calibration_ece gauge"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("miss_health_online_auc"), std::string::npos);
+  EXPECT_NE(body.find("miss_health_feedback_coverage"), std::string::npos);
+
+  // /statusz reports build identity and the attached monitor.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  const obs::JsonValue* build = root.Find("build");
+  ASSERT_NE(build, nullptr) << body;
+  EXPECT_FALSE(build->Find("git_describe")->string.empty());
+  EXPECT_FALSE(build->Find("compiler")->string.empty());
+  EXPECT_TRUE(root.Find("model_health_attached")->bool_value);
+
+  // Join the net loop before ~TelemetryGuard resets the registry the
+  // loop's connection-close path still records into.
+  server_->Stop();
+  engine_->Drain();
 }
 
 TEST_F(NetServerTest, HealthzReportsStatusAndStopIsIdempotent) {

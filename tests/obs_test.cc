@@ -375,8 +375,19 @@ TEST_F(ObsTest, PrometheusTextExpositionShape) {
   EXPECT_NE(text.find("miss_serve_stage_total_ms_window_seconds"),
             std::string::npos);
   EXPECT_NE(text.find("miss_net_requests_rate_per_sec"), std::string::npos);
-  // No raw '/' may survive sanitization.
-  EXPECT_EQ(text.find('/'), std::string::npos);
+  // Every family carries a HELP line quoting the internal name.
+  EXPECT_NE(text.find("# HELP miss_net_requests_total "
+                      "Lifetime total of counter 'net/requests'."),
+            std::string::npos)
+      << text;
+  // No raw '/' may survive sanitization in sample or TYPE lines; only HELP
+  // text may mention the internal slashed name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    EXPECT_EQ(line.find('/'), std::string::npos) << line;
+  }
 }
 
 // -- Spans -------------------------------------------------------------------

@@ -20,10 +20,14 @@
 #include "models/model_factory.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/health.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/bundle.h"
 #include "serve/engine.h"
+#include "serve/health.h"
+#include "train/baseline.h"
 #include "train/trainer.h"
 
 namespace miss {
@@ -605,6 +609,249 @@ TEST(ServeEngineTest, SubmitTracedWithZeroIdSkipsStamps) {
   }
   obs::MetricsRegistry::Global().Reset();
   obs::SetEnabled(false);
+}
+
+// -- Model health ------------------------------------------------------------
+
+// Pulls a nested number out of a parsed /modelz document, e.g. score.psi.
+double JsonNumberAt(const obs::JsonValue& root, const std::string& outer,
+                    const std::string& inner) {
+  const obs::JsonValue* o = root.Find(outer);
+  EXPECT_NE(o, nullptr) << "missing \"" << outer << "\"";
+  if (o == nullptr) return -1.0;
+  const obs::JsonValue* v = o->Find(inner);
+  EXPECT_NE(v, nullptr) << "missing \"" << outer << "." << inner << "\"";
+  return v != nullptr && v->IsNumber() ? v->number : -1.0;
+}
+
+TEST(ModelHealthBundleTest, BaselineRoundTripsThroughManifest) {
+  data::DatasetBundle data = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", data.train.schema, mc, 71);
+  const obs::ModelBaseline baseline =
+      train::ComputeBaseline(*model, data.valid);
+  EXPECT_EQ(baseline.sample_count, data.valid.size());
+  EXPECT_EQ(baseline.score_buckets, obs::kScoreDistributionBuckets);
+  ASSERT_EQ(baseline.features.size(), data.train.schema.categorical.size() +
+                                          data.train.schema.sequential.size());
+  int64_t score_total = 0;
+  for (int64_t c : baseline.score_counts) score_total += c;
+  EXPECT_EQ(score_total, data.valid.size());
+
+  const std::string dir = TempPath("bundle_with_baseline");
+  ASSERT_TRUE(serve::SaveBundle(*model, dir, &baseline));
+  serve::Bundle loaded;
+  ASSERT_TRUE(serve::LoadBundle(dir, &loaded));
+  ASSERT_NE(loaded.baseline, nullptr);
+  EXPECT_EQ(loaded.baseline->sample_count, baseline.sample_count);
+  EXPECT_EQ(loaded.baseline->score_counts, baseline.score_counts);
+  ASSERT_EQ(loaded.baseline->features.size(), baseline.features.size());
+  for (size_t i = 0; i < baseline.features.size(); ++i) {
+    EXPECT_EQ(loaded.baseline->features[i].name, baseline.features[i].name);
+    EXPECT_EQ(loaded.baseline->features[i].top_ids,
+              baseline.features[i].top_ids);
+    EXPECT_EQ(loaded.baseline->features[i].seen_exact,
+              baseline.features[i].seen_exact);
+  }
+}
+
+// Rewrites the saved manifest's format_version, simulating bundles written
+// by older (or newer) builds.
+void PatchManifestVersion(const std::string& dir, int version) {
+  const std::string path = dir + "/" + serve::kManifestFileName;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string manifest = text.str();
+  const std::string from =
+      "\"format_version\":" + std::to_string(serve::kBundleFormatVersion);
+  const size_t pos = manifest.find(from);
+  ASSERT_NE(pos, std::string::npos) << manifest.substr(0, 200);
+  manifest.replace(pos, from.size(),
+                   "\"format_version\":" + std::to_string(version));
+  std::ofstream out(path, std::ios::trunc);
+  out << manifest;
+  ASSERT_TRUE(out.good());
+}
+
+TEST(ModelHealthBundleTest, PreBaselineManifestLoadsWithDriftDisabled) {
+  data::DatasetBundle data = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", data.train.schema, mc, 73);
+  const std::string dir = TempPath("bundle_v1_manifest");
+  // Saved without a baseline, then stamped as the PR-2-era format: exactly
+  // what a bundle exported before model health existed looks like.
+  ASSERT_TRUE(serve::SaveBundle(*model, dir));
+  PatchManifestVersion(dir, 1);
+
+  serve::Bundle loaded;
+  ASSERT_TRUE(serve::LoadBundle(dir, &loaded));
+  ASSERT_NE(loaded.model, nullptr);
+  EXPECT_EQ(loaded.baseline, nullptr);
+}
+
+TEST(ModelHealthBundleTest, FutureFormatVersionIsRejected) {
+  data::DatasetBundle data = MakeTinyBundle();
+  models::ModelConfig mc;
+  auto model = models::CreateModel("lr", data.train.schema, mc, 79);
+  const std::string dir = TempPath("bundle_v999_manifest");
+  ASSERT_TRUE(serve::SaveBundle(*model, dir));
+  PatchManifestVersion(dir, serve::kBundleFormatVersion + 1);
+
+  serve::Bundle loaded;
+  EXPECT_FALSE(serve::LoadBundle(dir, &loaded));
+  EXPECT_EQ(loaded.model, nullptr);
+}
+
+TEST(ModelHealthMonitorTest, InDistributionTrafficScoresNearZeroPsi) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle data = MakeTinyBundle();
+    models::ModelConfig mc;
+    auto model = models::CreateModel("din", data.train.schema, mc, 83);
+    auto baseline = std::make_shared<const obs::ModelBaseline>(
+        train::ComputeBaseline(*model, data.valid));
+    serve::ModelHealthMonitor monitor(data.train.schema, baseline);
+    ASSERT_TRUE(monitor.has_baseline());
+
+    // Replay the exact baseline traffic through the engine with the monitor
+    // attached: the live distributions must match the baseline's.
+    serve::EngineConfig config;
+    config.num_workers = 2;
+    config.max_batch_size = 16;
+    config.max_queue_delay_us = 100;
+    config.health = &monitor;
+    serve::Engine engine(*model, config);
+    std::vector<std::future<float>> futures;
+    futures.reserve(data.valid.samples.size());
+    for (const data::Sample& s : data.valid.samples) {
+      futures.push_back(engine.Submit(s));
+    }
+    for (auto& f : futures) f.get();
+    engine.Drain();
+
+    EXPECT_EQ(monitor.requests_recorded(), data.valid.size());
+    const std::string json = monitor.ModelzJson();
+    ASSERT_TRUE(obs::JsonValid(json)) << json;
+    obs::JsonValue root;
+    ASSERT_TRUE(obs::JsonParse(json, &root));
+    EXPECT_LT(JsonNumberAt(root, "score", "psi"), 0.05);
+    const obs::JsonValue* features = root.Find("features");
+    ASSERT_NE(features, nullptr);
+    ASSERT_TRUE(features->IsArray());
+    ASSERT_FALSE(features->array.empty());
+    for (const obs::JsonValue& f : features->array) {
+      const obs::JsonValue* psi = f.Find("psi");
+      ASSERT_NE(psi, nullptr);
+      EXPECT_LT(psi->number, 0.01) << f.Find("name")->string;
+      EXPECT_EQ(static_cast<int64_t>(f.Find("oov")->number), 0)
+          << f.Find("name")->string;
+    }
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
+TEST(ModelHealthMonitorTest, ShiftedTrafficDriftsAndCountsOov) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle data = MakeTinyBundle();
+    models::ModelConfig mc;
+    auto model = models::CreateModel("din", data.train.schema, mc, 89);
+    auto baseline = std::make_shared<const obs::ModelBaseline>(
+        train::ComputeBaseline(*model, data.valid));
+    serve::ModelHealthMonitor monitor(data.train.schema, baseline);
+
+    // Shifted traffic: the first categorical field pinned to an id the
+    // baseline never saw (one past the vocab is always unseen — the monitor
+    // treats any unmapped id as OOV), scores pinned to one extreme bucket.
+    const int64_t unseen =
+        data.train.schema.categorical[0].vocab_size;
+    std::vector<data::Sample> shifted = data.valid.samples;
+    std::vector<float> scores(shifted.size(), 0.99f);
+    for (data::Sample& s : shifted) s.cat[0] = unseen;
+    monitor.RecordBatch(shifted, scores);
+
+    const std::string json = monitor.ModelzJson();
+    obs::JsonValue root;
+    ASSERT_TRUE(obs::JsonParse(json, &root));
+    EXPECT_GT(JsonNumberAt(root, "score", "psi"), 0.2);
+    const obs::JsonValue* features = root.Find("features");
+    ASSERT_NE(features, nullptr);
+    // Features are sorted by PSI descending; the pinned field must lead
+    // with major drift and a 100% OOV rate.
+    const obs::JsonValue& worst = features->array[0];
+    EXPECT_EQ(worst.Find("name")->string,
+              data.train.schema.categorical[0].name);
+    EXPECT_GT(worst.Find("psi")->number, 0.2);
+    EXPECT_GT(worst.Find("oov")->number, 0.0);
+    EXPECT_NEAR(worst.Find("oov_rate")->number, 1.0, 1e-9);
+
+    // The OOV counters made it into the registry too.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    EXPECT_GT(reg.GetCounter("health/oov").value(), 0);
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
+TEST(ModelHealthMonitorTest, FeedbackJoinsCalibrationAndAuc) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    data::DatasetBundle data = MakeTinyBundle();
+    serve::ModelHealthMonitor monitor(data.train.schema, nullptr);
+    EXPECT_FALSE(monitor.has_baseline());
+
+    monitor.RememberScore(101, 0.9f);
+    monitor.RememberScore(102, 0.1f);
+    monitor.RememberScore(103, 0.8f);
+
+    bool matched = monitor.Feedback(101, 1.0f);
+    EXPECT_TRUE(matched);
+    EXPECT_TRUE(monitor.Feedback(102, 0.0f));
+    // A consumed id cannot be labelled twice; an unknown id never matches.
+    EXPECT_FALSE(monitor.Feedback(101, 1.0f));
+    EXPECT_FALSE(monitor.Feedback(999, 1.0f));
+    EXPECT_EQ(monitor.feedback_received(), 4);
+    EXPECT_EQ(monitor.feedback_matched(), 2);
+
+    const std::string json = monitor.ModelzJson();
+    ASSERT_TRUE(obs::JsonValid(json)) << json;
+    obs::JsonValue root;
+    ASSERT_TRUE(obs::JsonParse(json, &root));
+    EXPECT_FALSE(root.Find("baseline_present")->bool_value);
+    EXPECT_EQ(root.Find("features"), nullptr);  // no baseline, no drift
+    EXPECT_EQ(JsonNumberAt(root, "calibration", "count"), 2.0);
+    EXPECT_EQ(JsonNumberAt(root, "feedback", "matched"), 2.0);
+    EXPECT_EQ(JsonNumberAt(root, "feedback", "received"), 4.0);
+    EXPECT_NEAR(JsonNumberAt(root, "feedback", "positive_rate"), 0.5, 1e-12);
+    // Positive labelled at 0.9, negative at 0.1: a perfectly ranked pair.
+    EXPECT_NEAR(JsonNumberAt(root, "feedback", "online_auc"), 1.0, 1e-12);
+
+    monitor.UpdateGauges();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    EXPECT_NEAR(reg.GetGauge("health/online_auc").value(), 1.0, 1e-12);
+  }
+  obs::MetricsRegistry::Global().Reset();
+  obs::SetEnabled(false);
+}
+
+TEST(ModelHealthMonitorTest, DisabledTelemetryIsInert) {
+  obs::SetEnabled(false);
+  data::DatasetBundle data = MakeTinyBundle();
+  serve::ModelHealthMonitor monitor(data.train.schema, nullptr);
+  std::vector<float> scores(4, 0.5f);
+  monitor.RecordBatch({data.valid.samples.begin(),
+                       data.valid.samples.begin() + 4},
+                      scores);
+  monitor.RememberScore(1, 0.5f);
+  EXPECT_FALSE(monitor.Feedback(1, 1.0f));
+  EXPECT_EQ(monitor.requests_recorded(), 0);
+  EXPECT_EQ(monitor.feedback_received(), 0);
 }
 
 }  // namespace
