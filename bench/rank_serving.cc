@@ -1,0 +1,153 @@
+// Candidate-ranking throughput bench (the rank subsystem's perf contract):
+// for the split-capable interest models, compares scoring one user against K
+// candidates via rank::RankEngine (shared user encoding) against the
+// score-K-times path through serve::Engine (K independent (user, candidate)
+// pair requests, open-loop so the batcher always sees full batches). Emits
+// BENCH_rank_serving.json with qps-per-scored-candidate for both paths and
+// the ratio at K in {8, 64, 256}; the headline shared-encoding speedup at
+// K=256 must stay >= 2x for at least one split model.
+//
+// Env knobs: MISS_RANK_CANDIDATE_TARGET (default 8192) scored candidates per
+// timed measurement, MISS_RANK_SEQ_LEN (default 48) history length — longer
+// histories grow the user-tower share of the forward and with it the win.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "obs/trace.h"
+#include "rank/rank_engine.h"
+#include "serve/engine.h"
+
+namespace miss {
+namespace {
+
+// Deterministic candidate list over the item vocabulary.
+std::vector<int64_t> MakeCandidates(int64_t k, int64_t vocab) {
+  std::vector<int64_t> out;
+  out.reserve(k);
+  for (int64_t i = 0; i < k; ++i) out.push_back((i * 37 + 11) % vocab);
+  return out;
+}
+
+// Score-K-times baseline: K pair requests through the micro-batching
+// engine, open-loop (all submitted before any get), so the comparison is
+// against the engine at its best, not against per-request queueing.
+double BaselineCps(serve::Engine& engine, const data::Dataset& traffic,
+                   int cand_field, const std::vector<int64_t>& candidates,
+                   int64_t reps) {
+  std::vector<std::future<float>> futures;
+  futures.reserve(candidates.size());
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t r = 0; r < reps; ++r) {
+    futures.clear();
+    const data::Sample& user = traffic.samples[r % traffic.size()];
+    for (int64_t cand : candidates) {
+      data::Sample pair = user;
+      pair.cat[cand_field] = cand;
+      futures.push_back(engine.Submit(std::move(pair)));
+    }
+    for (std::future<float>& f : futures) f.get();
+  }
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  return static_cast<double>(reps * candidates.size()) / secs;
+}
+
+double RankCps(rank::RankEngine& ranker, const data::Dataset& traffic,
+               const std::vector<int64_t>& candidates, int64_t reps) {
+  const int64_t start_ns = obs::NowNs();
+  for (int64_t r = 0; r < reps; ++r) {
+    rank::RankRequest request;
+    request.user = traffic.samples[r % traffic.size()];
+    request.candidates = candidates;
+    request.top_k = 10;
+    ranker.Submit(std::move(request)).get();
+  }
+  const double secs = static_cast<double>(obs::NowNs() - start_ns) / 1e9;
+  return static_cast<double>(reps * candidates.size()) / secs;
+}
+
+int Main() {
+  common::SetMinLogLevel(common::LogLevel::kWarning);
+  const int64_t candidate_target =
+      common::GetEnvInt("MISS_RANK_CANDIDATE_TARGET", 8192);
+  const int64_t seq_len = common::GetEnvInt("MISS_RANK_SEQ_LEN", 48);
+
+  data::SyntheticConfig data_config = data::SyntheticConfig::Tiny();
+  data_config.num_users = 200;
+  data_config.seq_len_min = seq_len;
+  data_config.seq_len_max = seq_len;
+  data_config.max_seq_len = seq_len;
+  data::DatasetBundle bundle = data::GenerateSynthetic(data_config);
+  const data::Dataset& traffic = bundle.test;
+  const int cand_field = bundle.test.schema.CandidateField();
+  const int64_t vocab =
+      bundle.test.schema.categorical[cand_field].vocab_size;
+
+  bench::BenchReport report("rank_serving");
+  report.AddConfig("candidate_target", static_cast<double>(candidate_target));
+  report.AddConfig("seq_len", static_cast<double>(seq_len));
+
+  std::printf("candidate-ranking bench: ~%ld scored candidates per cell, "
+              "history %ld\n\n",
+              static_cast<long>(candidate_target),
+              static_cast<long>(seq_len));
+  std::printf("%-8s %6s %16s %16s %8s\n", "model", "K", "score-K-times",
+              "rank (shared)", "ratio");
+
+  const std::vector<std::string> model_names = {"din", "dien", "sim"};
+  const std::vector<int64_t> ks = {8, 64, 256};
+  double best_ratio_k256 = 0.0;
+  for (const std::string& name : model_names) {
+    models::ModelConfig mc;
+    auto model = models::CreateModel(name, bundle.train.schema, mc, 42);
+    serve::EngineConfig engine_config;
+    engine_config.max_batch_size = 256;
+    engine_config.max_queue_delay_us = 200;
+    serve::Engine engine(*model, engine_config);
+    rank::RankEngine ranker(*model);
+
+    // Warm both paths (allocator, embedding pages) outside the timing.
+    BaselineCps(engine, traffic, cand_field, MakeCandidates(64, vocab), 2);
+    RankCps(ranker, traffic, MakeCandidates(64, vocab), 2);
+
+    for (int64_t k : ks) {
+      const std::vector<int64_t> candidates = MakeCandidates(k, vocab);
+      const int64_t reps = std::max<int64_t>(1, candidate_target / k);
+      const double baseline_cps =
+          BaselineCps(engine, traffic, cand_field, candidates, reps);
+      const double rank_cps = RankCps(ranker, traffic, candidates, reps);
+      const double ratio = rank_cps / baseline_cps;
+      std::printf("%-8s %6ld %12.0f c/s %12.0f c/s %7.2fx\n", name.c_str(),
+                  static_cast<long>(k), baseline_cps, rank_cps, ratio);
+      const std::string prefix = name + "_k" + std::to_string(k);
+      report.AddMetric(prefix + "_baseline_cps", baseline_cps);
+      report.AddMetric(prefix + "_rank_cps", rank_cps);
+      report.AddMetric(prefix + "_ratio", ratio);
+      if (k == 256) best_ratio_k256 = std::max(best_ratio_k256, ratio);
+    }
+    engine.Drain();
+    ranker.Drain();
+  }
+
+  std::printf("\nbest shared-encoding speedup at K=256: %.2fx "
+              "(target >= 2x)\n",
+              best_ratio_k256);
+  report.AddMetric("best_ratio_k256", best_ratio_k256);
+  report.Write();
+  return best_ratio_k256 >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace miss
+
+int main() { return miss::Main(); }

@@ -1,0 +1,36 @@
+#include "common/top_k.h"
+
+#include <algorithm>
+
+namespace miss::common {
+
+std::vector<int32_t> TopKIndices(const std::vector<float>& values, int64_t k) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  if (k > n) k = n;
+  if (k <= 0) return {};
+
+  // Strict ranking: larger value first, ties to the smaller index.
+  auto better = [&values](int32_t a, int32_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  };
+
+  // With `better` as the comparator, std::push_heap keeps the *worst* kept
+  // index at the front — the one a new candidate must beat to enter.
+  std::vector<int32_t> kept;
+  kept.reserve(static_cast<size_t>(k));
+  for (int32_t i = 0; i < n; ++i) {
+    if (static_cast<int64_t>(kept.size()) < k) {
+      kept.push_back(i);
+      std::push_heap(kept.begin(), kept.end(), better);
+    } else if (better(i, kept.front())) {
+      std::pop_heap(kept.begin(), kept.end(), better);
+      kept.back() = i;
+      std::push_heap(kept.begin(), kept.end(), better);
+    }
+  }
+  std::sort(kept.begin(), kept.end(), better);
+  return kept;
+}
+
+}  // namespace miss::common

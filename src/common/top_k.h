@@ -1,0 +1,21 @@
+// Deterministic heap-based partial selection: the indices of the k largest
+// values without sorting the whole array. Used by rank::RankEngine to turn
+// K candidate scores into a top-K listing.
+
+#ifndef MISS_COMMON_TOP_K_H_
+#define MISS_COMMON_TOP_K_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace miss::common {
+
+// Indices of the k largest values, best first. Deterministic: equal values
+// rank by ascending index, so duplicate scores cannot reorder between runs.
+// k >= values.size() returns a full ordering; k <= 0 returns empty. O(n log k)
+// via a bounded min-heap of the kept indices. Values must not be NaN.
+std::vector<int32_t> TopKIndices(const std::vector<float>& values, int64_t k);
+
+}  // namespace miss::common
+
+#endif  // MISS_COMMON_TOP_K_H_

@@ -47,6 +47,14 @@ struct DatasetSchema {
   // Total field count as reported in Table III (#Fields).
   int64_t num_fields() const { return num_categorical() + num_sequential(); }
 
+  // The categorical field that varies per candidate in rank-K serving: the
+  // counterpart of the primary behavior sequence (sequential field 0), or -1
+  // when there is no shared-table behavior sequence to rank against.
+  int CandidateField() const {
+    if (seq_shares_table_with.empty()) return -1;
+    return seq_shares_table_with[0];
+  }
+
   // Total feature count (#Features in Table III): the number of distinct
   // feature ids across all vocabularies, counting shared tables once.
   int64_t TotalFeatures() const {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "models/embedding_set.h"
@@ -16,6 +17,15 @@
 #include "nn/tensor.h"
 
 namespace miss::models {
+
+// Opaque per-request state produced by CtrModel::EncodeUser: everything in
+// a forward pass that does not depend on the candidate id (behavior-sequence
+// embeddings, GRU interest states, pooled context fields). Concrete models
+// define their own subtypes; callers only move it between EncodeUser and
+// ScoreCandidates.
+struct RankContext {
+  virtual ~RankContext() = default;
+};
 
 // Hyper-parameters shared across models (paper Section VI-A5) plus the
 // per-architecture knobs. One struct keeps the experiment harness simple.
@@ -52,6 +62,41 @@ class CtrModel : public nn::Module {
   virtual nn::Tensor Forward(const data::Batch& batch, bool training) = 0;
 
   virtual std::string name() const = 0;
+
+  // -- Two-tower rank split (candidate-ranking serving) ----------------------
+  //
+  // Models whose forward pass is candidate-conditioned only at the attention
+  // query (DIN-style interest models) can encode the user once and score K
+  // candidates against that context. The contract is bitwise: for each
+  // candidate id c, row i of ScoreCandidates(EncodeUser(user), {..c..}) must
+  // equal the logit of Forward() on the single (user, c) pair — same ops in
+  // the same order, broadcast by verbatim value copy (every factory model is
+  // row-wise over the batch axis, so batching candidates cannot change a
+  // row's bits). Models without a split keep the default false and the rank
+  // engine falls back to batched per-candidate Forward() calls.
+
+  // Whether EncodeUser/ScoreCandidates are implemented for this
+  // architecture + schema (requires schema().CandidateField() >= 0).
+  virtual bool SupportsRankSplit() const { return false; }
+
+  // Runs the candidate-independent part of Forward() on a batch holding
+  // exactly one user sample (the candidate slot's value is ignored).
+  // Inference-only: call under nn::InferenceScope.
+  virtual std::unique_ptr<RankContext> EncodeUser(const data::Batch& user) {
+    (void)user;
+    MISS_CHECK(false) << name() << " does not implement the rank split";
+    return nullptr;
+  }
+
+  // Scores K candidate ids against an EncodeUser context -> logits [K],
+  // bitwise equal to K single-pair Forward() calls. Inference-only.
+  virtual nn::Tensor ScoreCandidates(const RankContext& context,
+                                     const std::vector<int64_t>& candidates) {
+    (void)context;
+    (void)candidates;
+    MISS_CHECK(false) << name() << " does not implement the rank split";
+    return nn::Tensor();
+  }
 
   EmbeddingSet& embeddings() { return *embeddings_; }
   const EmbeddingSet& embeddings() const { return *embeddings_; }

@@ -57,6 +57,13 @@ nn::Tensor EmbeddingSet::FieldEmbedding(const data::Batch& batch,
   return cat_tables_[field]->Forward(ids, {b_dim});
 }
 
+nn::Tensor EmbeddingSet::IdsEmbedding(int field,
+                                      const std::vector<int64_t>& ids) const {
+  MISS_CHECK_LT(field, schema_.num_categorical());
+  const int64_t n = static_cast<int64_t>(ids.size());
+  return cat_tables_[field]->Forward(ids, {n});
+}
+
 nn::Tensor EmbeddingSet::SequenceEmbeddings(const data::Batch& batch,
                                             int seq_field) const {
   const int64_t b_dim = batch.batch_size;

@@ -32,6 +32,11 @@ class EmbeddingSet : public nn::Module {
   // Embedding of one categorical field: [B, K].
   nn::Tensor FieldEmbedding(const data::Batch& batch, int field) const;
 
+  // Embeddings of explicit ids from one categorical field's table: [N, K].
+  // Rank serving looks up candidate ids without materializing a batch; the
+  // gather is the same as FieldEmbedding's, so rows are bitwise identical.
+  nn::Tensor IdsEmbedding(int field, const std::vector<int64_t>& ids) const;
+
   // Embeddings of one sequential field: [B, L, K] (padding rows are zero).
   nn::Tensor SequenceEmbeddings(const data::Batch& batch, int seq_field) const;
 

@@ -345,4 +345,355 @@ nn::Tensor DmrModel::Forward(const data::Batch& batch, bool training) {
   return nn::Reshape(deep_->Forward(ApplyDropout(x, training)), {b_dim});
 }
 
+// ----------------------------------------------------------------------------
+// Rank split (EncodeUser / ScoreCandidates)
+// ----------------------------------------------------------------------------
+//
+// Contract (ctr_model.h): per-candidate rank scores must be bitwise-equal to
+// single-pair Forward(). EncodeUser runs every candidate-independent op of
+// Forward once at B = 1; ScoreCandidates broadcasts those tensors to the K
+// candidate rows by verbatim value copy and replays the candidate-dependent
+// remainder in Forward's exact op order. Every op involved is row-wise over
+// the batch axis, so each candidate row then matches the single-pair forward
+// bit for bit. Broadcasting must NOT go through arithmetic — Add with a zero
+// tensor maps -0.0f to +0.0f — hence the raw-copy tiling below.
+
+namespace {
+
+// [1, d1, ...] -> [n, d1, ...] by verbatim row copy.
+nn::Tensor TileRows(const nn::Tensor& t, int64_t n) {
+  std::vector<int64_t> shape = t.shape();
+  MISS_CHECK_EQ(shape[0], 1);
+  const std::vector<float>& row = t.value();
+  std::vector<float> data;
+  data.reserve(row.size() * n);
+  for (int64_t i = 0; i < n; ++i) data.insert(data.end(), row.begin(), row.end());
+  shape[0] = n;
+  return nn::Tensor::FromData(std::move(shape), std::move(data));
+}
+
+// The B=1 sequence mask repeated for n candidate rows.
+std::vector<float> TileMask(const std::vector<float>& mask, int64_t n) {
+  std::vector<float> out;
+  out.reserve(mask.size() * n);
+  for (int64_t i = 0; i < n; ++i) out.insert(out.end(), mask.begin(), mask.end());
+  return out;
+}
+
+// State shared by all interest-model rank contexts.
+struct InterestRankContext : RankContext {
+  int cand_field = -1;  // categorical slot the candidate ids fill
+  int64_t num_cat = 0;
+  int64_t num_seq = 0;
+  int64_t seq_len = 0;
+  std::vector<float> mask;            // the user's B=1 seq_mask
+  std::vector<nn::Tensor> cat_parts;  // per categorical field, [1, K]
+};
+
+void FillCommon(InterestRankContext* ctx, const CtrModel& model,
+                const data::Batch& user) {
+  MISS_CHECK_EQ(user.batch_size, 1)
+      << "EncodeUser expects a single-user batch";
+  ctx->cand_field = model.schema().CandidateField();
+  MISS_CHECK_GE(ctx->cand_field, 0);
+  ctx->num_cat = user.num_cat;
+  ctx->num_seq = user.num_seq;
+  ctx->seq_len = user.seq_len;
+  ctx->mask = user.seq_mask;
+  ctx->cat_parts.reserve(user.num_cat);
+  for (int i = 0; i < user.num_cat; ++i) {
+    ctx->cat_parts.push_back(model.embeddings().FieldEmbedding(user, i));
+  }
+}
+
+// Reassembles Forward's flattened categorical block [n, I*K] with `cand`
+// ([n, K]) in the candidate slot. Gather + concat order matches
+// EmbeddingSet::CategoricalEmbeddings, so the values are bitwise-identical.
+nn::Tensor RankCatFeature(const InterestRankContext& ctx,
+                          const nn::Tensor& cand, int64_t n, int64_t k_dim) {
+  std::vector<nn::Tensor> parts;
+  parts.reserve(ctx.num_cat);
+  for (int64_t i = 0; i < ctx.num_cat; ++i) {
+    nn::Tensor p =
+        (i == ctx.cand_field) ? cand : TileRows(ctx.cat_parts[i], n);
+    parts.push_back(nn::Reshape(p, {n, 1, k_dim}));
+  }
+  return nn::Reshape(nn::Concat(parts, /*axis=*/1), {n, ctx.num_cat * k_dim});
+}
+
+struct DinRankContext final : InterestRankContext {
+  // Per sequence j: the hoisted sequence embedding when j attends to the
+  // rank candidate (scored per candidate), otherwise the ready feature
+  // tensors Forward would append for j, in Forward's order (all [1, *]).
+  std::vector<nn::Tensor> dep_seq;
+  std::vector<std::vector<nn::Tensor>> static_feats;
+};
+
+struct DienRankContext final : InterestRankContext {
+  nn::Tensor interests;   // [1, L, K] GRU interest states
+  nn::Tensor pooled_raw;  // [1, K] mean-pooled item sequence
+  std::vector<nn::Tensor> other_pools;  // j >= 1, each [1, K]
+};
+
+struct SimRankContext final : InterestRankContext {
+  nn::Tensor item_seq;   // [1, L, K]
+  nn::Tensor full_pool;  // [1, K]
+  std::vector<nn::Tensor> other_pools;  // j >= 1, each [1, K]
+};
+
+struct DmrRankContext final : InterestRankContext {
+  nn::Tensor item_seq;  // [1, L, K]
+  nn::Tensor keys;      // [1, L, K] i2i key projection
+  std::vector<nn::Tensor> pools;  // all j, each [1, K]
+};
+
+}  // namespace
+
+bool DinModel::SupportsRankSplit() const {
+  return schema().CandidateField() >= 0;
+}
+
+std::unique_ptr<RankContext> DinModel::EncodeUser(const data::Batch& user) {
+  auto ctx = std::make_unique<DinRankContext>();
+  FillCommon(ctx.get(), *this, user);
+  ctx->dep_seq.resize(user.num_seq);
+  ctx->static_feats.resize(user.num_seq);
+  for (int j = 0; j < user.num_seq; ++j) {
+    nn::Tensor seq = embeddings().SequenceEmbeddings(user, j);
+    const int cand_field = CandidateFieldFor(schema(), j);
+    if (cand_field == ctx->cand_field) {
+      ctx->dep_seq[j] = seq;  // attends to the rank candidate: score later
+      continue;
+    }
+    auto& feats = ctx->static_feats[j];
+    if (cand_field >= 0) {
+      // Attends to a fixed non-candidate field: fully computable up front.
+      nn::Tensor candidate = embeddings().FieldEmbedding(user, cand_field);
+      nn::Tensor pooled = laups_[j]->Forward(seq, candidate, user.seq_mask);
+      nn::Tensor product = nn::Mul(candidate, pooled);
+      feats.push_back(product);
+      feats.push_back(nn::SumAxis(product, 1, /*keepdims=*/true));
+      feats.push_back(pooled);
+    } else {
+      feats.push_back(MaskedMeanPool(seq, user.seq_mask));
+    }
+  }
+  return ctx;
+}
+
+nn::Tensor DinModel::ScoreCandidates(const RankContext& context,
+                                     const std::vector<int64_t>& candidates) {
+  const auto& ctx = static_cast<const DinRankContext&>(context);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t k_dim = config_.embedding_dim;
+  nn::Tensor cand = embeddings().IdsEmbedding(ctx.cand_field, candidates);
+  const std::vector<float> mask = TileMask(ctx.mask, n);
+
+  std::vector<nn::Tensor> features;
+  features.push_back(RankCatFeature(ctx, cand, n, k_dim));
+  for (int64_t j = 0; j < ctx.num_seq; ++j) {
+    if (ctx.dep_seq[j].defined()) {
+      nn::Tensor seq = TileRows(ctx.dep_seq[j], n);
+      nn::Tensor pooled = laups_[j]->Forward(seq, cand, mask);
+      nn::Tensor product = nn::Mul(cand, pooled);
+      features.push_back(product);
+      features.push_back(nn::SumAxis(product, 1, /*keepdims=*/true));
+      features.push_back(pooled);
+    } else {
+      for (const nn::Tensor& f : ctx.static_feats[j]) {
+        features.push_back(TileRows(f, n));
+      }
+    }
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, /*training=*/false)), {n});
+}
+
+bool DienModel::SupportsRankSplit() const {
+  return schema().CandidateField() >= 0;
+}
+
+std::unique_ptr<RankContext> DienModel::EncodeUser(const data::Batch& user) {
+  auto ctx = std::make_unique<DienRankContext>();
+  FillCommon(ctx.get(), *this, user);
+  nn::Tensor item_seq = embeddings().SequenceEmbeddings(user, kPrimarySeq);
+  // The GRU interest-extraction sweep is the expensive candidate-independent
+  // half of DIEN; hoisting it is the point of the split.
+  ctx->interests = extractor_->Forward(item_seq, user.seq_mask);
+  ctx->pooled_raw = MaskedMeanPool(item_seq, user.seq_mask);
+  for (int j = 1; j < user.num_seq; ++j) {
+    ctx->other_pools.push_back(MaskedMeanPool(
+        embeddings().SequenceEmbeddings(user, j), user.seq_mask));
+  }
+  return ctx;
+}
+
+nn::Tensor DienModel::ScoreCandidates(const RankContext& context,
+                                      const std::vector<int64_t>& candidates) {
+  const auto& ctx = static_cast<const DienRankContext&>(context);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t k_dim = config_.embedding_dim;
+  const int64_t l_dim = ctx.seq_len;
+  nn::Tensor cand = embeddings().IdsEmbedding(ctx.cand_field, candidates);
+  const std::vector<float> mask = TileMask(ctx.mask, n);
+
+  nn::Tensor interests = TileRows(ctx.interests, n);
+  nn::Tensor scores = nn::Reshape(
+      nn::BatchMatMul(interests, nn::Reshape(cand, {n, k_dim, 1})),
+      {n, l_dim});
+  nn::Tensor probs = nn::MaskedSoftmaxLastDim(scores, mask);
+  nn::Tensor h = nn::Tensor::Zeros({n, k_dim});
+  for (int64_t t = 0; t < l_dim; ++t) {
+    nn::Tensor xt = nn::Reshape(nn::Slice(interests, 1, t, 1), {n, k_dim});
+    nn::Tensor at = nn::Reshape(nn::Slice(probs, 1, t, 1), {n, 1});
+    h = evolution_->ForwardAttentional(xt, h, at);
+  }
+
+  std::vector<nn::Tensor> features;
+  features.push_back(RankCatFeature(ctx, cand, n, k_dim));
+  features.push_back(h);
+  nn::Tensor product_h = nn::Mul(h, cand);
+  features.push_back(product_h);
+  features.push_back(nn::SumAxis(product_h, 1, /*keepdims=*/true));
+  nn::Tensor product_raw = nn::Mul(TileRows(ctx.pooled_raw, n), cand);
+  features.push_back(product_raw);
+  features.push_back(nn::SumAxis(product_raw, 1, /*keepdims=*/true));
+  for (const nn::Tensor& pool : ctx.other_pools) {
+    features.push_back(TileRows(pool, n));
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, /*training=*/false)), {n});
+}
+
+bool SimModel::SupportsRankSplit() const {
+  return schema().CandidateField() >= 0;
+}
+
+std::unique_ptr<RankContext> SimModel::EncodeUser(const data::Batch& user) {
+  auto ctx = std::make_unique<SimRankContext>();
+  FillCommon(ctx.get(), *this, user);
+  ctx->item_seq = embeddings().SequenceEmbeddings(user, kPrimarySeq);
+  ctx->full_pool = MaskedMeanPool(ctx->item_seq, user.seq_mask);
+  for (int j = 1; j < user.num_seq; ++j) {
+    ctx->other_pools.push_back(MaskedMeanPool(
+        embeddings().SequenceEmbeddings(user, j), user.seq_mask));
+  }
+  return ctx;
+}
+
+nn::Tensor SimModel::ScoreCandidates(const RankContext& context,
+                                     const std::vector<int64_t>& candidates) {
+  const auto& ctx = static_cast<const SimRankContext&>(context);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t k_dim = config_.embedding_dim;
+  const int64_t l_dim = ctx.seq_len;
+  const int64_t top_k = std::min<int64_t>(config_.sim_top_k, l_dim);
+  nn::Tensor cand = embeddings().IdsEmbedding(ctx.cand_field, candidates);
+
+  // Soft search per candidate row, reading the hoisted B=1 sequence values;
+  // dot accumulation order matches Forward's, so selection is identical.
+  const auto& seq_v = ctx.item_seq.value();
+  const auto& cand_v = cand.value();
+  std::vector<int64_t> selected(n * top_k, 0);
+  std::vector<float> sub_mask(n * top_k, 0.0f);
+  for (int64_t b = 0; b < n; ++b) {
+    std::vector<std::pair<float, int64_t>> scored;
+    for (int64_t l = 0; l < l_dim; ++l) {
+      if (ctx.mask[l] == 0.0f) continue;
+      float dot = 0.0f;
+      for (int64_t k = 0; k < k_dim; ++k) {
+        dot += seq_v[l * k_dim + k] * cand_v[b * k_dim + k];
+      }
+      scored.emplace_back(dot, l);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const int64_t take = std::min<int64_t>(top_k, scored.size());
+    for (int64_t t = 0; t < take; ++t) {
+      selected[b * top_k + t] = scored[t].second;
+      sub_mask[b * top_k + t] = 1.0f;
+    }
+  }
+
+  nn::Tensor seq_t = TileRows(ctx.item_seq, n);
+  nn::Tensor retrieved = nn::SelectTimeSteps(seq_t, selected, top_k);
+  nn::Tensor pooled = laup_->Forward(retrieved, cand, sub_mask);
+
+  std::vector<nn::Tensor> features;
+  features.push_back(RankCatFeature(ctx, cand, n, k_dim));
+  features.push_back(pooled);
+  nn::Tensor full_pool = TileRows(ctx.full_pool, n);
+  features.push_back(full_pool);
+  nn::Tensor product_s = nn::Mul(pooled, cand);
+  features.push_back(product_s);
+  features.push_back(nn::SumAxis(product_s, 1, /*keepdims=*/true));
+  nn::Tensor product_full = nn::Mul(full_pool, cand);
+  features.push_back(product_full);
+  features.push_back(nn::SumAxis(product_full, 1, /*keepdims=*/true));
+  for (const nn::Tensor& pool : ctx.other_pools) {
+    features.push_back(TileRows(pool, n));
+  }
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, /*training=*/false)), {n});
+}
+
+bool DmrModel::SupportsRankSplit() const {
+  return schema().CandidateField() >= 0;
+}
+
+std::unique_ptr<RankContext> DmrModel::EncodeUser(const data::Batch& user) {
+  auto ctx = std::make_unique<DmrRankContext>();
+  FillCommon(ctx.get(), *this, user);
+  ctx->item_seq = embeddings().SequenceEmbeddings(user, kPrimarySeq);
+  ctx->keys = i2i_key_->Forward(ctx->item_seq);
+  for (int j = 0; j < user.num_seq; ++j) {
+    ctx->pools.push_back(MaskedMeanPool(
+        embeddings().SequenceEmbeddings(user, j), user.seq_mask));
+  }
+  return ctx;
+}
+
+nn::Tensor DmrModel::ScoreCandidates(const RankContext& context,
+                                     const std::vector<int64_t>& candidates) {
+  const auto& ctx = static_cast<const DmrRankContext&>(context);
+  const int64_t n = static_cast<int64_t>(candidates.size());
+  const int64_t k_dim = config_.embedding_dim;
+  const int64_t l_dim = ctx.seq_len;
+  nn::Tensor cand = embeddings().IdsEmbedding(ctx.cand_field, candidates);
+  const std::vector<float> mask = TileMask(ctx.mask, n);
+  nn::Tensor seq_t = TileRows(ctx.item_seq, n);
+
+  nn::Tensor u = u2i_->Forward(seq_t, cand, mask);
+  nn::Tensor r1 = nn::SumAxis(nn::Mul(u, cand), /*axis=*/1,
+                              /*keepdims=*/true);
+
+  nn::Tensor q = i2i_query_->Forward(cand);
+  nn::Tensor keys = TileRows(ctx.keys, n);
+  nn::Tensor scores = nn::Reshape(
+      nn::BatchMatMul(keys, nn::Reshape(q, {n, k_dim, 1})), {n, l_dim});
+  nn::Tensor probs = nn::MaskedSoftmaxLastDim(scores, mask);
+  nn::Tensor v = WeightedSum(probs, seq_t);
+  std::vector<float> mask_copy = mask;
+  nn::Tensor mask_tensor =
+      nn::Tensor::FromData({n, l_dim}, std::move(mask_copy));
+  nn::Tensor r2 = nn::MulScalar(
+      nn::SumAxis(nn::Mul(nn::Sigmoid(scores), mask_tensor),
+                  /*axis=*/1, /*keepdims=*/true),
+      1.0f / static_cast<float>(l_dim));
+
+  std::vector<nn::Tensor> features;
+  features.push_back(RankCatFeature(ctx, cand, n, k_dim));
+  for (const nn::Tensor& pool : ctx.pools) {
+    features.push_back(TileRows(pool, n));
+  }
+  features.push_back(u);
+  features.push_back(v);
+  features.push_back(nn::Mul(u, cand));
+  features.push_back(nn::Mul(v, cand));
+  features.push_back(r1);
+  features.push_back(r2);
+  nn::Tensor x = nn::Concat(features, /*axis=*/1);
+  return nn::Reshape(deep_->Forward(ApplyDropout(x, /*training=*/false)), {n});
+}
+
 }  // namespace miss::models

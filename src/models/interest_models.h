@@ -43,6 +43,11 @@ class DinModel : public CtrModel {
   nn::Tensor Forward(const data::Batch& batch, bool training) override;
   std::string name() const override { return "DIN"; }
 
+  bool SupportsRankSplit() const override;
+  std::unique_ptr<RankContext> EncodeUser(const data::Batch& user) override;
+  nn::Tensor ScoreCandidates(const RankContext& context,
+                             const std::vector<int64_t>& candidates) override;
+
  private:
   std::vector<std::unique_ptr<LocalActivationUnit>> laups_;  // one per J
   std::unique_ptr<nn::Mlp> deep_;
@@ -59,6 +64,11 @@ class DienModel : public CtrModel {
 
   nn::Tensor Forward(const data::Batch& batch, bool training) override;
   std::string name() const override { return "DIEN"; }
+
+  bool SupportsRankSplit() const override;
+  std::unique_ptr<RankContext> EncodeUser(const data::Batch& user) override;
+  nn::Tensor ScoreCandidates(const RankContext& context,
+                             const std::vector<int64_t>& candidates) override;
 
  private:
   std::unique_ptr<nn::GruRunner> extractor_;
@@ -77,6 +87,11 @@ class SimModel : public CtrModel {
   nn::Tensor Forward(const data::Batch& batch, bool training) override;
   std::string name() const override { return "SIM(soft)"; }
 
+  bool SupportsRankSplit() const override;
+  std::unique_ptr<RankContext> EncodeUser(const data::Batch& user) override;
+  nn::Tensor ScoreCandidates(const RankContext& context,
+                             const std::vector<int64_t>& candidates) override;
+
  private:
   std::unique_ptr<LocalActivationUnit> laup_;
   std::unique_ptr<nn::Mlp> deep_;
@@ -91,6 +106,11 @@ class DmrModel : public CtrModel {
 
   nn::Tensor Forward(const data::Batch& batch, bool training) override;
   std::string name() const override { return "DMR"; }
+
+  bool SupportsRankSplit() const override;
+  std::unique_ptr<RankContext> EncodeUser(const data::Batch& user) override;
+  nn::Tensor ScoreCandidates(const RankContext& context,
+                             const std::vector<int64_t>& candidates) override;
 
  private:
   std::unique_ptr<LocalActivationUnit> u2i_;

@@ -123,7 +123,7 @@ int ParseHttpResponse(const char* data, size_t size, size_t* offset,
     }
     line_start = line_end + 2;
   }
-  if (content_length > kMaxFrameBytes) {
+  if (content_length > MaxFrameBytes()) {
     *error = "response body too large";
     return 2;
   }
@@ -269,6 +269,46 @@ bool Client::Feedback(uint64_t request_id, float label, bool* matched,
   return true;
 }
 
+bool Client::SendRank(uint64_t request_id, const data::Sample& user,
+                      const std::vector<int64_t>& candidates, uint32_t top_k,
+                      std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string frame;
+  EncodeRankRequest(request_id, user, candidates, top_k, &frame);
+  return SendRaw(frame, error);
+}
+
+bool Client::Rank(const data::Sample& user,
+                  const std::vector<int64_t>& candidates, uint32_t top_k,
+                  std::vector<float>* scores, std::vector<uint32_t>* top,
+                  std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!SendRank(id, user, candidates, top_k, error)) return false;
+  WireResponse resp;
+  if (!Receive(&resp, error)) return false;
+  if (resp.request_id != id) {
+    *error = "response correlates to request " +
+             std::to_string(resp.request_id) + ", expected " +
+             std::to_string(id);
+    Close();
+    return false;
+  }
+  if (!resp.ok) {
+    *error = "server error: " + resp.error;
+    return false;
+  }
+  if (!resp.rank) {
+    *error = "response is not a rank response";
+    return false;
+  }
+  *scores = std::move(resp.scores);
+  *top = std::move(resp.top);
+  return true;
+}
+
 HttpClient::~HttpClient() { Close(); }
 
 bool HttpClient::Connect(const std::string& host, int port,
@@ -352,6 +392,64 @@ bool HttpClient::Score(const data::Sample& sample, int* status_code,
     return false;
   }
   *score = static_cast<float>(v->number);
+  if (request_id != nullptr) {
+    const obs::JsonValue* id = root.Find("request_id");
+    *request_id =
+        id != nullptr && id->IsNumber() ? static_cast<uint64_t>(id->number)
+                                        : 0;
+  }
+  return true;
+}
+
+bool HttpClient::Rank(const data::Sample& user,
+                      const std::vector<int64_t>& candidates, int64_t top_k,
+                      int* status_code, std::vector<float>* scores,
+                      std::vector<uint32_t>* top, std::string* body,
+                      std::string* error, uint64_t* request_id) {
+  const std::string payload = RankRequestJson(user, candidates, top_k);
+  std::string request;
+  request.reserve(128 + payload.size());
+  request += "POST /rank HTTP/1.1\r\nHost: ";
+  request += host_;
+  request += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  request += std::to_string(payload.size());
+  request += "\r\n\r\n";
+  request += payload;
+
+  bool server_closed = false;
+  if (!Roundtrip(request, status_code, body, &server_closed, error)) {
+    return false;
+  }
+  if (*status_code != 200) return true;  // error JSON is in *body
+  obs::JsonValue root;
+  const obs::JsonValue* scores_v = nullptr;
+  const obs::JsonValue* top_v = nullptr;
+  if (!obs::JsonParse(*body, &root) || !root.IsObject() ||
+      (scores_v = root.Find("scores")) == nullptr || !scores_v->IsArray() ||
+      (top_v = root.Find("top")) == nullptr || !top_v->IsArray()) {
+    *error = "malformed rank response body: " + *body;
+    return false;
+  }
+  scores->clear();
+  scores->reserve(scores_v->array.size());
+  for (const obs::JsonValue& v : scores_v->array) {
+    if (!v.IsNumber()) {
+      *error = "malformed rank response body: " + *body;
+      return false;
+    }
+    scores->push_back(static_cast<float>(v.number));
+  }
+  top->clear();
+  top->reserve(top_v->array.size());
+  for (const obs::JsonValue& entry : top_v->array) {
+    const obs::JsonValue* index =
+        entry.IsObject() ? entry.Find("index") : nullptr;
+    if (index == nullptr || !index->IsNumber()) {
+      *error = "malformed rank response body: " + *body;
+      return false;
+    }
+    top->push_back(static_cast<uint32_t>(index->number));
+  }
   if (request_id != nullptr) {
     const obs::JsonValue* id = root.Find("request_id");
     *request_id =

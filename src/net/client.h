@@ -7,8 +7,8 @@
 // server may answer out of order, correlate by request id).
 //
 // HttpClient holds one keep-alive HTTP/1.1 connection: Score() POSTs
-// /score, Get() fetches /healthz | /metricz. HttpGet() is the one-shot
-// helper when no connection reuse is wanted.
+// /score, Rank() POSTs /rank, Get() fetches /healthz | /metricz. HttpGet()
+// is the one-shot helper when no connection reuse is wanted.
 //
 // Every method reports failure via a bool + `*error` message rather than
 // exceptions, matching how the callers react (fail the test, skip the
@@ -65,6 +65,19 @@ class Client {
   bool Feedback(uint64_t request_id, float label, bool* matched,
                 std::string* error);
 
+  // Writes one rank frame (pipelined form; the status-2 response carries
+  // scores index-aligned with `candidates` plus the best-first listing).
+  bool SendRank(uint64_t request_id, const data::Sample& user,
+                const std::vector<int64_t>& candidates, uint32_t top_k,
+                std::string* error);
+
+  // SendRank + Receive for the single-request case. `top` receives indices
+  // into `candidates`, best first. False (with *error) when the server has
+  // ranking disabled or answered with a non-rank frame.
+  bool Rank(const data::Sample& user, const std::vector<int64_t>& candidates,
+            uint32_t top_k, std::vector<float>* scores,
+            std::vector<uint32_t>* top, std::string* error);
+
  private:
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
@@ -92,6 +105,14 @@ class HttpClient {
   bool Score(const data::Sample& sample, int* status_code, float* score,
              std::string* body, std::string* error,
              uint64_t* request_id = nullptr);
+
+  // POST /rank. Same status-code convention as Score(); on 200, `scores`
+  // is index-aligned with `candidates` and `top` holds best-first indices
+  // into it.
+  bool Rank(const data::Sample& user, const std::vector<int64_t>& candidates,
+            int64_t top_k, int* status_code, std::vector<float>* scores,
+            std::vector<uint32_t>* top, std::string* body, std::string* error,
+            uint64_t* request_id = nullptr);
 
   // GET `path` (e.g. "/healthz").
   bool Get(const std::string& path, int* status_code, std::string* body,

@@ -255,6 +255,66 @@ bool ParseScoreRequestJson(const std::string& body,
   return true;
 }
 
+bool ParseRankRequestJson(const std::string& body,
+                          const data::DatasetSchema& schema, data::Sample* user,
+                          std::vector<int64_t>* candidates, int64_t* top_k,
+                          std::string* error) {
+  // The user fields share the /score body shape; extra keys are ignored by
+  // ParseScoreRequestJson, so it handles the cat/seq half verbatim.
+  if (!ParseScoreRequestJson(body, schema, user, error)) return false;
+  obs::JsonValue root;
+  if (!obs::JsonParse(body, &root) || !root.IsObject()) {
+    *error = "body is not a JSON object";
+    return false;
+  }
+  const obs::JsonValue* cands = root.Find("candidates");
+  if (cands == nullptr || !cands->IsArray()) {
+    *error = "missing \"candidates\" array";
+    return false;
+  }
+  candidates->clear();
+  candidates->reserve(cands->array.size());
+  for (const obs::JsonValue& v : cands->array) {
+    if (!v.IsNumber()) {
+      *error = "\"candidates\" entries must be integers";
+      return false;
+    }
+    candidates->push_back(static_cast<int64_t>(v.number));
+  }
+  *top_k = 0;
+  if (const obs::JsonValue* tk = root.Find("top_k")) {
+    if (!tk->IsNumber() || tk->number < 0) {
+      *error = "\"top_k\" must be a non-negative integer";
+      return false;
+    }
+    *top_k = static_cast<int64_t>(tk->number);
+  }
+  return ValidateRankRequest(*user, *candidates, schema, error);
+}
+
+std::string RankRequestJson(const data::Sample& user,
+                            const std::vector<int64_t>& candidates,
+                            int64_t top_k) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("cat").BeginArray();
+  for (int64_t id : user.cat) w.Int(id);
+  w.EndArray();
+  w.Key("seq").BeginArray();
+  for (const auto& row : user.seq) {
+    w.BeginArray();
+    for (int64_t id : row) w.Int(id);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("candidates").BeginArray();
+  for (int64_t id : candidates) w.Int(id);
+  w.EndArray();
+  w.Key("top_k").Int(top_k);
+  w.EndObject();
+  return w.str();
+}
+
 std::string ScoreRequestJson(const data::Sample& sample) {
   obs::JsonWriter w;
   w.BeginObject();

@@ -5,6 +5,8 @@
 // by HTTP/1.1 default, and response assembly. The server mounts
 //
 //   POST /score     {"cat":[...],"seq":[[...],...]} -> {"score":p}
+//   POST /rank      score body + "candidates":[...] (+ optional "top_k")
+//                   -> {"scores":[...],"top":[{index,candidate,score},...]}
 //   GET  /healthz   serving status + the serve/* metrics
 //   GET  /metricz   the full obs::MetricsRegistry snapshot as JSON
 //
@@ -63,6 +65,20 @@ bool ParseScoreRequestJson(const std::string& body,
 
 // The inverse, for clients and the demo-bundle sample file.
 std::string ScoreRequestJson(const data::Sample& sample);
+
+// JSON body of POST /rank: the /score user fields plus a "candidates" id
+// array and an optional "top_k" number (default 0 = order every candidate).
+// Validated via ValidateRankRequest (user sample, candidate-field presence,
+// candidate id ranges). False sets `*error`.
+bool ParseRankRequestJson(const std::string& body,
+                          const data::DatasetSchema& schema, data::Sample* user,
+                          std::vector<int64_t>* candidates, int64_t* top_k,
+                          std::string* error);
+
+// The inverse, for clients and curl walkthroughs.
+std::string RankRequestJson(const data::Sample& user,
+                            const std::vector<int64_t>& candidates,
+                            int64_t top_k);
 
 }  // namespace miss::net
 

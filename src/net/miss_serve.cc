@@ -4,11 +4,12 @@
 //              [--port-file <path>] [--workers N] [--nn-threads N]
 //              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
 //              [--slow-ms N] [--slow-log <path>] [--model-health]
+//              [--rank-workers N] [--rank-chunk N] [--max-frame-bytes N]
 //
-// Loads a serve::SaveBundle directory, stands up a serve::Engine over it,
-// and serves the binary protocol plus HTTP (POST /score, POST /feedback,
-// GET /healthz, GET /metricz[?format=prom], GET /statusz, GET /modelz) on
-// one listener. --slow-ms turns on the slow-request log (requests over the
+// Loads a serve::SaveBundle directory, stands up a serve::Engine plus a
+// rank::RankEngine over it, and serves the binary protocol plus HTTP
+// (POST /score, POST /rank, POST /feedback, GET /healthz,
+// GET /metricz[?format=prom], GET /statusz, GET /modelz) on one listener. --slow-ms turns on the slow-request log (requests over the
 // threshold appear in /statusz's ring and, with --slow-log, as JSONL lines)
 // and forces telemetry on. --model-health attaches a
 // serve::ModelHealthMonitor (drift vs. the bundle's training baseline,
@@ -41,7 +42,9 @@
 #include "obs/trace.h"
 #include "models/model_factory.h"
 #include "net/http.h"
+#include "net/protocol.h"
 #include "net/server.h"
+#include "rank/rank_engine.h"
 #include "serve/bundle.h"
 #include "serve/engine.h"
 #include "serve/health.h"
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
   miss::net::ServerConfig server_config;
   server_config.port = 8080;
   miss::serve::EngineConfig engine_config;
+  miss::rank::RankEngineConfig rank_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,6 +132,13 @@ int main(int argc, char** argv) {
       server_config.slow_log_path = next("--slow-log");
     } else if (arg == "--model-health") {
       model_health = true;
+    } else if (arg == "--rank-workers") {
+      rank_config.num_workers = std::atoi(next("--rank-workers"));
+    } else if (arg == "--rank-chunk") {
+      rank_config.max_chunk = std::atoll(next("--rank-chunk"));
+    } else if (arg == "--max-frame-bytes") {
+      miss::net::SetMaxFrameBytes(static_cast<uint32_t>(
+          std::atoll(next("--max-frame-bytes"))));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
@@ -135,6 +146,8 @@ int main(int argc, char** argv) {
           "                  [--max-batch N] [--max-delay-us N]\n"
           "                  [--drain-timeout-ms N] [--slow-ms N]\n"
           "                  [--slow-log F] [--model-health]\n"
+          "                  [--rank-workers N] [--rank-chunk N]\n"
+          "                  [--max-frame-bytes N]\n"
           "       miss_serve --export-demo-bundle <dir>\n");
       return 0;
     } else {
@@ -183,6 +196,22 @@ int main(int argc, char** argv) {
   }
 
   miss::serve::Engine engine(*bundle.model, engine_config);
+  // The rank engine shares the model (read-only forwards) and the health
+  // monitor, so drift tracking covers rank traffic too.
+  rank_config.nn_threads = engine_config.nn_threads;
+  rank_config.health = monitor.get();
+  miss::rank::RankEngine rank_engine(*bundle.model, rank_config);
+  server_config.rank = &rank_engine;
+  if (rank_engine.candidate_field() < 0) {
+    MISS_LOG(INFO) << "miss_serve: schema has no candidate field; "
+                      "/rank will answer with errors";
+  } else {
+    MISS_LOG(INFO) << "miss_serve: candidate ranking on ("
+                   << (rank_engine.split_active()
+                           ? "shared user encoding"
+                           : "per-candidate forward fallback")
+                   << ")";
+  }
   miss::net::Server server(engine, bundle.model->schema(), server_config);
   if (!server.Start()) return 1;
 
@@ -211,6 +240,7 @@ int main(int argc, char** argv) {
 
   server.WaitUntilStopped();
   engine.Drain();
+  rank_engine.Drain();
   g_server = nullptr;
 
   const miss::net::ServerStats stats = server.stats();

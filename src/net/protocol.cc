@@ -1,10 +1,15 @@
 #include "net/protocol.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace miss::net {
 
 namespace {
+
+// Process-wide frame cap; relaxed is fine — it is set once at startup and
+// only read afterwards.
+std::atomic<uint32_t> g_max_frame_bytes{kDefaultMaxFrameBytes};
 
 // The wire format is little-endian; x86/ARM64 hosts memcpy verbatim. (A
 // big-endian port would byte-swap here — one chokepoint per direction.)
@@ -25,8 +30,22 @@ T ReadRaw(const char* p) {
 constexpr size_t kRequestHeaderLen = 8 + 4 + 4 + 4;  // after payload_len
 constexpr size_t kFeedbackLen = 8 + 4 + 4;           // id, marker, label
 constexpr size_t kResponseOkLen = 8 + 1 + 4;
+// Rank frame: id, marker, num_cat, num_seq, seq_len before the ids...
+constexpr size_t kRankHeaderLen = 8 + 4 + 4 + 4 + 4;
+// ...plus top_k and K after them.
+constexpr size_t kRankTrailerLen = 4 + 4;
+// Rank response before the scores: id, status, K.
+constexpr size_t kRankResponseHeaderLen = 8 + 1 + 4;
 
 }  // namespace
+
+uint32_t MaxFrameBytes() {
+  return g_max_frame_bytes.load(std::memory_order_relaxed);
+}
+
+void SetMaxFrameBytes(uint32_t limit) {
+  g_max_frame_bytes.store(limit, std::memory_order_relaxed);
+}
 
 void EncodeMagic(std::string* out) { out->append(kBinaryMagic, 4); }
 
@@ -58,6 +77,34 @@ void EncodeFeedback(uint64_t request_id, float label, std::string* out) {
   AppendRaw<float>(label, out);
 }
 
+void EncodeRankRequest(uint64_t request_id, const data::Sample& user,
+                       const std::vector<int64_t>& candidates, uint32_t top_k,
+                       std::string* out) {
+  const uint32_t num_cat = static_cast<uint32_t>(user.cat.size());
+  const uint32_t num_seq = static_cast<uint32_t>(user.seq.size());
+  const uint32_t seq_len =
+      user.seq.empty() ? 0 : static_cast<uint32_t>(user.seq[0].size());
+  const uint32_t k = static_cast<uint32_t>(candidates.size());
+  const uint32_t payload_len = static_cast<uint32_t>(
+      kRankHeaderLen +
+      8 * (num_cat + static_cast<size_t>(num_seq) * seq_len) +
+      kRankTrailerLen + 8 * static_cast<size_t>(k));
+  out->reserve(out->size() + 4 + payload_len);
+  AppendRaw<uint32_t>(payload_len, out);
+  AppendRaw<uint64_t>(request_id, out);
+  AppendRaw<uint32_t>(kRankMarker, out);
+  AppendRaw<uint32_t>(num_cat, out);
+  AppendRaw<uint32_t>(num_seq, out);
+  AppendRaw<uint32_t>(seq_len, out);
+  for (int64_t id : user.cat) AppendRaw<int64_t>(id, out);
+  for (const auto& row : user.seq) {
+    for (int64_t id : row) AppendRaw<int64_t>(id, out);
+  }
+  AppendRaw<uint32_t>(top_k, out);
+  AppendRaw<uint32_t>(k, out);
+  for (int64_t id : candidates) AppendRaw<int64_t>(id, out);
+}
+
 void EncodeResponse(const WireResponse& response, std::string* out) {
   if (response.ok) {
     AppendRaw<uint32_t>(static_cast<uint32_t>(kResponseOkLen), out);
@@ -74,6 +121,23 @@ void EncodeResponse(const WireResponse& response, std::string* out) {
   out->append(message);
 }
 
+void EncodeRankResponse(uint64_t request_id, const std::vector<float>& scores,
+                        const std::vector<uint32_t>& top, std::string* out) {
+  const uint32_t k = static_cast<uint32_t>(scores.size());
+  const uint32_t top_n = static_cast<uint32_t>(top.size());
+  const uint32_t payload_len = static_cast<uint32_t>(
+      kRankResponseHeaderLen + 4 * static_cast<size_t>(k) + 4 +
+      4 * static_cast<size_t>(top_n));
+  out->reserve(out->size() + 4 + payload_len);
+  AppendRaw<uint32_t>(payload_len, out);
+  AppendRaw<uint64_t>(request_id, out);
+  out->push_back(static_cast<char>(2));
+  AppendRaw<uint32_t>(k, out);
+  for (float s : scores) AppendRaw<float>(s, out);
+  AppendRaw<uint32_t>(top_n, out);
+  for (uint32_t i : top) AppendRaw<uint32_t>(i, out);
+}
+
 DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
                            const data::DatasetSchema& schema,
                            WireRequest* out, std::string* error) {
@@ -81,9 +145,10 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
   if (avail < 4) return DecodeStatus::kNeedMoreData;
   const char* p = data + *offset;
   const uint32_t payload_len = ReadRaw<uint32_t>(p);
-  if (payload_len > kMaxFrameBytes) {
+  const uint32_t max_frame = MaxFrameBytes();
+  if (payload_len > max_frame) {
     *error = "frame payload of " + std::to_string(payload_len) +
-             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             " bytes exceeds the " + std::to_string(max_frame) +
              "-byte limit";
     return DecodeStatus::kMalformed;
   }
@@ -111,6 +176,77 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
     out->kind = WireRequest::Kind::kFeedback;
     out->label = ReadRaw<float>(p);
     out->sample = data::Sample();
+    out->candidates.clear();
+    out->top_k = 0;
+    *offset += 4 + payload_len;
+    return DecodeStatus::kOk;
+  }
+
+  if (num_cat == kRankMarker) {
+    if (payload_len < kRankHeaderLen + kRankTrailerLen) {
+      *error = "rank frame payload of " + std::to_string(payload_len) +
+               " bytes is shorter than the rank header";
+      return DecodeStatus::kMalformed;
+    }
+    const uint32_t user_cat = ReadRaw<uint32_t>(p);
+    p += 4;
+    const uint32_t user_seq = ReadRaw<uint32_t>(p);
+    p += 4;
+    const uint32_t seq_len = ReadRaw<uint32_t>(p);
+    p += 4;
+    if (user_cat != static_cast<uint32_t>(schema.num_categorical()) ||
+        user_seq != static_cast<uint32_t>(schema.num_sequential())) {
+      *error = "rank frame field counts (" + std::to_string(user_cat) +
+               " cat, " + std::to_string(user_seq) +
+               ") do not match schema \"" + schema.name + "\" (" +
+               std::to_string(schema.num_categorical()) + " cat, " +
+               std::to_string(schema.num_sequential()) + " seq)";
+      return DecodeStatus::kMalformed;
+    }
+    // payload_len bounds every count below, so no wire-sized allocation can
+    // exceed the frame cap.
+    const uint64_t num_ids =
+        static_cast<uint64_t>(user_cat) +
+        static_cast<uint64_t>(user_seq) * static_cast<uint64_t>(seq_len);
+    const uint64_t ids_end = kRankHeaderLen + 8 * num_ids + kRankTrailerLen;
+    if (static_cast<uint64_t>(payload_len) < ids_end) {
+      *error = "rank frame payload of " + std::to_string(payload_len) +
+               " bytes does not cover its declared user fields";
+      return DecodeStatus::kMalformed;
+    }
+    data::Sample& user = out->sample;
+    user.cat.resize(user_cat);
+    for (uint32_t i = 0; i < user_cat; ++i) {
+      user.cat[i] = ReadRaw<int64_t>(p);
+      p += 8;
+    }
+    user.seq.assign(user_seq, {});
+    for (uint32_t j = 0; j < user_seq; ++j) {
+      user.seq[j].resize(seq_len);
+      for (uint32_t l = 0; l < seq_len; ++l) {
+        user.seq[j][l] = ReadRaw<int64_t>(p);
+        p += 8;
+      }
+    }
+    user.label = 0.0f;
+    out->top_k = ReadRaw<uint32_t>(p);
+    p += 4;
+    const uint32_t k = ReadRaw<uint32_t>(p);
+    p += 4;
+    if (static_cast<uint64_t>(payload_len) !=
+        ids_end + 8 * static_cast<uint64_t>(k)) {
+      *error = "rank frame payload of " + std::to_string(payload_len) +
+               " bytes does not match its declared candidate count " +
+               std::to_string(k);
+      return DecodeStatus::kMalformed;
+    }
+    out->kind = WireRequest::Kind::kRank;
+    out->label = 0.0f;
+    out->candidates.resize(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      out->candidates[i] = ReadRaw<int64_t>(p);
+      p += 8;
+    }
     *offset += 4 + payload_len;
     return DecodeStatus::kOk;
   }
@@ -122,6 +258,8 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
   }
   out->kind = WireRequest::Kind::kScore;
   out->label = 0.0f;
+  out->candidates.clear();
+  out->top_k = 0;
   const uint32_t num_seq = ReadRaw<uint32_t>(p);
   p += 4;
   const uint32_t seq_len = ReadRaw<uint32_t>(p);
@@ -171,9 +309,10 @@ DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
   if (avail < 4) return DecodeStatus::kNeedMoreData;
   const char* p = data + *offset;
   const uint32_t payload_len = ReadRaw<uint32_t>(p);
-  if (payload_len > kMaxFrameBytes) {
+  const uint32_t max_frame = MaxFrameBytes();
+  if (payload_len > max_frame) {
     *error = "response payload of " + std::to_string(payload_len) +
-             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             " bytes exceeds the " + std::to_string(max_frame) +
              "-byte limit";
     return DecodeStatus::kMalformed;
   }
@@ -190,6 +329,9 @@ DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
   p += 8;
   const uint8_t status = static_cast<uint8_t>(*p);
   p += 1;
+  out->rank = false;
+  out->scores.clear();
+  out->top.clear();
   if (status == 0) {
     if (payload_len != kResponseOkLen) {
       *error = "ok response carries " + std::to_string(payload_len) +
@@ -203,6 +345,46 @@ DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
     out->ok = false;
     out->score = 0.0f;
     out->error.assign(p, payload_len - 9);
+  } else if (status == 2) {
+    if (payload_len < kRankResponseHeaderLen + 4) {
+      *error = "rank response payload of " + std::to_string(payload_len) +
+               " bytes is shorter than the rank response header";
+      return DecodeStatus::kMalformed;
+    }
+    const uint32_t k = ReadRaw<uint32_t>(p);
+    p += 4;
+    const uint64_t scores_end =
+        kRankResponseHeaderLen + 4 * static_cast<uint64_t>(k) + 4;
+    if (static_cast<uint64_t>(payload_len) < scores_end) {
+      *error = "rank response payload of " + std::to_string(payload_len) +
+               " bytes does not cover its declared " + std::to_string(k) +
+               " scores";
+      return DecodeStatus::kMalformed;
+    }
+    out->scores.resize(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      out->scores[i] = ReadRaw<float>(p);
+      p += 4;
+    }
+    const uint32_t top_n = ReadRaw<uint32_t>(p);
+    p += 4;
+    if (top_n > k ||
+        static_cast<uint64_t>(payload_len) !=
+            scores_end + 4 * static_cast<uint64_t>(top_n)) {
+      *error = "rank response payload of " + std::to_string(payload_len) +
+               " bytes does not match its declared top-" +
+               std::to_string(top_n) + " listing";
+      return DecodeStatus::kMalformed;
+    }
+    out->top.resize(top_n);
+    for (uint32_t i = 0; i < top_n; ++i) {
+      out->top[i] = ReadRaw<uint32_t>(p);
+      p += 4;
+    }
+    out->ok = true;
+    out->rank = true;
+    out->score = 0.0f;
+    out->error.clear();
   } else {
     *error = "unknown response status " + std::to_string(status);
     return DecodeStatus::kMalformed;
@@ -244,6 +426,29 @@ bool ValidateSample(const data::Sample& sample,
                  std::to_string(vocab) + ")";
         return false;
       }
+    }
+  }
+  return true;
+}
+
+bool ValidateRankRequest(const data::Sample& user,
+                         const std::vector<int64_t>& candidates,
+                         const data::DatasetSchema& schema,
+                         std::string* error) {
+  if (!ValidateSample(user, schema, error)) return false;
+  const int cand_field = schema.CandidateField();
+  if (cand_field < 0) {
+    *error = "schema \"" + schema.name +
+             "\" has no candidate field to rank against";
+    return false;
+  }
+  const int64_t vocab = schema.categorical[cand_field].vocab_size;
+  for (int64_t id : candidates) {
+    if (id < 0 || id >= vocab) {
+      *error = "candidate id " + std::to_string(id) + " outside [0, " +
+               std::to_string(vocab) + ") for field \"" +
+               schema.categorical[cand_field].name + "\"";
+      return false;
     }
   }
   return true;

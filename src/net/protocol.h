@@ -20,22 +20,44 @@
 //                                    schema has 2^32-1 categorical fields)
 //             f32 label              observed outcome, conventionally 0 or 1
 //
+//   rank      u32 payload_len
+//             u64 request_id
+//             u32 0xFFFFFFFE         kRankMarker, where num_cat sits
+//             u32 num_cat            user fields, as in a score request
+//             u32 num_seq
+//             u32 seq_len
+//             i64 cat[num_cat]       candidate-slot value ignored
+//             i64 seq[num_seq * seq_len]
+//             u32 top_k              0 = order every candidate
+//             u32 K
+//             i64 candidate_ids[K]   ids for schema.CandidateField()
+//
 //   response  u32 payload_len
 //             u64 request_id
-//             u8  status             0 = ok, 1 = error
+//             u8  status             0 = ok, 1 = error, 2 = rank ok
 //             f32 score              status 0: sigmoid(logit), verbatim bits
 //                                    (for feedback: 1.0 joined, 0.0 unknown id)
 //             u8  error[]            status 1: message, payload_len-9 bytes
+//
+//   rank resp u32 payload_len        status 2 layout after the u8
+//             u64 request_id
+//             u8  2
+//             u32 K
+//             f32 scores[K]          index-aligned with candidate_ids
+//             u32 top_n
+//             u32 top[top_n]         indices into candidate_ids, best first
 //
 // Responses may arrive in any order; request_id is the correlation key.
 // Feedback frames report a scored request's observed label back to the
 // server's model-health monitor (calibration + online AUC); they share the
 // response format so clients need one decoder.
 // Decoders are incremental (kNeedMoreData) and defensive: payload_len is
-// capped (kMaxFrameBytes), field counts are checked against the schema
-// before any allocation sized from the wire, and id range checks
-// (ValidateSample) run before a sample ever reaches the engine — a
-// malformed frame yields a per-connection error, never a crash.
+// capped (MaxFrameBytes(), runtime-configurable via --max-frame-bytes so
+// K=500-candidate rank frames fit), field counts are checked against the
+// schema before any allocation sized from the wire, and id range checks
+// (ValidateSample / ValidateRankRequest) run before a sample ever reaches
+// an engine — a malformed frame yields a per-connection error, never a
+// crash.
 
 #ifndef MISS_NET_PROTOCOL_H_
 #define MISS_NET_PROTOCOL_H_
@@ -43,6 +65,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "data/schema.h"
@@ -52,27 +75,46 @@ namespace miss::net {
 inline constexpr char kBinaryMagic[4] = {'M', 'I', 'B', '1'};
 inline constexpr size_t kBinaryMagicLen = 4;
 
-// Hard ceiling on payload_len for both directions. Generous: a request for
-// a 7-field schema with a 4096-step history is ~230 KiB.
-inline constexpr uint32_t kMaxFrameBytes = 1 << 20;
+// Default ceiling on payload_len for both directions. Generous: a request
+// for a 7-field schema with a 4096-step history is ~230 KiB, and a K=500
+// rank frame adds ~4 KiB on top.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 4u << 20;
+
+// The process-wide frame cap, kDefaultMaxFrameBytes unless overridden.
+uint32_t MaxFrameBytes();
+// Overrides the cap (miss_serve --max-frame-bytes). Set before serving
+// traffic; decoders read it per frame.
+void SetMaxFrameBytes(uint32_t limit);
 
 // Sentinel in the num_cat position marking a feedback frame.
 inline constexpr uint32_t kFeedbackMarker = 0xFFFFFFFFu;
+// Sentinel in the num_cat position marking a rank frame.
+inline constexpr uint32_t kRankMarker = 0xFFFFFFFEu;
 
 struct WireResponse {
   uint64_t request_id = 0;
   bool ok = false;
   float score = 0.0f;
   std::string error;  // meaningful when !ok
+  // Rank responses (status 2, ok == true): per-candidate scores
+  // index-aligned with the request's candidate array, and best-first
+  // indices into it.
+  bool rank = false;
+  std::vector<float> scores;
+  std::vector<uint32_t> top;
 };
 
-// One decoded client->server frame: a scoring request or a feedback report.
+// One decoded client->server frame: a scoring request, a feedback report,
+// or a rank request.
 struct WireRequest {
-  enum class Kind { kScore, kFeedback };
+  enum class Kind { kScore, kFeedback, kRank };
   Kind kind = Kind::kScore;
   uint64_t request_id = 0;
-  data::Sample sample;  // kind == kScore
+  data::Sample sample;  // kScore / kRank (the user fields)
   float label = 0.0f;   // kind == kFeedback
+  // kind == kRank only.
+  std::vector<int64_t> candidates;
+  uint32_t top_k = 0;
 };
 
 enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
@@ -82,7 +124,13 @@ void EncodeMagic(std::string* out);
 void EncodeRequest(uint64_t request_id, const data::Sample& sample,
                    std::string* out);
 void EncodeFeedback(uint64_t request_id, float label, std::string* out);
+void EncodeRankRequest(uint64_t request_id, const data::Sample& user,
+                       const std::vector<int64_t>& candidates, uint32_t top_k,
+                       std::string* out);
 void EncodeResponse(const WireResponse& response, std::string* out);
+// Status-2 response: `top` holds indices into the request's candidate array.
+void EncodeRankResponse(uint64_t request_id, const std::vector<float>& scores,
+                        const std::vector<uint32_t>& top, std::string* out);
 
 // Incremental decoders over data[*offset..size): on kOk the frame is
 // consumed (*offset advanced); on kNeedMoreData nothing is consumed; on
@@ -100,6 +148,15 @@ DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
 // Shared by the binary and HTTP request paths.
 bool ValidateSample(const data::Sample& sample,
                     const data::DatasetSchema& schema, std::string* error);
+
+// Range-checks a structurally valid rank request: the user sample via
+// ValidateSample, the schema must expose a candidate field, and every
+// candidate id must lie in that field's vocabulary. Shared by the binary
+// and HTTP rank paths.
+bool ValidateRankRequest(const data::Sample& user,
+                         const std::vector<int64_t>& candidates,
+                         const data::DatasetSchema& schema,
+                         std::string* error);
 
 }  // namespace miss::net
 

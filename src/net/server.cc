@@ -21,6 +21,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rank/rank_engine.h"
 #include "serve/health.h"
 
 namespace miss::net {
@@ -57,6 +58,34 @@ std::string FeedbackJson(bool matched) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("matched").Bool(matched);
+  w.EndObject();
+  return w.str();
+}
+
+// POST /rank response: scores index-aligned with the request's candidate
+// array, plus the best-first top listing with candidate ids resolved.
+std::string RankJson(uint64_t request_id, const std::vector<float>& scores,
+                     const std::vector<uint32_t>& top,
+                     const std::vector<int64_t>& candidates) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("request_id").Int(static_cast<int64_t>(request_id));
+  w.Key("scores").BeginArray();
+  for (float s : scores) w.Number(static_cast<double>(s));
+  w.EndArray();
+  w.Key("top").BeginArray();
+  for (uint32_t index : top) {
+    w.BeginObject();
+    w.Key("index").Int(static_cast<int64_t>(index));
+    if (index < candidates.size()) {
+      w.Key("candidate").Int(candidates[index]);
+    }
+    if (index < scores.size()) {
+      w.Key("score").Number(static_cast<double>(scores[index]));
+    }
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return w.str();
 }
@@ -510,6 +539,30 @@ void Server::ParseBinary(Conn& conn) {
       }
       continue;
     }
+    if (req.kind == WireRequest::Kind::kRank) {
+      WireResponse resp;
+      resp.request_id = req.request_id;
+      if (config_.rank == nullptr) {
+        resp.ok = false;
+        resp.error = "candidate ranking is not enabled";
+        EncodeResponse(resp, &conn.tx);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.responses;
+        continue;
+      }
+      if (!ValidateRankRequest(req.sample, req.candidates, schema_, &error)) {
+        resp.ok = false;
+        resp.error = error;
+        EncodeResponse(resp, &conn.tx);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+        ++stats_.responses;
+        continue;
+      }
+      SubmitRank(conn, req.request_id, /*http=*/false, std::move(req.sample),
+                 std::move(req.candidates), static_cast<int64_t>(req.top_k));
+      continue;
+    }
     if (!ValidateSample(req.sample, schema_, &error)) {
       // The frame itself was well-formed, so framing survives: report the
       // defect against its request id and keep the connection.
@@ -642,6 +695,27 @@ void Server::ParseHttp(Conn& conn) {
         SubmitScore(conn, next_http_request_id_++, /*http=*/true,
                     std::move(sample));
       }
+    } else if (req.method == "POST" && route == "/rank") {
+      data::Sample user;
+      std::vector<int64_t> candidates;
+      int64_t top_k = 0;
+      if (config_.rank == nullptr) {
+        conn.tx += MakeHttpResponse(
+            503, "application/json",
+            ErrorJson("candidate ranking is not enabled"), req.keep_alive);
+      } else if (!ParseRankRequestJson(req.body, schema_, &user, &candidates,
+                                       &top_k, &error)) {
+        conn.tx += MakeHttpResponse(400, "application/json", ErrorJson(error),
+                                    req.keep_alive);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      } else {
+        conn.http_busy = true;
+        conn.http_keep_alive = req.keep_alive;
+        responded = false;
+        SubmitRank(conn, next_http_request_id_++, /*http=*/true,
+                   std::move(user), std::move(candidates), top_k);
+      }
     } else if (req.method != "GET" && req.method != "POST") {
       conn.tx += MakeHttpResponse(405, "application/json",
                                   ErrorJson("method not allowed"),
@@ -649,8 +723,9 @@ void Server::ParseHttp(Conn& conn) {
     } else {
       conn.tx += MakeHttpResponse(
           404, "application/json",
-          ErrorJson("no such endpoint; try POST /score, POST /feedback, "
-                    "GET /healthz, GET /metricz, GET /statusz, GET /modelz"),
+          ErrorJson("no such endpoint; try POST /score, POST /rank, "
+                    "POST /feedback, GET /healthz, GET /metricz, "
+                    "GET /statusz, GET /modelz"),
           req.keep_alive);
     }
     if (responded) {
@@ -713,6 +788,58 @@ void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
       });
 }
 
+void Server::SubmitRank(Conn& conn, uint64_t request_id, bool http,
+                        data::Sample user, std::vector<int64_t> candidates,
+                        int64_t top_k) {
+  ++conn.in_flight;
+  ++conn.requests;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    ++stats_.rank_requests;
+    ++stats_.in_flight;
+  }
+  Completion pending;
+  pending.conn_id = conn.id;
+  pending.request_id = request_id;
+  pending.http = http;
+  pending.rank = true;
+  pending.candidates = candidates;
+  pending.parsed_ns = obs::NowNs();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("net/requests").Add(1);
+    reg.GetSlidingCounter("net/requests").Add(1);
+    pending.trace.trace_id = next_trace_id_++;
+    pending.trace.recv_ns =
+        conn.last_read_ns != 0 ? conn.last_read_ns : pending.parsed_ns;
+    if (obs::TracingActive()) {
+      obs::EmitTraceEvent("net/request", pending.trace.recv_ns,
+                          pending.parsed_ns - pending.trace.recv_ns);
+      obs::EmitFlowStart(pending.trace.trace_id, pending.trace.recv_ns);
+    }
+  }
+  rank::RankRequest request;
+  request.user = std::move(user);
+  request.candidates = std::move(candidates);
+  request.top_k = top_k;
+  std::shared_ptr<CompletionSink> sink = sink_;
+  config_.rank->SubmitTraced(
+      std::move(request), pending.trace,
+      [sink, pending](rank::RankResult result, bool ok,
+                      const serve::RequestTrace& trace) {
+        Completion done = pending;
+        done.ok = ok;
+        done.scores = std::move(result.scores);
+        done.top.reserve(result.top.size());
+        for (int32_t index : result.top) {
+          done.top.push_back(static_cast<uint32_t>(index));
+        }
+        done.trace = trace;
+        sink->Push(done);
+      });
+}
+
 void Server::ProcessCompletions() {
   std::vector<Completion> items;
   {
@@ -739,7 +866,9 @@ void Server::ProcessCompletions() {
     }
     // Remember the served score so later feedback can be joined to it —
     // including for clients whose connection died before the reply landed.
-    if (c.ok && config_.health != nullptr && obs::Enabled()) {
+    // Rank scores are not remembered: one request id covers K candidates,
+    // so a scalar feedback label has no single score to join against.
+    if (c.ok && !c.rank && config_.health != nullptr && obs::Enabled()) {
       config_.health->RememberScore(c.request_id, c.score);
     }
     auto it = conns_.find(c.conn_id);
@@ -748,14 +877,21 @@ void Server::ProcessCompletions() {
     --conn.in_flight;
     if (c.http) {
       const bool keep = conn.http_keep_alive && c.ok;
-      conn.tx += c.ok ? MakeHttpResponse(200, "application/json",
-                                         ScoreJson(c.score, c.request_id),
-                                         keep)
-                      : MakeHttpResponse(503, "application/json",
-                                         ErrorJson("engine is draining"),
-                                         false);
+      if (!c.ok) {
+        conn.tx += MakeHttpResponse(503, "application/json",
+                                    ErrorJson("engine is draining"), false);
+      } else if (c.rank) {
+        conn.tx += MakeHttpResponse(
+            200, "application/json",
+            RankJson(c.request_id, c.scores, c.top, c.candidates), keep);
+      } else {
+        conn.tx += MakeHttpResponse(200, "application/json",
+                                    ScoreJson(c.score, c.request_id), keep);
+      }
       conn.http_busy = false;
       if (!keep) conn.close_after_flush = true;
+    } else if (c.rank && c.ok) {
+      EncodeRankResponse(c.request_id, c.scores, c.top, &conn.tx);
     } else {
       WireResponse resp;
       resp.request_id = c.request_id;
@@ -980,9 +1116,32 @@ std::string Server::StatuszJson() const {
   w.Key("requests_total").Int(s.requests);
   w.Key("engine_queue_depth").Int(engine_.QueueDepth());
   w.Key("telemetry_enabled").Bool(obs::Enabled());
+  obs::RegistrySnapshot snap;
+  if (obs::Enabled()) snap = obs::MetricsRegistry::Global().SnapshotAll();
+  w.Key("rank").BeginObject();
+  w.Key("enabled").Bool(config_.rank != nullptr);
+  if (config_.rank != nullptr) {
+    w.Key("requests_total").Int(s.rank_requests);
+    w.Key("split_active").Bool(config_.rank->split_active());
+    w.Key("queue_depth").Int(config_.rank->QueueDepth());
+    if (obs::Enabled()) {
+      w.Key("qps_window").Number(snap.RateOr("rank/requests", 0.0));
+      w.Key("candidates_per_sec_window")
+          .Number(snap.RateOr("rank/candidates", 0.0));
+      if (const obs::WindowSnapshot* win = snap.FindWindow("rank/latency_ms")) {
+        w.Key("latency_ms_window").BeginObject();
+        w.Key("count").Int(win->count);
+        w.Key("mean").Number(win->mean);
+        w.Key("p50").Number(win->p50);
+        w.Key("p95").Number(win->p95);
+        w.Key("p99").Number(win->p99);
+        w.Key("window_seconds").Number(win->window_seconds);
+        w.EndObject();
+      }
+    }
+  }
+  w.EndObject();
   if (obs::Enabled()) {
-    const obs::RegistrySnapshot snap =
-        obs::MetricsRegistry::Global().SnapshotAll();
     w.Key("qps_window").Number(snap.RateOr("net/requests", 0.0));
     // The rolling-window stage breakdown — what the last minute looked
     // like, not the process lifetime (that lives in /metricz).

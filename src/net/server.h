@@ -8,9 +8,10 @@
 //
 //   * the length-prefixed binary protocol (net/protocol.h) — pipelined
 //     requests, out-of-order responses correlated by request id;
-//   * HTTP/1.1 (net/http.h) — POST /score, POST /feedback, GET /healthz,
-//     GET /metricz (?format=prom for Prometheus text), GET /statusz,
-//     GET /modelz, keep-alive, one request in flight per connection.
+//   * HTTP/1.1 (net/http.h) — POST /score, POST /rank, POST /feedback,
+//     GET /healthz, GET /metricz (?format=prom for Prometheus text),
+//     GET /statusz, GET /modelz, keep-alive, one request in flight per
+//     connection.
 //
 // Malformed input of either kind produces a per-connection error (an error
 // frame or a 4xx) and at worst closes that connection — never the server.
@@ -41,6 +42,12 @@
 // can be joined to the score the client saw; GET /modelz serves the
 // monitor's drift/calibration report. HTTP /score responses carry a
 // server-assigned "request_id" for exactly this feedback loop.
+//
+// Candidate ranking (ServerConfig::rank, optional): rank frames and
+// POST /rank route to a rank::RankEngine, which scores one user against a
+// candidate list sharing the user encoding where the model supports it.
+// Null serves an error frame / 503 on rank requests; /statusz reports the
+// rank queue, split status, and windowed rank latency.
 
 #ifndef MISS_NET_SERVER_H_
 #define MISS_NET_SERVER_H_
@@ -57,6 +64,10 @@
 
 #include "data/schema.h"
 #include "serve/engine.h"
+
+namespace miss::rank {
+class RankEngine;
+}  // namespace miss::rank
 
 namespace miss::net {
 
@@ -81,6 +92,10 @@ struct ServerConfig {
   // the same one the engine records into). Enables /modelz and /feedback;
   // null serves 503 on both.
   serve::ModelHealthMonitor* health = nullptr;
+  // Optional rank engine (must outlive the server, built over the same
+  // model as `engine`). Enables rank frames and POST /rank; null answers
+  // rank requests with an error frame / 503.
+  rank::RankEngine* rank = nullptr;
 };
 
 // Monotonic totals since Start(). Plain counters (always on, unlike the
@@ -94,6 +109,7 @@ struct ServerStats {
   int64_t in_flight = 0;        // submitted to the engine, not yet answered
   int64_t bytes_rx = 0;
   int64_t bytes_tx = 0;
+  int64_t rank_requests = 0;  // of `requests`, how many were rank requests
 };
 
 class Server {
@@ -135,6 +151,12 @@ class Server {
     bool http = false;
     bool ok = false;
     float score = 0.0f;
+    // Rank completions: per-candidate scores, best-first indices, and the
+    // candidate ids echoed back so the HTTP body can pair index with id.
+    bool rank = false;
+    std::vector<float> scores;
+    std::vector<uint32_t> top;
+    std::vector<int64_t> candidates;
     int64_t parsed_ns = 0;  // request-parse time, for net/request_latency_ms
     // Stage timestamps; trace_id == 0 when telemetry was off at submit.
     serve::RequestTrace trace;
@@ -161,6 +183,9 @@ class Server {
   void ParseHttp(Conn& conn);
   void SubmitScore(Conn& conn, uint64_t request_id, bool http,
                    data::Sample sample);
+  void SubmitRank(Conn& conn, uint64_t request_id, bool http,
+                  data::Sample user, std::vector<int64_t> candidates,
+                  int64_t top_k);
   void ProcessCompletions();
   void RecordStages(const Completion& c, int64_t reply_ns);
   bool FlushWrites(Conn& conn);  // false when the conn died

@@ -1,0 +1,266 @@
+#include "rank/rank_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/top_k.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/health.h"
+
+namespace miss::rank {
+
+RankEngine::RankEngine(models::CtrModel& model, const RankEngineConfig& config)
+    : model_(model),
+      config_(config),
+      cand_field_(model.schema().CandidateField()),
+      split_active_(cand_field_ >= 0 && model.SupportsRankSplit()) {
+  MISS_CHECK_GT(config_.num_workers, 0);
+  MISS_CHECK_GT(config_.max_chunk, 0);
+  MISS_CHECK_GT(config_.nn_threads, 0);
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this, i] {
+      obs::SetCurrentThreadName("rank-worker-" + std::to_string(i));
+      common::ScopedIntraOpThreads intra_op(config_.nn_threads);
+      WorkerLoop();
+    });
+  }
+}
+
+RankEngine::~RankEngine() { StopAndJoin(/*flush=*/false); }
+
+void RankEngine::Fail(Request& req, const char* what) {
+  if (req.callback) {
+    req.callback(RankResult{}, /*ok=*/false, req.trace);
+    return;
+  }
+  req.promise.set_exception(
+      std::make_exception_ptr(std::runtime_error(what)));
+}
+
+std::future<RankResult> RankEngine::Submit(RankRequest request) {
+  Request req;
+  req.request = std::move(request);
+  req.enqueue_ns = obs::NowNs();
+  std::future<RankResult> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && cand_field_ >= 0) {
+      queue_.push_back(std::move(req));
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("rank/queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
+      cv_.notify_one();
+      return future;
+    }
+  }
+  std::promise<RankResult> failed;
+  failed.set_exception(std::make_exception_ptr(std::runtime_error(
+      cand_field_ < 0 ? "rank::RankEngine: schema has no candidate field"
+                      : "rank::RankEngine::Submit after Drain")));
+  return failed.get_future();
+}
+
+void RankEngine::SubmitTraced(RankRequest request, serve::RequestTrace trace,
+                              RankCallback callback) {
+  MISS_CHECK(callback != nullptr);
+  Request req;
+  req.request = std::move(request);
+  req.callback = std::move(callback);
+  req.trace = trace;
+  req.enqueue_ns = obs::NowNs();
+  if (req.trace.trace_id != 0) req.trace.enqueue_ns = req.enqueue_ns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && cand_field_ >= 0) {
+      queue_.push_back(std::move(req));
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("rank/queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
+      cv_.notify_one();
+      return;
+    }
+  }
+  req.callback(RankResult{}, /*ok=*/false, req.trace);
+}
+
+void RankEngine::Drain() { StopAndJoin(/*flush=*/true); }
+
+bool RankEngine::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+void RankEngine::StopAndJoin(bool flush) {
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      flush_on_stop_ = flush;
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    if (obs::Enabled() && !leftover.empty()) {
+      obs::MetricsRegistry::Global().GetGauge("rank/queue_depth").Set(0.0);
+    }
+  }
+  for (Request& req : leftover) {
+    Fail(req, "rank::RankEngine destroyed with the request still queued");
+  }
+}
+
+int64_t RankEngine::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void RankEngine::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && !flush_on_stop_) return;
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("rank/queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
+    }
+    Process(std::move(req));
+  }
+}
+
+void RankEngine::Process(Request req) {
+  MISS_TRACE_SCOPE("rank/score_request");
+  const bool enabled = obs::Enabled();
+  // The request leaves the queue whole — dequeue is the rank analogue of the
+  // score path's batch close, keeping /statusz stage attribution comparable.
+  if (enabled && req.trace.trace_id != 0) {
+    req.trace.batch_close_ns = obs::NowNs();
+  }
+
+  RankResult result = ScoreRequest(req.request);
+  const int64_t k = static_cast<int64_t>(req.request.candidates.size());
+
+  const int64_t forward_done_ns = enabled ? obs::NowNs() : 0;
+  if (enabled && req.trace.trace_id != 0) {
+    req.trace.forward_done_ns = forward_done_ns;
+    if (obs::TracingActive()) {
+      obs::EmitFlowFinish(req.trace.trace_id, forward_done_ns);
+    }
+  }
+
+  if (req.callback) {
+    req.callback(std::move(result), /*ok=*/true, req.trace);
+  } else {
+    req.promise.set_value(std::move(result));
+  }
+
+  if (enabled) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("rank/requests").Add(1);
+    reg.GetSlidingCounter("rank/requests").Add(1);
+    reg.GetCounter("rank/candidates").Add(k);
+    reg.GetSlidingCounter("rank/candidates").Add(k);
+    reg.GetHistogram("rank/batch_k").Record(static_cast<double>(k));
+    const double latency_ms =
+        static_cast<double>(obs::NowNs() - req.enqueue_ns) / 1e6;
+    reg.GetHistogram("rank/latency_ms").Record(latency_ms);
+    reg.GetSlidingHistogram("rank/latency_ms").Record(latency_ms);
+  }
+}
+
+RankResult RankEngine::ScoreRequest(const RankRequest& request) {
+  RankResult out;
+  const int64_t total = static_cast<int64_t>(request.candidates.size());
+  out.scores.resize(static_cast<size_t>(total));
+  if (total > 0) {
+    // MakeBatch wants (dataset, indices); stage the user sample exactly as
+    // serve::Engine does so history truncation/padding match the score path.
+    data::Dataset staging;
+    staging.schema = model_.schema();
+    staging.samples.push_back(request.user);
+    const data::Batch user_batch = data::MakeBatch(staging, {0});
+
+    nn::InferenceScope inference;
+    std::unique_ptr<models::RankContext> context;
+    if (split_active_) context = model_.EncodeUser(user_batch);
+
+    const bool record_health = obs::Enabled() && config_.health != nullptr;
+    for (int64_t begin = 0; begin < total; begin += config_.max_chunk) {
+      const int64_t m = std::min(config_.max_chunk, total - begin);
+      const std::vector<int64_t> chunk(
+          request.candidates.begin() + begin,
+          request.candidates.begin() + begin + m);
+
+      nn::Tensor logits;
+      std::vector<data::Sample> pair_samples;  // fallback batch / health rows
+      if (!split_active_ || record_health) {
+        pair_samples.reserve(static_cast<size_t>(m));
+        for (int64_t i = 0; i < m; ++i) {
+          data::Sample s = request.user;
+          s.cat[cand_field_] = chunk[static_cast<size_t>(i)];
+          pair_samples.push_back(std::move(s));
+        }
+      }
+      if (split_active_) {
+        logits = model_.ScoreCandidates(*context, chunk);
+      } else {
+        // Generic fallback: one batched forward over the substituted pairs.
+        data::Dataset pairs;
+        pairs.schema = model_.schema();
+        pairs.samples = std::move(pair_samples);
+        std::vector<int64_t> indices(static_cast<size_t>(m));
+        for (int64_t i = 0; i < m; ++i) indices[static_cast<size_t>(i)] = i;
+        logits = model_.Forward(data::MakeBatch(pairs, indices),
+                                /*training=*/false);
+        pair_samples = std::move(pairs.samples);  // still wanted for health
+      }
+
+      std::vector<float> chunk_scores;
+      if (record_health) chunk_scores.resize(static_cast<size_t>(m));
+      for (int64_t i = 0; i < m; ++i) {
+        const float score = 1.0f / (1.0f + std::exp(-logits.at(i)));
+        out.scores[static_cast<size_t>(begin + i)] = score;
+        if (record_health) chunk_scores[static_cast<size_t>(i)] = score;
+      }
+      if (record_health) {
+        config_.health->RecordBatch(pair_samples, chunk_scores);
+      }
+    }
+  }
+
+  const int64_t k =
+      request.top_k <= 0 ? total : std::min(request.top_k, total);
+  out.top = common::TopKIndices(out.scores, k);
+  return out;
+}
+
+}  // namespace miss::rank

@@ -1,0 +1,157 @@
+// Candidate-ranking engine: one user context scored against K candidates.
+//
+// A rank request carries one user sample, K candidate ids for the schema's
+// candidate field (data::DatasetSchema::CandidateField()), and a top_k output
+// size. Workers drain a queue of whole requests — the candidate axis IS the
+// micro-batch, so there is no cross-request coalescing — and score each
+// request under nn::InferenceScope in candidate chunks of max_chunk rows.
+//
+// For models implementing the two-tower split (CtrModel::SupportsRankSplit)
+// the worker runs EncodeUser once and ScoreCandidates per chunk, sharing the
+// behavior-sequence encoding across all K candidates. Other models fall back
+// to batched per-candidate Forward() calls: K copies of the user sample with
+// the candidate slot substituted. Both paths are bitwise-equal to scoring
+// each (user, candidate) pair individually through serve::Engine — every
+// factory op is row-wise over the batch axis and the split contract
+// (ctr_model.h) forbids arithmetic broadcasts — which tests/rank_test.cc
+// gates for every factory model.
+//
+// Results carry sigmoid probabilities index-aligned with the request's
+// candidate array plus a top-K listing (common::TopKIndices: best first,
+// ties to the smaller index; top_k == 0 orders every candidate).
+//
+// Lifecycle matches serve::Engine: Drain() stops intake, scores the queue,
+// and joins; the destructor stops fast and fails queued requests.
+//
+// Telemetry (behind obs::Enabled()), windowed per the serving convention:
+// counters rank/requests and rank/candidates (lifetime + sliding), histogram
+// rank/latency_ms (lifetime + sliding), histogram rank/batch_k, gauge
+// rank/queue_depth. SubmitTraced stamps the shared RequestTrace stages
+// (batch_close_ns = request dequeued, forward_done_ns = all chunks scored)
+// so /statusz stage attribution works unchanged for rank traffic.
+
+#ifndef MISS_RANK_RANK_ENGINE_H_
+#define MISS_RANK_RANK_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/ctr_model.h"
+#include "serve/engine.h"
+
+namespace miss::serve {
+class ModelHealthMonitor;
+}
+
+namespace miss::rank {
+
+struct RankRequest {
+  // User fields; the candidate slot's incoming value is ignored (overwritten
+  // per candidate). Must be valid against the model schema — the net layer
+  // validates with net::ValidateRankRequest before submitting.
+  data::Sample user;
+  std::vector<int64_t> candidates;
+  // Output listing size; 0 returns a full ordering of all K candidates.
+  // Values above K are clamped.
+  int64_t top_k = 0;
+};
+
+struct RankResult {
+  // scores[i] = sigmoid(logit) of candidates[i], index-aligned with the
+  // request; duplicate candidate ids score independently (and identically).
+  std::vector<float> scores;
+  // Indices into `candidates`, best first; ties to the smaller index.
+  std::vector<int32_t> top;
+};
+
+struct RankEngineConfig {
+  // Worker threads, each processing whole rank requests.
+  int num_workers = 1;
+  // Candidate rows per forward pass. Bounds peak activation memory at large
+  // K; chunking cannot change score bits (row-wise ops).
+  int64_t max_chunk = 256;
+  // Intra-op threads per worker forward (common::ScopedIntraOpThreads).
+  int nn_threads = 1;
+  // Optional model-health monitor (must outlive the engine): every scored
+  // candidate is recorded as a (user, candidate) sample so score-PSI and
+  // per-feature OOV tracking stay meaningful when traffic is rank-shaped.
+  // Null disables recording.
+  serve::ModelHealthMonitor* health = nullptr;
+};
+
+class RankEngine {
+ public:
+  // Invoked exactly once per SubmitTraced call: on a worker thread with
+  // ok == true, or with ok == false when the engine is draining/destroyed —
+  // possibly inline from SubmitTraced itself.
+  using RankCallback = std::function<void(RankResult result, bool ok,
+                                          const serve::RequestTrace& trace)>;
+
+  // `model` must outlive the engine; shared unlocked by all workers (same
+  // read-only Forward contract as serve::Engine).
+  explicit RankEngine(models::CtrModel& model,
+                      const RankEngineConfig& config = {});
+  ~RankEngine();
+
+  RankEngine(const RankEngine&) = delete;
+  RankEngine& operator=(const RankEngine&) = delete;
+
+  // Enqueues one rank request. After Drain() the future holds a
+  // std::runtime_error.
+  std::future<RankResult> Submit(RankRequest request);
+
+  // Callback form carrying a RequestTrace (the net::Server path).
+  void SubmitTraced(RankRequest request, serve::RequestTrace trace,
+                    RankCallback callback);
+
+  // Stops intake, scores every queued request, then joins the workers.
+  void Drain();
+
+  bool draining() const;
+  int64_t QueueDepth() const;
+
+  // True when the model serves rank requests through the EncodeUser /
+  // ScoreCandidates split rather than the per-candidate Forward fallback.
+  bool split_active() const { return split_active_; }
+  int candidate_field() const { return cand_field_; }
+
+ private:
+  struct Request {
+    RankRequest request;
+    std::promise<RankResult> promise;
+    RankCallback callback;  // when set, used instead of the promise
+    serve::RequestTrace trace;
+    int64_t enqueue_ns = 0;
+  };
+
+  void StopAndJoin(bool flush);
+  static void Fail(Request& req, const char* what);
+  void WorkerLoop();
+  void Process(Request req);
+  RankResult ScoreRequest(const RankRequest& request);
+
+  models::CtrModel& model_;
+  const RankEngineConfig config_;
+  const int cand_field_;
+  const bool split_active_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool flush_on_stop_ = true;
+
+  std::mutex join_mu_;  // serializes concurrent StopAndJoin callers
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace miss::rank
+
+#endif  // MISS_RANK_RANK_ENGINE_H_

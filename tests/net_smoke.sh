@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for miss_serve: demo bundle -> boot with telemetry,
-# request tracing, and model health on -> curl /healthz + /score + /feedback
-# + /modelz + /statusz + /metricz?format=prom -> SIGTERM must exit 0
+# request tracing, and model health on -> curl /healthz + /score + /rank
+# + /feedback + /modelz + /statusz + /metricz?format=prom -> SIGTERM must
+# exit 0
 # (graceful drain) and leave a valid Chrome trace file behind.
 set -euo pipefail
 
@@ -44,6 +45,33 @@ echo "$SCORE" | grep -q '"score":' \
 BAD="$(curl -s -X POST "http://127.0.0.1:$PORT/score" -d '{"oops":1}')"
 echo "$BAD" | grep -q '"error":' \
   || { echo "FAIL: malformed /score did not return an error body" >&2; exit 1; }
+
+# Candidate ranking: the same user features plus a candidate list must come
+# back as K scores and a descending top-N. sample.json is a /score body, so
+# splicing "candidates"/"top_k" into it makes a /rank body.
+RANK_BODY="$(sed 's/^{/{"candidates":[1,2,3,5,8],"top_k":3,/' "$WORK/bundle/sample.json")"
+RANK="$(curl -sf -X POST "http://127.0.0.1:$PORT/rank" \
+             -H 'Content-Type: application/json' --data "$RANK_BODY")"
+echo "rank: $RANK"
+echo "$RANK" | grep -q '"scores":' \
+  || { echo "FAIL: /rank did not return scores" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PYEOF \
+    || { echo "FAIL: /rank response is not the expected JSON document" >&2; exit 1; }
+import json
+doc = json.loads('''$RANK''')
+assert len(doc["scores"]) == 5, doc
+assert all(0.0 <= s <= 1.0 for s in doc["scores"]), doc
+top = doc["top"]
+assert len(top) == 3, doc
+for entry in top:
+    assert 0 <= entry["index"] < 5, entry
+    assert entry["score"] == doc["scores"][entry["index"]], entry
+scores = [e["score"] for e in top]
+assert scores == sorted(scores, reverse=True), scores
+PYEOF
+  echo "PASS: /rank JSON validates (5 scores, descending top-3)"
+fi
 
 # The feedback loop: /score echoes a server-assigned request id, posting a
 # label for it must join ("matched":true) and surface in /modelz.
@@ -91,6 +119,8 @@ echo "$STATUSZ" | grep -q '"qps_window"' \
   || { echo "FAIL: /statusz is missing the rolling qps window" >&2; exit 1; }
 echo "$STATUSZ" | grep -q '"serve/stage/total_ms"' \
   || { echo "FAIL: /statusz is missing the stage breakdown" >&2; exit 1; }
+echo "$STATUSZ" | grep -q '"rank":{"enabled":true' \
+  || { echo "FAIL: /statusz is missing the rank subsystem block" >&2; exit 1; }
 
 PROM="$(curl -sf "http://127.0.0.1:$PORT/metricz?format=prom")"
 echo "$PROM" | grep -q '^# TYPE miss_net_requests_total counter' \

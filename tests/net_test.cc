@@ -31,6 +31,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rank/rank_engine.h"
 #include "serve/engine.h"
 #include "serve/health.h"
 
@@ -152,6 +153,101 @@ TEST(NetProtocolTest, ResponseRoundTrip) {
   EXPECT_EQ(offset, wire.size());
 }
 
+TEST(NetProtocolTest, RankFrameRoundTrip) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  const data::DatasetSchema& schema = bundle.test.schema;
+  const data::Sample& user = bundle.test.samples[0];
+  const std::vector<int64_t> candidates = {4, 9, 4, 0};
+
+  std::string wire;
+  net::EncodeRankRequest(88, user, candidates, 3, &wire);
+
+  net::WireRequest decoded;
+  std::string error;
+  size_t offset = 0;
+  ASSERT_EQ(net::DecodeRequest(wire.data(), wire.size(), &offset, schema,
+                               &decoded, &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(decoded.kind, net::WireRequest::Kind::kRank);
+  EXPECT_EQ(decoded.request_id, 88u);
+  EXPECT_EQ(decoded.sample.cat, user.cat);
+  EXPECT_EQ(decoded.sample.seq, user.seq);
+  EXPECT_EQ(decoded.candidates, candidates);
+  EXPECT_EQ(decoded.top_k, 3u);
+
+  // Truncated rank frames want more data, never a partial parse.
+  for (size_t cut : {size_t{12}, size_t{24}, wire.size() - 1}) {
+    size_t cut_offset = 0;
+    EXPECT_EQ(net::DecodeRequest(wire.data(), cut, &cut_offset, schema,
+                                 &decoded, &error),
+              net::DecodeStatus::kNeedMoreData)
+        << "cut at " << cut;
+    EXPECT_EQ(cut_offset, 0u);
+  }
+}
+
+TEST(NetProtocolTest, RankResponseRoundTrip) {
+  std::string wire;
+  const std::vector<float> scores = {0.25f, 0.75f, 0.5f};
+  const std::vector<uint32_t> top = {1, 2};
+  net::EncodeRankResponse(6, scores, top, &wire);
+
+  size_t offset = 0;
+  std::string error;
+  net::WireResponse out;
+  ASSERT_EQ(net::DecodeResponse(wire.data(), wire.size(), &offset, &out,
+                                &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.rank);
+  EXPECT_EQ(out.request_id, 6u);
+  EXPECT_EQ(out.scores, scores);
+  EXPECT_EQ(out.top, top);
+
+  // A top index beyond K is malformed, not silently accepted.
+  std::string bad;
+  net::EncodeRankResponse(6, scores, {0, 1, 2, 0}, &bad);
+  offset = 0;
+  EXPECT_EQ(net::DecodeResponse(bad.data(), bad.size(), &offset, &out,
+                                &error),
+            net::DecodeStatus::kMalformed);
+}
+
+TEST(NetHttpTest, RankRequestJsonRoundTrip) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  const data::DatasetSchema& schema = bundle.test.schema;
+  const data::Sample& user = bundle.test.samples[0];
+
+  const std::string body = net::RankRequestJson(user, {1, 2, 3}, 2);
+  data::Sample decoded;
+  std::vector<int64_t> candidates;
+  int64_t top_k = -1;
+  std::string error;
+  ASSERT_TRUE(net::ParseRankRequestJson(body, schema, &decoded, &candidates,
+                                        &top_k, &error))
+      << error;
+  EXPECT_EQ(decoded.cat, user.cat);
+  EXPECT_EQ(decoded.seq, user.seq);
+  EXPECT_EQ(candidates, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(top_k, 2);
+
+  // Candidates out of the candidate field's vocabulary, missing candidates,
+  // and negative top_k are client errors.
+  const std::string no_cands = net::ScoreRequestJson(user);
+  EXPECT_FALSE(net::ParseRankRequestJson(no_cands, schema, &decoded,
+                                         &candidates, &top_k, &error));
+  EXPECT_FALSE(net::ParseRankRequestJson(
+      net::RankRequestJson(user, {1, 1'000'000}, 0), schema, &decoded,
+      &candidates, &top_k, &error));
+  EXPECT_FALSE(net::ParseRankRequestJson(
+      net::RankRequestJson(user, {1}, -2), schema, &decoded, &candidates,
+      &top_k, &error));
+}
+
 TEST(NetProtocolTest, IncompleteFramesWantMoreData) {
   data::DatasetBundle bundle = MakeTinyBundle();
   const data::DatasetSchema& schema = bundle.test.schema;
@@ -185,8 +281,27 @@ TEST(NetProtocolTest, MalformedFramesAreRejected) {
       {"oversized payload_len",
        [&] {
          std::string w = good;
-         const uint32_t huge = net::kMaxFrameBytes + 1;
+         const uint32_t huge = net::MaxFrameBytes() + 1;
          std::memcpy(w.data(), &huge, 4);
+         return w;
+       }},
+      {"oversized rank payload_len",
+       [&] {
+         std::string w;
+         net::EncodeRankRequest(9, bundle.test.samples[0], {1, 2, 3}, 2, &w);
+         const uint32_t huge = net::MaxFrameBytes() + 1;
+         std::memcpy(w.data(), &huge, 4);
+         return w;
+       }},
+      {"rank candidate count beyond payload",
+       [&] {
+         // Declare one more candidate than the frame carries.
+         std::string w;
+         net::EncodeRankRequest(9, bundle.test.samples[0], {1, 2, 3}, 2, &w);
+         uint32_t k = 0;
+         std::memcpy(&k, w.data() + w.size() - 3 * 8 - 4, 4);
+         ++k;
+         std::memcpy(w.data() + w.size() - 3 * 8 - 4, &k, 4);
          return w;
        }},
       {"payload shorter than header",
@@ -398,6 +513,10 @@ class NetServerTest : public ::testing::Test {
       server_config.health = monitor_.get();
     }
     engine_ = std::make_unique<serve::Engine>(*model_, engine_config);
+    rank::RankEngineConfig rank_config;
+    rank_config.health = server_config.health;
+    rank_engine_ = std::make_unique<rank::RankEngine>(*model_, rank_config);
+    server_config.rank = rank_engine_.get();
     server_ = std::make_unique<net::Server>(*engine_, bundle_.test.schema,
                                             server_config);
     ASSERT_TRUE(server_->Start());
@@ -408,6 +527,7 @@ class NetServerTest : public ::testing::Test {
   void TearDown() override {
     if (server_ != nullptr) server_->Stop();
     if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
   }
 
   float DirectScore(const data::Sample& sample) {
@@ -419,6 +539,7 @@ class NetServerTest : public ::testing::Test {
   std::optional<serve::ModelHealthOptions> health_options_;
   std::unique_ptr<serve::ModelHealthMonitor> monitor_;
   std::unique_ptr<serve::Engine> engine_;
+  std::unique_ptr<rank::RankEngine> rank_engine_;
   std::unique_ptr<net::Server> server_;
 };
 
@@ -454,6 +575,88 @@ TEST_F(NetServerTest, HttpScoresMatchEngineBitwise) {
     // guarantees round-trip formatting and float->double is exact).
     EXPECT_EQ(wire_score, DirectScore(sample)) << "sample " << i;
   }
+}
+
+TEST_F(NetServerTest, BinaryRankMatchesSingleScores) {
+  StartServer();
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  const int cand_field = bundle_.test.schema.CandidateField();
+  ASSERT_GE(cand_field, 0);
+  const data::Sample& user = bundle_.test.samples[0];
+  const std::vector<int64_t> candidates = {3, 11, 7, 3, 0};
+
+  std::vector<float> scores;
+  std::vector<uint32_t> top;
+  ASSERT_TRUE(client.Rank(user, candidates, 3, &scores, &top, &error))
+      << error;
+  ASSERT_EQ(scores.size(), candidates.size());
+  ASSERT_EQ(top.size(), 3u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    data::Sample pair = user;
+    pair.cat[cand_field] = candidates[i];
+    EXPECT_EQ(scores[i], DirectScore(pair)) << "candidate " << i;
+  }
+  // Best-first ordering, ties to the smaller index; duplicates score equal.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(scores[top[i - 1]] > scores[top[i]] ||
+                (scores[top[i - 1]] == scores[top[i]] && top[i - 1] < top[i]));
+  }
+  EXPECT_EQ(scores[0], scores[3]);  // duplicate candidate id
+
+  const net::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.rank_requests, 1);
+}
+
+TEST_F(NetServerTest, HttpRankMatchesSingleScoresAndStatusz) {
+  StartServer();
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  const int cand_field = bundle_.test.schema.CandidateField();
+  ASSERT_GE(cand_field, 0);
+  const data::Sample& user = bundle_.test.samples[1];
+  const std::vector<int64_t> candidates = {5, 2, 9};
+
+  int status = 0;
+  std::vector<float> scores;
+  std::vector<uint32_t> top;
+  std::string body;
+  uint64_t request_id = 0;
+  ASSERT_TRUE(client.Rank(user, candidates, 0, &status, &scores, &top, &body,
+                          &error, &request_id))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_GT(request_id, 0u);
+  ASSERT_EQ(scores.size(), candidates.size());
+  ASSERT_EQ(top.size(), candidates.size());  // top_k 0 = full ordering
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    data::Sample pair = user;
+    pair.cat[cand_field] = candidates[i];
+    // float -> JSON double -> float is exact, same as the /score path.
+    EXPECT_EQ(scores[i], DirectScore(pair)) << "candidate " << i;
+  }
+
+  // Bad rank bodies are client errors that keep the connection.
+  ASSERT_TRUE(client.Post("/rank", "{\"cat\":[0]}", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 400);
+
+  // /statusz exposes the rank subsystem rows.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  const obs::JsonValue* rank = root.Find("rank");
+  ASSERT_NE(rank, nullptr) << body;
+  EXPECT_TRUE(rank->Find("enabled")->bool_value);
+  EXPECT_TRUE(rank->Find("split_active")->bool_value);  // din splits
+  EXPECT_EQ(rank->Find("requests_total")->number, 1.0);
 }
 
 TEST_F(NetServerTest, PipelinedRequestsAllAnswered) {
@@ -561,7 +764,7 @@ TEST_F(NetServerTest, MalformedBinaryFrameGetsErrorThenClose) {
   data::Sample sample = MakeValidSample(bundle_.test.schema);
   std::string frame;
   net::EncodeRequest(5, sample, &frame);
-  const uint32_t huge = net::kMaxFrameBytes + 1;
+  const uint32_t huge = net::MaxFrameBytes() + 1;
   std::memcpy(frame.data(), &huge, 4);
   ASSERT_TRUE(client.SendRaw(frame, &error)) << error;
 

@@ -1,0 +1,283 @@
+// Candidate-ranking tests: the common::TopKIndices helper, the RankEngine's
+// bitwise contract (/rank scores == single-pair scoring through
+// serve::Engine, for every factory model — split and fallback paths alike),
+// top-K ordering and tie determinism, edge-case K values, and concurrent
+// submission (also under the tsan preset).
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/top_k.h"
+#include "data/synthetic.h"
+#include "models/model_factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rank/rank_engine.h"
+#include "serve/engine.h"
+#include "serve/health.h"
+
+namespace miss {
+namespace {
+
+data::DatasetBundle MakeTinyBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 40;
+  return data::GenerateSynthetic(config);
+}
+
+// -- common::TopKIndices -----------------------------------------------------
+
+TEST(RankTopKTest, OrdersBestFirst) {
+  const std::vector<float> values = {0.1f, 0.9f, 0.4f, 0.7f, 0.2f};
+  EXPECT_EQ(common::TopKIndices(values, 3),
+            (std::vector<int32_t>{1, 3, 2}));
+  EXPECT_EQ(common::TopKIndices(values, 1), (std::vector<int32_t>{1}));
+}
+
+TEST(RankTopKTest, TiesGoToTheSmallerIndex) {
+  const std::vector<float> values = {0.5f, 0.8f, 0.5f, 0.8f, 0.5f};
+  EXPECT_EQ(common::TopKIndices(values, 5),
+            (std::vector<int32_t>{1, 3, 0, 2, 4}));
+  // The partial selection keeps the same winners as the full ordering.
+  EXPECT_EQ(common::TopKIndices(values, 3),
+            (std::vector<int32_t>{1, 3, 0}));
+  EXPECT_EQ(common::TopKIndices(values, 2), (std::vector<int32_t>{1, 3}));
+}
+
+TEST(RankTopKTest, ClampsAndEmptyCases) {
+  const std::vector<float> values = {0.3f, 0.6f};
+  EXPECT_EQ(common::TopKIndices(values, 10),
+            (std::vector<int32_t>{1, 0}));  // k > n clamps to n
+  EXPECT_TRUE(common::TopKIndices(values, 0).empty());
+  EXPECT_TRUE(common::TopKIndices(values, -3).empty());
+  EXPECT_TRUE(common::TopKIndices({}, 4).empty());
+}
+
+TEST(RankTopKTest, MatchesFullSortOnLargerInput) {
+  std::vector<float> values;
+  uint32_t state = 123456789;
+  for (int i = 0; i < 503; ++i) {
+    state = state * 1664525u + 1013904223u;
+    // Coarse quantization forces plenty of exact ties.
+    values.push_back(static_cast<float>(state % 97) / 97.0f);
+  }
+  const std::vector<int32_t> full =
+      common::TopKIndices(values, static_cast<int64_t>(values.size()));
+  for (int64_t k : {int64_t{1}, int64_t{17}, int64_t{256}}) {
+    const std::vector<int32_t> partial = common::TopKIndices(values, k);
+    ASSERT_EQ(partial.size(), static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      EXPECT_EQ(partial[i], full[i]) << "k " << k << " position " << i;
+    }
+  }
+}
+
+// -- RankEngine --------------------------------------------------------------
+
+class RankEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { bundle_ = MakeTinyBundle(); }
+
+  data::DatasetBundle bundle_;
+};
+
+// The tentpole gate: for EVERY factory model, /rank-path scores are bitwise
+// equal to scoring each (user, candidate) pair individually through
+// serve::Engine. max_chunk 7 makes the 10-candidate list cross a chunk
+// boundary; the duplicate id checks intra-request independence.
+TEST_F(RankEngineTest, BitwiseMatchesSingleScoreForEveryModel) {
+  const int cand_field = bundle_.test.schema.CandidateField();
+  ASSERT_GE(cand_field, 0);
+  const std::vector<int64_t> candidates = {3, 19, 7, 0, 42, 3, 88, 5, 119, 1};
+
+  for (const std::string& name : models::KnownModelNames()) {
+    models::ModelConfig mc;
+    auto model = models::CreateModel(name, bundle_.test.schema, mc, 11);
+    const bool expect_split = name == "din" || name == "dien" ||
+                              name == "sim" || name == "dmr";
+
+    serve::Engine engine(*model, {});
+    rank::RankEngineConfig config;
+    config.max_chunk = 7;
+    rank::RankEngine ranker(*model, config);
+    EXPECT_EQ(ranker.split_active(), expect_split) << name;
+
+    for (int s = 0; s < 2; ++s) {
+      rank::RankRequest request;
+      request.user = bundle_.test.samples[s];
+      request.candidates = candidates;
+      const rank::RankResult result = ranker.Submit(request).get();
+      ASSERT_EQ(result.scores.size(), candidates.size()) << name;
+      ASSERT_EQ(result.top.size(), candidates.size()) << name;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        data::Sample pair = bundle_.test.samples[s];
+        pair.cat[cand_field] = candidates[i];
+        const float single = engine.Submit(pair).get();
+        EXPECT_EQ(result.scores[i], single)
+            << name << " sample " << s << " candidate " << i;
+      }
+      // Duplicate candidate ids (positions 0 and 5) score identically.
+      EXPECT_EQ(result.scores[0], result.scores[5]) << name;
+    }
+    engine.Drain();
+    ranker.Drain();
+  }
+}
+
+TEST_F(RankEngineTest, TopKOrderingAndEdgeCases) {
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle_.test.schema, mc, 11);
+  rank::RankEngine ranker(*model);
+
+  rank::RankRequest request;
+  request.user = bundle_.test.samples[0];
+  for (int64_t id = 0; id < 24; ++id) {
+    request.candidates.push_back(id % 12);  // every id appears twice: ties
+  }
+
+  // top_k 0 returns the full ordering.
+  request.top_k = 0;
+  rank::RankResult full = ranker.Submit(request).get();
+  ASSERT_EQ(full.top.size(), request.candidates.size());
+  for (size_t i = 1; i < full.top.size(); ++i) {
+    const float prev = full.scores[full.top[i - 1]];
+    const float cur = full.scores[full.top[i]];
+    EXPECT_TRUE(prev > cur || (prev == cur && full.top[i - 1] < full.top[i]))
+        << "position " << i;
+  }
+  // Duplicate ids tie exactly, and the earlier index wins the tie.
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(full.scores[i], full.scores[i + 12]);
+  }
+
+  // top_k 1, top_k clamping, and a prefix match against the full ordering.
+  request.top_k = 1;
+  rank::RankResult one = ranker.Submit(request).get();
+  ASSERT_EQ(one.top.size(), 1u);
+  EXPECT_EQ(one.top[0], full.top[0]);
+  request.top_k = 1000;
+  rank::RankResult clamped = ranker.Submit(request).get();
+  EXPECT_EQ(clamped.top, full.top);
+  request.top_k = 5;
+  rank::RankResult five = ranker.Submit(request).get();
+  ASSERT_EQ(five.top.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(five.top[i], full.top[i]);
+
+  // An empty candidate list is a valid no-op request.
+  rank::RankRequest empty;
+  empty.user = bundle_.test.samples[0];
+  const rank::RankResult none = ranker.Submit(empty).get();
+  EXPECT_TRUE(none.scores.empty());
+  EXPECT_TRUE(none.top.empty());
+}
+
+TEST_F(RankEngineTest, ConcurrentSubmissionsMatchSerialReference) {
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle_.test.schema, mc, 11);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  const std::vector<int64_t> candidates = {2, 5, 8, 13, 21, 34};
+
+  // Serial reference scores, one request per (thread, iteration) user.
+  std::vector<std::vector<float>> expected(kThreads * kPerThread);
+  {
+    rank::RankEngine ranker(*model);
+    for (int i = 0; i < kThreads * kPerThread; ++i) {
+      rank::RankRequest request;
+      request.user = bundle_.test.samples[i % bundle_.test.samples.size()];
+      request.candidates = candidates;
+      expected[i] = ranker.Submit(request).get().scores;
+    }
+  }
+
+  rank::RankEngineConfig config;
+  config.num_workers = 2;
+  rank::RankEngine ranker(*model, config);
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = t * kPerThread + i;
+        rank::RankRequest request;
+        request.user =
+            bundle_.test.samples[idx % bundle_.test.samples.size()];
+        request.candidates = candidates;
+        const rank::RankResult result = ranker.Submit(request).get();
+        if (result.scores != expected[idx]) {
+          failures[t] = "score mismatch at request " + std::to_string(idx);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << failures[t];
+  }
+}
+
+TEST_F(RankEngineTest, DrainFailsLateSubmissions) {
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle_.test.schema, mc, 11);
+  rank::RankEngine ranker(*model);
+
+  rank::RankRequest request;
+  request.user = bundle_.test.samples[0];
+  request.candidates = {1, 2, 3};
+  auto pending = ranker.Submit(request);
+  ranker.Drain();
+  EXPECT_EQ(pending.get().scores.size(), 3u);  // queued work still completes
+
+  auto late = ranker.Submit(request);
+  EXPECT_THROW(late.get(), std::runtime_error);
+  bool callback_ran = false;
+  ranker.SubmitTraced(request, {}, [&](rank::RankResult, bool ok,
+                                       const serve::RequestTrace&) {
+    callback_ran = true;
+    EXPECT_FALSE(ok);
+  });
+  EXPECT_TRUE(callback_ran);
+}
+
+// Scoped telemetry: the health monitor's RecordBatch is gated on
+// obs::Enabled(), so flip it on for this test only (clean registry both
+// ways, matching the net_test convention).
+struct TelemetryGuard {
+  TelemetryGuard() {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+  }
+  ~TelemetryGuard() {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(false);
+  }
+};
+
+TEST_F(RankEngineTest, HealthMonitorIngestsRankScores) {
+  TelemetryGuard telemetry;
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", bundle_.test.schema, mc, 11);
+  serve::ModelHealthMonitor monitor(bundle_.test.schema, nullptr);
+  rank::RankEngineConfig config;
+  config.health = &monitor;
+  rank::RankEngine ranker(*model, config);
+
+  rank::RankRequest request;
+  request.user = bundle_.test.samples[0];
+  request.candidates = {1, 2, 3, 4, 5};
+  ranker.Submit(request).get();
+  ranker.Drain();
+  // Every scored candidate lands in the monitor as one (user, candidate)
+  // sample, so rank-shaped traffic feeds drift tracking too.
+  EXPECT_EQ(monitor.requests_recorded(), 5);
+}
+
+}  // namespace
+}  // namespace miss
