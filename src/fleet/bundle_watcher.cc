@@ -1,0 +1,95 @@
+#include "fleet/bundle_watcher.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/bundle.h"
+
+namespace miss::fleet {
+
+namespace {
+
+// Nanosecond mtime of `path`, or -1 when it cannot be statted.
+int64_t FileMtimeNs(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
+}  // namespace
+
+BundleWatcher::BundleWatcher(ModelFleet& fleet,
+                             const BundleWatcherConfig& config)
+    : fleet_(fleet), config_(config) {}
+
+BundleWatcher::~BundleWatcher() { Stop(); }
+
+void BundleWatcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] {
+    obs::SetCurrentThreadName("bundle-watcher");
+    PollLoop();
+  });
+}
+
+void BundleWatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+int BundleWatcher::CheckOnce() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  int triggered = 0;
+  for (const std::string& name : fleet_.ModelNames()) {
+    std::shared_ptr<ServingModel> current = fleet_.Acquire(name);
+    if (current == nullptr || !current->reloadable()) continue;
+    const std::string manifest =
+        current->bundle_path() + "/" + serve::kManifestFileName;
+    Seen& seen = seen_[name];
+    const int64_t mtime_ns = FileMtimeNs(manifest);
+    if (mtime_ns < 0) continue;  // mid-rewrite or gone; next poll retries
+    if (mtime_ns == seen.mtime_ns) continue;
+    seen.mtime_ns = mtime_ns;
+    const std::string hash = HashFile(manifest);
+    if (hash.empty()) continue;
+    // Unchanged content (a touch without new bytes), or the same bytes a
+    // previous attempt already acted on — nothing to do.
+    if (hash == current->manifest_hash() || hash == seen.hash) continue;
+    seen.hash = hash;
+    std::string error;
+    if (fleet_.Reload(name, &error)) {
+      ++triggered;
+      reloads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // On failure the journal carries `error`; seen.hash suppresses
+    // re-trying these exact bytes every poll.
+  }
+  return triggered;
+}
+
+void BundleWatcher::PollLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(config_.poll_interval_ms),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    CheckOnce();
+  }
+}
+
+}  // namespace miss::fleet

@@ -1,0 +1,81 @@
+// BundleWatcher: polls bundle directories and hot-reloads changed models.
+//
+// Every poll interval the watcher stats each reloadable entry's
+// manifest.json. A changed mtime triggers a content hash (FNV-1a 64 of the
+// manifest bytes); when the hash differs from both the serving generation's
+// and the last attempted one, the watcher calls ModelFleet::Reload — the
+// full off-thread load / self-check / swap path. Failed attempts are
+// remembered by hash so a bad bundle is not re-tried every poll; touching
+// the manifest again (new bytes) re-arms it.
+//
+// CheckOnce() runs one synchronous sweep — what the poll thread executes —
+// so tests drive reload triggering deterministically without timing waits.
+
+#ifndef MISS_FLEET_BUNDLE_WATCHER_H_
+#define MISS_FLEET_BUNDLE_WATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fleet/model_fleet.h"
+
+namespace miss::fleet {
+
+struct BundleWatcherConfig {
+  int64_t poll_interval_ms = 2000;
+};
+
+class BundleWatcher {
+ public:
+  // `fleet` must outlive the watcher.
+  explicit BundleWatcher(ModelFleet& fleet,
+                         const BundleWatcherConfig& config = {});
+  ~BundleWatcher();  // Stop()
+
+  BundleWatcher(const BundleWatcher&) = delete;
+  BundleWatcher& operator=(const BundleWatcher&) = delete;
+
+  // Starts the poll thread (idempotent).
+  void Start();
+  // Stops and joins it (idempotent; safe without Start).
+  void Stop();
+
+  // One synchronous sweep over every reloadable entry; returns how many
+  // reloads it triggered (successful swaps).
+  int CheckOnce();
+
+  int64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  int64_t reloads_triggered() const {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Seen {
+    int64_t mtime_ns = -1;
+    std::string hash;  // last hash acted on (reload attempted)
+  };
+
+  void PollLoop();
+
+  ModelFleet& fleet_;
+  const BundleWatcherConfig config_;
+
+  std::map<std::string, Seen> seen_;  // poll thread / CheckOnce caller only
+
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> reloads_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace miss::fleet
+
+#endif  // MISS_FLEET_BUNDLE_WATCHER_H_

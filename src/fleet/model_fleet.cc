@@ -1,0 +1,435 @@
+#include "fleet/model_fleet.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "data/dataset.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::fleet {
+
+namespace {
+
+constexpr size_t kJournalCapacity = 32;
+
+int64_t WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// One probe forward over an all-zeros sample (every schema admits id 0 and
+// a one-step history): a checkpoint that deserialized into garbage scores
+// non-finite here and never reaches traffic.
+bool SelfCheck(const serve::Bundle& bundle, std::string* error) {
+  const data::DatasetSchema& schema = bundle.model->schema();
+  data::Sample probe;
+  probe.cat.assign(schema.categorical.size(), 0);
+  probe.seq.assign(schema.sequential.size(), std::vector<int64_t>{0});
+  data::Dataset staging;
+  staging.schema = schema;
+  staging.samples.push_back(std::move(probe));
+  nn::InferenceScope inference;
+  const nn::Tensor logits =
+      bundle.model->Forward(data::MakeBatch(staging, {0}), /*training=*/false);
+  if (!std::isfinite(logits.at(0))) {
+    *error = "self-check probe scored a non-finite logit";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HashFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  char buf[4096];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(buf[i]);
+      hash *= 1099511628211ull;  // FNV-1a 64 prime
+    }
+    if (n < static_cast<std::streamsize>(sizeof(buf))) break;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(hex);
+}
+
+ModelFleet::ModelFleet() = default;
+
+ModelFleet::~ModelFleet() {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    worker_stop_ = true;
+  }
+  task_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ModelFleet::Journal_(FleetSwapRecord record) {
+  record.unix_ms = WallClockMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++swaps_total_;
+  journal_.push_back(std::move(record));
+  while (journal_.size() > kJournalCapacity) journal_.pop_front();
+}
+
+void ModelFleet::UpdateModelsGauge_() const {
+  if (!obs::Enabled()) return;
+  int64_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry.current != nullptr) ++live;
+    }
+  }
+  obs::MetricsRegistry::Global().GetGauge("fleet/models").Set(
+      static_cast<double>(live));
+}
+
+bool ModelFleet::AddModel(const std::string& name,
+                          const std::string& bundle_path,
+                          const ServingModelConfig& config,
+                          std::string* error) {
+  MISS_CHECK(!name.empty());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(name) > 0) {
+      if (error != nullptr) *error = "model \"" + name + "\" already exists";
+      return false;
+    }
+  }
+
+  FleetSwapRecord record;
+  record.model = name;
+  record.kind = "load";
+
+  const int64_t load_start_ns = obs::NowNs();
+  serve::Bundle bundle;
+  std::string local_error;
+  if (!serve::LoadBundle(bundle_path, &bundle)) {
+    local_error = "failed to load bundle from " + bundle_path;
+  } else if (!SelfCheck(bundle, &local_error)) {
+    // local_error set.
+  }
+  record.load_ms =
+      static_cast<double>(obs::NowNs() - load_start_ns) / 1e6;
+  if (!local_error.empty()) {
+    record.error = local_error;
+    Journal_(std::move(record));
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("fleet/reload_failures")
+          .Add(1);
+    }
+    if (error != nullptr) *error = local_error;
+    return false;
+  }
+
+  const std::string hash =
+      HashFile(bundle_path + "/" + serve::kManifestFileName);
+  auto generation = std::make_shared<ServingModel>(
+      name, bundle_path, /*generation=*/1, hash, std::move(bundle), config);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[name];
+    entry.current = std::move(generation);
+    entry.config = config;
+    entry.bundle_path = bundle_path;
+    entry.generations = 1;
+    if (default_model_.empty()) default_model_ = name;
+  }
+  record.ok = true;
+  record.new_manifest_hash = hash;
+  record.generation = 1;
+  const double load_ms = record.load_ms;
+  Journal_(std::move(record));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("fleet/reloads").Add(1);
+    reg.GetHistogram("fleet/bundle_load_ms").Record(load_ms);
+  }
+  UpdateModelsGauge_();
+  return true;
+}
+
+void ModelFleet::AddExternal(const std::string& name,
+                             const data::DatasetSchema& schema,
+                             serve::Engine* engine, rank::RankEngine* rank,
+                             serve::ModelHealthMonitor* health) {
+  MISS_CHECK(!name.empty());
+  auto generation =
+      std::make_shared<ServingModel>(name, schema, engine, rank, health);
+  std::lock_guard<std::mutex> lock(mu_);
+  MISS_CHECK(entries_.count(name) == 0);
+  Entry& entry = entries_[name];
+  entry.current = std::move(generation);
+  entry.generations = 1;
+  if (default_model_.empty()) default_model_ = name;
+}
+
+bool ModelFleet::SetDefaultModel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(name) == 0) return false;
+  default_model_ = name;
+  return true;
+}
+
+std::string ModelFleet::default_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return default_model_;
+}
+
+std::shared_ptr<ServingModel> ModelFleet::Acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& key = name.empty() ? default_model_ : name;
+  if (key.empty()) return nullptr;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  return it->second.current;  // null once unloaded
+}
+
+std::vector<std::string> ModelFleet::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+size_t ModelFleet::num_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool ModelFleet::Reload(const std::string& name, std::string* error) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+
+  // Snapshot what to load; the entry may serve traffic meanwhile.
+  ServingModelConfig config;
+  std::string bundle_path;
+  std::shared_ptr<ServingModel> old;
+  uint64_t next_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      if (error != nullptr) *error = "unknown model \"" + name + "\"";
+      return false;
+    }
+    if (it->second.bundle_path.empty()) {
+      if (error != nullptr) {
+        *error = "model \"" + name + "\" is not reloadable (external entry)";
+      }
+      return false;
+    }
+    config = it->second.config;
+    bundle_path = it->second.bundle_path;
+    old = it->second.current;  // null when unloaded: reload resurrects
+    next_generation = it->second.generations + 1;
+  }
+
+  FleetSwapRecord record;
+  record.model = name;
+  record.kind = "reload";
+  if (old != nullptr) record.old_manifest_hash = old->manifest_hash();
+
+  // Everything expensive happens here, off the serving threads, while the
+  // old generation keeps serving.
+  const int64_t load_start_ns = obs::NowNs();
+  serve::Bundle bundle;
+  std::string local_error;
+  if (!serve::LoadBundle(bundle_path, &bundle)) {
+    local_error = "failed to load bundle from " + bundle_path;
+  } else if (!SelfCheck(bundle, &local_error)) {
+    // local_error set.
+  } else if (old != nullptr &&
+             (bundle.model->schema().num_categorical() !=
+                  old->schema().num_categorical() ||
+              bundle.model->schema().num_sequential() !=
+                  old->schema().num_sequential())) {
+    local_error =
+        "new bundle's schema field counts (" +
+        std::to_string(bundle.model->schema().num_categorical()) + " cat, " +
+        std::to_string(bundle.model->schema().num_sequential()) +
+        " seq) do not match the serving schema (" +
+        std::to_string(old->schema().num_categorical()) + " cat, " +
+        std::to_string(old->schema().num_sequential()) +
+        " seq); frames on the wire would stop parsing";
+  }
+  record.load_ms = static_cast<double>(obs::NowNs() - load_start_ns) / 1e6;
+
+  if (!local_error.empty()) {
+    record.error = local_error;
+    Journal_(std::move(record));
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("fleet/reload_failures")
+          .Add(1);
+    }
+    if (error != nullptr) *error = local_error;
+    return false;
+  }
+
+  const std::string hash =
+      HashFile(bundle_path + "/" + serve::kManifestFileName);
+  auto fresh = std::make_shared<ServingModel>(
+      name, bundle_path, next_generation, hash, std::move(bundle), config);
+
+  // The swap: one pointer store under the fleet mutex. Requests that
+  // already Acquired `old` finish there; every later Acquire sees `fresh`.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = entries_[name];
+    entry.current = fresh;
+    entry.generations = next_generation;
+  }
+
+  // Old generation drains here in the admin/watcher thread; its engines
+  // score everything they accepted before Retire flipped the entry.
+  if (old != nullptr) {
+    record.drain_ms = old->Retire();
+    old.reset();
+  }
+
+  record.ok = true;
+  record.new_manifest_hash = hash;
+  record.generation = next_generation;
+  const double load_ms = record.load_ms;
+  const double drain_ms = record.drain_ms;
+  Journal_(std::move(record));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("fleet/reloads").Add(1);
+    reg.GetHistogram("fleet/bundle_load_ms").Record(load_ms);
+    reg.GetHistogram("fleet/swap_drain_ms").Record(drain_ms);
+  }
+  UpdateModelsGauge_();
+  return true;
+}
+
+bool ModelFleet::Unload(const std::string& name, std::string* error) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::shared_ptr<ServingModel> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      if (error != nullptr) *error = "unknown model \"" + name + "\"";
+      return false;
+    }
+    if (it->second.current == nullptr) {
+      if (error != nullptr) {
+        *error = "model \"" + name + "\" is already unloaded";
+      }
+      return false;
+    }
+    if (it->second.bundle_path.empty()) {
+      if (error != nullptr) {
+        *error = "model \"" + name + "\" is not unloadable (external entry)";
+      }
+      return false;
+    }
+    old = std::move(it->second.current);
+    it->second.current = nullptr;
+  }
+
+  FleetSwapRecord record;
+  record.model = name;
+  record.kind = "unload";
+  record.old_manifest_hash = old->manifest_hash();
+  record.drain_ms = old->Retire();
+  old.reset();
+  record.ok = true;
+  const double drain_ms = record.drain_ms;
+  Journal_(std::move(record));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("fleet/unloads").Add(1);
+    reg.GetHistogram("fleet/swap_drain_ms").Record(drain_ms);
+  }
+  UpdateModelsGauge_();
+  return true;
+}
+
+void ModelFleet::EnqueueTask_(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    MISS_CHECK(!worker_stop_);
+    tasks_.push_back(std::move(task));
+    if (!worker_.joinable()) {
+      worker_ = std::thread([this] {
+        obs::SetCurrentThreadName("fleet-worker");
+        WorkerLoop_();
+      });
+    }
+  }
+  task_cv_.notify_one();
+}
+
+void ModelFleet::WorkerLoop_() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(task_mu_);
+      task_cv_.wait(lock, [this] { return worker_stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop with nothing queued
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ModelFleet::ReloadAsync(
+    const std::string& name,
+    std::function<void(bool ok, std::string error)> done) {
+  EnqueueTask_([this, name, done = std::move(done)] {
+    std::string error;
+    const bool ok = Reload(name, &error);
+    if (done) done(ok, std::move(error));
+  });
+}
+
+void ModelFleet::UnloadAsync(
+    const std::string& name,
+    std::function<void(bool ok, std::string error)> done) {
+  EnqueueTask_([this, name, done = std::move(done)] {
+    std::string error;
+    const bool ok = Unload(name, &error);
+    if (done) done(ok, std::move(error));
+  });
+}
+
+std::vector<FleetSwapRecord> ModelFleet::Journal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FleetSwapRecord>(journal_.rbegin(), journal_.rend());
+}
+
+int64_t ModelFleet::swaps_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swaps_total_;
+}
+
+void ModelFleet::DrainAll() {
+  std::vector<std::shared_ptr<ServingModel>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry.current != nullptr) live.push_back(entry.current);
+    }
+  }
+  for (const std::shared_ptr<ServingModel>& model : live) model->Retire();
+}
+
+}  // namespace miss::fleet

@@ -1,0 +1,157 @@
+// ModelFleet: named model entries with atomic hot swap and a swap journal.
+//
+// The fleet maps model names to ServingModel generations. Serving threads
+// call Acquire(name) per request ("" = the default model) and get a
+// shared_ptr to the entry's current generation; Reload() builds the next
+// generation entirely off the serving threads — LoadBundle, a self-check
+// probe score, a wire-compat schema check — and only then swaps the pointer
+// under the fleet mutex. The retired generation drains in the calling
+// (admin/watcher) thread while new requests already land on its successor;
+// in-flight requests finish on the old engines because their completions
+// hold the shared_ptr.
+//
+// Reload rejects (keeping the old generation serving) when:
+//   - the bundle fails to load (missing/corrupt manifest or checkpoint),
+//   - the probe score is not finite (a broken checkpoint would otherwise
+//     serve NaNs), or
+//   - the new schema's field counts differ from the serving schema (frames
+//     already on the wire would stop parsing mid-connection).
+//
+// Every attempt — load, reload, unload, success or failure — lands in a
+// bounded journal (/statusz renders it) and, when telemetry is on, in the
+// fleet/* metrics: counters fleet/reloads, fleet/reload_failures,
+// fleet/unloads; gauge fleet/models; histograms fleet/bundle_load_ms and
+// fleet/swap_drain_ms.
+//
+// ReloadAsync/UnloadAsync run the same path on a single lazily-started
+// worker thread — how POST /admin/reload keeps the server's event loop
+// non-blocking. Swaps are serialized fleet-wide (one reload at a time).
+
+#ifndef MISS_FLEET_MODEL_FLEET_H_
+#define MISS_FLEET_MODEL_FLEET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/serving_model.h"
+
+namespace miss::fleet {
+
+// One journal row; kept whether or not the attempt succeeded.
+struct FleetSwapRecord {
+  std::string model;
+  std::string kind;  // "load", "reload", or "unload"
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string old_manifest_hash;  // "" for the initial load
+  std::string new_manifest_hash;  // "" for unload / failed load
+  uint64_t generation = 0;        // generation now serving (0 after unload)
+  double load_ms = 0.0;           // bundle load + self-check
+  double drain_ms = 0.0;          // old generation's drain wall time
+  int64_t unix_ms = 0;            // wall-clock stamp for the journal
+};
+
+class ModelFleet {
+ public:
+  ModelFleet();
+  // Joins the async worker. Does NOT drain entries — call DrainAll() first
+  // for a graceful stop (the server's SIGTERM path does).
+  ~ModelFleet();
+
+  ModelFleet(const ModelFleet&) = delete;
+  ModelFleet& operator=(const ModelFleet&) = delete;
+
+  // Loads `bundle_path` and adds it as entry `name` (journaled as "load").
+  // The first added model becomes the default. False on load/self-check
+  // failure or a duplicate name.
+  bool AddModel(const std::string& name, const std::string& bundle_path,
+                const ServingModelConfig& config, std::string* error);
+
+  // Adds an external (caller-owned, non-reloadable) entry — the legacy
+  // single-engine server. Becomes the default when it is the first entry.
+  void AddExternal(const std::string& name, const data::DatasetSchema& schema,
+                   serve::Engine* engine, rank::RankEngine* rank,
+                   serve::ModelHealthMonitor* health);
+
+  // False when `name` is not an entry.
+  bool SetDefaultModel(const std::string& name);
+  std::string default_model() const;
+
+  // The entry's current generation; "" resolves the default model. Null for
+  // an unknown name (or an unloaded default). The caller holds the
+  // shared_ptr until its response is written — that hold is what keeps a
+  // swapped-out generation alive through in-flight requests.
+  std::shared_ptr<ServingModel> Acquire(const std::string& name) const;
+
+  std::vector<std::string> ModelNames() const;
+  size_t num_models() const;
+
+  // Synchronous reload of a reloadable entry: load off the serving path,
+  // self-check, swap, drain the old generation. False (old generation keeps
+  // serving) on any failure. Serialized fleet-wide.
+  bool Reload(const std::string& name, std::string* error);
+
+  // Retires and drops the entry's generation; Acquire(name) then returns
+  // null (named requests get per-request errors) until a later Reload(name)
+  // loads a fresh generation from the entry's bundle path.
+  bool Unload(const std::string& name, std::string* error);
+
+  // Same paths on the fleet worker thread; `done` fires there.
+  void ReloadAsync(const std::string& name,
+                   std::function<void(bool ok, std::string error)> done);
+  void UnloadAsync(const std::string& name,
+                   std::function<void(bool ok, std::string error)> done);
+
+  // Newest-first copy of the journal (bounded to the last 32 swaps).
+  std::vector<FleetSwapRecord> Journal() const;
+  int64_t swaps_total() const;
+
+  // Retires every entry (stop intake, drain). Entries stay listed so
+  // /statusz keeps rendering them during shutdown.
+  void DrainAll();
+
+ private:
+  struct Entry {
+    std::shared_ptr<ServingModel> current;  // null once unloaded
+    ServingModelConfig config;
+    std::string bundle_path;
+    uint64_t generations = 0;  // generations built so far
+  };
+
+  void Journal_(FleetSwapRecord record);
+  void UpdateModelsGauge_() const;
+  void EnqueueTask_(std::function<void()> task);
+  void WorkerLoop_();
+
+  mutable std::mutex mu_;  // entries_, default_model_, journal_
+  std::map<std::string, Entry> entries_;
+  std::string default_model_;
+  std::deque<FleetSwapRecord> journal_;
+  int64_t swaps_total_ = 0;
+
+  std::mutex reload_mu_;  // serializes Reload/Unload bodies
+
+  // Lazily-started async worker.
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool worker_stop_ = false;
+  std::thread worker_;
+};
+
+// FNV-1a 64 over the file's bytes as a 16-hex-digit string; "" when the
+// file cannot be read. The watcher and the journal identify bundle versions
+// by this hash of manifest.json.
+std::string HashFile(const std::string& path);
+
+}  // namespace miss::fleet
+
+#endif  // MISS_FLEET_MODEL_FLEET_H_

@@ -1,0 +1,170 @@
+#include "fleet/serving_model.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace miss::fleet {
+
+namespace {
+
+EntryMetricNames ResolveMetricNames(const std::string& suffix) {
+  EntryMetricNames n;
+  n.net_requests = "net/requests" + suffix;
+  n.net_latency = "net/request_latency_ms" + suffix;
+  n.stage_parse = "serve/stage/parse_ms" + suffix;
+  n.stage_queue = "serve/stage/queue_ms" + suffix;
+  n.stage_forward = "serve/stage/forward_ms" + suffix;
+  n.stage_write = "serve/stage/write_ms" + suffix;
+  n.stage_total = "serve/stage/total_ms" + suffix;
+  return n;
+}
+
+}  // namespace
+
+ServingModel::ServingModel(std::string name, std::string bundle_path,
+                           uint64_t generation, std::string manifest_hash,
+                           serve::Bundle bundle,
+                           const ServingModelConfig& config)
+    : name_(std::move(name)),
+      bundle_path_(std::move(bundle_path)),
+      generation_(generation),
+      manifest_hash_(std::move(manifest_hash)),
+      owned_(true),
+      bundle_(std::move(bundle)),
+      schema_(bundle_.model->schema()) {
+  MISS_CHECK(bundle_.model != nullptr);
+  MISS_CHECK_GT(config.replicas, 0);
+  metric_suffix_ = config.label_metrics ? "|model=" + name_ : "";
+  metric_names_ = ResolveMetricNames(metric_suffix_);
+  const std::string metric_model = config.label_metrics ? name_ : "";
+
+  if (config.model_health) {
+    serve::ModelHealthOptions health_options = config.health_options;
+    health_options.metric_model = metric_model;
+    owned_health_ = std::make_unique<serve::ModelHealthMonitor>(
+        schema_, bundle_.baseline, health_options);
+    health_ = owned_health_.get();
+  }
+
+  serve::EngineConfig engine_config = config.engine;
+  engine_config.metric_model = metric_model;
+  engine_config.health = health_;
+  owned_replicas_.reserve(static_cast<size_t>(config.replicas));
+  for (int i = 0; i < config.replicas; ++i) {
+    owned_replicas_.push_back(
+        std::make_unique<serve::Engine>(*bundle_.model, engine_config));
+    replicas_.push_back(owned_replicas_.back().get());
+  }
+
+  if (config.enable_rank && schema_.CandidateField() >= 0) {
+    rank::RankEngineConfig rank_config = config.rank;
+    rank_config.metric_model = metric_model;
+    rank_config.health = health_;
+    owned_rank_ =
+        std::make_unique<rank::RankEngine>(*bundle_.model, rank_config);
+    rank_ = owned_rank_.get();
+  }
+}
+
+ServingModel::ServingModel(std::string name,
+                           const data::DatasetSchema& schema,
+                           serve::Engine* engine, rank::RankEngine* rank,
+                           serve::ModelHealthMonitor* health)
+    : name_(std::move(name)),
+      generation_(1),
+      owned_(false),
+      schema_(schema),
+      rank_(rank),
+      health_(health),
+      metric_names_(ResolveMetricNames("")) {
+  MISS_CHECK(engine != nullptr);
+  replicas_.push_back(engine);
+}
+
+ServingModel::~ServingModel() {
+  // Owned engines must never be destroyed fast (requests failed) while the
+  // fleet is serving; Retire() drains first. A generation that was swapped
+  // out is only destroyed once the last in-flight holder releases it, after
+  // its callbacks already fired.
+  if (owned_ && !retired()) Retire();
+}
+
+bool ServingModel::retired() const {
+  std::shared_lock<std::shared_mutex> lock(retire_mu_);
+  return retired_;
+}
+
+serve::Engine& ServingModel::PickReplica() {
+  const size_t n = replicas_.size();
+  if (n == 1) return *replicas_[0];
+  // Least outstanding requests, scanned from a rotating start so exact ties
+  // break round-robin — deterministic for a serial caller.
+  const size_t start =
+      static_cast<size_t>(rr_.fetch_add(1, std::memory_order_relaxed) % n);
+  size_t best = start;
+  int64_t best_load = replicas_[start]->InFlight();
+  for (size_t step = 1; step < n; ++step) {
+    const size_t i = (start + step) % n;
+    const int64_t load = replicas_[i]->InFlight();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return *replicas_[best];
+}
+
+bool ServingModel::SubmitScore(data::Sample* sample,
+                               serve::RequestTrace trace,
+                               serve::Engine::TracedScoreCallback callback) {
+  std::shared_lock<std::shared_mutex> lock(retire_mu_);
+  if (retired_) return false;
+  PickReplica().SubmitTraced(std::move(*sample), trace, std::move(callback));
+  return true;
+}
+
+bool ServingModel::SubmitRank(rank::RankRequest* request,
+                              serve::RequestTrace trace,
+                              rank::RankEngine::RankCallback callback) {
+  std::shared_lock<std::shared_mutex> lock(retire_mu_);
+  if (retired_ || rank_ == nullptr) return false;
+  rank_->SubmitTraced(std::move(*request), trace, std::move(callback));
+  return true;
+}
+
+int64_t ServingModel::QueueDepth() const {
+  int64_t total = 0;
+  for (const serve::Engine* engine : replicas_) {
+    total += engine->QueueDepth();
+  }
+  return total;
+}
+
+int64_t ServingModel::InFlight() const {
+  int64_t total = 0;
+  for (const serve::Engine* engine : replicas_) {
+    total += engine->InFlight();
+  }
+  return total;
+}
+
+double ServingModel::Retire() {
+  {
+    std::unique_lock<std::shared_mutex> lock(retire_mu_);
+    if (retired_) return 0.0;
+    retired_ = true;
+  }
+  if (!owned_) return 0.0;
+  const int64_t start_ns = obs::NowNs();
+  for (const std::unique_ptr<serve::Engine>& engine : owned_replicas_) {
+    engine->Drain();
+  }
+  if (owned_rank_ != nullptr) owned_rank_->Drain();
+  return static_cast<double>(obs::NowNs() - start_ns) / 1e6;
+}
+
+}  // namespace miss::fleet

@@ -1,0 +1,175 @@
+// One fleet entry: a named model generation serving behind replica engines.
+//
+// A ServingModel is an immutable generation of one named model — the loaded
+// serve::Bundle, K replica serve::Engines (plus a rank::RankEngine when the
+// schema exposes a candidate field), and an optional ModelHealthMonitor —
+// published to the serving threads through a shared_ptr the ModelFleet swaps
+// atomically on reload. Requests Acquire() the current generation, submit
+// through it, and hold the shared_ptr until the response is written, so a
+// generation retired mid-request stays alive (engines, monitor, model) until
+// its last response leaves the process.
+//
+// The enqueue/retire race is closed with a shared_mutex: SubmitScore /
+// SubmitRank take the shared lock, check `retired_`, and hand the request to
+// an engine while still holding it; Retire() takes the exclusive lock to set
+// `retired_` before draining. An engine can therefore never reject a request
+// as "draining" during a hot swap — a false return (request untouched, the
+// sample is NOT consumed) means the generation retired first, and the caller
+// re-Acquires the entry's new generation and retries.
+//
+// Replica selection: least outstanding requests (Engine::InFlight), scanned
+// from a round-robin start index so ties break deterministically. A
+// single-replica entry always picks replica 0 — byte-for-byte the pre-fleet
+// server.
+//
+// External entries wrap caller-owned engines (the legacy net::Server
+// constructor): no bundle, not reloadable, Retire() only stops intake —
+// draining caller-owned engines stays the caller's job.
+
+#ifndef MISS_FLEET_SERVING_MODEL_H_
+#define MISS_FLEET_SERVING_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "rank/rank_engine.h"
+#include "serve/bundle.h"
+#include "serve/engine.h"
+#include "serve/health.h"
+
+namespace miss::fleet {
+
+struct ServingModelConfig {
+  // Replica serve::Engines per entry, each with its own worker pool and
+  // queue. 1 = the pre-fleet topology.
+  int replicas = 1;
+  // Per-replica engine geometry; metric_model and health are overwritten
+  // per entry.
+  serve::EngineConfig engine;
+  // Rank-engine geometry (used when the schema has a candidate field);
+  // metric_model and health are overwritten per entry.
+  rank::RankEngineConfig rank;
+  // Build a rank::RankEngine when the schema supports it.
+  bool enable_rank = true;
+  // Attach a ModelHealthMonitor fed from the bundle's baseline.
+  bool model_health = false;
+  serve::ModelHealthOptions health_options;
+  // False keeps the plain (unlabeled) metric names for this entry — the
+  // single-model compatibility mode the legacy net::Server constructor
+  // uses so a 1-entry fleet's telemetry is byte-identical to the pre-fleet
+  // server. True labels every serve/rank/health/net metric with the entry
+  // name.
+  bool label_metrics = true;
+};
+
+// The net-layer metric names for one entry, resolved once ("" suffix keeps
+// the legacy names).
+struct EntryMetricNames {
+  std::string net_requests;
+  std::string net_latency;
+  std::string stage_parse;
+  std::string stage_queue;
+  std::string stage_forward;
+  std::string stage_write;
+  std::string stage_total;
+};
+
+class ServingModel {
+ public:
+  // Fleet-owned generation: takes ownership of the loaded bundle and builds
+  // config.replicas engines (+ rank engine / health monitor per config).
+  ServingModel(std::string name, std::string bundle_path, uint64_t generation,
+               std::string manifest_hash, serve::Bundle bundle,
+               const ServingModelConfig& config);
+
+  // External entry wrapping caller-owned components (all must outlive this
+  // object); `rank` and `health` may be null.
+  ServingModel(std::string name, const data::DatasetSchema& schema,
+               serve::Engine* engine, rank::RankEngine* rank,
+               serve::ModelHealthMonitor* health);
+
+  ~ServingModel();
+
+  ServingModel(const ServingModel&) = delete;
+  ServingModel& operator=(const ServingModel&) = delete;
+
+  const std::string& name() const { return name_; }
+  const data::DatasetSchema& schema() const { return schema_; }
+  const std::string& bundle_path() const { return bundle_path_; }
+  const std::string& manifest_hash() const { return manifest_hash_; }
+  uint64_t generation() const { return generation_; }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  bool reloadable() const { return owned_ && !bundle_path_.empty(); }
+  // Null when the entry has no monitor.
+  serve::ModelHealthMonitor* health() const { return health_; }
+  bool rank_enabled() const { return rank_ != nullptr; }
+  rank::RankEngine* rank_engine() const { return rank_; }
+  // The loaded bundle (null for external entries).
+  const serve::Bundle* bundle() const { return owned_ ? &bundle_ : nullptr; }
+  // "" or "|model=<name>".
+  const std::string& metric_suffix() const { return metric_suffix_; }
+  const EntryMetricNames& metric_names() const { return metric_names_; }
+
+  // Hands the request to the least-outstanding replica. False means this
+  // generation retired first — `*sample` / `*request` is NOT consumed; the
+  // caller should re-Acquire the entry and retry on the new generation.
+  // True guarantees the callback fires (an engine accepted the request
+  // before Retire() could begin draining).
+  bool SubmitScore(data::Sample* sample, serve::RequestTrace trace,
+                   serve::Engine::TracedScoreCallback callback);
+  bool SubmitRank(rank::RankRequest* request, serve::RequestTrace trace,
+                  rank::RankEngine::RankCallback callback);
+
+  // Diagnostics, summed across replicas.
+  int64_t QueueDepth() const;
+  int64_t InFlight() const;
+  bool retired() const;
+
+  // Stops intake (Submit* return false), then drains every owned engine —
+  // in-flight requests are scored, their callbacks fire. Returns the drain
+  // wall time in ms. Idempotent; external entries only stop intake (0 ms).
+  double Retire();
+
+ private:
+  serve::Engine& PickReplica();
+
+  const std::string name_;
+  const std::string bundle_path_;
+  const uint64_t generation_;
+  const std::string manifest_hash_;
+  const bool owned_;
+
+  // Owned-entry state; destruction order (reverse of declaration) tears
+  // down engines before the monitor and the monitor before the model.
+  serve::Bundle bundle_;
+  const data::DatasetSchema schema_;
+  std::unique_ptr<serve::ModelHealthMonitor> owned_health_;
+  std::vector<std::unique_ptr<serve::Engine>> owned_replicas_;
+  std::unique_ptr<rank::RankEngine> owned_rank_;
+
+  // Flat views used by both flavors (non-owning).
+  std::vector<serve::Engine*> replicas_;
+  rank::RankEngine* rank_ = nullptr;
+  serve::ModelHealthMonitor* health_ = nullptr;
+
+  std::string metric_suffix_;
+  EntryMetricNames metric_names_;
+
+  // Round-robin start index for the least-outstanding scan.
+  std::atomic<uint64_t> rr_{0};
+
+  // Submit* hold the shared lock across the engine handoff; Retire() sets
+  // retired_ under the exclusive lock before draining, so "accepted by a
+  // live generation" and "scored before the drain completes" coincide.
+  mutable std::shared_mutex retire_mu_;
+  bool retired_ = false;
+};
+
+}  // namespace miss::fleet
+
+#endif  // MISS_FLEET_SERVING_MODEL_H_

@@ -173,6 +173,17 @@ bool Client::Send(uint64_t request_id, const data::Sample& sample,
   return SendRaw(frame, error);
 }
 
+bool Client::SendNamed(uint64_t request_id, const std::string& model,
+                       const data::Sample& sample, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string frame;
+  EncodeNamedRequest(request_id, model, sample, &frame);
+  return SendRaw(frame, error);
+}
+
 bool Client::SendRaw(const std::string& bytes, std::string* error) {
   if (fd_ < 0) {
     *error = "not connected";
@@ -217,10 +228,7 @@ bool Client::Receive(WireResponse* out, std::string* error) {
   }
 }
 
-bool Client::Score(const data::Sample& sample, float* score,
-                   std::string* error) {
-  const uint64_t id = next_request_id_++;
-  if (!Send(id, sample, error)) return false;
+bool Client::ReceiveScore(uint64_t id, float* score, std::string* error) {
   WireResponse resp;
   if (!Receive(&resp, error)) return false;
   if (resp.request_id != id) {
@@ -236,6 +244,20 @@ bool Client::Score(const data::Sample& sample, float* score,
   }
   *score = resp.score;
   return true;
+}
+
+bool Client::Score(const data::Sample& sample, float* score,
+                   std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!Send(id, sample, error)) return false;
+  return ReceiveScore(id, score, error);
+}
+
+bool Client::ScoreModel(const std::string& model, const data::Sample& sample,
+                        float* score, std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!SendNamed(id, model, sample, error)) return false;
+  return ReceiveScore(id, score, error);
 }
 
 bool Client::SendFeedback(uint64_t request_id, float label,
@@ -281,12 +303,21 @@ bool Client::SendRank(uint64_t request_id, const data::Sample& user,
   return SendRaw(frame, error);
 }
 
-bool Client::Rank(const data::Sample& user,
-                  const std::vector<int64_t>& candidates, uint32_t top_k,
-                  std::vector<float>* scores, std::vector<uint32_t>* top,
-                  std::string* error) {
-  const uint64_t id = next_request_id_++;
-  if (!SendRank(id, user, candidates, top_k, error)) return false;
+bool Client::SendNamedRank(uint64_t request_id, const std::string& model,
+                           const data::Sample& user,
+                           const std::vector<int64_t>& candidates,
+                           uint32_t top_k, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string frame;
+  EncodeNamedRankRequest(request_id, model, user, candidates, top_k, &frame);
+  return SendRaw(frame, error);
+}
+
+bool Client::ReceiveRank(uint64_t id, std::vector<float>* scores,
+                         std::vector<uint32_t>* top, std::string* error) {
   WireResponse resp;
   if (!Receive(&resp, error)) return false;
   if (resp.request_id != id) {
@@ -307,6 +338,24 @@ bool Client::Rank(const data::Sample& user,
   *scores = std::move(resp.scores);
   *top = std::move(resp.top);
   return true;
+}
+
+bool Client::Rank(const data::Sample& user,
+                  const std::vector<int64_t>& candidates, uint32_t top_k,
+                  std::vector<float>* scores, std::vector<uint32_t>* top,
+                  std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!SendRank(id, user, candidates, top_k, error)) return false;
+  return ReceiveRank(id, scores, top, error);
+}
+
+bool Client::RankModel(const std::string& model, const data::Sample& user,
+                       const std::vector<int64_t>& candidates, uint32_t top_k,
+                       std::vector<float>* scores, std::vector<uint32_t>* top,
+                       std::string* error) {
+  const uint64_t id = next_request_id_++;
+  if (!SendNamedRank(id, model, user, candidates, top_k, error)) return false;
+  return ReceiveRank(id, scores, top, error);
 }
 
 HttpClient::~HttpClient() { Close(); }
@@ -369,10 +418,19 @@ bool HttpClient::Roundtrip(const std::string& request, int* status_code,
 bool HttpClient::Score(const data::Sample& sample, int* status_code,
                        float* score, std::string* body, std::string* error,
                        uint64_t* request_id) {
+  return ScoreModel("", sample, status_code, score, body, error, request_id);
+}
+
+bool HttpClient::ScoreModel(const std::string& model,
+                            const data::Sample& sample, int* status_code,
+                            float* score, std::string* body,
+                            std::string* error, uint64_t* request_id) {
   const std::string payload = ScoreRequestJson(sample);
   std::string request;
   request.reserve(128 + payload.size());
-  request += "POST /score HTTP/1.1\r\nHost: ";
+  request += "POST /score";
+  if (!model.empty()) request += "/" + model;
+  request += " HTTP/1.1\r\nHost: ";
   request += host_;
   request += "\r\nContent-Type: application/json\r\nContent-Length: ";
   request += std::to_string(payload.size());
@@ -406,10 +464,22 @@ bool HttpClient::Rank(const data::Sample& user,
                       int* status_code, std::vector<float>* scores,
                       std::vector<uint32_t>* top, std::string* body,
                       std::string* error, uint64_t* request_id) {
+  return RankModel("", user, candidates, top_k, status_code, scores, top,
+                   body, error, request_id);
+}
+
+bool HttpClient::RankModel(const std::string& model, const data::Sample& user,
+                           const std::vector<int64_t>& candidates,
+                           int64_t top_k, int* status_code,
+                           std::vector<float>* scores,
+                           std::vector<uint32_t>* top, std::string* body,
+                           std::string* error, uint64_t* request_id) {
   const std::string payload = RankRequestJson(user, candidates, top_k);
   std::string request;
   request.reserve(128 + payload.size());
-  request += "POST /rank HTTP/1.1\r\nHost: ";
+  request += "POST /rank";
+  if (!model.empty()) request += "/" + model;
+  request += " HTTP/1.1\r\nHost: ";
   request += host_;
   request += "\r\nContent-Type: application/json\r\nContent-Length: ";
   request += std::to_string(payload.size());

@@ -46,6 +46,11 @@ class Client {
   bool Send(uint64_t request_id, const data::Sample& sample,
             std::string* error);
 
+  // Writes one named score frame addressing a fleet model by name (1..255
+  // bytes; an unknown name gets a per-request error frame back).
+  bool SendNamed(uint64_t request_id, const std::string& model,
+                 const data::Sample& sample, std::string* error);
+
   // Writes arbitrary bytes — for malformed-input tests.
   bool SendRaw(const std::string& bytes, std::string* error);
 
@@ -55,6 +60,10 @@ class Client {
 
   // Send + Receive for the single-request case.
   bool Score(const data::Sample& sample, float* score, std::string* error);
+
+  // SendNamed + Receive: score against a named fleet model.
+  bool ScoreModel(const std::string& model, const data::Sample& sample,
+                  float* score, std::string* error);
 
   // Writes one feedback frame labeling an earlier response (pipelined form).
   bool SendFeedback(uint64_t request_id, float label, std::string* error);
@@ -71,6 +80,12 @@ class Client {
                 const std::vector<int64_t>& candidates, uint32_t top_k,
                 std::string* error);
 
+  // Named rank frame (fleet model addressed by name).
+  bool SendNamedRank(uint64_t request_id, const std::string& model,
+                     const data::Sample& user,
+                     const std::vector<int64_t>& candidates, uint32_t top_k,
+                     std::string* error);
+
   // SendRank + Receive for the single-request case. `top` receives indices
   // into `candidates`, best first. False (with *error) when the server has
   // ranking disabled or answered with a non-rank frame.
@@ -78,7 +93,16 @@ class Client {
             uint32_t top_k, std::vector<float>* scores,
             std::vector<uint32_t>* top, std::string* error);
 
+  // SendNamedRank + Receive for the single-request case.
+  bool RankModel(const std::string& model, const data::Sample& user,
+                 const std::vector<int64_t>& candidates, uint32_t top_k,
+                 std::vector<float>* scores, std::vector<uint32_t>* top,
+                 std::string* error);
+
  private:
+  bool ReceiveScore(uint64_t id, float* score, std::string* error);
+  bool ReceiveRank(uint64_t id, std::vector<float>* scores,
+                   std::vector<uint32_t>* top, std::string* error);
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string rx_;
@@ -106,6 +130,13 @@ class HttpClient {
              std::string* body, std::string* error,
              uint64_t* request_id = nullptr);
 
+  // POST /score/<model> — a named fleet model ("" = POST /score, the
+  // default model). An unknown model answers 404 with the error JSON in
+  // `*body`.
+  bool ScoreModel(const std::string& model, const data::Sample& sample,
+                  int* status_code, float* score, std::string* body,
+                  std::string* error, uint64_t* request_id = nullptr);
+
   // POST /rank. Same status-code convention as Score(); on 200, `scores`
   // is index-aligned with `candidates` and `top` holds best-first indices
   // into it.
@@ -113,6 +144,13 @@ class HttpClient {
             int64_t top_k, int* status_code, std::vector<float>* scores,
             std::vector<uint32_t>* top, std::string* body, std::string* error,
             uint64_t* request_id = nullptr);
+
+  // POST /rank/<model> ("" = POST /rank).
+  bool RankModel(const std::string& model, const data::Sample& user,
+                 const std::vector<int64_t>& candidates, int64_t top_k,
+                 int* status_code, std::vector<float>* scores,
+                 std::vector<uint32_t>* top, std::string* body,
+                 std::string* error, uint64_t* request_id = nullptr);
 
   // GET `path` (e.g. "/healthz").
   bool Get(const std::string& path, int* status_code, std::string* body,

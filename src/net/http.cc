@@ -48,11 +48,28 @@ const char* HttpStatusText(int status_code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 411: return "Length Required";
     case 413: return "Payload Too Large";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
+}
+
+bool SplitModelRoute(const std::string& route, const std::string& base,
+                     std::string* model) {
+  if (route == base) {
+    model->clear();
+    return true;
+  }
+  if (route.size() <= base.size() + 1 ||
+      route.compare(0, base.size(), base) != 0 || route[base.size()] != '/') {
+    return false;
+  }
+  const std::string rest = route.substr(base.size() + 1);
+  if (rest.find('/') != std::string::npos) return false;
+  *model = rest;
+  return true;
 }
 
 HttpParseStatus ParseHttpRequest(const char* data, size_t size, size_t* offset,

@@ -57,6 +57,13 @@ std::string MakeHttpResponse(int status_code, const std::string& content_type,
 // Standard reason phrase for the handful of codes the server emits.
 const char* HttpStatusText(int status_code);
 
+// Model-addressed route split: true when `route` is exactly `base` (*model
+// cleared — the default model) or `base` + "/" + a non-empty model name
+// with no further slash (*model set to it). "/score" and "/score/m1" match
+// base "/score"; "/scores", "/score/" and "/score/a/b" do not.
+bool SplitModelRoute(const std::string& route, const std::string& base,
+                     std::string* model);
+
 // JSON body of POST /score -> data::Sample (label 0), validated against the
 // schema (field counts; id ranges via ValidateSample). False sets `*error`.
 bool ParseScoreRequestJson(const std::string& body,

@@ -5,26 +5,41 @@
 //              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
 //              [--slow-ms N] [--slow-log <path>] [--model-health]
 //              [--rank-workers N] [--rank-chunk N] [--max-frame-bytes N]
+//              [--replicas N] [--watch-ms N]
 //
-// Loads a serve::SaveBundle directory, stands up a serve::Engine plus a
-// rank::RankEngine over it, and serves the binary protocol plus HTTP
-// (POST /score, POST /rank, POST /feedback, GET /healthz,
-// GET /metricz[?format=prom], GET /statusz, GET /modelz) on one listener. --slow-ms turns on the slow-request log (requests over the
-// threshold appear in /statusz's ring and, with --slow-log, as JSONL lines)
-// and forces telemetry on. --model-health attaches a
-// serve::ModelHealthMonitor (drift vs. the bundle's training baseline,
-// calibration from /feedback labels, /modelz report) and also forces
-// telemetry on. SIGTERM/SIGINT trigger a graceful stop:
-// the listener closes, in-flight requests finish and flush, then the
-// process exits 0. --port 0 picks an ephemeral port; --port-file writes the
-// chosen port for harnesses (the net_smoke test uses both).
+//   miss_serve --model <name>=<dir> [--model <name2>=<dir2> ...]
+//              [--default-model <name>] [... same flags ...]
 //
-//   miss_serve --export-demo-bundle <dir>
+// Every boot builds a fleet::ModelFleet behind one listener. --bundle is
+// the single-model form: one entry named "default" with unlabeled metrics —
+// byte-for-byte the pre-fleet server. --model (repeatable) is the fleet
+// form: each entry serves /score/<name>, /rank/<name>, and named binary
+// frames, with every serve/rank/health/net metric labeled {model="<name>"}
+// in /metricz?format=prom; unnamed requests route to the default model
+// (the first --model, or --default-model). --replicas N shards each entry
+// across N engines picked by least-outstanding-requests. --watch-ms N polls
+// each entry's bundle directory and hot-reloads when manifest.json changes
+// (0 = off); POST /admin/reload and /admin/unload drive the same
+// zero-downtime swap path on demand, journaled in /statusz.
+//
+// --slow-ms turns on the slow-request log (requests over the threshold
+// appear in /statusz's ring and, with --slow-log, as JSONL lines) and
+// forces telemetry on. --model-health attaches a serve::ModelHealthMonitor
+// per entry (drift vs. the bundle's training baseline, calibration from
+// /feedback labels, /modelz report) and also forces telemetry on.
+// SIGTERM/SIGINT trigger a graceful stop: the listener closes, in-flight
+// requests finish and flush, the fleet drains, then the process exits 0.
+// --port 0 picks an ephemeral port; --port-file writes the chosen port for
+// harnesses (the net_smoke test uses both).
+//
+//   miss_serve --export-demo-bundle <dir> [--export-count N]
 //
 // writes a tiny untrained "din" bundle — including a model-health baseline
 // computed over the synthetic validation split — plus a matching
 // sample.json scoring request into <dir> and exits — enough to try the
-// server (and run the smoke test) without a training run.
+// server (and run the smoke test) without a training run. --export-count N
+// writes N differently-seeded bundles into <dir>/m0 .. <dir>/m<N-1> for
+// multi-model fleet walkthroughs.
 
 #include <signal.h>
 
@@ -35,9 +50,13 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "data/synthetic.h"
+#include "fleet/bundle_watcher.h"
+#include "fleet/model_fleet.h"
 #include "obs/health.h"
 #include "obs/trace.h"
 #include "models/model_factory.h"
@@ -58,12 +77,12 @@ void HandleStopSignal(int /*sig*/) {
   if (g_server != nullptr) g_server->RequestStop();  // async-signal-safe
 }
 
-int ExportDemoBundle(const std::string& dir) {
+int ExportOneDemoBundle(const std::string& dir, uint64_t seed) {
   miss::data::SyntheticConfig config = miss::data::SyntheticConfig::Tiny();
-  config.seed = 42;
+  config.seed = seed;
   const miss::data::DatasetBundle data = GenerateSynthetic(config);
   miss::models::ModelConfig mc;
-  auto model = miss::models::CreateModel("din", data.test.schema, mc, 42);
+  auto model = miss::models::CreateModel("din", data.test.schema, mc, seed);
   const miss::obs::ModelBaseline baseline =
       miss::train::ComputeBaseline(*model, data.valid);
   if (!miss::serve::SaveBundle(*model, dir, &baseline)) {
@@ -82,13 +101,32 @@ int ExportDemoBundle(const std::string& dir) {
   return 0;
 }
 
+int ExportDemoBundle(const std::string& dir, int count) {
+  if (count <= 1) return ExportOneDemoBundle(dir, 42);
+  // Differently-seeded bundles (same schema, different weights) so a fleet
+  // walkthrough can tell the models apart by their scores.
+  for (int i = 0; i < count; ++i) {
+    const int rc =
+        ExportOneDemoBundle(dir + "/m" + std::to_string(i),
+                            static_cast<uint64_t>(42 + i));
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string bundle_dir;
   std::string export_dir;
+  int export_count = 1;
   std::string port_file;
+  std::string default_model;
+  // --model name=path pairs, in flag order (the first becomes the default).
+  std::vector<std::pair<std::string, std::string>> named_models;
   bool model_health = false;
+  int replicas = 1;
+  int64_t watch_ms = 0;
   miss::net::ServerConfig server_config;
   server_config.port = 8080;
   miss::serve::EngineConfig engine_config;
@@ -105,8 +143,25 @@ int main(int argc, char** argv) {
     };
     if (arg == "--bundle") {
       bundle_dir = next("--bundle");
+    } else if (arg == "--model") {
+      const std::string spec = next("--model");
+      const size_t eq = spec.find('=');
+      if (eq == 0 || eq == std::string::npos || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "--model expects <name>=<bundle-dir>, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      named_models.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--default-model") {
+      default_model = next("--default-model");
+    } else if (arg == "--replicas") {
+      replicas = std::atoi(next("--replicas"));
+    } else if (arg == "--watch-ms") {
+      watch_ms = std::atoll(next("--watch-ms"));
     } else if (arg == "--export-demo-bundle") {
       export_dir = next("--export-demo-bundle");
+    } else if (arg == "--export-count") {
+      export_count = std::atoi(next("--export-count"));
     } else if (arg == "--host") {
       server_config.bind_address = next("--host");
     } else if (arg == "--port") {
@@ -147,8 +202,11 @@ int main(int argc, char** argv) {
           "                  [--drain-timeout-ms N] [--slow-ms N]\n"
           "                  [--slow-log F] [--model-health]\n"
           "                  [--rank-workers N] [--rank-chunk N]\n"
-          "                  [--max-frame-bytes N]\n"
-          "       miss_serve --export-demo-bundle <dir>\n");
+          "                  [--max-frame-bytes N] [--replicas N]\n"
+          "                  [--watch-ms N]\n"
+          "       miss_serve --model <name>=<dir> [--model <n2>=<d2> ...]\n"
+          "                  [--default-model <name>] [... same flags ...]\n"
+          "       miss_serve --export-demo-bundle <dir> [--export-count N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
@@ -156,23 +214,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!export_dir.empty()) return ExportDemoBundle(export_dir);
-  if (bundle_dir.empty()) {
-    std::fprintf(stderr, "--bundle is required (or --export-demo-bundle)\n");
+  if (!export_dir.empty()) return ExportDemoBundle(export_dir, export_count);
+  if (bundle_dir.empty() && named_models.empty()) {
+    std::fprintf(stderr,
+                 "--bundle or --model is required (or --export-demo-bundle)\n");
     return 2;
   }
-
-  miss::serve::Bundle bundle;
-  if (!miss::serve::LoadBundle(bundle_dir, &bundle)) {
-    std::fprintf(stderr, "failed to load bundle from %s\n",
-                 bundle_dir.c_str());
-    return 1;
+  if (!bundle_dir.empty() && !named_models.empty()) {
+    std::fprintf(stderr, "--bundle and --model are mutually exclusive\n");
+    return 2;
   }
-  MISS_LOG(INFO) << "miss_serve: loaded \"" << bundle.model_name
-                 << "\" bundle (schema " << bundle.model->schema().name
-                 << ") from " << bundle_dir;
-  server_config.model_name = bundle.model_name;
-  server_config.bundle_path = bundle_dir;
+  if (replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
 
   // The slow-request log and the model-health monitor both need telemetry;
   // make --slow-ms / --model-health imply it. Read Enabled() first so the
@@ -182,38 +237,67 @@ int main(int argc, char** argv) {
     miss::obs::SetEnabled(true);
   }
 
-  std::unique_ptr<miss::serve::ModelHealthMonitor> monitor;
-  if (model_health) {
-    monitor = std::make_unique<miss::serve::ModelHealthMonitor>(
-        bundle.model->schema(), bundle.baseline);
-    engine_config.health = monitor.get();
-    server_config.health = monitor.get();
-    MISS_LOG(INFO) << "miss_serve: model-health monitoring on ("
-                   << (monitor->has_baseline()
-                           ? "baseline loaded; drift reporting active"
-                           : "no baseline in bundle; drift reporting off")
+  // The single-bundle form keeps the plain unlabeled metric names; the
+  // --model form labels every entry's metrics with {model="<name>"}.
+  const bool fleet_mode = !named_models.empty();
+  if (!fleet_mode) named_models.emplace_back("default", bundle_dir);
+
+  miss::fleet::ServingModelConfig entry_config;
+  entry_config.replicas = replicas;
+  entry_config.engine = engine_config;
+  entry_config.rank = rank_config;
+  entry_config.rank.nn_threads = engine_config.nn_threads;
+  entry_config.model_health = model_health;
+  entry_config.label_metrics = fleet_mode;
+
+  miss::fleet::ModelFleet fleet;
+  for (const auto& [name, path] : named_models) {
+    std::string error;
+    if (!fleet.AddModel(name, path, entry_config, &error)) {
+      std::fprintf(stderr, "failed to load model %s: %s\n", name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const std::shared_ptr<miss::fleet::ServingModel> entry =
+        fleet.Acquire(name);
+    MISS_LOG(INFO) << "miss_serve: loaded \"" << entry->bundle()->model_name
+                   << "\" bundle (schema " << entry->schema().name
+                   << ") from " << path << " as model \"" << name << "\" ("
+                   << replicas << " replica" << (replicas == 1 ? "" : "s")
+                   << ", rank "
+                   << (entry->rank_enabled() ? "on" : "off — no candidate "
+                                                      "field")
+                   << (entry->health() != nullptr
+                           ? entry->health()->has_baseline()
+                                 ? ", health on with baseline"
+                                 : ", health on without baseline"
+                           : "")
                    << ")";
+  }
+  if (!default_model.empty() && !fleet.SetDefaultModel(default_model)) {
+    std::fprintf(stderr, "--default-model %s is not a loaded model\n",
+                 default_model.c_str());
+    return 2;
+  }
+  if (!fleet_mode) {
+    // /statusz identity of the single-bundle form: the model name from the
+    // manifest and the bundle directory, as before the fleet existed.
+    server_config.model_name =
+        fleet.Acquire("")->bundle()->model_name;
+    server_config.bundle_path = bundle_dir;
   }
 
-  miss::serve::Engine engine(*bundle.model, engine_config);
-  // The rank engine shares the model (read-only forwards) and the health
-  // monitor, so drift tracking covers rank traffic too.
-  rank_config.nn_threads = engine_config.nn_threads;
-  rank_config.health = monitor.get();
-  miss::rank::RankEngine rank_engine(*bundle.model, rank_config);
-  server_config.rank = &rank_engine;
-  if (rank_engine.candidate_field() < 0) {
-    MISS_LOG(INFO) << "miss_serve: schema has no candidate field; "
-                      "/rank will answer with errors";
-  } else {
-    MISS_LOG(INFO) << "miss_serve: candidate ranking on ("
-                   << (rank_engine.split_active()
-                           ? "shared user encoding"
-                           : "per-candidate forward fallback")
-                   << ")";
-  }
-  miss::net::Server server(engine, bundle.model->schema(), server_config);
+  miss::net::Server server(fleet, server_config);
   if (!server.Start()) return 1;
+
+  miss::fleet::BundleWatcherConfig watcher_config;
+  watcher_config.poll_interval_ms = watch_ms;
+  miss::fleet::BundleWatcher watcher(fleet, watcher_config);
+  if (watch_ms > 0) {
+    watcher.Start();
+    MISS_LOG(INFO) << "miss_serve: watching bundle manifests every "
+                   << watch_ms << " ms for hot reload";
+  }
 
   if (!port_file.empty()) {
     std::ofstream out(port_file);
@@ -233,14 +317,16 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);  // broken clients must not kill the server
 
-  std::printf("miss_serve listening on %s:%d (model %s, %d workers)\n",
+  std::printf("miss_serve listening on %s:%d (%zu model%s, default %s, "
+              "%d workers)\n",
               server_config.bind_address.c_str(), server.port(),
-              bundle.model_name.c_str(), engine_config.num_workers);
+              fleet.num_models(), fleet.num_models() == 1 ? "" : "s",
+              fleet.default_model().c_str(), engine_config.num_workers);
   std::fflush(stdout);
 
   server.WaitUntilStopped();
-  engine.Drain();
-  rank_engine.Drain();
+  watcher.Stop();
+  fleet.DrainAll();
   g_server = nullptr;
 
   const miss::net::ServerStats stats = server.stats();

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace miss::net {
 
 namespace {
@@ -36,6 +38,166 @@ constexpr size_t kRankHeaderLen = 8 + 4 + 4 + 4 + 4;
 constexpr size_t kRankTrailerLen = 4 + 4;
 // Rank response before the scores: id, status, K.
 constexpr size_t kRankResponseHeaderLen = 8 + 1 + 4;
+// Named frame before the model name: id, marker, kind, name_len.
+constexpr size_t kNamedHeaderLen = 8 + 4 + 1 + 1;
+// Score body (both frame flavors) from num_cat on: num_cat, num_seq,
+// seq_len before the ids.
+constexpr size_t kScoreBodyHeaderLen = 4 + 4 + 4;
+// Rank body from its num_cat on adds top_k and K after the ids.
+constexpr size_t kRankBodyHeaderLen = 4 + 4 + 4;
+
+// Appends the score/rank body shared by the unnamed and named encoders:
+// num_cat, num_seq, seq_len, then the ids field-major.
+void AppendSampleBody(const data::Sample& sample, std::string* out) {
+  const uint32_t num_cat = static_cast<uint32_t>(sample.cat.size());
+  const uint32_t num_seq = static_cast<uint32_t>(sample.seq.size());
+  const uint32_t seq_len =
+      sample.seq.empty() ? 0 : static_cast<uint32_t>(sample.seq[0].size());
+  AppendRaw<uint32_t>(num_cat, out);
+  AppendRaw<uint32_t>(num_seq, out);
+  AppendRaw<uint32_t>(seq_len, out);
+  for (int64_t id : sample.cat) AppendRaw<int64_t>(id, out);
+  for (const auto& row : sample.seq) {
+    for (int64_t id : row) AppendRaw<int64_t>(id, out);
+  }
+}
+
+uint64_t SampleBodyLen(const data::Sample& sample) {
+  const uint64_t seq_len =
+      sample.seq.empty() ? 0 : static_cast<uint64_t>(sample.seq[0].size());
+  return kScoreBodyHeaderLen +
+         8 * (static_cast<uint64_t>(sample.cat.size()) +
+              static_cast<uint64_t>(sample.seq.size()) * seq_len);
+}
+
+// Parses a score body — u32 num_cat, u32 num_seq, u32 seq_len, then the
+// ids — with `p` at num_cat and `body_len` bytes from there to the end of
+// the payload. On success fills `out` as a kScore request.
+bool ParseScoreBody(const char* p, uint64_t body_len,
+                    const data::DatasetSchema& schema, WireRequest* out,
+                    std::string* error) {
+  if (body_len < kScoreBodyHeaderLen) {
+    *error = "score body of " + std::to_string(body_len) +
+             " bytes is shorter than the request header";
+    return false;
+  }
+  const uint32_t num_cat = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t num_seq = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t seq_len = ReadRaw<uint32_t>(p);
+  p += 4;
+  if (num_cat != static_cast<uint32_t>(schema.num_categorical()) ||
+      num_seq != static_cast<uint32_t>(schema.num_sequential())) {
+    *error = "field counts (" + std::to_string(num_cat) + " cat, " +
+             std::to_string(num_seq) + " seq) do not match schema \"" +
+             schema.name + "\" (" + std::to_string(schema.num_categorical()) +
+             " cat, " + std::to_string(schema.num_sequential()) + " seq)";
+    return false;
+  }
+  // body_len bounds the id count, so this multiply cannot overflow into a
+  // huge allocation: both factors are < MaxFrameBytes().
+  const uint64_t num_ids =
+      static_cast<uint64_t>(num_cat) +
+      static_cast<uint64_t>(num_seq) * static_cast<uint64_t>(seq_len);
+  if (body_len != kScoreBodyHeaderLen + 8 * num_ids) {
+    *error = "score body of " + std::to_string(body_len) +
+             " bytes does not match its declared field counts";
+    return false;
+  }
+  data::Sample& sample = out->sample;
+  sample.cat.resize(num_cat);
+  for (uint32_t i = 0; i < num_cat; ++i) {
+    sample.cat[i] = ReadRaw<int64_t>(p);
+    p += 8;
+  }
+  sample.seq.assign(num_seq, {});
+  for (uint32_t j = 0; j < num_seq; ++j) {
+    sample.seq[j].resize(seq_len);
+    for (uint32_t l = 0; l < seq_len; ++l) {
+      sample.seq[j][l] = ReadRaw<int64_t>(p);
+      p += 8;
+    }
+  }
+  sample.label = 0.0f;
+  out->kind = WireRequest::Kind::kScore;
+  out->label = 0.0f;
+  out->candidates.clear();
+  out->top_k = 0;
+  return true;
+}
+
+// Parses a rank body — u32 num_cat, u32 num_seq, u32 seq_len, the user
+// ids, u32 top_k, u32 K, the candidate ids — with `p` at num_cat and
+// `body_len` bytes from there to the end of the payload.
+bool ParseRankBody(const char* p, uint64_t body_len,
+                   const data::DatasetSchema& schema, WireRequest* out,
+                   std::string* error) {
+  if (body_len < kRankBodyHeaderLen + kRankTrailerLen) {
+    *error = "rank body of " + std::to_string(body_len) +
+             " bytes is shorter than the rank header";
+    return false;
+  }
+  const uint32_t user_cat = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t user_seq = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t seq_len = ReadRaw<uint32_t>(p);
+  p += 4;
+  if (user_cat != static_cast<uint32_t>(schema.num_categorical()) ||
+      user_seq != static_cast<uint32_t>(schema.num_sequential())) {
+    *error = "rank frame field counts (" + std::to_string(user_cat) +
+             " cat, " + std::to_string(user_seq) +
+             ") do not match schema \"" + schema.name + "\" (" +
+             std::to_string(schema.num_categorical()) + " cat, " +
+             std::to_string(schema.num_sequential()) + " seq)";
+    return false;
+  }
+  // body_len bounds every count below, so no wire-sized allocation can
+  // exceed the frame cap.
+  const uint64_t num_ids =
+      static_cast<uint64_t>(user_cat) +
+      static_cast<uint64_t>(user_seq) * static_cast<uint64_t>(seq_len);
+  const uint64_t ids_end = kRankBodyHeaderLen + 8 * num_ids + kRankTrailerLen;
+  if (body_len < ids_end) {
+    *error = "rank body of " + std::to_string(body_len) +
+             " bytes does not cover its declared user fields";
+    return false;
+  }
+  data::Sample& user = out->sample;
+  user.cat.resize(user_cat);
+  for (uint32_t i = 0; i < user_cat; ++i) {
+    user.cat[i] = ReadRaw<int64_t>(p);
+    p += 8;
+  }
+  user.seq.assign(user_seq, {});
+  for (uint32_t j = 0; j < user_seq; ++j) {
+    user.seq[j].resize(seq_len);
+    for (uint32_t l = 0; l < seq_len; ++l) {
+      user.seq[j][l] = ReadRaw<int64_t>(p);
+      p += 8;
+    }
+  }
+  user.label = 0.0f;
+  out->top_k = ReadRaw<uint32_t>(p);
+  p += 4;
+  const uint32_t k = ReadRaw<uint32_t>(p);
+  p += 4;
+  if (body_len != ids_end + 8 * static_cast<uint64_t>(k)) {
+    *error = "rank body of " + std::to_string(body_len) +
+             " bytes does not match its declared candidate count " +
+             std::to_string(k);
+    return false;
+  }
+  out->kind = WireRequest::Kind::kRank;
+  out->label = 0.0f;
+  out->candidates.resize(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    out->candidates[i] = ReadRaw<int64_t>(p);
+    p += 8;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -105,6 +267,45 @@ void EncodeRankRequest(uint64_t request_id, const data::Sample& user,
   for (int64_t id : candidates) AppendRaw<int64_t>(id, out);
 }
 
+void EncodeNamedRequest(uint64_t request_id, const std::string& model,
+                        const data::Sample& sample, std::string* out) {
+  MISS_CHECK(!model.empty());
+  MISS_CHECK_LE(model.size(), size_t{255});
+  const uint32_t payload_len = static_cast<uint32_t>(
+      kNamedHeaderLen + model.size() + SampleBodyLen(sample));
+  out->reserve(out->size() + 4 + payload_len);
+  AppendRaw<uint32_t>(payload_len, out);
+  AppendRaw<uint64_t>(request_id, out);
+  AppendRaw<uint32_t>(kNamedMarker, out);
+  out->push_back(static_cast<char>(kNamedScoreKind));
+  out->push_back(static_cast<char>(model.size()));
+  out->append(model);
+  AppendSampleBody(sample, out);
+}
+
+void EncodeNamedRankRequest(uint64_t request_id, const std::string& model,
+                            const data::Sample& user,
+                            const std::vector<int64_t>& candidates,
+                            uint32_t top_k, std::string* out) {
+  MISS_CHECK(!model.empty());
+  MISS_CHECK_LE(model.size(), size_t{255});
+  const uint32_t k = static_cast<uint32_t>(candidates.size());
+  const uint32_t payload_len = static_cast<uint32_t>(
+      kNamedHeaderLen + model.size() + SampleBodyLen(user) + kRankTrailerLen +
+      8 * static_cast<size_t>(k));
+  out->reserve(out->size() + 4 + payload_len);
+  AppendRaw<uint32_t>(payload_len, out);
+  AppendRaw<uint64_t>(request_id, out);
+  AppendRaw<uint32_t>(kNamedMarker, out);
+  out->push_back(static_cast<char>(kNamedRankKind));
+  out->push_back(static_cast<char>(model.size()));
+  out->append(model);
+  AppendSampleBody(user, out);
+  AppendRaw<uint32_t>(top_k, out);
+  AppendRaw<uint32_t>(k, out);
+  for (int64_t id : candidates) AppendRaw<int64_t>(id, out);
+}
+
 void EncodeResponse(const WireResponse& response, std::string* out) {
   if (response.ok) {
     AppendRaw<uint32_t>(static_cast<uint32_t>(kResponseOkLen), out);
@@ -141,6 +342,14 @@ void EncodeRankResponse(uint64_t request_id, const std::vector<float>& scores,
 DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
                            const data::DatasetSchema& schema,
                            WireRequest* out, std::string* error) {
+  return DecodeRequest(data, size, offset, &schema, ModelResolver(), out,
+                       error);
+}
+
+DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
+                           const data::DatasetSchema* default_schema,
+                           const ModelResolver& resolver, WireRequest* out,
+                           std::string* error) {
   const size_t avail = size - *offset;
   if (avail < 4) return DecodeStatus::kNeedMoreData;
   const char* p = data + *offset;
@@ -164,8 +373,24 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
   p += 4;
   out->request_id = ReadRaw<uint64_t>(p);
   p += 8;
+  out->model.clear();
+  out->model_known = true;
   const uint32_t num_cat = ReadRaw<uint32_t>(p);
   p += 4;
+
+  // Consumes the frame without parsing its body: the model name (or the
+  // missing default) did not resolve, so there is no schema to parse
+  // against. A routing miss, not a protocol error.
+  auto routing_miss = [&](WireRequest::Kind kind) {
+    out->kind = kind;
+    out->model_known = false;
+    out->sample = data::Sample();
+    out->label = 0.0f;
+    out->candidates.clear();
+    out->top_k = 0;
+    *offset += 4 + payload_len;
+    return DecodeStatus::kOk;
+  };
 
   if (num_cat == kFeedbackMarker) {
     if (payload_len != kFeedbackLen) {
@@ -182,123 +407,70 @@ DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
     return DecodeStatus::kOk;
   }
 
+  if (num_cat == kNamedMarker) {
+    if (payload_len < kNamedHeaderLen + 1) {
+      *error = "named frame payload of " + std::to_string(payload_len) +
+               " bytes is shorter than the named header";
+      return DecodeStatus::kMalformed;
+    }
+    const uint8_t kind = static_cast<uint8_t>(*p);
+    p += 1;
+    const uint8_t name_len = static_cast<uint8_t>(*p);
+    p += 1;
+    if (kind > kNamedRankKind) {
+      *error = "named frame kind " + std::to_string(kind) +
+               " is not score (0) or rank (1)";
+      return DecodeStatus::kMalformed;
+    }
+    if (name_len == 0) {
+      *error = "named frame carries an empty model name";
+      return DecodeStatus::kMalformed;
+    }
+    if (static_cast<size_t>(payload_len) <
+        kNamedHeaderLen + static_cast<size_t>(name_len)) {
+      *error = "named frame model name runs past the payload";
+      return DecodeStatus::kMalformed;
+    }
+    out->model.assign(p, name_len);
+    p += name_len;
+    const uint64_t body_len = static_cast<uint64_t>(payload_len) -
+                              kNamedHeaderLen -
+                              static_cast<uint64_t>(name_len);
+    const data::DatasetSchema* schema =
+        resolver ? resolver(out->model) : nullptr;
+    const WireRequest::Kind wire_kind = kind == kNamedRankKind
+                                            ? WireRequest::Kind::kRank
+                                            : WireRequest::Kind::kScore;
+    if (schema == nullptr) return routing_miss(wire_kind);
+    const bool ok = kind == kNamedRankKind
+                        ? ParseRankBody(p, body_len, *schema, out, error)
+                        : ParseScoreBody(p, body_len, *schema, out, error);
+    if (!ok) return DecodeStatus::kMalformed;
+    *offset += 4 + payload_len;
+    return DecodeStatus::kOk;
+  }
+
   if (num_cat == kRankMarker) {
-    if (payload_len < kRankHeaderLen + kRankTrailerLen) {
-      *error = "rank frame payload of " + std::to_string(payload_len) +
-               " bytes is shorter than the rank header";
+    if (default_schema == nullptr) {
+      return routing_miss(WireRequest::Kind::kRank);
+    }
+    if (!ParseRankBody(p, static_cast<uint64_t>(payload_len) - 12,
+                       *default_schema, out, error)) {
       return DecodeStatus::kMalformed;
-    }
-    const uint32_t user_cat = ReadRaw<uint32_t>(p);
-    p += 4;
-    const uint32_t user_seq = ReadRaw<uint32_t>(p);
-    p += 4;
-    const uint32_t seq_len = ReadRaw<uint32_t>(p);
-    p += 4;
-    if (user_cat != static_cast<uint32_t>(schema.num_categorical()) ||
-        user_seq != static_cast<uint32_t>(schema.num_sequential())) {
-      *error = "rank frame field counts (" + std::to_string(user_cat) +
-               " cat, " + std::to_string(user_seq) +
-               ") do not match schema \"" + schema.name + "\" (" +
-               std::to_string(schema.num_categorical()) + " cat, " +
-               std::to_string(schema.num_sequential()) + " seq)";
-      return DecodeStatus::kMalformed;
-    }
-    // payload_len bounds every count below, so no wire-sized allocation can
-    // exceed the frame cap.
-    const uint64_t num_ids =
-        static_cast<uint64_t>(user_cat) +
-        static_cast<uint64_t>(user_seq) * static_cast<uint64_t>(seq_len);
-    const uint64_t ids_end = kRankHeaderLen + 8 * num_ids + kRankTrailerLen;
-    if (static_cast<uint64_t>(payload_len) < ids_end) {
-      *error = "rank frame payload of " + std::to_string(payload_len) +
-               " bytes does not cover its declared user fields";
-      return DecodeStatus::kMalformed;
-    }
-    data::Sample& user = out->sample;
-    user.cat.resize(user_cat);
-    for (uint32_t i = 0; i < user_cat; ++i) {
-      user.cat[i] = ReadRaw<int64_t>(p);
-      p += 8;
-    }
-    user.seq.assign(user_seq, {});
-    for (uint32_t j = 0; j < user_seq; ++j) {
-      user.seq[j].resize(seq_len);
-      for (uint32_t l = 0; l < seq_len; ++l) {
-        user.seq[j][l] = ReadRaw<int64_t>(p);
-        p += 8;
-      }
-    }
-    user.label = 0.0f;
-    out->top_k = ReadRaw<uint32_t>(p);
-    p += 4;
-    const uint32_t k = ReadRaw<uint32_t>(p);
-    p += 4;
-    if (static_cast<uint64_t>(payload_len) !=
-        ids_end + 8 * static_cast<uint64_t>(k)) {
-      *error = "rank frame payload of " + std::to_string(payload_len) +
-               " bytes does not match its declared candidate count " +
-               std::to_string(k);
-      return DecodeStatus::kMalformed;
-    }
-    out->kind = WireRequest::Kind::kRank;
-    out->label = 0.0f;
-    out->candidates.resize(k);
-    for (uint32_t i = 0; i < k; ++i) {
-      out->candidates[i] = ReadRaw<int64_t>(p);
-      p += 8;
     }
     *offset += 4 + payload_len;
     return DecodeStatus::kOk;
   }
 
-  if (payload_len < kRequestHeaderLen) {
-    *error = "frame payload of " + std::to_string(payload_len) +
-             " bytes is shorter than the request header";
+  if (default_schema == nullptr) {
+    return routing_miss(WireRequest::Kind::kScore);
+  }
+  // Score frame: num_cat was already consumed to check for a marker; the
+  // body helper re-reads from it.
+  if (!ParseScoreBody(p - 4, static_cast<uint64_t>(payload_len) - 8,
+                      *default_schema, out, error)) {
     return DecodeStatus::kMalformed;
   }
-  out->kind = WireRequest::Kind::kScore;
-  out->label = 0.0f;
-  out->candidates.clear();
-  out->top_k = 0;
-  const uint32_t num_seq = ReadRaw<uint32_t>(p);
-  p += 4;
-  const uint32_t seq_len = ReadRaw<uint32_t>(p);
-  p += 4;
-
-  if (num_cat != static_cast<uint32_t>(schema.num_categorical()) ||
-      num_seq != static_cast<uint32_t>(schema.num_sequential())) {
-    *error = "field counts (" + std::to_string(num_cat) + " cat, " +
-             std::to_string(num_seq) + " seq) do not match schema \"" +
-             schema.name + "\" (" + std::to_string(schema.num_categorical()) +
-             " cat, " + std::to_string(schema.num_sequential()) + " seq)";
-    return DecodeStatus::kMalformed;
-  }
-  // payload_len bounds the id count, so this multiply cannot overflow into
-  // a huge allocation: both factors are < kMaxFrameBytes.
-  const uint64_t num_ids =
-      static_cast<uint64_t>(num_cat) +
-      static_cast<uint64_t>(num_seq) * static_cast<uint64_t>(seq_len);
-  if (static_cast<uint64_t>(payload_len) != kRequestHeaderLen + 8 * num_ids) {
-    *error = "frame payload of " + std::to_string(payload_len) +
-             " bytes does not match its declared field counts";
-    return DecodeStatus::kMalformed;
-  }
-
-  data::Sample& sample = out->sample;
-  sample.cat.resize(num_cat);
-  for (uint32_t i = 0; i < num_cat; ++i) {
-    sample.cat[i] = ReadRaw<int64_t>(p);
-    p += 8;
-  }
-  sample.seq.assign(num_seq, {});
-  for (uint32_t j = 0; j < num_seq; ++j) {
-    sample.seq[j].resize(seq_len);
-    for (uint32_t l = 0; l < seq_len; ++l) {
-      sample.seq[j][l] = ReadRaw<int64_t>(p);
-      p += 8;
-    }
-  }
-  sample.label = 0.0f;
   *offset += 4 + payload_len;
   return DecodeStatus::kOk;
 }

@@ -32,6 +32,21 @@
 //             u32 K
 //             i64 candidate_ids[K]   ids for schema.CandidateField()
 //
+//   named     u32 payload_len        fleet routing: any score/rank body
+//             u64 request_id         addressed to a model by name
+//             u32 0xFFFFFFFD         kNamedMarker, where num_cat sits
+//             u8  kind               0 = score, 1 = rank
+//             u8  name_len           1..255
+//             char name[name_len]    model name, matched exactly
+//             <body>                 the score frame from num_cat on
+//                                    (kind 0) or the rank frame from its
+//                                    num_cat on (kind 1)
+//
+// Unnamed frames route to the server's default model, so a pre-fleet client
+// speaks to a fleet unchanged. An unknown model name yields a per-request
+// error response (status 1) — the frame is consumed and the connection
+// lives on, unlike a structurally malformed frame.
+//
 //   response  u32 payload_len
 //             u64 request_id
 //             u8  status             0 = ok, 1 = error, 2 = rank ok
@@ -64,6 +79,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -90,6 +106,11 @@ void SetMaxFrameBytes(uint32_t limit);
 inline constexpr uint32_t kFeedbackMarker = 0xFFFFFFFFu;
 // Sentinel in the num_cat position marking a rank frame.
 inline constexpr uint32_t kRankMarker = 0xFFFFFFFEu;
+// Sentinel in the num_cat position marking a named (fleet-routed) frame.
+inline constexpr uint32_t kNamedMarker = 0xFFFFFFFDu;
+// Kind byte of a named frame.
+inline constexpr uint8_t kNamedScoreKind = 0;
+inline constexpr uint8_t kNamedRankKind = 1;
 
 struct WireResponse {
   uint64_t request_id = 0;
@@ -115,6 +136,13 @@ struct WireRequest {
   // kind == kRank only.
   std::vector<int64_t> candidates;
   uint32_t top_k = 0;
+  // Fleet routing: the named frame's model name ("" for an unnamed frame,
+  // which routes to the default model). When the name (or the missing
+  // default) did not resolve to a schema, model_known is false, the frame
+  // was consumed without parsing its body, and the caller should answer a
+  // per-request error.
+  std::string model;
+  bool model_known = true;
 };
 
 enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
@@ -123,6 +151,13 @@ enum class DecodeStatus { kOk, kNeedMoreData, kMalformed };
 void EncodeMagic(std::string* out);
 void EncodeRequest(uint64_t request_id, const data::Sample& sample,
                    std::string* out);
+// Named (fleet-routed) frames; `model` must be 1..255 bytes.
+void EncodeNamedRequest(uint64_t request_id, const std::string& model,
+                        const data::Sample& sample, std::string* out);
+void EncodeNamedRankRequest(uint64_t request_id, const std::string& model,
+                            const data::Sample& user,
+                            const std::vector<int64_t>& candidates,
+                            uint32_t top_k, std::string* out);
 void EncodeFeedback(uint64_t request_id, float label, std::string* out);
 void EncodeRankRequest(uint64_t request_id, const data::Sample& user,
                        const std::vector<int64_t>& candidates, uint32_t top_k,
@@ -132,14 +167,29 @@ void EncodeResponse(const WireResponse& response, std::string* out);
 void EncodeRankResponse(uint64_t request_id, const std::vector<float>& scores,
                         const std::vector<uint32_t>& top, std::string* out);
 
+// Maps a named frame's model name to that model's schema; null means the
+// name is unknown (the frame is consumed with model_known == false).
+using ModelResolver =
+    std::function<const data::DatasetSchema*(const std::string& model)>;
+
 // Incremental decoders over data[*offset..size): on kOk the frame is
 // consumed (*offset advanced); on kNeedMoreData nothing is consumed; on
 // kMalformed `*error` names the defect and the connection should be failed.
-// DecodeRequest checks a score frame's structure against `schema` (field
+// DecodeRequest checks a score frame's structure against the schema (field
 // counts, length arithmetic) but not id ranges — run ValidateSample next.
 DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
                            const data::DatasetSchema& schema,
                            WireRequest* out, std::string* error);
+
+// Fleet form: unnamed frames parse against `default_schema` (null = no
+// default model, frame consumed with model_known == false); named frames
+// resolve through `resolver` (a null resolver rejects every name). Unknown
+// names consume the whole frame and return kOk with model_known == false —
+// a routing miss, not a protocol error.
+DecodeStatus DecodeRequest(const char* data, size_t size, size_t* offset,
+                           const data::DatasetSchema* default_schema,
+                           const ModelResolver& resolver, WireRequest* out,
+                           std::string* error);
 DecodeStatus DecodeResponse(const char* data, size_t size, size_t* offset,
                             WireResponse* out, std::string* error);
 

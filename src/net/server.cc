@@ -193,7 +193,18 @@ struct Server::Conn {
 
 Server::Server(serve::Engine& engine, const data::DatasetSchema& schema,
                const ServerConfig& config)
-    : engine_(engine), schema_(schema), config_(config) {}
+    : owned_fleet_(std::make_unique<fleet::ModelFleet>()),
+      fleet_(owned_fleet_.get()),
+      config_(config) {
+  // One external entry with unlabeled metrics: routing, telemetry, and
+  // every response byte match the pre-fleet single-engine server.
+  owned_fleet_->AddExternal(
+      config.model_name.empty() ? "default" : config.model_name, schema,
+      &engine, config.rank, config.health);
+}
+
+Server::Server(fleet::ModelFleet& fleet, const ServerConfig& config)
+    : fleet_(&fleet), config_(config) {}
 
 Server::~Server() {
   Stop();
@@ -499,11 +510,28 @@ void Server::ParseBuffered(Conn& conn) {
 }
 
 void Server::ParseBinary(Conn& conn) {
+  // Each frame routes through the fleet: unnamed frames to the default
+  // entry, named frames through the decode resolver. The acquired
+  // shared_ptr rides the Completion, so a hot swap cannot retire this
+  // generation before the response is written. Acquire() takes the fleet
+  // mutex, so the default entry is resolved once per drain, not per frame —
+  // a swap mid-buffer only means the tail frames land on the outgoing
+  // generation, whose retirement bounces them into the submit retry loop.
+  std::shared_ptr<fleet::ServingModel> def = fleet_->Acquire("");
+  std::shared_ptr<fleet::ServingModel> named;
+  const ModelResolver resolver =
+      [this, &named](const std::string& model) -> const data::DatasetSchema* {
+    named = fleet_->Acquire(model);
+    return named != nullptr ? &named->schema() : nullptr;
+  };
   while (!draining_ && !conn.close_after_flush) {
+    if (def == nullptr) def = fleet_->Acquire("");
+    named.reset();
     WireRequest req;
     std::string error;
     const DecodeStatus status = DecodeRequest(
-        conn.rx.data(), conn.rx.size(), &conn.rx_off, schema_, &req, &error);
+        conn.rx.data(), conn.rx.size(), &conn.rx_off,
+        def != nullptr ? &def->schema() : nullptr, resolver, &req, &error);
     if (status == DecodeStatus::kNeedMoreData) break;
     if (status == DecodeStatus::kMalformed) {
       // Framing is lost: answer once (request id unknown -> 0) and close.
@@ -518,16 +546,36 @@ void Server::ParseBinary(Conn& conn) {
       ++stats_.responses;
       break;
     }
+    if (!req.model_known) {
+      // Routing miss: the model name (or the missing/unloaded default) did
+      // not resolve. The frame was consumed whole, so framing survives —
+      // answer this request id and keep the connection.
+      WireResponse resp;
+      resp.request_id = req.request_id;
+      resp.ok = false;
+      resp.error = req.model.empty()
+                       ? "default model is not loaded"
+                       : "unknown model \"" + req.model + "\"";
+      EncodeResponse(resp, &conn.tx);
+      // Not a protocol error (the frame was well-formed): only responses.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses;
+      continue;
+    }
+    std::shared_ptr<fleet::ServingModel> entry =
+        req.model.empty() ? std::move(def) : std::move(named);
     if (req.kind == WireRequest::Kind::kFeedback) {
       // Feedback is answered inline (no engine round trip): ok with score 1
       // when the id matched a remembered prediction, 0 when unknown; an
-      // error frame when model health is not running.
+      // error frame when model health is not running. Feedback frames are
+      // unnamed, so they join against the default model's monitor.
+      serve::ModelHealthMonitor* health =
+          entry != nullptr ? entry->health() : nullptr;
       WireResponse resp;
       resp.request_id = req.request_id;
-      if (config_.health != nullptr && obs::Enabled()) {
+      if (health != nullptr && obs::Enabled()) {
         resp.ok = true;
-        resp.score =
-            config_.health->Feedback(req.request_id, req.label) ? 1.0f : 0.0f;
+        resp.score = health->Feedback(req.request_id, req.label) ? 1.0f : 0.0f;
       } else {
         resp.ok = false;
         resp.error = "model health is disabled";
@@ -542,7 +590,7 @@ void Server::ParseBinary(Conn& conn) {
     if (req.kind == WireRequest::Kind::kRank) {
       WireResponse resp;
       resp.request_id = req.request_id;
-      if (config_.rank == nullptr) {
+      if (!entry->rank_enabled()) {
         resp.ok = false;
         resp.error = "candidate ranking is not enabled";
         EncodeResponse(resp, &conn.tx);
@@ -550,7 +598,8 @@ void Server::ParseBinary(Conn& conn) {
         ++stats_.responses;
         continue;
       }
-      if (!ValidateRankRequest(req.sample, req.candidates, schema_, &error)) {
+      if (!ValidateRankRequest(req.sample, req.candidates, entry->schema(),
+                               &error)) {
         resp.ok = false;
         resp.error = error;
         EncodeResponse(resp, &conn.tx);
@@ -559,11 +608,12 @@ void Server::ParseBinary(Conn& conn) {
         ++stats_.responses;
         continue;
       }
-      SubmitRank(conn, req.request_id, /*http=*/false, std::move(req.sample),
-                 std::move(req.candidates), static_cast<int64_t>(req.top_k));
+      SubmitRank(conn, req.request_id, /*http=*/false, std::move(entry),
+                 std::move(req.sample), std::move(req.candidates),
+                 static_cast<int64_t>(req.top_k));
       continue;
     }
-    if (!ValidateSample(req.sample, schema_, &error)) {
+    if (!ValidateSample(req.sample, entry->schema(), &error)) {
       // The frame itself was well-formed, so framing survives: report the
       // defect against its request id and keep the connection.
       WireResponse resp;
@@ -578,7 +628,8 @@ void Server::ParseBinary(Conn& conn) {
       }
       continue;
     }
-    SubmitScore(conn, req.request_id, /*http=*/false, std::move(req.sample));
+    SubmitScore(conn, req.request_id, /*http=*/false, std::move(entry),
+                std::move(req.sample));
   }
   if (conn.read_closed && conn.in_flight == 0 && conn.tx_pending() == 0) {
     CloseConn(conn.id);
@@ -614,14 +665,22 @@ void Server::ParseHttp(Conn& conn) {
       query = route.substr(qpos + 1);
       route.resize(qpos);
     }
+    // Model-addressed routes: /score/<name> etc.; "" = the default model.
+    std::string model;
     if (req.method == "GET" && route == "/healthz") {
       conn.tx += MakeHttpResponse(200, "application/json", HealthzJson(),
                                   req.keep_alive);
     } else if (req.method == "GET" && route == "/metricz") {
-      // Health gauges are computed on demand; refresh them so the scrape
-      // sees current drift/calibration values, not the last request's.
-      if (config_.health != nullptr && obs::Enabled()) {
-        config_.health->UpdateGauges();
+      // Health gauges are computed on demand; refresh every entry's monitor
+      // so the scrape sees current drift/calibration values, not the last
+      // request's.
+      if (obs::Enabled()) {
+        for (const std::string& name : fleet_->ModelNames()) {
+          std::shared_ptr<fleet::ServingModel> e = fleet_->Acquire(name);
+          if (e != nullptr && e->health() != nullptr) {
+            e->health()->UpdateGauges();
+          }
+        }
       }
       if (query == "format=prom") {
         conn.tx += MakeHttpResponse(
@@ -637,20 +696,30 @@ void Server::ParseHttp(Conn& conn) {
     } else if (req.method == "GET" && route == "/statusz") {
       conn.tx += MakeHttpResponse(200, "application/json", StatuszJson(),
                                   req.keep_alive);
-    } else if (req.method == "GET" && route == "/modelz") {
-      if (config_.health != nullptr && obs::Enabled()) {
+    } else if (req.method == "GET" && SplitModelRoute(route, "/modelz",
+                                                      &model)) {
+      std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(model);
+      if (entry == nullptr) {
+        conn.tx += MakeHttpResponse(
+            404, "application/json",
+            ErrorJson(model.empty() ? "default model is not loaded"
+                                    : "unknown model \"" + model + "\""),
+            req.keep_alive);
+      } else if (entry->health() != nullptr && obs::Enabled()) {
         conn.tx += MakeHttpResponse(200, "application/json",
-                                    config_.health->ModelzJson(),
+                                    entry->health()->ModelzJson(),
                                     req.keep_alive);
       } else {
         conn.tx += MakeHttpResponse(
             503, "application/json",
-            ErrorJson(config_.health == nullptr
+            ErrorJson(entry->health() == nullptr
                           ? "model health monitoring is not attached"
                           : "telemetry is disabled (set MISS_OBS=1)"),
             req.keep_alive);
       }
-    } else if (req.method == "POST" && route == "/feedback") {
+    } else if (req.method == "POST" && SplitModelRoute(route, "/feedback",
+                                                       &model)) {
+      std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(model);
       obs::JsonValue body;
       const obs::JsonValue* id_v = nullptr;
       const obs::JsonValue* label_v = nullptr;
@@ -667,23 +736,38 @@ void Server::ParseHttp(Conn& conn) {
             req.keep_alive);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.protocol_errors;
-      } else if (config_.health == nullptr || !obs::Enabled()) {
+      } else if (entry == nullptr) {
+        conn.tx += MakeHttpResponse(
+            404, "application/json",
+            ErrorJson(model.empty() ? "default model is not loaded"
+                                    : "unknown model \"" + model + "\""),
+            req.keep_alive);
+      } else if (entry->health() == nullptr || !obs::Enabled()) {
         conn.tx += MakeHttpResponse(
             503, "application/json",
-            ErrorJson(config_.health == nullptr
+            ErrorJson(entry->health() == nullptr
                           ? "model health monitoring is not attached"
                           : "telemetry is disabled (set MISS_OBS=1)"),
             req.keep_alive);
       } else {
-        const bool matched = config_.health->Feedback(
+        const bool matched = entry->health()->Feedback(
             static_cast<uint64_t>(id_v->number),
             static_cast<float>(label_v->number));
         conn.tx += MakeHttpResponse(200, "application/json",
                                     FeedbackJson(matched), req.keep_alive);
       }
-    } else if (req.method == "POST" && route == "/score") {
+    } else if (req.method == "POST" && SplitModelRoute(route, "/score",
+                                                       &model)) {
+      std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(model);
       data::Sample sample;
-      if (!ParseScoreRequestJson(req.body, schema_, &sample, &error)) {
+      if (entry == nullptr) {
+        conn.tx += MakeHttpResponse(
+            404, "application/json",
+            ErrorJson(model.empty() ? "default model is not loaded"
+                                    : "unknown model \"" + model + "\""),
+            req.keep_alive);
+      } else if (!ParseScoreRequestJson(req.body, entry->schema(), &sample,
+                                        &error)) {
         conn.tx += MakeHttpResponse(400, "application/json", ErrorJson(error),
                                     req.keep_alive);
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -693,18 +777,26 @@ void Server::ParseHttp(Conn& conn) {
         conn.http_keep_alive = req.keep_alive;
         responded = false;
         SubmitScore(conn, next_http_request_id_++, /*http=*/true,
-                    std::move(sample));
+                    std::move(entry), std::move(sample));
       }
-    } else if (req.method == "POST" && route == "/rank") {
+    } else if (req.method == "POST" && SplitModelRoute(route, "/rank",
+                                                       &model)) {
+      std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(model);
       data::Sample user;
       std::vector<int64_t> candidates;
       int64_t top_k = 0;
-      if (config_.rank == nullptr) {
+      if (entry == nullptr) {
+        conn.tx += MakeHttpResponse(
+            404, "application/json",
+            ErrorJson(model.empty() ? "default model is not loaded"
+                                    : "unknown model \"" + model + "\""),
+            req.keep_alive);
+      } else if (!entry->rank_enabled()) {
         conn.tx += MakeHttpResponse(
             503, "application/json",
             ErrorJson("candidate ranking is not enabled"), req.keep_alive);
-      } else if (!ParseRankRequestJson(req.body, schema_, &user, &candidates,
-                                       &top_k, &error)) {
+      } else if (!ParseRankRequestJson(req.body, entry->schema(), &user,
+                                       &candidates, &top_k, &error)) {
         conn.tx += MakeHttpResponse(400, "application/json", ErrorJson(error),
                                     req.keep_alive);
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -714,7 +806,41 @@ void Server::ParseHttp(Conn& conn) {
         conn.http_keep_alive = req.keep_alive;
         responded = false;
         SubmitRank(conn, next_http_request_id_++, /*http=*/true,
-                   std::move(user), std::move(candidates), top_k);
+                   std::move(entry), std::move(user), std::move(candidates),
+                   top_k);
+      }
+    } else if (req.method == "POST" &&
+               (route == "/admin/reload" || route == "/admin/unload")) {
+      // Optional JSON body {"model": "<name>"}; empty body targets the
+      // default model. The swap runs on the fleet worker thread and answers
+      // back through the completion queue — the event loop never blocks on
+      // a bundle load.
+      bool bad_body = false;
+      if (!req.body.empty()) {
+        obs::JsonValue body;
+        const obs::JsonValue* model_v = nullptr;
+        if (obs::JsonParse(req.body, &body) && body.IsObject()) {
+          model_v = body.Find("model");
+        }
+        if (model_v != nullptr && model_v->IsString()) {
+          model = model_v->string;
+        } else {
+          bad_body = true;
+        }
+      }
+      if (bad_body) {
+        conn.tx += MakeHttpResponse(
+            400, "application/json",
+            ErrorJson("admin body must be empty or {\"model\": <string>}"),
+            req.keep_alive);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      } else {
+        if (model.empty()) model = fleet_->default_model();
+        conn.http_busy = true;
+        conn.http_keep_alive = req.keep_alive;
+        responded = false;
+        SubmitAdmin(conn, route == "/admin/reload", model);
       }
     } else if (req.method != "GET" && req.method != "POST") {
       conn.tx += MakeHttpResponse(405, "application/json",
@@ -723,9 +849,10 @@ void Server::ParseHttp(Conn& conn) {
     } else {
       conn.tx += MakeHttpResponse(
           404, "application/json",
-          ErrorJson("no such endpoint; try POST /score, POST /rank, "
-                    "POST /feedback, GET /healthz, GET /metricz, "
-                    "GET /statusz, GET /modelz"),
+          ErrorJson("no such endpoint; try POST /score[/<model>], "
+                    "POST /rank[/<model>], POST /feedback, "
+                    "POST /admin/reload, POST /admin/unload, GET /healthz, "
+                    "GET /metricz, GET /statusz, GET /modelz[/<model>]"),
           req.keep_alive);
     }
     if (responded) {
@@ -744,6 +871,7 @@ void Server::ParseHttp(Conn& conn) {
 }
 
 void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
+                         std::shared_ptr<fleet::ServingModel> entry,
                          data::Sample sample) {
   ++conn.in_flight;
   ++conn.requests;
@@ -761,6 +889,10 @@ void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     reg.GetCounter("net/requests").Add(1);
     reg.GetSlidingCounter("net/requests").Add(1);
+    if (!entry->metric_suffix().empty()) {
+      reg.GetCounter(entry->metric_names().net_requests).Add(1);
+      reg.GetSlidingCounter(entry->metric_names().net_requests).Add(1);
+    }
     // Trace the request through the engine. recv falls back to parse time
     // for requests that arrived glued to an earlier one in the same read.
     pending.trace.trace_id = next_trace_id_++;
@@ -776,19 +908,36 @@ void Server::SubmitScore(Conn& conn, uint64_t request_id, bool http,
     }
   }
   std::shared_ptr<CompletionSink> sink = sink_;
-  engine_.SubmitTraced(
-      std::move(sample), pending.trace,
-      [sink, pending](float score, bool ok,
-                      const serve::RequestTrace& trace) {
-        Completion done = pending;
-        done.ok = ok;
-        done.score = score;
-        done.trace = trace;
-        sink->Push(done);
-      });
+  const std::string model_name = entry->name();
+  // A false SubmitScore means the generation retired between Acquire and
+  // submit (the sample is untouched): re-Acquire and land on the successor.
+  // Null after a retire means the entry was unloaded — fail the request.
+  for (;;) {
+    pending.entry = entry;
+    if (entry->SubmitScore(
+            &sample, pending.trace,
+            [sink, pending](float score, bool ok,
+                            const serve::RequestTrace& trace) {
+              Completion done = pending;
+              done.ok = ok;
+              done.score = score;
+              done.trace = trace;
+              sink->Push(done);
+            })) {
+      return;
+    }
+    entry = fleet_->Acquire(model_name);
+    if (entry == nullptr) {
+      Completion done = pending;
+      done.ok = false;
+      sink->Push(done);
+      return;
+    }
+  }
 }
 
 void Server::SubmitRank(Conn& conn, uint64_t request_id, bool http,
+                        std::shared_ptr<fleet::ServingModel> entry,
                         data::Sample user, std::vector<int64_t> candidates,
                         int64_t top_k) {
   ++conn.in_flight;
@@ -810,6 +959,10 @@ void Server::SubmitRank(Conn& conn, uint64_t request_id, bool http,
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     reg.GetCounter("net/requests").Add(1);
     reg.GetSlidingCounter("net/requests").Add(1);
+    if (!entry->metric_suffix().empty()) {
+      reg.GetCounter(entry->metric_names().net_requests).Add(1);
+      reg.GetSlidingCounter(entry->metric_names().net_requests).Add(1);
+    }
     pending.trace.trace_id = next_trace_id_++;
     pending.trace.recv_ns =
         conn.last_read_ns != 0 ? conn.last_read_ns : pending.parsed_ns;
@@ -824,20 +977,77 @@ void Server::SubmitRank(Conn& conn, uint64_t request_id, bool http,
   request.candidates = std::move(candidates);
   request.top_k = top_k;
   std::shared_ptr<CompletionSink> sink = sink_;
-  config_.rank->SubmitTraced(
-      std::move(request), pending.trace,
-      [sink, pending](rank::RankResult result, bool ok,
-                      const serve::RequestTrace& trace) {
-        Completion done = pending;
-        done.ok = ok;
-        done.scores = std::move(result.scores);
-        done.top.reserve(result.top.size());
-        for (int32_t index : result.top) {
-          done.top.push_back(static_cast<uint32_t>(index));
-        }
-        done.trace = trace;
-        sink->Push(done);
-      });
+  const std::string model_name = entry->name();
+  for (;;) {
+    pending.entry = entry;
+    if (entry->SubmitRank(
+            &request, pending.trace,
+            [sink, pending](rank::RankResult result, bool ok,
+                            const serve::RequestTrace& trace) {
+              Completion done = pending;
+              done.ok = ok;
+              done.scores = std::move(result.scores);
+              done.top.reserve(result.top.size());
+              for (int32_t index : result.top) {
+                done.top.push_back(static_cast<uint32_t>(index));
+              }
+              done.trace = trace;
+              sink->Push(done);
+            })) {
+      return;
+    }
+    // Retired between Acquire and submit; retry on the successor — which
+    // may no longer rank (schema-compatible bundles share a candidate
+    // field, but an unloaded entry yields null).
+    entry = fleet_->Acquire(model_name);
+    if (entry == nullptr || !entry->rank_enabled()) {
+      Completion done = pending;
+      done.ok = false;
+      sink->Push(done);
+      return;
+    }
+  }
+}
+
+void Server::SubmitAdmin(Conn& conn, bool reload, const std::string& model) {
+  ++conn.in_flight;
+  ++conn.requests;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    ++stats_.in_flight;
+  }
+  Completion pending;
+  pending.conn_id = conn.id;
+  pending.http = true;
+  pending.admin = true;
+  pending.parsed_ns = obs::NowNs();
+  std::shared_ptr<CompletionSink> sink = sink_;
+  const auto done_cb = [sink, pending, reload,
+                        model](bool ok, std::string error) {
+    Completion done = pending;
+    done.ok = true;  // app-level failure, not an engine drain: keep-alive
+    if (ok) {
+      done.admin_status = 200;
+      obs::JsonWriter w;
+      w.BeginObject();
+      w.Key("ok").Bool(true);
+      w.Key("action").String(reload ? "reload" : "unload");
+      w.Key("model").String(model);
+      w.EndObject();
+      done.admin_body = w.str();
+    } else {
+      done.admin_status =
+          error.rfind("unknown model", 0) == 0 ? 404 : 409;
+      done.admin_body = ErrorJson(error);
+    }
+    sink->Push(done);
+  };
+  if (reload) {
+    fleet_->ReloadAsync(model, done_cb);
+  } else {
+    fleet_->UnloadAsync(model, done_cb);
+  }
 }
 
 void Server::ProcessCompletions() {
@@ -860,22 +1070,37 @@ void Server::ProcessCompletions() {
   }
 
   for (const Completion& c : items) {
-    if (latency != nullptr) {
-      latency->Record(static_cast<double>(now_ns - c.parsed_ns) / 1e6);
+    if (latency != nullptr && !c.admin) {
+      const double ms = static_cast<double>(now_ns - c.parsed_ns) / 1e6;
+      latency->Record(ms);
+      if (c.entry != nullptr && !c.entry->metric_suffix().empty()) {
+        obs::MetricsRegistry::Global()
+            .GetHistogram(c.entry->metric_names().net_latency)
+            .Record(ms);
+      }
       RecordStages(c, now_ns);
     }
     // Remember the served score so later feedback can be joined to it —
     // including for clients whose connection died before the reply landed.
     // Rank scores are not remembered: one request id covers K candidates,
     // so a scalar feedback label has no single score to join against.
-    if (c.ok && !c.rank && config_.health != nullptr && obs::Enabled()) {
-      config_.health->RememberScore(c.request_id, c.score);
+    if (c.ok && !c.rank && !c.admin && c.entry != nullptr &&
+        c.entry->health() != nullptr && obs::Enabled()) {
+      c.entry->health()->RememberScore(c.request_id, c.score);
     }
     auto it = conns_.find(c.conn_id);
     if (it == conns_.end()) continue;  // connection died while scoring
     Conn& conn = *it->second;
     --conn.in_flight;
-    if (c.http) {
+    if (c.admin) {
+      // Admin responses were prebuilt on the fleet worker; an app-level
+      // failure (409/404 body) keeps the connection alive.
+      const bool keep = conn.http_keep_alive;
+      conn.tx += MakeHttpResponse(c.admin_status, "application/json",
+                                  c.admin_body, keep);
+      conn.http_busy = false;
+      if (!keep) conn.close_after_flush = true;
+    } else if (c.http) {
       const bool keep = conn.http_keep_alive && c.ok;
       if (!c.ok) {
         conn.tx += MakeHttpResponse(503, "application/json",
@@ -947,6 +1172,21 @@ void Server::RecordStages(const Completion& c, int64_t reply_ns) {
   reg.GetSlidingHistogram(kStageForward).Record(forward_ms);
   reg.GetSlidingHistogram(kStageWrite).Record(write_ms);
   reg.GetSlidingHistogram(kStageTotal).Record(total_ms);
+  if (c.entry != nullptr && !c.entry->metric_suffix().empty()) {
+    // The per-model view of the same breakdown; the unlabeled series above
+    // stay the server-wide aggregate.
+    const fleet::EntryMetricNames& names = c.entry->metric_names();
+    reg.GetHistogram(names.stage_parse).Record(parse_ms);
+    reg.GetHistogram(names.stage_queue).Record(queue_ms);
+    reg.GetHistogram(names.stage_forward).Record(forward_ms);
+    reg.GetHistogram(names.stage_write).Record(write_ms);
+    reg.GetHistogram(names.stage_total).Record(total_ms);
+    reg.GetSlidingHistogram(names.stage_parse).Record(parse_ms);
+    reg.GetSlidingHistogram(names.stage_queue).Record(queue_ms);
+    reg.GetSlidingHistogram(names.stage_forward).Record(forward_ms);
+    reg.GetSlidingHistogram(names.stage_write).Record(write_ms);
+    reg.GetSlidingHistogram(names.stage_total).Record(total_ms);
+  }
 
   if (config_.slow_request_ms <= 0 ||
       total_ms < static_cast<double>(config_.slow_request_ms)) {
@@ -1046,6 +1286,7 @@ void Server::CloseConn(uint64_t conn_id) {
 
 std::string Server::HealthzJson() const {
   const ServerStats s = stats();
+  const std::shared_ptr<fleet::ServingModel> def = fleet_->Acquire("");
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("status").String(draining_ ? "draining" : "ok");
@@ -1057,7 +1298,7 @@ std::string Server::HealthzJson() const {
   w.Key("protocol_errors").Int(s.protocol_errors);
   w.Key("bytes_rx").Int(s.bytes_rx);
   w.Key("bytes_tx").Int(s.bytes_tx);
-  w.Key("engine_queue_depth").Int(engine_.QueueDepth());
+  w.Key("engine_queue_depth").Int(def != nullptr ? def->QueueDepth() : 0);
   w.Key("telemetry_enabled").Bool(obs::Enabled());
   if (obs::Enabled()) {
     // The serve/* and net/* slices of the registry snapshot — the numbers
@@ -1094,13 +1335,20 @@ std::string Server::HealthzJson() const {
 
 std::string Server::StatuszJson() const {
   const ServerStats s = stats();
+  const std::shared_ptr<fleet::ServingModel> def = fleet_->Acquire("");
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("status").String(draining_ ? "draining" : "ok");
   w.Key("uptime_seconds")
       .Number(static_cast<double>(obs::NowNs() - start_ns_) / 1e9);
-  w.Key("model").String(config_.model_name);
-  w.Key("bundle").String(config_.bundle_path);
+  // Legacy single-model keys: the configured identity when set, else the
+  // fleet default's.
+  w.Key("model").String(!config_.model_name.empty() || def == nullptr
+                            ? config_.model_name
+                            : def->name());
+  w.Key("bundle").String(!config_.bundle_path.empty() || def == nullptr
+                             ? config_.bundle_path
+                             : def->bundle_path());
   {
     const common::BuildInfo& info = common::GetBuildInfo();
     w.Key("build").BeginObject();
@@ -1110,20 +1358,23 @@ std::string Server::StatuszJson() const {
     w.Key("cxx_standard").String(info.cxx_standard);
     w.EndObject();
   }
-  w.Key("model_health_attached").Bool(config_.health != nullptr);
+  w.Key("model_health_attached")
+      .Bool(def != nullptr && def->health() != nullptr);
   w.Key("connections").Int(s.connections_active);
   w.Key("in_flight").Int(s.in_flight);
   w.Key("requests_total").Int(s.requests);
-  w.Key("engine_queue_depth").Int(engine_.QueueDepth());
+  w.Key("engine_queue_depth").Int(def != nullptr ? def->QueueDepth() : 0);
   w.Key("telemetry_enabled").Bool(obs::Enabled());
   obs::RegistrySnapshot snap;
   if (obs::Enabled()) snap = obs::MetricsRegistry::Global().SnapshotAll();
+  rank::RankEngine* def_rank =
+      def != nullptr ? def->rank_engine() : nullptr;
   w.Key("rank").BeginObject();
-  w.Key("enabled").Bool(config_.rank != nullptr);
-  if (config_.rank != nullptr) {
+  w.Key("enabled").Bool(def_rank != nullptr);
+  if (def_rank != nullptr) {
     w.Key("requests_total").Int(s.rank_requests);
-    w.Key("split_active").Bool(config_.rank->split_active());
-    w.Key("queue_depth").Int(config_.rank->QueueDepth());
+    w.Key("split_active").Bool(def_rank->split_active());
+    w.Key("queue_depth").Int(def_rank->QueueDepth());
     if (obs::Enabled()) {
       w.Key("qps_window").Number(snap.RateOr("rank/requests", 0.0));
       w.Key("candidates_per_sec_window")
@@ -1140,6 +1391,49 @@ std::string Server::StatuszJson() const {
       }
     }
   }
+  w.EndObject();
+  w.Key("fleet").BeginObject();
+  w.Key("default").String(fleet_->default_model());
+  w.Key("swaps_total").Int(fleet_->swaps_total());
+  w.Key("models").BeginArray();
+  for (const std::string& name : fleet_->ModelNames()) {
+    const std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(name);
+    w.BeginObject();
+    w.Key("name").String(name);
+    if (entry == nullptr) {
+      w.Key("loaded").Bool(false);
+    } else {
+      w.Key("loaded").Bool(true);
+      w.Key("bundle").String(entry->bundle_path());
+      w.Key("manifest_hash").String(entry->manifest_hash());
+      w.Key("generation").Int(static_cast<int64_t>(entry->generation()));
+      w.Key("replicas").Int(entry->num_replicas());
+      w.Key("queue_depth").Int(entry->QueueDepth());
+      w.Key("in_flight").Int(entry->InFlight());
+      w.Key("reloadable").Bool(entry->reloadable());
+      w.Key("rank_enabled").Bool(entry->rank_enabled());
+      w.Key("health_attached").Bool(entry->health() != nullptr);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  // Newest-first swap journal: one row per load/reload/unload attempt.
+  w.Key("swaps").BeginArray();
+  for (const fleet::FleetSwapRecord& r : fleet_->Journal()) {
+    w.BeginObject();
+    w.Key("model").String(r.model);
+    w.Key("kind").String(r.kind);
+    w.Key("ok").Bool(r.ok);
+    if (!r.ok) w.Key("error").String(r.error);
+    w.Key("old_manifest_hash").String(r.old_manifest_hash);
+    w.Key("new_manifest_hash").String(r.new_manifest_hash);
+    w.Key("generation").Int(static_cast<int64_t>(r.generation));
+    w.Key("load_ms").Number(r.load_ms);
+    w.Key("drain_ms").Number(r.drain_ms);
+    w.Key("unix_ms").Int(r.unix_ms);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   if (obs::Enabled()) {
     w.Key("qps_window").Number(snap.RateOr("net/requests", 0.0));

@@ -1,4 +1,4 @@
-// TCP serving front-end over serve::Engine.
+// TCP serving front-end over a fleet::ModelFleet.
 //
 // One poll(2)-driven event-loop thread owns the listener and every
 // connection; scoring runs on the engine's worker threads, which hand
@@ -7,11 +7,27 @@
 // connection speaks one of two protocols, sniffed from its first bytes:
 //
 //   * the length-prefixed binary protocol (net/protocol.h) — pipelined
-//     requests, out-of-order responses correlated by request id;
-//   * HTTP/1.1 (net/http.h) — POST /score, POST /rank, POST /feedback,
+//     requests, out-of-order responses correlated by request id; named
+//     frames (kNamedMarker) route to a fleet model by name, unnamed frames
+//     to the fleet's default model;
+//   * HTTP/1.1 (net/http.h) — POST /score[/<model>], POST /rank[/<model>],
+//     POST /feedback[/<model>], POST /admin/reload, POST /admin/unload,
 //     GET /healthz, GET /metricz (?format=prom for Prometheus text),
-//     GET /statusz, GET /modelz, keep-alive, one request in flight per
-//     connection.
+//     GET /statusz, GET /modelz[/<model>], keep-alive, one request in
+//     flight per connection.
+//
+// Model routing: every request Acquire()s a fleet entry's current
+// generation and holds the shared_ptr until its response is written, so a
+// hot bundle swap never drops an in-flight request — it finishes on the old
+// generation, which drains and retires in the background. An unknown (or
+// unloaded) model name is a per-request error — an error frame or a 404
+// JSON body — never a connection close. POST /admin/reload and
+// /admin/unload run on the fleet's worker thread and complete back through
+// the completion queue, so the event loop never blocks on a bundle load.
+//
+// The legacy constructor (one engine + schema) wraps its arguments in an
+// internal single-entry fleet with unlabeled metrics: a one-model
+// one-replica server is byte-for-byte the pre-fleet server.
 //
 // Malformed input of either kind produces a per-connection error (an error
 // frame or a 4xx) and at worst closes that connection — never the server.
@@ -63,6 +79,7 @@
 #include <vector>
 
 #include "data/schema.h"
+#include "fleet/model_fleet.h"
 #include "serve/engine.h"
 
 namespace miss::rank {
@@ -114,10 +131,19 @@ struct ServerStats {
 
 class Server {
  public:
-  // `engine` and `schema` must outlive the server; `schema` is the serving
-  // bundle's and is what request validation runs against.
+  // Legacy single-model front-end: wraps `engine` (and config.rank /
+  // config.health) in an internal one-entry fleet whose entry keeps the
+  // plain unlabeled metric names. `engine` and `schema` must outlive the
+  // server; `schema` is the serving bundle's and is what request validation
+  // runs against.
   Server(serve::Engine& engine, const data::DatasetSchema& schema,
          const ServerConfig& config = {});
+
+  // Fleet front-end: routes named requests across `fleet`'s entries and
+  // unnamed requests to its default model. `fleet` must outlive the server;
+  // config.rank and config.health are ignored (each entry carries its own).
+  Server(fleet::ModelFleet& fleet, const ServerConfig& config = {});
+
   ~Server();
 
   Server(const Server&) = delete;
@@ -157,6 +183,16 @@ class Server {
     std::vector<float> scores;
     std::vector<uint32_t> top;
     std::vector<int64_t> candidates;
+    // The generation this request scored on. Held from submit until the
+    // response is written, which is what keeps a hot-swapped-out generation
+    // (engines, monitor, model) alive through its in-flight requests. Also
+    // carries the entry's labeled metric names and health monitor.
+    std::shared_ptr<fleet::ServingModel> entry;
+    // Admin completions (POST /admin/reload|unload): the response is
+    // prebuilt on the fleet worker thread.
+    bool admin = false;
+    int admin_status = 200;
+    std::string admin_body;
     int64_t parsed_ns = 0;  // request-parse time, for net/request_latency_ms
     // Stage timestamps; trace_id == 0 when telemetry was off at submit.
     serve::RequestTrace trace;
@@ -182,10 +218,12 @@ class Server {
   void ParseBinary(Conn& conn);
   void ParseHttp(Conn& conn);
   void SubmitScore(Conn& conn, uint64_t request_id, bool http,
+                   std::shared_ptr<fleet::ServingModel> entry,
                    data::Sample sample);
   void SubmitRank(Conn& conn, uint64_t request_id, bool http,
-                  data::Sample user, std::vector<int64_t> candidates,
-                  int64_t top_k);
+                  std::shared_ptr<fleet::ServingModel> entry, data::Sample user,
+                  std::vector<int64_t> candidates, int64_t top_k);
+  void SubmitAdmin(Conn& conn, bool reload, const std::string& model);
   void ProcessCompletions();
   void RecordStages(const Completion& c, int64_t reply_ns);
   bool FlushWrites(Conn& conn);  // false when the conn died
@@ -193,8 +231,10 @@ class Server {
   std::string HealthzJson() const;
   std::string StatuszJson() const;
 
-  serve::Engine& engine_;
-  const data::DatasetSchema& schema_;
+  // Legacy-constructor fleet wrapping the caller's engine; null when the
+  // caller supplied its own fleet.
+  std::unique_ptr<fleet::ModelFleet> owned_fleet_;
+  fleet::ModelFleet* fleet_ = nullptr;
   const ServerConfig config_;
 
   int listen_fd_ = -1;

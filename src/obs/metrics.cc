@@ -5,6 +5,9 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "obs/json.h"
@@ -549,77 +552,171 @@ void AppendNumber(std::string& out, double v) {
   out += buf;
 }
 
-// Every exported family gets a HELP line (conformance checkers and some
-// scrapers want one per family). Registry names carry no free-form
-// descriptions, so the help text states the kind plus the internal name.
-void AppendHelp(std::string& out, const std::string& prom_name,
-                const std::string& name, const char* what) {
-  out += "# HELP " + prom_name + " " + what + " '" + name + "'.\n";
+// Registry names may carry a label suffix after '|' — "net/requests|model=a"
+// — which the exposition renders as Prometheus labels on the base family.
+// Returns the base name; *labels receives the rendered `k="v"` pairs (comma
+// separated, no braces), empty for an unlabeled name. A suffix that is not a
+// well-formed k=v list falls back to treating the whole string as the name
+// (PromName sanitizes the '|' away).
+std::string SplitPromLabels(const std::string& name, std::string* labels) {
+  labels->clear();
+  const size_t bar = name.find('|');
+  if (bar == std::string::npos) return name;
+  size_t pos = bar;
+  std::string out;
+  while (pos < name.size()) {
+    size_t next = name.find('|', pos + 1);
+    if (next == std::string::npos) next = name.size();
+    const std::string seg = name.substr(pos + 1, next - pos - 1);
+    const size_t eq = seg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      labels->clear();
+      return name;
+    }
+    if (!out.empty()) out += ",";
+    for (size_t i = 0; i < eq; ++i) {
+      const char c = seg[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out.push_back(ok ? c : '_');
+    }
+    out += "=\"";
+    for (size_t i = eq + 1; i < seg.size(); ++i) {
+      const char c = seg[i];
+      if (c == '\\') {
+        out += "\\\\";
+      } else if (c == '"') {
+        out += "\\\"";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += "\"";
+    pos = next;
+  }
+  *labels = std::move(out);
+  return name.substr(0, bar);
 }
 
-void AppendSummary(std::string& out, const std::string& prom_name,
-                   const std::string& name, const char* what, int64_t count,
-                   double sum, double p50, double p95, double p99) {
-  AppendHelp(out, prom_name, name, what);
-  out += "# TYPE " + prom_name + " summary\n";
-  out += prom_name + "{quantile=\"0.5\"} ";
+// All samples of a family (labeled and unlabeled series of one prom name)
+// must form a single group under one HELP/TYPE pair — labeled series are NOT
+// adjacent to their base name in the sorted snapshot ('|' sorts after '_'),
+// so samples are accumulated per family and emitted grouped, in first-seen
+// order.
+struct PromFamily {
+  std::string head;  // "# HELP ...\n# TYPE ...\n"
+  std::string body;  // sample lines
+};
+
+class PromWriter {
+ public:
+  // Returns the family's sample buffer, writing the HELP/TYPE header on
+  // first touch. Registry names carry no free-form descriptions, so the help
+  // text states the kind plus the internal (base) name.
+  std::string& Family(const std::string& prom_name, const std::string& name,
+                      const char* what, const char* type) {
+    auto [it, inserted] = index_.emplace(prom_name, families_.size());
+    if (inserted) {
+      families_.emplace_back();
+      families_.back().head = "# HELP " + prom_name + " " + what + " '" +
+                              name + "'.\n# TYPE " + prom_name + " " + type +
+                              "\n";
+    }
+    return families_[it->second].body;
+  }
+
+  std::string str() const {
+    std::string out;
+    for (const PromFamily& fam : families_) {
+      out += fam.head;
+      out += fam.body;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<PromFamily> families_;
+  std::map<std::string, size_t> index_;
+};
+
+void AppendSummary(PromWriter& w, const std::string& prom_name,
+                   const std::string& name, const std::string& labels,
+                   const char* what, int64_t count, double sum, double p50,
+                   double p95, double p99) {
+  std::string& out = w.Family(prom_name, name, what, "summary");
+  const std::string qprefix =
+      prom_name + "{" + (labels.empty() ? "" : labels + ",");
+  const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+  out += qprefix + "quantile=\"0.5\"} ";
   AppendNumber(out, p50);
-  out += "\n" + prom_name + "{quantile=\"0.95\"} ";
+  out += "\n" + qprefix + "quantile=\"0.95\"} ";
   AppendNumber(out, p95);
-  out += "\n" + prom_name + "{quantile=\"0.99\"} ";
+  out += "\n" + qprefix + "quantile=\"0.99\"} ";
   AppendNumber(out, p99);
-  out += "\n" + prom_name + "_sum ";
+  out += "\n" + prom_name + "_sum" + braced + " ";
   AppendNumber(out, sum);
-  out += "\n" + prom_name + "_count " + std::to_string(count) + "\n";
+  out += "\n" + prom_name + "_count" + braced + " " + std::to_string(count) +
+         "\n";
 }
 
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
   const RegistrySnapshot snap = SnapshotAll();
-  std::string out;
+  PromWriter w;
+  std::string labels;
   for (const auto& [name, value] : snap.counters) {
-    const std::string p = PromName(name, "_total");
-    AppendHelp(out, p, name, "Lifetime total of counter");
-    out += "# TYPE " + p + " counter\n";
-    out += p + " " + std::to_string(value) + "\n";
+    const std::string base = SplitPromLabels(name, &labels);
+    const std::string p = PromName(base, "_total");
+    const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+    w.Family(p, base, "Lifetime total of counter", "counter") +=
+        p + braced + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
-    const std::string p = PromName(name);
-    AppendHelp(out, p, name, "Current value of gauge");
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " ";
+    const std::string base = SplitPromLabels(name, &labels);
+    const std::string p = PromName(base);
+    const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+    std::string& out = w.Family(p, base, "Current value of gauge", "gauge");
+    out += p + braced + " ";
     AppendNumber(out, value);
     out += "\n";
   }
   for (const auto& [name, rate] : snap.rates) {
-    const std::string p = PromName(name, "_rate_per_sec");
-    AppendHelp(out, p, name, "Sliding-window event rate of counter");
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " ";
+    const std::string base = SplitPromLabels(name, &labels);
+    const std::string p = PromName(base, "_rate_per_sec");
+    const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+    std::string& out =
+        w.Family(p, base, "Sliding-window event rate of counter", "gauge");
+    out += p + braced + " ";
     AppendNumber(out, rate);
     out += "\n";
   }
   for (const auto& [name, s] : snap.histograms) {
-    AppendSummary(out, PromName(name), name, "Lifetime quantiles of histogram",
-                  s.count, s.sum, s.p50, s.p95, s.p99);
+    const std::string base = SplitPromLabels(name, &labels);
+    AppendSummary(w, PromName(base), base, labels,
+                  "Lifetime quantiles of histogram", s.count, s.sum, s.p50,
+                  s.p95, s.p99);
   }
   for (const auto& [name, s] : snap.windows) {
-    const std::string p = PromName(name, "_window");
-    AppendSummary(out, p, name, "Rolling-window quantiles of histogram",
+    const std::string base = SplitPromLabels(name, &labels);
+    const std::string p = PromName(base, "_window");
+    const std::string braced = labels.empty() ? "" : "{" + labels + "}";
+    AppendSummary(w, p, base, labels, "Rolling-window quantiles of histogram",
                   s.count, s.sum, s.p50, s.p95, s.p99);
-    AppendHelp(out, p + "_seconds", name, "Window span of histogram");
-    out += "# TYPE " + p + "_seconds gauge\n";
-    out += p + "_seconds ";
-    AppendNumber(out, s.window_seconds);
-    out += "\n";
-    AppendHelp(out, p + "_rate_per_sec", name, "Window event rate of histogram");
-    out += "# TYPE " + p + "_rate_per_sec gauge\n";
-    out += p + "_rate_per_sec ";
-    AppendNumber(out, s.rate_per_sec);
-    out += "\n";
+    std::string& secs =
+        w.Family(p + "_seconds", base, "Window span of histogram", "gauge");
+    secs += p + "_seconds" + braced + " ";
+    AppendNumber(secs, s.window_seconds);
+    secs += "\n";
+    std::string& rate = w.Family(p + "_rate_per_sec", base,
+                                 "Window event rate of histogram", "gauge");
+    rate += p + "_rate_per_sec" + braced + " ";
+    AppendNumber(rate, s.rate_per_sec);
+    rate += "\n";
   }
-  return out;
+  return w.str();
 }
 
 bool MetricsRegistry::WriteJsonFile(const std::string& path) const {

@@ -20,6 +20,13 @@ RankEngine::RankEngine(models::CtrModel& model, const RankEngineConfig& config)
       config_(config),
       cand_field_(model.schema().CandidateField()),
       split_active_(cand_field_ >= 0 && model.SupportsRankSplit()) {
+  const std::string tag =
+      config_.metric_model.empty() ? "" : "|model=" + config_.metric_model;
+  name_requests_ = "rank/requests" + tag;
+  name_candidates_ = "rank/candidates" + tag;
+  name_batch_k_ = "rank/batch_k" + tag;
+  name_latency_ = "rank/latency_ms" + tag;
+  name_queue_depth_ = "rank/queue_depth" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_chunk, 0);
   MISS_CHECK_GT(config_.nn_threads, 0);
@@ -55,7 +62,7 @@ std::future<RankResult> RankEngine::Submit(RankRequest request) {
       queue_.push_back(std::move(req));
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global()
-            .GetGauge("rank/queue_depth")
+            .GetGauge(name_queue_depth_)
             .Set(static_cast<double>(queue_.size()));
       }
       cv_.notify_one();
@@ -84,7 +91,7 @@ void RankEngine::SubmitTraced(RankRequest request, serve::RequestTrace trace,
       queue_.push_back(std::move(req));
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global()
-            .GetGauge("rank/queue_depth")
+            .GetGauge(name_queue_depth_)
             .Set(static_cast<double>(queue_.size()));
       }
       cv_.notify_one();
@@ -121,7 +128,7 @@ void RankEngine::StopAndJoin(bool flush) {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queue_);
     if (obs::Enabled() && !leftover.empty()) {
-      obs::MetricsRegistry::Global().GetGauge("rank/queue_depth").Set(0.0);
+      obs::MetricsRegistry::Global().GetGauge(name_queue_depth_).Set(0.0);
     }
   }
   for (Request& req : leftover) {
@@ -149,7 +156,7 @@ void RankEngine::WorkerLoop() {
       queue_.pop_front();
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global()
-            .GetGauge("rank/queue_depth")
+            .GetGauge(name_queue_depth_)
             .Set(static_cast<double>(queue_.size()));
       }
     }
@@ -185,15 +192,15 @@ void RankEngine::Process(Request req) {
 
   if (enabled) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    reg.GetCounter("rank/requests").Add(1);
-    reg.GetSlidingCounter("rank/requests").Add(1);
-    reg.GetCounter("rank/candidates").Add(k);
-    reg.GetSlidingCounter("rank/candidates").Add(k);
-    reg.GetHistogram("rank/batch_k").Record(static_cast<double>(k));
+    reg.GetCounter(name_requests_).Add(1);
+    reg.GetSlidingCounter(name_requests_).Add(1);
+    reg.GetCounter(name_candidates_).Add(k);
+    reg.GetSlidingCounter(name_candidates_).Add(k);
+    reg.GetHistogram(name_batch_k_).Record(static_cast<double>(k));
     const double latency_ms =
         static_cast<double>(obs::NowNs() - req.enqueue_ns) / 1e6;
-    reg.GetHistogram("rank/latency_ms").Record(latency_ms);
-    reg.GetSlidingHistogram("rank/latency_ms").Record(latency_ms);
+    reg.GetHistogram(name_latency_).Record(latency_ms);
+    reg.GetSlidingHistogram(name_latency_).Record(latency_ms);
   }
 }
 

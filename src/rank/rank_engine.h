@@ -39,6 +39,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -84,6 +85,10 @@ struct RankEngineConfig {
   // per-feature OOV tracking stay meaningful when traffic is rank-shaped.
   // Null disables recording.
   serve::ModelHealthMonitor* health = nullptr;
+  // Per-model metric label, as serve::EngineConfig::metric_model: empty
+  // keeps the plain rank/* names, non-empty records rank/...|model=<name>
+  // (a {model="..."} label in the Prometheus exposition).
+  std::string metric_model;
 };
 
 class RankEngine {
@@ -141,6 +146,13 @@ class RankEngine {
   const RankEngineConfig config_;
   const int cand_field_;
   const bool split_active_;
+
+  // Metric names, resolved once from config_.metric_model.
+  std::string name_requests_;
+  std::string name_candidates_;
+  std::string name_batch_k_;
+  std::string name_latency_;
+  std::string name_queue_depth_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -16,6 +16,13 @@ namespace miss::serve {
 
 Engine::Engine(models::CtrModel& model, const EngineConfig& config)
     : model_(model), config_(config) {
+  const std::string tag =
+      config_.metric_model.empty() ? "" : "|model=" + config_.metric_model;
+  name_requests_ = "serve/requests" + tag;
+  name_batches_ = "serve/batches" + tag;
+  name_batch_size_ = "serve/batch_size" + tag;
+  name_latency_ = "serve/latency_ms" + tag;
+  name_queue_depth_ = "serve/queue_depth" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_batch_size, 0);
   MISS_CHECK_GE(config_.max_queue_delay_us, 0);
@@ -50,9 +57,10 @@ void Engine::Fail(Request& req, const char* what) {
 bool Engine::EnqueueLocked(Request req) {
   if (stopping_) return false;
   queue_.push_back(std::move(req));
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (obs::Enabled()) {
     obs::MetricsRegistry::Global()
-        .GetGauge("serve/queue_depth")
+        .GetGauge(name_queue_depth_)
         .Set(static_cast<double>(queue_.size()));
   }
   return true;
@@ -144,12 +152,14 @@ void Engine::StopAndJoin(bool flush) {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queue_);
     if (obs::Enabled() && !leftover.empty()) {
-      obs::MetricsRegistry::Global().GetGauge("serve/queue_depth").Set(0.0);
+      obs::MetricsRegistry::Global().GetGauge(name_queue_depth_).Set(0.0);
     }
   }
   for (Request& req : leftover) {
     Fail(req, "serve::Engine destroyed with the request still queued");
   }
+  in_flight_.fetch_sub(static_cast<int64_t>(leftover.size()),
+                       std::memory_order_relaxed);
 }
 
 int64_t Engine::QueueDepth() const {
@@ -193,7 +203,7 @@ void Engine::WorkerLoop() {
       }
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global()
-            .GetGauge("serve/queue_depth")
+            .GetGauge(name_queue_depth_)
             .Set(static_cast<double>(queue_.size()));
       }
     }
@@ -260,16 +270,18 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     }
   }
 
+  in_flight_.fetch_sub(n, std::memory_order_relaxed);
+
   // The batch's samples were moved into `staging`, still alive here and
   // index-aligned with `scores`.
   if (record_health) config_.health->RecordBatch(staging.samples, scores);
 
   if (obs::Enabled()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    reg.GetCounter("serve/requests").Add(n);
-    reg.GetCounter("serve/batches").Add(1);
-    reg.GetHistogram("serve/batch_size").Record(static_cast<double>(n));
-    obs::Histogram& latency = reg.GetHistogram("serve/latency_ms");
+    reg.GetCounter(name_requests_).Add(n);
+    reg.GetCounter(name_batches_).Add(1);
+    reg.GetHistogram(name_batch_size_).Record(static_cast<double>(n));
+    obs::Histogram& latency = reg.GetHistogram(name_latency_);
     const int64_t done_ns = obs::NowNs();
     for (int64_t i = 0; i < n; ++i) {
       latency.Record(static_cast<double>(done_ns - batch[i].enqueue_ns) / 1e6);

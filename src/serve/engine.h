@@ -36,12 +36,14 @@
 #ifndef MISS_SERVE_ENGINE_H_
 #define MISS_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -85,6 +87,11 @@ struct EngineConfig {
   // micro-batch is recorded — score distribution plus per-feature id
   // coverage — when telemetry is enabled. Null disables recording.
   ModelHealthMonitor* health = nullptr;
+  // Per-model metric label. Empty keeps the plain serve/* metric names;
+  // non-empty records them as serve/...|model=<metric_model> instead, which
+  // /metricz?format=prom renders as a {model="..."} label (how a fleet keeps
+  // each entry's engines tellable apart on one registry).
+  std::string metric_model;
 };
 
 class Engine {
@@ -136,6 +143,12 @@ class Engine {
   // Requests currently waiting for a batch slot (diagnostic).
   int64_t QueueDepth() const;
 
+  // Requests accepted but not yet answered (queued or mid-batch). The
+  // fleet's least-outstanding replica selection reads this; lock-free.
+  int64_t InFlight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Request {
     data::Sample sample;
@@ -157,6 +170,15 @@ class Engine {
 
   models::CtrModel& model_;
   const EngineConfig config_;
+
+  // Metric names, resolved once from config_.metric_model (hot-path strings).
+  std::string name_requests_;
+  std::string name_batches_;
+  std::string name_batch_size_;
+  std::string name_latency_;
+  std::string name_queue_depth_;
+
+  std::atomic<int64_t> in_flight_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -99,6 +99,9 @@ ModelHealthMonitor::ModelHealthMonitor(
     : schema_(schema),
       baseline_(std::move(baseline)),
       options_(options),
+      metric_tag_(options.metric_model.empty()
+                      ? ""
+                      : "|model=" + options.metric_model),
       score_dist_(ResolveScoreBuckets(baseline_.get(), options), 0.0, 1.0,
                   options.num_windows, options.window_ns),
       auc_pos_(options.auc_buckets, 0.0, 1.0, options.num_windows,
@@ -162,7 +165,7 @@ void ModelHealthMonitor::RecordBatch(const std::vector<data::Sample>& samples,
   }
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  reg.GetCounter("health/scores").Add(static_cast<int64_t>(n));
+  reg.GetCounter("health/scores" + metric_tag_).Add(static_cast<int64_t>(n));
   if (baseline_ == nullptr) return;
 
   int64_t total_oov = 0;
@@ -199,12 +202,12 @@ void ModelHealthMonitor::RecordBatch(const std::vector<data::Sample>& samples,
     const int64_t oov_here = slot_counts[oov];
     if (oov_here > 0) {
       total_oov += oov_here;
-      reg.GetCounter("health/oov/" + state.name).Add(oov_here);
+      reg.GetCounter("health/oov/" + state.name + metric_tag_).Add(oov_here);
     }
   }
   if (total_oov > 0) {
-    reg.GetCounter("health/oov").Add(total_oov);
-    reg.GetSlidingCounter("health/oov").Add(total_oov);
+    reg.GetCounter("health/oov" + metric_tag_).Add(total_oov);
+    reg.GetSlidingCounter("health/oov" + metric_tag_).Add(total_oov);
   }
 }
 
@@ -238,9 +241,9 @@ bool ModelHealthMonitor::Feedback(uint64_t request_id, float label) {
     }
   }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  reg.GetCounter("health/feedback/received").Add(1);
+  reg.GetCounter("health/feedback/received" + metric_tag_).Add(1);
   if (!matched) return false;
-  reg.GetCounter("health/feedback/matched").Add(1);
+  reg.GetCounter("health/feedback/matched" + metric_tag_).Add(1);
   calibration_.Record(static_cast<double>(score), positive);
   if (positive) {
     auc_pos_.Record(static_cast<double>(score));
@@ -402,35 +405,35 @@ void ModelHealthMonitor::UpdateGauges() const {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   const int64_t now_ns = obs::NowNs();
   if (baseline_ != nullptr) {
-    reg.GetGauge("health/score_psi")
+    reg.GetGauge("health/score_psi" + metric_tag_)
         .Set(obs::Psi(baseline_->score_counts, score_dist_.Counts()));
-    reg.GetGauge("health/score_psi_window")
+    reg.GetGauge("health/score_psi_window" + metric_tag_)
         .Set(obs::Psi(baseline_->score_counts,
                       score_dist_.WindowCountsAt(now_ns)));
     for (const FeatureState& state : features_) {
       if (state.live == nullptr) continue;
       const std::vector<int64_t> expected = BaselineCounts(*state.baseline);
       const std::vector<int64_t> live = state.live->Counts();
-      reg.GetGauge("health/feature_psi/" + state.name)
+      reg.GetGauge("health/feature_psi/" + state.name + metric_tag_)
           .Set(obs::Psi(expected,
                         LiveVsBaselineCounts(*state.baseline, live)));
       int64_t total = 0;
       for (int64_t c : live) total += c;
       const int64_t oov =
           live[static_cast<size_t>(OovSlot(*state.baseline))];
-      reg.GetGauge("health/oov_rate/" + state.name)
+      reg.GetGauge("health/oov_rate/" + state.name + metric_tag_)
           .Set(total > 0
                    ? static_cast<double>(oov) / static_cast<double>(total)
                    : 0.0);
     }
   }
-  reg.GetGauge("health/calibration_ece")
+  reg.GetGauge("health/calibration_ece" + metric_tag_)
       .Set(obs::CalibrationTable::ExpectedCalibrationError(
           calibration_.Snapshot()));
-  reg.GetGauge("health/calibration_ece_window")
+  reg.GetGauge("health/calibration_ece_window" + metric_tag_)
       .Set(obs::CalibrationTable::ExpectedCalibrationError(
           calibration_.WindowSnapshotAt(now_ns)));
-  reg.GetGauge("health/online_auc")
+  reg.GetGauge("health/online_auc" + metric_tag_)
       .Set(obs::AucFromCounts(auc_pos_.Counts(), auc_neg_.Counts()));
   int64_t matched = 0;
   {
@@ -438,7 +441,7 @@ void ModelHealthMonitor::UpdateGauges() const {
     matched = feedback_matched_;
   }
   const int64_t recorded = score_dist_.count();
-  reg.GetGauge("health/feedback_coverage")
+  reg.GetGauge("health/feedback_coverage" + metric_tag_)
       .Set(recorded > 0 ? static_cast<double>(matched) /
                               static_cast<double>(recorded)
                         : 0.0);

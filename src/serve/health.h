@@ -48,6 +48,10 @@ struct ModelHealthOptions {
   // Capacity of the request_id -> score join table (ring-hashed; older
   // entries are evicted by collision once feedback lags this far behind).
   size_t feedback_capacity = 1 << 16;
+  // Per-model metric label, as serve::EngineConfig::metric_model: empty
+  // keeps the plain health/* names, non-empty records health/...|model=<name>
+  // (a {model="..."} label in the Prometheus exposition).
+  std::string metric_model;
 };
 
 class ModelHealthMonitor {
@@ -111,6 +115,9 @@ class ModelHealthMonitor {
   const data::DatasetSchema schema_;
   const std::shared_ptr<const obs::ModelBaseline> baseline_;
   const ModelHealthOptions options_;
+  // "|model=<name>" suffix appended to every health/* metric name (empty
+  // when options_.metric_model is empty — exactly the legacy names).
+  const std::string metric_tag_;
 
   obs::FixedDistribution score_dist_;
   obs::FixedDistribution auc_pos_;

@@ -1,0 +1,824 @@
+// Model-fleet tests: named routing (binary + HTTP), replica sharding,
+// zero-downtime hot reload with the swap journal, the bundle watcher, the
+// /admin endpoints, and the reload-under-load contract — 4 client threads
+// hammer /score while the bundle is swapped 10 times and not one request
+// may drop or error. The suite name is prefixed `Fleet` so the tsan/asan
+// presets pick it up.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fleet/bundle_watcher.h"
+#include "fleet/model_fleet.h"
+#include "fleet/serving_model.h"
+#include "models/model_factory.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/bundle.h"
+#include "serve/engine.h"
+#include "train/baseline.h"
+
+namespace miss {
+namespace {
+
+// All fleet bundles share the Tiny schema (the seed varies weights and
+// data, never field counts or vocab sizes), so one dataset supplies
+// schema-valid samples for every bundle in a test.
+data::DatasetBundle MakeTinyData(uint64_t seed = 42) {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+// A per-test scratch directory name under the gtest temp root.
+std::string TestScratchDir(const std::string& leaf) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/miss_fleet_" + info->test_suite_name() +
+         "_" + info->name() + "_" + leaf;
+}
+
+// Writes a demo-style bundle (model + baseline) into `dir`, overwriting any
+// previous generation there. Differently-seeded bundles score differently.
+void WriteBundle(const std::string& dir, uint64_t seed) {
+  const data::DatasetBundle data = MakeTinyData(seed);
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", data.test.schema, mc, seed);
+  const obs::ModelBaseline baseline =
+      train::ComputeBaseline(*model, data.valid);
+  ASSERT_TRUE(serve::SaveBundle(*model, dir, &baseline)) << dir;
+}
+
+// A bundle with the 7-field Alipay layout — field counts differ from Tiny,
+// so a reload into a Tiny-schema entry must be rejected.
+void WriteMismatchedSchemaBundle(const std::string& dir) {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_sellers = 3;
+  const data::DatasetBundle data = GenerateSynthetic(config);
+  models::ModelConfig mc;
+  auto model = models::CreateModel("din", data.test.schema, mc, 7);
+  ASSERT_TRUE(serve::SaveBundle(*model, dir, nullptr)) << dir;
+}
+
+// The ground truth for bitwise checks: reload the bundle directly and score
+// through a fresh engine.
+float ReferenceScore(const std::string& dir, const data::Sample& sample) {
+  serve::Bundle bundle;
+  EXPECT_TRUE(serve::LoadBundle(dir, &bundle)) << dir;
+  serve::Engine engine(*bundle.model, {});
+  const float score = engine.Submit(sample).get();
+  engine.Drain();
+  return score;
+}
+
+// Scores through a fleet entry the way the server does (SubmitScore with a
+// callback), blocking for the result.
+float EntryScore(const std::shared_ptr<fleet::ServingModel>& entry,
+                 data::Sample sample) {
+  std::promise<float> done;
+  std::future<float> result = done.get_future();
+  EXPECT_TRUE(entry->SubmitScore(
+      &sample, serve::RequestTrace{},
+      [&done](float score, bool ok, const serve::RequestTrace&) {
+        EXPECT_TRUE(ok);
+        done.set_value(score);
+      }));
+  return result.get();
+}
+
+void CorruptManifest(const std::string& dir) {
+  std::ofstream out(dir + "/" + serve::kManifestFileName);
+  out << "{ this is not a manifest";
+}
+
+// -- ModelFleet unit level ---------------------------------------------------
+
+TEST(FleetTest, AcquireRoutesNamesAndDefault) {
+  const std::string dir_a = TestScratchDir("a");
+  const std::string dir_b = TestScratchDir("b");
+  WriteBundle(dir_a, 42);
+  WriteBundle(dir_b, 43);
+
+  fleet::ModelFleet fleet;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("alpha", dir_a, {}, &error)) << error;
+  ASSERT_TRUE(fleet.AddModel("beta", dir_b, {}, &error)) << error;
+  EXPECT_FALSE(fleet.AddModel("alpha", dir_a, {}, &error));  // duplicate
+
+  EXPECT_EQ(fleet.num_models(), 2u);
+  EXPECT_EQ(fleet.default_model(), "alpha");  // first added
+  ASSERT_NE(fleet.Acquire(""), nullptr);
+  EXPECT_EQ(fleet.Acquire("")->name(), "alpha");
+  ASSERT_NE(fleet.Acquire("beta"), nullptr);
+  EXPECT_EQ(fleet.Acquire("beta")->name(), "beta");
+  EXPECT_EQ(fleet.Acquire("nope"), nullptr);
+
+  const auto alpha = fleet.Acquire("alpha");
+  EXPECT_EQ(alpha->generation(), 1u);
+  EXPECT_EQ(alpha->manifest_hash().size(), 16u);  // FNV-1a 64 hex
+  EXPECT_TRUE(alpha->reloadable());
+  EXPECT_EQ(alpha->num_replicas(), 1);
+
+  EXPECT_TRUE(fleet.SetDefaultModel("beta"));
+  EXPECT_EQ(fleet.Acquire("")->name(), "beta");
+  EXPECT_FALSE(fleet.SetDefaultModel("nope"));
+
+  // Both initial loads are journaled.
+  const std::vector<fleet::FleetSwapRecord> journal = fleet.Journal();
+  ASSERT_EQ(journal.size(), 2u);
+  EXPECT_EQ(fleet.swaps_total(), 2);
+  for (const auto& record : journal) {
+    EXPECT_EQ(record.kind, "load");
+    EXPECT_TRUE(record.ok);
+    EXPECT_FALSE(record.new_manifest_hash.empty());
+    EXPECT_GT(record.unix_ms, 0);
+  }
+
+  // Entry scores are bitwise the direct-engine scores of the same bundles.
+  const data::DatasetBundle data = MakeTinyData();
+  const data::Sample& sample = data.test.samples[0];
+  EXPECT_EQ(EntryScore(alpha, sample), ReferenceScore(dir_a, sample));
+  EXPECT_EQ(EntryScore(fleet.Acquire("beta"), sample),
+            ReferenceScore(dir_b, sample));
+  fleet.DrainAll();
+}
+
+TEST(FleetTest, ReloadSwapsGenerationBitwise) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+
+  fleet::ModelFleet fleet;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("m", dir, {}, &error)) << error;
+
+  const data::DatasetBundle data = MakeTinyData();
+  const data::Sample& sample = data.test.samples[0];
+  const std::shared_ptr<fleet::ServingModel> old = fleet.Acquire("m");
+  const std::string old_hash = old->manifest_hash();
+  const float old_score = EntryScore(old, sample);
+
+  WriteBundle(dir, 43);
+  ASSERT_TRUE(fleet.Reload("m", &error)) << error;
+
+  const std::shared_ptr<fleet::ServingModel> fresh = fleet.Acquire("m");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->generation(), 2u);
+  EXPECT_NE(fresh->manifest_hash(), old_hash);
+  const float new_score = EntryScore(fresh, sample);
+  EXPECT_EQ(new_score, ReferenceScore(dir, sample));  // bitwise
+  EXPECT_NE(new_score, old_score);  // seed 43 weights, not seed 42's
+
+  // The swapped-out generation is retired: submits bounce without consuming
+  // the sample, which is how the server knows to re-Acquire and retry.
+  EXPECT_TRUE(old->retired());
+  data::Sample untouched = sample;
+  EXPECT_FALSE(old->SubmitScore(&untouched, serve::RequestTrace{},
+                                [](float, bool, const serve::RequestTrace&) {
+                                  FAIL() << "retired entry ran a callback";
+                                }));
+  EXPECT_EQ(untouched.cat, sample.cat);
+  EXPECT_EQ(untouched.seq, sample.seq);
+
+  const std::vector<fleet::FleetSwapRecord> journal = fleet.Journal();
+  ASSERT_GE(journal.size(), 2u);
+  const fleet::FleetSwapRecord& swap = journal.front();  // newest first
+  EXPECT_EQ(swap.kind, "reload");
+  EXPECT_TRUE(swap.ok);
+  EXPECT_EQ(swap.model, "m");
+  EXPECT_EQ(swap.old_manifest_hash, old_hash);
+  EXPECT_EQ(swap.new_manifest_hash, fresh->manifest_hash());
+  EXPECT_EQ(swap.generation, 2u);
+  EXPECT_GE(swap.load_ms, 0.0);
+  EXPECT_GE(swap.drain_ms, 0.0);
+  EXPECT_EQ(fleet.swaps_total(), 2);
+  fleet.DrainAll();
+}
+
+TEST(FleetTest, ReloadRejectsBadBundlesAndKeepsServing) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+
+  fleet::ModelFleet fleet;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("m", dir, {}, &error)) << error;
+  const data::DatasetBundle data = MakeTinyData();
+  const data::Sample& sample = data.test.samples[0];
+  const float serving_score = EntryScore(fleet.Acquire("m"), sample);
+
+  // A corrupt manifest must not reach traffic.
+  CorruptManifest(dir);
+  error.clear();
+  EXPECT_FALSE(fleet.Reload("m", &error));
+  EXPECT_FALSE(error.empty());
+
+  // A wire-incompatible schema must not reach traffic either.
+  WriteMismatchedSchemaBundle(dir);
+  error.clear();
+  EXPECT_FALSE(fleet.Reload("m", &error));
+  EXPECT_NE(error.find("field counts"), std::string::npos) << error;
+
+  // Both failures are journaled; the old generation never stopped serving.
+  const std::vector<fleet::FleetSwapRecord> journal = fleet.Journal();
+  ASSERT_GE(journal.size(), 3u);
+  EXPECT_FALSE(journal[0].ok);
+  EXPECT_FALSE(journal[1].ok);
+  const std::shared_ptr<fleet::ServingModel> still = fleet.Acquire("m");
+  ASSERT_NE(still, nullptr);
+  EXPECT_EQ(still->generation(), 1u);
+  EXPECT_EQ(EntryScore(still, sample), serving_score);
+
+  // A good bundle recovers.
+  WriteBundle(dir, 44);
+  ASSERT_TRUE(fleet.Reload("m", &error)) << error;
+  EXPECT_EQ(fleet.Acquire("m")->generation(), 2u);
+  EXPECT_EQ(EntryScore(fleet.Acquire("m"), sample),
+            ReferenceScore(dir, sample));
+  fleet.DrainAll();
+}
+
+TEST(FleetTest, UnloadThenReloadResurrects) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+
+  fleet::ModelFleet fleet;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("m", dir, {}, &error)) << error;
+
+  EXPECT_FALSE(fleet.Unload("nope", &error));
+  EXPECT_NE(error.find("unknown model"), std::string::npos);
+
+  ASSERT_TRUE(fleet.Unload("m", &error)) << error;
+  EXPECT_EQ(fleet.Acquire("m"), nullptr);
+  EXPECT_EQ(fleet.Acquire(""), nullptr);  // the default is unloaded
+  EXPECT_EQ(fleet.num_models(), 1u);      // but stays listed
+  EXPECT_EQ(fleet.Journal().front().kind, "unload");
+
+  error.clear();
+  EXPECT_FALSE(fleet.Unload("m", &error));
+  EXPECT_NE(error.find("already unloaded"), std::string::npos) << error;
+
+  // Reload resurrects the entry from its remembered bundle path.
+  ASSERT_TRUE(fleet.Reload("m", &error)) << error;
+  const std::shared_ptr<fleet::ServingModel> back = fleet.Acquire("m");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->generation(), 2u);
+  const data::DatasetBundle data = MakeTinyData();
+  EXPECT_EQ(EntryScore(back, data.test.samples[0]),
+            ReferenceScore(dir, data.test.samples[0]));
+  fleet.DrainAll();
+}
+
+TEST(FleetTest, WatcherCheckOnceTriggersReloadOnManifestChange) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+
+  fleet::ModelFleet fleet;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("m", dir, {}, &error)) << error;
+  fleet::BundleWatcher watcher(fleet);
+
+  // Unchanged bundle: nothing to do.
+  EXPECT_EQ(watcher.CheckOnce(), 0);
+  EXPECT_EQ(fleet.Acquire("m")->generation(), 1u);
+
+  // New manifest bytes trigger exactly one reload.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  WriteBundle(dir, 43);
+  EXPECT_EQ(watcher.CheckOnce(), 1);
+  EXPECT_EQ(fleet.Acquire("m")->generation(), 2u);
+  EXPECT_EQ(watcher.reloads_triggered(), 1);
+  EXPECT_EQ(watcher.CheckOnce(), 0);  // same bundle again: no re-trigger
+
+  // A bad bundle fails once and is then remembered by hash — no retry storm.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  CorruptManifest(dir);
+  EXPECT_EQ(watcher.CheckOnce(), 0);  // attempted, failed
+  const size_t journal_after_failure = fleet.Journal().size();
+  EXPECT_EQ(watcher.CheckOnce(), 0);  // remembered, not re-attempted
+  EXPECT_EQ(fleet.Journal().size(), journal_after_failure);
+  EXPECT_EQ(fleet.Acquire("m")->generation(), 2u);  // old keeps serving
+
+  // Fresh good bytes re-arm the watcher.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  WriteBundle(dir, 44);
+  EXPECT_EQ(watcher.CheckOnce(), 1);
+  EXPECT_EQ(fleet.Acquire("m")->generation(), 3u);
+  fleet.DrainAll();
+}
+
+// -- Live fleet server -------------------------------------------------------
+
+class FleetServerTest : public ::testing::Test {
+ protected:
+  void AddModel(const std::string& name, const std::string& dir,
+                int replicas = 1, bool model_health = false) {
+    fleet::ServingModelConfig config;
+    config.replicas = replicas;
+    config.model_health = model_health;
+    std::string error;
+    ASSERT_TRUE(fleet_.AddModel(name, dir, config, &error)) << error;
+  }
+
+  void StartServer(net::ServerConfig config = {}) {
+    server_ = std::make_unique<net::Server>(fleet_, config);
+    ASSERT_TRUE(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    fleet_.DrainAll();
+  }
+
+  data::DatasetBundle data_ = MakeTinyData();
+  fleet::ModelFleet fleet_;
+  std::unique_ptr<net::Server> server_;  // after fleet_: destroyed first
+};
+
+TEST_F(FleetServerTest, RoutesByNameOverBothProtocols) {
+  const std::string dir_a = TestScratchDir("a");
+  const std::string dir_b = TestScratchDir("b");
+  WriteBundle(dir_a, 42);
+  WriteBundle(dir_b, 43);
+  AddModel("alpha", dir_a);
+  AddModel("beta", dir_b);
+  StartServer();
+
+  const data::Sample& sample = data_.test.samples[0];
+  const float ref_a = ReferenceScore(dir_a, sample);
+  const float ref_b = ReferenceScore(dir_b, sample);
+  ASSERT_NE(ref_a, ref_b);  // the seeds must tell the models apart
+
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  float score = 0.0f;
+  ASSERT_TRUE(client.ScoreModel("alpha", sample, &score, &error)) << error;
+  EXPECT_EQ(score, ref_a);
+  ASSERT_TRUE(client.ScoreModel("beta", sample, &score, &error)) << error;
+  EXPECT_EQ(score, ref_b);
+  // An unnamed frame routes to the default model — the pre-fleet wire
+  // behavior, byte for byte.
+  ASSERT_TRUE(client.Score(sample, &score, &error)) << error;
+  EXPECT_EQ(score, ref_a);
+
+  // Pipelined named frames interleaving both models, correlated by id.
+  constexpr int kPairs = 8;
+  for (int i = 0; i < kPairs; ++i) {
+    ASSERT_TRUE(client.SendNamed(1000 + i, "alpha", sample, &error)) << error;
+    ASSERT_TRUE(client.SendNamed(2000 + i, "beta", sample, &error)) << error;
+  }
+  for (int i = 0; i < 2 * kPairs; ++i) {
+    net::WireResponse resp;
+    ASSERT_TRUE(client.Receive(&resp, &error)) << error;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.score, resp.request_id < 2000 ? ref_a : ref_b)
+        << resp.request_id;
+  }
+
+  // HTTP: /score/<model> and the unnamed /score default.
+  net::HttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", server_->port(), &error)) << error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      http.ScoreModel("beta", sample, &status, &score, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_EQ(score, ref_b);
+  ASSERT_TRUE(http.Score(sample, &status, &score, &body, &error)) << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_EQ(score, ref_a);
+
+  // Named rank frames agree with unnamed ones on the default model.
+  const std::vector<int64_t> candidates = {0, 1, 2};
+  std::vector<float> scores_named;
+  std::vector<float> scores_default;
+  std::vector<uint32_t> top_named;
+  std::vector<uint32_t> top_default;
+  ASSERT_TRUE(client.RankModel("alpha", sample, candidates, 2, &scores_named,
+                               &top_named, &error))
+      << error;
+  ASSERT_TRUE(client.Rank(sample, candidates, 2, &scores_default,
+                          &top_default, &error))
+      << error;
+  EXPECT_EQ(scores_named, scores_default);
+  EXPECT_EQ(top_named, top_default);
+  ASSERT_EQ(scores_named.size(), candidates.size());
+}
+
+TEST_F(FleetServerTest, UnknownModelIsPerRequestErrorNotConnectionLoss) {
+  const std::string dir = TestScratchDir("a");
+  WriteBundle(dir, 42);
+  AddModel("alpha", dir);
+  StartServer();
+
+  const data::Sample& sample = data_.test.samples[0];
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+
+  // A named score frame for an unknown model answers an error frame with
+  // the request id echoed — and the connection lives on.
+  ASSERT_TRUE(client.SendNamed(7, "nope", sample, &error)) << error;
+  net::WireResponse resp;
+  ASSERT_TRUE(client.Receive(&resp, &error)) << error;
+  EXPECT_EQ(resp.request_id, 7u);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown model \"nope\""), std::string::npos)
+      << resp.error;
+
+  // Same for a named rank frame.
+  error.clear();
+  std::vector<float> scores;
+  std::vector<uint32_t> top;
+  EXPECT_FALSE(
+      client.RankModel("nope", sample, {0, 1}, 0, &scores, &top, &error));
+  EXPECT_NE(error.find("unknown model"), std::string::npos) << error;
+
+  // The connection survived both misses.
+  float score = 0.0f;
+  ASSERT_TRUE(client.ScoreModel("alpha", sample, &score, &error)) << error;
+  EXPECT_EQ(score, ReferenceScore(dir, sample));
+  EXPECT_EQ(server_->stats().protocol_errors, 0);  // routing miss != malformed
+
+  // HTTP: 404 JSON error, keep-alive intact.
+  net::HttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", server_->port(), &error)) << error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      http.ScoreModel("nope", sample, &status, &score, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(body.find("unknown model"), std::string::npos) << body;
+  std::vector<uint32_t> http_top;
+  ASSERT_TRUE(http.RankModel("nope", sample, {0, 1}, 0, &status, &scores,
+                             &http_top, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  ASSERT_TRUE(
+      http.ScoreModel("alpha", sample, &status, &score, &body, &error))
+      << error;
+  EXPECT_EQ(status, 200) << body;
+}
+
+TEST_F(FleetServerTest, TwoReplicasMatchSingleReplicaBitwise) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+  AddModel("one", dir, /*replicas=*/1);
+  AddModel("two", dir, /*replicas=*/2);
+  StartServer();
+  EXPECT_EQ(fleet_.Acquire("two")->num_replicas(), 2);
+
+  net::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (size_t i = 0; i < 8; ++i) {
+    const data::Sample& sample = data_.test.samples[i];
+    float single = 0.0f;
+    float sharded = 0.0f;
+    ASSERT_TRUE(client.ScoreModel("one", sample, &single, &error)) << error;
+    ASSERT_TRUE(client.ScoreModel("two", sample, &sharded, &error)) << error;
+    EXPECT_EQ(sharded, single) << "sample " << i;
+  }
+
+  // Concurrent pipelined load across both replicas: every response ok and
+  // bitwise the single-replica score for its sample.
+  constexpr int kThreads = 2;
+  constexpr int kBatches = 10;
+  constexpr int kBatch = 16;
+  std::vector<float> expected(kBatch);
+  for (int k = 0; k < kBatch; ++k) {
+    expected[k] = ReferenceScore(dir, data_.test.samples[k]);
+  }
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      net::Client worker;
+      std::string err;
+      if (!worker.Connect("127.0.0.1", server_->port(), &err)) {
+        failures[t] = err;
+        return;
+      }
+      for (int b = 0; b < kBatches; ++b) {
+        for (int k = 0; k < kBatch; ++k) {
+          if (!worker.SendNamed(b * kBatch + k + 1, "two",
+                                data_.test.samples[k], &err)) {
+            failures[t] = err;
+            return;
+          }
+        }
+        for (int k = 0; k < kBatch; ++k) {
+          net::WireResponse resp;
+          if (!worker.Receive(&resp, &err)) {
+            failures[t] = err;
+            return;
+          }
+          const size_t slot = (resp.request_id - 1) % kBatch;
+          if (!resp.ok || resp.score != expected[slot]) {
+            failures[t] = "bad response for id " +
+                          std::to_string(resp.request_id) + ": " + resp.error;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+}
+
+TEST_F(FleetServerTest, AdminReloadAndUnloadEndpoints) {
+  const std::string dir_a = TestScratchDir("a");
+  const std::string dir_b = TestScratchDir("b");
+  WriteBundle(dir_a, 42);
+  WriteBundle(dir_b, 43);
+  AddModel("alpha", dir_a);
+  AddModel("beta", dir_b);
+  StartServer();
+
+  const data::Sample& sample = data_.test.samples[0];
+  net::HttpClient http;
+  std::string error;
+  ASSERT_TRUE(http.Connect("127.0.0.1", server_->port(), &error)) << error;
+  int status = 0;
+  std::string body;
+
+  // Unknown model: 404. Malformed body: 400. Both keep the connection.
+  ASSERT_TRUE(http.Post("/admin/reload", "{\"model\":\"nope\"}", &status,
+                        &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(body.find("unknown model"), std::string::npos) << body;
+  ASSERT_TRUE(http.Post("/admin/reload", "[1,2]", &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 400);
+
+  // Swap beta's bundle on disk, reload it over HTTP, and verify the newly
+  // served scores are bitwise the new bundle's.
+  WriteBundle(dir_b, 45);
+  ASSERT_TRUE(http.Post("/admin/reload", "{\"model\":\"beta\"}", &status,
+                        &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"action\":\"reload\""), std::string::npos) << body;
+  EXPECT_EQ(fleet_.Acquire("beta")->generation(), 2u);
+  float score = 0.0f;
+  ASSERT_TRUE(
+      http.ScoreModel("beta", sample, &status, &score, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_EQ(score, ReferenceScore(dir_b, sample));
+
+  // An empty body targets the default model.
+  ASSERT_TRUE(http.Post("/admin/reload", "", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_NE(body.find("\"model\":\"alpha\""), std::string::npos) << body;
+
+  // Unload beta: named requests now answer 404; a second unload is a 409
+  // (application error, connection still alive); reload resurrects it.
+  ASSERT_TRUE(http.Post("/admin/unload", "{\"model\":\"beta\"}", &status,
+                        &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  ASSERT_TRUE(
+      http.ScoreModel("beta", sample, &status, &score, &body, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+  ASSERT_TRUE(http.Post("/admin/unload", "{\"model\":\"beta\"}", &status,
+                        &body, &error))
+      << error;
+  EXPECT_EQ(status, 409);
+  EXPECT_NE(body.find("already unloaded"), std::string::npos) << body;
+  ASSERT_TRUE(http.Post("/admin/reload", "{\"model\":\"beta\"}", &status,
+                        &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+  ASSERT_TRUE(
+      http.ScoreModel("beta", sample, &status, &score, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200) << body;
+
+  // /statusz renders the whole story: the fleet block with per-model rows
+  // and the newest-first swap journal.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  const obs::JsonValue* fleet_json = root.Find("fleet");
+  ASSERT_NE(fleet_json, nullptr) << body;
+  EXPECT_EQ(fleet_json->Find("default")->string, "alpha");
+  // 2 loads + reload(beta) + reload(alpha) + unload(beta) + reload(beta).
+  EXPECT_GE(fleet_json->Find("swaps_total")->number, 6.0);
+  const obs::JsonValue* models = fleet_json->Find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array.size(), 2u);
+  for (const obs::JsonValue& model : models->array) {
+    EXPECT_TRUE(model.Find("loaded")->bool_value);
+    EXPECT_FALSE(model.Find("manifest_hash")->string.empty());
+    EXPECT_TRUE(model.Find("reloadable")->bool_value);
+    ASSERT_NE(model.Find("generation"), nullptr);
+    ASSERT_NE(model.Find("queue_depth"), nullptr);
+  }
+  const obs::JsonValue* swaps = fleet_json->Find("swaps");
+  ASSERT_NE(swaps, nullptr);
+  ASSERT_GE(swaps->array.size(), 6u);
+  const obs::JsonValue& newest = swaps->array[0];
+  EXPECT_EQ(newest.Find("kind")->string, "reload");
+  EXPECT_EQ(newest.Find("model")->string, "beta");
+  EXPECT_TRUE(newest.Find("ok")->bool_value);
+  ASSERT_NE(newest.Find("load_ms"), nullptr);
+  ASSERT_NE(newest.Find("drain_ms"), nullptr);
+}
+
+// The zero-downtime contract (the PR's acceptance criterion): four client
+// threads hammer pipelined /score while the default model's bundle is
+// swapped ten times through POST /admin/reload. Not one request may drop or
+// error, and after the dust settles the served score is bitwise the final
+// bundle's.
+TEST_F(FleetServerTest, ReloadUnderLoadDropsNothing) {
+  const std::string dir = TestScratchDir("m");
+  WriteBundle(dir, 42);
+  AddModel("m", dir);
+  StartServer();
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 8;
+  std::atomic<bool> stop{false};
+  std::vector<std::string> failures(kThreads);
+  std::vector<int64_t> completed(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      net::Client client;
+      std::string err;
+      if (!client.Connect("127.0.0.1", server_->port(), &err)) {
+        failures[t] = err;
+        return;
+      }
+      uint64_t next_id = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int k = 0; k < kBatch; ++k) {
+          if (!client.Send(next_id + k, data_.test.samples[k], &err)) {
+            failures[t] = "send: " + err;
+            return;
+          }
+        }
+        for (int k = 0; k < kBatch; ++k) {
+          net::WireResponse resp;
+          if (!client.Receive(&resp, &err)) {
+            failures[t] = "receive: " + err;
+            return;
+          }
+          if (!resp.ok) {
+            failures[t] = "error frame for id " +
+                          std::to_string(resp.request_id) + ": " + resp.error;
+            return;
+          }
+        }
+        next_id += kBatch;
+        completed[t] += kBatch;
+      }
+    });
+  }
+
+  // Ten hot swaps while the hammering runs, each a different checkpoint.
+  net::HttpClient admin;
+  std::string error;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int swap = 0; swap < 10; ++swap) {
+    WriteBundle(dir, 100 + swap);
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(admin.Post("/admin/reload", "", &status, &body, &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+    EXPECT_GT(completed[t], 0) << "thread " << t << " never completed a batch";
+  }
+  const net::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.protocol_errors, 0);
+  EXPECT_EQ(stats.responses, stats.requests);  // nothing dropped
+
+  // 1 load + 10 reloads, all journaled; the final generation serves the
+  // final checkpoint bitwise.
+  EXPECT_EQ(fleet_.swaps_total(), 11);
+  EXPECT_EQ(fleet_.Acquire("m")->generation(), 11u);
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  float score = 0.0f;
+  ASSERT_TRUE(client.Score(data_.test.samples[0], &score, &error)) << error;
+  EXPECT_EQ(score, ReferenceScore(dir, data_.test.samples[0]));
+}
+
+// Scoped telemetry (mirrors net_test): clean registry + enabled on entry,
+// everything off and clean again on exit. The pre-reset hook stops the
+// server before Reset() destroys the gauges the event-loop thread touches
+// (e.g. the active-connections gauge on a lingering close).
+struct TelemetryGuard {
+  explicit TelemetryGuard(std::function<void()> pre_reset = {})
+      : pre_reset_(std::move(pre_reset)) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+  }
+  ~TelemetryGuard() {
+    if (pre_reset_) pre_reset_();
+    obs::StopTracing();
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(false);
+  }
+  std::function<void()> pre_reset_;
+};
+
+TEST_F(FleetServerTest, StatuszFleetBlockAndPerModelMetricLabels) {
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  const std::string dir_a = TestScratchDir("a");
+  const std::string dir_b = TestScratchDir("b");
+  WriteBundle(dir_a, 42);
+  WriteBundle(dir_b, 43);
+  AddModel("alpha", dir_a, /*replicas=*/1, /*model_health=*/true);
+  AddModel("beta", dir_b, /*replicas=*/1, /*model_health=*/true);
+  StartServer();
+
+  net::HttpClient http;
+  std::string error;
+  ASSERT_TRUE(http.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (const char* name : {"alpha", "beta"}) {
+    int status = 0;
+    float score = 0.0f;
+    std::string body;
+    ASSERT_TRUE(http.ScoreModel(name, data_.test.samples[0], &status, &score,
+                                &body, &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  const obs::JsonValue* fleet_json = root.Find("fleet");
+  ASSERT_NE(fleet_json, nullptr) << body;
+  const obs::JsonValue* models = fleet_json->Find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array.size(), 2u);
+  for (const obs::JsonValue& model : models->array) {
+    EXPECT_TRUE(model.Find("loaded")->bool_value);
+    EXPECT_TRUE(model.Find("rank_enabled")->bool_value);
+    EXPECT_TRUE(model.Find("health_attached")->bool_value);
+    EXPECT_EQ(model.Find("replicas")->number, 1.0);
+  }
+
+  // The Prometheus exposition labels every per-model family, and the
+  // unlabeled server-wide aggregates are still present.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(),
+                           "/metricz?format=prom", &status, &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  for (const char* needle :
+       {"miss_net_requests_total{model=\"alpha\"}",
+        "miss_net_requests_total{model=\"beta\"}",
+        "miss_serve_requests_total{model=\"alpha\"}",
+        "miss_health_scores_total{model=\"beta\"}",
+        "# TYPE miss_net_requests_total counter",
+        "# HELP miss_net_requests_total"}) {
+    EXPECT_NE(body.find(needle), std::string::npos) << needle << "\n" << body;
+  }
+  // The fleet's own counters made it out too (2 loads journaled).
+  EXPECT_NE(body.find("miss_fleet_models"), std::string::npos) << body;
+}
+
+}  // namespace
+}  // namespace miss

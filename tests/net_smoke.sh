@@ -199,3 +199,146 @@ else
     || { echo "FAIL: trace file has no flow-start events" >&2; exit 1; }
   echo "PASS: trace file has flow events (python3 unavailable, shallow check)"
 fi
+
+# ---- Model fleet -----------------------------------------------------------
+# Boot a 2-model fleet from differently-seeded demo bundles, score both by
+# name, hot-reload one over /admin/reload, and read the swap journal back
+# from /statusz. Per-model metric labels must keep the prom exposition
+# conformant.
+
+"$SERVE_BIN" --export-demo-bundle "$WORK/fleet" --export-count 2
+
+MISS_TELEMETRY=1 \
+  "$SERVE_BIN" --model a="$WORK/fleet/m0" --model b="$WORK/fleet/m1" \
+  --port 0 --port-file "$WORK/fleet_port" --model-health &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/fleet_port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/fleet_port" ] \
+  || { echo "FAIL: fleet server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/fleet_port")"
+
+SCORE_A="$(curl -sf -X POST "http://127.0.0.1:$PORT/score/a" \
+                -H 'Content-Type: application/json' \
+                --data @"$WORK/fleet/m0/sample.json")"
+SCORE_B="$(curl -sf -X POST "http://127.0.0.1:$PORT/score/b" \
+                -H 'Content-Type: application/json' \
+                --data @"$WORK/fleet/m0/sample.json")"
+echo "score/a: $SCORE_A"
+echo "score/b: $SCORE_B"
+echo "$SCORE_A" | grep -q '"score":' \
+  || { echo "FAIL: /score/a did not return a score" >&2; exit 1; }
+echo "$SCORE_B" | grep -q '"score":' \
+  || { echo "FAIL: /score/b did not return a score" >&2; exit 1; }
+[ "$SCORE_A" != "$SCORE_B" ] \
+  || { echo "FAIL: differently-seeded fleet models scored identically" >&2; exit 1; }
+
+# An unnamed /score routes to the default model (the first --model flag).
+SCORE_DEFAULT="$(curl -sf -X POST "http://127.0.0.1:$PORT/score" \
+                      -H 'Content-Type: application/json' \
+                      --data @"$WORK/fleet/m0/sample.json")"
+[ "$(echo "$SCORE_DEFAULT" | sed 's/"request_id":[0-9]*/"request_id":0/')" = \
+  "$(echo "$SCORE_A" | sed 's/"request_id":[0-9]*/"request_id":0/')" ] \
+  || { echo "FAIL: unnamed /score did not match the default model" >&2; exit 1; }
+
+# An unknown model is a 404 JSON error, not a dropped connection.
+NOPE_CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+                  -X POST "http://127.0.0.1:$PORT/score/nope" \
+                  -H 'Content-Type: application/json' \
+                  --data @"$WORK/fleet/m0/sample.json")"
+[ "$NOPE_CODE" = "404" ] \
+  || { echo "FAIL: /score/nope answered $NOPE_CODE, expected 404" >&2; exit 1; }
+
+# Hot-swap model b's bundle and reload it through the admin endpoint.
+"$SERVE_BIN" --export-demo-bundle "$WORK/fleet_v2" >/dev/null
+cp "$WORK/fleet_v2"/manifest.json "$WORK/fleet_v2"/params.ckpt "$WORK/fleet/m1/"
+RELOAD="$(curl -sf -X POST "http://127.0.0.1:$PORT/admin/reload" \
+               -H 'Content-Type: application/json' --data '{"model":"b"}')"
+echo "reload: $RELOAD"
+echo "$RELOAD" | grep -q '"ok":true' \
+  || { echo "FAIL: /admin/reload did not succeed" >&2; exit 1; }
+
+FLEET_STATUSZ="$(curl -sf "http://127.0.0.1:$PORT/statusz")"
+echo "$FLEET_STATUSZ" | grep -q '"fleet":' \
+  || { echo "FAIL: /statusz is missing the fleet block" >&2; exit 1; }
+echo "$FLEET_STATUSZ" | grep -q '"kind":"reload"' \
+  || { echo "FAIL: /statusz swap journal is missing the reload" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PYEOF \
+    || { echo "FAIL: /statusz fleet block is not the expected document" >&2; exit 1; }
+import json
+doc = json.loads('''$FLEET_STATUSZ''')
+fleet = doc["fleet"]
+assert fleet["default"] == "a", fleet
+models = {m["name"]: m for m in fleet["models"]}
+assert set(models) == {"a", "b"}, models
+assert all(m["loaded"] for m in models.values()), models
+assert models["b"]["generation"] == 2, models["b"]
+assert fleet["swaps_total"] >= 3  # 2 loads + 1 reload
+newest = fleet["swaps"][0]
+assert newest["kind"] == "reload" and newest["ok"], newest
+assert newest["model"] == "b", newest
+assert newest["old_manifest_hash"] != newest["new_manifest_hash"], newest
+PYEOF
+  echo "PASS: /statusz fleet block validates (2 models, journaled reload)"
+fi
+
+# The reloaded model serves the new bundle's scores.
+SCORE_B2="$(curl -sf -X POST "http://127.0.0.1:$PORT/score/b" \
+                 -H 'Content-Type: application/json' \
+                 --data @"$WORK/fleet/m0/sample.json")"
+[ "$(echo "$SCORE_B2" | sed 's/"request_id":[0-9]*/"request_id":0/')" != \
+  "$(echo "$SCORE_B" | sed 's/"request_id":[0-9]*/"request_id":0/')" ] \
+  || { echo "FAIL: /score/b unchanged after the hot reload" >&2; exit 1; }
+
+# Per-model labels must show up without breaking prom conformance.
+FLEET_PROM="$(curl -sf "http://127.0.0.1:$PORT/metricz?format=prom")"
+echo "$FLEET_PROM" | grep -q 'miss_net_requests_total{model="a"}' \
+  || { echo "FAIL: prom exposition is missing per-model net labels" >&2; exit 1; }
+echo "$FLEET_PROM" | grep -q 'miss_serve_requests_total{model="b"}' \
+  || { echo "FAIL: prom exposition is missing per-model serve labels" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  printf '%s\n' "$FLEET_PROM" > "$WORK/fleet_metrics.prom"
+  python3 - "$WORK/fleet_metrics.prom" <<'PYEOF' \
+    || { echo "FAIL: fleet prom exposition violates the text format" >&2; exit 1; }
+import re, sys
+name_re = re.compile(r'[a-zA-Z_:][a-zA-Z0-9_:]*$')
+sample_re = re.compile(r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$')
+helped, typed, families = set(), set(), set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        _, _, name, kind = line.split(None, 3)
+        assert name_re.match(name), f"bad family name: {name}"
+        assert kind in ("counter", "gauge", "summary", "histogram"), line
+        typed.add(name)
+    elif line.startswith("#"):
+        continue
+    else:
+        m = sample_re.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        families.add(m.group(1))
+for f in families:
+    base = re.sub(r'_(window(_rate_per_sec|_seconds)?|sum|count)$', '', f)
+    assert f in typed or base in typed, f"sample family {f} has no TYPE"
+    assert f in helped or base in helped, f"sample family {f} has no HELP"
+PYEOF
+  echo "PASS: fleet prom exposition conforms with per-model labels"
+fi
+
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  echo "PASS: fleet graceful shutdown exited 0"
+  SERVER_PID=""
+else
+  CODE=$?
+  echo "FAIL: fleet server exited $CODE after SIGTERM" >&2
+  exit 1
+fi

@@ -337,6 +337,29 @@ TEST(NetProtocolTest, MalformedFramesAreRejected) {
          std::memcpy(w.data() + 16, &seq_len, 4);
          return w;
        }},
+      // Named (fleet-routed) frames: header is u32 marker, u8 kind, u8
+      // name_len, name bytes — kind sits at offset 16, name_len at 17.
+      {"named frame with unknown kind",
+       [&] {
+         std::string w;
+         net::EncodeNamedRequest(9, "m", bundle.test.samples[0], &w);
+         w[16] = 2;  // neither kNamedScoreKind nor kNamedRankKind
+         return w;
+       }},
+      {"named frame with zero name length",
+       [&] {
+         std::string w;
+         net::EncodeNamedRequest(9, "m", bundle.test.samples[0], &w);
+         w[17] = 0;
+         return w;
+       }},
+      {"named frame name longer than payload",
+       [&] {
+         std::string w;
+         net::EncodeNamedRequest(9, "m", bundle.test.samples[0], &w);
+         w[17] = static_cast<char>(0xFF);  // 255-byte name, frame is shorter
+         return w;
+       }},
   };
   for (const Case& c : cases) {
     const std::string wire = c.make();
@@ -349,6 +372,62 @@ TEST(NetProtocolTest, MalformedFramesAreRejected) {
         << c.name;
     EXPECT_FALSE(error.empty()) << c.name;
   }
+}
+
+TEST(NetProtocolTest, NamedFrameRoutingMissIsNotMalformed) {
+  data::DatasetBundle bundle = MakeTinyBundle();
+  const data::DatasetSchema& schema = bundle.test.schema;
+  const data::Sample& sample = bundle.test.samples[0];
+  std::string wire;
+  net::EncodeNamedRequest(21, "nope", sample, &wire);
+
+  // An unknown model name consumes the whole frame and reports a routing
+  // miss (model_known == false) — kOk, not kMalformed: the server answers a
+  // per-request error and the connection lives on.
+  net::WireRequest req;
+  std::string error;
+  size_t offset = 0;
+  ASSERT_EQ(net::DecodeRequest(
+                wire.data(), wire.size(), &offset, &schema,
+                [](const std::string&) -> const data::DatasetSchema* {
+                  return nullptr;
+                },
+                &req, &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(req.request_id, 21u);
+  EXPECT_EQ(req.model, "nope");
+  EXPECT_FALSE(req.model_known);
+
+  // The same frame parses fully once the resolver knows the name.
+  offset = 0;
+  ASSERT_EQ(net::DecodeRequest(
+                wire.data(), wire.size(), &offset, &schema,
+                [&schema](const std::string& model)
+                    -> const data::DatasetSchema* {
+                  return model == "nope" ? &schema : nullptr;
+                },
+                &req, &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_TRUE(req.model_known);
+  EXPECT_EQ(req.kind, net::WireRequest::Kind::kScore);
+  EXPECT_EQ(req.sample.cat, sample.cat);
+  EXPECT_EQ(req.sample.seq, sample.seq);
+
+  // An unnamed frame with no default model loaded is a routing miss too.
+  std::string unnamed;
+  net::EncodeRequest(22, sample, &unnamed);
+  offset = 0;
+  ASSERT_EQ(net::DecodeRequest(unnamed.data(), unnamed.size(), &offset,
+                               /*default_schema=*/nullptr, nullptr, &req,
+                               &error),
+            net::DecodeStatus::kOk)
+      << error;
+  EXPECT_EQ(offset, unnamed.size());
+  EXPECT_FALSE(req.model_known);
+  EXPECT_TRUE(req.model.empty());
 }
 
 TEST(NetProtocolTest, ValidateSampleChecksIdRanges) {
@@ -901,21 +980,27 @@ TEST_F(NetServerTest, StopDrainsInFlightAndRefusesNewConnections) {
 
 // Scoped telemetry for the observability tests below: clean registry +
 // enabled on entry, everything off and clean again on exit (including when
-// an ASSERT bails out of the test body).
+// an ASSERT bails out of the test body). The pre-reset hook runs first so
+// tests can stop the server before the registry is torn down — the event
+// loop touches gauges from its own thread (e.g. a lingering connection
+// close), and Reset() destroys them.
 struct TelemetryGuard {
-  TelemetryGuard() {
+  explicit TelemetryGuard(std::function<void()> pre_reset = {})
+      : pre_reset_(std::move(pre_reset)) {
     obs::MetricsRegistry::Global().Reset();
     obs::SetEnabled(true);
   }
   ~TelemetryGuard() {
+    if (pre_reset_) pre_reset_();
     obs::StopTracing();
     obs::MetricsRegistry::Global().Reset();
     obs::SetEnabled(false);
   }
+  std::function<void()> pre_reset_;
 };
 
 TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   // Pin the total-stage rolling window to 2 x 50 ms before the server's
   // first Record fixes the default one-minute geometry, so expiry is
   // observable in test time.
@@ -982,7 +1067,7 @@ TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
 }
 
 TEST_F(NetServerTest, MetriczPrometheusExposition) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   StartServer();
 
   net::HttpClient client;
@@ -1022,7 +1107,7 @@ TEST_F(NetServerTest, MetriczPrometheusExposition) {
 }
 
 TEST_F(NetServerTest, SlowRequestLogAndRing) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   const std::string log_path = ::testing::TempDir() + "/miss_net_slow.jsonl";
   std::remove(log_path.c_str());
   serve::EngineConfig slow_engine;
@@ -1075,7 +1160,7 @@ TEST_F(NetServerTest, SlowRequestLogAndRing) {
 }
 
 TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   const std::string path = ::testing::TempDir() + "/miss_net_flow_trace.json";
   obs::StartTracing(path);
   StartServer();
@@ -1166,7 +1251,7 @@ TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
 }
 
 TEST_F(NetServerTest, ModelzWithoutMonitorAnswers503) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   StartServer();
   std::string error;
   int status = 0;
@@ -1191,7 +1276,7 @@ TEST_F(NetServerTest, ModelzWithoutMonitorAnswers503) {
 }
 
 TEST_F(NetServerTest, BinaryFeedbackJoinsOnceAndModelzDecays) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   serve::ModelHealthOptions options;
   options.num_windows = 2;
   options.window_ns = 50'000'000;  // 2 x 50 ms: decay observable in test time
@@ -1270,7 +1355,7 @@ TEST_F(NetServerTest, BinaryFeedbackJoinsOnceAndModelzDecays) {
 }
 
 TEST_F(NetServerTest, HttpFeedbackLoopAndHealthGauges) {
-  TelemetryGuard telemetry;
+  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
   AttachHealth();
   StartServer();
 
