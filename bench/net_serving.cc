@@ -40,6 +40,7 @@
 #include "net/server.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/health.h"
@@ -59,6 +60,14 @@ constexpr double kBaselineTolerance = 0.05;
 // that is already on: the monitor-attached pipelined run must retain at
 // least this fraction of the traced (telemetry-on, no monitor) qps.
 constexpr double kHealthMinRatio = 0.95;
+
+// Same yardstick for the always-on diagnostics layer (per-request
+// allocation accounting + flight-recorder retention): diagnostics-on must
+// keep >= 95% of the telemetry-on qps, and running a /pprofz-style CPU
+// profile on top must keep >= 85% — SIGPROF delivery and the handler's
+// ring write are per-sample costs the serving path has to absorb.
+constexpr double kDiagMinRatio = 0.95;
+constexpr double kProfiledMinRatio = 0.85;
 
 // Load-gen phases cannot proceed past a transport failure; abort loudly.
 void CheckOr(bool ok, const char* what, const std::string& detail) {
@@ -190,6 +199,10 @@ int Main() {
   engine_config.num_workers = 1;
   engine_config.max_batch_size = 32;
   engine_config.max_queue_delay_us = 200;
+  // The main pair is the diagnostics-OFF yardstick: no per-request alloc
+  // accounting, no flight recorder. The diagnostics phase below measures
+  // its own engine+server with both on.
+  engine_config.alloc_stats = false;
   serve::Engine engine(*model, engine_config);
 
   bench::BenchReport report("net_serving");
@@ -214,7 +227,8 @@ int Main() {
   report.AddMetric("inproc_saturated_qps", inproc_qps);
 
   net::ServerConfig server_config;
-  server_config.port = 0;  // ephemeral
+  server_config.port = 0;        // ephemeral
+  server_config.flight_capacity = 0;  // diagnostics-off yardstick
   net::Server server(engine, bundle.train.schema, server_config);
   CheckOr(server.Start(), "server start", "listen failed");
   const std::string host = server_config.bind_address;
@@ -329,6 +343,83 @@ int Main() {
   server.Stop();
   engine.Drain();
 
+  // --- Diagnostics (alloc accounting + flight recorder, telemetry on) ---
+  // A fresh engine+server with the full diagnostics layer armed: every
+  // forward is bracketed by an AllocTally, every completion offered to the
+  // tail-sampling flight recorder. Best of three against the traced run —
+  // same telemetry state, so the ratio isolates the diagnostics cost. A
+  // second timed run repeats the load with a sampling CPU profile active.
+  double diag_ratio = 0.0;
+  double profiled_ratio = 0.0;
+  {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+    serve::EngineConfig diag_engine_config = engine_config;
+    diag_engine_config.alloc_stats = true;
+    serve::Engine diag_engine(*model, diag_engine_config);
+    net::ServerConfig diag_server_config;
+    diag_server_config.port = 0;  // flight recorder on at its defaults
+    net::Server diag_server(diag_engine, bundle.train.schema,
+                            diag_server_config);
+    CheckOr(diag_server.Start(), "server start", "listen failed");
+    const int diag_port = diag_server.port();
+
+    BinaryPipelinedQps(host, diag_port, traffic, 64, window);  // warm-up
+    double diag_qps = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      diag_qps = std::max(
+          diag_qps, BinaryPipelinedQps(host, diag_port, traffic,
+                                       num_requests, window));
+      if (diag_qps >= traced_qps * kDiagMinRatio) break;
+    }
+    diag_ratio = diag_qps / traced_qps;
+    std::printf("%-28s %10.0f qps   (%.1f%% of traced)\n",
+                "binary pipelined (diag)", diag_qps, 100.0 * diag_ratio);
+    report.AddMetric("diag_pipelined_qps", diag_qps);
+    report.AddMetric("diag_vs_traced_ratio", diag_ratio);
+
+    // What the accounting measured: tensor allocations per scored request.
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Global().SnapshotAll();
+    const obs::HistogramSnapshot* alloc_count =
+        snap.FindHistogram("serve/alloc/count");
+    const obs::HistogramSnapshot* alloc_bytes =
+        snap.FindHistogram("serve/alloc/bytes");
+    CheckOr(alloc_count != nullptr && alloc_count->count > 0,
+            "alloc accounting", "serve/alloc/count never recorded");
+    report.AddMetric("alloc_per_request_count",
+                     alloc_count != nullptr ? alloc_count->mean : 0.0);
+    report.AddMetric("alloc_per_request_bytes",
+                     alloc_bytes != nullptr ? alloc_bytes->mean : 0.0);
+    std::printf("  %-26s %10.1f nodes/request\n", "alloc_per_request_count",
+                alloc_count != nullptr ? alloc_count->mean : 0.0);
+    std::printf("  %-26s %10.0f bytes/request\n", "alloc_per_request_bytes",
+                alloc_bytes != nullptr ? alloc_bytes->mean : 0.0);
+
+    // Profiler active on top of the diagnostics run.
+    CheckOr(obs::ProfilerStart(), "profiler", "ProfilerStart failed");
+    double profiled_qps = 0.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      profiled_qps = std::max(
+          profiled_qps, BinaryPipelinedQps(host, diag_port, traffic,
+                                           num_requests, window));
+      if (profiled_qps >= traced_qps * kProfiledMinRatio) break;
+    }
+    const std::string folded = obs::ProfilerStop();
+    CheckOr(!folded.empty(), "profiler", "no folded stacks captured");
+    profiled_ratio = profiled_qps / traced_qps;
+    std::printf("%-28s %10.0f qps   (%.1f%% of traced)\n",
+                "binary pipelined (profiled)", profiled_qps,
+                100.0 * profiled_ratio);
+    report.AddMetric("profiled_pipelined_qps", profiled_qps);
+    report.AddMetric("profiled_vs_traced_ratio", profiled_ratio);
+
+    diag_server.Stop();
+    diag_engine.Drain();
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
   // --- Model health (monitor attached, telemetry on) --------------------
   // A fresh engine+server pair with a training-time baseline wired in: the
   // hot path now records every score and feature id into the monitor and
@@ -382,10 +473,16 @@ int Main() {
               100.0 * baseline_ratio, 100.0 * (1.0 - kBaselineTolerance));
   std::printf("health recording vs traced:     %.1f%% (target >= %.0f%%)\n",
               100.0 * health_ratio, 100.0 * kHealthMinRatio);
+  std::printf("diagnostics vs traced:          %.1f%% (target >= %.0f%%)\n",
+              100.0 * diag_ratio, 100.0 * kDiagMinRatio);
+  std::printf("profiler active vs traced:      %.1f%% (target >= %.0f%%)\n",
+              100.0 * profiled_ratio, 100.0 * kProfiledMinRatio);
   report.Write();
   if (ratio < 0.8) return 1;
   if (baseline_ratio < 1.0 - kBaselineTolerance) return 1;
   if (health_ratio < kHealthMinRatio) return 1;
+  if (diag_ratio < kDiagMinRatio) return 1;
+  if (profiled_ratio < kProfiledMinRatio) return 1;
   return 0;
 }
 

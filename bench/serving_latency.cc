@@ -23,6 +23,7 @@
 #include "data/synthetic.h"
 #include "models/model_factory.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
 
@@ -234,6 +235,34 @@ int Main() {
     report.AddMetric(std::string(nc.tag) + "_p95_ms", r.p95_ms);
     report.AddMetric(std::string(nc.tag) + "_p99_ms", r.p99_ms);
     best_engine_qps = std::max(best_engine_qps, r.saturated_qps);
+  }
+
+  // Per-request tensor allocation accounting: with telemetry on, the
+  // engine's AllocTally bracket around each forward records batch-averaged
+  // node and byte counts into serve/alloc/* — the same numbers /statusz
+  // serves in production. Folding the means into the report ties memory
+  // behavior to the throughput numbers above.
+  {
+    obs::MetricsRegistry::Global().Reset();
+    obs::SetEnabled(true);
+    serve::EngineConfig alloc_config{1, 32, 200};
+    SaturatedQps(*model, traffic, alloc_config, num_requests);
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Global().SnapshotAll();
+    const obs::HistogramSnapshot* count =
+        snap.FindHistogram("serve/alloc/count");
+    const obs::HistogramSnapshot* bytes =
+        snap.FindHistogram("serve/alloc/bytes");
+    const double count_mean = count != nullptr ? count->mean : 0.0;
+    const double bytes_mean = bytes != nullptr ? bytes->mean : 0.0;
+    std::printf("\n%-34s %10.1f nodes/request\n", "alloc_per_request_count",
+                count_mean);
+    std::printf("%-34s %10.0f bytes/request\n", "alloc_per_request_bytes",
+                bytes_mean);
+    report.AddMetric("alloc_per_request_count", count_mean);
+    report.AddMetric("alloc_per_request_bytes", bytes_mean);
+    obs::SetEnabled(false);
+    obs::MetricsRegistry::Global().Reset();
   }
 
   const double speedup = best_engine_qps / tape.qps;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/bundle.h"
@@ -72,6 +73,8 @@ int BundleWatcher::CheckOnce() {
     if (fleet_.Reload(name, &error)) {
       ++triggered;
       reloads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      obs::LogEvent("watcher_error", name, /*ok=*/false, error);
     }
     // On failure the journal carries `error`; seen.hash suppresses
     // re-trying these exact bytes every poll.

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "data/dataset.h"
 #include "nn/tensor.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -79,6 +80,21 @@ ModelFleet::~ModelFleet() {
 
 void ModelFleet::Journal_(FleetSwapRecord record) {
   record.unix_ms = WallClockMs();
+  // Mirror every swap into the process-wide event log; the journal is the
+  // fleet's own bounded view, /eventz is the system-wide one.
+  {
+    std::string message;
+    if (record.ok) {
+      message = "generation " + std::to_string(record.generation);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " (load %.1f ms, drain %.1f ms)",
+                    record.load_ms, record.drain_ms);
+      message += buf;
+    } else {
+      message = record.error;
+    }
+    obs::LogEvent("bundle_" + record.kind, record.model, record.ok, message);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++swaps_total_;
   journal_.push_back(std::move(record));

@@ -98,9 +98,9 @@ bool ServingModel::retired() const {
   return retired_;
 }
 
-serve::Engine& ServingModel::PickReplica() {
+size_t ServingModel::PickReplica() {
   const size_t n = replicas_.size();
-  if (n == 1) return *replicas_[0];
+  if (n == 1) return 0;
   // Least outstanding requests, scanned from a rotating start so exact ties
   // break round-robin — deterministic for a serial caller.
   const size_t start =
@@ -115,7 +115,7 @@ serve::Engine& ServingModel::PickReplica() {
       best_load = load;
     }
   }
-  return *replicas_[best];
+  return best;
 }
 
 bool ServingModel::SubmitScore(data::Sample* sample,
@@ -123,7 +123,11 @@ bool ServingModel::SubmitScore(data::Sample* sample,
                                serve::Engine::TracedScoreCallback callback) {
   std::shared_lock<std::shared_mutex> lock(retire_mu_);
   if (retired_) return false;
-  PickReplica().SubmitTraced(std::move(*sample), trace, std::move(callback));
+  const size_t replica = PickReplica();
+  // Stamped unconditionally (cheap) so the slow log can name the replica.
+  trace.replica = static_cast<int32_t>(replica);
+  replicas_[replica]->SubmitTraced(std::move(*sample), trace,
+                                   std::move(callback));
   return true;
 }
 

@@ -136,7 +136,9 @@ class ServingModel {
   double Retire();
 
  private:
-  serve::Engine& PickReplica();
+  // Index into replicas_ of the least-outstanding replica; the index (not a
+  // reference) so SubmitScore can stamp it into the request trace.
+  size_t PickReplica();
 
   const std::string name_;
   const std::string bundle_path_;

@@ -5,7 +5,8 @@
 //              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
 //              [--slow-ms N] [--slow-log <path>] [--model-health]
 //              [--rank-workers N] [--rank-chunk N] [--max-frame-bytes N]
-//              [--replicas N] [--watch-ms N]
+//              [--replicas N] [--watch-ms N] [--pprofz]
+//              [--profile-file <path>]
 //
 //   miss_serve --model <name>=<dir> [--model <name2>=<dir2> ...]
 //              [--default-model <name>] [... same flags ...]
@@ -27,6 +28,12 @@
 // forces telemetry on. --model-health attaches a serve::ModelHealthMonitor
 // per entry (drift vs. the bundle's training baseline, calibration from
 // /feedback labels, /modelz report) and also forces telemetry on.
+//
+// Profiling is an explicit opt-in (SIGPROF never fires otherwise):
+// --pprofz enables GET /pprofz?seconds=N (an on-demand sampling profile,
+// answered as folded-stack text), and --profile-file <path> profiles the
+// whole run — ProfilerStart at boot, folded stacks written to <path> after
+// the graceful drain. Both force telemetry on.
 // SIGTERM/SIGINT trigger a graceful stop: the listener closes, in-flight
 // requests finish and flush, the fleet drains, then the process exits 0.
 // --port 0 picks an ephemeral port; --port-file writes the chosen port for
@@ -58,6 +65,7 @@
 #include "fleet/bundle_watcher.h"
 #include "fleet/model_fleet.h"
 #include "obs/health.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "models/model_factory.h"
 #include "net/http.h"
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
   std::string export_dir;
   int export_count = 1;
   std::string port_file;
+  std::string profile_file;
   std::string default_model;
   // --model name=path pairs, in flag order (the first becomes the default).
   std::vector<std::pair<std::string, std::string>> named_models;
@@ -194,6 +203,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-frame-bytes") {
       miss::net::SetMaxFrameBytes(static_cast<uint32_t>(
           std::atoll(next("--max-frame-bytes"))));
+    } else if (arg == "--pprofz") {
+      server_config.enable_pprofz = true;
+    } else if (arg == "--profile-file") {
+      profile_file = next("--profile-file");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: miss_serve --bundle <dir> [--host H] [--port P]\n"
@@ -203,7 +216,12 @@ int main(int argc, char** argv) {
           "                  [--slow-log F] [--model-health]\n"
           "                  [--rank-workers N] [--rank-chunk N]\n"
           "                  [--max-frame-bytes N] [--replicas N]\n"
-          "                  [--watch-ms N]\n"
+          "                  [--watch-ms N] [--pprofz]\n"
+          "                  [--profile-file F]\n"
+          "  --pprofz        serve GET /pprofz?seconds=N (sampling CPU\n"
+          "                  profiler, folded-stack text response)\n"
+          "  --profile-file  profile the whole run; folded stacks are\n"
+          "                  written to F after the graceful drain\n"
           "       miss_serve --model <name>=<dir> [--model <n2>=<d2> ...]\n"
           "                  [--default-model <name>] [... same flags ...]\n"
           "       miss_serve --export-demo-bundle <dir> [--export-count N]\n");
@@ -229,10 +247,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The slow-request log and the model-health monitor both need telemetry;
-  // make --slow-ms / --model-health imply it. Read Enabled() first so the
-  // MISS_* env init runs (and opens MISS_TRACE_FILE) before the override.
-  if ((server_config.slow_request_ms > 0 || model_health) &&
+  // The slow-request log, the model-health monitor, and the profiler all
+  // need telemetry; make --slow-ms / --model-health / --pprofz /
+  // --profile-file imply it. Read Enabled() first so the MISS_* env init
+  // runs (and opens MISS_TRACE_FILE) before the override.
+  if ((server_config.slow_request_ms > 0 || model_health ||
+       server_config.enable_pprofz || !profile_file.empty()) &&
       !miss::obs::Enabled()) {
     miss::obs::SetEnabled(true);
   }
@@ -309,6 +329,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!profile_file.empty()) {
+    if (server_config.enable_pprofz) {
+      // One profile at a time, process-wide: a whole-run profile would make
+      // every /pprofz answer 409 anyway, so reject the combination up front.
+      std::fprintf(stderr,
+                   "--profile-file and --pprofz are mutually exclusive\n");
+      return 2;
+    }
+    if (!miss::obs::ProfilerStart()) {
+      std::fprintf(stderr, "failed to start the whole-run profiler\n");
+      return 1;
+    }
+    MISS_LOG(INFO) << "miss_serve: profiling the whole run to "
+                   << profile_file;
+  }
+
   g_server = &server;
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
@@ -328,6 +364,22 @@ int main(int argc, char** argv) {
   watcher.Stop();
   fleet.DrainAll();
   g_server = nullptr;
+
+  if (!profile_file.empty()) {
+    // Stop after the drain so the profile covers the full serving lifetime,
+    // shutdown included.
+    const int64_t samples = miss::obs::ProfilerSampleCount();
+    const std::string folded = miss::obs::ProfilerStop();
+    std::ofstream out(profile_file);
+    out << folded;
+    if (!out.good()) {
+      std::fprintf(stderr, "failed to write profile to %s\n",
+                   profile_file.c_str());
+      return 1;
+    }
+    MISS_LOG(INFO) << "miss_serve: wrote " << samples
+                   << "-sample folded profile to " << profile_file;
+  }
 
   const miss::net::ServerStats stats = server.stats();
   MISS_LOG(INFO) << "miss_serve: drained; served " << stats.responses

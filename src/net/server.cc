@@ -17,9 +17,11 @@
 #include "common/logging.h"
 #include "net/http.h"
 #include "net/protocol.h"
+#include "obs/event_log.h"
 #include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "rank/rank_engine.h"
 #include "serve/health.h"
@@ -135,6 +137,30 @@ constexpr const char* kStageTotal = "serve/stage/total_ms";
 
 double MsBetween(int64_t from_ns, int64_t to_ns) {
   return static_cast<double>(to_ns - from_ns) / 1e6;
+}
+
+// /pprofz profile duration: ?seconds=N, clamped to [1, 60]; default 5.
+int64_t ParseProfileSeconds(const std::string& query) {
+  int64_t seconds = 5;
+  const size_t pos = query.find("seconds=");
+  if (pos != std::string::npos &&
+      (pos == 0 || query[pos - 1] == '&' || query[pos - 1] == '?')) {
+    seconds = std::atoll(query.c_str() + pos + 8);
+  }
+  return std::clamp<int64_t>(seconds, 1, 60);
+}
+
+// Emits one window summary object {count, mean, p50, p95, p99,
+// window_seconds} — the /statusz convention for rolling-window histograms.
+void WriteWindow(obs::JsonWriter& w, const obs::WindowSnapshot& win) {
+  w.BeginObject();
+  w.Key("count").Int(win.count);
+  w.Key("mean").Number(win.mean);
+  w.Key("p50").Number(win.p50);
+  w.Key("p95").Number(win.p95);
+  w.Key("p99").Number(win.p99);
+  w.Key("window_seconds").Number(win.window_seconds);
+  w.EndObject();
 }
 
 }  // namespace
@@ -262,6 +288,8 @@ bool Server::Start() {
   sink_->wake_fd = ::fcntl(wake_wr_, F_DUPFD_CLOEXEC, 0);
 
   start_ns_ = obs::NowNs();
+  flight_ = std::make_unique<obs::FlightRecorder>(obs::FlightRecorderConfig{
+      config_.flight_capacity, config_.flight_sample_every});
   if (config_.slow_request_ms > 0 && !config_.slow_log_path.empty()) {
     slow_log_ = std::make_unique<std::ofstream>(config_.slow_log_path,
                                                 std::ios::app);
@@ -320,7 +348,13 @@ void Server::EventLoop() {
         listen_fd_ = -1;
         listener_open = false;
       }
+      // A profile must not outlive the loop that would serve its response.
+      FinishPprofz();
+      obs::LogEvent("drain", "", /*ok=*/true,
+                    "drain started; timeout " +
+                        std::to_string(config_.drain_timeout_ms) + " ms");
     }
+    if (pprof_active_ && obs::NowNs() >= pprof_deadline_ns_) FinishPprofz();
     if (drain_started) {
       bool idle = true;
       for (const auto& [id, conn] : conns_) {
@@ -329,7 +363,12 @@ void Server::EventLoop() {
           break;
         }
       }
-      if (idle || obs::NowNs() >= drain_deadline_ns) break;
+      if (idle || obs::NowNs() >= drain_deadline_ns) {
+        obs::LogEvent("drain", "", /*ok=*/idle,
+                      idle ? "drain finished; all connections idle"
+                           : "drain deadline hit with requests in flight");
+        break;
+      }
     }
 
     pfds.clear();
@@ -357,9 +396,18 @@ void Server::EventLoop() {
       timeout_ms = static_cast<int>(std::max<int64_t>(
           1, (drain_deadline_ns - obs::NowNs()) / 1'000'000));
     }
+    if (pprof_active_) {
+      // Wake by the profile deadline so the /pprofz response is not stuck
+      // behind an otherwise-idle poll.
+      const int pprof_ms = static_cast<int>(std::max<int64_t>(
+          1, (pprof_deadline_ns_ - obs::NowNs()) / 1'000'000));
+      if (timeout_ms < 0 || pprof_ms < timeout_ms) timeout_ms = pprof_ms;
+    }
     const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) {
       MISS_LOG(WARNING) << "net::Server: poll(): " << std::strerror(errno);
+      obs::LogEvent("listener_error", "", /*ok=*/false,
+                    std::string("poll(): ") + std::strerror(errno));
       break;
     }
 
@@ -396,6 +444,7 @@ void Server::EventLoop() {
   // Teardown: anything still open is force-closed (drain timeout, poll
   // failure, or a clean drain whose idle connections simply remain). Late
   // completions land in the shared sink and are dropped.
+  FinishPprofz();  // poll-failure exit skips the drain path's stop
   std::vector<uint64_t> remaining;
   remaining.reserve(conns_.size());
   for (const auto& [id, conn] : conns_) remaining.push_back(id);
@@ -416,6 +465,8 @@ void Server::AcceptNew() {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       MISS_LOG(WARNING) << "net::Server: accept(): " << std::strerror(errno);
+      obs::LogEvent("listener_error", "", /*ok=*/false,
+                    std::string("accept(): ") + std::strerror(errno));
       return;
     }
     const int one = 1;
@@ -696,6 +747,28 @@ void Server::ParseHttp(Conn& conn) {
     } else if (req.method == "GET" && route == "/statusz") {
       conn.tx += MakeHttpResponse(200, "application/json", StatuszJson(),
                                   req.keep_alive);
+    } else if (req.method == "GET" && route == "/tracez") {
+      conn.tx += MakeHttpResponse(200, "application/json", TracezJson(),
+                                  req.keep_alive);
+    } else if (req.method == "GET" && route == "/eventz") {
+      conn.tx += MakeHttpResponse(200, "application/json", EventzJson(),
+                                  req.keep_alive);
+    } else if (req.method == "GET" && route == "/pprofz") {
+      if (!config_.enable_pprofz) {
+        conn.tx += MakeHttpResponse(
+            403, "application/json",
+            ErrorJson("profiling is not enabled on this server"),
+            req.keep_alive);
+      } else if (pprof_active_ || obs::ProfilerActive()) {
+        conn.tx += MakeHttpResponse(
+            409, "application/json",
+            ErrorJson("a profile is already running"), req.keep_alive);
+      } else {
+        // The response is deferred to the profile deadline; the loop keeps
+        // serving everything else meanwhile.
+        responded = false;
+        StartPprofz(conn, query, req.keep_alive);
+      }
     } else if (req.method == "GET" && SplitModelRoute(route, "/modelz",
                                                       &model)) {
       std::shared_ptr<fleet::ServingModel> entry = fleet_->Acquire(model);
@@ -852,7 +925,8 @@ void Server::ParseHttp(Conn& conn) {
           ErrorJson("no such endpoint; try POST /score[/<model>], "
                     "POST /rank[/<model>], POST /feedback, "
                     "POST /admin/reload, POST /admin/unload, GET /healthz, "
-                    "GET /metricz, GET /statusz, GET /modelz[/<model>]"),
+                    "GET /metricz, GET /statusz, GET /modelz[/<model>], "
+                    "GET /tracez, GET /eventz, GET /pprofz?seconds=N"),
           req.keep_alive);
     }
     if (responded) {
@@ -1050,6 +1124,49 @@ void Server::SubmitAdmin(Conn& conn, bool reload, const std::string& model) {
   }
 }
 
+void Server::StartPprofz(Conn& conn, const std::string& query,
+                         bool keep_alive) {
+  const int64_t seconds = ParseProfileSeconds(query);
+  if (!obs::ProfilerStart()) {
+    conn.tx += MakeHttpResponse(500, "application/json",
+                                ErrorJson("profiler failed to start"),
+                                keep_alive);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses;
+    return;
+  }
+  pprof_active_ = true;
+  pprof_deadline_ns_ = obs::NowNs() + seconds * 1'000'000'000;
+  pprof_conn_id_ = conn.id;
+  pprof_keep_alive_ = keep_alive;
+  conn.http_busy = true;  // one request in flight per HTTP connection
+  obs::LogEvent("profiler", "", /*ok=*/true,
+                "profile started via /pprofz (" + std::to_string(seconds) +
+                    " s)");
+}
+
+void Server::FinishPprofz() {
+  if (!pprof_active_) return;
+  pprof_active_ = false;
+  const std::string folded = obs::ProfilerStop();
+  obs::LogEvent("profiler", "", /*ok=*/true,
+                "profile finished (" +
+                    std::to_string(obs::ProfilerSampleCount()) + " samples)");
+  auto it = conns_.find(pprof_conn_id_);
+  pprof_conn_id_ = 0;
+  if (it == conns_.end()) return;  // requester hung up mid-profile
+  Conn& conn = *it->second;
+  conn.tx += MakeHttpResponse(200, "text/plain; charset=utf-8", folded,
+                              pprof_keep_alive_);
+  conn.http_busy = false;
+  if (!pprof_keep_alive_) conn.close_after_flush = true;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses;
+  }
+  FlushWrites(conn);
+}
+
 void Server::ProcessCompletions() {
   std::vector<Completion> items;
   {
@@ -1148,18 +1265,47 @@ void Server::ProcessCompletions() {
 }
 
 void Server::RecordStages(const Completion& c, int64_t reply_ns) {
-  // Only fully stamped traces count: requests failed before scoring (drain)
-  // or submitted with telemetry off have zero stamps.
+  // Requests failed before scoring (drain) or submitted with telemetry off
+  // carry zero stamps; they get no stage histograms, but failures still
+  // reach the flight recorder — an error tail with no /tracez entry would
+  // defeat tail-based retention.
   const serve::RequestTrace& t = c.trace;
-  if (t.trace_id == 0 || t.enqueue_ns == 0 || t.batch_close_ns == 0 ||
-      t.forward_done_ns == 0) {
-    return;
+  const bool stamped = t.trace_id != 0 && t.enqueue_ns != 0 &&
+                       t.batch_close_ns != 0 && t.forward_done_ns != 0;
+  double parse_ms = 0, queue_ms = 0, forward_ms = 0, write_ms = 0,
+         total_ms = 0;
+  if (stamped) {
+    parse_ms = MsBetween(t.recv_ns, t.enqueue_ns);
+    queue_ms = MsBetween(t.enqueue_ns, t.batch_close_ns);
+    forward_ms = MsBetween(t.batch_close_ns, t.forward_done_ns);
+    write_ms = MsBetween(t.forward_done_ns, reply_ns);
+    total_ms = MsBetween(t.recv_ns, reply_ns);
+  } else if (t.recv_ns != 0) {
+    total_ms = MsBetween(t.recv_ns, reply_ns);
   }
-  const double parse_ms = MsBetween(t.recv_ns, t.enqueue_ns);
-  const double queue_ms = MsBetween(t.enqueue_ns, t.batch_close_ns);
-  const double forward_ms = MsBetween(t.batch_close_ns, t.forward_done_ns);
-  const double write_ms = MsBetween(t.forward_done_ns, reply_ns);
-  const double total_ms = MsBetween(t.recv_ns, reply_ns);
+  const bool slow = config_.slow_request_ms > 0 && stamped &&
+                    total_ms >= static_cast<double>(config_.slow_request_ms);
+
+  if (flight_ != nullptr && flight_->enabled()) {
+    obs::FlightRecord rec;
+    rec.trace_id = t.trace_id;
+    rec.recv_ns = t.recv_ns;
+    rec.proto = c.http ? "http" : "binary";
+    rec.endpoint = c.rank ? "rank" : "score";
+    rec.model = c.entry != nullptr ? c.entry->name() : "";
+    rec.replica = t.replica;
+    rec.ok = c.ok;
+    rec.slow = slow;
+    if (!c.ok) rec.error = "engine is draining";
+    rec.total_ms = total_ms;
+    rec.parse_ms = parse_ms;
+    rec.queue_ms = queue_ms;
+    rec.forward_ms = forward_ms;
+    rec.write_ms = write_ms;
+    flight_->Record(rec);
+  }
+
+  if (!stamped) return;
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetHistogram(kStageParse).Record(parse_ms);
@@ -1188,22 +1334,22 @@ void Server::RecordStages(const Completion& c, int64_t reply_ns) {
     reg.GetSlidingHistogram(names.stage_total).Record(total_ms);
   }
 
-  if (config_.slow_request_ms <= 0 ||
-      total_ms < static_cast<double>(config_.slow_request_ms)) {
-    return;
-  }
-  SlowRequest slow;
-  slow.trace_id = t.trace_id;
-  slow.http = c.http;
-  slow.total_ms = total_ms;
-  slow.parse_ms = parse_ms;
-  slow.queue_ms = queue_ms;
-  slow.forward_ms = forward_ms;
-  slow.write_ms = write_ms;
+  if (!slow) return;
+  SlowRequest entry;
+  entry.trace_id = t.trace_id;
+  entry.http = c.http;
+  entry.ok = c.ok;
+  entry.model = c.entry != nullptr ? c.entry->name() : "";
+  entry.replica = t.replica;
+  entry.total_ms = total_ms;
+  entry.parse_ms = parse_ms;
+  entry.queue_ms = queue_ms;
+  entry.forward_ms = forward_ms;
+  entry.write_ms = write_ms;
   if (slow_ring_.size() < kSlowRingCapacity) {
-    slow_ring_.push_back(slow);
+    slow_ring_.push_back(entry);
   } else {
-    slow_ring_[slow_ring_next_] = slow;
+    slow_ring_[slow_ring_next_] = entry;
   }
   slow_ring_next_ = (slow_ring_next_ + 1) % kSlowRingCapacity;
   ++slow_count_;
@@ -1212,6 +1358,8 @@ void Server::RecordStages(const Completion& c, int64_t reply_ns) {
     w.BeginObject();
     w.Key("trace_id").Int(static_cast<int64_t>(t.trace_id));
     w.Key("proto").String(c.http ? "http" : "binary");
+    w.Key("model").String(entry.model);
+    w.Key("replica").Int(entry.replica);
     w.Key("ok").Bool(c.ok);
     w.Key("total_ms").Number(total_ms);
     w.Key("parse_ms").Number(parse_ms);
@@ -1358,15 +1506,104 @@ std::string Server::StatuszJson() const {
     w.Key("cxx_standard").String(info.cxx_standard);
     w.EndObject();
   }
-  w.Key("model_health_attached")
-      .Bool(def != nullptr && def->health() != nullptr);
-  w.Key("connections").Int(s.connections_active);
-  w.Key("in_flight").Int(s.in_flight);
-  w.Key("requests_total").Int(s.requests);
-  w.Key("engine_queue_depth").Int(def != nullptr ? def->QueueDepth() : 0);
   w.Key("telemetry_enabled").Bool(obs::Enabled());
   obs::RegistrySnapshot snap;
   if (obs::Enabled()) snap = obs::MetricsRegistry::Global().SnapshotAll();
+
+  // Transport-level view.
+  w.Key("net").BeginObject();
+  w.Key("connections").Int(s.connections_active);
+  w.Key("in_flight").Int(s.in_flight);
+  w.Key("requests_total").Int(s.requests);
+  if (obs::Enabled()) {
+    w.Key("qps_window").Number(snap.RateOr("net/requests", 0.0));
+  }
+  w.EndObject();
+
+  // Scoring-path view: queue, stage breakdown, slow tail, allocations.
+  w.Key("serve").BeginObject();
+  w.Key("engine_queue_depth").Int(def != nullptr ? def->QueueDepth() : 0);
+  w.Key("model_health_attached")
+      .Bool(def != nullptr && def->health() != nullptr);
+  if (obs::Enabled()) {
+    // The rolling-window stage breakdown — what the last minute looked
+    // like, not the process lifetime (that lives in /metricz).
+    w.Key("stages").BeginObject();
+    for (const auto& [name, win] : snap.windows) {
+      if (name.rfind("serve/stage/", 0) != 0) continue;
+      w.Key(name);
+      WriteWindow(w, win);
+    }
+    w.EndObject();
+    // Per-request tensor-allocation accounting (obs/: AllocTally around
+    // each engine forward); lifetime histogram + rolling window, and the
+    // per-model labeled series where the fleet labels metrics.
+    w.Key("alloc").BeginObject();
+    auto write_hist = [&w](const char* key,
+                           const obs::HistogramSnapshot* hist) {
+      if (hist == nullptr) return;
+      w.Key(key).BeginObject();
+      w.Key("count").Int(hist->count);
+      w.Key("mean").Number(hist->mean);
+      w.Key("p50").Number(hist->p50);
+      w.Key("p95").Number(hist->p95);
+      w.Key("p99").Number(hist->p99);
+      w.EndObject();
+    };
+    write_hist("per_request_count",
+               snap.FindHistogram("serve/alloc/count"));
+    write_hist("per_request_bytes",
+               snap.FindHistogram("serve/alloc/bytes"));
+    if (const obs::WindowSnapshot* win =
+            snap.FindWindow("serve/alloc/count")) {
+      w.Key("per_request_count_window");
+      WriteWindow(w, *win);
+    }
+    if (const obs::WindowSnapshot* win =
+            snap.FindWindow("serve/alloc/bytes")) {
+      w.Key("per_request_bytes_window");
+      WriteWindow(w, *win);
+    }
+    w.Key("models").BeginArray();
+    for (const std::string& name : fleet_->ModelNames()) {
+      const std::string suffix = "|model=" + name;
+      const obs::HistogramSnapshot* hc =
+          snap.FindHistogram("serve/alloc/count" + suffix);
+      const obs::HistogramSnapshot* hb =
+          snap.FindHistogram("serve/alloc/bytes" + suffix);
+      if (hc == nullptr && hb == nullptr) continue;
+      w.BeginObject();
+      w.Key("name").String(name);
+      if (hc != nullptr) {
+        w.Key("requests").Int(hc->count);
+        w.Key("count_mean").Number(hc->mean);
+      }
+      if (hb != nullptr) w.Key("bytes_mean").Number(hb->mean);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.Key("slow_request_ms").Int(config_.slow_request_ms);
+  w.Key("slow_requests_total").Int(slow_count_);
+  w.Key("slow_requests").BeginArray();
+  for (const SlowRequest& slow : slow_ring_) {
+    w.BeginObject();
+    w.Key("trace_id").Int(static_cast<int64_t>(slow.trace_id));
+    w.Key("proto").String(slow.http ? "http" : "binary");
+    w.Key("model").String(slow.model);
+    w.Key("replica").Int(slow.replica);
+    w.Key("ok").Bool(slow.ok);
+    w.Key("total_ms").Number(slow.total_ms);
+    w.Key("parse_ms").Number(slow.parse_ms);
+    w.Key("queue_ms").Number(slow.queue_ms);
+    w.Key("forward_ms").Number(slow.forward_ms);
+    w.Key("write_ms").Number(slow.write_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
   rank::RankEngine* def_rank =
       def != nullptr ? def->rank_engine() : nullptr;
   w.Key("rank").BeginObject();
@@ -1380,14 +1617,8 @@ std::string Server::StatuszJson() const {
       w.Key("candidates_per_sec_window")
           .Number(snap.RateOr("rank/candidates", 0.0));
       if (const obs::WindowSnapshot* win = snap.FindWindow("rank/latency_ms")) {
-        w.Key("latency_ms_window").BeginObject();
-        w.Key("count").Int(win->count);
-        w.Key("mean").Number(win->mean);
-        w.Key("p50").Number(win->p50);
-        w.Key("p95").Number(win->p95);
-        w.Key("p99").Number(win->p99);
-        w.Key("window_seconds").Number(win->window_seconds);
-        w.EndObject();
+        w.Key("latency_ms_window");
+        WriteWindow(w, *win);
       }
     }
   }
@@ -1435,36 +1666,87 @@ std::string Server::StatuszJson() const {
   }
   w.EndArray();
   w.EndObject();
-  if (obs::Enabled()) {
-    w.Key("qps_window").Number(snap.RateOr("net/requests", 0.0));
-    // The rolling-window stage breakdown — what the last minute looked
-    // like, not the process lifetime (that lives in /metricz).
-    w.Key("stages").BeginObject();
-    for (const auto& [name, win] : snap.windows) {
-      if (name.rfind("serve/stage/", 0) != 0) continue;
-      w.Key(name).BeginObject();
-      w.Key("count").Int(win.count);
-      w.Key("mean").Number(win.mean);
-      w.Key("p50").Number(win.p50);
-      w.Key("p95").Number(win.p95);
-      w.Key("p99").Number(win.p99);
-      w.Key("window_seconds").Number(win.window_seconds);
-      w.EndObject();
-    }
+
+  // The tail of the structured event log (GET /eventz has the full ring).
+  const int64_t now_ns = obs::NowNs();
+  w.Key("events").BeginObject();
+  w.Key("total")
+      .Int(static_cast<int64_t>(obs::EventLog::Global().total_logged()));
+  w.Key("recent").BeginArray();
+  for (const obs::Event& e : obs::EventLog::Global().Snapshot(8)) {
+    w.BeginObject();
+    w.Key("seq").Int(static_cast<int64_t>(e.seq));
+    w.Key("age_seconds")
+        .Number(static_cast<double>(now_ns - e.ts_ns) / 1e9);
+    w.Key("kind").String(e.kind);
+    if (!e.model.empty()) w.Key("model").String(e.model);
+    w.Key("ok").Bool(e.ok);
+    w.Key("message").String(e.message);
     w.EndObject();
   }
-  w.Key("slow_request_ms").Int(config_.slow_request_ms);
-  w.Key("slow_requests_total").Int(slow_count_);
-  w.Key("slow_requests").BeginArray();
-  for (const SlowRequest& slow : slow_ring_) {
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::TracezJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  const bool enabled = flight_ != nullptr && flight_->enabled();
+  w.Key("enabled").Bool(enabled);
+  if (enabled) {
+    w.Key("capacity").Int(static_cast<int64_t>(flight_->config().capacity));
+    w.Key("sample_every")
+        .Int(static_cast<int64_t>(flight_->config().sample_every));
+    w.Key("seen").Int(static_cast<int64_t>(flight_->seen()));
+    w.Key("retained").Int(static_cast<int64_t>(flight_->retained()));
+  }
+  w.Key("records").BeginArray();
+  if (enabled) {
+    const int64_t now_ns = obs::NowNs();
+    for (const obs::FlightRecord& r : flight_->Snapshot()) {
+      w.BeginObject();
+      w.Key("trace_id").Int(static_cast<int64_t>(r.trace_id));
+      w.Key("age_seconds")
+          .Number(static_cast<double>(now_ns - r.recv_ns) / 1e9);
+      w.Key("proto").String(r.proto);
+      w.Key("endpoint").String(r.endpoint);
+      w.Key("model").String(r.model);
+      w.Key("replica").Int(r.replica);
+      w.Key("ok").Bool(r.ok);
+      w.Key("slow").Bool(r.slow);
+      if (!r.ok) w.Key("error").String(r.error);
+      w.Key("total_ms").Number(r.total_ms);
+      w.Key("parse_ms").Number(r.parse_ms);
+      w.Key("queue_ms").Number(r.queue_ms);
+      w.Key("forward_ms").Number(r.forward_ms);
+      w.Key("write_ms").Number(r.write_ms);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::EventzJson() const {
+  const obs::EventLog& log = obs::EventLog::Global();
+  const int64_t now_ns = obs::NowNs();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("total").Int(static_cast<int64_t>(log.total_logged()));
+  w.Key("capacity").Int(static_cast<int64_t>(log.capacity()));
+  w.Key("events").BeginArray();
+  for (const obs::Event& e : log.Snapshot()) {
     w.BeginObject();
-    w.Key("trace_id").Int(static_cast<int64_t>(slow.trace_id));
-    w.Key("proto").String(slow.http ? "http" : "binary");
-    w.Key("total_ms").Number(slow.total_ms);
-    w.Key("parse_ms").Number(slow.parse_ms);
-    w.Key("queue_ms").Number(slow.queue_ms);
-    w.Key("forward_ms").Number(slow.forward_ms);
-    w.Key("write_ms").Number(slow.write_ms);
+    w.Key("seq").Int(static_cast<int64_t>(e.seq));
+    w.Key("age_seconds")
+        .Number(static_cast<double>(now_ns - e.ts_ns) / 1e9);
+    w.Key("kind").String(e.kind);
+    w.Key("model").String(e.model);
+    w.Key("ok").Bool(e.ok);
+    w.Key("message").String(e.message);
     w.EndObject();
   }
   w.EndArray();

@@ -64,6 +64,21 @@
 // candidate list sharing the user encoding where the model supports it.
 // Null serves an error frame / 503 on rank requests; /statusz reports the
 // rank queue, split status, and windowed rank latency.
+//
+// Always-on diagnostics (this layer's half of src/obs):
+//
+//   * GET /tracez — the flight recorder: a tail-sampled ring of completed
+//     requests' stage breakdowns. Retention is decided at completion time:
+//     slow and errored requests are ALWAYS kept, normal traffic 1-in-N
+//     (ServerConfig::flight_sample_every); flight_capacity = 0 disables.
+//   * GET /eventz — the process-wide structured event log (bundle swaps,
+//     watcher failures, drain phases, listener errors, profiler runs).
+//   * GET /pprofz?seconds=N — runs the sampling CPU profiler
+//     (obs/profiler.h) for N seconds and answers with folded-stack text.
+//     Gated behind ServerConfig::enable_pprofz (403 when off) because
+//     SIGPROF delivery is a process-wide opt-in; 409 while a profile is
+//     already running. The wait is folded into the event loop's poll
+//     timeout — the loop keeps serving while the profile runs.
 
 #ifndef MISS_NET_SERVER_H_
 #define MISS_NET_SERVER_H_
@@ -80,6 +95,7 @@
 
 #include "data/schema.h"
 #include "fleet/model_fleet.h"
+#include "obs/flight_recorder.h"
 #include "serve/engine.h"
 
 namespace miss::rank {
@@ -113,6 +129,16 @@ struct ServerConfig {
   // model as `engine`). Enables rank frames and POST /rank; null answers
   // rank requests with an error frame / 503.
   rank::RankEngine* rank = nullptr;
+  // Serve GET /pprofz (the SIGPROF sampling profiler). Off by default:
+  // profiling must be an explicit operator opt-in, so SIGPROF never fires
+  // in a default run.
+  bool enable_pprofz = false;
+  // Flight-recorder ring size for GET /tracez; 0 disables the recorder
+  // (the bench's diagnostics-off mode).
+  size_t flight_capacity = 128;
+  // Keep every Nth normal (fast, ok) request in the flight ring; slow and
+  // errored requests are always kept regardless.
+  uint64_t flight_sample_every = 16;
 };
 
 // Monotonic totals since Start(). Plain counters (always on, unlike the
@@ -197,10 +223,15 @@ class Server {
     // Stage timestamps; trace_id == 0 when telemetry was off at submit.
     serve::RequestTrace trace;
   };
-  // One /statusz ring entry: the stage breakdown of a slow request.
+  // One /statusz ring entry: the stage breakdown of a slow request, with
+  // the resolved model and replica so a tail can be attributed to one
+  // engine pool.
   struct SlowRequest {
     uint64_t trace_id = 0;
     bool http = false;
+    bool ok = true;
+    std::string model;
+    int32_t replica = -1;
     double total_ms = 0.0;
     double parse_ms = 0.0;
     double queue_ms = 0.0;
@@ -228,8 +259,15 @@ class Server {
   void RecordStages(const Completion& c, int64_t reply_ns);
   bool FlushWrites(Conn& conn);  // false when the conn died
   void CloseConn(uint64_t conn_id);
+  // Arms the profiler for a pending /pprofz request (event-loop thread).
+  void StartPprofz(Conn& conn, const std::string& query, bool keep_alive);
+  // Stops the profiler and writes the folded-stack response (if the
+  // requesting connection is still alive). Safe to call when inactive.
+  void FinishPprofz();
   std::string HealthzJson() const;
   std::string StatuszJson() const;
+  std::string TracezJson() const;
+  std::string EventzJson() const;
 
   // Legacy-constructor fleet wrapping the caller's engine; null when the
   // caller supplied its own fleet.
@@ -267,6 +305,18 @@ class Server {
   size_t slow_ring_next_ = 0;
   int64_t slow_count_ = 0;
   std::unique_ptr<std::ofstream> slow_log_;
+
+  // Flight recorder backing GET /tracez (built in Start(); null before).
+  // Internally locked — TracezJson reads it from any thread.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  // Pending /pprofz state; event-loop thread only. While active the poll
+  // timeout is clamped to the deadline, and the requesting connection sits
+  // http_busy until FinishPprofz writes the folded text.
+  bool pprof_active_ = false;
+  int64_t pprof_deadline_ns_ = 0;
+  uint64_t pprof_conn_id_ = 0;
+  bool pprof_keep_alive_ = true;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -15,6 +15,10 @@ std::atomic<int64_t> g_peak_live_nodes{0};
 
 // Nesting depth of InferenceScope on this thread; > 0 disables the tape.
 thread_local int t_inference_depth = 0;
+
+// Monotonic per-thread allocation counters read via GetThreadAllocCounters.
+thread_local int64_t t_nodes_created = 0;
+thread_local int64_t t_bytes_allocated = 0;
 }  // namespace
 
 InferenceScope::InferenceScope() { ++t_inference_depth; }
@@ -26,6 +30,7 @@ bool InferenceMode() { return t_inference_depth > 0; }
 namespace internal {
 
 void NodeCreated() {
+  ++t_nodes_created;
   g_total_nodes.fetch_add(1, std::memory_order_relaxed);
   const int64_t live = g_live_nodes.fetch_add(1, std::memory_order_relaxed) + 1;
   int64_t peak = g_peak_live_nodes.load(std::memory_order_relaxed);
@@ -54,6 +59,13 @@ void ResetTensorAllocStats() {
                           std::memory_order_relaxed);
 }
 
+ThreadAllocCounters GetThreadAllocCounters() {
+  ThreadAllocCounters c;
+  c.nodes = t_nodes_created;
+  c.bytes = t_bytes_allocated;
+  return c;
+}
+
 int64_t NumElements(const std::vector<int64_t>& shape) {
   int64_t n = 1;
   for (int64_t d : shape) {
@@ -77,6 +89,7 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float fill,
 Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
                         bool requires_grad) {
   MISS_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  t_bytes_allocated += static_cast<int64_t>(data.size() * sizeof(float));
   Tensor t;
   t.node_ = std::make_shared<Node>();
   t.node_->shape = std::move(shape);

@@ -47,6 +47,35 @@ void NodeCreated();
 void NodeDestroyed();
 }  // namespace internal
 
+// Per-thread monotonic allocation counters: every graph node created on the
+// calling thread bumps `nodes`, every value buffer installed by
+// Tensor::FromData bumps `bytes`. Plain thread_local increments — no
+// atomics — so the cost is negligible even on the serving hot path, and
+// the counters never reset (deltas, not levels, are the unit of use).
+struct ThreadAllocCounters {
+  int64_t nodes = 0;
+  int64_t bytes = 0;
+};
+ThreadAllocCounters GetThreadAllocCounters();
+
+// RAII delta over the calling thread's allocation counters: construct
+// before the work, read nodes()/bytes() after. Because the underlying
+// counters are monotonic, tallies nest and overlap freely — an inner tally
+// is simply a sub-range of the outer one's delta.
+//
+//   nn::AllocTally tally;
+//   model.Forward(batch, /*training=*/false);
+//   histogram.Record(tally.nodes());
+class AllocTally {
+ public:
+  AllocTally() : start_(GetThreadAllocCounters()) {}
+  int64_t nodes() const { return GetThreadAllocCounters().nodes - start_.nodes; }
+  int64_t bytes() const { return GetThreadAllocCounters().bytes - start_.bytes; }
+
+ private:
+  ThreadAllocCounters start_;
+};
+
 // Internal graph node. Users interact with Tensor handles; Node is exposed
 // so optimizers can key state off stable node addresses.
 struct Node {

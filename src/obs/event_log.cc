@@ -1,0 +1,61 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace miss::obs {
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::Log(std::string kind, std::string model, bool ok,
+                   std::string message) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& slot = ring_[seq_ % capacity_];
+  slot.seq = seq_++;
+  slot.ts_ns = now;
+  slot.kind = std::move(kind);
+  slot.model = std::move(model);
+  slot.ok = ok;
+  slot.message = std::move(message);
+}
+
+std::vector<Event> EventLog::Snapshot(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t retained = std::min<size_t>(seq_, capacity_);
+  const size_t want = std::min(n, retained);
+  std::vector<Event> out;
+  out.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    // seq_ - 1 is the newest slot.
+    out.push_back(ring_[(seq_ - 1 - i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t EventLog::total_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity_, Event{});
+  seq_ = 0;
+}
+
+void LogEvent(const std::string& kind, const std::string& model, bool ok,
+              const std::string& message) {
+  if (!Enabled()) return;
+  EventLog::Global().Log(kind, model, ok, message);
+}
+
+}  // namespace miss::obs

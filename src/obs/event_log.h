@@ -1,0 +1,61 @@
+// Structured event log: a bounded in-process ring of the rare-but-important
+// things a serving process does — bundle swaps and unloads, watcher
+// failures, drain phases, listener errors, profiler start/stop.
+//
+// The fleet's swap journal only saw fleet events; this is the system-wide
+// successor. Events are cheap (one mutex acquisition on an already-cold
+// path) and the free-function LogEvent() is additionally guarded by
+// obs::Enabled(), matching every other telemetry site. Served at
+// GET /eventz and folded into /statusz.
+
+#ifndef MISS_OBS_EVENT_LOG_H_
+#define MISS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace miss::obs {
+
+struct Event {
+  uint64_t seq = 0;     // monotonically increasing, survives ring eviction
+  int64_t ts_ns = 0;    // obs::NowNs() at log time
+  std::string kind;     // e.g. "bundle_swap", "watcher_error", "drain"
+  std::string model;    // owning model name, or "" for process-wide events
+  bool ok = true;
+  std::string message;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 128);
+
+  // Process-wide instance used by LogEvent() and the /eventz endpoint.
+  static EventLog& Global();
+
+  void Log(std::string kind, std::string model, bool ok, std::string message);
+
+  // Newest-first copy of the retained events (at most min(n, capacity)).
+  std::vector<Event> Snapshot(size_t n = SIZE_MAX) const;
+
+  uint64_t total_logged() const;
+  size_t capacity() const { return capacity_; }
+
+  // Drops all retained events and resets the sequence counter (tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::vector<Event> ring_;  // ring_[seq % capacity_]
+  uint64_t seq_ = 0;         // next sequence number == total logged
+};
+
+// Appends to EventLog::Global() when telemetry is enabled; no-op otherwise.
+void LogEvent(const std::string& kind, const std::string& model, bool ok,
+              const std::string& message);
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_EVENT_LOG_H_

@@ -1,0 +1,51 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace miss::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  if (config_.sample_every == 0) config_.sample_every = 1;
+  ring_.resize(config_.capacity);
+}
+
+bool FlightRecorder::Record(const FlightRecord& record) {
+  if (config_.capacity == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seen_;
+  bool keep = record.slow || !record.ok;
+  if (!keep) {
+    // Deterministic 1-in-N: the first normal request is kept so a fresh
+    // process shows traffic immediately, then every sample_every-th.
+    keep = normal_seen_ % config_.sample_every == 0;
+    ++normal_seen_;
+  }
+  if (!keep) return false;
+  ring_[retained_ % config_.capacity] = record;
+  ++retained_;
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min<uint64_t>(retained_, config_.capacity);
+  std::vector<FlightRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(retained_ - 1 - i) % config_.capacity]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+uint64_t FlightRecorder::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+}  // namespace miss::obs

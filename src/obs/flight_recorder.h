@@ -1,0 +1,70 @@
+// Flight recorder: tail-sampled ring of completed-request stage timings.
+//
+// The Chrome trace file answers "what happened during the window I traced";
+// the flight recorder answers "what did the last K interesting requests do"
+// on a live process, with no file and no restart. Retention is tail-based —
+// the keep/drop decision happens at completion time, when the outcome is
+// known: slow and errored requests are always retained, normal traffic is
+// down-sampled 1-in-N with a deterministic counter (the unit-testable seam;
+// no RNG). Served as JSON at GET /tracez.
+
+#ifndef MISS_OBS_FLIGHT_RECORDER_H_
+#define MISS_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace miss::obs {
+
+// One completed request's stage breakdown, denormalized so a snapshot is
+// self-contained JSON.
+struct FlightRecord {
+  uint64_t trace_id = 0;
+  int64_t recv_ns = 0;     // obs::NowNs() at first byte
+  std::string proto;       // "http" | "binary"
+  std::string endpoint;    // "score" | "rank" | ...
+  std::string model;       // resolved model name ("" pre-fleet)
+  int32_t replica = -1;    // replica index, -1 when not applicable
+  bool ok = true;
+  bool slow = false;       // crossed the server's slow threshold
+  std::string error;       // failure detail when !ok
+  double total_ms = 0, parse_ms = 0, queue_ms = 0, forward_ms = 0,
+         write_ms = 0;
+};
+
+struct FlightRecorderConfig {
+  size_t capacity = 128;      // ring size; 0 disables the recorder
+  uint64_t sample_every = 16; // keep every Nth normal request (>=1)
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  // Tail-based retention decision; thread-safe. Slow or errored records are
+  // always kept; normal ones only when the deterministic 1-in-N counter
+  // fires. Returns true when the record was retained (tests).
+  bool Record(const FlightRecord& record);
+
+  // Newest-first copy of retained records.
+  std::vector<FlightRecord> Snapshot() const;
+
+  bool enabled() const { return config_.capacity > 0; }
+  const FlightRecorderConfig& config() const { return config_; }
+  uint64_t seen() const;      // records offered
+  uint64_t retained() const;  // records kept (may exceed capacity over time)
+
+ private:
+  FlightRecorderConfig config_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;  // ring_[retained_ % capacity]
+  uint64_t seen_ = 0;
+  uint64_t retained_ = 0;
+  uint64_t normal_seen_ = 0;  // drives the 1-in-N sampler
+};
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,248 @@
+#include "obs/profiler.h"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cstdlib>
+#endif
+
+namespace miss::obs {
+
+namespace internal {
+thread_local char t_profiler_thread_name[kThreadNameBytes] = {0};
+}  // namespace internal
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr int kMaxFrames = 48;
+
+// One ring slot. `ready` is the publication flag: the handler stores it with
+// release order after filling the raw fields; the (off-signal) reader loads
+// it with acquire order before touching them. That pair is what makes the
+// non-atomic frame writes race-free for tsan and for us.
+struct Sample {
+  std::atomic<int> ready{0};
+  int depth = 0;
+  void* frames[kMaxFrames];
+  char thread_name[internal::kThreadNameBytes];
+};
+
+// All guarded by g_profiler_mu except where noted; the handler reads only
+// the atomics and the g_samples array it was pointed at before the timer
+// was armed.
+std::mutex g_profiler_mu;
+Sample* g_samples = nullptr;
+std::atomic<int> g_max_samples{0};       // handler + lock-free readers
+std::atomic<bool> g_armed{false};        // handler gate
+std::atomic<uint32_t> g_next_slot{0};    // claimed by fetch_add in handler
+std::atomic<int64_t> g_dropped{0};
+bool g_running = false;                  // guarded by g_profiler_mu
+struct sigaction g_prev_action;          // restored on Stop
+
+// Async-signal-safe: fetch_add to claim a slot, backtrace() into it, copy
+// the thread's TLS name, publish with a release store. backtrace() is
+// primed in ProfilerStart so its one-time dynamic-loader initialization
+// (which may allocate) never happens here.
+void OnSigprof(int /*signo*/, siginfo_t* /*info*/, void* /*ucontext*/) {
+  const int saved_errno = errno;
+  if (g_armed.load(std::memory_order_acquire)) {
+    const uint32_t slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (slot < static_cast<uint32_t>(
+                   g_max_samples.load(std::memory_order_relaxed))) {
+      Sample& s = g_samples[slot];
+      s.depth = backtrace(s.frames, kMaxFrames);
+      int i = 0;
+      for (; i + 1 < internal::kThreadNameBytes &&
+             internal::t_profiler_thread_name[i] != '\0';
+           ++i) {
+        s.thread_name[i] = internal::t_profiler_thread_name[i];
+      }
+      s.thread_name[i] = '\0';
+      s.ready.store(1, std::memory_order_release);
+    } else {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+// "./miss_serve(_ZN4miss2nn6MatMul...+0x1f4) [0x55d1...]" -> demangled
+// symbol, or the module basename + offset when the symbol table has
+// nothing (static functions without -rdynamic coverage).
+std::string PrettyFrame(const char* symbolized) {
+  const std::string raw(symbolized != nullptr ? symbolized : "");
+  const size_t open = raw.find('(');
+  const size_t plus = raw.find('+', open == std::string::npos ? 0 : open);
+  if (open != std::string::npos && plus != std::string::npos && plus > open + 1) {
+    std::string mangled = raw.substr(open + 1, plus - open - 1);
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      return out;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return mangled;  // plain C symbol
+  }
+  // No symbol: keep "module [addr]" so the frame is still attributable.
+  size_t slash = raw.rfind('/', open == std::string::npos ? raw.size() : open);
+  std::string out = slash == std::string::npos ? raw : raw.substr(slash + 1);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out.empty() ? "??" : out;
+}
+
+// Folded-stack segments must not contain the folding separators.
+std::string SanitizeSegment(std::string s) {
+  for (char& c : s) {
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  }
+  return s.empty() ? std::string("??") : s;
+}
+
+}  // namespace
+
+bool ProfilerStart(const ProfilerOptions& options) {
+  std::lock_guard<std::mutex> lock(g_profiler_mu);
+  if (g_running || options.hz <= 0 || options.max_samples <= 0) return false;
+
+  // Prime backtrace() outside signal context: its first call may dlopen
+  // libgcc and allocate, which must never happen inside the handler.
+  void* prime[2];
+  backtrace(prime, 2);
+
+  delete[] g_samples;
+  g_samples = new Sample[options.max_samples];
+  g_max_samples.store(options.max_samples, std::memory_order_relaxed);
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = OnSigprof;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps the poll loop and blocking reads from churning EINTR
+  // at the sampling frequency.
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_prev_action) != 0) {
+    delete[] g_samples;
+    g_samples = nullptr;
+    g_max_samples.store(0, std::memory_order_relaxed);
+    return false;
+  }
+  g_armed.store(true, std::memory_order_release);
+
+  itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = static_cast<long>(1000000 / options.hz);
+  if (timer.it_interval.tv_usec <= 0) timer.it_interval.tv_usec = 1;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_prev_action, nullptr);
+    delete[] g_samples;
+    g_samples = nullptr;
+    g_max_samples.store(0, std::memory_order_relaxed);
+    return false;
+  }
+  g_running = true;
+  return true;
+}
+
+bool ProfilerActive() {
+  std::lock_guard<std::mutex> lock(g_profiler_mu);
+  return g_running;
+}
+
+int64_t ProfilerSampleCount() {
+  const int64_t claimed = g_next_slot.load(std::memory_order_relaxed);
+  const int64_t cap = g_max_samples.load(std::memory_order_relaxed);
+  return claimed < cap ? claimed : cap;
+}
+
+std::string ProfilerStop() {
+  std::lock_guard<std::mutex> lock(g_profiler_mu);
+  if (!g_running) return "";
+
+  // Disarm: no new timer expirations, then tell any in-flight handler to
+  // stand down before we start reading slots.
+  itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  sigaction(SIGPROF, &g_prev_action, nullptr);
+  g_running = false;
+
+  const int64_t count = ProfilerSampleCount();
+  std::map<std::string, int64_t> folded;
+  for (int64_t i = 0; i < count; ++i) {
+    Sample& s = g_samples[i];
+    if (s.ready.load(std::memory_order_acquire) != 1) continue;  // in-flight
+    char** symbols = backtrace_symbols(s.frames, s.depth);
+    if (symbols == nullptr) continue;
+    std::vector<std::string> pretty;
+    pretty.reserve(s.depth);
+    for (int f = 0; f < s.depth; ++f) {
+      pretty.push_back(PrettyFrame(symbols[f]));
+    }
+    std::free(symbols);
+
+    // Frames are leaf-first and begin inside the signal machinery: our
+    // handler, then the kernel trampoline (__restore_rt or similar). Strip
+    // through the deepest frame that is recognizably signal plumbing.
+    size_t first_real = 0;
+    const size_t probe = pretty.size() < 4 ? pretty.size() : 4;
+    for (size_t f = 0; f < probe; ++f) {
+      if (pretty[f].find("OnSigprof") != std::string::npos ||
+          pretty[f].find("restore_rt") != std::string::npos ||
+          pretty[f].find("sigaction") != std::string::npos ||
+          pretty[f].find("killpg") != std::string::npos) {
+        first_real = f + 1;
+      }
+    }
+    std::string key(s.thread_name[0] != '\0' ? s.thread_name : "unnamed");
+    key = SanitizeSegment(key);
+    // Root-first for the folded format: walk outermost -> leaf.
+    for (size_t f = pretty.size(); f > first_real; --f) {
+      key += ';';
+      key += SanitizeSegment(pretty[f - 1]);
+    }
+    ++folded[key];
+  }
+
+  std::ostringstream out;
+  for (const auto& [stack, n] : folded) {
+    out << stack << " " << n << "\n";
+  }
+  const int64_t dropped = g_dropped.load(std::memory_order_relaxed);
+  if (dropped > 0) out << "# dropped " << dropped << "\n";
+
+  delete[] g_samples;
+  g_samples = nullptr;
+  g_max_samples.store(0, std::memory_order_relaxed);
+  return out.str();
+}
+
+#else  // !defined(__linux__)
+
+bool ProfilerStart(const ProfilerOptions&) { return false; }
+bool ProfilerActive() { return false; }
+int64_t ProfilerSampleCount() { return 0; }
+std::string ProfilerStop() { return ""; }
+
+#endif
+
+}  // namespace miss::obs

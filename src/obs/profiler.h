@@ -1,0 +1,61 @@
+// Sampling CPU profiler: SIGPROF-driven backtraces, folded-stack output.
+//
+// ProfilerStart arms ITIMER_PROF so the kernel delivers SIGPROF to whichever
+// thread is burning CPU; the signal handler claims one slot of a
+// preallocated ring with a single fetch_add and stores the raw backtrace
+// plus the thread's display name. Nothing in the handler allocates, locks,
+// or formats — symbolization (backtrace_symbols + __cxa_demangle) happens
+// off-signal in ProfilerStop, which folds identical stacks into the
+// flamegraph.pl "folded" text format:
+//
+//   engine-worker-0;miss::serve::Engine::ScoreBatch(...);miss::nn::MatMul(...) 42
+//
+// One profile at a time, process-wide. The profiler is an explicit opt-in
+// (`/pprofz` behind a flag, `--profile-file`): SIGPROF never fires unless
+// something called ProfilerStart. See DESIGN.md §5 for the signal-safety
+// rules this file must uphold.
+
+#ifndef MISS_OBS_PROFILER_H_
+#define MISS_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace miss::obs {
+
+struct ProfilerOptions {
+  // Sampling frequency. Prime by default so the sampler does not phase-lock
+  // with periodic work (batch timers, watcher polls).
+  int hz = 97;
+  // Ring capacity; samples past this are counted as dropped, not stored.
+  int max_samples = 1 << 14;
+};
+
+// Arms the profiler. Returns false (and changes nothing) if a profile is
+// already running or the timer could not be installed.
+bool ProfilerStart(const ProfilerOptions& options = {});
+
+// True between a successful ProfilerStart and the matching ProfilerStop.
+bool ProfilerActive();
+
+// Samples captured so far in the active (or most recent) profile.
+int64_t ProfilerSampleCount();
+
+// Disarms the timer, symbolizes every captured stack, and returns the
+// folded-stack text (one "name;name;... count" line per unique stack,
+// root-first, thread name as the first segment). Returns "" if no profile
+// was running. A "# dropped N" comment line is appended when the ring
+// overflowed.
+std::string ProfilerStop();
+
+namespace internal {
+// Per-thread display name readable from the SIGPROF handler (plain chars —
+// no locks, no allocation). obs::SetCurrentThreadName copies into it; the
+// kernel's 15-char comm limit does not apply here.
+inline constexpr int kThreadNameBytes = 32;
+extern thread_local char t_profiler_thread_name[kThreadNameBytes];
+}  // namespace internal
+
+}  // namespace miss::obs
+
+#endif  // MISS_OBS_PROFILER_H_

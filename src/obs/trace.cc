@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -13,6 +15,7 @@
 #include "common/env.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace miss::obs {
 
@@ -215,6 +218,14 @@ void SetCurrentThreadName(const std::string& name) {
   // The kernel limit is 15 chars + NUL.
   pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
 #endif
+  // Mirror into the async-signal-readable TLS buffer the SIGPROF sampler
+  // copies from (profiler.h); NUL first so a mid-write signal sees a
+  // truncated name, never a stale one.
+  char* tls = internal::t_profiler_thread_name;
+  const size_t n =
+      std::min(name.size(), size_t{internal::kThreadNameBytes - 1});
+  tls[n] = '\0';
+  std::memcpy(tls, name.data(), n);
   const int tid = ThreadId();
   std::lock_guard<std::mutex> lock(g_trace_mu);
   if (g_thread_names == nullptr) {

@@ -27,6 +27,8 @@ RankEngine::RankEngine(models::CtrModel& model, const RankEngineConfig& config)
   name_batch_k_ = "rank/batch_k" + tag;
   name_latency_ = "rank/latency_ms" + tag;
   name_queue_depth_ = "rank/queue_depth" + tag;
+  name_alloc_count_ = "serve/alloc/count" + tag;
+  name_alloc_bytes_ = "serve/alloc/bytes" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_chunk, 0);
   MISS_CHECK_GT(config_.nn_threads, 0);
@@ -173,7 +175,15 @@ void RankEngine::Process(Request req) {
     req.trace.batch_close_ns = obs::NowNs();
   }
 
+  // Whole-request allocation delta: chunk scoring happens entirely on this
+  // worker thread, so the thread-local tally brackets it exactly. Deltas are
+  // read here but recorded below, after the callback, with the rest of the
+  // metrics.
+  const bool record_alloc = enabled && config_.alloc_stats;
+  nn::AllocTally alloc_tally;
   RankResult result = ScoreRequest(req.request);
+  const double alloc_nodes = static_cast<double>(alloc_tally.nodes());
+  const double alloc_bytes = static_cast<double>(alloc_tally.bytes());
   const int64_t k = static_cast<int64_t>(req.request.candidates.size());
 
   const int64_t forward_done_ns = enabled ? obs::NowNs() : 0;
@@ -201,6 +211,12 @@ void RankEngine::Process(Request req) {
         static_cast<double>(obs::NowNs() - req.enqueue_ns) / 1e6;
     reg.GetHistogram(name_latency_).Record(latency_ms);
     reg.GetSlidingHistogram(name_latency_).Record(latency_ms);
+    if (record_alloc) {
+      reg.GetHistogram(name_alloc_count_).Record(alloc_nodes);
+      reg.GetHistogram(name_alloc_bytes_).Record(alloc_bytes);
+      reg.GetSlidingHistogram(name_alloc_count_).Record(alloc_nodes);
+      reg.GetSlidingHistogram(name_alloc_bytes_).Record(alloc_bytes);
+    }
   }
 }
 

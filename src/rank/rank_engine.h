@@ -89,6 +89,11 @@ struct RankEngineConfig {
   // keeps the plain rank/* names, non-empty records rank/...|model=<name>
   // (a {model="..."} label in the Prometheus exposition).
   std::string metric_model;
+  // Record the whole-request tensor allocation delta (node count + bytes,
+  // per ranked request — K-dependent by nature) into the shared
+  // serve/alloc/{count,bytes} histograms, as serve::EngineConfig::
+  // alloc_stats.
+  bool alloc_stats = true;
 };
 
 class RankEngine {
@@ -153,6 +158,8 @@ class RankEngine {
   std::string name_batch_k_;
   std::string name_latency_;
   std::string name_queue_depth_;
+  std::string name_alloc_count_;
+  std::string name_alloc_bytes_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "nn/tensor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/health.h"
@@ -23,6 +24,8 @@ Engine::Engine(models::CtrModel& model, const EngineConfig& config)
   name_batch_size_ = "serve/batch_size" + tag;
   name_latency_ = "serve/latency_ms" + tag;
   name_queue_depth_ = "serve/queue_depth" + tag;
+  name_alloc_count_ = "serve/alloc/count" + tag;
+  name_alloc_bytes_ = "serve/alloc/bytes" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_batch_size, 0);
   MISS_CHECK_GE(config_.max_queue_delay_us, 0);
@@ -234,12 +237,30 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     staging.samples.push_back(std::move(batch[i].sample));
     indices[i] = i;
   }
+  // Per-request allocation accounting brackets assembly + forward: both run
+  // on this worker thread, so the thread-local tally sees exactly this
+  // batch's tensor allocations.
+  const bool record_alloc = config_.alloc_stats && obs::Enabled();
+  nn::AllocTally alloc_tally;
   data::Batch assembled = data::MakeBatch(staging, indices);
 
   nn::Tensor logits;
   {
     nn::InferenceScope inference;
     logits = model_.Forward(assembled, /*training=*/false);
+  }
+  if (record_alloc) {
+    // One record per batch of the per-request average, into the lifetime
+    // histogram and the /statusz rolling window.
+    const double per_req_nodes =
+        static_cast<double>(alloc_tally.nodes()) / static_cast<double>(n);
+    const double per_req_bytes =
+        static_cast<double>(alloc_tally.bytes()) / static_cast<double>(n);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetHistogram(name_alloc_count_).Record(per_req_nodes);
+    reg.GetHistogram(name_alloc_bytes_).Record(per_req_bytes);
+    reg.GetSlidingHistogram(name_alloc_count_).Record(per_req_nodes);
+    reg.GetSlidingHistogram(name_alloc_bytes_).Record(per_req_bytes);
   }
 
   // Forward done; stamp traced requests and, when a trace file is active,

@@ -65,6 +65,10 @@ struct RequestTrace {
   int64_t enqueue_ns = 0;       // engine: request entered the queue
   int64_t batch_close_ns = 0;   // engine: batch sealed, assembly begins
   int64_t forward_done_ns = 0;  // engine: forward pass + sigmoid finished
+  // Replica index the fleet routed this request to (-1 when not applicable:
+  // rank requests, direct-engine submission). Stamped by
+  // fleet::ServingModel::SubmitScore so slow-log entries name the replica.
+  int32_t replica = -1;
 };
 
 struct EngineConfig {
@@ -87,6 +91,12 @@ struct EngineConfig {
   // micro-batch is recorded — score distribution plus per-feature id
   // coverage — when telemetry is enabled. Null disables recording.
   ModelHealthMonitor* health = nullptr;
+  // Record per-request tensor allocation (node count + value-buffer bytes,
+  // averaged over the batch) into serve/alloc/{count,bytes} lifetime +
+  // sliding histograms when telemetry is enabled. The counters themselves
+  // are plain thread-locals (nn::AllocTally) — this only gates the
+  // histogram recording, so benches can A/B it.
+  bool alloc_stats = true;
   // Per-model metric label. Empty keeps the plain serve/* metric names;
   // non-empty records them as serve/...|model=<metric_model> instead, which
   // /metricz?format=prom renders as a {model="..."} label (how a fleet keeps
@@ -177,6 +187,8 @@ class Engine {
   std::string name_batch_size_;
   std::string name_latency_;
   std::string name_queue_depth_;
+  std::string name_alloc_count_;
+  std::string name_alloc_bytes_;
 
   std::atomic<int64_t> in_flight_{0};
 

@@ -1,0 +1,254 @@
+// Diagnostics-layer unit tests: the sampling profiler's lock-free ring and
+// folded-stack output under concurrent named threads, the flight recorder's
+// tail-based retention (slow/error always, normals 1-in-N, deterministic),
+// the bounded structured event log, and the per-thread allocation tallies
+// the serving path brackets around every forward. Suite names are prefixed
+// Profiler / FlightRecorder / EventLog / AllocTally so the tsan and asan
+// presets pick them up.
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace miss {
+namespace {
+
+// -- Sampling profiler -------------------------------------------------------
+
+TEST(ProfilerTest, InactiveByDefaultAndStopWithoutStartIsEmpty) {
+  EXPECT_FALSE(obs::ProfilerActive());
+  EXPECT_EQ(obs::ProfilerStop(), "");
+}
+
+TEST(ProfilerTest, ConcurrentNamedThreadsLandInFoldedStacks) {
+  obs::ProfilerOptions options;
+  options.hz = 499;  // prime, and fast enough to finish the test quickly
+  ASSERT_TRUE(obs::ProfilerStart(options));
+  EXPECT_TRUE(obs::ProfilerActive());
+  EXPECT_FALSE(obs::ProfilerStart());  // one profile at a time, process-wide
+
+  // Three named threads burn CPU; SIGPROF lands on whichever is running,
+  // and the handler's fetch_add hands each signal its own ring slot — this
+  // is the concurrency the tsan preset re-checks.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> burners;
+  for (int i = 0; i < 3; ++i) {
+    burners.emplace_back([&stop, i] {
+      obs::SetCurrentThreadName("diag-burn-" + std::to_string(i));
+      volatile double x = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x * 1.0000001 + 0.5;
+      }
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (obs::ProfilerSampleCount() < 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : burners) t.join();
+  EXPECT_GE(obs::ProfilerSampleCount(), 8);
+
+  const std::string folded = obs::ProfilerStop();
+  EXPECT_FALSE(obs::ProfilerActive());
+  ASSERT_FALSE(folded.empty());
+  EXPECT_EQ(obs::ProfilerStop(), "");  // already stopped
+
+  // Every line is "seg;seg;... count" with the thread's display name as
+  // the first segment; the burners must be attributed by name.
+  std::istringstream lines(folded);
+  std::string line;
+  bool saw_burner = false;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' '), space) << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+    const std::string head = line.substr(0, line.find_first_of("; "));
+    if (head.rfind("diag-burn-", 0) == 0) saw_burner = true;
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_TRUE(saw_burner) << folded;
+}
+
+TEST(ProfilerTest, RestartableAfterStop) {
+  ASSERT_TRUE(obs::ProfilerStart());
+  obs::ProfilerStop();
+  ASSERT_TRUE(obs::ProfilerStart());  // a fresh profile re-arms cleanly
+  obs::ProfilerStop();
+  EXPECT_FALSE(obs::ProfilerActive());
+}
+
+// -- Flight recorder ---------------------------------------------------------
+
+obs::FlightRecord NormalRecord(uint64_t id) {
+  obs::FlightRecord r;
+  r.trace_id = id;
+  return r;
+}
+
+TEST(FlightRecorderTest, SlowAndErroredAlwaysSurviveSparseSampling) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 8;
+  config.sample_every = 1000;  // normals effectively never sampled
+  obs::FlightRecorder rec(config);
+  EXPECT_TRUE(rec.enabled());
+
+  obs::FlightRecord slow = NormalRecord(1);
+  slow.slow = true;
+  EXPECT_TRUE(rec.Record(slow));
+  obs::FlightRecord errored = NormalRecord(2);
+  errored.ok = false;
+  errored.error = "engine is draining";
+  EXPECT_TRUE(rec.Record(errored));
+
+  // The very first normal is kept (a fresh process shows traffic at once),
+  // every following one falls to the 1-in-1000 sampler.
+  EXPECT_TRUE(rec.Record(NormalRecord(3)));
+  for (uint64_t id = 4; id < 14; ++id) {
+    EXPECT_FALSE(rec.Record(NormalRecord(id)));
+  }
+  EXPECT_EQ(rec.seen(), 13u);
+  EXPECT_EQ(rec.retained(), 3u);
+}
+
+TEST(FlightRecorderTest, NormalSamplingIsDeterministicOneInN) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 16;
+  config.sample_every = 4;
+  obs::FlightRecorder rec(config);
+  std::vector<uint64_t> kept;
+  for (uint64_t id = 0; id < 12; ++id) {
+    if (rec.Record(NormalRecord(id))) kept.push_back(id);
+  }
+  EXPECT_EQ(kept, (std::vector<uint64_t>{0, 4, 8}));
+}
+
+TEST(FlightRecorderTest, RingWrapsOverwritingOldestNewestFirstSnapshot) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 4;
+  config.sample_every = 1;
+  obs::FlightRecorder rec(config);
+  for (uint64_t id = 1; id <= 6; ++id) {
+    obs::FlightRecord r = NormalRecord(id);
+    r.slow = true;
+    ASSERT_TRUE(rec.Record(r));
+  }
+  EXPECT_EQ(rec.retained(), 6u);
+  const std::vector<obs::FlightRecord> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].trace_id, 6u - i);  // newest first, 3..6 retained
+  }
+}
+
+TEST(FlightRecorderTest, ZeroCapacityDisablesRecording) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 0;
+  obs::FlightRecorder rec(config);
+  EXPECT_FALSE(rec.enabled());
+  obs::FlightRecord r = NormalRecord(1);
+  r.slow = true;
+  EXPECT_FALSE(rec.Record(r));  // even slow records: the ring does not exist
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+// -- Structured event log ----------------------------------------------------
+
+TEST(EventLogTest, BoundedRingEvictsOldestAndKeepsSequence) {
+  obs::EventLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    log.Log("kind-" + std::to_string(i), "m", /*ok=*/i % 2 == 0, "msg");
+  }
+  EXPECT_EQ(log.total_logged(), 6u);
+  const std::vector<obs::Event> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // capacity bounds retention, not the count
+  EXPECT_EQ(snap.front().kind, "kind-5");
+  EXPECT_EQ(snap.front().seq, 5u);
+  EXPECT_EQ(snap.back().kind, "kind-2");  // 0 and 1 were evicted
+  // Snapshot(n) trims from the newest end.
+  const std::vector<obs::Event> two = log.Snapshot(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].kind, "kind-5");
+  EXPECT_EQ(two[1].kind, "kind-4");
+}
+
+TEST(EventLogTest, ClearResetsSequenceAndRetention) {
+  obs::EventLog log(4);
+  log.Log("a", "", true, "");
+  log.Clear();
+  EXPECT_EQ(log.total_logged(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.Log("b", "", true, "");
+  EXPECT_EQ(log.Snapshot().front().seq, 0u);
+}
+
+TEST(EventLogTest, FreeFunctionRespectsTelemetryGate) {
+  obs::EventLog::Global().Clear();
+  obs::SetEnabled(false);
+  obs::LogEvent("gated", "", true, "must not appear");
+  EXPECT_EQ(obs::EventLog::Global().total_logged(), 0u);
+  obs::SetEnabled(true);
+  obs::LogEvent("open", "", true, "appears");
+  EXPECT_EQ(obs::EventLog::Global().total_logged(), 1u);
+  EXPECT_EQ(obs::EventLog::Global().Snapshot().front().kind, "open");
+  obs::SetEnabled(false);
+  obs::EventLog::Global().Clear();
+}
+
+// -- Per-thread allocation tallies -------------------------------------------
+
+TEST(AllocTallyTest, CountsNodesAndFromDataBytes) {
+  nn::AllocTally tally;
+  nn::Tensor t = nn::Tensor::FromData({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(tally.nodes(), 1);
+  EXPECT_EQ(tally.bytes(), 4 * static_cast<int64_t>(sizeof(float)));
+}
+
+TEST(AllocTallyTest, TalliesNestAsSubRanges) {
+  nn::AllocTally outer;
+  nn::Tensor a = nn::Tensor::FromData({1}, {1.0f});
+  {
+    nn::AllocTally inner;
+    nn::Tensor b = nn::Tensor::FromData({3}, {1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(inner.nodes(), 1);
+    EXPECT_EQ(inner.bytes(), 3 * static_cast<int64_t>(sizeof(float)));
+  }
+  // The inner tally is a sub-range of the outer delta, not a reset.
+  EXPECT_EQ(outer.nodes(), 2);
+  EXPECT_EQ(outer.bytes(), 4 * static_cast<int64_t>(sizeof(float)));
+}
+
+TEST(AllocTallyTest, CountersArePerThread) {
+  nn::AllocTally tally;
+  std::thread other([] {
+    nn::Tensor t = nn::Tensor::FromData({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+    nn::AllocTally theirs;  // fresh on this thread
+    EXPECT_EQ(theirs.nodes(), 0);
+  });
+  other.join();
+  // Another thread's allocations never leak into this thread's delta —
+  // that is what makes the serving bracket safe without synchronization.
+  EXPECT_EQ(tally.nodes(), 0);
+  EXPECT_EQ(tally.bytes(), 0);
+}
+
+}  // namespace
+}  // namespace miss

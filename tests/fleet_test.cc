@@ -27,6 +27,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/event_log.h"
 #include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -760,7 +761,13 @@ struct TelemetryGuard {
 };
 
 TEST_F(FleetServerTest, StatuszFleetBlockAndPerModelMetricLabels) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the entry engines: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    fleet_.DrainAll();
+  });
   const std::string dir_a = TestScratchDir("a");
   const std::string dir_b = TestScratchDir("b");
   WriteBundle(dir_a, 42);
@@ -818,6 +825,80 @@ TEST_F(FleetServerTest, StatuszFleetBlockAndPerModelMetricLabels) {
   }
   // The fleet's own counters made it out too (2 loads journaled).
   EXPECT_NE(body.find("miss_fleet_models"), std::string::npos) << body;
+}
+
+TEST_F(FleetServerTest, TraceMetadataNamesFleetWatcherAndRankThreads) {
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the entry engines: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    fleet_.DrainAll();
+  });
+  obs::EventLog::Global().Clear();
+  const std::string path =
+      ::testing::TempDir() + "/miss_fleet_thread_trace.json";
+  obs::StartTracing(path);
+
+  const std::string dir = TestScratchDir("named");
+  WriteBundle(dir, 42);
+  AddModel("m", dir);  // the model's rank engine names rank-worker-0 now
+
+  // The async reload path lazily starts the fleet's task worker, which
+  // names itself before running the swap.
+  std::promise<bool> reloaded;
+  fleet_.ReloadAsync(
+      "m", [&](bool ok, std::string) { reloaded.set_value(ok); });
+  EXPECT_TRUE(reloaded.get_future().get());
+
+  // A started watcher names its poll thread; one poll is enough.
+  fleet::BundleWatcherConfig watcher_config;
+  watcher_config.poll_interval_ms = 1;
+  fleet::BundleWatcher watcher(fleet_, watcher_config);
+  watcher.Start();
+  while (watcher.polls() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  watcher.Stop();
+  obs::StopTracing();
+
+  // Every background thread announces itself as ph:"M" thread_name
+  // metadata, so a Perfetto/chrome://tracing lane is labeled, not a bare
+  // tid.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(content, &doc)) << content;
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_fleet_worker = false, saw_watcher = false, saw_rank_worker = false;
+  for (const obs::JsonValue& e : events->array) {
+    const obs::JsonValue* ph = e.Find("ph");
+    const obs::JsonValue* name = e.Find("name");
+    if (ph == nullptr || name == nullptr || ph->string != "M" ||
+        name->string != "thread_name") {
+      continue;
+    }
+    const std::string& tname = e.Find("args")->Find("name")->string;
+    if (tname == "fleet-worker") saw_fleet_worker = true;
+    if (tname == "bundle-watcher") saw_watcher = true;
+    if (tname == "rank-worker-0") saw_rank_worker = true;
+  }
+  EXPECT_TRUE(saw_fleet_worker) << content;
+  EXPECT_TRUE(saw_watcher) << content;
+  EXPECT_TRUE(saw_rank_worker) << content;
+  std::remove(path.c_str());
+
+  // The reload also left a structured event behind: Journal_ mirrors every
+  // swap into the process-wide event log.
+  bool saw_reload_event = false;
+  for (const obs::Event& e : obs::EventLog::Global().Snapshot()) {
+    if (e.kind == "bundle_reload" && e.model == "m" && e.ok) {
+      saw_reload_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_reload_event);
 }
 
 }  // namespace

@@ -121,6 +121,24 @@ echo "$STATUSZ" | grep -q '"serve/stage/total_ms"' \
   || { echo "FAIL: /statusz is missing the stage breakdown" >&2; exit 1; }
 echo "$STATUSZ" | grep -q '"rank":{"enabled":true' \
   || { echo "FAIL: /statusz is missing the rank subsystem block" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PYEOF \
+    || { echo "FAIL: /statusz is missing expected top-level blocks" >&2; exit 1; }
+import json
+doc = json.loads('''$STATUSZ''')
+expected = {"status", "uptime_seconds", "model", "bundle", "build",
+            "telemetry_enabled", "net", "serve", "rank", "fleet", "events"}
+missing = expected - set(doc)
+assert not missing, f"missing top-level keys: {sorted(missing)}"
+assert doc["telemetry_enabled"] is True, doc["telemetry_enabled"]
+assert doc["net"]["requests_total"] >= 1, doc["net"]
+alloc = doc["serve"]["alloc"]
+assert alloc["per_request_count"]["count"] >= 1, alloc
+assert alloc["per_request_bytes"]["mean"] > 0, alloc
+assert isinstance(doc["events"]["recent"], list), doc["events"]
+PYEOF
+  echo "PASS: /statusz top-level blocks validate (net/serve/rank/fleet/events)"
+fi
 
 PROM="$(curl -sf "http://127.0.0.1:$PORT/metricz?format=prom")"
 echo "$PROM" | grep -q '^# TYPE miss_net_requests_total counter' \
@@ -340,5 +358,83 @@ if wait "$SERVER_PID"; then
 else
   CODE=$?
   echo "FAIL: fleet server exited $CODE after SIGTERM" >&2
+  exit 1
+fi
+
+# ---- Sampling profiler -----------------------------------------------------
+# Boot with the /pprofz opt-in, profile the process for a second while /rank
+# traffic burns CPU, and require folded stacks back plus a clean shutdown —
+# SIGPROF handling must not corrupt the drain path.
+
+MISS_TELEMETRY=1 \
+  "$SERVE_BIN" --bundle "$WORK/bundle" --port 0 \
+  --port-file "$WORK/pprof_port" --pprofz &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/pprof_port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/pprof_port" ] \
+  || { echo "FAIL: pprofz server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/pprof_port")"
+
+# Heavy /rank bodies (2000 candidates cycling the 120-id demo vocab) keep
+# the engine on the CPU for the whole profiling window. The profiler ticks
+# on process CPU time, so the burner must actually keep the server busy:
+# one long-lived keep-alive connection posting big requests back-to-back
+# (forking curl per tiny request starves the server of CPU on a contended
+# box — measured ~30 ms of server CPU in a 2 s window, below the sampling
+# interval), and the profile is retried a few times in case a window still
+# lands too few samples.
+CANDS="$(printf '%s,' $(seq 1 100))"
+BURN_CANDS="${CANDS}${CANDS}${CANDS}${CANDS}${CANDS}"
+BURN_CANDS="${BURN_CANDS}${BURN_CANDS}${BURN_CANDS}${BURN_CANDS}"
+BURN_CANDS="${BURN_CANDS%,}"
+BURN_BODY="$(sed "s/^{/{\"candidates\":[$BURN_CANDS],\"top_k\":4,/" \
+  "$WORK/bundle/sample.json")"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PORT" "$WORK/burn_stop" <<PYEOF &
+import http.client, os, sys
+port, stop = int(sys.argv[1]), sys.argv[2]
+body = '''$BURN_BODY'''
+conn = http.client.HTTPConnection("127.0.0.1", port)
+while not os.path.exists(stop):
+    conn.request("POST", "/rank", body,
+                 {"Content-Type": "application/json"})
+    conn.getresponse().read()
+PYEOF
+  BURN_PID=$!
+else
+  (
+    while [ ! -e "$WORK/burn_stop" ]; do
+      curl -sf -X POST "http://127.0.0.1:$PORT/rank" \
+           -H 'Content-Type: application/json' --data "$BURN_BODY" >/dev/null \
+        || break
+    done
+  ) &
+  BURN_PID=$!
+fi
+
+FOLDED=""
+for _ in 1 2 3 4 5; do
+  FOLDED="$(curl -sf "http://127.0.0.1:$PORT/pprofz?seconds=1" || true)"
+  echo "$FOLDED" | grep -Eq '^[^ ]+ [0-9]+$' && break
+done
+touch "$WORK/burn_stop"
+wait "$BURN_PID" || true
+echo "pprofz (head): $(echo "$FOLDED" | head -n 3)"
+[ -n "$FOLDED" ] \
+  || { echo "FAIL: /pprofz returned no folded stacks" >&2; exit 1; }
+echo "$FOLDED" | grep -Eq '^[^ ]+ [0-9]+$' \
+  || { echo "FAIL: /pprofz output is not folded-stack formatted" >&2; exit 1; }
+
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  echo "PASS: pprofz server graceful shutdown exited 0"
+  SERVER_PID=""
+else
+  CODE=$?
+  echo "FAIL: pprofz server exited $CODE after SIGTERM" >&2
   exit 1
 fi

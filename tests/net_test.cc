@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,8 +29,10 @@
 #include "net/http.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "rank/rank_engine.h"
 #include "serve/engine.h"
@@ -1000,7 +1003,14 @@ struct TelemetryGuard {
 };
 
 TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   // Pin the total-stage rolling window to 2 x 50 ms before the server's
   // first Record fixes the default one-minute geometry, so expiry is
   // observable in test time.
@@ -1036,8 +1046,12 @@ TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
   EXPECT_EQ(root.Find("model")->string, "din");
   EXPECT_EQ(root.Find("bundle")->string, "unit-test-bundle");
   EXPECT_GT(root.Find("uptime_seconds")->number, 0.0);
-  EXPECT_GT(root.Find("qps_window")->number, 0.0);
-  const obs::JsonValue* stages = root.Find("stages");
+  const obs::JsonValue* net_block = root.Find("net");
+  ASSERT_NE(net_block, nullptr) << body;
+  EXPECT_GT(net_block->Find("qps_window")->number, 0.0);
+  const obs::JsonValue* serve_block = root.Find("serve");
+  ASSERT_NE(serve_block, nullptr) << body;
+  const obs::JsonValue* stages = serve_block->Find("stages");
   ASSERT_NE(stages, nullptr);
   const obs::JsonValue* total = stages->Find("serve/stage/total_ms");
   ASSERT_NE(total, nullptr) << body;
@@ -1052,9 +1066,12 @@ TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
                            &body, &error))
       << error;
   ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
-  EXPECT_DOUBLE_EQ(
-      root.Find("stages")->Find("serve/stage/total_ms")->Find("count")->number,
-      0.0);
+  EXPECT_DOUBLE_EQ(root.Find("serve")
+                       ->Find("stages")
+                       ->Find("serve/stage/total_ms")
+                       ->Find("count")
+                       ->number,
+                   0.0);
   ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/metricz", &status,
                            &body, &error))
       << error;
@@ -1067,7 +1084,14 @@ TEST_F(NetServerTest, StatuszReportsRollingStagesAndWindowExpiry) {
 }
 
 TEST_F(NetServerTest, MetriczPrometheusExposition) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   StartServer();
 
   net::HttpClient client;
@@ -1107,7 +1131,14 @@ TEST_F(NetServerTest, MetriczPrometheusExposition) {
 }
 
 TEST_F(NetServerTest, SlowRequestLogAndRing) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   const std::string log_path = ::testing::TempDir() + "/miss_net_slow.jsonl";
   std::remove(log_path.c_str());
   serve::EngineConfig slow_engine;
@@ -1139,8 +1170,10 @@ TEST_F(NetServerTest, SlowRequestLogAndRing) {
       << error;
   obs::JsonValue root;
   ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
-  EXPECT_GE(root.Find("slow_requests_total")->number, 3.0);
-  const obs::JsonValue* ring = root.Find("slow_requests");
+  const obs::JsonValue* serve_block = root.Find("serve");
+  ASSERT_NE(serve_block, nullptr) << body;
+  EXPECT_GE(serve_block->Find("slow_requests_total")->number, 3.0);
+  const obs::JsonValue* ring = serve_block->Find("slow_requests");
   ASSERT_NE(ring, nullptr);
   ASSERT_TRUE(ring->IsArray());
   ASSERT_GE(ring->array.size(), 3u);
@@ -1148,19 +1181,35 @@ TEST_F(NetServerTest, SlowRequestLogAndRing) {
   EXPECT_GT(entry.Find("total_ms")->number, 1.0);
   EXPECT_GT(entry.Find("queue_ms")->number, 0.0);
   EXPECT_EQ(entry.Find("proto")->string, "http");
+  // The ring names the serving model and the replica that scored the
+  // request so a slow entry is attributable without cross-referencing logs.
+  ASSERT_NE(entry.Find("model"), nullptr) << body;
+  ASSERT_NE(entry.Find("replica"), nullptr) << body;
+  EXPECT_GE(entry.Find("replica")->number, 0.0);
+  EXPECT_TRUE(entry.Find("ok")->bool_value);
 
-  // One structured JSONL line per slow request, stage breakdown included.
+  // One structured JSONL line per slow request, stage breakdown included,
+  // with the same model/replica attribution as the in-memory ring.
   std::ifstream in(log_path);
   std::string jsonl((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   EXPECT_TRUE(obs::JsonlValid(jsonl)) << jsonl;
   EXPECT_GE(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
   EXPECT_NE(jsonl.find("\"forward_ms\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"model\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"replica\""), std::string::npos);
   std::remove(log_path.c_str());
 }
 
 TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   const std::string path = ::testing::TempDir() + "/miss_net_flow_trace.json";
   obs::StartTracing(path);
   StartServer();
@@ -1251,7 +1300,14 @@ TEST_F(NetServerTest, TraceFileLinksNetLoopToEngineWorker) {
 }
 
 TEST_F(NetServerTest, ModelzWithoutMonitorAnswers503) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   StartServer();
   std::string error;
   int status = 0;
@@ -1276,7 +1332,14 @@ TEST_F(NetServerTest, ModelzWithoutMonitorAnswers503) {
 }
 
 TEST_F(NetServerTest, BinaryFeedbackJoinsOnceAndModelzDecays) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   serve::ModelHealthOptions options;
   options.num_windows = 2;
   options.window_ns = 50'000'000;  // 2 x 50 ms: decay observable in test time
@@ -1355,7 +1418,14 @@ TEST_F(NetServerTest, BinaryFeedbackJoinsOnceAndModelzDecays) {
 }
 
 TEST_F(NetServerTest, HttpFeedbackLoopAndHealthGauges) {
-  TelemetryGuard telemetry([this] { if (server_ != nullptr) server_->Stop(); });
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
   AttachHealth();
   StartServer();
 
@@ -1415,10 +1485,277 @@ TEST_F(NetServerTest, HttpFeedbackLoopAndHealthGauges) {
   ASSERT_NE(build, nullptr) << body;
   EXPECT_FALSE(build->Find("git_describe")->string.empty());
   EXPECT_FALSE(build->Find("compiler")->string.empty());
-  EXPECT_TRUE(root.Find("model_health_attached")->bool_value);
+  const obs::JsonValue* serve_block = root.Find("serve");
+  ASSERT_NE(serve_block, nullptr) << body;
+  EXPECT_TRUE(serve_block->Find("model_health_attached")->bool_value);
 
   // Join the net loop before ~TelemetryGuard resets the registry the
   // loop's connection-close path still records into.
+  server_->Stop();
+  engine_->Drain();
+}
+
+TEST_F(NetServerTest, TracezTailSamplingKeepsEveryNthNormalRequest) {
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
+  net::ServerConfig server_config;
+  server_config.flight_sample_every = 2;  // keep requests 0, 2, 4
+  // slow_request_ms stays 0 (disabled): nothing qualifies as slow, so
+  // retention is purely the deterministic 1-in-N normal sampler.
+  StartServer({}, server_config);
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int i = 0; i < 6; ++i) {
+    int status = 0;
+    float score = 0.0f;
+    std::string body;
+    ASSERT_TRUE(client.Score(bundle_.test.samples[i], &status, &score, &body,
+                             &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/tracez", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_TRUE(root.Find("enabled")->bool_value);
+  EXPECT_EQ(root.Find("sample_every")->number, 2.0);
+  EXPECT_EQ(root.Find("seen")->number, 6.0);
+  EXPECT_EQ(root.Find("retained")->number, 3.0);
+  const obs::JsonValue* records = root.Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array.size(), 3u);
+  for (const obs::JsonValue& r : records->array) {
+    EXPECT_EQ(r.Find("proto")->string, "http");
+    EXPECT_EQ(r.Find("endpoint")->string, "score");
+    EXPECT_TRUE(r.Find("ok")->bool_value);
+    EXPECT_FALSE(r.Find("slow")->bool_value);
+    EXPECT_GE(r.Find("replica")->number, 0.0);
+    EXPECT_GT(r.Find("total_ms")->number, 0.0);
+  }
+}
+
+TEST_F(NetServerTest, TracezRetainsEverySlowRequestDespiteSparseSampling) {
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
+  serve::EngineConfig slow_engine;
+  slow_engine.num_workers = 1;
+  slow_engine.max_batch_size = 8;
+  slow_engine.max_queue_delay_us = 5000;  // every request waits ~5 ms queued
+  net::ServerConfig server_config;
+  server_config.slow_request_ms = 1;          // everything is "slow"
+  server_config.flight_sample_every = 1000;   // normal sampler keeps ~nothing
+  StartServer(slow_engine, server_config);
+
+  net::HttpClient client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  for (int i = 0; i < 4; ++i) {
+    int status = 0;
+    float score = 0.0f;
+    std::string body;
+    ASSERT_TRUE(client.Score(bundle_.test.samples[i], &status, &score, &body,
+                             &error))
+        << error;
+    ASSERT_EQ(status, 200) << body;
+  }
+
+  // Tail-based retention: the keep decision happens at completion time, so
+  // 100% of slow requests survive even a 1-in-1000 normal sampling rate.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/tracez", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_EQ(root.Find("seen")->number, 4.0);
+  EXPECT_EQ(root.Find("retained")->number, 4.0);
+  const obs::JsonValue* records = root.Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array.size(), 4u);
+  for (const obs::JsonValue& r : records->array) {
+    EXPECT_TRUE(r.Find("slow")->bool_value);
+    EXPECT_GT(r.Find("queue_ms")->number, 0.0);
+  }
+}
+
+TEST_F(NetServerTest, EventzServesTheGlobalEventLog) {
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
+  obs::EventLog::Global().Clear();
+  StartServer();
+  obs::LogEvent("unit_test", "din", /*ok=*/true, "hello from the test");
+
+  std::string error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/eventz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_EQ(status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  EXPECT_GE(root.Find("total")->number, 1.0);
+  EXPECT_GT(root.Find("capacity")->number, 0.0);
+  const obs::JsonValue* events = root.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->array.size(), 1u);
+  // Newest first: our event leads the snapshot.
+  const obs::JsonValue& e = events->array[0];
+  EXPECT_EQ(e.Find("kind")->string, "unit_test");
+  EXPECT_EQ(e.Find("model")->string, "din");
+  EXPECT_TRUE(e.Find("ok")->bool_value);
+  EXPECT_EQ(e.Find("message")->string, "hello from the test");
+
+  // /statusz folds the same log into its "events" block.
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/statusz", &status,
+                           &body, &error))
+      << error;
+  ASSERT_TRUE(obs::JsonParse(body, &root)) << body;
+  const obs::JsonValue* status_events = root.Find("events");
+  ASSERT_NE(status_events, nullptr) << body;
+  EXPECT_GE(status_events->Find("total")->number, 1.0);
+  ASSERT_GE(status_events->Find("recent")->array.size(), 1u);
+  EXPECT_EQ(status_events->Find("recent")->array[0].Find("kind")->string,
+            "unit_test");
+}
+
+TEST_F(NetServerTest, PprofzRequiresOptInAndReturnsFoldedStacks) {
+  TelemetryGuard telemetry([this] {
+    // Stop the listener first, then join the engine workers: a worker's
+    // trace-span epilogue records stage histograms after the response is
+    // already on the wire, and Reset() destroys those histograms.
+    if (server_ != nullptr) server_->Stop();
+    if (engine_ != nullptr) engine_->Drain();
+    if (rank_engine_ != nullptr) rank_engine_->Drain();
+  });
+
+  // Off by default: the endpoint must refuse, not arm SIGPROF.
+  StartServer();
+  std::string error;
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/pprofz?seconds=1",
+                           &status, &body, &error))
+      << error;
+  EXPECT_EQ(status, 403);
+  server_->Stop();
+  engine_->Drain();
+  server_.reset();
+  rank_engine_.reset();
+  engine_.reset();
+
+  // Opted in: a 1-second profile streams back folded stacks. The server
+  // runs in-process, so scoring from this thread puts CPU on the
+  // engine-worker threads the profiler should attribute samples to.
+  net::ServerConfig server_config;
+  server_config.enable_pprofz = true;
+  StartServer({}, server_config);
+
+  std::string folded;
+  bool saw_engine_worker = false;
+  for (int attempt = 0; attempt < 8 && !saw_engine_worker; ++attempt) {
+    folded.clear();
+    std::thread getter([&] {
+      std::string get_error;
+      int get_status = 0;
+      std::string get_body;
+      if (net::HttpGet("127.0.0.1", server_->port(), "/pprofz?seconds=1",
+                       &get_status, &get_body, &get_error) &&
+          get_status == 200) {
+        folded = get_body;
+      }
+    });
+    // Keep the engine busy for the whole profiling window; SIGPROF only
+    // fires against threads burning CPU time, and on a contended box the
+    // window opens whenever the event loop gets around to the GET — so
+    // score until the profile has been observed both starting and ending
+    // rather than for a fixed wall-clock slice.
+    net::HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+    bool window_seen = false;
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (obs::ProfilerActive()) {
+        window_seen = true;
+      } else if (window_seen) {
+        break;
+      }
+      int score_status = 0;
+      float score = 0.0f;
+      std::string score_body;
+      ASSERT_TRUE(client.Score(bundle_.test.samples[0], &score_status, &score,
+                               &score_body, &error))
+          << error;
+      ASSERT_EQ(score_status, 200) << score_body;
+    }
+    getter.join();
+    saw_engine_worker = folded.find("engine-worker") != std::string::npos;
+  }
+
+  ASSERT_FALSE(folded.empty());
+  // Folded-stack format: "thread;frame;frame count", one stack per line.
+  std::istringstream lines(folded);
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_EQ(line.find(' '), space) << "one space, before the count: "
+                                     << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_TRUE(saw_engine_worker) << folded;
+  EXPECT_FALSE(obs::ProfilerActive());
+
+  // A second profile while one is running is refused with 409.
+  std::thread getter([&] {
+    std::string get_error;
+    int get_status = 0;
+    std::string get_body;
+    net::HttpGet("127.0.0.1", server_->port(), "/pprofz?seconds=1",
+                 &get_status, &get_body, &get_error);
+  });
+  while (!obs::ProfilerActive()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(net::HttpGet("127.0.0.1", server_->port(), "/pprofz", &status,
+                           &body, &error))
+      << error;
+  EXPECT_EQ(status, 409);
+  getter.join();
+
   server_->Stop();
   engine_->Drain();
 }
