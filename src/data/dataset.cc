@@ -8,9 +8,16 @@
 namespace miss::data {
 
 Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices) {
+  Batch batch;
+  MakeBatchInto(dataset, indices, &batch);
+  return batch;
+}
+
+void MakeBatchInto(const Dataset& dataset, const std::vector<int64_t>& indices,
+                   Batch* out) {
   MISS_TRACE_SCOPE("data/make_batch");
   const DatasetSchema& schema = dataset.schema;
-  Batch batch;
+  Batch& batch = *out;
   batch.batch_size = static_cast<int64_t>(indices.size());
   batch.num_cat = schema.num_categorical();
   batch.num_seq = schema.num_sequential();
@@ -50,7 +57,6 @@ Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices) {
     for (int64_t l = 0; l < keep; ++l) batch.seq_mask[b * l_dim + l] = 1.0f;
     batch.labels[b] = s.label;
   }
-  return batch;
 }
 
 BatchPlan::BatchPlan(int64_t dataset_size, int64_t batch_size)

@@ -45,6 +45,12 @@ struct Batch {
 // than schema.max_seq_len are truncated to their most recent entries.
 Batch MakeBatch(const Dataset& dataset, const std::vector<int64_t>& indices);
 
+// As MakeBatch, but assembles into *out, reusing its buffers' capacity. A
+// serving worker that stages every micro-batch through one long-lived Batch
+// allocates nothing here in steady state.
+void MakeBatchInto(const Dataset& dataset, const std::vector<int64_t>& indices,
+                   Batch* out);
+
 // Yields shuffled (or sequential) index slices of size <= batch_size
 // covering the dataset once per epoch.
 class BatchPlan {

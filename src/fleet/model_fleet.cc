@@ -46,6 +46,15 @@ bool SelfCheck(const serve::Bundle& bundle, std::string* error) {
   return true;
 }
 
+// Plan-incompatible bundles still serve (dynamic path), but the event log
+// should say why this model skipped the compiled path — the load/reload
+// succeeds, so the journal row alone would hide it.
+void LogPlanFallback(const std::string& name, const serve::Bundle& bundle) {
+  if (bundle.plans == nullptr || bundle.plans->compatible()) return;
+  obs::LogEvent("plan_fallback", name, /*ok=*/false,
+                bundle.plans->fallback_reason());
+}
+
 }  // namespace
 
 std::string HashFile(const std::string& path) {
@@ -134,7 +143,7 @@ bool ModelFleet::AddModel(const std::string& name,
   const int64_t load_start_ns = obs::NowNs();
   serve::Bundle bundle;
   std::string local_error;
-  if (!serve::LoadBundle(bundle_path, &bundle)) {
+  if (!serve::LoadBundle(bundle_path, config.load, &bundle)) {
     local_error = "failed to load bundle from " + bundle_path;
   } else if (!SelfCheck(bundle, &local_error)) {
     // local_error set.
@@ -151,6 +160,7 @@ bool ModelFleet::AddModel(const std::string& name,
     if (error != nullptr) *error = local_error;
     return false;
   }
+  LogPlanFallback(name, bundle);
 
   const std::string hash =
       HashFile(bundle_path + "/" + serve::kManifestFileName);
@@ -266,7 +276,7 @@ bool ModelFleet::Reload(const std::string& name, std::string* error) {
   const int64_t load_start_ns = obs::NowNs();
   serve::Bundle bundle;
   std::string local_error;
-  if (!serve::LoadBundle(bundle_path, &bundle)) {
+  if (!serve::LoadBundle(bundle_path, config.load, &bundle)) {
     local_error = "failed to load bundle from " + bundle_path;
   } else if (!SelfCheck(bundle, &local_error)) {
     // local_error set.
@@ -296,6 +306,7 @@ bool ModelFleet::Reload(const std::string& name, std::string* error) {
     if (error != nullptr) *error = local_error;
     return false;
   }
+  LogPlanFallback(name, bundle);
 
   const std::string hash =
       HashFile(bundle_path + "/" + serve::kManifestFileName);

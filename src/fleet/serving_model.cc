@@ -53,6 +53,10 @@ ServingModel::ServingModel(std::string name, std::string bundle_path,
   serve::EngineConfig engine_config = config.engine;
   engine_config.metric_model = metric_model;
   engine_config.health = health_;
+  // bundle_ is declared before the engines, so the plan set outlives every
+  // replica of this generation; a reload builds a new generation around the
+  // new bundle's plans and swaps atomically.
+  engine_config.plans = bundle_.plans.get();
   owned_replicas_.reserve(static_cast<size_t>(config.replicas));
   for (int i = 0; i < config.replicas; ++i) {
     owned_replicas_.push_back(
@@ -64,6 +68,7 @@ ServingModel::ServingModel(std::string name, std::string bundle_path,
     rank::RankEngineConfig rank_config = config.rank;
     rank_config.metric_model = metric_model;
     rank_config.health = health_;
+    rank_config.plans = bundle_.plans.get();
     owned_rank_ =
         std::make_unique<rank::RankEngine>(*bundle_.model, rank_config);
     rank_ = owned_rank_.get();

@@ -56,6 +56,10 @@ struct ServingModelConfig {
   rank::RankEngineConfig rank;
   // Build a rank::RankEngine when the schema supports it.
   bool enable_rank = true;
+  // Bundle load options (plan compilation). When compile_plans is on and the
+  // model traces cleanly, replicas execute through the compiled plans;
+  // incompatible models log a plan_fallback event and serve dynamically.
+  serve::LoadBundleOptions load;
   // Attach a ModelHealthMonitor fed from the bundle's baseline.
   bool model_health = false;
   serve::ModelHealthOptions health_options;

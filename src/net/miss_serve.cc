@@ -5,8 +5,8 @@
 //              [--max-batch N] [--max-delay-us N] [--drain-timeout-ms N]
 //              [--slow-ms N] [--slow-log <path>] [--model-health]
 //              [--rank-workers N] [--rank-chunk N] [--max-frame-bytes N]
-//              [--replicas N] [--watch-ms N] [--pprofz]
-//              [--profile-file <path>]
+//              [--replicas N] [--watch-ms N] [--plan | --no-plan]
+//              [--pprofz] [--profile-file <path>]
 //
 //   miss_serve --model <name>=<dir> [--model <name2>=<dir2> ...]
 //              [--default-model <name>] [... same flags ...]
@@ -28,6 +28,16 @@
 // forces telemetry on. --model-health attaches a serve::ModelHealthMonitor
 // per entry (drift vs. the bundle's training baseline, calibration from
 // /feedback labels, /modelz report) and also forces telemetry on.
+//
+// Compiled inference plans are on by default: each loaded bundle's forward
+// is traced once per batch-size bucket into a static execution plan
+// (arena-allocated intermediates, fused elementwise chains, pre-packed GEMM
+// weights) that engine workers run instead of rebuilding the autograd graph
+// per batch. Models whose forward cannot be traced statically fall back to
+// the dynamic path automatically — identical scores either way, journaled
+// as a plan_fallback event. --no-plan disables compilation entirely;
+// /statusz's serve.plan block shows per-bucket plan shape and the
+// plan-vs-fallback request split.
 //
 // Profiling is an explicit opt-in (SIGPROF never fires otherwise):
 // --pprofz enables GET /pprofz?seconds=N (an on-demand sampling profile,
@@ -134,6 +144,9 @@ int main(int argc, char** argv) {
   // --model name=path pairs, in flag order (the first becomes the default).
   std::vector<std::pair<std::string, std::string>> named_models;
   bool model_health = false;
+  // Compiled inference plans: on by default; --no-plan forces every batch
+  // down the dynamic per-request graph path.
+  bool compile_plans = true;
   int replicas = 1;
   int64_t watch_ms = 0;
   miss::net::ServerConfig server_config;
@@ -196,6 +209,10 @@ int main(int argc, char** argv) {
       server_config.slow_log_path = next("--slow-log");
     } else if (arg == "--model-health") {
       model_health = true;
+    } else if (arg == "--plan") {
+      compile_plans = true;
+    } else if (arg == "--no-plan") {
+      compile_plans = false;
     } else if (arg == "--rank-workers") {
       rank_config.num_workers = std::atoi(next("--rank-workers"));
     } else if (arg == "--rank-chunk") {
@@ -216,8 +233,11 @@ int main(int argc, char** argv) {
           "                  [--slow-log F] [--model-health]\n"
           "                  [--rank-workers N] [--rank-chunk N]\n"
           "                  [--max-frame-bytes N] [--replicas N]\n"
-          "                  [--watch-ms N] [--pprofz]\n"
-          "                  [--profile-file F]\n"
+          "                  [--watch-ms N] [--plan | --no-plan]\n"
+          "                  [--pprofz] [--profile-file F]\n"
+          "  --plan          compile static inference plans per bundle\n"
+          "                  (default on); --no-plan serves every batch\n"
+          "                  through the dynamic graph path\n"
           "  --pprofz        serve GET /pprofz?seconds=N (sampling CPU\n"
           "                  profiler, folded-stack text response)\n"
           "  --profile-file  profile the whole run; folded stacks are\n"
@@ -269,6 +289,7 @@ int main(int argc, char** argv) {
   entry_config.rank.nn_threads = engine_config.nn_threads;
   entry_config.model_health = model_health;
   entry_config.label_metrics = fleet_mode;
+  entry_config.load.compile_plans = compile_plans;
 
   miss::fleet::ModelFleet fleet;
   for (const auto& [name, path] : named_models) {
@@ -292,6 +313,12 @@ int main(int argc, char** argv) {
                                  ? ", health on with baseline"
                                  : ", health on without baseline"
                            : "")
+                   << ", plans "
+                   << (entry->bundle()->plans != nullptr
+                           ? entry->bundle()->plans->compatible()
+                                 ? "compiled"
+                                 : "fallback"
+                           : "off")
                    << ")";
   }
   if (!default_model.empty() && !fleet.SetDefaultModel(default_model)) {

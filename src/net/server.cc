@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "net/http.h"
 #include "net/protocol.h"
+#include "nn/plan.h"
 #include "obs/event_log.h"
 #include "obs/health.h"
 #include "obs/json.h"
@@ -1525,6 +1526,47 @@ std::string Server::StatuszJson() const {
   w.Key("engine_queue_depth").Int(def != nullptr ? def->QueueDepth() : 0);
   w.Key("model_health_attached")
       .Bool(def != nullptr && def->health() != nullptr);
+  {
+    // Compiled-plan view of the default model: per-bucket plan shape and
+    // the plan-vs-fallback request split. The fleet models array below
+    // carries the per-entry equivalents.
+    const serve::Bundle* bundle = def != nullptr ? def->bundle() : nullptr;
+    const nn::PlanSet* plans =
+        bundle != nullptr ? bundle->plans.get() : nullptr;
+    w.Key("plan").BeginObject();
+    w.Key("enabled").Bool(plans != nullptr);
+    if (plans != nullptr) {
+      w.Key("compiled").Bool(plans->compatible());
+      if (!plans->compatible()) {
+        w.Key("fallback_reason").String(plans->fallback_reason());
+      } else {
+        w.Key("max_batch").Int(plans->max_batch());
+        w.Key("buckets").BeginArray();
+        for (const nn::PlanBucketStats& b : plans->BucketStats()) {
+          w.BeginObject();
+          w.Key("batch").Int(b.batch_size);
+          w.Key("ops").Int(b.ops);
+          w.Key("fused_chains").Int(b.fused_chains);
+          w.Key("arena_bytes").Int(b.arena_bytes);
+          w.Key("intermediate_bytes").Int(b.intermediate_bytes);
+          w.EndObject();
+        }
+        w.EndArray();
+      }
+      if (obs::Enabled() && def != nullptr) {
+        const std::string& suffix = def->metric_suffix();
+        w.Key("requests_total")
+            .Int(snap.CounterOr("serve/plan/requests" + suffix, 0));
+        w.Key("fallback_total")
+            .Int(snap.CounterOr("serve/plan/fallback" + suffix, 0));
+        w.Key("rank_requests_total")
+            .Int(snap.CounterOr("rank/plan/requests" + suffix, 0));
+        w.Key("rank_fallback_total")
+            .Int(snap.CounterOr("rank/plan/fallback" + suffix, 0));
+      }
+    }
+    w.EndObject();
+  }
   if (obs::Enabled()) {
     // The rolling-window stage breakdown — what the last minute looked
     // like, not the process lifetime (that lives in /metricz).
@@ -1644,6 +1686,20 @@ std::string Server::StatuszJson() const {
       w.Key("reloadable").Bool(entry->reloadable());
       w.Key("rank_enabled").Bool(entry->rank_enabled());
       w.Key("health_attached").Bool(entry->health() != nullptr);
+      const serve::Bundle* bundle = entry->bundle();
+      const nn::PlanSet* plans =
+          bundle != nullptr ? bundle->plans.get() : nullptr;
+      w.Key("plan_compiled").Bool(plans != nullptr && plans->compatible());
+      if (plans != nullptr && !plans->compatible()) {
+        w.Key("plan_fallback_reason").String(plans->fallback_reason());
+      }
+      if (obs::Enabled() && plans != nullptr) {
+        const std::string& suffix = entry->metric_suffix();
+        w.Key("plan_requests")
+            .Int(snap.CounterOr("serve/plan/requests" + suffix, 0));
+        w.Key("plan_fallback")
+            .Int(snap.CounterOr("serve/plan/fallback" + suffix, 0));
+      }
     }
     w.EndObject();
   }

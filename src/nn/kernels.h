@@ -1,0 +1,485 @@
+// Shared forward compute kernels.
+//
+// The dynamic op layer (ops.cc) and the compiled inference-plan executor
+// (plan.cc) must produce bit-for-bit identical results, so the actual
+// arithmetic lives here exactly once: broadcast iteration, the register-tiled
+// GEMMs, and the scalar math of every elementwise op. Each kernel writes
+// every output element from exactly one caller-assigned chunk in the serial
+// accumulation order (the bitwise-parallel rule in DESIGN.md), so both call
+// sites may partition rows across the shared pool freely.
+
+#ifndef MISS_NN_KERNELS_H_
+#define MISS_NN_KERNELS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/tensor.h"
+
+namespace miss::nn::kernels {
+
+// ----------------------------------------------------------------------------
+// Broadcasting machinery
+// ----------------------------------------------------------------------------
+
+// Pads `shape` with leading 1s to `nd` dims.
+inline std::vector<int64_t> PadShape(const std::vector<int64_t>& shape,
+                                     size_t nd) {
+  std::vector<int64_t> out(nd, 1);
+  std::copy(shape.begin(), shape.end(), out.begin() + (nd - shape.size()));
+  return out;
+}
+
+// Result shape of broadcasting a against b; aborts if incompatible.
+inline std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                           const std::vector<int64_t>& b) {
+  const size_t nd = std::max(a.size(), b.size());
+  const std::vector<int64_t> pa = PadShape(a, nd);
+  const std::vector<int64_t> pb = PadShape(b, nd);
+  std::vector<int64_t> out(nd);
+  for (size_t i = 0; i < nd; ++i) {
+    if (pa[i] == pb[i]) {
+      out[i] = pa[i];
+    } else if (pa[i] == 1) {
+      out[i] = pb[i];
+    } else if (pb[i] == 1) {
+      out[i] = pa[i];
+    } else {
+      MISS_CHECK(false) << "cannot broadcast dim " << i << ": " << pa[i]
+                        << " vs " << pb[i];
+    }
+  }
+  return out;
+}
+
+// Row-major strides, with stride 0 on broadcast (size-1) dims relative to
+// the output shape.
+inline std::vector<int64_t> BroadcastStrides(
+    const std::vector<int64_t>& padded, const std::vector<int64_t>& out_shape) {
+  const size_t nd = out_shape.size();
+  std::vector<int64_t> strides(nd, 0);
+  int64_t s = 1;
+  for (size_t i = nd; i-- > 0;) {
+    if (padded[i] == out_shape[i]) {
+      strides[i] = (padded[i] == 1) ? 0 : s;
+    } else {
+      MISS_CHECK_EQ(padded[i], 1)
+          << "incompatible broadcast dim " << i << ": " << padded[i] << " vs "
+          << out_shape[i];
+      strides[i] = 0;
+    }
+    s *= padded[i];
+  }
+  return strides;
+}
+
+struct BroadcastPlan {
+  std::vector<int64_t> out_shape;
+  std::vector<int64_t> a_strides;
+  std::vector<int64_t> b_strides;
+  int64_t out_size = 0;
+  bool same_shape = false;  // fast path: identical shapes
+  bool b_scalar = false;    // fast path: b has a single element
+  // Row decomposition for the vectorized forward: the output is `rows`
+  // contiguous runs of length `inner` (the stride-1 innermost output dim),
+  // and each operand advances by a_step/b_step (always 0 or 1) within a run.
+  // flat == true collapses the whole output into one run (identical shapes
+  // or a scalar operand — the common [B,D] op [B,D] / op scalar cases),
+  // which ParallelFor then chunks directly.
+  int64_t inner = 1;
+  int64_t rows = 0;
+  int a_step = 0;
+  int b_step = 0;
+  bool flat = false;
+};
+
+inline BroadcastPlan MakeBroadcastPlan(const std::vector<int64_t>& a,
+                                       const std::vector<int64_t>& b) {
+  BroadcastPlan plan;
+  plan.out_shape = BroadcastShape(a, b);
+  plan.out_size = NumElements(plan.out_shape);
+  plan.same_shape = (a == b);
+  plan.b_scalar = (NumElements(b) == 1);
+  const size_t nd = plan.out_shape.size();
+  plan.a_strides = BroadcastStrides(PadShape(a, nd), plan.out_shape);
+  plan.b_strides = BroadcastStrides(PadShape(b, nd), plan.out_shape);
+  const int64_t a_size = NumElements(a);
+  const int64_t b_size = NumElements(b);
+  // An operand whose size matches the output is fully contiguous over it
+  // (broadcast compatibility forces the padded shapes to be equal).
+  plan.flat = (a_size == plan.out_size || a_size == 1) &&
+              (b_size == plan.out_size || b_size == 1);
+  if (plan.flat) {
+    plan.inner = plan.out_size;
+    plan.rows = plan.out_size > 0 ? 1 : 0;
+    plan.a_step = a_size == 1 ? 0 : 1;
+    plan.b_step = b_size == 1 ? 0 : 1;
+  } else {
+    plan.inner = plan.out_shape.back();
+    plan.rows = plan.inner > 0 ? plan.out_size / plan.inner : 0;
+    plan.a_step = plan.a_strides.back() != 0 ? 1 : 0;
+    plan.b_step = plan.b_strides.back() != 0 ? 1 : 0;
+  }
+  return plan;
+}
+
+// Calls visit(out_index, a_index, b_index) for every output element.
+template <typename Visitor>
+void ForEachBroadcast(const BroadcastPlan& plan, Visitor&& visit) {
+  if (plan.same_shape) {
+    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, o);
+    return;
+  }
+  if (plan.b_scalar) {
+    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, 0);
+    return;
+  }
+  const size_t nd = plan.out_shape.size();
+  std::vector<int64_t> idx(nd, 0);
+  int64_t ai = 0;
+  int64_t bi = 0;
+  for (int64_t o = 0; o < plan.out_size; ++o) {
+    visit(o, ai, bi);
+    for (size_t d = nd; d-- > 0;) {
+      ++idx[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (idx[d] < plan.out_shape[d]) break;
+      ai -= plan.a_strides[d] * plan.out_shape[d];
+      bi -= plan.b_strides[d] * plan.out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// Calls visit(row, a_base, b_base) for output rows [r0, r1): the offsets of
+// the start of each length-`inner` run in a and b. Only used when
+// !plan.flat, so there is at least one leading dim.
+template <typename Visitor>
+void ForEachBroadcastRow(const BroadcastPlan& plan, int64_t r0, int64_t r1,
+                         Visitor&& visit) {
+  const size_t lead = plan.out_shape.size() - 1;
+  std::vector<int64_t> idx(lead, 0);
+  int64_t ai = 0;
+  int64_t bi = 0;
+  int64_t rem = r0;
+  for (size_t d = lead; d-- > 0;) {
+    idx[d] = rem % plan.out_shape[d];
+    rem /= plan.out_shape[d];
+    ai += idx[d] * plan.a_strides[d];
+    bi += idx[d] * plan.b_strides[d];
+  }
+  for (int64_t r = r0; r < r1; ++r) {
+    visit(r, ai, bi);
+    for (size_t d = lead; d-- > 0;) {
+      ++idx[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (idx[d] < plan.out_shape[d]) break;
+      ai -= plan.a_strides[d] * plan.out_shape[d];
+      bi -= plan.b_strides[d] * plan.out_shape[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+// One contiguous inner run with compile-time operand steps (0 = broadcast
+// the single value, 1 = advance). Constant steps let the compiler vectorize
+// the [B,D] op [1,D] and op-scalar cases.
+template <int kAStep, int kBStep, typename Fwd>
+void ApplyRun(const float* ap, const float* bp, float* op, int64_t n,
+              Fwd fwd) {
+  for (int64_t i = 0; i < n; ++i) {
+    op[i] = fwd(ap[kAStep ? i : 0], bp[kBStep ? i : 0]);
+  }
+}
+
+template <typename Fwd>
+void ApplyRunDispatch(const float* ap, int a_step, const float* bp,
+                      int b_step, float* op, int64_t n, Fwd fwd) {
+  if (a_step != 0) {
+    if (b_step != 0) {
+      ApplyRun<1, 1>(ap, bp, op, n, fwd);
+    } else {
+      ApplyRun<1, 0>(ap, bp, op, n, fwd);
+    }
+  } else {
+    if (b_step != 0) {
+      ApplyRun<0, 1>(ap, bp, op, n, fwd);
+    } else {
+      ApplyRun<0, 0>(ap, bp, op, n, fwd);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Scalar math of the elementwise ops. The dynamic tape ops and the fused
+// plan chains both call these, so one definition fixes the bit patterns.
+// ----------------------------------------------------------------------------
+
+inline float ReluScalar(float x) { return x > 0.0f ? x : 0.0f; }
+
+inline float SigmoidScalar(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+inline float TanhScalar(float x) { return std::tanh(x); }
+inline float ExpScalar(float x) { return std::exp(x); }
+inline float LogScalar(float x, float eps) { return std::log(x + eps); }
+inline float SqrtScalar(float x) { return std::sqrt(x); }
+inline float SquareScalar(float x) { return x * x; }
+
+// ---------------------------------------------------------------------------
+// GEMM kernels. All three are register-tiled and take an explicit range of
+// output rows so ParallelFor can hand disjoint row blocks to different
+// threads. Value preservation: per output element, terms accumulate in
+// exactly the order of the original naive triple loops (ascending reduction
+// index, same zero-skips); the tiling only moves the partial sums from
+// memory into a register strip, so both the serial rewrite and every
+// parallel partition are bitwise identical to the original kernels.
+// ---------------------------------------------------------------------------
+
+// Output strip kept in registers across the reduction loop: 16 floats = two
+// AVX2 vectors.
+constexpr int64_t kGemmStrip = 16;
+
+// C[m, n] (+)= sum_k A[m, k] * B[k, n], for rows m in [m0, m1).
+inline void GemmNN(const float* a, const float* b, float* c, int64_t m0,
+                   int64_t m1, int64_t k_dim, int64_t n_dim) {
+  for (int64_t m = m0; m < m1; ++m) {
+    const float* arow = a + m * k_dim;
+    float* crow = c + m * n_dim;
+    int64_t n0 = 0;
+    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = b + k * n_dim + n0;
+        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
+    }
+    if (n0 < n_dim) {
+      const int64_t nr = n_dim - n0;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = b + k * n_dim + n0;
+        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
+    }
+  }
+}
+
+// Strip-major repack of a [K, N] GEMM B operand: for each kGemmStrip-wide
+// column strip, the K x strip block is stored contiguously (remainder
+// columns form a final narrower block). GemmNNPacked then streams each strip
+// with unit stride instead of jumping N floats between reduction steps.
+// Packing permutes storage only — the multiply/add sequence per output
+// element is untouched, so packed and unpacked runs are bitwise identical.
+inline std::vector<float> PackGemmB(const float* b, int64_t k_dim,
+                                    int64_t n_dim) {
+  std::vector<float> packed(k_dim * n_dim);
+  float* dst = packed.data();
+  for (int64_t n0 = 0; n0 < n_dim; n0 += kGemmStrip) {
+    const int64_t w = std::min(kGemmStrip, n_dim - n0);
+    for (int64_t k = 0; k < k_dim; ++k) {
+      std::memcpy(dst, b + k * n_dim + n0, sizeof(float) * w);
+      dst += w;
+    }
+  }
+  return packed;
+}
+
+// GemmNN against a PackGemmB-packed operand.
+inline void GemmNNPacked(const float* a, const float* packed_b, float* c,
+                         int64_t m0, int64_t m1, int64_t k_dim,
+                         int64_t n_dim) {
+  for (int64_t m = m0; m < m1; ++m) {
+    const float* arow = a + m * k_dim;
+    float* crow = c + m * n_dim;
+    int64_t n0 = 0;
+    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
+      const float* bstrip = packed_b + n0 * k_dim;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = bstrip + k * kGemmStrip;
+        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
+    }
+    if (n0 < n_dim) {
+      const int64_t nr = n_dim - n0;
+      const float* bstrip = packed_b + n0 * k_dim;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = bstrip + k * nr;
+        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
+    }
+  }
+}
+
+// GemmNNPacked with a 4-row register tile and NO zero-skip, for packed B
+// operands that are verified all-finite at pack time. Four A rows stream
+// each packed strip together, so one strip load feeds 8 independent,
+// branch-free accumulator vectors — the single-row kernel is latency-bound
+// on its 2 float-add chains, and the zero-skip branches would force the
+// wider tile's accumulators out of registers.
+//
+// Bitwise contract: with every B element finite, a skipped k step (a == 0)
+// and an accumulated one differ only by adding a * b == +/-0. Under
+// round-to-nearest x + (+/-0) == x bit-for-bit unless x is -0, and the
+// accumulator can never be -0: it starts at +0 (zero-filled output) and a
+// round-to-nearest sum only yields -0 when both addends are -0, which
+// would require the accumulator to already hold -0. So this kernel is
+// bitwise identical to GemmNNPacked (which still handles the <4-row
+// remainder, same argument in reverse).
+inline void GemmNNPackedDense4(const float* a, const float* packed_b,
+                               float* c, int64_t m0, int64_t m1,
+                               int64_t k_dim, int64_t n_dim) {
+  int64_t m = m0;
+  for (; m + 4 <= m1; m += 4) {
+    const float* arow0 = a + m * k_dim;
+    const float* arow1 = arow0 + k_dim;
+    const float* arow2 = arow1 + k_dim;
+    const float* arow3 = arow2 + k_dim;
+    float* crow0 = c + m * n_dim;
+    float* crow1 = crow0 + n_dim;
+    float* crow2 = crow1 + n_dim;
+    float* crow3 = crow2 + n_dim;
+    for (int64_t n0 = 0; n0 < n_dim; n0 += kGemmStrip) {
+      const int64_t w = std::min(kGemmStrip, n_dim - n0);
+      const float* bstrip = packed_b + n0 * k_dim;
+      float acc0[kGemmStrip], acc1[kGemmStrip], acc2[kGemmStrip],
+          acc3[kGemmStrip];
+      for (int64_t j = 0; j < w; ++j) {
+        acc0[j] = crow0[n0 + j];
+        acc1[j] = crow1[n0 + j];
+        acc2[j] = crow2[n0 + j];
+        acc3[j] = crow3[n0 + j];
+      }
+      for (int64_t k = 0; k < k_dim; ++k) {
+        const float* brow = bstrip + k * w;
+        const float av0 = arow0[k];
+        const float av1 = arow1[k];
+        const float av2 = arow2[k];
+        const float av3 = arow3[k];
+        for (int64_t j = 0; j < w; ++j) {
+          acc0[j] += av0 * brow[j];
+          acc1[j] += av1 * brow[j];
+          acc2[j] += av2 * brow[j];
+          acc3[j] += av3 * brow[j];
+        }
+      }
+      for (int64_t j = 0; j < w; ++j) {
+        crow0[n0 + j] = acc0[j];
+        crow1[n0 + j] = acc1[j];
+        crow2[n0 + j] = acc2[j];
+        crow3[n0 + j] = acc3[j];
+      }
+    }
+  }
+  if (m < m1) GemmNNPacked(a, packed_b, c, m, m1, k_dim, n_dim);
+}
+
+// C[m, k] += sum_n A[m, n] * B[k, n]   (i.e. C += A * B^T), rows [m0, m1).
+// Runs kGemmDots independent dot products per pass over A's row: without
+// -ffast-math a single float dot product is one serial dependency chain, so
+// the instruction-level parallelism across the k strip is where the
+// throughput comes from.
+constexpr int64_t kGemmDots = 8;
+
+inline void GemmNT(const float* a, const float* b, float* c, int64_t m0,
+                   int64_t m1, int64_t n_dim, int64_t k_dim) {
+  for (int64_t m = m0; m < m1; ++m) {
+    const float* arow = a + m * n_dim;
+    float* crow = c + m * k_dim;
+    int64_t k0 = 0;
+    for (; k0 + kGemmDots <= k_dim; k0 += kGemmDots) {
+      float acc[kGemmDots] = {};
+      for (int64_t n = 0; n < n_dim; ++n) {
+        const float av = arow[n];
+        for (int64_t j = 0; j < kGemmDots; ++j) {
+          acc[j] += av * b[(k0 + j) * n_dim + n];
+        }
+      }
+      for (int64_t j = 0; j < kGemmDots; ++j) crow[k0 + j] += acc[j];
+    }
+    if (k0 < k_dim) {
+      const int64_t kr = k_dim - k0;
+      float acc[kGemmDots] = {};
+      for (int64_t n = 0; n < n_dim; ++n) {
+        const float av = arow[n];
+        for (int64_t j = 0; j < kr; ++j) {
+          acc[j] += av * b[(k0 + j) * n_dim + n];
+        }
+      }
+      for (int64_t j = 0; j < kr; ++j) crow[k0 + j] += acc[j];
+    }
+  }
+}
+
+// C[k, n] += sum_m A[m, k] * B[m, n]   (i.e. C += A^T * B), C rows
+// [k_begin, k_end). The original kernel streamed m outermost and re-wrote
+// every C element per m; holding a C strip in registers across the whole m
+// loop keeps the same per-element term order with one store per element.
+inline void GemmTN(const float* a, const float* b, float* c, int64_t m_dim,
+                   int64_t k_dim, int64_t n_dim, int64_t k_begin,
+                   int64_t k_end) {
+  for (int64_t k = k_begin; k < k_end; ++k) {
+    float* crow = c + k * n_dim;
+    int64_t n0 = 0;
+    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
+      for (int64_t m = 0; m < m_dim; ++m) {
+        const float av = a[m * k_dim + k];
+        if (av == 0.0f) continue;
+        const float* brow = b + m * n_dim + n0;
+        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
+    }
+    if (n0 < n_dim) {
+      const int64_t nr = n_dim - n0;
+      float acc[kGemmStrip];
+      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
+      for (int64_t m = 0; m < m_dim; ++m) {
+        const float av = a[m * k_dim + k];
+        if (av == 0.0f) continue;
+        const float* brow = b + m * n_dim + n0;
+        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
+      }
+      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
+    }
+  }
+}
+
+inline int NormalizeAxis(int axis, int ndim) {
+  if (axis < 0) axis += ndim;
+  MISS_CHECK_GE(axis, 0);
+  MISS_CHECK_LT(axis, ndim);
+  return axis;
+}
+
+}  // namespace miss::nn::kernels
+
+#endif  // MISS_NN_KERNELS_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/kernels.h"
 #include "nn/parallel.h"
+#include "nn/plan.h"
 #include "obs/trace.h"
 
 namespace miss::nn {
@@ -12,176 +14,30 @@ namespace miss::nn {
 namespace {
 
 using internal::MakeResult;
+using internal::Trace1;
+using internal::Trace2;
+using internal::TraceUnsupported;
+using kernels::ApplyRunDispatch;
+using kernels::BroadcastPlan;
+using kernels::ForEachBroadcast;
+using kernels::ForEachBroadcastRow;
+using kernels::GemmNN;
+using kernels::GemmNT;
+using kernels::GemmTN;
+using kernels::MakeBroadcastPlan;
+using kernels::NormalizeAxis;
 
-// ----------------------------------------------------------------------------
-// Broadcasting machinery
-// ----------------------------------------------------------------------------
+// Record helpers for ops whose TraceRecord carries attributes beyond the
+// tensor operands. All are no-ops when no tracer is installed.
 
-// Pads `shape` with leading 1s to `nd` dims.
-std::vector<int64_t> PadShape(const std::vector<int64_t>& shape, size_t nd) {
-  std::vector<int64_t> out(nd, 1);
-  std::copy(shape.begin(), shape.end(), out.begin() + (nd - shape.size()));
-  return out;
-}
-
-// Row-major strides, with stride 0 on broadcast (size-1) dims relative to
-// the output shape.
-std::vector<int64_t> BroadcastStrides(const std::vector<int64_t>& padded,
-                                      const std::vector<int64_t>& out_shape) {
-  const size_t nd = out_shape.size();
-  std::vector<int64_t> strides(nd, 0);
-  int64_t s = 1;
-  for (size_t i = nd; i-- > 0;) {
-    if (padded[i] == out_shape[i]) {
-      strides[i] = (padded[i] == 1) ? 0 : s;
-    } else {
-      MISS_CHECK_EQ(padded[i], 1)
-          << "incompatible broadcast dim " << i << ": " << padded[i] << " vs "
-          << out_shape[i];
-      strides[i] = 0;
-    }
-    s *= padded[i];
-  }
-  return strides;
-}
-
-struct BroadcastPlan {
-  std::vector<int64_t> out_shape;
-  std::vector<int64_t> a_strides;
-  std::vector<int64_t> b_strides;
-  int64_t out_size = 0;
-  bool same_shape = false;  // fast path: identical shapes
-  bool b_scalar = false;    // fast path: b has a single element
-  // Row decomposition for the vectorized forward: the output is `rows`
-  // contiguous runs of length `inner` (the stride-1 innermost output dim),
-  // and each operand advances by a_step/b_step (always 0 or 1) within a run.
-  // flat == true collapses the whole output into one run (identical shapes
-  // or a scalar operand — the common [B,D] op [B,D] / op scalar cases),
-  // which ParallelFor then chunks directly.
-  int64_t inner = 1;
-  int64_t rows = 0;
-  int a_step = 0;
-  int b_step = 0;
-  bool flat = false;
-};
-
-BroadcastPlan MakeBroadcastPlan(const std::vector<int64_t>& a,
-                                const std::vector<int64_t>& b) {
-  BroadcastPlan plan;
-  plan.out_shape = BroadcastShape(a, b);
-  plan.out_size = NumElements(plan.out_shape);
-  plan.same_shape = (a == b);
-  plan.b_scalar = (NumElements(b) == 1);
-  const size_t nd = plan.out_shape.size();
-  plan.a_strides = BroadcastStrides(PadShape(a, nd), plan.out_shape);
-  plan.b_strides = BroadcastStrides(PadShape(b, nd), plan.out_shape);
-  const int64_t a_size = NumElements(a);
-  const int64_t b_size = NumElements(b);
-  // An operand whose size matches the output is fully contiguous over it
-  // (broadcast compatibility forces the padded shapes to be equal).
-  plan.flat = (a_size == plan.out_size || a_size == 1) &&
-              (b_size == plan.out_size || b_size == 1);
-  if (plan.flat) {
-    plan.inner = plan.out_size;
-    plan.rows = plan.out_size > 0 ? 1 : 0;
-    plan.a_step = a_size == 1 ? 0 : 1;
-    plan.b_step = b_size == 1 ? 0 : 1;
-  } else {
-    plan.inner = plan.out_shape.back();
-    plan.rows = plan.inner > 0 ? plan.out_size / plan.inner : 0;
-    plan.a_step = plan.a_strides.back() != 0 ? 1 : 0;
-    plan.b_step = plan.b_strides.back() != 0 ? 1 : 0;
-  }
-  return plan;
-}
-
-// Calls visit(out_index, a_index, b_index) for every output element.
-template <typename Visitor>
-void ForEachBroadcast(const BroadcastPlan& plan, Visitor&& visit) {
-  if (plan.same_shape) {
-    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, o);
-    return;
-  }
-  if (plan.b_scalar) {
-    for (int64_t o = 0; o < plan.out_size; ++o) visit(o, o, 0);
-    return;
-  }
-  const size_t nd = plan.out_shape.size();
-  std::vector<int64_t> idx(nd, 0);
-  int64_t ai = 0;
-  int64_t bi = 0;
-  for (int64_t o = 0; o < plan.out_size; ++o) {
-    visit(o, ai, bi);
-    for (size_t d = nd; d-- > 0;) {
-      ++idx[d];
-      ai += plan.a_strides[d];
-      bi += plan.b_strides[d];
-      if (idx[d] < plan.out_shape[d]) break;
-      ai -= plan.a_strides[d] * plan.out_shape[d];
-      bi -= plan.b_strides[d] * plan.out_shape[d];
-      idx[d] = 0;
-    }
-  }
-}
-
-// Calls visit(row, a_base, b_base) for output rows [r0, r1): the offsets of
-// the start of each length-`inner` run in a and b. Only used when
-// !plan.flat, so there is at least one leading dim.
-template <typename Visitor>
-void ForEachBroadcastRow(const BroadcastPlan& plan, int64_t r0, int64_t r1,
-                         Visitor&& visit) {
-  const size_t lead = plan.out_shape.size() - 1;
-  std::vector<int64_t> idx(lead, 0);
-  int64_t ai = 0;
-  int64_t bi = 0;
-  int64_t rem = r0;
-  for (size_t d = lead; d-- > 0;) {
-    idx[d] = rem % plan.out_shape[d];
-    rem /= plan.out_shape[d];
-    ai += idx[d] * plan.a_strides[d];
-    bi += idx[d] * plan.b_strides[d];
-  }
-  for (int64_t r = r0; r < r1; ++r) {
-    visit(r, ai, bi);
-    for (size_t d = lead; d-- > 0;) {
-      ++idx[d];
-      ai += plan.a_strides[d];
-      bi += plan.b_strides[d];
-      if (idx[d] < plan.out_shape[d]) break;
-      ai -= plan.a_strides[d] * plan.out_shape[d];
-      bi -= plan.b_strides[d] * plan.out_shape[d];
-      idx[d] = 0;
-    }
-  }
-}
-
-// One contiguous inner run with compile-time operand steps (0 = broadcast
-// the single value, 1 = advance). Constant steps let the compiler vectorize
-// the [B,D] op [1,D] and op-scalar cases.
-template <int kAStep, int kBStep, typename Fwd>
-void ApplyRun(const float* ap, const float* bp, float* op, int64_t n,
-              Fwd fwd) {
-  for (int64_t i = 0; i < n; ++i) {
-    op[i] = fwd(ap[kAStep ? i : 0], bp[kBStep ? i : 0]);
-  }
-}
-
-template <typename Fwd>
-void ApplyRunDispatch(const float* ap, int a_step, const float* bp,
-                      int b_step, float* op, int64_t n, Fwd fwd) {
-  if (a_step != 0) {
-    if (b_step != 0) {
-      ApplyRun<1, 1>(ap, bp, op, n, fwd);
-    } else {
-      ApplyRun<1, 0>(ap, bp, op, n, fwd);
-    }
-  } else {
-    if (b_step != 0) {
-      ApplyRun<0, 1>(ap, bp, op, n, fwd);
-    } else {
-      ApplyRun<0, 0>(ap, bp, op, n, fwd);
-    }
-  }
+void TraceScalarOp(OpKind kind, const Tensor& a, const Tensor& out, float s) {
+  if (PlanTracer::Current() == nullptr) return;
+  TraceRecord r;
+  r.kind = kind;
+  r.inputs = {a.node_ptr()};
+  r.output = out.node_ptr();
+  r.scalar = s;
+  internal::TraceOp(std::move(r));
 }
 
 // Shared implementation for broadcast binary ops. `fwd(x, y)` computes the
@@ -287,153 +143,11 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
                     });
 }
 
-// ---------------------------------------------------------------------------
-// GEMM kernels. All three are register-tiled and take an explicit range of
-// output rows so ParallelFor can hand disjoint row blocks to different
-// threads. Value preservation: per output element, terms accumulate in
-// exactly the order of the original naive triple loops (ascending reduction
-// index, same zero-skips); the tiling only moves the partial sums from
-// memory into a register strip, so both the serial rewrite and every
-// parallel partition are bitwise identical to the original kernels.
-// ---------------------------------------------------------------------------
-
-// Output strip kept in registers across the reduction loop: 16 floats = two
-// AVX2 vectors.
-constexpr int64_t kGemmStrip = 16;
-
-// C[m, n] (+)= sum_k A[m, k] * B[k, n], for rows m in [m0, m1).
-void GemmNN(const float* a, const float* b, float* c, int64_t m0, int64_t m1,
-            int64_t k_dim, int64_t n_dim) {
-  for (int64_t m = m0; m < m1; ++m) {
-    const float* arow = a + m * k_dim;
-    float* crow = c + m * n_dim;
-    int64_t n0 = 0;
-    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
-      float acc[kGemmStrip];
-      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
-      for (int64_t k = 0; k < k_dim; ++k) {
-        const float av = arow[k];
-        if (av == 0.0f) continue;
-        const float* brow = b + k * n_dim + n0;
-        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
-      }
-      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
-    }
-    if (n0 < n_dim) {
-      const int64_t nr = n_dim - n0;
-      float acc[kGemmStrip];
-      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
-      for (int64_t k = 0; k < k_dim; ++k) {
-        const float av = arow[k];
-        if (av == 0.0f) continue;
-        const float* brow = b + k * n_dim + n0;
-        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
-      }
-      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
-    }
-  }
-}
-
-// C[m, k] += sum_n A[m, n] * B[k, n]   (i.e. C += A * B^T), rows [m0, m1).
-// Runs kGemmDots independent dot products per pass over A's row: without
-// -ffast-math a single float dot product is one serial dependency chain, so
-// the instruction-level parallelism across the k strip is where the
-// throughput comes from.
-constexpr int64_t kGemmDots = 8;
-
-void GemmNT(const float* a, const float* b, float* c, int64_t m0, int64_t m1,
-            int64_t n_dim, int64_t k_dim) {
-  for (int64_t m = m0; m < m1; ++m) {
-    const float* arow = a + m * n_dim;
-    float* crow = c + m * k_dim;
-    int64_t k0 = 0;
-    for (; k0 + kGemmDots <= k_dim; k0 += kGemmDots) {
-      float acc[kGemmDots] = {};
-      for (int64_t n = 0; n < n_dim; ++n) {
-        const float av = arow[n];
-        for (int64_t j = 0; j < kGemmDots; ++j) {
-          acc[j] += av * b[(k0 + j) * n_dim + n];
-        }
-      }
-      for (int64_t j = 0; j < kGemmDots; ++j) crow[k0 + j] += acc[j];
-    }
-    if (k0 < k_dim) {
-      const int64_t kr = k_dim - k0;
-      float acc[kGemmDots] = {};
-      for (int64_t n = 0; n < n_dim; ++n) {
-        const float av = arow[n];
-        for (int64_t j = 0; j < kr; ++j) {
-          acc[j] += av * b[(k0 + j) * n_dim + n];
-        }
-      }
-      for (int64_t j = 0; j < kr; ++j) crow[k0 + j] += acc[j];
-    }
-  }
-}
-
-// C[k, n] += sum_m A[m, k] * B[m, n]   (i.e. C += A^T * B), C rows
-// [k_begin, k_end). The original kernel streamed m outermost and re-wrote
-// every C element per m; holding a C strip in registers across the whole m
-// loop keeps the same per-element term order with one store per element.
-void GemmTN(const float* a, const float* b, float* c, int64_t m_dim,
-            int64_t k_dim, int64_t n_dim, int64_t k_begin, int64_t k_end) {
-  for (int64_t k = k_begin; k < k_end; ++k) {
-    float* crow = c + k * n_dim;
-    int64_t n0 = 0;
-    for (; n0 + kGemmStrip <= n_dim; n0 += kGemmStrip) {
-      float acc[kGemmStrip];
-      for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] = crow[n0 + j];
-      for (int64_t m = 0; m < m_dim; ++m) {
-        const float av = a[m * k_dim + k];
-        if (av == 0.0f) continue;
-        const float* brow = b + m * n_dim + n0;
-        for (int64_t j = 0; j < kGemmStrip; ++j) acc[j] += av * brow[j];
-      }
-      for (int64_t j = 0; j < kGemmStrip; ++j) crow[n0 + j] = acc[j];
-    }
-    if (n0 < n_dim) {
-      const int64_t nr = n_dim - n0;
-      float acc[kGemmStrip];
-      for (int64_t j = 0; j < nr; ++j) acc[j] = crow[n0 + j];
-      for (int64_t m = 0; m < m_dim; ++m) {
-        const float av = a[m * k_dim + k];
-        if (av == 0.0f) continue;
-        const float* brow = b + m * n_dim + n0;
-        for (int64_t j = 0; j < nr; ++j) acc[j] += av * brow[j];
-      }
-      for (int64_t j = 0; j < nr; ++j) crow[n0 + j] = acc[j];
-    }
-  }
-}
-
-int NormalizeAxis(int axis, int ndim) {
-  if (axis < 0) axis += ndim;
-  MISS_CHECK_GE(axis, 0);
-  MISS_CHECK_LT(axis, ndim);
-  return axis;
-}
-
 }  // namespace
 
 std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
                                     const std::vector<int64_t>& b) {
-  const size_t nd = std::max(a.size(), b.size());
-  const std::vector<int64_t> pa = PadShape(a, nd);
-  const std::vector<int64_t> pb = PadShape(b, nd);
-  std::vector<int64_t> out(nd);
-  for (size_t i = 0; i < nd; ++i) {
-    if (pa[i] == pb[i]) {
-      out[i] = pa[i];
-    } else if (pa[i] == 1) {
-      out[i] = pb[i];
-    } else if (pb[i] == 1) {
-      out[i] = pa[i];
-    } else {
-      MISS_CHECK(false) << "cannot broadcast dim " << i << ": " << pa[i]
-                        << " vs " << pb[i];
-    }
-  }
-  return out;
+  return kernels::BroadcastShape(a, b);
 }
 
 // ----------------------------------------------------------------------------
@@ -441,51 +155,63 @@ std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
 // ----------------------------------------------------------------------------
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
+  Tensor out = BinaryOp(
       a, b, [](float x, float y) { return x + y; },
       [](float g, float, float, float* dx, float* dy) {
         *dx = g;
         *dy = g;
       });
+  Trace2(OpKind::kAdd, a, b, out);
+  return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
+  Tensor out = BinaryOp(
       a, b, [](float x, float y) { return x - y; },
       [](float g, float, float, float* dx, float* dy) {
         *dx = g;
         *dy = -g;
       });
+  Trace2(OpKind::kSub, a, b, out);
+  return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
+  Tensor out = BinaryOp(
       a, b, [](float x, float y) { return x * y; },
       [](float g, float x, float y, float* dx, float* dy) {
         *dx = g * y;
         *dy = g * x;
       });
+  Trace2(OpKind::kMul, a, b, out);
+  return out;
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
+  Tensor out = BinaryOp(
       a, b, [](float x, float y) { return x / y; },
       [](float g, float x, float y, float* dx, float* dy) {
         *dx = g / y;
         *dy = -g * x / (y * y);
       });
+  Trace2(OpKind::kDiv, a, b, out);
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
+  Tensor out = UnaryOp(
       a, [s](float x) { return x + s; },
       [](float g, float, float) { return g; });
+  TraceScalarOp(OpKind::kAddScalar, a, out, s);
+  return out;
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
+  Tensor out = UnaryOp(
       a, [s](float x) { return x * s; },
       [s](float g, float, float) { return g * s; });
+  TraceScalarOp(OpKind::kMulScalar, a, out, s);
+  return out;
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -495,49 +221,59 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 // ----------------------------------------------------------------------------
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::ReluScalar(x); },
       [](float g, float x, float) { return x > 0.0f ? g : 0.0f; });
+  Trace1(OpKind::kRelu, a, out);
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::SigmoidScalar(x); },
       [](float g, float, float y) { return g * y * (1.0f - y); });
+  Trace1(OpKind::kSigmoid, a, out);
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::TanhScalar(x); },
       [](float g, float, float y) { return g * (1.0f - y * y); });
+  Trace1(OpKind::kTanh, a, out);
+  return out;
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::ExpScalar(x); },
       [](float g, float, float y) { return g * y; });
+  Trace1(OpKind::kExp, a, out);
+  return out;
 }
 
 Tensor Log(const Tensor& a, float eps) {
-  return UnaryOp(
-      a, [eps](float x) { return std::log(x + eps); },
+  Tensor out = UnaryOp(
+      a, [eps](float x) { return kernels::LogScalar(x, eps); },
       [eps](float g, float x, float) { return g / (x + eps); });
+  TraceScalarOp(OpKind::kLog, a, out, eps);
+  return out;
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::SqrtScalar(x); },
       [](float g, float, float y) { return g * 0.5f / (y + 1e-12f); });
+  Trace1(OpKind::kSqrt, a, out);
+  return out;
 }
 
 Tensor Square(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return x * x; },
+  Tensor out = UnaryOp(
+      a, [](float x) { return kernels::SquareScalar(x); },
       [](float g, float x, float) { return g * 2.0f * x; });
+  Trace1(OpKind::kSquare, a, out);
+  return out;
 }
 
 // ----------------------------------------------------------------------------
@@ -569,7 +305,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   Tensor ta = a;
   Tensor tb = b;
-  return MakeResult(
+  Tensor result = MakeResult(
       std::move(out_shape), std::move(out), {a, b},
       [ta, tb, rows, k_dim, n_dim](Node& node) mutable {
         const float* g = node.grad.data();
@@ -594,6 +330,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                       });
         }
       });
+  Trace2(OpKind::kMatMul, a, b, result);
+  return result;
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
@@ -627,7 +365,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
 
   Tensor ta = a;
   Tensor tb = b;
-  return MakeResult(
+  Tensor result = MakeResult(
       std::move(out_shape), std::move(out), {a, b},
       [ta, tb, batches, m_dim, k_dim, n_dim](Node& node) mutable {
         const float* g = node.grad.data();
@@ -658,6 +396,8 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
                       });
         }
       });
+  Trace2(OpKind::kBatchMatMul, a, b, result);
+  return result;
 }
 
 Tensor TransposeLast2(const Tensor& a) {
@@ -686,26 +426,29 @@ Tensor TransposeLast2(const Tensor& a) {
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
 
   Tensor ta = a;
-  return MakeResult(std::move(out_shape), std::move(out), {a},
-                    [ta, batches, m_dim, n_dim](Node& node) mutable {
-                      if (!ta.requires_grad()) return;
-                      auto& ga = ta.node()->EnsureGrad();
-                      float* gap = ga.data();
-                      const float* g = node.grad.data();
-                      ParallelFor(
-                          0, batches, GrainFor(m_dim * n_dim),
-                          [&](int64_t i0, int64_t i1) {
-                            for (int64_t i = i0; i < i1; ++i) {
-                              const float* src = g + i * m_dim * n_dim;
-                              float* dst = gap + i * m_dim * n_dim;
-                              for (int64_t m = 0; m < m_dim; ++m) {
-                                for (int64_t n = 0; n < n_dim; ++n) {
-                                  dst[m * n_dim + n] += src[n * m_dim + m];
-                                }
-                              }
-                            }
-                          });
-                    });
+  Tensor result =
+      MakeResult(std::move(out_shape), std::move(out), {a},
+                 [ta, batches, m_dim, n_dim](Node& node) mutable {
+                   if (!ta.requires_grad()) return;
+                   auto& ga = ta.node()->EnsureGrad();
+                   float* gap = ga.data();
+                   const float* g = node.grad.data();
+                   ParallelFor(
+                       0, batches, GrainFor(m_dim * n_dim),
+                       [&](int64_t i0, int64_t i1) {
+                         for (int64_t i = i0; i < i1; ++i) {
+                           const float* src = g + i * m_dim * n_dim;
+                           float* dst = gap + i * m_dim * n_dim;
+                           for (int64_t m = 0; m < m_dim; ++m) {
+                             for (int64_t n = 0; n < n_dim; ++n) {
+                               dst[m * n_dim + n] += src[n * m_dim + m];
+                             }
+                           }
+                         }
+                       });
+                 });
+  Trace1(OpKind::kTransposeLast2, a, result);
+  return result;
 }
 
 // ----------------------------------------------------------------------------
@@ -716,12 +459,15 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   MISS_CHECK_EQ(NumElements(shape), a.size())
       << "reshape " << a.ShapeString() << " to incompatible size";
   Tensor ta = a;
-  return MakeResult(std::move(shape), a.value(), {a}, [ta](Node& node) mutable {
-    if (!ta.requires_grad()) return;
-    auto& ga = ta.node()->EnsureGrad();
-    const auto& g = node.grad;
-    for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
-  });
+  Tensor result =
+      MakeResult(std::move(shape), a.value(), {a}, [ta](Node& node) mutable {
+        if (!ta.requires_grad()) return;
+        auto& ga = ta.node()->EnsureGrad();
+        const auto& g = node.grad;
+        for (size_t i = 0; i < g.size(); ++i) ga[i] += g[i];
+      });
+  Trace1(OpKind::kReshape, a, result);
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -760,7 +506,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   }
 
   std::vector<Tensor> parents = parts;
-  return MakeResult(
+  Tensor result = MakeResult(
       std::move(out_shape), std::move(out), parts,
       [parents, outer, inner, concat_dim, ax](Node& node) mutable {
         const auto& g = node.grad;
@@ -778,6 +524,15 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
           offset += p_ax;
         }
       });
+  if (PlanTracer::Current() != nullptr) {
+    TraceRecord r;
+    r.kind = OpKind::kConcat;
+    for (const Tensor& p : parts) r.inputs.push_back(p.node_ptr());
+    r.output = result.node_ptr();
+    r.axis = ax;
+    internal::TraceOp(std::move(r));
+  }
+  return result;
 }
 
 Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
@@ -804,17 +559,29 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
   }
 
   Tensor ta = a;
-  return MakeResult(std::move(out_shape), std::move(out), {a},
-                    [ta, outer, inner, a_ax, start, len](Node& node) mutable {
-                      if (!ta.requires_grad()) return;
-                      auto& ga = ta.node()->EnsureGrad();
-                      const auto& g = node.grad;
-                      for (int64_t o = 0; o < outer; ++o) {
-                        const float* src = g.data() + o * len * inner;
-                        float* dst = ga.data() + (o * a_ax + start) * inner;
-                        for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
-                      }
-                    });
+  Tensor result =
+      MakeResult(std::move(out_shape), std::move(out), {a},
+                 [ta, outer, inner, a_ax, start, len](Node& node) mutable {
+                   if (!ta.requires_grad()) return;
+                   auto& ga = ta.node()->EnsureGrad();
+                   const auto& g = node.grad;
+                   for (int64_t o = 0; o < outer; ++o) {
+                     const float* src = g.data() + o * len * inner;
+                     float* dst = ga.data() + (o * a_ax + start) * inner;
+                     for (int64_t i = 0; i < len * inner; ++i) dst[i] += src[i];
+                   }
+                 });
+  if (PlanTracer::Current() != nullptr) {
+    TraceRecord r;
+    r.kind = OpKind::kSlice;
+    r.inputs = {a.node_ptr()};
+    r.output = result.node_ptr();
+    r.axis = ax;
+    r.start = start;
+    r.len = len;
+    internal::TraceOp(std::move(r));
+  }
+  return result;
 }
 
 // ----------------------------------------------------------------------------
@@ -822,6 +589,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t len) {
 // ----------------------------------------------------------------------------
 
 Tensor SumAll(const Tensor& a) {
+  TraceUnsupported("SumAll");
   double acc = 0.0;
   for (float v : a.value()) acc += v;
   Tensor ta = a;
@@ -888,26 +656,32 @@ Tensor ReduceAxis(const Tensor& a, int axis, bool keepdims, float scale) {
   }
 
   Tensor ta = a;
-  return MakeResult(std::move(out_shape), std::move(out), {a},
-                    [ta, outer, n, inner, scale](Node& node) mutable {
-                      if (!ta.requires_grad()) return;
-                      auto& ga = ta.node()->EnsureGrad();
-                      const float* g = node.grad.data();
-                      float* gap = ga.data();
-                      ParallelFor(
-                          0, outer, GrainFor(n * inner),
-                          [&](int64_t o0, int64_t o1) {
-                            for (int64_t o = o0; o < o1; ++o) {
-                              const float* src = g + o * inner;
-                              for (int64_t j = 0; j < n; ++j) {
-                                float* dst = gap + (o * n + j) * inner;
-                                for (int64_t i = 0; i < inner; ++i) {
-                                  dst[i] += src[i] * scale;
-                                }
-                              }
-                            }
-                          });
-                    });
+  Tensor result =
+      MakeResult(std::move(out_shape), std::move(out), {a},
+                 [ta, outer, n, inner, scale](Node& node) mutable {
+                   if (!ta.requires_grad()) return;
+                   auto& ga = ta.node()->EnsureGrad();
+                   const float* g = node.grad.data();
+                   float* gap = ga.data();
+                   ParallelFor(
+                       0, outer, GrainFor(n * inner),
+                       [&](int64_t o0, int64_t o1) {
+                         for (int64_t o = o0; o < o1; ++o) {
+                           const float* src = g + o * inner;
+                           for (int64_t j = 0; j < n; ++j) {
+                             float* dst = gap + (o * n + j) * inner;
+                             for (int64_t i = 0; i < inner; ++i) {
+                               dst[i] += src[i] * scale;
+                             }
+                           }
+                         }
+                       });
+                 });
+  TraceScalarOp(OpKind::kReduceAxis, a, result, scale);
+  if (PlanTracer::Current() != nullptr && !PlanTracer::Current()->records.empty()) {
+    PlanTracer::Current()->records.back().axis = ax;
+  }
+  return result;
 }
 
 }  // namespace
@@ -950,30 +724,33 @@ Tensor SoftmaxLastDim(const Tensor& a) {
     });
   }
   Tensor ta = a;
-  return MakeResult(a.shape(), std::move(out), {a},
-                    [ta, rows, n](Node& node) mutable {
-                      if (!ta.requires_grad()) return;
-                      auto& ga = ta.node()->EnsureGrad();
-                      const float* y = node.value.data();
-                      const float* g = node.grad.data();
-                      float* gap = ga.data();
-                      ParallelFor(
-                          0, rows, GrainFor(4 * n),
-                          [&](int64_t r0, int64_t r1) {
-                            for (int64_t r = r0; r < r1; ++r) {
-                              const float* yr = y + r * n;
-                              const float* gr = g + r * n;
-                              float dot = 0.0f;
-                              for (int64_t i = 0; i < n; ++i) {
-                                dot += yr[i] * gr[i];
-                              }
-                              float* dst = gap + r * n;
-                              for (int64_t i = 0; i < n; ++i) {
-                                dst[i] += yr[i] * (gr[i] - dot);
-                              }
-                            }
-                          });
-                    });
+  Tensor result =
+      MakeResult(a.shape(), std::move(out), {a},
+                 [ta, rows, n](Node& node) mutable {
+                   if (!ta.requires_grad()) return;
+                   auto& ga = ta.node()->EnsureGrad();
+                   const float* y = node.value.data();
+                   const float* g = node.grad.data();
+                   float* gap = ga.data();
+                   ParallelFor(
+                       0, rows, GrainFor(4 * n),
+                       [&](int64_t r0, int64_t r1) {
+                         for (int64_t r = r0; r < r1; ++r) {
+                           const float* yr = y + r * n;
+                           const float* gr = g + r * n;
+                           float dot = 0.0f;
+                           for (int64_t i = 0; i < n; ++i) {
+                             dot += yr[i] * gr[i];
+                           }
+                           float* dst = gap + r * n;
+                           for (int64_t i = 0; i < n; ++i) {
+                             dst[i] += yr[i] * (gr[i] - dot);
+                           }
+                         }
+                       });
+                 });
+  Trace1(OpKind::kSoftmaxLastDim, a, result);
+  return result;
 }
 
 Tensor MaskedSoftmaxLastDim(const Tensor& a, const std::vector<float>& mask) {
@@ -1010,33 +787,41 @@ Tensor MaskedSoftmaxLastDim(const Tensor& a, const std::vector<float>& mask) {
     });
   }
   Tensor ta = a;
-  return MakeResult(a.shape(), std::move(out), {a},
-                    [ta, rows, n](Node& node) mutable {
-                      if (!ta.requires_grad()) return;
-                      auto& ga = ta.node()->EnsureGrad();
-                      const float* y = node.value.data();
-                      const float* g = node.grad.data();
-                      float* gap = ga.data();
-                      ParallelFor(
-                          0, rows, GrainFor(4 * n),
-                          [&](int64_t r0, int64_t r1) {
-                            for (int64_t r = r0; r < r1; ++r) {
-                              const float* yr = y + r * n;
-                              const float* gr = g + r * n;
-                              float dot = 0.0f;
-                              for (int64_t i = 0; i < n; ++i) {
-                                dot += yr[i] * gr[i];
-                              }
-                              float* dst = gap + r * n;
-                              for (int64_t i = 0; i < n; ++i) {
-                                dst[i] += yr[i] * (gr[i] - dot);
-                              }
-                            }
-                          });
-                    });
+  Tensor result = MakeResult(
+      a.shape(), std::move(out), {a}, [ta, mask, rows, n](Node& node) mutable {
+        if (!ta.requires_grad()) return;
+        auto& ga = ta.node()->EnsureGrad();
+        const float* y = node.value.data();
+        const float* g = node.grad.data();
+        float* gap = ga.data();
+        ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* yr = y + r * n;
+            const float* gr = g + r * n;
+            float dot = 0.0f;
+            for (int64_t i = 0; i < n; ++i) {
+              dot += yr[i] * gr[i];
+            }
+            float* dst = gap + r * n;
+            for (int64_t i = 0; i < n; ++i) {
+              dst[i] += yr[i] * (gr[i] - dot);
+            }
+          }
+        });
+      });
+  if (PlanTracer::Current() != nullptr) {
+    TraceRecord r;
+    r.kind = OpKind::kMaskedSoftmaxLastDim;
+    r.inputs = {a.node_ptr()};
+    r.output = result.node_ptr();
+    r.float_attr = mask;
+    internal::TraceOp(std::move(r));
+  }
+  return result;
 }
 
 Tensor DiagonalNllFromLogits(const Tensor& s) {
+  TraceUnsupported("DiagonalNllFromLogits");
   MISS_CHECK_EQ(s.ndim(), 2);
   const int64_t b_dim = s.dim(0);
   MISS_CHECK_EQ(b_dim, s.dim(1));
@@ -1080,6 +865,7 @@ Tensor DiagonalNllFromLogits(const Tensor& s) {
 
 Tensor BceWithLogitsLoss(const Tensor& logits,
                          const std::vector<float>& labels) {
+  TraceUnsupported("BceWithLogitsLoss");
   MISS_CHECK_EQ(logits.size(), static_cast<int64_t>(labels.size()));
   const int64_t n = logits.size();
   const auto& x = logits.value();
@@ -1141,7 +927,7 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
     });
   }
   Tensor ta = a;
-  return MakeResult(
+  Tensor result = MakeResult(
       a.shape(), std::move(out), {a},
       [ta, rows, n, norms = std::move(norms)](Node& node) mutable {
         if (!ta.requires_grad()) return;
@@ -1164,10 +950,15 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
           }
         });
       });
+  TraceScalarOp(OpKind::kRowL2Normalize, a, result, eps);
+  return result;
 }
 
 Tensor Dropout(const Tensor& a, float p, bool training, common::Rng& rng) {
   if (!training || p <= 0.0f) return a;
+  // A live dropout cannot be replayed from a static plan (fresh randomness
+  // per forward); inference forwards never reach here.
+  TraceUnsupported("Dropout(training)");
   MISS_CHECK_LT(p, 1.0f);
   const float scale = 1.0f / (1.0f - p);
   const int64_t n = a.size();
@@ -1225,21 +1016,31 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int64_t>& ids,
   out_shape.push_back(k_dim);
 
   Tensor tt = table;
-  return MakeResult(std::move(out_shape), std::move(out), {table},
-                    [tt, ids, k_dim](Node& node) mutable {
-                      if (!tt.requires_grad()) return;
-                      auto& gt = tt.node()->EnsureGrad();
-                      const auto& g = node.grad;
-                      // Serial: repeated ids scatter-add into the same table
-                      // row, so id-order accumulation must be preserved.
-                      for (size_t i = 0; i < ids.size(); ++i) {
-                        const int64_t id = ids[i];
-                        if (id < 0) continue;
-                        const float* src = g.data() + i * k_dim;
-                        float* dst = gt.data() + id * k_dim;
-                        for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
-                      }
-                    });
+  Tensor result =
+      MakeResult(std::move(out_shape), std::move(out), {table},
+                 [tt, ids, k_dim](Node& node) mutable {
+                   if (!tt.requires_grad()) return;
+                   auto& gt = tt.node()->EnsureGrad();
+                   const auto& g = node.grad;
+                   // Serial: repeated ids scatter-add into the same table
+                   // row, so id-order accumulation must be preserved.
+                   for (size_t i = 0; i < ids.size(); ++i) {
+                     const int64_t id = ids[i];
+                     if (id < 0) continue;
+                     const float* src = g.data() + i * k_dim;
+                     float* dst = gt.data() + id * k_dim;
+                     for (int64_t k = 0; k < k_dim; ++k) dst[k] += src[k];
+                   }
+                 });
+  if (PlanTracer::Current() != nullptr) {
+    TraceRecord r;
+    r.kind = OpKind::kEmbeddingLookup;
+    r.inputs = {table.node_ptr()};
+    r.output = result.node_ptr();
+    r.int_attr = ids;
+    internal::TraceOp(std::move(r));
+  }
+  return result;
 }
 
 Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
@@ -1268,7 +1069,7 @@ Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
                 });
   }
   Tensor tx = x;
-  return MakeResult(
+  Tensor result = MakeResult(
       {b_dim, t_count, k_dim}, std::move(out), {x},
       [tx, idx, b_dim, l_dim, t_count, k_dim](Node& node) mutable {
         if (!tx.requires_grad()) return;
@@ -1289,9 +1090,20 @@ Tensor SelectTimeSteps(const Tensor& x, const std::vector<int64_t>& idx,
                       }
                     });
       });
+  if (PlanTracer::Current() != nullptr) {
+    TraceRecord r;
+    r.kind = OpKind::kSelectTimeSteps;
+    r.inputs = {x.node_ptr()};
+    r.output = result.node_ptr();
+    r.int_attr = idx;
+    r.len = t_count;
+    internal::TraceOp(std::move(r));
+  }
+  return result;
 }
 
 Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx) {
+  TraceUnsupported("GatherInterest");
   MISS_CHECK_EQ(g.ndim(), 4);
   const int64_t b_dim = g.dim(0);
   const int64_t j_dim = g.dim(1);
@@ -1341,6 +1153,7 @@ Tensor GatherInterest(const Tensor& g, const std::vector<int64_t>& l_idx) {
 
 Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
                            const std::vector<int64_t>& l_idx) {
+  TraceUnsupported("GatherFeatureVector");
   MISS_CHECK_EQ(g.ndim(), 4);
   const int64_t b_dim = g.dim(0);
   const int64_t j_dim = g.dim(1);
@@ -1391,6 +1204,7 @@ Tensor GatherFeatureVector(const Tensor& g, const std::vector<int64_t>& j_idx,
 
 Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
   MISS_TRACE_SCOPE("nn/horizontal_conv");
+  TraceUnsupported("HorizontalConv");
   MISS_CHECK_EQ(c.ndim(), 4);
   MISS_CHECK_EQ(kernel.ndim(), 1);
   const int64_t b_dim = c.dim(0);
@@ -1483,6 +1297,7 @@ Tensor HorizontalConv(const Tensor& c, const Tensor& kernel) {
 
 Tensor VerticalConv(const Tensor& g_in, const Tensor& kernel) {
   MISS_TRACE_SCOPE("nn/vertical_conv");
+  TraceUnsupported("VerticalConv");
   MISS_CHECK_EQ(g_in.ndim(), 4);
   MISS_CHECK_EQ(kernel.ndim(), 1);
   const int64_t b_dim = g_in.dim(0);

@@ -1,0 +1,1897 @@
+#include "nn/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/kernels.h"
+#include "nn/parallel.h"
+
+namespace miss::nn {
+
+// ----------------------------------------------------------------------------
+// PlanTracer
+// ----------------------------------------------------------------------------
+
+namespace {
+thread_local PlanTracer* g_tracer = nullptr;
+}  // namespace
+
+PlanTracer::PlanTracer() : prev_(g_tracer) { g_tracer = this; }
+PlanTracer::~PlanTracer() { g_tracer = prev_; }
+PlanTracer* PlanTracer::Current() { return g_tracer; }
+
+void PlanTracer::MarkUnsupported(const std::string& what) {
+  if (ok) {
+    ok = false;
+    unsupported = what;
+  }
+}
+
+namespace internal {
+
+void TraceOp(TraceRecord record) {
+  if (g_tracer != nullptr) g_tracer->records.push_back(std::move(record));
+}
+
+void Trace1(OpKind kind, const Tensor& a, const Tensor& out) {
+  if (g_tracer == nullptr) return;
+  TraceRecord r;
+  r.kind = kind;
+  r.inputs = {a.node_ptr()};
+  r.output = out.node_ptr();
+  TraceOp(std::move(r));
+}
+
+void Trace2(OpKind kind, const Tensor& a, const Tensor& b, const Tensor& out) {
+  if (g_tracer == nullptr) return;
+  TraceRecord r;
+  r.kind = kind;
+  r.inputs = {a.node_ptr(), b.node_ptr()};
+  r.output = out.node_ptr();
+  TraceOp(std::move(r));
+}
+
+void TraceUnsupported(const char* what) {
+  if (g_tracer != nullptr) g_tracer->MarkUnsupported(what);
+}
+
+}  // namespace internal
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd: return "Add";
+    case OpKind::kSub: return "Sub";
+    case OpKind::kMul: return "Mul";
+    case OpKind::kDiv: return "Div";
+    case OpKind::kAddScalar: return "AddScalar";
+    case OpKind::kMulScalar: return "MulScalar";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kExp: return "Exp";
+    case OpKind::kLog: return "Log";
+    case OpKind::kSqrt: return "Sqrt";
+    case OpKind::kSquare: return "Square";
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kBatchMatMul: return "BatchMatMul";
+    case OpKind::kTransposeLast2: return "TransposeLast2";
+    case OpKind::kReshape: return "Reshape";
+    case OpKind::kConcat: return "Concat";
+    case OpKind::kSlice: return "Slice";
+    case OpKind::kReduceAxis: return "ReduceAxis";
+    case OpKind::kSoftmaxLastDim: return "SoftmaxLastDim";
+    case OpKind::kMaskedSoftmaxLastDim: return "MaskedSoftmaxLastDim";
+    case OpKind::kRowL2Normalize: return "RowL2Normalize";
+    case OpKind::kEmbeddingLookup: return "EmbeddingLookup";
+    case OpKind::kSelectTimeSteps: return "SelectTimeSteps";
+    case OpKind::kGemmEpilogue: return "GemmEpilogue";
+    case OpKind::kFusedChain: return "FusedChain";
+    case OpKind::kNone: return "None";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------------------
+// Compiler internals. Named (not anonymous) namespace: InferencePlan has
+// external linkage and holds these types as members.
+// ----------------------------------------------------------------------------
+
+namespace plan_internal {
+
+// How a probe-dependent leaf (embedding ids, attention masks, pooling
+// counts...) is recomputed from a raw data::Batch at execution time. Padded
+// rows b >= n bind batch row 0 (round-up-and-slice).
+struct Derivation {
+  enum class Kind {
+    kCatColumn,       // int64 [B]:   cat[row*I + field]
+    kSeqWindow,       // int64 [B,m]: seq[(row*J + field)*L + begin + l]
+    kLengthIndex,     // int64 [B]:   lengths[row] + offset, clamped at 0
+    kMaskWindow,      // float [B,reps,len]: mask[row*L + begin + i] (rep-major)
+    kMaskWindowInner, // float [B,len,reps]: same, rep innermost
+    kMaskCountFn,     // float [B,m]: fn(sum_i mask[row*L + begin + i]), m reps
+    kMaskAny,         // float [B,m]: per session s of width len (the last one
+                      // truncated to L), any(mask in session) ? 1 : 0
+    kLengthFn,        // float [B,m]: fn((float)lengths[row]), m reps
+  };
+  Kind kind = Kind::kCatColumn;
+  int64_t field = 0;              // cat field f or seq field j
+  int64_t begin = 0;
+  int64_t len = 0;
+  int64_t reps = 0;
+  int64_t offset = 0;             // kLengthIndex
+  bool clamp0 = false;            // kLengthIndex: max(., 0)
+  bool invert = false;            // mask windows: 1 - mask
+  int fn = 0;  // kMaskCountFn: 0=cnt 1=(cnt>0?1/cnt:0) 2=1/max(cnt,1)
+               //               3=(cnt>0?1:0)
+               // kLengthFn:    0=len 1=1/len
+  int64_t m = 0;                  // elements per batch row
+};
+
+inline float MaskCountFn(int fn, float cnt) {
+  switch (fn) {
+    case 0: return cnt;
+    case 1: return cnt > 0.0f ? 1.0f / cnt : 0.0f;
+    case 3: return cnt > 0.0f ? 1.0f : 0.0f;
+    default: return 1.0f / std::max(cnt, 1.0f);
+  }
+}
+
+// Evaluates `d` for a padded batch: `bucket` output rows over `n` real batch
+// rows. Exactly one of fdst/idst is used, matching the derivation's type.
+void EvalDerivation(const Derivation& d, const data::Batch& batch,
+                    int64_t bucket, int64_t n, float* fdst, int64_t* idst) {
+  const int64_t I = batch.num_cat;
+  const int64_t J = batch.num_seq;
+  const int64_t L = batch.seq_len;
+  for (int64_t b = 0; b < bucket; ++b) {
+    const int64_t row = b < n ? b : 0;
+    switch (d.kind) {
+      case Derivation::Kind::kCatColumn:
+        idst[b] = batch.cat[row * I + d.field];
+        break;
+      case Derivation::Kind::kSeqWindow:
+        for (int64_t l = 0; l < d.m; ++l) {
+          idst[b * d.m + l] = batch.seq[(row * J + d.field) * L + d.begin + l];
+        }
+        break;
+      case Derivation::Kind::kLengthIndex: {
+        int64_t v = batch.lengths[row] + d.offset;
+        if (d.clamp0) v = std::max<int64_t>(v, 0);
+        idst[b] = v;
+        break;
+      }
+      case Derivation::Kind::kMaskWindow:
+        for (int64_t r = 0; r < d.reps; ++r) {
+          for (int64_t i = 0; i < d.len; ++i) {
+            float v = batch.seq_mask[row * L + d.begin + i];
+            if (d.invert) v = 1.0f - v;
+            fdst[(b * d.reps + r) * d.len + i] = v;
+          }
+        }
+        break;
+      case Derivation::Kind::kMaskWindowInner:
+        for (int64_t i = 0; i < d.len; ++i) {
+          float v = batch.seq_mask[row * L + d.begin + i];
+          if (d.invert) v = 1.0f - v;
+          for (int64_t r = 0; r < d.reps; ++r) {
+            fdst[(b * d.len + i) * d.reps + r] = v;
+          }
+        }
+        break;
+      case Derivation::Kind::kMaskCountFn: {
+        float cnt = 0.0f;
+        for (int64_t i = 0; i < d.len; ++i) {
+          cnt += batch.seq_mask[row * L + d.begin + i];
+        }
+        const float v = MaskCountFn(d.fn, cnt);
+        for (int64_t r = 0; r < d.m; ++r) fdst[b * d.m + r] = v;
+        break;
+      }
+      case Derivation::Kind::kMaskAny:
+        for (int64_t s = 0; s < d.m; ++s) {
+          float any = 0.0f;
+          const int64_t wl = std::min(d.len, L - s * d.len);
+          for (int64_t i = 0; i < wl; ++i) {
+            if (batch.seq_mask[row * L + s * d.len + i] > 0.0f) {
+              any = 1.0f;
+              break;
+            }
+          }
+          fdst[b * d.m + s] = any;
+        }
+        break;
+      case Derivation::Kind::kLengthFn: {
+        const float l = static_cast<float>(batch.lengths[row]);
+        const float v = d.fn == 0 ? l : 1.0f / l;
+        for (int64_t r = 0; r < d.m; ++r) fdst[b * d.m + r] = v;
+        break;
+      }
+    }
+  }
+}
+
+// Candidate fitting: a derivation is accepted only if EvalDerivation
+// reproduces the observed leaf bitwise on EVERY probe batch. Ambiguity at
+// tiny buckets is caught by load-time verification on fresh batches.
+
+bool CheckIntCandidate(const Derivation& d,
+                       const std::vector<const data::Batch*>& batches,
+                       const std::vector<const std::vector<int64_t>*>& datas) {
+  std::vector<int64_t> scratch(datas[0]->size());
+  for (size_t t = 0; t < batches.size(); ++t) {
+    const int64_t n = batches[t]->batch_size;
+    EvalDerivation(d, *batches[t], n, n, nullptr, scratch.data());
+    if (std::memcmp(scratch.data(), datas[t]->data(),
+                    scratch.size() * sizeof(int64_t)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckFloatCandidate(const Derivation& d,
+                         const std::vector<const data::Batch*>& batches,
+                         const std::vector<const std::vector<float>*>& datas) {
+  std::vector<float> scratch(datas[0]->size());
+  for (size_t t = 0; t < batches.size(); ++t) {
+    const int64_t n = batches[t]->batch_size;
+    EvalDerivation(d, *batches[t], n, n, scratch.data(), nullptr);
+    if (std::memcmp(scratch.data(), datas[t]->data(),
+                    scratch.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FitIntDerivation(const std::vector<const data::Batch*>& batches,
+                      const std::vector<const std::vector<int64_t>*>& datas,
+                      Derivation* out) {
+  const data::Batch& b0 = *batches[0];
+  const int64_t B = b0.batch_size;
+  const int64_t size = static_cast<int64_t>(datas[0]->size());
+  if (B <= 0 || size <= 0 || size % B != 0) return false;
+  const int64_t m = size / B;
+  Derivation d;
+  d.m = m;
+  if (m == 1) {
+    d.kind = Derivation::Kind::kCatColumn;
+    for (int64_t f = 0; f < b0.num_cat; ++f) {
+      d.field = f;
+      if (CheckIntCandidate(d, batches, datas)) {
+        *out = d;
+        return true;
+      }
+    }
+    d = Derivation{};
+    d.m = 1;
+    d.kind = Derivation::Kind::kLengthIndex;
+    for (const auto& [off, clamp] :
+         {std::pair<int64_t, bool>{-1, true}, {-1, false}, {0, false}}) {
+      d.offset = off;
+      d.clamp0 = clamp;
+      if (CheckIntCandidate(d, batches, datas)) {
+        *out = d;
+        return true;
+      }
+    }
+  }
+  if (m <= b0.seq_len) {
+    d = Derivation{};
+    d.kind = Derivation::Kind::kSeqWindow;
+    d.m = m;
+    for (int64_t j = 0; j < b0.num_seq; ++j) {
+      d.field = j;
+      for (int64_t begin = 0; begin + m <= b0.seq_len; ++begin) {
+        d.begin = begin;
+        if (CheckIntCandidate(d, batches, datas)) {
+          *out = d;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool FitFloatDerivation(const std::vector<const data::Batch*>& batches,
+                        const std::vector<const std::vector<float>*>& datas,
+                        Derivation* out) {
+  const data::Batch& b0 = *batches[0];
+  const int64_t B = b0.batch_size;
+  const int64_t L = b0.seq_len;
+  const int64_t size = static_cast<int64_t>(datas[0]->size());
+  if (B <= 0 || size <= 0 || size % B != 0) return false;
+  const int64_t m = size / B;
+  Derivation d;
+  // Mask windows, longest window first so the full-mask layout wins over a
+  // degenerate short fit.
+  for (int64_t len = std::min(m, L); len >= 1; --len) {
+    if (m % len != 0) continue;
+    const int64_t reps = m / len;
+    for (int64_t begin = 0; begin + len <= L; ++begin) {
+      for (const bool inner : {false, true}) {
+        if (inner && reps == 1) continue;  // identical layout to rep-major
+        for (const bool inv : {false, true}) {
+          d = Derivation{};
+          d.kind = inner ? Derivation::Kind::kMaskWindowInner
+                         : Derivation::Kind::kMaskWindow;
+          d.begin = begin;
+          d.len = len;
+          d.reps = reps;
+          d.invert = inv;
+          d.m = m;
+          if (CheckFloatCandidate(d, batches, datas)) {
+            *out = d;
+            return true;
+          }
+        }
+      }
+    }
+  }
+  // Mask-count scalars over any (begin, len) window, longest first — covers
+  // full-sequence pooling and session splits including truncated tails.
+  std::vector<std::pair<int64_t, int64_t>> windows;
+  for (int64_t len = L; len >= 1; --len) {
+    for (int64_t begin = 0; begin + len <= L; ++begin) {
+      windows.emplace_back(begin, len);
+    }
+  }
+  for (const int fn : {1, 2, 0, 3}) {
+    for (const auto& [begin, len] : windows) {
+      d = Derivation{};
+      d.kind = Derivation::Kind::kMaskCountFn;
+      d.begin = begin;
+      d.len = len;
+      d.fn = fn;
+      d.m = m;
+      if (CheckFloatCandidate(d, batches, datas)) {
+        *out = d;
+        return true;
+      }
+    }
+  }
+  // Session-activity mask: m sessions of width w (ceil division, the last
+  // session truncated to the sequence end).
+  if (m > 1) {
+    for (int64_t w = 1; w <= L; ++w) {
+      if ((L + w - 1) / w != m) continue;
+      d = Derivation{};
+      d.kind = Derivation::Kind::kMaskAny;
+      d.len = w;
+      d.m = m;
+      if (CheckFloatCandidate(d, batches, datas)) {
+        *out = d;
+        return true;
+      }
+    }
+  }
+  for (const int fn : {0, 1}) {
+    d = Derivation{};
+    d.kind = Derivation::Kind::kLengthFn;
+    d.fn = fn;
+    d.m = m;
+    if (CheckFloatCandidate(d, batches, datas)) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+// A compiled value: where its bytes live at execution time.
+struct Value {
+  enum class Kind { kParam, kConst, kInputF, kInputI, kArena, kDead };
+  Kind kind = Kind::kDead;
+  bool is_int = false;
+  int64_t size = 0;                 // elements
+  std::shared_ptr<Node> param;      // kParam: keep-alive; data = param->value
+  std::vector<float> fconst;        // kConst float
+  std::vector<int64_t> iconst;      // kConst int
+  Derivation deriv;                 // kInputF / kInputI
+  int64_t arena_off = -1;           // kArena: offset in floats
+};
+
+struct Micro {
+  OpKind kind = OpKind::kNone;
+  int other = -1;       // -1: unary micro-op
+  int other_step = 0;   // 0: broadcast the single value
+  bool prev_is_a = true;
+  float scalar = 0.0f;
+};
+
+// Maximum micro-ops per fused chain (fits the pointer array Execute keeps on
+// the stack).
+constexpr size_t kMaxChain = 15;
+
+struct ExecOp {
+  OpKind kind = OpKind::kNone;
+  int a = -1, b = -1, out = -1;
+  std::vector<int> inputs;       // kConcat parts
+  kernels::BroadcastPlan bplan;  // non-flat binary
+  float scalar = 0.0f;           // eps / ReduceAxis scale / first-op scalar
+  int64_t rows = 0, k = 0, n = 0, m = 0, batches = 0;
+  int64_t outer = 0, inner = 0;
+  int64_t start = 0, len = 0, a_ax = 0, concat_dim = 0;
+  std::vector<int64_t> part_ax;  // kConcat per-part axis dims
+  int ids = -1, mask = -1;       // attr value ids (EmbeddingLookup ids,
+                                 // SelectTimeSteps idx, softmax mask)
+  int64_t vocab = 0, kdim = 0, b_dim = 0, l_dim = 0, t_count = 0;
+  std::vector<float> packed_b;   // prepacked GEMM weights (PackGemmB layout)
+  bool dense_gemm = false;       // packed_b all finite: dense 4-row tile ok
+  int bias = -1;                 // kGemmEpilogue
+  int act = 0;                   // 0 none, 1 relu, 2 sigmoid, 3 tanh
+  OpKind first = OpKind::kNone;  // kFusedChain head op
+  int a_step = 1, b_step = 1;    // kFusedChain head operand steps
+  std::vector<Micro> chain;
+  int64_t out_size = 0;
+  bool zero_fill = false;
+};
+
+// Per-execution scratch. Pointers are resolved once at creation (arena and
+// input buffers never reallocate), so steady-state Run touches no heap.
+struct ExecContext {
+  std::vector<float> arena;
+  std::vector<std::vector<float>> fin;    // one per kInputF value
+  std::vector<std::vector<int64_t>> iin;  // one per kInputI value
+  std::vector<const float*> f;            // per-value data
+  std::vector<const int64_t*> ip;
+  std::vector<float*> wf;                 // writable (arena values only)
+};
+
+inline float ApplyUnaryK(OpKind k, float x, float scalar) {
+  switch (k) {
+    case OpKind::kAddScalar: return x + scalar;
+    case OpKind::kMulScalar: return x * scalar;
+    case OpKind::kRelu: return kernels::ReluScalar(x);
+    case OpKind::kSigmoid: return kernels::SigmoidScalar(x);
+    case OpKind::kTanh: return kernels::TanhScalar(x);
+    case OpKind::kExp: return kernels::ExpScalar(x);
+    case OpKind::kLog: return kernels::LogScalar(x, scalar);
+    case OpKind::kSqrt: return kernels::SqrtScalar(x);
+    case OpKind::kSquare: return kernels::SquareScalar(x);
+    default: return x;
+  }
+}
+
+inline float ApplyBinaryK(OpKind k, float x, float y) {
+  switch (k) {
+    case OpKind::kAdd: return x + y;
+    case OpKind::kSub: return x - y;
+    case OpKind::kMul: return x * y;
+    case OpKind::kDiv: return x / y;
+    default: return x;
+  }
+}
+
+inline bool IsBinaryEW(OpKind k) {
+  return k == OpKind::kAdd || k == OpKind::kSub || k == OpKind::kMul ||
+         k == OpKind::kDiv;
+}
+
+inline bool IsUnaryEW(OpKind k) {
+  return k == OpKind::kAddScalar || k == OpKind::kMulScalar ||
+         k == OpKind::kRelu || k == OpKind::kSigmoid || k == OpKind::kTanh ||
+         k == OpKind::kExp || k == OpKind::kLog || k == OpKind::kSqrt ||
+         k == OpKind::kSquare;
+}
+
+inline float ApplyAct(int act, float v) {
+  switch (act) {
+    case 1: return kernels::ReluScalar(v);
+    case 2: return kernels::SigmoidScalar(v);
+    case 3: return kernels::TanhScalar(v);
+    default: return v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tiled chain execution. A fused chain runs per cache-resident tile: the
+// head op fills a stack buffer, each micro-op rewrites it, one store to the
+// output. Dispatching the op kind once per (tile, op) instead of once per
+// element keeps the inner loops branch-free and vectorizable — the whole
+// point of fusing was to beat the dynamic path's one-pass-per-op memory
+// traffic without giving up its tight per-op loops. Every chain op is flat
+// elementwise, so tiling cannot change bit patterns.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kChainTile = 512;  // floats; 2 KB fits L1 comfortably
+
+// buf[i] = unary(src[i]) for one tile; the op switch is per tile.
+inline void UnaryTile(OpKind k, const float* src, float scalar, float* buf,
+                      int64_t n) {
+  switch (k) {
+    case OpKind::kAddScalar:
+      for (int64_t i = 0; i < n; ++i) buf[i] = src[i] + scalar;
+      break;
+    case OpKind::kMulScalar:
+      for (int64_t i = 0; i < n; ++i) buf[i] = src[i] * scalar;
+      break;
+    case OpKind::kRelu:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::ReluScalar(src[i]);
+      break;
+    case OpKind::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::SigmoidScalar(src[i]);
+      break;
+    case OpKind::kTanh:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::TanhScalar(src[i]);
+      break;
+    case OpKind::kExp:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::ExpScalar(src[i]);
+      break;
+    case OpKind::kLog:
+      for (int64_t i = 0; i < n; ++i) {
+        buf[i] = kernels::LogScalar(src[i], scalar);
+      }
+      break;
+    case OpKind::kSqrt:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::SqrtScalar(src[i]);
+      break;
+    case OpKind::kSquare:
+      for (int64_t i = 0; i < n; ++i) buf[i] = kernels::SquareScalar(src[i]);
+      break;
+    default:
+      if (src != buf) for (int64_t i = 0; i < n; ++i) buf[i] = src[i];
+      break;
+  }
+}
+
+// dst[i] = a op b for one tile, with 0/1 operand steps (0 broadcasts the
+// single value). dst may alias either operand.
+inline void BinaryTile(OpKind k, const float* a, int a_step, const float* b,
+                       int b_step, float* dst, int64_t n) {
+  switch (k) {
+    case OpKind::kAdd:
+      kernels::ApplyRunDispatch(a, a_step, b, b_step, dst, n,
+                                [](float x, float y) { return x + y; });
+      break;
+    case OpKind::kSub:
+      kernels::ApplyRunDispatch(a, a_step, b, b_step, dst, n,
+                                [](float x, float y) { return x - y; });
+      break;
+    case OpKind::kMul:
+      kernels::ApplyRunDispatch(a, a_step, b, b_step, dst, n,
+                                [](float x, float y) { return x * y; });
+      break;
+    case OpKind::kDiv:
+      kernels::ApplyRunDispatch(a, a_step, b, b_step, dst, n,
+                                [](float x, float y) { return x / y; });
+      break;
+    default:
+      break;
+  }
+}
+
+template <typename F>
+void RunBroadcast(const ExecOp& op, const float* av, const float* bv,
+                  float* outp, F fwd) {
+  const kernels::BroadcastPlan& plan = op.bplan;
+  ParallelFor(0, plan.rows, GrainFor(2 * plan.inner),
+              [&](int64_t r0, int64_t r1) {
+                kernels::ForEachBroadcastRow(
+                    plan, r0, r1, [&](int64_t r, int64_t ai, int64_t bi) {
+                      kernels::ApplyRunDispatch(av + ai, plan.a_step, bv + bi,
+                                                plan.b_step,
+                                                outp + r * plan.inner,
+                                                plan.inner, fwd);
+                    });
+              });
+}
+
+}  // namespace plan_internal
+
+// ----------------------------------------------------------------------------
+// InferencePlan: one bucket's executable program.
+// ----------------------------------------------------------------------------
+
+class InferencePlan {
+ public:
+  int64_t bucket = 0;
+  // Batch geometry the derivations were compiled against.
+  int64_t num_cat = 0, num_seq = 0, seq_len = 0;
+  std::vector<plan_internal::Value> values;
+  std::vector<plan_internal::ExecOp> ops;
+  std::vector<int> input_vals;  // value ids with kInputF/kInputI, ctx order
+  int out_val = -1;
+  int64_t arena_floats = 0;
+  PlanBucketStats stats;
+
+  // Executes the plan over `batch` (batch_size <= bucket; padded rows bind
+  // batch row 0) and writes batch_size logits to `out`. Thread-safe.
+  bool Run(const data::Batch& batch, float* out) const;
+
+ private:
+  std::unique_ptr<plan_internal::ExecContext> MakeContext() const;
+  void Execute(const plan_internal::ExecOp& op,
+               plan_internal::ExecContext& ctx) const;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<plan_internal::ExecContext>> pool_;
+};
+
+std::unique_ptr<plan_internal::ExecContext> InferencePlan::MakeContext() const {
+  using plan_internal::Value;
+  auto ctx = std::make_unique<plan_internal::ExecContext>();
+  ctx->arena.assign(static_cast<size_t>(arena_floats), 0.0f);
+  const size_t num_values = values.size();
+  ctx->f.assign(num_values, nullptr);
+  ctx->ip.assign(num_values, nullptr);
+  ctx->wf.assign(num_values, nullptr);
+  ctx->fin.resize(input_vals.size());
+  ctx->iin.resize(input_vals.size());
+  for (size_t s = 0; s < input_vals.size(); ++s) {
+    const int v = input_vals[s];
+    if (values[v].kind == Value::Kind::kInputF) {
+      ctx->fin[s].assign(static_cast<size_t>(values[v].size), 0.0f);
+      ctx->f[v] = ctx->fin[s].data();
+    } else {
+      ctx->iin[s].assign(static_cast<size_t>(values[v].size), 0);
+      ctx->ip[v] = ctx->iin[s].data();
+    }
+  }
+  for (size_t v = 0; v < num_values; ++v) {
+    const Value& val = values[v];
+    switch (val.kind) {
+      case Value::Kind::kParam:
+        ctx->f[v] = val.param->value.data();
+        break;
+      case Value::Kind::kConst:
+        if (val.is_int) {
+          ctx->ip[v] = val.iconst.data();
+        } else {
+          ctx->f[v] = val.fconst.data();
+        }
+        break;
+      case Value::Kind::kArena:
+        ctx->wf[v] = ctx->arena.data() + val.arena_off;
+        ctx->f[v] = ctx->wf[v];
+        break;
+      default:
+        break;
+    }
+  }
+  return ctx;
+}
+
+bool InferencePlan::Run(const data::Batch& batch, float* out) const {
+  const int64_t n = batch.batch_size;
+  if (n <= 0 || n > bucket) return false;
+  if (batch.num_cat != num_cat || batch.num_seq != num_seq ||
+      batch.seq_len != seq_len) {
+    return false;
+  }
+  std::unique_ptr<plan_internal::ExecContext> ctx;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      ctx = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (!ctx) ctx = MakeContext();
+  for (size_t s = 0; s < input_vals.size(); ++s) {
+    const plan_internal::Value& val = values[input_vals[s]];
+    plan_internal::EvalDerivation(val.deriv, batch, bucket, n,
+                                  ctx->fin[s].data(), ctx->iin[s].data());
+  }
+  for (const plan_internal::ExecOp& op : ops) Execute(op, *ctx);
+  std::memcpy(out, ctx->f[out_val], sizeof(float) * n);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_.push_back(std::move(ctx));
+  }
+  return true;
+}
+
+void InferencePlan::Execute(const plan_internal::ExecOp& op,
+                            plan_internal::ExecContext& ctx) const {
+  using plan_internal::ApplyAct;
+  using plan_internal::ApplyBinaryK;
+  using plan_internal::ApplyUnaryK;
+  using plan_internal::Micro;
+  float* outp = ctx.wf[op.out];
+  if (op.zero_fill) std::memset(outp, 0, sizeof(float) * op.out_size);
+  switch (op.kind) {
+    // Non-flat broadcast binaries (flat ones lower to kFusedChain).
+    case OpKind::kAdd:
+      RunBroadcast(op, ctx.f[op.a], ctx.f[op.b], outp,
+                   [](float x, float y) { return x + y; });
+      break;
+    case OpKind::kSub:
+      RunBroadcast(op, ctx.f[op.a], ctx.f[op.b], outp,
+                   [](float x, float y) { return x - y; });
+      break;
+    case OpKind::kMul:
+      RunBroadcast(op, ctx.f[op.a], ctx.f[op.b], outp,
+                   [](float x, float y) { return x * y; });
+      break;
+    case OpKind::kDiv:
+      RunBroadcast(op, ctx.f[op.a], ctx.f[op.b], outp,
+                   [](float x, float y) { return x / y; });
+      break;
+    case OpKind::kFusedChain: {
+      const float* av = ctx.f[op.a];
+      const float* bv = op.b >= 0 ? ctx.f[op.b] : nullptr;
+      const float* others[plan_internal::kMaxChain] = {};
+      const size_t cn = op.chain.size();
+      for (size_t c = 0; c < cn; ++c) {
+        if (op.chain[c].other >= 0) others[c] = ctx.f[op.chain[c].other];
+      }
+      ParallelFor(
+          0, op.out_size, GrainFor(2 * static_cast<int64_t>(1 + cn)),
+          [&](int64_t c0, int64_t c1) {
+            float buf[plan_internal::kChainTile];
+            for (int64_t t = c0; t < c1; t += plan_internal::kChainTile) {
+              const int64_t len =
+                  std::min<int64_t>(plan_internal::kChainTile, c1 - t);
+              if (op.b >= 0) {
+                plan_internal::BinaryTile(op.first,
+                                          av + (op.a_step ? t : 0), op.a_step,
+                                          bv + (op.b_step ? t : 0), op.b_step,
+                                          buf, len);
+              } else {
+                plan_internal::UnaryTile(op.first, av + t, op.scalar, buf,
+                                         len);
+              }
+              for (size_t c = 0; c < cn; ++c) {
+                const Micro& mo = op.chain[c];
+                if (mo.other < 0) {
+                  plan_internal::UnaryTile(mo.kind, buf, mo.scalar, buf, len);
+                } else {
+                  const float* o = others[c] + (mo.other_step ? t : 0);
+                  if (mo.prev_is_a) {
+                    plan_internal::BinaryTile(mo.kind, buf, 1, o,
+                                              mo.other_step, buf, len);
+                  } else {
+                    plan_internal::BinaryTile(mo.kind, o, mo.other_step, buf,
+                                              1, buf, len);
+                  }
+                }
+              }
+              std::memcpy(outp + t, buf, sizeof(float) * len);
+            }
+          });
+      break;
+    }
+    case OpKind::kMatMul: {
+      const float* ap = ctx.f[op.a];
+      if (!op.packed_b.empty()) {
+        const float* pb = op.packed_b.data();
+        const bool dense = op.dense_gemm;
+        ParallelFor(0, op.rows, GrainFor(op.k * op.n),
+                    [&](int64_t r0, int64_t r1) {
+                      if (dense) {
+                        kernels::GemmNNPackedDense4(ap, pb, outp, r0, r1, op.k,
+                                                    op.n);
+                      } else {
+                        kernels::GemmNNPacked(ap, pb, outp, r0, r1, op.k,
+                                              op.n);
+                      }
+                    });
+      } else {
+        const float* bp = ctx.f[op.b];
+        ParallelFor(0, op.rows, GrainFor(op.k * op.n),
+                    [&](int64_t r0, int64_t r1) {
+                      kernels::GemmNN(ap, bp, outp, r0, r1, op.k, op.n);
+                    });
+      }
+      break;
+    }
+    case OpKind::kGemmEpilogue: {
+      const float* ap = ctx.f[op.a];
+      const float* bias = ctx.f[op.bias];
+      const float* pb = op.packed_b.empty() ? nullptr : op.packed_b.data();
+      const float* bp = pb == nullptr ? ctx.f[op.b] : nullptr;
+      ParallelFor(
+          0, op.rows, GrainFor(op.k * op.n + 2 * op.n),
+          [&](int64_t r0, int64_t r1) {
+            if (pb != nullptr && op.dense_gemm) {
+              kernels::GemmNNPackedDense4(ap, pb, outp, r0, r1, op.k, op.n);
+            } else if (pb != nullptr) {
+              kernels::GemmNNPacked(ap, pb, outp, r0, r1, op.k, op.n);
+            } else {
+              kernels::GemmNN(ap, bp, outp, r0, r1, op.k, op.n);
+            }
+            // Same per-element float sequence as the dynamic path: full
+            // k-sum, then one bias add, then the activation. The act switch
+            // stays outside the row loops so each variant vectorizes.
+            switch (op.act) {
+              case 1:
+                for (int64_t mr = r0; mr < r1; ++mr) {
+                  float* crow = outp + mr * op.n;
+                  for (int64_t j = 0; j < op.n; ++j) {
+                    crow[j] = kernels::ReluScalar(crow[j] + bias[j]);
+                  }
+                }
+                break;
+              case 2:
+                for (int64_t mr = r0; mr < r1; ++mr) {
+                  float* crow = outp + mr * op.n;
+                  for (int64_t j = 0; j < op.n; ++j) {
+                    crow[j] = kernels::SigmoidScalar(crow[j] + bias[j]);
+                  }
+                }
+                break;
+              case 3:
+                for (int64_t mr = r0; mr < r1; ++mr) {
+                  float* crow = outp + mr * op.n;
+                  for (int64_t j = 0; j < op.n; ++j) {
+                    crow[j] = kernels::TanhScalar(crow[j] + bias[j]);
+                  }
+                }
+                break;
+              default:
+                for (int64_t mr = r0; mr < r1; ++mr) {
+                  float* crow = outp + mr * op.n;
+                  for (int64_t j = 0; j < op.n; ++j) crow[j] += bias[j];
+                }
+                break;
+            }
+          });
+      break;
+    }
+    case OpKind::kBatchMatMul: {
+      const float* ap = ctx.f[op.a];
+      const float* bp = ctx.f[op.b];
+      ParallelFor(0, op.batches, GrainFor(op.m * op.k * op.n),
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                      kernels::GemmNN(ap + i * op.m * op.k,
+                                      bp + i * op.k * op.n,
+                                      outp + i * op.m * op.n, 0, op.m, op.k,
+                                      op.n);
+                    }
+                  });
+      break;
+    }
+    case OpKind::kTransposeLast2: {
+      const float* av = ctx.f[op.a];
+      ParallelFor(0, op.batches, GrainFor(op.m * op.n),
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t i = i0; i < i1; ++i) {
+                      const float* src = av + i * op.m * op.n;
+                      float* dst = outp + i * op.m * op.n;
+                      for (int64_t mr = 0; mr < op.m; ++mr) {
+                        for (int64_t nc = 0; nc < op.n; ++nc) {
+                          dst[nc * op.m + mr] = src[mr * op.n + nc];
+                        }
+                      }
+                    }
+                  });
+      break;
+    }
+    case OpKind::kConcat: {
+      int64_t offset = 0;
+      for (size_t p = 0; p < op.inputs.size(); ++p) {
+        const float* pv = ctx.f[op.inputs[p]];
+        const int64_t p_ax = op.part_ax[p];
+        for (int64_t o = 0; o < op.outer; ++o) {
+          std::memcpy(outp + (o * op.concat_dim + offset) * op.inner,
+                      pv + o * p_ax * op.inner,
+                      sizeof(float) * p_ax * op.inner);
+        }
+        offset += p_ax;
+      }
+      break;
+    }
+    case OpKind::kSlice: {
+      const float* av = ctx.f[op.a];
+      for (int64_t o = 0; o < op.outer; ++o) {
+        std::memcpy(outp + o * op.len * op.inner,
+                    av + (o * op.a_ax + op.start) * op.inner,
+                    sizeof(float) * op.len * op.inner);
+      }
+      break;
+    }
+    case OpKind::kReduceAxis: {
+      const float* av = ctx.f[op.a];
+      const float scale = op.scalar;
+      ParallelFor(0, op.outer, GrainFor(op.n * op.inner),
+                  [&](int64_t o0, int64_t o1) {
+                    for (int64_t o = o0; o < o1; ++o) {
+                      for (int64_t j = 0; j < op.n; ++j) {
+                        const float* src = av + (o * op.n + j) * op.inner;
+                        float* dst = outp + o * op.inner;
+                        for (int64_t i = 0; i < op.inner; ++i) dst[i] += src[i];
+                      }
+                      if (scale != 1.0f) {
+                        float* dst = outp + o * op.inner;
+                        for (int64_t i = 0; i < op.inner; ++i) dst[i] *= scale;
+                      }
+                    }
+                  });
+      break;
+    }
+    case OpKind::kSoftmaxLastDim: {
+      const float* av = ctx.f[op.a];
+      ParallelFor(0, op.rows, GrainFor(4 * op.n), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* src = av + r * op.n;
+          float* dst = outp + r * op.n;
+          float max_v = src[0];
+          for (int64_t i = 1; i < op.n; ++i) max_v = std::max(max_v, src[i]);
+          float sum = 0.0f;
+          for (int64_t i = 0; i < op.n; ++i) {
+            dst[i] = std::exp(src[i] - max_v);
+            sum += dst[i];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t i = 0; i < op.n; ++i) dst[i] *= inv;
+        }
+      });
+      break;
+    }
+    case OpKind::kMaskedSoftmaxLastDim: {
+      const float* av = ctx.f[op.a];
+      const float* mp = ctx.f[op.mask];
+      ParallelFor(0, op.rows, GrainFor(4 * op.n), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* src = av + r * op.n;
+          const float* msk = mp + r * op.n;
+          float* dst = outp + r * op.n;
+          float max_v = -std::numeric_limits<float>::infinity();
+          for (int64_t i = 0; i < op.n; ++i) {
+            if (msk[i] > 0.0f) max_v = std::max(max_v, src[i]);
+          }
+          if (max_v == -std::numeric_limits<float>::infinity()) {
+            continue;  // all pad: stays zero
+          }
+          float sum = 0.0f;
+          for (int64_t i = 0; i < op.n; ++i) {
+            if (msk[i] > 0.0f) {
+              dst[i] = std::exp(src[i] - max_v);
+              sum += dst[i];
+            }
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t i = 0; i < op.n; ++i) dst[i] *= inv;
+        }
+      });
+      break;
+    }
+    case OpKind::kRowL2Normalize: {
+      const float* av = ctx.f[op.a];
+      const float eps = op.scalar;
+      ParallelFor(0, op.rows, GrainFor(4 * op.n), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* src = av + r * op.n;
+          double sq = 0.0;
+          for (int64_t i = 0; i < op.n; ++i) {
+            sq += static_cast<double>(src[i]) * src[i];
+          }
+          const float norm = static_cast<float>(std::sqrt(sq + eps));
+          float* dst = outp + r * op.n;
+          for (int64_t i = 0; i < op.n; ++i) dst[i] = src[i] / norm;
+        }
+      });
+      break;
+    }
+    case OpKind::kEmbeddingLookup: {
+      const float* tv = ctx.f[op.a];
+      const int64_t* idp = ctx.ip[op.ids];
+      ParallelFor(0, op.rows, GrainFor(op.kdim), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t id = idp[i];
+          if (id < 0) continue;  // padding: zero row
+          MISS_CHECK_LT(id, op.vocab) << "embedding id out of range";
+          std::memcpy(outp + i * op.kdim, tv + id * op.kdim,
+                      sizeof(float) * op.kdim);
+        }
+      });
+      break;
+    }
+    case OpKind::kSelectTimeSteps: {
+      const float* xv = ctx.f[op.a];
+      const int64_t* idx = ctx.ip[op.ids];
+      ParallelFor(0, op.b_dim, GrainFor(op.t_count * op.kdim),
+                  [&](int64_t b0, int64_t b1) {
+                    for (int64_t b = b0; b < b1; ++b) {
+                      for (int64_t t = 0; t < op.t_count; ++t) {
+                        const int64_t l = idx[b * op.t_count + t];
+                        MISS_CHECK_GE(l, 0);
+                        MISS_CHECK_LT(l, op.l_dim);
+                        std::memcpy(outp + (b * op.t_count + t) * op.kdim,
+                                    xv + (b * op.l_dim + l) * op.kdim,
+                                    sizeof(float) * op.kdim);
+                      }
+                    }
+                  });
+      break;
+    }
+    default:
+      MISS_CHECK(false) << "unexecutable plan op " << OpKindName(op.kind);
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Compilation
+// ----------------------------------------------------------------------------
+
+namespace plan_internal {
+
+// Synthesizes a random batch over `schema` through the real MakeBatch so the
+// mask/truncation invariants (prefix-of-ones mask, most-recent-keep) hold.
+// History lengths span [1, L+1] to exercise both padding and truncation.
+// With length_phase >= 0, row s gets the deterministic history length
+// 1 + (length_phase + s) % (L + 1) instead of a random one: compile probes
+// sweep the phase so every prefix length appears in some probe, which pins
+// down mask/count derivations exactly (masks are prefix-of-ones, so two
+// derivations agreeing on all L+1 prefixes agree on every real batch).
+data::Batch MakeProbeBatch(const data::DatasetSchema& schema, int64_t n,
+                           common::Rng& rng, int64_t length_phase = -1) {
+  data::Dataset ds;
+  ds.schema = schema;
+  const int64_t L = schema.max_seq_len;
+  std::vector<int64_t> indices(n);
+  ds.samples.reserve(n);
+  for (int64_t s = 0; s < n; ++s) {
+    indices[s] = s;
+    data::Sample smp;
+    smp.cat.resize(schema.categorical.size());
+    for (size_t i = 0; i < schema.categorical.size(); ++i) {
+      smp.cat[i] =
+          rng.UniformInt(std::max<int64_t>(1, schema.categorical[i].vocab_size));
+    }
+    const int64_t h = length_phase >= 0
+                          ? 1 + (length_phase + s) % (L + 1)
+                          : 1 + rng.UniformInt(L + 1);
+    smp.seq.resize(schema.sequential.size());
+    for (size_t j = 0; j < schema.sequential.size(); ++j) {
+      int64_t vocab = schema.sequential[j].vocab_size;
+      if (j < schema.seq_shares_table_with.size() &&
+          schema.seq_shares_table_with[j] >= 0) {
+        vocab = std::min(
+            vocab,
+            schema.categorical[schema.seq_shares_table_with[j]].vocab_size);
+      }
+      vocab = std::max<int64_t>(1, vocab);
+      smp.seq[j].resize(h);
+      for (int64_t t = 0; t < h; ++t) smp.seq[j][t] = rng.UniformInt(vocab);
+    }
+    smp.label = rng.Uniform() < 0.5 ? 0.0f : 1.0f;
+    ds.samples.push_back(std::move(smp));
+  }
+  return data::MakeBatch(ds, indices);
+}
+
+struct TraceRun {
+  std::vector<TraceRecord> records;
+  std::shared_ptr<Node> output;
+};
+
+std::unique_ptr<InferencePlan> CompileBucket(
+    const data::DatasetSchema& schema,
+    const std::unordered_map<Node*, std::shared_ptr<Node>>& params,
+    const PlanSet::ForwardFn& forward, int64_t bucket,
+    const PlanCompileOptions& opt, std::string* why) {
+  // Enough probes that the stratified history lengths cover every prefix
+  // length at least once, even for tiny buckets.
+  const int64_t L = schema.max_seq_len;
+  const int P = std::max<int64_t>(std::max(2, opt.trace_probes),
+                                  (L + bucket) / bucket);
+  std::vector<data::Batch> probes;
+  probes.reserve(P);
+  for (int p = 0; p < P; ++p) {
+    common::Rng rng(opt.seed + 0x100000ull * (bucket + 1) + p);
+    probes.push_back(
+        MakeProbeBatch(schema, bucket, rng, /*length_phase=*/p * bucket));
+  }
+
+  // 1. Trace the forward once per probe.
+  std::vector<TraceRun> runs(P);
+  for (int p = 0; p < P; ++p) {
+    PlanTracer tracer;
+    InferenceScope scope;
+    Tensor out = forward(probes[p]);
+    if (!tracer.ok) {
+      *why = "unsupported op: " + tracer.unsupported;
+      return nullptr;
+    }
+    runs[p].records = std::move(tracer.records);
+    runs[p].output = out.node_ptr();
+  }
+
+  // 2. Align: the op sequence and all static attributes must agree across
+  // probes — otherwise control flow depends on batch content.
+  const size_t R = runs[0].records.size();
+  if (R == 0) {
+    *why = "forward traced no ops";
+    return nullptr;
+  }
+  for (int p = 1; p < P; ++p) {
+    if (runs[p].records.size() != R) {
+      *why = "trace divergence: op count varies across probes";
+      return nullptr;
+    }
+  }
+  for (size_t i = 0; i < R; ++i) {
+    const TraceRecord& r0 = runs[0].records[i];
+    for (int p = 1; p < P; ++p) {
+      const TraceRecord& rp = runs[p].records[i];
+      bool same = rp.kind == r0.kind && rp.inputs.size() == r0.inputs.size() &&
+                  rp.scalar == r0.scalar && rp.axis == r0.axis &&
+                  rp.start == r0.start && rp.len == r0.len &&
+                  rp.output->shape == r0.output->shape;
+      for (size_t j = 0; same && j < r0.inputs.size(); ++j) {
+        same = rp.inputs[j]->shape == r0.inputs[j]->shape;
+      }
+      if (!same) {
+        *why = std::string("trace divergence at op ") + std::to_string(i) +
+               " (" + OpKindName(r0.kind) + ")";
+        return nullptr;
+      }
+    }
+  }
+
+  // 3. Build the value graph, binding leaves to params, constants, or batch
+  // derivations.
+  std::vector<Value> values;
+  std::vector<std::unordered_map<Node*, int>> node2val(P);
+  std::unordered_map<Node*, int> param_vals;
+  std::vector<const data::Batch*> bptrs;
+  for (int p = 0; p < P; ++p) bptrs.push_back(&probes[p]);
+
+  auto new_value = [&]() -> int {
+    values.emplace_back();
+    return static_cast<int>(values.size()) - 1;
+  };
+
+  // Binds the leaf tensor at (record ri, input slot j). Returns -1 + *why.
+  auto bind_tensor_leaf = [&](size_t ri, size_t j) -> int {
+    Node* n0 = runs[0].records[ri].inputs[j].get();
+    auto pit = params.find(n0);
+    if (pit != params.end()) {
+      for (int p = 1; p < P; ++p) {
+        if (runs[p].records[ri].inputs[j].get() != n0) {
+          *why = "param identity diverges across probes";
+          return -1;
+        }
+      }
+      auto seen = param_vals.find(n0);
+      if (seen != param_vals.end()) return seen->second;
+      const int v = new_value();
+      values[v].kind = Value::Kind::kParam;
+      values[v].param = pit->second;
+      values[v].size = static_cast<int64_t>(n0->value.size());
+      param_vals[n0] = v;
+      return v;
+    }
+    bool same = true;
+    for (int p = 1; p < P && same; ++p) {
+      same = runs[p].records[ri].inputs[j]->value == n0->value;
+    }
+    const int v = new_value();
+    values[v].size = static_cast<int64_t>(n0->value.size());
+    if (same) {
+      values[v].kind = Value::Kind::kConst;
+      values[v].fconst = n0->value;
+      return v;
+    }
+    std::vector<const std::vector<float>*> datas;
+    for (int p = 0; p < P; ++p) {
+      datas.push_back(&runs[p].records[ri].inputs[j]->value);
+    }
+    Derivation d;
+    if (!FitFloatDerivation(bptrs, datas, &d)) {
+      *why = std::string("underivable input of op ") + std::to_string(ri) +
+             " (" + OpKindName(runs[0].records[ri].kind) + ")";
+      return -1;
+    }
+    values[v].kind = Value::Kind::kInputF;
+    values[v].deriv = d;
+    return v;
+  };
+
+  auto bind_int_attr = [&](size_t ri) -> int {
+    const std::vector<int64_t>& a0 = runs[0].records[ri].int_attr;
+    bool same = true;
+    for (int p = 1; p < P && same; ++p) {
+      same = runs[p].records[ri].int_attr == a0;
+    }
+    const int v = new_value();
+    values[v].is_int = true;
+    values[v].size = static_cast<int64_t>(a0.size());
+    if (same) {
+      values[v].kind = Value::Kind::kConst;
+      values[v].iconst = a0;
+      return v;
+    }
+    std::vector<const std::vector<int64_t>*> datas;
+    for (int p = 0; p < P; ++p) datas.push_back(&runs[p].records[ri].int_attr);
+    Derivation d;
+    if (!FitIntDerivation(bptrs, datas, &d)) {
+      *why = std::string("underivable ids of op ") + std::to_string(ri) + " (" +
+             OpKindName(runs[0].records[ri].kind) + ")";
+      return -1;
+    }
+    values[v].kind = Value::Kind::kInputI;
+    values[v].deriv = d;
+    return v;
+  };
+
+  auto bind_float_attr = [&](size_t ri) -> int {
+    const std::vector<float>& a0 = runs[0].records[ri].float_attr;
+    bool same = true;
+    for (int p = 1; p < P && same; ++p) {
+      same = runs[p].records[ri].float_attr == a0;
+    }
+    const int v = new_value();
+    values[v].size = static_cast<int64_t>(a0.size());
+    if (same) {
+      values[v].kind = Value::Kind::kConst;
+      values[v].fconst = a0;
+      return v;
+    }
+    std::vector<const std::vector<float>*> datas;
+    for (int p = 0; p < P; ++p) {
+      datas.push_back(&runs[p].records[ri].float_attr);
+    }
+    Derivation d;
+    if (!FitFloatDerivation(bptrs, datas, &d)) {
+      *why = std::string("underivable mask of op ") + std::to_string(ri) +
+             " (" + OpKindName(runs[0].records[ri].kind) + ")";
+      return -1;
+    }
+    values[v].kind = Value::Kind::kInputF;
+    values[v].deriv = d;
+    return v;
+  };
+
+  struct IRNode {
+    OpKind kind = OpKind::kNone;
+    std::vector<int> in;
+    int ids = -1, mask = -1;
+    int out = -1;
+    float scalar = 0.0f;
+    int axis = 0;
+    int64_t start = 0, len = 0;
+    std::vector<std::vector<int64_t>> in_shapes;
+    std::vector<int64_t> out_shape;
+    int64_t out_size = 0;
+    bool dead = false;
+    // Fusion annotations:
+    int bias = -1;
+    int act = 0;
+    OpKind first = OpKind::kNone;
+    std::vector<Micro> chain;
+  };
+  std::vector<IRNode> ir;
+
+  for (size_t i = 0; i < R; ++i) {
+    const TraceRecord& r0 = runs[0].records[i];
+    IRNode node;
+    node.kind = r0.kind;
+    node.scalar = r0.scalar;
+    node.axis = r0.axis;
+    node.start = r0.start;
+    node.len = r0.len;
+    for (size_t j = 0; j < r0.inputs.size(); ++j) {
+      Node* raw = r0.inputs[j].get();
+      int v = -1;
+      auto it = node2val[0].find(raw);
+      if (it != node2val[0].end()) {
+        v = it->second;
+        for (int p = 1; p < P; ++p) {
+          auto itp = node2val[p].find(runs[p].records[i].inputs[j].get());
+          if (itp == node2val[p].end() || itp->second != v) {
+            *why = "trace structure diverges across probes";
+            return nullptr;
+          }
+        }
+      } else {
+        for (int p = 1; p < P; ++p) {
+          if (node2val[p].count(runs[p].records[i].inputs[j].get()) != 0) {
+            *why = "trace structure diverges across probes";
+            return nullptr;
+          }
+        }
+        v = bind_tensor_leaf(i, j);
+        if (v < 0) return nullptr;
+      }
+      node.in.push_back(v);
+      node.in_shapes.push_back(r0.inputs[j]->shape);
+    }
+    if (r0.kind == OpKind::kEmbeddingLookup ||
+        r0.kind == OpKind::kSelectTimeSteps) {
+      node.ids = bind_int_attr(i);
+      if (node.ids < 0) return nullptr;
+    }
+    if (r0.kind == OpKind::kMaskedSoftmaxLastDim) {
+      node.mask = bind_float_attr(i);
+      if (node.mask < 0) return nullptr;
+    }
+    if (r0.kind == OpKind::kReshape) {
+      // Pure alias: consumers read the producer's storage directly.
+      for (int p = 0; p < P; ++p) {
+        node2val[p][runs[p].records[i].output.get()] = node.in[0];
+      }
+      continue;
+    }
+    const int out_v = new_value();
+    values[out_v].kind = Value::Kind::kArena;
+    values[out_v].size = static_cast<int64_t>(r0.output->value.size());
+    node.out = out_v;
+    node.out_shape = r0.output->shape;
+    node.out_size = values[out_v].size;
+    for (int p = 0; p < P; ++p) {
+      node2val[p][runs[p].records[i].output.get()] = out_v;
+    }
+    ir.push_back(std::move(node));
+  }
+
+  int out_val = -1;
+  {
+    auto it = node2val[0].find(runs[0].output.get());
+    if (it == node2val[0].end()) {
+      *why = "model output is not a traced op";
+      return nullptr;
+    }
+    out_val = it->second;
+    for (int p = 1; p < P; ++p) {
+      auto itp = node2val[p].find(runs[p].output.get());
+      if (itp == node2val[p].end() || itp->second != out_val) {
+        *why = "model output diverges across probes";
+        return nullptr;
+      }
+    }
+  }
+  if (values[out_val].kind != Value::Kind::kArena) {
+    *why = "model output is not computed by a traced op";
+    return nullptr;
+  }
+  if (values[out_val].size != bucket) {
+    *why = "model output is not one logit per batch row";
+    return nullptr;
+  }
+
+  // 4. Dead-code elimination (auxiliary branches that never reach the
+  // output — e.g. values only consumed by an unsupported training head
+  // would already have failed; this trims plain dead ends).
+  {
+    std::vector<char> needed(values.size(), 0);
+    needed[out_val] = 1;
+    for (int i = static_cast<int>(ir.size()) - 1; i >= 0; --i) {
+      IRNode& nd = ir[i];
+      if (!needed[nd.out]) {
+        nd.dead = true;
+        continue;
+      }
+      for (int v : nd.in) needed[v] = 1;
+      if (nd.ids >= 0) needed[nd.ids] = 1;
+      if (nd.mask >= 0) needed[nd.mask] = 1;
+    }
+    for (size_t v = 0; v < values.size(); ++v) {
+      if (!needed[v]) values[v].kind = Value::Kind::kDead;
+    }
+  }
+
+  auto build_cons = [&]() {
+    std::vector<std::vector<int>> cons(values.size());
+    for (size_t i = 0; i < ir.size(); ++i) {
+      if (ir[i].dead) continue;
+      for (int v : ir[i].in) cons[v].push_back(static_cast<int>(i));
+    }
+    return cons;
+  };
+
+  // 5a. GEMM epilogue fusion: MatMul -> (+bias) -> optional activation,
+  // single-consumer intermediates only.
+  {
+    auto cons = build_cons();
+    for (size_t i = 0; i < ir.size(); ++i) {
+      IRNode& g = ir[i];
+      if (g.dead || g.kind != OpKind::kMatMul) continue;
+      const int64_t n_dim = g.in_shapes[1][1];
+      const int v = g.out;
+      if (v == out_val || cons[v].size() != 1) continue;
+      const int add_i = cons[v][0];
+      IRNode& c = ir[add_i];
+      if (c.dead || c.kind != OpKind::kAdd || c.out_size != g.out_size) {
+        continue;
+      }
+      const int ov = c.in[0] == v ? c.in[1] : c.in[0];
+      if (ov == v) continue;
+      const Value& bval = values[ov];
+      if ((bval.kind != Value::Kind::kParam &&
+           bval.kind != Value::Kind::kConst) ||
+          bval.size != n_dim) {
+        continue;
+      }
+      int final_i = add_i;
+      int act = 0;
+      const int cv = c.out;
+      if (cv != out_val && cons[cv].size() == 1) {
+        const int act_i = cons[cv][0];
+        IRNode& a = ir[act_i];
+        const int a_act = a.kind == OpKind::kRelu      ? 1
+                          : a.kind == OpKind::kSigmoid ? 2
+                          : a.kind == OpKind::kTanh    ? 3
+                                                       : 0;
+        if (!a.dead && a_act != 0 && a.out_size == g.out_size) {
+          act = a_act;
+          final_i = act_i;
+        }
+      }
+      values[v].kind = Value::Kind::kDead;
+      if (act != 0) values[cv].kind = Value::Kind::kDead;
+      g.kind = OpKind::kGemmEpilogue;
+      g.bias = ov;
+      g.act = act;
+      g.out = ir[final_i].out;
+      ir[add_i].dead = true;
+      if (final_i != add_i) ir[final_i].dead = true;
+      cons = build_cons();
+    }
+  }
+
+  // 5b. Elementwise chain fusion: runs of flat elementwise ops where each
+  // link is the sole consumer of its predecessor become one loop nest.
+  {
+    auto cons = build_cons();
+    std::vector<int> def(values.size(), -1);
+    for (size_t i = 0; i < ir.size(); ++i) {
+      if (!ir[i].dead) def[ir[i].out] = static_cast<int>(i);
+    }
+    auto elig = [&](const IRNode& nd) -> bool {
+      if (nd.dead) return false;
+      if (IsUnaryEW(nd.kind)) return true;
+      if (!IsBinaryEW(nd.kind)) return false;
+      return kernels::MakeBroadcastPlan(nd.in_shapes[0], nd.in_shapes[1]).flat;
+    };
+    std::vector<char> fused(ir.size(), 0);
+    for (size_t i = 0; i < ir.size(); ++i) {
+      if (fused[i] || !elig(ir[i])) continue;
+      std::vector<int> members = {static_cast<int>(i)};
+      int cur = static_cast<int>(i);
+      while (members.size() < 1 + kMaxChain) {
+        const int v = ir[cur].out;
+        if (v == out_val || cons[v].size() != 1) break;
+        const int ci = cons[v][0];
+        IRNode& c = ir[ci];
+        if (fused[ci] || !elig(c) || c.out_size != ir[i].out_size) break;
+        if (IsBinaryEW(c.kind)) {
+          const int other = c.in[0] == v ? c.in[1] : c.in[0];
+          if (other == v) break;
+          if (values[other].size != 1 &&
+              values[other].size != ir[i].out_size) {
+            break;
+          }
+          // The chain executes at the head's position: the other operand
+          // must already exist there.
+          if (def[other] >= static_cast<int>(i)) break;
+        }
+        members.push_back(ci);
+        cur = ci;
+      }
+      if (members.size() < 2) continue;
+      IRNode& head = ir[members[0]];
+      head.first = head.kind;
+      head.kind = OpKind::kFusedChain;
+      for (size_t t = 1; t < members.size(); ++t) {
+        IRNode& c = ir[members[t]];
+        Micro mo;
+        mo.kind = c.kind;
+        mo.scalar = c.scalar;
+        if (IsBinaryEW(c.kind)) {
+          const int prev = ir[members[t - 1]].out;
+          mo.prev_is_a = c.in[0] == prev;
+          mo.other = mo.prev_is_a ? c.in[1] : c.in[0];
+          mo.other_step = values[mo.other].size == 1 ? 0 : 1;
+        }
+        head.chain.push_back(mo);
+        values[ir[members[t - 1]].out].kind = Value::Kind::kDead;
+        c.dead = true;
+        fused[members[t]] = 1;
+      }
+      head.out = ir[members.back()].out;
+      fused[i] = 1;
+      cons = build_cons();
+    }
+  }
+
+  // 6. Lower to executable ops with all dims resolved; prepack static GEMM
+  // weights.
+  std::vector<ExecOp> ops;
+  int fused_chains = 0;
+  for (IRNode& nd : ir) {
+    if (nd.dead) continue;
+    ExecOp op;
+    op.kind = nd.kind;
+    op.out = nd.out;
+    op.out_size = nd.out_size;
+    op.scalar = nd.scalar;
+    auto dim = [](const std::vector<int64_t>& s, int i) {
+      return s[i < 0 ? s.size() + i : i];
+    };
+    auto prepack = [&](ExecOp& o) {
+      const Value& bval = values[o.b];
+      const float* data =
+          bval.kind == Value::Kind::kParam   ? bval.param->value.data()
+          : bval.kind == Value::Kind::kConst ? bval.fconst.data()
+                                             : nullptr;
+      if (data != nullptr) {
+        o.packed_b = kernels::PackGemmB(data, o.k, o.n);
+        // All-finite weights license the branch-free dense tile: every
+        // zero-skipped contribution is then exactly +/-0, which cannot
+        // change accumulator bits (see GemmNNPackedDense4).
+        o.dense_gemm = true;
+        for (const float v : o.packed_b) {
+          if (!std::isfinite(v)) {
+            o.dense_gemm = false;
+            break;
+          }
+        }
+      }
+    };
+    switch (nd.kind) {
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+      case OpKind::kDiv: {
+        op.a = nd.in[0];
+        op.b = nd.in[1];
+        op.bplan = kernels::MakeBroadcastPlan(nd.in_shapes[0], nd.in_shapes[1]);
+        if (op.bplan.flat) {
+          op.first = nd.kind;
+          op.kind = OpKind::kFusedChain;
+          op.a_step = op.bplan.a_step;
+          op.b_step = op.bplan.b_step;
+        }
+        break;
+      }
+      case OpKind::kAddScalar:
+      case OpKind::kMulScalar:
+      case OpKind::kRelu:
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kExp:
+      case OpKind::kLog:
+      case OpKind::kSqrt:
+      case OpKind::kSquare:
+        op.first = nd.kind;
+        op.kind = OpKind::kFusedChain;
+        op.a = nd.in[0];
+        op.b = -1;
+        op.a_step = 1;
+        break;
+      case OpKind::kFusedChain:
+        ++fused_chains;
+        op.first = nd.first;
+        op.chain = std::move(nd.chain);
+        op.a = nd.in[0];
+        if (IsBinaryEW(nd.first)) {
+          op.b = nd.in[1];
+          const auto bp =
+              kernels::MakeBroadcastPlan(nd.in_shapes[0], nd.in_shapes[1]);
+          op.a_step = bp.a_step;
+          op.b_step = bp.b_step;
+        } else {
+          op.b = -1;
+          op.a_step = 1;
+        }
+        break;
+      case OpKind::kMatMul:
+        op.a = nd.in[0];
+        op.b = nd.in[1];
+        op.k = dim(nd.in_shapes[1], 0);
+        op.n = dim(nd.in_shapes[1], 1);
+        op.rows = NumElements(nd.in_shapes[0]) / op.k;
+        op.zero_fill = true;
+        prepack(op);
+        break;
+      case OpKind::kGemmEpilogue:
+        ++fused_chains;
+        op.a = nd.in[0];
+        op.b = nd.in[1];
+        op.bias = nd.bias;
+        op.act = nd.act;
+        op.k = dim(nd.in_shapes[1], 0);
+        op.n = dim(nd.in_shapes[1], 1);
+        op.rows = NumElements(nd.in_shapes[0]) / op.k;
+        op.zero_fill = true;
+        prepack(op);
+        break;
+      case OpKind::kBatchMatMul:
+        op.a = nd.in[0];
+        op.b = nd.in[1];
+        op.m = dim(nd.in_shapes[0], -2);
+        op.k = dim(nd.in_shapes[0], -1);
+        op.n = dim(nd.in_shapes[1], -1);
+        op.batches = NumElements(nd.in_shapes[0]) / (op.m * op.k);
+        op.zero_fill = true;
+        break;
+      case OpKind::kTransposeLast2:
+        op.a = nd.in[0];
+        op.m = dim(nd.in_shapes[0], -2);
+        op.n = dim(nd.in_shapes[0], -1);
+        op.batches = NumElements(nd.in_shapes[0]) / (op.m * op.n);
+        break;
+      case OpKind::kConcat: {
+        op.inputs = nd.in;
+        const int ax = nd.axis;
+        op.concat_dim = nd.out_shape[ax];
+        op.outer = 1;
+        for (int d = 0; d < ax; ++d) op.outer *= nd.out_shape[d];
+        op.inner = 1;
+        for (size_t d = ax + 1; d < nd.out_shape.size(); ++d) {
+          op.inner *= nd.out_shape[d];
+        }
+        for (const auto& s : nd.in_shapes) op.part_ax.push_back(s[ax]);
+        break;
+      }
+      case OpKind::kSlice: {
+        op.a = nd.in[0];
+        const int ax = nd.axis;
+        op.a_ax = nd.in_shapes[0][ax];
+        op.start = nd.start;
+        op.len = nd.len;
+        op.outer = 1;
+        for (int d = 0; d < ax; ++d) op.outer *= nd.in_shapes[0][d];
+        op.inner = 1;
+        for (size_t d = ax + 1; d < nd.in_shapes[0].size(); ++d) {
+          op.inner *= nd.in_shapes[0][d];
+        }
+        break;
+      }
+      case OpKind::kReduceAxis: {
+        op.a = nd.in[0];
+        const int ax = nd.axis;
+        op.n = nd.in_shapes[0][ax];
+        op.outer = 1;
+        for (int d = 0; d < ax; ++d) op.outer *= nd.in_shapes[0][d];
+        op.inner = 1;
+        for (size_t d = ax + 1; d < nd.in_shapes[0].size(); ++d) {
+          op.inner *= nd.in_shapes[0][d];
+        }
+        op.zero_fill = true;
+        break;
+      }
+      case OpKind::kSoftmaxLastDim:
+      case OpKind::kRowL2Normalize:
+        op.a = nd.in[0];
+        op.n = dim(nd.in_shapes[0], -1);
+        op.rows = NumElements(nd.in_shapes[0]) / op.n;
+        break;
+      case OpKind::kMaskedSoftmaxLastDim:
+        op.a = nd.in[0];
+        op.mask = nd.mask;
+        op.n = dim(nd.in_shapes[0], -1);
+        op.rows = NumElements(nd.in_shapes[0]) / op.n;
+        op.zero_fill = true;
+        break;
+      case OpKind::kEmbeddingLookup:
+        op.a = nd.in[0];
+        op.ids = nd.ids;
+        op.vocab = nd.in_shapes[0][0];
+        op.kdim = nd.in_shapes[0][1];
+        op.rows = values[nd.ids].size;
+        op.zero_fill = true;
+        break;
+      case OpKind::kSelectTimeSteps:
+        op.a = nd.in[0];
+        op.ids = nd.ids;
+        op.b_dim = nd.in_shapes[0][0];
+        op.l_dim = nd.in_shapes[0][1];
+        op.kdim = nd.in_shapes[0][2];
+        op.t_count = nd.len;
+        break;
+      default:
+        *why = std::string("unlowerable op ") + OpKindName(nd.kind);
+        return nullptr;
+    }
+    ops.push_back(std::move(op));
+  }
+
+  // 7. Liveness analysis + arena layout: walk ops in execution order,
+  // best-fit-allocating each output from a free list and releasing every
+  // value past its last use, so disjoint lifetimes share storage.
+  auto uses_of = [](const ExecOp& op) {
+    std::vector<int> u;
+    if (op.a >= 0) u.push_back(op.a);
+    if (op.b >= 0) u.push_back(op.b);
+    for (int v : op.inputs) u.push_back(v);
+    if (op.ids >= 0) u.push_back(op.ids);
+    if (op.mask >= 0) u.push_back(op.mask);
+    if (op.bias >= 0) u.push_back(op.bias);
+    for (const Micro& mo : op.chain) {
+      if (mo.other >= 0) u.push_back(mo.other);
+    }
+    return u;
+  };
+  std::vector<int> last_use(values.size(), -1);
+  for (int e = 0; e < static_cast<int>(ops.size()); ++e) {
+    for (int v : uses_of(ops[e])) last_use[v] = e;
+  }
+  last_use[out_val] = static_cast<int>(ops.size());  // read after execution
+
+  std::map<int64_t, int64_t> free_list;  // offset -> size, in floats
+  int64_t arena_end = 0;
+  int64_t intermediate_floats = 0;
+  const auto align16 = [](int64_t n) { return (n + 15) & ~int64_t(15); };
+  auto alloc = [&](int64_t sz) -> int64_t {
+    int64_t best_off = -1;
+    int64_t best_sz = std::numeric_limits<int64_t>::max();
+    for (const auto& [off, s] : free_list) {
+      if (s >= sz && s < best_sz) {
+        best_off = off;
+        best_sz = s;
+      }
+    }
+    if (best_off >= 0) {
+      free_list.erase(best_off);
+      if (best_sz > sz) free_list[best_off + sz] = best_sz - sz;
+      return best_off;
+    }
+    const int64_t off = arena_end;
+    arena_end += sz;
+    return off;
+  };
+  auto release = [&](int64_t off, int64_t sz) {
+    auto [it, inserted] = free_list.emplace(off, sz);
+    MISS_CHECK(inserted);
+    auto next = std::next(it);
+    if (next != free_list.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      free_list.erase(next);
+    }
+    if (it != free_list.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        free_list.erase(it);
+      }
+    }
+  };
+  std::vector<char> freed(values.size(), 0);
+  for (int e = 0; e < static_cast<int>(ops.size()); ++e) {
+    ExecOp& op = ops[e];
+    Value& ov = values[op.out];
+    const int64_t sz = align16(ov.size);
+    ov.arena_off = alloc(sz);
+    intermediate_floats += sz;
+    for (int v : uses_of(op)) {
+      if (values[v].kind == Value::Kind::kArena && last_use[v] == e &&
+          !freed[v]) {
+        release(values[v].arena_off, align16(values[v].size));
+        freed[v] = 1;
+      }
+    }
+  }
+
+  auto plan = std::make_unique<InferencePlan>();
+  plan->bucket = bucket;
+  plan->num_cat = probes[0].num_cat;
+  plan->num_seq = probes[0].num_seq;
+  plan->seq_len = probes[0].seq_len;
+  plan->out_val = out_val;
+  plan->arena_floats = arena_end;
+  for (size_t v = 0; v < values.size(); ++v) {
+    if (values[v].kind == Value::Kind::kInputF ||
+        values[v].kind == Value::Kind::kInputI) {
+      plan->input_vals.push_back(static_cast<int>(v));
+    }
+  }
+  plan->stats.batch_size = bucket;
+  plan->stats.ops = static_cast<int>(ops.size());
+  plan->stats.fused_chains = fused_chains;
+  plan->stats.arena_bytes = arena_end * static_cast<int64_t>(sizeof(float));
+  plan->stats.intermediate_bytes =
+      intermediate_floats * static_cast<int64_t>(sizeof(float));
+  plan->values = std::move(values);
+  plan->ops = std::move(ops);
+  return plan;
+}
+
+}  // namespace plan_internal
+
+// ----------------------------------------------------------------------------
+// PlanSet
+// ----------------------------------------------------------------------------
+
+PlanSet::PlanSet() = default;
+PlanSet::~PlanSet() = default;
+
+int64_t PlanSet::max_batch() const {
+  return plans_.empty() ? 0 : plans_.back()->bucket;
+}
+
+bool PlanSet::Score(const data::Batch& batch, float* out) const {
+  if (!compatible_) return false;
+  const int64_t n = batch.batch_size;
+  if (n <= 0) return false;
+  for (const auto& plan : plans_) {
+    if (plan->bucket >= n) return plan->Run(batch, out);
+  }
+  return false;
+}
+
+std::vector<PlanBucketStats> PlanSet::BucketStats() const {
+  std::vector<PlanBucketStats> out;
+  out.reserve(plans_.size());
+  for (const auto& plan : plans_) out.push_back(plan->stats);
+  return out;
+}
+
+std::shared_ptr<const PlanSet> PlanSet::Compile(
+    const data::DatasetSchema& schema, const std::vector<Tensor>& params,
+    const ForwardFn& forward, const PlanCompileOptions& options) {
+  std::shared_ptr<PlanSet> set(new PlanSet());
+  std::unordered_map<Node*, std::shared_ptr<Node>> param_map;
+  for (const Tensor& p : params) {
+    Tensor t = p;
+    param_map.emplace(t.node_ptr().get(), t.node_ptr());
+  }
+  std::vector<int64_t> buckets = options.buckets;
+  std::sort(buckets.begin(), buckets.end());
+  buckets.erase(std::unique(buckets.begin(), buckets.end()), buckets.end());
+  while (!buckets.empty() && buckets.front() <= 0) {
+    buckets.erase(buckets.begin());
+  }
+  if (buckets.empty()) {
+    set->fallback_reason_ = "no batch-size buckets";
+    return set;
+  }
+
+  std::string why;
+  for (int64_t b : buckets) {
+    auto plan = plan_internal::CompileBucket(schema, param_map, forward, b,
+                                             options, &why);
+    if (plan == nullptr) {
+      set->plans_.clear();
+      set->fallback_reason_ = why;
+      return set;
+    }
+    set->plans_.push_back(std::move(plan));
+  }
+
+  // Load-time safety net: every bucket must reproduce the dynamic forward
+  // bitwise on fresh random batches, at the exact bucket size and at an odd
+  // size exercising round-up-and-slice. Any mismatch (an ambiguous
+  // derivation fit, a non-row-wise op) falls back to the dynamic path.
+  for (size_t i = 0; i < set->plans_.size(); ++i) {
+    InferencePlan& plan = *set->plans_[i];
+    std::vector<int64_t> sizes = {plan.bucket};
+    if (i > 0 && set->plans_[i - 1]->bucket + 1 < plan.bucket) {
+      sizes.push_back(set->plans_[i - 1]->bucket + 1);
+    } else if (i == 0 && plan.bucket > 1) {
+      sizes.push_back(1);
+    }
+    for (int vb = 0; vb < std::max(1, options.verify_batches); ++vb) {
+      for (int64_t n : sizes) {
+        common::Rng rng((options.seed ^ (0xABCDEFull * (plan.bucket + 1))) +
+                        977ull * vb + static_cast<uint64_t>(n));
+        data::Batch batch = plan_internal::MakeProbeBatch(schema, n, rng);
+        bool ok = false;
+        {
+          InferenceScope scope;
+          Tensor ref = forward(batch);
+          std::vector<float> got(plan.bucket);
+          ok = static_cast<int64_t>(ref.value().size()) == n &&
+               plan.Run(batch, got.data()) &&
+               std::memcmp(got.data(), ref.value().data(),
+                           sizeof(float) * n) == 0;
+        }
+        if (!ok) {
+          set->fallback_reason_ =
+              "bitwise verification failed at bucket " +
+              std::to_string(plan.bucket) + ", batch " + std::to_string(n);
+          set->plans_.clear();
+          return set;
+        }
+      }
+    }
+  }
+  set->compatible_ = true;
+  return set;
+}
+
+}  // namespace miss::nn

@@ -1,0 +1,197 @@
+// Compiled inference plans: static forward execution for serving.
+//
+// The dynamic op layer re-derives shapes, dispatches per op, and heap-
+// allocates every intermediate on each forward. For serving — where the
+// model and the batch-size buckets are fixed at bundle load — PlanSet
+// captures the forward once per bucket into a static InferencePlan:
+//
+//   * a topo-sorted op list with every shape resolved at compile time,
+//   * all intermediates placed in one preallocated arena via liveness
+//     analysis (values with disjoint lifetimes share storage),
+//   * adjacent elementwise/activation ops fused into single loop nests and
+//     GEMM bias/activation epilogues folded into the tile store,
+//   * GEMM weight operands pre-packed into the register-tile layout,
+//   * host-derived op attributes (embedding ids, attention masks, pooling
+//     counts) bound to derivations from the raw data::Batch.
+//
+// Capture works by re-running the model's own Forward under a thread-local
+// PlanTracer several times with distinct random probe batches: ops record
+// themselves as they execute, leaves that differ across probes must match a
+// known Batch derivation (otherwise the model is plan-incompatible and the
+// caller keeps the dynamic InferenceScope path), and every compiled bucket
+// is verified bitwise against the dynamic forward on fresh probes before
+// the plan is accepted. Execution reuses the exact kernels (nn/kernels.h)
+// and ParallelFor grains of the dynamic path, so plan scores are bit-for-bit
+// identical to InferenceScope scores at every thread count.
+
+#ifndef MISS_NN_PLAN_H_
+#define MISS_NN_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace miss::nn {
+
+// Op vocabulary of the tracer/executor. Kinds past kFusedChain are
+// synthesized by the compiler and never appear in traces.
+enum class OpKind : int {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kAddScalar,
+  kMulScalar,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kExp,
+  kLog,
+  kSqrt,
+  kSquare,
+  kMatMul,
+  kBatchMatMul,
+  kTransposeLast2,
+  kReshape,
+  kConcat,
+  kSlice,
+  kReduceAxis,
+  kSoftmaxLastDim,
+  kMaskedSoftmaxLastDim,
+  kRowL2Normalize,
+  kEmbeddingLookup,
+  kSelectTimeSteps,
+  // Compiler-synthesized:
+  kGemmEpilogue,  // MatMul + bias add (+ optional activation) in one pass
+  kFusedChain,    // run of elementwise ops as one loop nest
+  kNone,
+};
+
+const char* OpKindName(OpKind kind);
+
+// One traced op application. Inputs/output are node handles (not raw
+// pointers) so the traced graph stays alive until the compiler has bound
+// every value — under InferenceScope intermediates would otherwise be freed
+// (and their addresses reused) as soon as the model drops them.
+struct TraceRecord {
+  OpKind kind = OpKind::kNone;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::shared_ptr<Node> output;
+  float scalar = 0.0f;  // AddScalar/MulScalar value, Log/RowL2Normalize eps,
+                        // ReduceAxis scale
+  int axis = 0;
+  int64_t start = 0;  // Slice start
+  int64_t len = 0;    // Slice len / SelectTimeSteps t_count
+  std::vector<int64_t> int_attr;   // EmbeddingLookup ids, SelectTimeSteps idx
+  std::vector<float> float_attr;   // MaskedSoftmaxLastDim mask
+};
+
+// Thread-local op recorder. While one is installed, every public op in
+// ops.cc appends a TraceRecord after computing its result; ops the plan
+// executor cannot replay mark the trace unsupported instead. Install only
+// around forwards you control (the compiler's probe runs) — never on the
+// serving hot path.
+class PlanTracer {
+ public:
+  PlanTracer();
+  ~PlanTracer();
+  PlanTracer(const PlanTracer&) = delete;
+  PlanTracer& operator=(const PlanTracer&) = delete;
+
+  // The tracer installed on the calling thread, or nullptr.
+  static PlanTracer* Current();
+
+  void MarkUnsupported(const std::string& what);
+
+  std::vector<TraceRecord> records;
+  bool ok = true;
+  std::string unsupported;
+
+ private:
+  PlanTracer* prev_ = nullptr;
+};
+
+namespace internal {
+// Record helpers called from ops.cc (no-ops when no tracer is installed).
+void TraceOp(TraceRecord record);
+void Trace1(OpKind kind, const Tensor& a, const Tensor& out);
+void Trace2(OpKind kind, const Tensor& a, const Tensor& b, const Tensor& out);
+// Marks the active trace (if any) unsupported: `what` op cannot be compiled.
+void TraceUnsupported(const char* what);
+}  // namespace internal
+
+// Per-bucket plan shape, surfaced in /statusz.
+struct PlanBucketStats {
+  int64_t batch_size = 0;
+  int ops = 0;                      // executable ops after fusion
+  int fused_chains = 0;             // fused elementwise chains + epilogues
+  int64_t arena_bytes = 0;          // arena size after liveness slot reuse
+  int64_t intermediate_bytes = 0;   // sum of live intermediate sizes
+                                    // (>= arena_bytes; gap == sharing)
+};
+
+struct PlanCompileOptions {
+  // Batch-size buckets, ascending. A batch of n executes the smallest
+  // bucket >= n with rows [n, bucket) bound to row 0 and the first n logits
+  // sliced out; batches above the largest bucket fall back to the dynamic
+  // path.
+  std::vector<int64_t> buckets = {1, 8, 32, 64, 128, 256};
+  // Probe forwards whose traces must align and bind (>= 2).
+  int trace_probes = 3;
+  // Extra random batches per bucket verified bitwise against the dynamic
+  // forward before the plan is accepted.
+  int verify_batches = 2;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+class InferencePlan;
+
+// A model's compiled plans, one per batch-size bucket. Immutable and
+// internally synchronized after Compile: Score may be called concurrently
+// from any number of workers (execution contexts are pooled, so the steady
+// state allocates nothing).
+class PlanSet {
+ public:
+  using ForwardFn = std::function<Tensor(const data::Batch&)>;
+
+  // Traces `forward` (which must run the model tape-free over the given
+  // schema's batches) and compiles every bucket. Never fails hard: if the
+  // model is plan-incompatible the returned set has compatible() == false
+  // and fallback_reason() says why — callers keep serving via the dynamic
+  // path.
+  static std::shared_ptr<const PlanSet> Compile(
+      const data::DatasetSchema& schema, const std::vector<Tensor>& params,
+      const ForwardFn& forward, const PlanCompileOptions& options = {});
+
+  ~PlanSet();
+
+  bool compatible() const { return compatible_; }
+  const std::string& fallback_reason() const { return fallback_reason_; }
+
+  // Largest compiled bucket; 0 when incompatible.
+  int64_t max_batch() const;
+
+  // Scores `batch` through the round-up bucket plan and writes
+  // batch.batch_size logits to `out`. Returns false (out untouched) when
+  // incompatible or the batch exceeds every bucket; the caller then runs
+  // the dynamic path.
+  bool Score(const data::Batch& batch, float* out) const;
+
+  std::vector<PlanBucketStats> BucketStats() const;
+
+ private:
+  PlanSet();
+
+  bool compatible_ = false;
+  std::string fallback_reason_;
+  std::vector<std::unique_ptr<InferencePlan>> plans_;  // ascending bucket
+};
+
+}  // namespace miss::nn
+
+#endif  // MISS_NN_PLAN_H_

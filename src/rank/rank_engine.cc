@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "common/top_k.h"
+#include "nn/plan.h"
 #include "nn/tensor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -29,6 +30,8 @@ RankEngine::RankEngine(models::CtrModel& model, const RankEngineConfig& config)
   name_queue_depth_ = "rank/queue_depth" + tag;
   name_alloc_count_ = "serve/alloc/count" + tag;
   name_alloc_bytes_ = "serve/alloc/bytes" + tag;
+  name_plan_requests_ = "rank/plan/requests" + tag;
+  name_plan_fallback_ = "rank/plan/fallback" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_chunk, 0);
   MISS_CHECK_GT(config_.nn_threads, 0);
@@ -244,6 +247,8 @@ RankResult RankEngine::ScoreRequest(const RankRequest& request) {
           request.candidates.begin() + begin + m);
 
       nn::Tensor logits;
+      std::vector<float> plan_logits;
+      bool plan_used = false;
       std::vector<data::Sample> pair_samples;  // fallback batch / health rows
       if (!split_active_ || record_health) {
         pair_samples.reserve(static_cast<size_t>(m));
@@ -256,21 +261,36 @@ RankResult RankEngine::ScoreRequest(const RankRequest& request) {
       if (split_active_) {
         logits = model_.ScoreCandidates(*context, chunk);
       } else {
-        // Generic fallback: one batched forward over the substituted pairs.
+        // Generic fallback: one batched pass over the substituted pairs —
+        // through the compiled plan when one covers this chunk size, else
+        // the dynamic forward.
         data::Dataset pairs;
         pairs.schema = model_.schema();
         pairs.samples = std::move(pair_samples);
         std::vector<int64_t> indices(static_cast<size_t>(m));
         for (int64_t i = 0; i < m; ++i) indices[static_cast<size_t>(i)] = i;
-        logits = model_.Forward(data::MakeBatch(pairs, indices),
-                                /*training=*/false);
+        const data::Batch pair_batch = data::MakeBatch(pairs, indices);
+        if (config_.plans != nullptr) {
+          plan_logits.resize(static_cast<size_t>(m));
+          plan_used = config_.plans->Score(pair_batch, plan_logits.data());
+        }
+        if (!plan_used) {
+          logits = model_.Forward(pair_batch, /*training=*/false);
+        }
+        if (obs::Enabled() && config_.plans != nullptr) {
+          obs::MetricsRegistry::Global()
+              .GetCounter(plan_used ? name_plan_requests_ : name_plan_fallback_)
+              .Add(m);
+        }
         pair_samples = std::move(pairs.samples);  // still wanted for health
       }
 
       std::vector<float> chunk_scores;
       if (record_health) chunk_scores.resize(static_cast<size_t>(m));
       for (int64_t i = 0; i < m; ++i) {
-        const float score = 1.0f / (1.0f + std::exp(-logits.at(i)));
+        const float x = plan_used ? plan_logits[static_cast<size_t>(i)]
+                                  : logits.at(i);
+        const float score = 1.0f / (1.0f + std::exp(-x));
         out.scores[static_cast<size_t>(begin + i)] = score;
         if (record_health) chunk_scores[static_cast<size_t>(i)] = score;
       }

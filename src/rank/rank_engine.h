@@ -85,6 +85,11 @@ struct RankEngineConfig {
   // per-feature OOV tracking stay meaningful when traffic is rank-shaped.
   // Null disables recording.
   serve::ModelHealthMonitor* health = nullptr;
+  // Compiled inference plans for the model (must outlive the engine). Only
+  // the generic per-candidate Forward fallback uses them — split-path models
+  // score through EncodeUser/ScoreCandidates, which stays dynamic. Batches
+  // above every bucket (max_chunk > largest bucket) run the dynamic forward.
+  const nn::PlanSet* plans = nullptr;
   // Per-model metric label, as serve::EngineConfig::metric_model: empty
   // keeps the plain rank/* names, non-empty records rank/...|model=<name>
   // (a {model="..."} label in the Prometheus exposition).
@@ -160,6 +165,8 @@ class RankEngine {
   std::string name_queue_depth_;
   std::string name_alloc_count_;
   std::string name_alloc_bytes_;
+  std::string name_plan_requests_;
+  std::string name_plan_fallback_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

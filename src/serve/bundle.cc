@@ -234,6 +234,11 @@ bool SaveBundle(const models::CtrModel& model, const std::string& dir,
 }
 
 bool LoadBundle(const std::string& dir, Bundle* out) {
+  return LoadBundle(dir, LoadBundleOptions(), out);
+}
+
+bool LoadBundle(const std::string& dir, const LoadBundleOptions& options,
+                Bundle* out) {
   *out = Bundle();
   const std::string manifest_path = dir + "/" + kManifestFileName;
   std::ifstream in(manifest_path);
@@ -279,6 +284,22 @@ bool LoadBundle(const std::string& dir, Bundle* out) {
                       << " does not match the manifest-built " << model_name
                       << " (see preceding shape diagnostics)";
     return false;
+  }
+
+  if (options.compile_plans) {
+    models::CtrModel* raw = model.get();
+    out->plans = nn::PlanSet::Compile(
+        schema, raw->Parameters(),
+        [raw](const data::Batch& batch) {
+          return raw->Forward(batch, /*training=*/false);
+        },
+        options.plan_options);
+    if (!out->plans->compatible()) {
+      MISS_LOG(WARNING) << "LoadBundle: " << model_name
+                        << " is plan-incompatible ("
+                        << out->plans->fallback_reason()
+                        << "); serving falls back to the dynamic path";
+    }
   }
 
   out->model = std::move(model);

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "models/ctr_model.h"
+#include "nn/plan.h"
 #include "obs/health.h"
 
 namespace miss::serve {
@@ -38,6 +39,19 @@ struct Bundle {
   // Training-time model-health baseline (format v2+); null for v1 bundles
   // or v2 bundles saved without one — drift reporting is then disabled.
   std::shared_ptr<const obs::ModelBaseline> baseline;
+  // Compiled inference plans for the model (see nn/plan.h), present when
+  // LoadBundle ran with compile_plans. A plan-incompatible model still loads
+  // — plans->compatible() is then false and engines keep the dynamic path.
+  // Shared so engine configs can reference it across a hot-reload swap.
+  std::shared_ptr<const nn::PlanSet> plans;
+};
+
+struct LoadBundleOptions {
+  // Trace + compile the model's forward into per-bucket inference plans at
+  // load (see nn::PlanSet::Compile). Adds a few probe forwards per bucket to
+  // load time; serving then executes compatible models through the plans.
+  bool compile_plans = false;
+  nn::PlanCompileOptions plan_options;
 };
 
 // Writes manifest.json + params.ckpt for `model` into `dir` (created,
@@ -53,6 +67,8 @@ bool SaveBundle(const models::CtrModel& model, const std::string& dir,
 // stage failed (manifest parse, factory mismatch, checkpoint shape) — and
 // leaves `*out` empty on any error.
 bool LoadBundle(const std::string& dir, Bundle* out);
+bool LoadBundle(const std::string& dir, const LoadBundleOptions& options,
+                Bundle* out);
 
 }  // namespace miss::serve
 

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "nn/plan.h"
 #include "nn/tensor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,6 +27,8 @@ Engine::Engine(models::CtrModel& model, const EngineConfig& config)
   name_queue_depth_ = "serve/queue_depth" + tag;
   name_alloc_count_ = "serve/alloc/count" + tag;
   name_alloc_bytes_ = "serve/alloc/bytes" + tag;
+  name_plan_requests_ = "serve/plan/requests" + tag;
+  name_plan_fallback_ = "serve/plan/fallback" + tag;
   MISS_CHECK_GT(config_.num_workers, 0);
   MISS_CHECK_GT(config_.max_batch_size, 0);
   MISS_CHECK_GE(config_.max_queue_delay_us, 0);
@@ -171,6 +174,8 @@ int64_t Engine::QueueDepth() const {
 }
 
 void Engine::WorkerLoop() {
+  WorkerState state;
+  state.staging.schema = model_.schema();
   for (;;) {
     std::vector<Request> batch;
     {
@@ -211,11 +216,11 @@ void Engine::WorkerLoop() {
       }
     }
     cv_.notify_all();  // residual requests may form another worker's batch
-    ScoreBatch(std::move(batch));
+    ScoreBatch(std::move(batch), state);
   }
 }
 
-void Engine::ScoreBatch(std::vector<Request> batch) {
+void Engine::ScoreBatch(std::vector<Request> batch, WorkerState& state) {
   MISS_TRACE_SCOPE("serve/score_batch");
   const int64_t n = static_cast<int64_t>(batch.size());
 
@@ -227,27 +232,36 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     }
   }
 
-  // MakeBatch wants (dataset, indices); wrap the requests in a throwaway
-  // dataset sharing the model's schema.
-  data::Dataset staging;
-  staging.schema = model_.schema();
+  // MakeBatch wants (dataset, indices); wrap the requests in the worker's
+  // long-lived staging dataset (sample slots and batch buffers keep their
+  // capacity, so steady-state assembly allocates nothing).
+  data::Dataset& staging = state.staging;
+  staging.samples.clear();
   staging.samples.reserve(n);
-  std::vector<int64_t> indices(n);
+  state.indices.resize(n);
   for (int64_t i = 0; i < n; ++i) {
     staging.samples.push_back(std::move(batch[i].sample));
-    indices[i] = i;
+    state.indices[i] = i;
   }
   // Per-request allocation accounting brackets assembly + forward: both run
   // on this worker thread, so the thread-local tally sees exactly this
   // batch's tensor allocations.
   const bool record_alloc = config_.alloc_stats && obs::Enabled();
   nn::AllocTally alloc_tally;
-  data::Batch assembled = data::MakeBatch(staging, indices);
+  data::MakeBatchInto(staging, state.indices, &state.assembled);
 
+  // Compiled plan first: static execution, arena intermediates, no tensor
+  // graph. Falls back to the dynamic tape-free forward when no plan fits
+  // (incompatible model or batch larger than every bucket).
+  bool plan_used = false;
+  if (config_.plans != nullptr) {
+    state.plan_logits.resize(n);
+    plan_used = config_.plans->Score(state.assembled, state.plan_logits.data());
+  }
   nn::Tensor logits;
-  {
+  if (!plan_used) {
     nn::InferenceScope inference;
-    logits = model_.Forward(assembled, /*training=*/false);
+    logits = model_.Forward(state.assembled, /*training=*/false);
   }
   if (record_alloc) {
     // One record per batch of the per-request average, into the lifetime
@@ -279,7 +293,7 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
       req.trace.forward_done_ns = forward_done_ns;
       if (tracing) obs::EmitFlowFinish(req.trace.trace_id, forward_done_ns);
     }
-    const float x = logits.at(i);
+    const float x = plan_used ? state.plan_logits[i] : logits.at(i);
     const float score = 1.0f / (1.0f + std::exp(-x));
     if (record_health) scores[static_cast<size_t>(i)] = score;
     if (req.traced_callback) {
@@ -301,6 +315,10 @@ void Engine::ScoreBatch(std::vector<Request> batch) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     reg.GetCounter(name_requests_).Add(n);
     reg.GetCounter(name_batches_).Add(1);
+    if (config_.plans != nullptr) {
+      reg.GetCounter(plan_used ? name_plan_requests_ : name_plan_fallback_)
+          .Add(n);
+    }
     reg.GetHistogram(name_batch_size_).Record(static_cast<double>(n));
     obs::Histogram& latency = reg.GetHistogram(name_latency_);
     const int64_t done_ns = obs::NowNs();

@@ -50,6 +50,10 @@
 #include "data/dataset.h"
 #include "models/ctr_model.h"
 
+namespace miss::nn {
+class PlanSet;
+}  // namespace miss::nn
+
 namespace miss::serve {
 
 class ModelHealthMonitor;
@@ -97,6 +101,13 @@ struct EngineConfig {
   // are plain thread-locals (nn::AllocTally) — this only gates the
   // histogram recording, so benches can A/B it.
   bool alloc_stats = true;
+  // Compiled inference plans for the model (nn::PlanSet::Compile on the
+  // model's Forward; must outlive the engine). When set and compatible,
+  // workers execute batches through the static plan — bitwise identical
+  // scores, zero tensor allocations — and fall back to the dynamic
+  // InferenceScope forward per batch when the batch exceeds every bucket.
+  // Null keeps the dynamic path only.
+  const nn::PlanSet* plans = nullptr;
   // Per-model metric label. Empty keeps the plain serve/* metric names;
   // non-empty records them as serve/...|model=<metric_model> instead, which
   // /metricz?format=prom renders as a {model="..."} label (how a fleet keeps
@@ -175,8 +186,19 @@ class Engine {
   bool EnqueueLocked(Request req);  // false once stopping
   static void Fail(Request& req, const char* what);
 
+  // Per-worker reusable staging: the throwaway Dataset wrapper, the
+  // assembled Batch, the index list, and the plan-path logit buffer all keep
+  // their capacity across batches, so steady-state assembly allocates
+  // nothing.
+  struct WorkerState {
+    data::Dataset staging;
+    data::Batch assembled;
+    std::vector<int64_t> indices;
+    std::vector<float> plan_logits;
+  };
+
   void WorkerLoop();
-  void ScoreBatch(std::vector<Request> batch);
+  void ScoreBatch(std::vector<Request> batch, WorkerState& state);
 
   models::CtrModel& model_;
   const EngineConfig config_;
@@ -189,6 +211,8 @@ class Engine {
   std::string name_queue_depth_;
   std::string name_alloc_count_;
   std::string name_alloc_bytes_;
+  std::string name_plan_requests_;
+  std::string name_plan_fallback_;
 
   std::atomic<int64_t> in_flight_{0};
 

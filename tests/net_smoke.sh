@@ -361,6 +361,85 @@ else
   exit 1
 fi
 
+# ---- Compiled inference plans ----------------------------------------------
+# Boot with plans explicitly on, score once, and validate the /statusz plan
+# block: compiled buckets with arena sizes, and the request counter routed to
+# the plan path (zero fallbacks). Then boot --no-plan and require the same
+# score — the compiled path must be bitwise-identical over the wire.
+
+MISS_TELEMETRY=1 \
+  "$SERVE_BIN" --bundle "$WORK/bundle" --plan --port 0 \
+  --port-file "$WORK/plan_port" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/plan_port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/plan_port" ] \
+  || { echo "FAIL: plan server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/plan_port")"
+
+PLAN_SCORE="$(curl -sf -X POST "http://127.0.0.1:$PORT/score" \
+                   -H 'Content-Type: application/json' \
+                   --data @"$WORK/bundle/sample.json")"
+echo "plan score: $PLAN_SCORE"
+echo "$PLAN_SCORE" | grep -q '"score":' \
+  || { echo "FAIL: /score under --plan did not return a score" >&2; exit 1; }
+
+PLAN_STATUSZ="$(curl -sf "http://127.0.0.1:$PORT/statusz")"
+echo "$PLAN_STATUSZ" | grep -q '"plan":{"enabled":true' \
+  || { echo "FAIL: /statusz is missing the plan block" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PYEOF \
+    || { echo "FAIL: /statusz plan block is not the expected document" >&2; exit 1; }
+import json
+doc = json.loads('''$PLAN_STATUSZ''')
+plan = doc["serve"]["plan"]
+assert plan["enabled"] is True, plan
+assert plan["compiled"] is True, plan
+assert plan["max_batch"] >= 64, plan
+assert len(plan["buckets"]) >= 4, plan
+batches = [b["batch"] for b in plan["buckets"]]
+assert batches == sorted(batches) and batches[0] == 1, batches
+for b in plan["buckets"]:
+    assert b["ops"] > 0 and b["arena_bytes"] > 0, b
+assert plan["requests_total"] >= 1, plan
+assert plan["fallback_total"] == 0, plan
+PYEOF
+  echo "PASS: /statusz plan block validates (compiled buckets, plan-path requests)"
+fi
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" \
+  || { echo "FAIL: plan server exited nonzero after SIGTERM" >&2; exit 1; }
+SERVER_PID=""
+
+"$SERVE_BIN" --bundle "$WORK/bundle" --no-plan --port 0 \
+  --port-file "$WORK/noplan_port" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/noplan_port" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/noplan_port" ] \
+  || { echo "FAIL: no-plan server never wrote its port file" >&2; exit 1; }
+PORT="$(cat "$WORK/noplan_port")"
+
+NOPLAN_SCORE="$(curl -sf -X POST "http://127.0.0.1:$PORT/score" \
+                     -H 'Content-Type: application/json' \
+                     --data @"$WORK/bundle/sample.json")"
+[ "$(echo "$PLAN_SCORE" | sed 's/"request_id":[0-9]*/"request_id":0/')" = \
+  "$(echo "$NOPLAN_SCORE" | sed 's/"request_id":[0-9]*/"request_id":0/')" ] \
+  || { echo "FAIL: --plan and --no-plan scores differ" >&2; exit 1; }
+echo "PASS: --plan score matches --no-plan bitwise over the wire"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" \
+  || { echo "FAIL: no-plan server exited nonzero after SIGTERM" >&2; exit 1; }
+SERVER_PID=""
+
 # ---- Sampling profiler -----------------------------------------------------
 # Boot with the /pprofz opt-in, profile the process for a second while /rank
 # traffic burns CPU, and require folded stacks back plus a clean shutdown —

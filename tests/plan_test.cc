@@ -1,0 +1,343 @@
+// Compiled inference plan tests: plans must reproduce the dynamic
+// InferenceScope forward bit-for-bit for every factory model, at every
+// bucket boundary (including odd sizes that exercise round-up-and-slice),
+// at any thread count — and the arena must actually share storage between
+// intermediates with disjoint lifetimes.
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "fleet/model_fleet.h"
+#include "fleet/serving_model.h"
+#include "models/model_factory.h"
+#include "nn/plan.h"
+#include "nn/tensor.h"
+#include "serve/bundle.h"
+#include "serve/engine.h"
+
+namespace miss {
+namespace {
+
+data::DatasetBundle SmallBundle() {
+  data::SyntheticConfig config = data::SyntheticConfig::Tiny();
+  config.num_users = 80;
+  config.num_items = 50;
+  config.num_categories = 5;
+  return data::GenerateSynthetic(config);
+}
+
+// Builds a random batch of size n over `schema` (not from the bundle: plans
+// must generalize to unseen data, not just the probe distribution).
+data::Batch RandomBatch(const data::DatasetSchema& schema, int64_t n,
+                        uint64_t seed) {
+  common::Rng rng(seed);
+  data::Dataset ds;
+  ds.schema = schema;
+  std::vector<int64_t> indices(n);
+  const int64_t L = schema.max_seq_len;
+  for (int64_t s = 0; s < n; ++s) {
+    indices[s] = s;
+    data::Sample smp;
+    for (const auto& f : schema.categorical) {
+      smp.cat.push_back(rng.UniformInt(std::max<int64_t>(1, f.vocab_size)));
+    }
+    const int64_t h = 1 + rng.UniformInt(L + 1);
+    smp.seq.resize(schema.sequential.size());
+    for (size_t j = 0; j < schema.sequential.size(); ++j) {
+      int64_t vocab = schema.sequential[j].vocab_size;
+      if (j < schema.seq_shares_table_with.size() &&
+          schema.seq_shares_table_with[j] >= 0) {
+        vocab = std::min(
+            vocab,
+            schema.categorical[schema.seq_shares_table_with[j]].vocab_size);
+      }
+      for (int64_t t = 0; t < h; ++t) {
+        smp.seq[j].push_back(rng.UniformInt(std::max<int64_t>(1, vocab)));
+      }
+    }
+    smp.label = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    ds.samples.push_back(std::move(smp));
+  }
+  return data::MakeBatch(ds, indices);
+}
+
+std::shared_ptr<const nn::PlanSet> CompileFor(models::CtrModel* model,
+                                              const data::DatasetSchema& schema,
+                                              nn::PlanCompileOptions options) {
+  return nn::PlanSet::Compile(
+      schema, model->Parameters(),
+      [model](const data::Batch& batch) {
+        return model->Forward(batch, /*training=*/false);
+      },
+      options);
+}
+
+class PlanModelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new data::DatasetBundle(SmallBundle());
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+  static data::DatasetBundle* bundle_;
+};
+
+data::DatasetBundle* PlanModelTest::bundle_ = nullptr;
+
+// Every factory model either compiles to a plan that is bitwise identical
+// to the dynamic forward at every bucket boundary and odd in-between sizes,
+// or cleanly reports incompatibility (SIM's host-side top-k search is the
+// known fallback case).
+TEST_P(PlanModelTest, BitwiseMatchesDynamicForward) {
+  const data::DatasetSchema& schema = bundle_->train.schema;
+  models::ModelConfig config;
+  auto model = models::CreateModel(GetParam(), schema, config, /*seed=*/7);
+
+  nn::PlanCompileOptions options;
+  options.buckets = {1, 4, 16, 32};
+  auto plans = CompileFor(model.get(), schema, options);
+  ASSERT_NE(plans, nullptr);
+  if (GetParam() == "sim") {
+    EXPECT_FALSE(plans->compatible())
+        << "SIM's top-k retrieval should be plan-incompatible";
+    EXPECT_FALSE(plans->fallback_reason().empty());
+    float unused = 0.0f;
+    data::Batch batch = RandomBatch(schema, 3, /*seed=*/11);
+    EXPECT_FALSE(plans->Score(batch, &unused));
+    return;
+  }
+  ASSERT_TRUE(plans->compatible()) << GetParam() << ": "
+                                   << plans->fallback_reason();
+  EXPECT_EQ(plans->max_batch(), 32);
+
+  // Bucket boundaries plus odd sizes that hit round-up-and-slice.
+  for (int64_t n : {1, 2, 3, 4, 5, 15, 16, 17, 31, 32}) {
+    data::Batch batch = RandomBatch(schema, n, /*seed=*/1000 + n);
+    std::vector<float> got(n, 0.0f);
+    ASSERT_TRUE(plans->Score(batch, got.data())) << GetParam() << " n=" << n;
+    nn::InferenceScope scope;
+    nn::Tensor ref = model->Forward(batch, /*training=*/false);
+    ASSERT_EQ(ref.size(), n);
+    EXPECT_EQ(std::memcmp(got.data(), ref.value().data(), sizeof(float) * n),
+              0)
+        << GetParam() << " diverges from dynamic forward at n=" << n;
+  }
+
+  // Batches above the largest bucket fall back to the dynamic path.
+  data::Batch big = RandomBatch(schema, 33, /*seed=*/5);
+  std::vector<float> out(33);
+  EXPECT_FALSE(plans->Score(big, out.data()));
+}
+
+// Plan scores must not depend on the intra-op thread count (the bitwise
+// parallel rule extends to compiled execution).
+TEST_P(PlanModelTest, ThreadCountInvariant) {
+  const data::DatasetSchema& schema = bundle_->train.schema;
+  models::ModelConfig config;
+  auto model = models::CreateModel(GetParam(), schema, config, /*seed=*/9);
+
+  nn::PlanCompileOptions options;
+  options.buckets = {8};
+  options.verify_batches = 1;
+  auto plans = CompileFor(model.get(), schema, options);
+  ASSERT_NE(plans, nullptr);
+  if (!plans->compatible()) {
+    ASSERT_EQ(GetParam(), "sim") << plans->fallback_reason();
+    return;
+  }
+
+  data::Batch batch = RandomBatch(schema, 6, /*seed=*/21);
+  std::vector<float> one(6), four(6);
+  {
+    common::ScopedIntraOpThreads threads(1);
+    ASSERT_TRUE(plans->Score(batch, one.data()));
+  }
+  {
+    common::ScopedIntraOpThreads threads(4);
+    ASSERT_TRUE(plans->Score(batch, four.data()));
+  }
+  EXPECT_EQ(std::memcmp(one.data(), four.data(), sizeof(float) * 6), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PlanModelTest,
+                         ::testing::ValuesIn(models::KnownModelNames()));
+
+// Liveness analysis must let disjoint-lifetime intermediates share arena
+// slots: for a deep MLP stack the arena is strictly smaller than the sum of
+// intermediate sizes.
+TEST(PlanArenaTest, SlotReuseSharesStorage) {
+  data::DatasetBundle bundle = SmallBundle();
+  const data::DatasetSchema& schema = bundle.train.schema;
+  models::ModelConfig config;
+  auto model = models::CreateModel("deepfm", schema, config, /*seed=*/3);
+
+  nn::PlanCompileOptions options;
+  options.buckets = {32};
+  auto plans = CompileFor(model.get(), schema, options);
+  ASSERT_TRUE(plans->compatible()) << plans->fallback_reason();
+
+  auto stats = plans->BucketStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].batch_size, 32);
+  EXPECT_GT(stats[0].ops, 0);
+  EXPECT_GT(stats[0].fused_chains, 0);
+  EXPECT_GT(stats[0].arena_bytes, 0);
+  EXPECT_LT(stats[0].arena_bytes, stats[0].intermediate_bytes)
+      << "liveness analysis found no lifetime sharing";
+}
+
+// Concurrent Score calls must be safe and deterministic (pooled execution
+// contexts, no cross-request state).
+TEST(PlanConcurrencyTest, ParallelScoresMatchSerial) {
+  data::DatasetBundle bundle = SmallBundle();
+  const data::DatasetSchema& schema = bundle.train.schema;
+  models::ModelConfig config;
+  auto model = models::CreateModel("dcn", schema, config, /*seed=*/13);
+
+  nn::PlanCompileOptions options;
+  options.buckets = {8};
+  auto plans = CompileFor(model.get(), schema, options);
+  ASSERT_TRUE(plans->compatible()) << plans->fallback_reason();
+
+  constexpr int kBatches = 16;
+  std::vector<data::Batch> batches;
+  std::vector<std::vector<float>> want(kBatches);
+  for (int i = 0; i < kBatches; ++i) {
+    batches.push_back(RandomBatch(schema, 5, /*seed=*/400 + i));
+    want[i].resize(5);
+    ASSERT_TRUE(plans->Score(batches[i], want[i].data()));
+  }
+
+  std::vector<std::vector<float>> got(kBatches, std::vector<float>(5));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int i = t; i < kBatches; i += 4) {
+        ASSERT_TRUE(plans->Score(batches[i], got[i].data()));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 0; i < kBatches; ++i) {
+    EXPECT_EQ(
+        std::memcmp(got[i].data(), want[i].data(), sizeof(float) * 5), 0)
+        << "batch " << i;
+  }
+}
+
+// A hot reload must swap the compiled plans together with the model: the
+// new generation scores bitwise through its own freshly-compiled plans, the
+// retired generation's plans stay alive for its in-flight requests, and a
+// scoring thread racing the swap never drops or mis-scores a request.
+TEST(PlanReloadTest, HotReloadSwapsPlansAtomically) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = ::testing::TempDir() + "/miss_plan_" +
+                          info->test_suite_name() + "_" + info->name();
+  data::DatasetBundle synth = SmallBundle();
+  const data::DatasetSchema& schema = synth.train.schema;
+
+  auto write_bundle = [&](uint64_t seed) {
+    models::ModelConfig mc;
+    auto model = models::CreateModel("din", schema, mc, seed);
+    ASSERT_TRUE(serve::SaveBundle(*model, dir)) << dir;
+  };
+  // Dynamic-path ground truth for the bundle currently in `dir`.
+  auto reference = [&](const data::Sample& sample) {
+    serve::Bundle bundle;
+    EXPECT_TRUE(serve::LoadBundle(dir, &bundle)) << dir;
+    serve::Engine engine(*bundle.model, {});
+    const float score = engine.Submit(sample).get();
+    engine.Drain();
+    return score;
+  };
+  auto entry_score = [](const std::shared_ptr<fleet::ServingModel>& entry,
+                        data::Sample sample) {
+    std::promise<float> done;
+    std::future<float> result = done.get_future();
+    EXPECT_TRUE(entry->SubmitScore(
+        &sample, serve::RequestTrace{},
+        [&done](float score, bool ok, const serve::RequestTrace&) {
+          EXPECT_TRUE(ok);
+          done.set_value(score);
+        }));
+    return result.get();
+  };
+
+  write_bundle(42);
+  fleet::ModelFleet fleet;
+  fleet::ServingModelConfig config;
+  config.load.compile_plans = true;
+  config.load.plan_options.buckets = {1, 8};
+  config.load.plan_options.verify_batches = 1;
+  std::string error;
+  ASSERT_TRUE(fleet.AddModel("m", dir, config, &error)) << error;
+
+  const std::shared_ptr<fleet::ServingModel> old = fleet.Acquire("m");
+  ASSERT_NE(old->bundle(), nullptr);
+  const std::shared_ptr<const nn::PlanSet> old_plans = old->bundle()->plans;
+  ASSERT_NE(old_plans, nullptr);
+  ASSERT_TRUE(old_plans->compatible()) << old_plans->fallback_reason();
+
+  const data::Sample& sample = synth.test.samples[0];
+  const float old_want = reference(sample);
+  EXPECT_EQ(entry_score(old, sample), old_want);  // plan path, bitwise
+
+  // Hammer the entry while the bundle is swapped underneath it: every score
+  // must bitwise match one of the two generations' dynamic references.
+  write_bundle(43);
+  const float new_want = reference(sample);
+  ASSERT_NE(old_want, new_want);  // different weights tell generations apart
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load()) {
+      std::shared_ptr<fleet::ServingModel> entry = fleet.Acquire("m");
+      data::Sample copy = sample;
+      std::promise<float> done;
+      std::future<float> result = done.get_future();
+      if (!entry->SubmitScore(
+              &copy, serve::RequestTrace{},
+              [&done](float score, bool ok, const serve::RequestTrace&) {
+                EXPECT_TRUE(ok);
+                done.set_value(score);
+              })) {
+        continue;  // generation retired first; re-Acquire and retry
+      }
+      const float got = result.get();
+      EXPECT_TRUE(got == old_want || got == new_want) << got;
+    }
+  });
+  ASSERT_TRUE(fleet.Reload("m", &error)) << error;
+  stop.store(true);
+  hammer.join();
+
+  const std::shared_ptr<fleet::ServingModel> fresh = fleet.Acquire("m");
+  ASSERT_NE(fresh->bundle(), nullptr);
+  const std::shared_ptr<const nn::PlanSet> new_plans = fresh->bundle()->plans;
+  ASSERT_NE(new_plans, nullptr);
+  ASSERT_TRUE(new_plans->compatible()) << new_plans->fallback_reason();
+  EXPECT_NE(new_plans.get(), old_plans.get())
+      << "reload must compile fresh plans, not reuse the old generation's";
+  EXPECT_EQ(entry_score(fresh, sample), new_want);
+
+  // The retired generation's plans are still owned by its bundle (in-flight
+  // requests may still execute through them).
+  EXPECT_TRUE(old->retired());
+  EXPECT_EQ(old->bundle()->plans.get(), old_plans.get());
+  fleet.DrainAll();
+}
+
+}  // namespace
+}  // namespace miss
